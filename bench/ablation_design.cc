@@ -1,0 +1,90 @@
+// Design-choice ablations beyond the paper's figures, covering the knobs
+// DESIGN.md calls out:
+//   A) selection keep-fraction (Sec. 3.4 uses "the lower half"),
+//   B) monitor sampling cadence (Sec. 3.3 "modest cadence"),
+//   C) the queue-level reference span (our substitution for dividing the raw
+//      multi-GB buffer: levels anchored to a line-rate time span), and
+//   D) flow-cache capacity (Sec. 4 uses 50k entries).
+//
+// Expected shapes: keeping everything (no filter) admits high-delay routes
+// into the hash and inflates tails; keeping only the minimum re-creates the
+// herd effect under bursts; slower sampling delays congestion reaction;
+// tiny flow caches thrash (evictions) without breaking correctness.
+#include <functional>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+lcmp::ExperimentResult RunWith(const std::function<void(lcmp::LcmpConfig&)>& tweak,
+                               double load = 0.5) {
+  lcmp::ExperimentConfig c = lcmp::Testbed8Config();
+  c.policy = lcmp::PolicyKind::kLcmp;
+  c.load = load;
+  c.num_flows = 400;
+  tweak(c.lcmp);
+  return lcmp::RunExperiment(c);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lcmp;
+  Banner("Design ablations - keep fraction, sampling cadence, queue scale, cache size",
+         "keep-half balances quality vs herd; 100us sampling suffices; "
+         "tiny caches thrash but stay correct");
+
+  {
+    TablePrinter t({"keep fraction", "p50", "p99"});
+    const std::pair<int, int> fractions[] = {{1, 1}, {2, 3}, {1, 2}, {1, 3}, {1, 6}};
+    for (const auto& [num, den] : fractions) {
+      const ExperimentResult r = RunWith([&](LcmpConfig& lc) {
+        lc.keep_num = num;
+        lc.keep_den = den;
+      });
+      t.AddRow({std::to_string(num) + "/" + std::to_string(den), Fmt(r.overall.p50),
+                Fmt(r.overall.p99)});
+    }
+    std::printf("\n== A) selection keep-fraction (paper default 1/2) ==\n");
+    t.Print();
+  }
+  {
+    TablePrinter t({"sample interval", "p50", "p99"});
+    for (const TimeNs si : {Microseconds(10), Microseconds(100), Milliseconds(1),
+                            Milliseconds(10)}) {
+      const ExperimentResult r = RunWith([&](LcmpConfig& lc) { lc.sample_interval = si; });
+      t.AddRow({Fmt(static_cast<double>(si) / kNsPerUs, 0) + " us", Fmt(r.overall.p50),
+                Fmt(r.overall.p99)});
+    }
+    std::printf("\n== B) congestion-monitor sampling cadence ==\n");
+    t.Print();
+  }
+  {
+    TablePrinter t({"queue ref span", "p50", "p99"});
+    for (const TimeNs ref : {Microseconds(100), Microseconds(400), Microseconds(1600),
+                             Microseconds(6400)}) {
+      const ExperimentResult r = RunWith([&](LcmpConfig& lc) { lc.queue_ref_time = ref; });
+      t.AddRow({Fmt(static_cast<double>(ref) / kNsPerUs, 0) + " us", Fmt(r.overall.p50),
+                Fmt(r.overall.p99)});
+    }
+    std::printf("\n== C) queue-level reference span (substitution knob) ==\n");
+    t.Print();
+  }
+  {
+    TablePrinter t({"cache capacity", "p50", "p99", "max evictions/switch"});
+    for (const int cap : {256, 4096, 50'000}) {
+      const ExperimentResult r = RunWith([&](LcmpConfig& lc) { lc.flow_cache_capacity = cap; });
+      int64_t max_failover = 0;
+      for (const auto& tel : r.telemetry) {
+        max_failover = std::max(max_failover, tel.new_flow_decisions);
+      }
+      t.AddRow({std::to_string(cap), Fmt(r.overall.p50), Fmt(r.overall.p99),
+                std::to_string(max_failover)});
+    }
+    std::printf("\n== D) flow-cache capacity (paper example 50k) ==\n");
+    t.Print();
+    Note("'max evictions/switch' reports new-flow decisions: with a thrashing "
+         "cache the same flow is re-decided repeatedly.");
+  }
+  return 0;
+}

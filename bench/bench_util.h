@@ -1,0 +1,51 @@
+// Shared presets and output helpers for the figure benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/scenario.h"
+#include "harness/table.h"
+
+namespace lcmp {
+
+// Baseline configuration for the 8-DC testbed experiments (Fig. 1/5/6/9/10/11).
+inline ExperimentConfig Testbed8Config() {
+  ExperimentConfig c;
+  c.topo = TopologyKind::kTestbed8;
+  c.pairing = PairingKind::kEndpointPair;
+  c.workload = WorkloadKind::kWebSearch;
+  c.cc = CcKind::kDcqcn;
+  c.load = 0.30;
+  c.num_flows = 600;
+  c.hosts_per_dc = 8;
+  c.seed = 2026;
+  return c;
+}
+
+// Baseline configuration for the 13-DC BSONetwork experiments (Fig. 7/8).
+inline ExperimentConfig Bso13Config() {
+  ExperimentConfig c;
+  c.topo = TopologyKind::kBso13;
+  c.pairing = PairingKind::kAllToAll;
+  c.workload = WorkloadKind::kWebSearch;
+  c.cc = CcKind::kDcqcn;
+  c.load = 0.30;
+  c.num_flows = 1500;
+  c.hosts_per_dc = 4;
+  c.seed = 2026;
+  return c;
+}
+
+// Prints the figure banner and the paper's expectation for the shape.
+inline void Banner(const std::string& figure, const std::string& paper_expectation) {
+  std::printf("\n########################################################################\n");
+  std::printf("# %s\n", figure.c_str());
+  std::printf("# Paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("########################################################################\n");
+}
+
+inline void Note(const std::string& text) { std::printf("NOTE: %s\n", text.c_str()); }
+
+}  // namespace lcmp

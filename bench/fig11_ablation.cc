@@ -1,0 +1,44 @@
+// Figure 11a (ablation): per-flow-size p50/p99 slowdown for
+//   rm-alpha (alpha=0, congestion-only), rm-beta (beta=0, path-only) and
+//   full LCMP, WebSearch at 30% load, DCQCN, 8-DC topology.
+//
+// Expected shape (paper Sec. 7.1): rm-alpha blows up across nearly all
+// sizes (flows land on high-delay routes, medians up ~3-4x); rm-beta keeps
+// small/medium flows fine but fails for the largest transfers (elephants
+// herd onto the same paths, tails up ~3x); full LCMP lowest and most stable.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lcmp;
+  Banner("Figure 11a - ablation: rm-alpha / rm-beta / full LCMP",
+         "rm-alpha hurts all sizes; rm-beta hurts the largest flows; full wins");
+
+  std::vector<NamedResult> results;
+  {
+    ExperimentConfig c = Testbed8Config();
+    c.policy = PolicyKind::kLcmp;
+    c.lcmp.alpha = 0;  // rm-alpha: path-quality removed
+    results.push_back(NamedResult{"rm-alpha", RunExperiment(c)});
+  }
+  {
+    ExperimentConfig c = Testbed8Config();
+    c.policy = PolicyKind::kLcmp;
+    c.lcmp.beta = 0;  // rm-beta: congestion removed
+    results.push_back(NamedResult{"rm-beta", RunExperiment(c)});
+  }
+  {
+    ExperimentConfig c = Testbed8Config();
+    c.policy = PolicyKind::kLcmp;
+    results.push_back(NamedResult{"full", RunExperiment(c)});
+  }
+
+  PrintBucketTable("Fig. 11a - per-size p50/p99 slowdown", results);
+
+  TablePrinter overall({"variant", "p50", "p99"});
+  for (const NamedResult& nr : results) {
+    overall.AddRow({nr.name, Fmt(nr.result.overall.p50), Fmt(nr.result.overall.p99)});
+  }
+  std::printf("\n== Fig. 11a - overall ==\n");
+  overall.Print();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 11d (congestion-cost weight sensitivity): (w_ql, w_tl, w_dp) in
+// {(2,1,1), (1,2,1), (1,1,2)} inside C_cong, WebSearch at 30% load, 8-DC.
+//
+// Expected shape (paper Sec. 7.4): similar medians for small/medium flows;
+// the queue-focused (2,1,1) allocation is the most stable; trend-heavy and
+// duration-heavy allocations inflate the largest flows' p50/p99.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lcmp;
+  Banner("Figure 11d - congestion weights (w_ql, w_tl, w_dp)",
+         "queue-focused (2,1,1) most stable; others inflate elephant tails");
+
+  std::vector<NamedResult> results;
+  const int settings[3][3] = {{2, 1, 1}, {1, 2, 1}, {1, 1, 2}};
+  for (const auto& s : settings) {
+    ExperimentConfig c = Testbed8Config();
+    c.policy = PolicyKind::kLcmp;
+    c.lcmp.w_ql = s[0];
+    c.lcmp.w_tl = s[1];
+    c.lcmp.w_dp = s[2];
+    const std::string name = "(" + std::to_string(s[0]) + "," + std::to_string(s[1]) + "," +
+                             std::to_string(s[2]) + ")";
+    results.push_back(NamedResult{name, RunExperiment(c)});
+  }
+  PrintBucketTable("Fig. 11d - per-size p50/p99 slowdown", results);
+
+  TablePrinter overall({"(w_ql,w_tl,w_dp)", "p50", "p99"});
+  for (const NamedResult& nr : results) {
+    overall.AddRow({nr.name, Fmt(nr.result.overall.p50), Fmt(nr.result.overall.p99)});
+  }
+  std::printf("\n== Fig. 11d - overall ==\n");
+  overall.Print();
+  return 0;
+}

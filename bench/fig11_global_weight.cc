@@ -1,0 +1,33 @@
+// Figure 11b (global fusion-weight sensitivity): (alpha, beta) in
+// {(3,1), (1,1), (1,3)} for WebSearch at 30% load, DCQCN, 8-DC topology.
+//
+// Expected shape (paper Sec. 7.2): all three settings give similar medians;
+// the delay-biased (3,1) setting yields clearly smaller tails (roughly half
+// the p99 of balanced/congestion-heavy settings).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lcmp;
+  Banner("Figure 11b - global fusion weights (alpha, beta)",
+         "similar p50 everywhere; (3,1) roughly halves p99 vs (1,1)/(1,3)");
+
+  std::vector<NamedResult> results;
+  const int settings[3][2] = {{3, 1}, {1, 1}, {1, 3}};
+  for (const auto& s : settings) {
+    ExperimentConfig c = Testbed8Config();
+    c.policy = PolicyKind::kLcmp;
+    c.lcmp.alpha = s[0];
+    c.lcmp.beta = s[1];
+    const std::string name = "(" + std::to_string(s[0]) + "," + std::to_string(s[1]) + ")";
+    results.push_back(NamedResult{name, RunExperiment(c)});
+  }
+  PrintBucketTable("Fig. 11b - per-size p50/p99 slowdown", results);
+
+  TablePrinter overall({"(alpha,beta)", "p50", "p99"});
+  for (const NamedResult& nr : results) {
+    overall.AddRow({nr.name, Fmt(nr.result.overall.p50), Fmt(nr.result.overall.p99)});
+  }
+  std::printf("\n== Fig. 11b - overall ==\n");
+  overall.Print();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 11c (path-quality weight sensitivity): (w_dl, w_lc) in
+// {(3,1), (1,1), (1,3)} inside C_path, WebSearch at 30% load, 8-DC.
+//
+// Expected shape (paper Sec. 7.3): the delay-biased (3,1) score gives the
+// best medians and tails; balanced (1,1) slightly worse medians and much
+// larger tails; capacity-biased (1,3) worst everywhere (it drags
+// latency-sensitive flows onto high-capacity, slow links).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lcmp;
+  Banner("Figure 11c - path-quality weights (w_dl, w_lc)",
+         "(3,1) best; (1,1) worse tails; (1,3) worst medians and tails");
+
+  std::vector<NamedResult> results;
+  const int settings[3][2] = {{3, 1}, {1, 1}, {1, 3}};
+  for (const auto& s : settings) {
+    ExperimentConfig c = Testbed8Config();
+    c.policy = PolicyKind::kLcmp;
+    c.lcmp.w_dl = s[0];
+    c.lcmp.w_lc = s[1];
+    const std::string name = "(" + std::to_string(s[0]) + "," + std::to_string(s[1]) + ")";
+    results.push_back(NamedResult{name, RunExperiment(c)});
+  }
+  PrintBucketTable("Fig. 11c - per-size p50/p99 slowdown", results);
+
+  TablePrinter overall({"(w_dl,w_lc)", "p50", "p99"});
+  for (const NamedResult& nr : results) {
+    overall.AddRow({nr.name, Fmt(nr.result.overall.p50), Fmt(nr.result.overall.p99)});
+  }
+  std::printf("\n== Fig. 11c - overall ==\n");
+  overall.Print();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Scalability sweep: simulator throughput and LCMP behavior as the WAN
+// grows. Random sparse WANs of 8..32 DCs, all-to-all WebSearch traffic at
+// 30% load under LCMP.
+//
+// Expected shape: events scale with delivered traffic; per-switch LCMP state
+// stays bounded (the flow cache and 24 B/port registers are size-independent
+// of the topology); wall-clock throughput stays in the millions of events
+// per second.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "core/control_plane.h"
+#include "core/lcmp_router.h"
+#include "stats/fct_recorder.h"
+#include "workload/traffic_gen.h"
+
+int main() {
+  using namespace lcmp;
+  Banner("Scalability - random WANs of 8..32 DCs under LCMP",
+         "bounded per-switch state; millions of simulated events per second");
+
+  TablePrinter table({"DCs", "hosts", "flows", "p50", "p99", "sim events", "wall ms",
+                      "Mevents/s", "max switch mem (KB)"});
+  for (const int dcs : {8, 16, 24, 32}) {
+    RandomWanOptions opts;
+    opts.num_dcs = dcs;
+    opts.extra_chords = dcs / 2;
+    opts.seed = 7;
+    opts.fabric.hosts = 2;
+    const Graph graph = BuildRandomWan(opts);
+
+    NetworkConfig ncfg;
+    ncfg.seed = 7;
+    Network net(graph, ncfg, MakeLcmpFactory(LcmpConfig{}));
+    ControlPlane cp{LcmpConfig{}};
+    cp.Provision(net);
+
+    FctRecorder recorder(&net.graph());
+    const int num_flows = 300;
+    Simulator& sim = net.sim();
+    RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+                            [&](const FlowRecord& rec) {
+                              recorder.OnComplete(rec);
+                              if (recorder.completed() >= num_flows) {
+                                sim.Stop();
+                              }
+                            });
+    const auto pairs = AllOrderedDcPairs(graph.num_dcs());
+    TrafficGenConfig traffic;
+    traffic.offered_bps = OfferedLoadForUtilization(graph, net.routes(), pairs, 0.30);
+    traffic.num_flows = num_flows;
+    traffic.seed = 99;
+    for (const FlowSpec& f : GenerateTraffic(graph, pairs, traffic)) {
+      transport.ScheduleFlow(f);
+    }
+    net.StartPolicyTicks();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.Run(Seconds(120));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() / 1000.0;
+
+    size_t max_mem = 0;
+    for (const SwitchTelemetry& t : cp.CollectTelemetry(net)) {
+      max_mem = std::max(max_mem, t.memory_bytes);
+    }
+    const SlowdownStats s = recorder.Overall();
+    const double mev = wall_ms > 0 ? static_cast<double>(sim.events_processed()) /
+                                         (wall_ms * 1000.0)
+                                   : 0.0;
+    table.AddRow({std::to_string(dcs), std::to_string(dcs * 2), std::to_string(s.count),
+                  Fmt(s.p50), Fmt(s.p99), std::to_string(sim.events_processed()),
+                  Fmt(wall_ms, 1), Fmt(mev, 2), Fmt(static_cast<double>(max_mem) / 1024.0, 1)});
+  }
+  table.Print();
+  Note("per-switch memory is dominated by the fixed-size 50k-entry flow cache, "
+       "independent of WAN size (Sec. 4's deployability argument).");
+  return 0;
+}

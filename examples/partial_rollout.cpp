@@ -1,0 +1,85 @@
+// Incremental-rollout demo (Sec. 5): LCMP supports partial upgrades — some
+// DCI switches run LCMP while the rest keep legacy ECMP, with no protocol or
+// header changes. This example upgrades only DC1's and DC8's edge switches
+// on the 8-DC topology and shows that (a) traffic still flows, and (b) most
+// of the benefit already materializes because the upgraded switches make the
+// critical first-hop choice.
+#include <cstdio>
+
+#include "core/control_plane.h"
+#include "core/lcmp_router.h"
+#include "harness/table.h"
+#include "routing/ecmp.h"
+#include "stats/fct_recorder.h"
+#include "topo/builders.h"
+#include "transport/rdma_transport.h"
+#include "workload/traffic_gen.h"
+
+namespace {
+
+// Runs the 8-DC WebSearch scenario with a caller-chosen per-switch policy
+// assignment and returns (p50, p99).
+std::pair<double, double> Run(const lcmp::PolicyFactory& factory) {
+  using namespace lcmp;
+  Testbed8Options topo_opts;
+  topo_opts.fabric.hosts = 4;
+  const Graph graph = BuildTestbed8(topo_opts);
+  NetworkConfig net_config;
+  net_config.seed = 12;
+  Network net(graph, net_config, factory);
+  ControlPlane control_plane{LcmpConfig{}};
+  control_plane.Provision(net);
+
+  FctRecorder recorder(&net.graph());
+  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+                          [&](const FlowRecord& rec) {
+                            recorder.OnComplete(rec);
+                            if (recorder.completed() >= 300) {
+                              net.sim().Stop();
+                            }
+                          });
+  TrafficGenConfig traffic;
+  traffic.offered_bps = OfferedLoadForUtilization(graph, net.routes(), {{0, 7}, {7, 0}}, 0.3);
+  traffic.num_flows = 300;
+  traffic.seed = 21;
+  for (const FlowSpec& f : GenerateTraffic(graph, {{0, 7}, {7, 0}}, traffic)) {
+    transport.ScheduleFlow(f);
+  }
+  net.StartPolicyTicks();
+  net.sim().Run(Seconds(60));
+  return {recorder.Overall().p50, recorder.Overall().p99};
+}
+
+}  // namespace
+
+int main() {
+  using namespace lcmp;
+  const LcmpConfig lcmp_config;
+
+  std::printf("Incremental rollout on the 8-DC topology (WebSearch @ 30%%):\n\n");
+
+  PolicyFactory all_ecmp = [](SwitchNode&) { return std::make_unique<EcmpPolicy>(); };
+  // Partial: only the endpoint DCI switches (DC1 = dc 0, DC8 = dc 7) upgrade.
+  PolicyFactory partial = [&lcmp_config](SwitchNode& sw) -> std::unique_ptr<MultipathPolicy> {
+    if (sw.dc() == 0 || sw.dc() == 7) {
+      return MakeLcmpFactory(lcmp_config)(sw);
+    }
+    return std::make_unique<EcmpPolicy>();
+  };
+  PolicyFactory all_lcmp = MakeLcmpFactory(lcmp_config);
+
+  const auto [e50, e99] = Run(all_ecmp);
+  const auto [p50, p99] = Run(partial);
+  const auto [l50, l99] = Run(all_lcmp);
+
+  TablePrinter table({"deployment", "p50 slowdown", "p99 slowdown"});
+  table.AddRow({"legacy (all ECMP)", Fmt(e50), Fmt(e99)});
+  table.AddRow({"partial (DC1+DC8 upgraded)", Fmt(p50), Fmt(p99)});
+  table.AddRow({"full LCMP", Fmt(l50), Fmt(l99)});
+  table.Print();
+
+  std::printf("\nPartial deployment needs no host, header or transit-switch changes; the\n"
+              "upgraded edge switches already make the delay/capacity-aware first-hop "
+              "choice.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: build the paper's 8-DC topology, run the same WebSearch
+// workload under ECMP and under LCMP, and compare FCT slowdowns.
+//
+//   $ ./examples/quickstart
+//
+// This exercises the whole public API surface: topology builders, the
+// experiment harness, and the result statistics.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace lcmp;
+
+  ExperimentConfig config;
+  config.topo = TopologyKind::kTestbed8;      // Fig. 1a: six asymmetric routes
+  config.pairing = PairingKind::kEndpointPair;  // DC1 <-> DC8 traffic
+  config.workload = WorkloadKind::kWebSearch;
+  config.cc = CcKind::kDcqcn;
+  config.load = 0.3;
+  config.num_flows = 300;
+  config.seed = 42;
+
+  std::printf("Running WebSearch @ 30%% load on the 8-DC testbed topology...\n");
+
+  config.policy = PolicyKind::kEcmp;
+  const ExperimentResult ecmp = RunExperiment(config);
+
+  config.policy = PolicyKind::kLcmp;
+  const ExperimentResult lcmp_result = RunExperiment(config);
+
+  TablePrinter table({"policy", "flows", "p50 slowdown", "p99 slowdown"});
+  table.AddRow({"ECMP", std::to_string(ecmp.overall.count), Fmt(ecmp.overall.p50),
+                Fmt(ecmp.overall.p99)});
+  table.AddRow({"LCMP", std::to_string(lcmp_result.overall.count),
+                Fmt(lcmp_result.overall.p50), Fmt(lcmp_result.overall.p99)});
+  table.Print();
+
+  std::printf("\nLCMP switch telemetry (control-plane view):\n");
+  for (const SwitchTelemetry& t : lcmp_result.telemetry) {
+    std::printf("  %-10s decisions=%-6lld cache_hits=%-8lld mem=%.2f KB\n", t.name.c_str(),
+                static_cast<long long>(t.new_flow_decisions),
+                static_cast<long long>(t.cache_hits),
+                static_cast<double>(t.memory_bytes) / 1024.0);
+  }
+  return 0;
+}

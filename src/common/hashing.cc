@@ -1,0 +1,40 @@
+#include "common/hashing.h"
+
+namespace lcmp {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t HashFlowKey(const FlowKey& key, uint64_t salt) {
+  uint64_t h = salt ^ 0x2545f4914f6cdd1dULL;
+  h = Mix64(h ^ (static_cast<uint64_t>(static_cast<uint32_t>(key.src)) |
+                 (static_cast<uint64_t>(static_cast<uint32_t>(key.dst)) << 32)));
+  h = Mix64(h ^ (static_cast<uint64_t>(key.src_port) |
+                 (static_cast<uint64_t>(key.dst_port) << 32)));
+  h = Mix64(h ^ key.protocol);
+  return h;
+}
+
+FlowId FlowIdOf(const FlowKey& key) { return HashFlowKey(key, /*salt=*/0); }
+
+FlowId RoutingFlowId(const FlowKey& key) {
+  const FlowId id = HashFlowKey(key, /*salt=*/0x10f1);
+  return id == 0 ? 1 : id;
+}
+
+FlowKey ReverseKey(const FlowKey& key) {
+  FlowKey r = key;
+  r.src = key.dst;
+  r.dst = key.src;
+  r.src_port = key.dst_port;
+  r.dst_port = key.src_port;
+  return r;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,45 @@
+// Flow hashing used by every multipath policy (ECMP, LCMP's in-set hash, ...).
+//
+// The data plane identifies a flow by its five tuple; we carry a condensed
+// FlowKey instead of raw headers. Hashes must be (a) deterministic across
+// runs, (b) well mixed so ECMP spreads flows, and (c) cheap.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace lcmp {
+
+// Condensed five-tuple. src/dst are simulator host NodeIds; src_port holds a
+// per-flow nonce so that two flows between the same host pair can hash to
+// different paths (mirrors distinct TCP/UDP source ports or RDMA QPNs).
+struct FlowKey {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  uint32_t src_port = 0;
+  uint32_t dst_port = 0;
+  uint8_t protocol = 17;  // RoCEv2 rides on UDP.
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+// 64-bit finalizer-quality mix (from MurmurHash3 / SplitMix64 family).
+uint64_t Mix64(uint64_t x);
+
+// Deterministic hash of the five tuple, optionally perturbed by `salt`
+// (switches use their NodeId as salt so different hops decorrelate).
+uint64_t HashFlowKey(const FlowKey& key, uint64_t salt = 0);
+
+// Compact flow identifier derived from the key; used for flow-cache lookup.
+FlowId FlowIdOf(const FlowKey& key);
+
+// Flow id used by switch-side flow state: derived from the packet's own
+// five tuple (so DATA and reverse-direction ACK/CNP traffic of one RDMA flow
+// are distinct entries), never zero (zero marks empty flow-cache slots).
+FlowId RoutingFlowId(const FlowKey& key);
+
+// The reverse five tuple (ACK direction of a flow).
+FlowKey ReverseKey(const FlowKey& key);
+
+}  // namespace lcmp

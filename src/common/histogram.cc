@@ -1,0 +1,39 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lcmp {
+
+double SampleSet::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0) {
+    return samples_.front();
+  }
+  if (p >= 100) {
+    return samples_.back();
+  }
+  // Nearest-rank (ceil) definition: the smallest value with at least p% of
+  // samples at or below it.
+  const size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * samples_.size()));
+  return samples_[std::min(samples_.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) / samples_.size();
+}
+
+double SampleSet::Min() const { return Percentile(0); }
+double SampleSet::Max() const { return Percentile(100); }
+
+}  // namespace lcmp

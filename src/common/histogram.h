@@ -1,0 +1,40 @@
+// Sample accumulation and percentile extraction for FCT-slowdown reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lcmp {
+
+// Collects double-valued samples and answers percentile / mean queries.
+// Storage is exact (all samples kept); experiment sizes here are 1e3-1e6
+// samples, far below any memory concern, and exact percentiles make the
+// paper-figure tables stable.
+class SampleSet {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Percentile in [0, 100]. Nearest-rank on the sorted samples.
+  // Returns 0 for an empty set.
+  double Percentile(double p) const;
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  // Sorted lazily by Percentile(); mutable keeps the accessor const.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace lcmp

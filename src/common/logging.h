@@ -1,0 +1,61 @@
+// Minimal leveled logging. The simulator is performance-sensitive, so debug
+// logging compiles down to a branch on a global level.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace lcmp {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global log threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// printf-style log emission; prefer the LCMP_LOG* macros below.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+// Assembles a std::string printf-style.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace lcmp
+
+#define LCMP_LOG(level, ...)                                                  \
+  do {                                                                        \
+    if (static_cast<int>(level) >= static_cast<int>(::lcmp::GetLogLevel())) { \
+      ::lcmp::LogMessage(level, __FILE__, __LINE__, ::lcmp::StrFormat(__VA_ARGS__)); \
+    }                                                                         \
+  } while (0)
+
+#define LCMP_DEBUG(...) LCMP_LOG(::lcmp::LogLevel::kDebug, __VA_ARGS__)
+#define LCMP_INFO(...) LCMP_LOG(::lcmp::LogLevel::kInfo, __VA_ARGS__)
+#define LCMP_WARN(...) LCMP_LOG(::lcmp::LogLevel::kWarning, __VA_ARGS__)
+#define LCMP_ERROR(...) LCMP_LOG(::lcmp::LogLevel::kError, __VA_ARGS__)
+
+// Invariant check that stays on in release builds; simulation correctness
+// bugs must never be silently ignored.
+#define LCMP_CHECK(cond)                                                         \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::lcmp::LogMessage(::lcmp::LogLevel::kError, __FILE__, __LINE__,           \
+                         std::string("CHECK failed: ") + #cond);                 \
+      __builtin_trap();                                                          \
+    }                                                                            \
+  } while (0)
+
+#define LCMP_CHECK_MSG(cond, ...)                                                \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::lcmp::LogMessage(::lcmp::LogLevel::kError, __FILE__, __LINE__,           \
+                         std::string("CHECK failed: ") + #cond + " " +           \
+                             ::lcmp::StrFormat(__VA_ARGS__));                    \
+      __builtin_trap();                                                          \
+    }                                                                            \
+  } while (0)

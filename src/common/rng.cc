@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace lcmp {
+namespace {
+
+// SplitMix64: expands a single seed into well-distributed state words.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) { Seed(seed); }
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& w : s_) {
+    w = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless bounded sampling; bias is negligible for the
+  // bounds used here (candidate counts, host counts).
+  const __uint128_t m = static_cast<__uint128_t>(NextU64()) * bound;
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  // Box-Muller using two fresh uniforms each call (no cached spare, keeps the
+  // stream position deterministic regardless of call interleaving).
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace lcmp

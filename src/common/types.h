@@ -1,0 +1,55 @@
+// Fundamental value types and unit helpers shared by every LCMP subsystem.
+//
+// All simulation time is kept in signed 64-bit nanoseconds (TimeNs). All
+// data-plane arithmetic in core/ is integer-only; these helpers keep unit
+// conversions explicit so a "5" can never silently mean both 5 ms and 5 us.
+#pragma once
+
+#include <cstdint>
+
+namespace lcmp {
+
+// Simulation timestamp / duration in nanoseconds.
+using TimeNs = int64_t;
+
+// Dense node identifier assigned by the topology/network builder.
+using NodeId = int32_t;
+
+// Globally unique flow identifier (assigned by the traffic generator).
+using FlowId = uint64_t;
+
+// Egress port index within a node. -1 means "no port / invalid".
+using PortIndex = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr PortIndex kInvalidPort = -1;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+// Duration constructors. Keep these constexpr so configs can be literals.
+constexpr TimeNs Nanoseconds(int64_t n) { return n; }
+constexpr TimeNs Microseconds(int64_t us) { return us * kNsPerUs; }
+constexpr TimeNs Milliseconds(int64_t ms) { return ms * kNsPerMs; }
+constexpr TimeNs Seconds(int64_t s) { return s * kNsPerSec; }
+
+// Link rate constructors, in bits per second.
+constexpr int64_t Kbps(int64_t k) { return k * 1'000; }
+constexpr int64_t Mbps(int64_t m) { return m * 1'000'000; }
+constexpr int64_t Gbps(int64_t g) { return g * 1'000'000'000; }
+
+// Time to serialize `bytes` onto a link of `rate_bps`, rounded up to a whole
+// nanosecond so back-to-back packets never overlap.
+constexpr TimeNs SerializationDelay(int64_t bytes, int64_t rate_bps) {
+  // bytes * 8 * 1e9 / rate. Keep the multiply in 64 bits: bytes fits in
+  // ~2^32, 8e9 fits in 2^33, so use __int128 to be safe for jumbo sizes.
+  return static_cast<TimeNs>((static_cast<__int128>(bytes) * 8 * kNsPerSec + rate_bps - 1) /
+                             rate_bps);
+}
+
+// Propagation delay for a fiber span, using the paper's 2e8 m/s light speed
+// in fiber: 1000 km -> 5 ms.
+constexpr TimeNs FiberDelayForKm(int64_t km) { return km * kNsPerMs / 200; }
+
+}  // namespace lcmp

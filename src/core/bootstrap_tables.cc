@@ -1,0 +1,84 @@
+#include "core/bootstrap_tables.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+BootstrapTables BootstrapTables::Build(const LcmpConfig& config) {
+  BootstrapTables t;
+  t.config_ = config;
+  // Capacity class thresholds: N ascending boundaries proportional to the
+  // configured maximum link rate (Fig. 3 "link capacity thresholds").
+  t.cap_thresholds_.resize(static_cast<size_t>(config.num_cap_classes));
+  for (int i = 0; i < config.num_cap_classes; ++i) {
+    t.cap_thresholds_[static_cast<size_t>(i)] =
+        config.max_link_rate * (i + 1) / config.num_cap_classes;
+  }
+  // Level score table: linear 0..255 over the level range, precomputed so
+  // the data plane never multiplies per packet (Fig. 3 "level score table").
+  const int levels = std::max(config.num_queue_levels, config.num_trend_levels);
+  t.level_score_.resize(static_cast<size_t>(levels));
+  for (int i = 0; i < levels; ++i) {
+    t.level_score_[static_cast<size_t>(i)] =
+        static_cast<uint8_t>(levels <= 1 ? 0 : 255 * i / (levels - 1));
+  }
+  return t;
+}
+
+int BootstrapTables::CapacityClass(int64_t rate_bps) const {
+  // Linear scan over a ~10-entry vector: exactly the TCAM-style lookup the
+  // paper budgets for.
+  for (size_t i = 0; i < cap_thresholds_.size(); ++i) {
+    if (rate_bps <= cap_thresholds_[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(cap_thresholds_.size()) - 1;
+}
+
+uint8_t BootstrapTables::LevelScore(int level) const {
+  if (level <= 0 || level_score_.empty()) {
+    return 0;
+  }
+  const size_t idx = std::min(static_cast<size_t>(level), level_score_.size() - 1);
+  return level_score_[idx];
+}
+
+int BootstrapTables::QueueLevel(int64_t queue_bytes, int64_t rate_bps) const {
+  if (queue_bytes <= 0) {
+    return 0;
+  }
+  // queue_ref = rate * queue_ref_time / 8 bits; level span = ref / levels.
+  const int64_t ref_bytes = static_cast<int64_t>(
+      static_cast<__int128>(rate_bps) * config_.queue_ref_time / (8 * kNsPerSec));
+  if (ref_bytes <= 0) {
+    return config_.num_queue_levels - 1;
+  }
+  const int64_t level = queue_bytes * config_.num_queue_levels / ref_bytes;
+  return static_cast<int>(
+      std::min<int64_t>(level, config_.num_queue_levels - 1));
+}
+
+int BootstrapTables::TrendLevel(int64_t trend_bytes, int64_t rate_bps,
+                                TimeNs sample_interval) const {
+  if (trend_bytes <= 0) {
+    return 0;
+  }
+  // Full-scale trend = bytes arriving at line rate during one sampling
+  // interval; thresholds divide that range into num_trend_levels levels.
+  const int64_t full_scale = static_cast<int64_t>(
+      static_cast<__int128>(rate_bps) * std::max<TimeNs>(sample_interval, 1) / (8 * kNsPerSec));
+  if (full_scale <= 0) {
+    return config_.num_trend_levels - 1;
+  }
+  const int64_t level = trend_bytes * config_.num_trend_levels / full_scale;
+  return static_cast<int>(std::min<int64_t>(level, config_.num_trend_levels - 1));
+}
+
+size_t BootstrapTables::MemoryBytes() const {
+  return cap_thresholds_.size() * sizeof(int64_t) + level_score_.size() * sizeof(uint8_t);
+}
+
+}  // namespace lcmp

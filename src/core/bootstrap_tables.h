@@ -1,0 +1,55 @@
+// Switch bootstrap tables (Sec. 3.1.2 step 1, Fig. 3).
+//
+// At switch initialization the control plane installs small vectors that let
+// the data plane do pure lookups and integer comparisons:
+//   - link-capacity thresholds       (rate -> capacity class)
+//   - per-port queue thresholds      (queue bytes -> level Q)
+//   - level -> 0..255 score table
+//   - per-rate-bucket trend normalization (trend accumulator -> level T)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+
+namespace lcmp {
+
+// All tables a DCI switch needs, as installed by the control plane.
+class BootstrapTables {
+ public:
+  // Builds every table from the config. Deterministic and cheap; the control
+  // plane re-runs it when provisioning changes.
+  static BootstrapTables Build(const LcmpConfig& config);
+
+  // Alg. 2 lookup: capacity class of a link rate (0 = slowest class).
+  int CapacityClass(int64_t rate_bps) const;
+
+  // Linear level -> score mapping (index clamped to the table).
+  uint8_t LevelScore(int level) const;
+  int num_levels() const { return static_cast<int>(level_score_.size()); }
+
+  // Queue level for `queue_bytes` on a port running at `rate_bps`
+  // (per-level thresholds are proportional to the link rate).
+  int QueueLevel(int64_t queue_bytes, int64_t rate_bps) const;
+
+  // Trend level for a raw trend accumulator value, normalized by the port
+  // rate bucket and the observed sampling interval. Non-positive trends map
+  // to level 0 (Sec. 3.3: reactions focus on growing queues).
+  int TrendLevel(int64_t trend_bytes, int64_t rate_bps, TimeNs sample_interval) const;
+
+  const std::vector<int64_t>& capacity_thresholds() const { return cap_thresholds_; }
+
+  // Approximate on-switch memory footprint of these tables, in bytes
+  // (Sec. 4 resource accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  LcmpConfig config_;
+  std::vector<int64_t> cap_thresholds_;  // ascending class upper bounds
+  std::vector<uint8_t> level_score_;     // level index -> 0..255
+};
+
+}  // namespace lcmp

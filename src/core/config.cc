@@ -1,0 +1,61 @@
+#include "core/config.h"
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+bool ValidateConfig(const LcmpConfig& c) {
+  bool ok = true;
+  auto fail = [&ok](const char* what) {
+    LCMP_ERROR("invalid LcmpConfig: %s", what);
+    ok = false;
+  };
+  if (c.alpha < 0 || c.beta < 0 || (c.alpha == 0 && c.beta == 0)) {
+    fail("alpha/beta must be non-negative and not both zero");
+  }
+  if (c.w_dl < 0 || c.w_lc < 0 || (c.w_dl == 0 && c.w_lc == 0)) {
+    fail("w_dl/w_lc must be non-negative and not both zero");
+  }
+  if (c.w_ql < 0 || c.w_tl < 0 || c.w_dp < 0) {
+    fail("congestion weights must be non-negative");
+  }
+  if (c.s_path < 0 || c.s_path > 16 || c.s_cong < 0 || c.s_cong > 16) {
+    fail("normalization shifts must be in [0, 16]");
+  }
+  if (c.delay_saturation <= 0) {
+    fail("delay_saturation must be positive");
+  }
+  if (c.num_cap_classes < 2 || c.num_cap_classes > 256) {
+    fail("num_cap_classes must be in [2, 256]");
+  }
+  if (c.max_link_rate <= 0) {
+    fail("max_link_rate must be positive");
+  }
+  if (c.num_queue_levels < 2 || c.num_queue_levels > 256) {
+    fail("num_queue_levels must be in [2, 256]");
+  }
+  if (c.queue_ref_time <= 0) {
+    fail("queue_ref_time must be positive");
+  }
+  if (c.trend_shift_k < 0 || c.trend_shift_k > 16) {
+    fail("trend_shift_k must be in [0, 16]");
+  }
+  if (c.num_trend_levels < 2 || c.num_trend_levels > 256) {
+    fail("num_trend_levels must be in [2, 256]");
+  }
+  if (c.keep_num <= 0 || c.keep_den <= 0 || c.keep_num > c.keep_den) {
+    fail("keep fraction must be in (0, 1]");
+  }
+  if (c.flow_cache_capacity <= 0) {
+    fail("flow_cache_capacity must be positive");
+  }
+  if (c.flow_idle_timeout <= 0 || c.gc_period <= 0) {
+    fail("flow timeouts must be positive");
+  }
+  if (c.sample_interval <= 0 || c.min_refresh_interval < 0) {
+    fail("sampling intervals must be positive");
+  }
+  return ok;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,88 @@
+// LCMP tunables. Defaults follow the paper's recommended operating point:
+// global fusion (alpha, beta) = (3, 1) [Sec. 5 / 7.2], path-quality weights
+// (w_dl, w_lc) = (3, 1) [Sec. 7.3], congestion weights (w_ql, w_tl, w_dp) =
+// (2, 1, 1) [Sec. 7.4], EWMA shift K = 3 [Sec. 3.3], keep-lower-half
+// filtering [Sec. 3.4].
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace lcmp {
+
+struct LcmpConfig {
+  // ---- Eq. (1): C(p) = alpha * C_path + beta * C_cong ----
+  int alpha = 3;
+  int beta = 1;
+
+  // ---- Eq. (2): C_path = min((w_dl*delayScore + w_lc*capScore) >> s_path, 255) ----
+  int w_dl = 3;
+  int w_lc = 1;
+  int s_path = 2;
+
+  // Alg. 1: delayScore = min(delay >> delay_shift, 255), expressed as a
+  // saturation point: the one-way path delay that maps to score 255.
+  TimeNs delay_saturation = Milliseconds(64);
+
+  // Alg. 2: link-capacity classes. Class thresholds are linear in
+  // [0, max_link_rate]; higher capacity -> lower cost score.
+  int num_cap_classes = 10;
+  int64_t max_link_rate = Gbps(400);
+
+  // ---- Eq. (4)/(5): C_cong = min((w_ql*Q + w_tl*T + w_dp*D) >> s_cong, 255) ----
+  int w_ql = 2;
+  int w_tl = 1;
+  int w_dp = 1;
+  int s_cong = 2;
+
+  // Queue quantization: per-port thresholds divide [0, queue_ref] into
+  // num_queue_levels levels, queue_ref = rate * queue_ref_time / 8.
+  // (The paper divides the raw buffer; with multi-GB long-haul buffers that
+  // is insensitive at ECN-controlled occupancies, so we anchor the levels to
+  // a line-rate time span — same table shape, congestion-relevant scale.)
+  int num_queue_levels = 16;
+  TimeNs queue_ref_time = Microseconds(400);
+
+  // Eq. (3) trend EWMA shift: T = T - (T >> K) + (delta >> K).
+  int trend_shift_k = 3;
+  // Trend normalization: level thresholds span [0, rate * dt / 8] growth per
+  // sampling interval, num_trend_levels levels.
+  int num_trend_levels = 16;
+
+  // Duration penalty: counter increments while Q-level >= high-water level
+  // (fraction of num_queue_levels), decays by 1 otherwise; the penalty score
+  // is min(counter << dur_score_shift, 255).
+  int high_water_level_num = 3;  // high water = levels * 3 / 4
+  int high_water_level_den = 4;
+  int dur_score_shift = 4;
+
+  // Monitor cadence: background sampling of port registers, plus an
+  // on-demand refresh when a new flow arrives and the last sample is stale.
+  TimeNs sample_interval = Microseconds(100);
+  TimeNs min_refresh_interval = Microseconds(10);
+
+  // Two-stage selection (Sec. 3.4): keep the lowest keep_num/keep_den of the
+  // sorted candidates, then hash inside the reduced set.
+  int keep_num = 1;
+  int keep_den = 2;
+  // Fallback: if every candidate's congestion score is >= this, pick the
+  // minimum fused cost instead of hashing among uniformly bad choices.
+  int all_congested_threshold = 224;
+
+  // Flow cache (Sec. 3.1.2 step 4): bounded entries, idle-timeout GC.
+  int flow_cache_capacity = 50'000;
+  TimeNs flow_idle_timeout = Milliseconds(500);
+  TimeNs gc_period = Milliseconds(100);
+
+  // Derived helpers.
+  int HighWaterLevel() const {
+    return num_queue_levels * high_water_level_num / high_water_level_den;
+  }
+};
+
+// Validates invariants (positive weights/shifts, sane levels); returns false
+// and logs the offending field on failure.
+bool ValidateConfig(const LcmpConfig& config);
+
+}  // namespace lcmp

@@ -1,0 +1,74 @@
+#include "core/congestion_estimator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+CongestionEstimator::CongestionEstimator(const LcmpConfig& config, const BootstrapTables* tables,
+                                         int num_ports)
+    : config_(config), tables_(tables), ports_(static_cast<size_t>(num_ports)) {
+  LCMP_CHECK(tables_ != nullptr);
+}
+
+void CongestionEstimator::Sample(int port, int64_t queue_bytes, int64_t rate_bps, TimeNs now) {
+  PortCongestionState& s = ports_[static_cast<size_t>(port)];
+  const int32_t q = static_cast<int32_t>(
+      std::min<int64_t>(queue_bytes, std::numeric_limits<int32_t>::max()));
+  int64_t delta = static_cast<int64_t>(q) - s.queue_cur;
+  // Normalize the delta to the nominal cadence so T stays comparable when
+  // the monitor runs slightly early or late ("robust to modest variations in
+  // sampling frequency", Sec. 3.3).
+  const TimeNs observed = now - s.last_sample;
+  if (s.last_sample > 0 && observed > 0 && observed != config_.sample_interval) {
+    delta = delta * config_.sample_interval / observed;
+  }
+  s.queue_prev = s.queue_cur;
+  s.queue_cur = q;
+  // Eq. (3): shift-based EWMA accumulator.
+  const int k = config_.trend_shift_k;
+  const int64_t t_new = static_cast<int64_t>(s.trend) - (s.trend >> k) + (delta >> k);
+  s.trend = static_cast<int32_t>(
+      std::clamp<int64_t>(t_new, std::numeric_limits<int32_t>::min(),
+                          std::numeric_limits<int32_t>::max()));
+  // Duration (persistence) penalty counter.
+  const int level = tables_->QueueLevel(s.queue_cur, rate_bps);
+  if (level >= config_.HighWaterLevel()) {
+    if (s.dur_cnt < std::numeric_limits<int32_t>::max() - 1) {
+      ++s.dur_cnt;
+    }
+  } else {
+    s.dur_cnt = std::max(0, s.dur_cnt - 1);
+  }
+  s.last_sample = now;
+}
+
+bool CongestionEstimator::NeedsRefresh(int port, TimeNs now) const {
+  const PortCongestionState& s = ports_[static_cast<size_t>(port)];
+  return now - s.last_sample >= config_.min_refresh_interval;
+}
+
+CongestionSignals CongestionEstimator::Signals(int port, int64_t rate_bps) const {
+  const PortCongestionState& s = ports_[static_cast<size_t>(port)];
+  CongestionSignals out;
+  out.queue_level = tables_->QueueLevel(s.queue_cur, rate_bps);
+  out.q_score = tables_->LevelScore(out.queue_level);
+  out.trend_level = tables_->TrendLevel(s.trend, rate_bps, config_.sample_interval);
+  out.t_score = tables_->LevelScore(out.trend_level);
+  const int64_t d_raw = static_cast<int64_t>(s.dur_cnt) << config_.dur_score_shift;
+  out.d_score = static_cast<uint8_t>(std::min<int64_t>(d_raw, 255));
+  // Eq. (4)/(5).
+  const int64_t fused = static_cast<int64_t>(config_.w_ql) * out.q_score +
+                        static_cast<int64_t>(config_.w_tl) * out.t_score +
+                        static_cast<int64_t>(config_.w_dp) * out.d_score;
+  out.fused = static_cast<uint8_t>(std::min<int64_t>(fused >> config_.s_cong, 255));
+  return out;
+}
+
+uint8_t CongestionEstimator::CongScore(int port, int64_t rate_bps) const {
+  return Signals(port, rate_bps).fused;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,75 @@
+// Realtime on-switch congestion estimator (Sec. 3.3).
+//
+// Per egress port the data plane keeps exactly the registers the paper
+// budgets in Sec. 4 (24 B/port): queueCur, queuePrev, trend, durCnt (32-bit)
+// and lastSample (64-bit). Sampling updates:
+//   Q: instantaneous queue bytes -> level via qThresh -> levelScore
+//   T: trend EWMA  T = T - (T >> K) + (delta >> K)        (Eq. 3)
+//   D: persistence counter, ++ while Q-level >= high water, decays otherwise
+// Fusion:
+//   C_cong = min((w_ql*Q + w_tl*T + w_dp*D) >> S_cong, 255)   (Eq. 4/5)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/bootstrap_tables.h"
+#include "core/config.h"
+
+namespace lcmp {
+
+// The paper's per-port register block. int32/int64 widths match the Sec. 4
+// accounting (4 x 4 B + 8 B = 24 B per port).
+struct PortCongestionState {
+  int32_t queue_cur = 0;
+  int32_t queue_prev = 0;
+  int32_t trend = 0;
+  int32_t dur_cnt = 0;
+  TimeNs last_sample = 0;
+};
+static_assert(sizeof(PortCongestionState) == 24, "paper budgets 24 B per port");
+
+// Decomposed congestion signals of one port (for telemetry/tests).
+struct CongestionSignals {
+  int queue_level = 0;
+  int trend_level = 0;
+  uint8_t q_score = 0;
+  uint8_t t_score = 0;
+  uint8_t d_score = 0;
+  uint8_t fused = 0;  // C_cong
+};
+
+class CongestionEstimator {
+ public:
+  CongestionEstimator(const LcmpConfig& config, const BootstrapTables* tables, int num_ports);
+
+  // Samples one port: feeds the current queue depth into the register block.
+  // `now` must be monotonically non-decreasing per port.
+  void Sample(int port, int64_t queue_bytes, int64_t rate_bps, TimeNs now);
+
+  // True when the port's last sample is older than min_refresh_interval
+  // (the new-flow path refreshes stale ports before scoring, Sec. 3.1.2 (1)).
+  bool NeedsRefresh(int port, TimeNs now) const;
+
+  // C_cong for the port given its current registers (Eq. 4/5).
+  uint8_t CongScore(int port, int64_t rate_bps) const;
+
+  // Full decomposition (telemetry, ablation tests).
+  CongestionSignals Signals(int port, int64_t rate_bps) const;
+
+  const PortCongestionState& state(int port) const {
+    return ports_[static_cast<size_t>(port)];
+  }
+
+  // Sec. 4 accounting: register bytes for all ports.
+  size_t MemoryBytes() const { return ports_.size() * sizeof(PortCongestionState); }
+
+ private:
+  LcmpConfig config_;
+  const BootstrapTables* tables_;
+  std::vector<PortCongestionState> ports_;
+};
+
+}  // namespace lcmp

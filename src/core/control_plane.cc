@@ -1,0 +1,61 @@
+#include "core/control_plane.h"
+
+#include "core/path_quality.h"
+
+namespace lcmp {
+
+ControlPlane::ControlPlane(const LcmpConfig& config)
+    : config_(config), tables_(BootstrapTables::Build(config)) {}
+
+void ControlPlane::Provision(Network& net) {
+  const Graph& g = net.graph();
+  for (const NodeId dci : g.DciSwitches()) {
+    SwitchNode& sw = net.switch_node(dci);
+    auto* router = dynamic_cast<LcmpRouter*>(sw.policy());
+    if (router == nullptr) {
+      continue;  // this switch runs a different policy (partial rollout)
+    }
+    for (DcId dst = 0; dst < g.num_dcs(); ++dst) {
+      if (dst == g.vertex(dci).dc) {
+        continue;
+      }
+      const auto candidates = sw.CandidatesTo(dst);
+      std::vector<uint8_t> scores(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        scores[i] = CalcPathQuality(candidates[i].path_delay_ns, candidates[i].bottleneck_bps,
+                                    config_, tables_);
+      }
+      router->InstallPathTable(dst, std::move(scores));
+    }
+  }
+}
+
+std::vector<SwitchTelemetry> ControlPlane::CollectTelemetry(Network& net) const {
+  std::vector<SwitchTelemetry> out;
+  const Graph& g = net.graph();
+  for (const NodeId dci : g.DciSwitches()) {
+    SwitchNode& sw = net.switch_node(dci);
+    auto* router = dynamic_cast<LcmpRouter*>(sw.policy());
+    if (router == nullptr) {
+      continue;
+    }
+    SwitchTelemetry t;
+    t.switch_id = dci;
+    t.name = g.vertex(dci).name;
+    t.flow_cache_entries = router->flow_cache().size();
+    t.new_flow_decisions = router->stats().new_flow_decisions;
+    t.cache_hits = router->stats().cache_hits;
+    t.fallback_decisions = router->stats().fallback_decisions;
+    t.failover_rehashes = router->stats().failover_rehashes;
+    t.memory_bytes = router->MemoryBytes();
+    for (PortIndex p = 0; p < sw.num_ports(); ++p) {
+      const Port& port = sw.port(p);
+      t.port_queue_levels.push_back(
+          tables_.QueueLevel(port.queue_bytes(), port.rate_bps()));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,52 @@
+// Control plane (Sec. 5 "control-plane provisioning"): slow-path work only.
+//
+// Responsibilities:
+//   - build the bootstrap tables from the operator config,
+//   - precompute per-path C_path scores from the topology's propagation
+//     delays and provisioned capacities and install them on each DCI switch,
+//   - push the default fusion weights,
+//   - collect lightweight telemetry (queue levels, flow-cache occupancy).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/lcmp_router.h"
+#include "sim/network.h"
+
+namespace lcmp {
+
+// Telemetry snapshot for one DCI switch.
+struct SwitchTelemetry {
+  NodeId switch_id = kInvalidNode;
+  std::string name;
+  int flow_cache_entries = 0;
+  int64_t new_flow_decisions = 0;
+  int64_t cache_hits = 0;
+  int64_t fallback_decisions = 0;
+  int64_t failover_rehashes = 0;
+  size_t memory_bytes = 0;
+  std::vector<int> port_queue_levels;  // per inter-DC port
+};
+
+class ControlPlane {
+ public:
+  explicit ControlPlane(const LcmpConfig& config);
+
+  // Installs precomputed C_path tables on every DCI switch running an
+  // LcmpRouter. Safe to call again after provisioning changes.
+  void Provision(Network& net);
+
+  // Collects per-switch telemetry (Sec. 5 "lightweight telemetry").
+  std::vector<SwitchTelemetry> CollectTelemetry(Network& net) const;
+
+  const LcmpConfig& config() const { return config_; }
+  const BootstrapTables& tables() const { return tables_; }
+
+ private:
+  LcmpConfig config_;
+  BootstrapTables tables_;
+};
+
+}  // namespace lcmp

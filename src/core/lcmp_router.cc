@@ -1,0 +1,147 @@
+#include "core/lcmp_router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/path_quality.h"
+
+namespace lcmp {
+
+LcmpRouter::LcmpRouter(SwitchNode& sw, const LcmpConfig& config,
+                       std::shared_ptr<const BootstrapTables> tables)
+    : config_(config),
+      tables_(std::move(tables)),
+      estimator_(config, tables_.get(), sw.num_ports()),
+      flow_cache_(config.flow_cache_capacity, config.flow_idle_timeout) {
+  LCMP_CHECK(tables_ != nullptr);
+  cpath_tables_.resize(static_cast<size_t>(std::max(sw.NumDcs(), 1)));
+}
+
+void LcmpRouter::InstallPathTable(DcId dst_dc, std::vector<uint8_t> cpath_scores) {
+  if (static_cast<size_t>(dst_dc) >= cpath_tables_.size()) {
+    cpath_tables_.resize(static_cast<size_t>(dst_dc) + 1);
+  }
+  cpath_tables_[static_cast<size_t>(dst_dc)] = std::move(cpath_scores);
+}
+
+const std::vector<uint8_t>& LcmpRouter::PathTableFor(SwitchNode& sw, DcId dst_dc,
+                                                     std::span<const PathCandidate> candidates) {
+  if (static_cast<size_t>(dst_dc) >= cpath_tables_.size()) {
+    cpath_tables_.resize(static_cast<size_t>(dst_dc) + 1);
+  }
+  std::vector<uint8_t>& table = cpath_tables_[static_cast<size_t>(dst_dc)];
+  if (table.size() != candidates.size()) {
+    // On-demand table creation from the candidates' control-plane attributes
+    // (normally ControlPlane::Provision pre-installs this).
+    table.resize(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      table[i] = CalcPathQuality(candidates[i].path_delay_ns, candidates[i].bottleneck_bps,
+                                 config_, *tables_);
+    }
+    (void)sw;
+  }
+  return table;
+}
+
+void LcmpRouter::RefreshCongestion(SwitchNode& sw, std::span<const PathCandidate> candidates) {
+  const TimeNs now = sw.sim().now();
+  for (const PathCandidate& c : candidates) {
+    if (estimator_.NeedsRefresh(c.port, now)) {
+      const Port& port = sw.port(c.port);
+      estimator_.Sample(c.port, port.queue_bytes(), port.rate_bps(), now);
+    }
+  }
+}
+
+PortIndex LcmpRouter::DecideNewFlow(SwitchNode& sw, const Packet& pkt,
+                                    std::span<const PathCandidate> candidates) {
+  // (1) refresh congestion state of stale candidate ports.
+  RefreshCongestion(sw, candidates);
+  const DcId dst_dc = sw.DstDcOf(pkt);
+  const std::vector<uint8_t>& cpath = PathTableFor(sw, dst_dc, candidates);
+
+  // (2)+(3) per-candidate scores and fused cost, live ports only.
+  scored_.clear();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const PathCandidate& c = candidates[i];
+    if (!sw.port(c.port).up()) {
+      continue;
+    }
+    const uint8_t cong = estimator_.CongScore(c.port, sw.port(c.port).rate_bps());
+    ScoredCandidate s;
+    s.port = c.port;
+    s.cong_score = cong;
+    s.fused_cost = config_.alpha * static_cast<int32_t>(cpath[i]) +
+                   config_.beta * static_cast<int32_t>(cong);
+    scored_.push_back(s);
+  }
+  if (scored_.empty()) {
+    return kInvalidPort;
+  }
+  // (4) filter + diversity-preserving hash.
+  const uint64_t h = HashFlowKey(pkt.key, 0x1c3fULL ^ static_cast<uint64_t>(sw.id()));
+  const SelectionResult sel = SelectDiverse(scored_, h, config_, scratch_);
+  ++stats_.new_flow_decisions;
+  if (sel.used_fallback) {
+    ++stats_.fallback_decisions;
+  }
+  // (5) record the mapping for path consistency.
+  if (sel.port != kInvalidPort) {
+    flow_cache_.Insert(RoutingFlowId(pkt.key), sel.port, sw.sim().now());
+  }
+  return sel.port;
+}
+
+PortIndex LcmpRouter::SelectPort(SwitchNode& sw, const Packet& pkt,
+                                 std::span<const PathCandidate> candidates) {
+  ++stats_.packets;
+  const TimeNs now = sw.sim().now();
+  const FlowId fid = RoutingFlowId(pkt.key);
+  const PortIndex cached = flow_cache_.Lookup(fid, now);
+  if (cached != kInvalidPort) {
+    if (sw.port(cached).up()) {
+      ++stats_.cache_hits;
+      return cached;
+    }
+    // Data-plane fast failover: lazily invalidate the dead mapping and
+    // treat this packet as the flow's first (Sec. 3.4).
+    flow_cache_.Invalidate(fid);
+    ++stats_.failover_rehashes;
+  }
+  return DecideNewFlow(sw, pkt, candidates);
+}
+
+void LcmpRouter::OnTick(SwitchNode& sw) {
+  ++ticks_;
+  // Background monitor: sample every inter-DC egress so T/D evolve even when
+  // no new flow arrives (Sec. 3.3 "iterates over device ports").
+  const TimeNs now = sw.sim().now();
+  for (PortIndex p = 0; p < sw.num_ports(); ++p) {
+    const Port& port = sw.port(p);
+    estimator_.Sample(p, port.queue_bytes(), port.rate_bps(), now);
+  }
+  // Periodic flow-cache GC at the configured (coarser) cadence.
+  const int64_t ticks_per_gc = std::max<int64_t>(config_.gc_period / config_.sample_interval, 1);
+  if (ticks_ % ticks_per_gc == 0) {
+    stats_.gc_evictions += flow_cache_.Gc(now);
+  }
+}
+
+size_t LcmpRouter::MemoryBytes() const {
+  size_t cpath_bytes = 0;
+  for (const auto& t : cpath_tables_) {
+    cpath_bytes += t.size();
+  }
+  return estimator_.MemoryBytes() + flow_cache_.MemoryBytes() + tables_->MemoryBytes() +
+         cpath_bytes;
+}
+
+PolicyFactory MakeLcmpFactory(const LcmpConfig& config) {
+  // One shared bootstrap-table instance; routers are per switch.
+  auto tables = std::make_shared<const BootstrapTables>(BootstrapTables::Build(config));
+  return [config, tables](SwitchNode& sw) {
+    return std::make_unique<LcmpRouter>(sw, config, tables);
+  };
+}
+
+}  // namespace lcmp

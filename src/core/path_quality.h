@@ -1,0 +1,33 @@
+// Compact control-plane path-quality representation (Sec. 3.2).
+//
+//   delayScore   = CalcDelayCost(one-way delay)        (Alg. 1)
+//   linkCapScore = CalcLinkCapCost(bottleneck rate)    (Alg. 2)
+//   C_path       = min((w_dl*delayScore + w_lc*linkCapScore) >> S_path, 255)
+//
+// All functions are pure, integer-only (shifts, adds, compares, one small
+// table lookup) and return 8-bit scores.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/bootstrap_tables.h"
+#include "core/config.h"
+
+namespace lcmp {
+
+// Alg. 1: saturating, shift-based mapping from one-way path delay to a 0-255
+// score. The shift amount is derived from config.delay_saturation so that
+// delays at or above the saturation point map to 255.
+uint8_t CalcDelayCost(TimeNs path_delay_ns, const LcmpConfig& config);
+
+// Alg. 2: capacity-class lookup. Faster links fall into higher classes and
+// get *lower* cost scores.
+uint8_t CalcLinkCapCost(int64_t bottleneck_bps, const LcmpConfig& config,
+                        const BootstrapTables& tables);
+
+// Eq. (2): fused path-quality score.
+uint8_t CalcPathQuality(TimeNs path_delay_ns, int64_t bottleneck_bps, const LcmpConfig& config,
+                        const BootstrapTables& tables);
+
+}  // namespace lcmp

@@ -1,0 +1,50 @@
+#include "core/selector.h"
+
+#include <algorithm>
+
+namespace lcmp {
+
+SelectionResult SelectDiverse(std::span<const ScoredCandidate> candidates, uint64_t flow_hash,
+                              const LcmpConfig& config, std::vector<ScoredCandidate>& scratch) {
+  SelectionResult result;
+  if (candidates.empty()) {
+    return result;
+  }
+  if (candidates.size() == 1) {
+    result.port = candidates[0].port;
+    result.reduced_set_size = 1;
+    return result;
+  }
+  scratch.assign(candidates.begin(), candidates.end());
+  // Small-N sort by (cost, port); the port tiebreak keeps ordering stable so
+  // equal-cost candidates land in deterministic positions.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.fused_cost < b.fused_cost ||
+                     (a.fused_cost == b.fused_cost && a.port < b.port);
+            });
+
+  // All-congested fallback: no point spreading across uniformly bad paths.
+  const bool all_congested =
+      std::all_of(scratch.begin(), scratch.end(), [&](const ScoredCandidate& c) {
+        return c.cong_score >= config.all_congested_threshold;
+      });
+  if (all_congested) {
+    result.port = scratch.front().port;
+    result.reduced_set_size = 1;
+    result.used_fallback = true;
+    return result;
+  }
+
+  // Stage 1: drop the high-cost suffix; keep at least one candidate.
+  size_t keep = scratch.size() * static_cast<size_t>(config.keep_num) /
+                static_cast<size_t>(config.keep_den);
+  keep = std::max<size_t>(keep, 1);
+  // Stage 2: hash-based pick inside the reduced set.
+  const size_t pick = flow_hash % keep;
+  result.port = scratch[pick].port;
+  result.reduced_set_size = static_cast<int>(keep);
+  return result;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,42 @@
+// Diversity-preserving two-stage selection (Sec. 3.4).
+//
+// Stage 1 sorts candidates by fused cost C(p) and removes the high-cost
+// suffix (keeping the lower keep_num/keep_den by default the lower half).
+// Stage 2 hashes the flow into the reduced set (ECMP inside the low-cost
+// subset) so simultaneous arrivals do not herd onto one egress.
+//
+// Fallback: when every candidate is highly congested, randomizing among
+// uniformly bad choices is pointless, so the minimum-cost candidate wins.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+
+namespace lcmp {
+
+// One scored candidate entering selection.
+struct ScoredCandidate {
+  PortIndex port = kInvalidPort;
+  int32_t fused_cost = 0;    // C(p) = alpha*C_path + beta*C_cong
+  uint8_t cong_score = 0;    // C_cong(p), drives the all-congested fallback
+};
+
+// Outcome breakdown, exposed for tests and telemetry.
+struct SelectionResult {
+  PortIndex port = kInvalidPort;
+  int reduced_set_size = 0;
+  bool used_fallback = false;  // all-congested minimum-cost fallback taken
+};
+
+// Applies the two-stage selection. `flow_hash` is the per-flow hash used for
+// stage 2. `scratch` is caller-provided to keep the hot path allocation-free
+// (the data-plane equivalent sorts in registers).
+SelectionResult SelectDiverse(std::span<const ScoredCandidate> candidates, uint64_t flow_hash,
+                              const LcmpConfig& config,
+                              std::vector<ScoredCandidate>& scratch);
+
+}  // namespace lcmp

@@ -1,0 +1,71 @@
+#include "harness/csv_writer.h"
+
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace lcmp {
+namespace {
+
+// RAII FILE holder.
+struct File {
+  explicit File(const std::string& path) : f(std::fopen(path.c_str(), "w")) {}
+  ~File() {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+  FILE* f;
+};
+
+}  // namespace
+
+bool WriteFlowSamplesCsv(const std::string& path, const ExperimentResult& result) {
+  File file(path);
+  if (file.f == nullptr) {
+    LCMP_ERROR("cannot open %s for writing", path.c_str());
+    return false;
+  }
+  std::fprintf(file.f, "flow_bytes,fct_ns,ideal_fct_ns,slowdown,src_dc,dst_dc\n");
+  for (const auto& s : result.samples) {
+    std::fprintf(file.f, "%llu,%lld,%lld,%.6f,%d,%d\n",
+                 static_cast<unsigned long long>(s.bytes), static_cast<long long>(s.fct),
+                 static_cast<long long>(s.ideal_fct), s.slowdown, s.src_dc, s.dst_dc);
+  }
+  return true;
+}
+
+bool WriteLinkUtilizationCsv(const std::string& path, const ExperimentResult& result) {
+  File file(path);
+  if (file.f == nullptr) {
+    LCMP_ERROR("cannot open %s for writing", path.c_str());
+    return false;
+  }
+  std::fprintf(file.f, "link,from,to,rate_bps,bytes,utilization\n");
+  for (const auto& u : result.link_utils) {
+    std::fprintf(file.f, "%s,%d,%d,%lld,%lld,%.6f\n", u.name.c_str(), u.from, u.to,
+                 static_cast<long long>(u.rate_bps), static_cast<long long>(u.bytes),
+                 u.utilization);
+  }
+  return true;
+}
+
+bool WriteBucketsCsv(const std::string& path, const ExperimentResult& result) {
+  File file(path);
+  if (file.f == nullptr) {
+    LCMP_ERROR("cannot open %s for writing", path.c_str());
+    return false;
+  }
+  std::fprintf(file.f, "size_hi_bytes,count,p50,p95,p99,mean\n");
+  for (const auto& b : result.buckets) {
+    const unsigned long long hi = b.size_hi == std::numeric_limits<uint64_t>::max()
+                                      ? 0ULL
+                                      : static_cast<unsigned long long>(b.size_hi);
+    std::fprintf(file.f, "%llu,%d,%.4f,%.4f,%.4f,%.4f\n", hi, b.stats.count, b.stats.p50,
+                 b.stats.p95, b.stats.p99, b.stats.mean);
+  }
+  return true;
+}
+
+}  // namespace lcmp

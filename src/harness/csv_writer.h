@@ -1,0 +1,23 @@
+// CSV export of experiment results (the artifact's analysis/ folder writes
+// the same kinds of files for its plotting scripts).
+#pragma once
+
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace lcmp {
+
+// Writes one row per completed flow:
+//   flow_bytes,fct_ns,ideal_fct_ns,slowdown,src_dc,dst_dc
+bool WriteFlowSamplesCsv(const std::string& path, const ExperimentResult& result);
+
+// Writes one row per directed inter-DC link:
+//   link,from,to,rate_bps,bytes,utilization
+bool WriteLinkUtilizationCsv(const std::string& path, const ExperimentResult& result);
+
+// Writes one row per flow-size bucket:
+//   size_hi_bytes,count,p50,p95,p99,mean
+bool WriteBucketsCsv(const std::string& path, const ExperimentResult& result);
+
+}  // namespace lcmp

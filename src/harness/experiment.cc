@@ -1,0 +1,194 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "core/lcmp_router.h"
+#include "routing/ecmp.h"
+#include "routing/redte.h"
+#include "routing/ucmp.h"
+#include "routing/wcmp.h"
+
+namespace lcmp {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kEcmp:
+      return "ECMP";
+    case PolicyKind::kWcmp:
+      return "WCMP";
+    case PolicyKind::kUcmp:
+      return "UCMP";
+    case PolicyKind::kRedte:
+      return "RedTE";
+    case PolicyKind::kLcmp:
+      return "LCMP";
+  }
+  return "?";
+}
+
+const char* TopologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kTestbed8:
+      return "testbed-8dc";
+    case TopologyKind::kBso13:
+      return "bso-13dc";
+  }
+  return "?";
+}
+
+PolicyFactory MakePolicyFactory(PolicyKind kind, const LcmpConfig& lcmp_config) {
+  switch (kind) {
+    case PolicyKind::kEcmp:
+      return [](SwitchNode&) { return std::make_unique<EcmpPolicy>(); };
+    case PolicyKind::kWcmp:
+      return [](SwitchNode&) { return std::make_unique<WcmpPolicy>(); };
+    case PolicyKind::kUcmp:
+      return [](SwitchNode&) { return std::make_unique<UcmpPolicy>(); };
+    case PolicyKind::kRedte:
+      return [](SwitchNode&) { return std::make_unique<RedtePolicy>(); };
+    case PolicyKind::kLcmp:
+      return MakeLcmpFactory(lcmp_config);
+  }
+  return [](SwitchNode&) { return std::make_unique<EcmpPolicy>(); };
+}
+
+Graph BuildTopology(const ExperimentConfig& config) {
+  switch (config.topo) {
+    case TopologyKind::kTestbed8: {
+      Testbed8Options opts;
+      opts.fabric.hosts = config.hosts_per_dc;
+      return BuildTestbed8(opts);
+    }
+    case TopologyKind::kBso13: {
+      Bso13Options opts;
+      opts.fabric.hosts = config.hosts_per_dc;
+      return BuildBso13(opts);
+    }
+  }
+  return BuildTestbed8({});
+}
+
+std::vector<std::pair<DcId, DcId>> BuildPairing(const ExperimentConfig& config, int num_dcs) {
+  if (config.pairing == PairingKind::kAllToAll) {
+    return AllOrderedDcPairs(num_dcs);
+  }
+  if (config.pairing == PairingKind::kAllToAllFocusEndpoints) {
+    std::vector<std::pair<DcId, DcId>> pairs = AllOrderedDcPairs(num_dcs);
+    const DcId a = 0;
+    const DcId b = static_cast<DcId>(num_dcs - 1);
+    for (int i = 0; i < 3; ++i) {
+      pairs.emplace_back(a, b);
+      pairs.emplace_back(b, a);
+    }
+    return pairs;
+  }
+  // Endpoint pair: first and last DC, both directions (DC1 <-> DC8 on the
+  // testbed topology; DC1 <-> DC13 endpoints carry hosts in bso13 too).
+  const DcId a = 0;
+  const DcId b = static_cast<DcId>(num_dcs - 1);
+  return {{a, b}, {b, a}};
+}
+
+SlowdownStats ExperimentResult::ForDcPair(DcId src, DcId dst) const {
+  SampleSet set;
+  for (const auto& s : samples) {
+    if (s.src_dc == src && s.dst_dc == dst) {
+      set.Add(s.slowdown);
+    }
+  }
+  SlowdownStats out;
+  out.count = static_cast<int>(set.size());
+  if (out.count > 0) {
+    out.mean = set.Mean();
+    out.p50 = set.Percentile(50);
+    out.p95 = set.Percentile(95);
+    out.p99 = set.Percentile(99);
+  }
+  return out;
+}
+
+SlowdownStats ExperimentResult::ForDcPairBidir(DcId a, DcId b) const {
+  SampleSet set;
+  for (const auto& s : samples) {
+    if ((s.src_dc == a && s.dst_dc == b) || (s.src_dc == b && s.dst_dc == a)) {
+      set.Add(s.slowdown);
+    }
+  }
+  SlowdownStats out;
+  out.count = static_cast<int>(set.size());
+  if (out.count > 0) {
+    out.mean = set.Mean();
+    out.p50 = set.Percentile(50);
+    out.p95 = set.Percentile(95);
+    out.p99 = set.Percentile(99);
+  }
+  return out;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  LCMP_CHECK(ValidateConfig(config.lcmp));
+  const Graph graph = BuildTopology(config);
+
+  NetworkConfig net_config;
+  net_config.seed = config.seed;
+  net_config.enable_int = CcNeedsInt(config.cc);
+  Network net(graph, net_config, MakePolicyFactory(config.policy, config.lcmp));
+
+  // Control plane provisioning (no-op for non-LCMP policies).
+  ControlPlane control_plane(config.lcmp);
+  control_plane.Provision(net);
+
+  // Workload.
+  const auto pairs = BuildPairing(config, graph.num_dcs());
+  TrafficGenConfig traffic;
+  traffic.workload = config.workload;
+  traffic.offered_bps = OfferedLoadForUtilization(graph, net.routes(), pairs, config.load);
+  traffic.num_flows = config.num_flows;
+  traffic.seed = Mix64(config.seed ^ 0x7ea1);
+  const std::vector<FlowSpec> flows = GenerateTraffic(graph, pairs, traffic);
+
+  // Transport + stats.
+  FctRecorder recorder(&net.graph());
+  TransportConfig tconfig;
+  tconfig.emulation_mode = config.emulation_mode;
+  Simulator& sim = net.sim();
+  const int expected = static_cast<int>(flows.size());
+  RdmaTransport transport(&net, tconfig, config.cc, [&](const FlowRecord& rec) {
+    recorder.OnComplete(rec);
+    if (recorder.completed() >= expected) {
+      sim.Stop();
+    }
+  });
+  for (const FlowSpec& f : flows) {
+    transport.ScheduleFlow(f);
+  }
+
+  LinkUtilizationTracker util(&net);
+  util.Begin();
+  net.StartPolicyTicks();
+  sim.Run(config.horizon);
+
+  ExperimentResult result;
+  result.config = config;
+  result.overall = recorder.Overall();
+  result.buckets = recorder.ByBuckets(SizeBucketEdges(config.workload));
+  result.link_utils = util.End();
+  result.samples = recorder.samples();
+  result.telemetry = control_plane.CollectTelemetry(net);
+  result.flows_completed = recorder.completed();
+  result.flows_requested = expected;
+  result.retransmitted_packets = transport.retransmitted_packets();
+  result.timeouts = transport.timeouts();
+  result.events_processed = sim.events_processed();
+  result.sim_end_time = sim.now();
+  result.multipath_pair_fraction = net.routes().MultipathPairFraction();
+  if (result.flows_completed < expected) {
+    LCMP_WARN("experiment finished %d/%d flows before the horizon (policy=%s load=%.2f)",
+              result.flows_completed, expected, PolicyKindName(config.policy), config.load);
+  }
+  return result;
+}
+
+}  // namespace lcmp

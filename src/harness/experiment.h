@@ -1,0 +1,88 @@
+// End-to-end experiment runner: builds topology + network + policy +
+// transport + workload, runs to completion, and returns the statistics every
+// paper figure is derived from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/control_plane.h"
+#include "routing/policy.h"
+#include "stats/fct_recorder.h"
+#include "stats/link_utilization.h"
+#include "topo/builders.h"
+#include "transport/rdma_transport.h"
+#include "workload/traffic_gen.h"
+
+namespace lcmp {
+
+enum class PolicyKind : uint8_t { kEcmp, kWcmp, kUcmp, kRedte, kLcmp };
+const char* PolicyKindName(PolicyKind kind);
+
+// Policy factory for a Network (LCMP consumes the LcmpConfig).
+PolicyFactory MakePolicyFactory(PolicyKind kind, const LcmpConfig& lcmp_config);
+
+enum class TopologyKind : uint8_t { kTestbed8, kBso13 };
+const char* TopologyKindName(TopologyKind kind);
+
+// Which (src DC, dst DC) pairs exchange traffic.
+enum class PairingKind : uint8_t {
+  kEndpointPair,    // DC1 <-> DC8 style, both directions (testbed workloads)
+  kAllToAll,        // every ordered DC pair
+  // All ordered pairs, with the endpoint pair (first DC, last DC) oversampled
+  // ~4x so pair-focused analyses (Fig. 8) get enough samples while the pair's
+  // share of offered load stays small (a heavy focus share would saturate the
+  // pair's low-delay route and wash out the effect being measured).
+  kAllToAllFocusEndpoints,
+};
+
+struct ExperimentConfig {
+  TopologyKind topo = TopologyKind::kTestbed8;
+  PairingKind pairing = PairingKind::kEndpointPair;
+  PolicyKind policy = PolicyKind::kLcmp;
+  CcKind cc = CcKind::kDcqcn;
+  WorkloadKind workload = WorkloadKind::kWebSearch;
+  double load = 0.3;       // target average inter-DC link utilization
+  int num_flows = 1000;
+  uint64_t seed = 1;
+  // SoftRoCE/Mininet-style host emulation (Fig. 5/6 testbed mode).
+  bool emulation_mode = false;
+  // LCMP tunables (ablations override alpha/beta/w_* here).
+  LcmpConfig lcmp;
+  // Safety horizon; the run stops early once all flows complete.
+  TimeNs horizon = Seconds(120);
+  int hosts_per_dc = 8;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  SlowdownStats overall;
+  std::vector<BucketStats> buckets;           // per workload-CDF size bucket
+  std::vector<LinkUtilization> link_utils;    // inter-DC directed links
+  std::vector<FctRecorder::Sample> samples;   // raw per-flow samples
+  std::vector<SwitchTelemetry> telemetry;     // LCMP switches only
+  int flows_completed = 0;
+  int flows_requested = 0;
+  int64_t retransmitted_packets = 0;
+  int64_t timeouts = 0;
+  uint64_t events_processed = 0;
+  TimeNs sim_end_time = 0;
+  double multipath_pair_fraction = 0;  // topology statistic (Sec. 6.2.1)
+
+  // Slowdown summary filtered to one ordered DC pair.
+  SlowdownStats ForDcPair(DcId src, DcId dst) const;
+  // Summary over both directions of a DC pair.
+  SlowdownStats ForDcPairBidir(DcId a, DcId b) const;
+};
+
+// Builds the experiment's graph (exposed for tests/examples).
+Graph BuildTopology(const ExperimentConfig& config);
+
+// Traffic pairing for the experiment's topology.
+std::vector<std::pair<DcId, DcId>> BuildPairing(const ExperimentConfig& config, int num_dcs);
+
+// Runs one experiment to completion (or the horizon) and gathers results.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+}  // namespace lcmp

@@ -1,0 +1,80 @@
+#include "harness/flags.h"
+
+#include <cstdlib>
+
+namespace lcmp {
+
+FlagSet& FlagSet::Define(const std::string& name, const std::string& default_value,
+                         const std::string& help) {
+  if (flags_.find(name) == flags_.end()) {
+    order_.push_back(name);
+  }
+  flags_[name] = Flag{default_value, default_value, help};
+  return *this;
+}
+
+bool FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + arg;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: --" + name;
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? std::string() : it->second.value;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 10);
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  const std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n\nflags:\n";
+  for (const std::string& name : order_) {
+    const Flag& f = flags_.at(name);
+    out += "  --" + name + " (default: " + f.default_value + ")\n      " + f.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace lcmp

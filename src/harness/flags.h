@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the lcmp_sim CLI (no external
+// dependencies). Flags look like --name=value or --name value; --help lists
+// registered flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lcmp {
+
+class FlagSet {
+ public:
+  // Parses argv; returns false (and fills error()) on malformed input or an
+  // unknown flag. Registered flags must be declared before Parse.
+  bool Parse(int argc, const char* const* argv);
+
+  // Declares a flag with a default and a help string; returns *this for
+  // chaining.
+  FlagSet& Define(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+
+  // Formats the flag table for --help.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,113 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "harness/table.h"
+
+namespace lcmp {
+
+std::vector<SweepCell> RunPolicyLoadSweep(const ExperimentConfig& base,
+                                          const std::vector<PolicyKind>& policies,
+                                          const std::vector<double>& loads) {
+  std::vector<SweepCell> cells;
+  for (const double load : loads) {
+    for (const PolicyKind policy : policies) {
+      ExperimentConfig config = base;
+      config.policy = policy;
+      config.load = load;
+      cells.push_back(SweepCell{policy, load, RunExperiment(config)});
+    }
+  }
+  return cells;
+}
+
+void PrintSlowdownTable(const std::string& title, const std::vector<SweepCell>& cells,
+                        bool dc_pair_only, DcId pair_a, DcId pair_b) {
+  std::cout << "\n== " << title << " ==\n";
+  TablePrinter table({"load", "policy", "flows", "p50 slowdown", "p99 slowdown",
+                      "p50 vs LCMP", "p99 vs LCMP"});
+  // Locate the LCMP reference per load for the reduction columns.
+  std::map<double, SlowdownStats> lcmp_ref;
+  auto stats_of = [&](const SweepCell& c) {
+    if (!dc_pair_only) {
+      return c.result.overall;
+    }
+    DcId b = pair_b;
+    if (b < 0) {
+      // Default: the highest DC id observed among samples (the far endpoint).
+      for (const auto& s : c.result.samples) {
+        b = std::max({b, s.src_dc, s.dst_dc});
+      }
+    }
+    return c.result.ForDcPairBidir(pair_a, b);
+  };
+  for (const SweepCell& c : cells) {
+    if (c.policy == PolicyKind::kLcmp) {
+      lcmp_ref[c.load] = stats_of(c);
+    }
+  }
+  for (const SweepCell& c : cells) {
+    const SlowdownStats s = stats_of(c);
+    std::string dp50 = "-", dp99 = "-";
+    auto ref = lcmp_ref.find(c.load);
+    if (ref != lcmp_ref.end() && c.policy != PolicyKind::kLcmp && s.p50 > 0 && s.p99 > 0) {
+      // Reduction achieved by LCMP relative to this baseline.
+      dp50 = FmtPct((ref->second.p50 - s.p50) / s.p50);
+      dp99 = FmtPct((ref->second.p99 - s.p99) / s.p99);
+    }
+    table.AddRow({Fmt(c.load, 2), PolicyKindName(c.policy), std::to_string(s.count),
+                  Fmt(s.p50), Fmt(s.p99), dp50, dp99});
+  }
+  table.Print();
+}
+
+void PrintBucketTable(const std::string& title, const std::vector<NamedResult>& results) {
+  std::cout << "\n== " << title << " ==\n";
+  TablePrinter table({"flow size", "variant", "count", "p50 slowdown", "p99 slowdown"});
+  if (results.empty()) {
+    table.Print();
+    return;
+  }
+  // Iterate buckets of the first result; match others by bucket edge.
+  for (const BucketStats& ref_bucket : results.front().result.buckets) {
+    for (const NamedResult& nr : results) {
+      for (const BucketStats& b : nr.result.buckets) {
+        if (b.size_hi == ref_bucket.size_hi) {
+          table.AddRow({FmtBytes(b.size_hi == std::numeric_limits<uint64_t>::max()
+                                     ? ref_bucket.size_lo
+                                     : b.size_hi),
+                        nr.name, std::to_string(b.stats.count), Fmt(b.stats.p50),
+                        Fmt(b.stats.p99)});
+        }
+      }
+    }
+  }
+  table.Print();
+}
+
+void PrintLinkUtilizationTable(const std::string& title,
+                               const std::vector<NamedResult>& results) {
+  std::cout << "\n== " << title << " ==\n";
+  std::vector<std::string> headers = {"directed link"};
+  for (const NamedResult& nr : results) {
+    headers.push_back(nr.name + " util");
+  }
+  TablePrinter table(headers);
+  if (results.empty()) {
+    table.Print();
+    return;
+  }
+  const auto& ref_links = results.front().result.link_utils;
+  for (size_t i = 0; i < ref_links.size(); ++i) {
+    std::vector<std::string> row = {ref_links[i].name};
+    for (const NamedResult& nr : results) {
+      row.push_back(Fmt(nr.result.link_utils[i].utilization * 100.0, 1) + "%");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace lcmp

@@ -1,0 +1,40 @@
+// Figure-level scenario helpers shared by the bench binaries: run a grid of
+// (policy x load) experiments and print the paper-style comparison tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace lcmp {
+
+// Result of one grid cell.
+struct SweepCell {
+  PolicyKind policy;
+  double load;
+  ExperimentResult result;
+};
+
+// Runs every (policy, load) combination of `base` sequentially.
+std::vector<SweepCell> RunPolicyLoadSweep(const ExperimentConfig& base,
+                                          const std::vector<PolicyKind>& policies,
+                                          const std::vector<double>& loads);
+
+// Prints "load | policy | p50 | p99 | vs-LCMP reductions" rows for a sweep
+// (the shape of Fig. 5 / 7 / 9 / 10).
+void PrintSlowdownTable(const std::string& title, const std::vector<SweepCell>& cells,
+                        bool dc_pair_only = false, DcId pair_a = 0, DcId pair_b = -1);
+
+// Prints per-size-bucket p50/p99 rows for a set of named results
+// (the shape of Fig. 11).
+struct NamedResult {
+  std::string name;
+  ExperimentResult result;
+};
+void PrintBucketTable(const std::string& title, const std::vector<NamedResult>& results);
+
+// Prints Fig. 1b-style per-link utilization for a set of named results.
+void PrintLinkUtilizationTable(const std::string& title, const std::vector<NamedResult>& results);
+
+}  // namespace lcmp

@@ -1,0 +1,74 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  LCMP_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto print_sep = [&]() {
+    os << "+";
+    for (const size_t w : widths) {
+      os << std::string(w + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_sep();
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FmtPct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.0f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace lcmp

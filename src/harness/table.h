@@ -1,0 +1,30 @@
+// Aligned ASCII table output for the bench binaries (each bench prints the
+// rows/series of one paper figure).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace lcmp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "12.34" style fixed formatting.
+std::string Fmt(double v, int precision = 2);
+// Human-readable byte size ("3.4KB", "29.7MB").
+std::string FmtBytes(uint64_t bytes);
+// Percent with sign, e.g. "-41%".
+std::string FmtPct(double fraction);
+
+}  // namespace lcmp

@@ -1,0 +1,11 @@
+#include "routing/ecmp.h"
+
+namespace lcmp {
+
+PortIndex EcmpPolicy::SelectPort(SwitchNode& sw, const Packet& pkt,
+                                 std::span<const PathCandidate> candidates) {
+  // Pure hash: per-flow deterministic, capacity- and delay-oblivious.
+  return HashPickLive(sw, pkt, candidates, /*salt=*/0x0ec3);
+}
+
+}  // namespace lcmp

@@ -1,0 +1,16 @@
+// ECMP: oblivious per-flow hashing across all candidate next hops
+// (RFC 2992). The widely deployed default the paper compares against.
+#pragma once
+
+#include "routing/policy.h"
+
+namespace lcmp {
+
+class EcmpPolicy : public MultipathPolicy {
+ public:
+  PortIndex SelectPort(SwitchNode& sw, const Packet& pkt,
+                       std::span<const PathCandidate> candidates) override;
+  const char* name() const override { return "ecmp"; }
+};
+
+}  // namespace lcmp

@@ -1,0 +1,60 @@
+#include "routing/policy.h"
+
+#include <vector>
+
+namespace lcmp {
+
+PortIndex HashPickLive(SwitchNode& sw, const Packet& pkt,
+                       std::span<const PathCandidate> candidates, uint64_t salt) {
+  // Collect live candidates without allocating for the common all-up case.
+  int live = 0;
+  for (const PathCandidate& c : candidates) {
+    if (sw.port(c.port).up()) {
+      ++live;
+    }
+  }
+  if (live == 0) {
+    return kInvalidPort;
+  }
+  const uint64_t h = HashFlowKey(pkt.key, salt ^ static_cast<uint64_t>(sw.id()));
+  uint64_t pick = h % static_cast<uint64_t>(live);
+  for (const PathCandidate& c : candidates) {
+    if (!sw.port(c.port).up()) {
+      continue;
+    }
+    if (pick == 0) {
+      return c.port;
+    }
+    --pick;
+  }
+  return kInvalidPort;
+}
+
+std::optional<PortIndex> StickyFlowMap::Lookup(FlowId flow, TimeNs now) {
+  auto it = map_.find(flow);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  if (now - it->second.last_seen > idle_timeout_) {
+    map_.erase(it);
+    return std::nullopt;
+  }
+  it->second.last_seen = now;
+  return it->second.port;
+}
+
+void StickyFlowMap::Insert(FlowId flow, PortIndex port, TimeNs now) {
+  map_[flow] = Entry{port, now};
+}
+
+void StickyFlowMap::Gc(TimeNs now) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (now - it->second.last_seen > idle_timeout_) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace lcmp

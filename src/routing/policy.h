@@ -1,0 +1,45 @@
+// Shared helpers for multipath policies (baselines live here; LCMP in core/).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "sim/node.h"
+
+namespace lcmp {
+
+// Deterministic hash pick among the *live* candidates (down ports skipped).
+// Returns kInvalidPort when no candidate is usable.
+PortIndex HashPickLive(SwitchNode& sw, const Packet& pkt,
+                       std::span<const PathCandidate> candidates, uint64_t salt);
+
+// Minimal per-switch sticky flow table used by the stateful baselines
+// (UCMP, RedTE): new flows get a policy decision, later packets reuse it.
+// LCMP uses its own FlowCache (core/flow_cache.h) with the paper's exact
+// entry layout, GC and failover semantics.
+class StickyFlowMap {
+ public:
+  explicit StickyFlowMap(TimeNs idle_timeout = Milliseconds(500))
+      : idle_timeout_(idle_timeout) {}
+
+  // Returns the recorded port if the flow is live, refreshing last-seen.
+  std::optional<PortIndex> Lookup(FlowId flow, TimeNs now);
+
+  void Insert(FlowId flow, PortIndex port, TimeNs now);
+
+  // Drops entries idle for longer than the timeout.
+  void Gc(TimeNs now);
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    PortIndex port;
+    TimeNs last_seen;
+  };
+  TimeNs idle_timeout_;
+  std::unordered_map<FlowId, Entry> map_;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,110 @@
+#include "routing/redte.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+RedtePolicy::Group& RedtePolicy::GroupFor(SwitchNode& sw, const Packet& pkt,
+                                          std::span<const PathCandidate> candidates) {
+  const DcId dst_dc = sw.DstDcOf(pkt);
+  if (groups_.empty()) {
+    groups_.resize(static_cast<size_t>(sw.NumDcs()));
+  }
+  Group& g = groups_[static_cast<size_t>(dst_dc)];
+  if (g.ports.empty()) {
+    // Initialize split weights proportional to bottleneck capacity (what a
+    // TE controller would install as the steady-state allocation).
+    int64_t total_cap = 0;
+    for (const PathCandidate& c : candidates) {
+      total_cap += c.bottleneck_bps;
+    }
+    int assigned = 0;
+    for (const PathCandidate& c : candidates) {
+      g.ports.push_back(c.port);
+      PortState st;
+      st.weight_256 = static_cast<int>(256 * c.bottleneck_bps / std::max<int64_t>(total_cap, 1));
+      st.last_tx_bytes = sw.port(c.port).tx_bytes();
+      assigned += st.weight_256;
+      g.state.push_back(st);
+    }
+    if (!g.state.empty()) {
+      g.state.front().weight_256 += 256 - assigned;  // rounding remainder
+    }
+  }
+  return g;
+}
+
+PortIndex RedtePolicy::SelectPort(SwitchNode& sw, const Packet& pkt,
+                                  std::span<const PathCandidate> candidates) {
+  const TimeNs now = sw.sim().now();
+  if (auto cached = flows_.Lookup(RoutingFlowId(pkt.key), now); cached.has_value()) {
+    if (sw.port(*cached).up()) {
+      return *cached;
+    }
+  }
+  Group& g = GroupFor(sw, pkt, candidates);
+  int total = 0;
+  for (size_t i = 0; i < g.ports.size(); ++i) {
+    if (sw.port(g.ports[i]).up()) {
+      total += g.state[i].weight_256;
+    }
+  }
+  if (total <= 0) {
+    return HashPickLive(sw, pkt, candidates, 0x8ed7);
+  }
+  const uint64_t h = HashFlowKey(pkt.key, 0x8ed7ULL ^ static_cast<uint64_t>(sw.id()));
+  int point = static_cast<int>(h % static_cast<uint64_t>(total));
+  PortIndex chosen = kInvalidPort;
+  for (size_t i = 0; i < g.ports.size(); ++i) {
+    if (!sw.port(g.ports[i]).up()) {
+      continue;
+    }
+    point -= g.state[i].weight_256;
+    if (point < 0) {
+      chosen = g.ports[i];
+      break;
+    }
+  }
+  if (chosen != kInvalidPort) {
+    flows_.Insert(RoutingFlowId(pkt.key), chosen, now);
+  }
+  return chosen;
+}
+
+void RedtePolicy::OnTick(SwitchNode& sw) {
+  // 100 ms control loop: move split weight from the most- to the least-
+  // utilized candidate of every destination group.
+  for (Group& g : groups_) {
+    if (g.ports.size() < 2) {
+      continue;
+    }
+    double max_util = -1.0, min_util = 2.0;
+    int max_i = -1, min_i = -1;
+    for (size_t i = 0; i < g.ports.size(); ++i) {
+      Port& p = sw.port(g.ports[i]);
+      const int64_t delta = p.tx_bytes() - g.state[i].last_tx_bytes;
+      g.state[i].last_tx_bytes = p.tx_bytes();
+      const double capacity_bytes = static_cast<double>(p.rate_bps()) / 8.0 *
+                                    static_cast<double>(config_.control_period) / kNsPerSec;
+      const double util = capacity_bytes > 0 ? static_cast<double>(delta) / capacity_bytes : 0.0;
+      if (util > max_util) {
+        max_util = util;
+        max_i = static_cast<int>(i);
+      }
+      if (util < min_util) {
+        min_util = util;
+        min_i = static_cast<int>(i);
+      }
+    }
+    if (max_i >= 0 && min_i >= 0 && max_i != min_i && max_util - min_util > config_.rebalance_min_gap) {
+      const int step = std::min(config_.rebalance_step_256, g.state[static_cast<size_t>(max_i)].weight_256);
+      g.state[static_cast<size_t>(max_i)].weight_256 -= step;
+      g.state[static_cast<size_t>(min_i)].weight_256 += step;
+    }
+  }
+  flows_.Gc(sw.sim().now());
+}
+
+}  // namespace lcmp

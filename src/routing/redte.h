@@ -1,0 +1,56 @@
+// RedTE stand-in (Gui et al., SIGCOMM '24): distributed WAN traffic
+// engineering that adjusts per-destination traffic split ratios at edge
+// routers on a ~100 ms control loop. The published system learns the
+// adjustment with multi-agent RL; what matters for the paper's comparison is
+// the control-loop timescale, so we adjust the ratios with a measurement-
+// driven rebalancing step (shift weight from the most- to the least-utilized
+// candidate each period). On microsecond-scale RDMA bursts this loop is far
+// too slow and the policy degenerates to (weighted) static hashing, which is
+// exactly the behavior the paper reports for RedTE.
+#pragma once
+
+#include <vector>
+
+#include "routing/policy.h"
+
+namespace lcmp {
+
+struct RedteConfig {
+  TimeNs control_period = Milliseconds(100);
+  // Fraction (in 1/256ths) of split weight moved per period.
+  int rebalance_step_256 = 32;
+  // Minimum utilization gap between the most- and least-loaded candidate
+  // before weight moves (hysteresis).
+  double rebalance_min_gap = 0.05;
+  TimeNs sticky_timeout = Milliseconds(500);
+};
+
+class RedtePolicy : public MultipathPolicy {
+ public:
+  explicit RedtePolicy(const RedteConfig& config = {}) : config_(config) {}
+
+  PortIndex SelectPort(SwitchNode& sw, const Packet& pkt,
+                       std::span<const PathCandidate> candidates) override;
+  TimeNs tick_interval() const override { return config_.control_period; }
+  void OnTick(SwitchNode& sw) override;
+  const char* name() const override { return "redte"; }
+
+ private:
+  struct PortState {
+    int weight_256 = 0;      // current split weight (sums to 256 per group)
+    int64_t last_tx_bytes = 0;  // for utilization delta
+  };
+  // Split state per destination DC, keyed by the first candidate port seen.
+  struct Group {
+    std::vector<PortIndex> ports;
+    std::vector<PortState> state;
+  };
+
+  Group& GroupFor(SwitchNode& sw, const Packet& pkt, std::span<const PathCandidate> candidates);
+
+  RedteConfig config_;
+  std::vector<Group> groups_;       // indexed by dst DC
+  StickyFlowMap flows_{Milliseconds(500)};
+};
+
+}  // namespace lcmp

@@ -1,0 +1,64 @@
+#include "routing/ucmp.h"
+
+#include <limits>
+
+namespace lcmp {
+
+int64_t UcmpPolicy::CostOf(SwitchNode& sw, const PathCandidate& c) const {
+  const Port& port = sw.port(c.port);
+  // Capacity term: 1 Tbps / bottleneck -> 5 for 200G, 10 for 100G, 25 for 40G.
+  const int64_t cap_cost = Gbps(1000) / std::max<int64_t>(c.bottleneck_bps, 1);
+  // Queue-wait term in microseconds at the local egress.
+  const int64_t wait_us = port.queue_bytes() * 8 * 1'000'000 / port.rate_bps();
+  return config_.capacity_weight * cap_cost + config_.wait_weight * wait_us;
+}
+
+PortIndex UcmpPolicy::SelectPort(SwitchNode& sw, const Packet& pkt,
+                                 std::span<const PathCandidate> candidates) {
+  const TimeNs now = sw.sim().now();
+  if (auto cached = flows_.Lookup(RoutingFlowId(pkt.key), now); cached.has_value()) {
+    if (sw.port(*cached).up()) {
+      return *cached;
+    }
+  }
+  // New flow: minimum unified cost; per-flow hash breaks ties so equal-cost
+  // high-capacity paths share load.
+  int64_t best_cost = std::numeric_limits<int64_t>::max();
+  int ties = 0;
+  for (const PathCandidate& c : candidates) {
+    if (!sw.port(c.port).up()) {
+      continue;
+    }
+    const int64_t cost = CostOf(sw, c);
+    if (cost < best_cost) {
+      best_cost = cost;
+      ties = 1;
+    } else if (cost == best_cost) {
+      ++ties;
+    }
+  }
+  if (ties == 0) {
+    return kInvalidPort;
+  }
+  const uint64_t h = HashFlowKey(pkt.key, 0x0c3a ^ static_cast<uint64_t>(sw.id()));
+  uint64_t pick = h % static_cast<uint64_t>(ties);
+  PortIndex chosen = kInvalidPort;
+  for (const PathCandidate& c : candidates) {
+    if (!sw.port(c.port).up() || CostOf(sw, c) != best_cost) {
+      continue;
+    }
+    if (pick == 0) {
+      chosen = c.port;
+      break;
+    }
+    --pick;
+  }
+  if (chosen != kInvalidPort) {
+    flows_.Insert(RoutingFlowId(pkt.key), chosen, now);
+  }
+  return chosen;
+}
+
+void UcmpPolicy::OnTick(SwitchNode& sw) { flows_.Gc(sw.sim().now()); }
+
+}  // namespace lcmp

@@ -1,0 +1,39 @@
+// UCMP reproduction (Li et al., SIGCOMM '24): unified-cost multipath routing
+// designed for reconfigurable DCNs. Its cost blends a capacity term (the
+// dominant one in a conventional WAN, where the circuit-wait component is
+// zero) with an estimate of the queue-wait at the egress. The effect the
+// paper's motivation highlights: traffic concentrates on high-capacity paths
+// regardless of their propagation delay, leaving low-delay, lower-capacity
+// links idle.
+#pragma once
+
+#include "routing/policy.h"
+
+namespace lcmp {
+
+struct UcmpConfig {
+  // Abstract cost = capacity_weight * (1 Tbps / bottleneck) +
+  //                 wait_weight * queue_wait_us.
+  int64_t capacity_weight = 10;
+  int64_t wait_weight = 1;
+  TimeNs sticky_timeout = Milliseconds(500);
+};
+
+class UcmpPolicy : public MultipathPolicy {
+ public:
+  explicit UcmpPolicy(const UcmpConfig& config = {}) : config_(config) {}
+
+  PortIndex SelectPort(SwitchNode& sw, const Packet& pkt,
+                       std::span<const PathCandidate> candidates) override;
+  TimeNs tick_interval() const override { return Milliseconds(100); }
+  void OnTick(SwitchNode& sw) override;
+  const char* name() const override { return "ucmp"; }
+
+ private:
+  int64_t CostOf(SwitchNode& sw, const PathCandidate& c) const;
+
+  UcmpConfig config_;
+  StickyFlowMap flows_{Milliseconds(500)};
+};
+
+}  // namespace lcmp

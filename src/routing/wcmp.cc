@@ -1,0 +1,32 @@
+#include "routing/wcmp.h"
+
+namespace lcmp {
+
+PortIndex WcmpPolicy::SelectPort(SwitchNode& sw, const Packet& pkt,
+                                 std::span<const PathCandidate> candidates) {
+  // Weight each live candidate by bottleneck capacity in Gbps and pick a
+  // deterministic per-flow point in the cumulative weight range.
+  int64_t total = 0;
+  for (const PathCandidate& c : candidates) {
+    if (sw.port(c.port).up()) {
+      total += c.bottleneck_bps / Gbps(1) + 1;
+    }
+  }
+  if (total == 0) {
+    return kInvalidPort;
+  }
+  const uint64_t h = HashFlowKey(pkt.key, 0x3c3cULL ^ static_cast<uint64_t>(sw.id()));
+  int64_t point = static_cast<int64_t>(h % static_cast<uint64_t>(total));
+  for (const PathCandidate& c : candidates) {
+    if (!sw.port(c.port).up()) {
+      continue;
+    }
+    point -= c.bottleneck_bps / Gbps(1) + 1;
+    if (point < 0) {
+      return c.port;
+    }
+  }
+  return kInvalidPort;
+}
+
+}  // namespace lcmp

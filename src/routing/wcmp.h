@@ -1,0 +1,17 @@
+// WCMP: weighted-cost multipathing (Zhou et al., EuroSys '14). Static hash
+// weights proportional to each candidate's bottleneck capacity; no congestion
+// awareness. Included as the "static weights" baseline of Sec. 2.2.
+#pragma once
+
+#include "routing/policy.h"
+
+namespace lcmp {
+
+class WcmpPolicy : public MultipathPolicy {
+ public:
+  PortIndex SelectPort(SwitchNode& sw, const Packet& pkt,
+                       std::span<const PathCandidate> candidates) override;
+  const char* name() const override { return "wcmp"; }
+};
+
+}  // namespace lcmp

@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace lcmp {
+
+uint64_t EventQueue::Push(TimeNs t, EventFn fn) {
+  const uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{t, seq, std::move(fn)});
+  SiftUp(heap_.size() - 1);
+  return seq;
+}
+
+EventFn EventQueue::Pop(TimeNs* time) {
+  Entry top = std::move(heap_.front());
+  *time = top.time;
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+  }
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
+  }
+  return std::move(top.fn);
+}
+
+void EventQueue::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Less(heap_[i], heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t l = 2 * i + 1;
+    const size_t r = l + 1;
+    size_t smallest = i;
+    if (l < n && Less(heap_[l], heap_[smallest])) {
+      smallest = l;
+    }
+    if (r < n && Less(heap_[r], heap_[smallest])) {
+      smallest = r;
+    }
+    if (smallest == i) {
+      break;
+    }
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace lcmp

@@ -1,0 +1,51 @@
+// Deterministic discrete-event queue.
+//
+// Events at the same timestamp fire in insertion order (FIFO tie-break via a
+// monotonically increasing sequence number), which makes whole-simulation
+// runs bit-for-bit reproducible from the seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lcmp {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `t`. Returns the event's sequence id.
+  uint64_t Push(TimeNs t, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Time of the earliest event; only valid when !empty().
+  TimeNs PeekTime() const { return heap_.front().time; }
+
+  // Removes and returns the earliest event's callback, setting *time to its
+  // timestamp. Only valid when !empty().
+  EventFn Pop(TimeNs* time);
+
+ private:
+  struct Entry {
+    TimeNs time;
+    uint64_t seq;
+    EventFn fn;
+  };
+  // Min-heap ordered by (time, seq). Hand-rolled so Pop() can move the
+  // callback out (std::priority_queue::top() is const).
+  static bool Less(const Entry& a, const Entry& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,263 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lcmp {
+namespace {
+
+PortConfig MakePortConfig(const NetworkConfig& cfg, const LinkSpec& link) {
+  PortConfig pc;
+  pc.rate_bps = link.rate_bps;
+  pc.prop_delay_ns = link.delay_ns;
+  pc.buffer_bytes = link.buffer_bytes > 0 ? link.buffer_bytes : cfg.default_buffer_bytes;
+  if (cfg.ecn_kmin_at_rate > 0) {
+    // Threshold in bytes = rate_bps * time_ns / (8 bits * 1e9 ns/s).
+    pc.ecn_kmin = static_cast<int64_t>(static_cast<__int128>(link.rate_bps) *
+                                       cfg.ecn_kmin_at_rate / (8 * kNsPerSec));
+    pc.ecn_kmax = static_cast<int64_t>(static_cast<__int128>(link.rate_bps) *
+                                       cfg.ecn_kmax_at_rate / (8 * kNsPerSec));
+    pc.ecn_pmax = cfg.ecn_pmax;
+  }
+  return pc;
+}
+
+}  // namespace
+
+Network::Network(const Graph& graph, const NetworkConfig& config, PolicyFactory factory)
+    : graph_(graph), config_(config), routes_(InterDcRoutes::Compute(graph_)) {
+  dc_of_node_.resize(static_cast<size_t>(graph_.num_vertices()));
+  for (NodeId id = 0; id < graph_.num_vertices(); ++id) {
+    dc_of_node_[static_cast<size_t>(id)] = graph_.vertex(id).dc;
+  }
+  BuildNodes(config, factory);
+  BuildStaticForwarding();
+  BuildInterDcCandidates();
+}
+
+void Network::BuildNodes(const NetworkConfig& config, const PolicyFactory& factory) {
+  nodes_.reserve(static_cast<size_t>(graph_.num_vertices()));
+  for (NodeId id = 0; id < graph_.num_vertices(); ++id) {
+    const Vertex& v = graph_.vertex(id);
+    const uint64_t seed = Mix64(config.seed ^ (0xabcdULL + static_cast<uint64_t>(id)));
+    if (v.kind == VertexKind::kHost) {
+      nodes_.push_back(std::make_unique<HostNode>(&sim_, id, v.dc, seed));
+    } else {
+      const bool is_dci = v.kind == VertexKind::kDciSwitch;
+      nodes_.push_back(std::make_unique<SwitchNode>(&sim_, id, v.dc, is_dci, seed));
+    }
+  }
+  // Ports: one per link direction.
+  port_of_link_.resize(static_cast<size_t>(graph_.num_links()));
+  for (int li = 0; li < graph_.num_links(); ++li) {
+    const LinkSpec& l = graph_.link(li);
+    const PortConfig pc = MakePortConfig(config, l);
+    const PortIndex pa = nodes_[static_cast<size_t>(l.a)]->AddPort(pc, li);
+    const PortIndex pb = nodes_[static_cast<size_t>(l.b)]->AddPort(pc, li);
+    nodes_[static_cast<size_t>(l.a)]->port(pa).ConnectTo(nodes_[static_cast<size_t>(l.b)].get(),
+                                                         pb);
+    nodes_[static_cast<size_t>(l.b)]->port(pb).ConnectTo(nodes_[static_cast<size_t>(l.a)].get(),
+                                                         pa);
+    port_of_link_[static_cast<size_t>(li)] = {pa, pb};
+  }
+  // Switch wiring and policies.
+  for (NodeId id = 0; id < graph_.num_vertices(); ++id) {
+    const Vertex& v = graph_.vertex(id);
+    if (v.kind == VertexKind::kHost) {
+      continue;
+    }
+    auto& sw = static_cast<SwitchNode&>(*nodes_[static_cast<size_t>(id)]);
+    sw.SetDcOfNode(&dc_of_node_);
+    sw.SetLocalDci(graph_.DciOfDc(v.dc));
+    if (sw.is_dci() && factory) {
+      sw.SetPolicy(factory(sw));
+    }
+    if (config.pfc.enabled) {
+      sw.EnablePfc(config.pfc);
+    }
+  }
+}
+
+void Network::BuildStaticForwarding() {
+  // Per destination node d: BFS over *intra-DC* links from d (switches in
+  // d's DC only need to reach local hosts and the local DCI; inter-DC hops
+  // are the policy's job). We run the BFS over the whole graph but forbid
+  // crossing inter-DC (DCI<->DCI) links, so "toward local DCI" and "toward
+  // local host" tables stay within the fabric.
+  const int n = graph_.num_vertices();
+  std::vector<std::vector<std::vector<PortIndex>>> tables(
+      static_cast<size_t>(n));  // [switch][dst] -> ports
+  for (NodeId id = 0; id < n; ++id) {
+    if (graph_.vertex(id).kind != VertexKind::kHost) {
+      tables[static_cast<size_t>(id)].resize(static_cast<size_t>(n));
+    }
+  }
+  auto is_inter_dc = [&](int li) {
+    const LinkSpec& l = graph_.link(li);
+    return graph_.vertex(l.a).kind == VertexKind::kDciSwitch &&
+           graph_.vertex(l.b).kind == VertexKind::kDciSwitch &&
+           graph_.vertex(l.a).dc != graph_.vertex(l.b).dc;
+  };
+  for (NodeId dst = 0; dst < n; ++dst) {
+    // BFS hop distance from dst, intra-DC edges only.
+    std::vector<int> dist(static_cast<size_t>(n), -1);
+    std::queue<NodeId> q;
+    dist[static_cast<size_t>(dst)] = 0;
+    q.push(dst);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (const int li : graph_.incident_links(u)) {
+        if (is_inter_dc(li)) {
+          continue;
+        }
+        const NodeId v = graph_.Peer(li, u);
+        if (dist[static_cast<size_t>(v)] < 0) {
+          dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+          q.push(v);
+        }
+      }
+    }
+    // Equal-cost next hops for every switch that can reach dst intra-DC.
+    for (NodeId u = 0; u < n; ++u) {
+      if (graph_.vertex(u).kind == VertexKind::kHost || dist[static_cast<size_t>(u)] < 0 ||
+          u == dst) {
+        continue;
+      }
+      std::vector<PortIndex>& ports = tables[static_cast<size_t>(u)][static_cast<size_t>(dst)];
+      for (const int li : graph_.incident_links(u)) {
+        if (is_inter_dc(li)) {
+          continue;
+        }
+        const NodeId v = graph_.Peer(li, u);
+        if (dist[static_cast<size_t>(v)] == dist[static_cast<size_t>(u)] - 1) {
+          const LinkSpec& l = graph_.link(li);
+          ports.push_back(l.a == u ? port_of_link_[static_cast<size_t>(li)].first
+                                   : port_of_link_[static_cast<size_t>(li)].second);
+        }
+      }
+      std::sort(ports.begin(), ports.end());
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (graph_.vertex(u).kind == VertexKind::kHost) {
+      continue;
+    }
+    static_cast<SwitchNode&>(*nodes_[static_cast<size_t>(u)])
+        .SetStaticPorts(std::move(tables[static_cast<size_t>(u)]));
+  }
+}
+
+void Network::BuildInterDcCandidates() {
+  const int ndc = graph_.num_dcs();
+  for (DcId dc = 0; dc < ndc; ++dc) {
+    const NodeId dci = graph_.DciOfDc(dc);
+    if (dci == kInvalidNode) {
+      continue;
+    }
+    std::vector<std::vector<PathCandidate>> table(static_cast<size_t>(ndc));
+    for (DcId dst = 0; dst < ndc; ++dst) {
+      if (dst == dc) {
+        continue;
+      }
+      for (const RouteCandidate& rc : routes_.Candidates(dci, dst)) {
+        PathCandidate c;
+        const LinkSpec& l = graph_.link(rc.link_idx);
+        c.port = l.a == dci ? port_of_link_[static_cast<size_t>(rc.link_idx)].first
+                            : port_of_link_[static_cast<size_t>(rc.link_idx)].second;
+        c.next_hop = rc.next_hop;
+        c.path_delay_ns = rc.path_delay_ns;
+        c.bottleneck_bps = rc.bottleneck_bps;
+        c.graph_link_idx = rc.link_idx;
+        table[static_cast<size_t>(dst)].push_back(c);
+      }
+    }
+    static_cast<SwitchNode&>(*nodes_[static_cast<size_t>(dci)])
+        .SetInterDcCandidates(std::move(table));
+  }
+}
+
+HostNode& Network::host(NodeId id) {
+  LCMP_CHECK(nodes_[static_cast<size_t>(id)]->kind() == Node::Kind::kHost);
+  return static_cast<HostNode&>(*nodes_[static_cast<size_t>(id)]);
+}
+
+SwitchNode& Network::switch_node(NodeId id) {
+  LCMP_CHECK(nodes_[static_cast<size_t>(id)]->kind() == Node::Kind::kSwitch);
+  return static_cast<SwitchNode&>(*nodes_[static_cast<size_t>(id)]);
+}
+
+Port* Network::FindPort(NodeId from, int link_idx) {
+  const LinkSpec& l = graph_.link(link_idx);
+  if (l.a == from) {
+    return &nodes_[static_cast<size_t>(from)]->port(port_of_link_[static_cast<size_t>(link_idx)].first);
+  }
+  if (l.b == from) {
+    return &nodes_[static_cast<size_t>(from)]->port(
+        port_of_link_[static_cast<size_t>(link_idx)].second);
+  }
+  return nullptr;
+}
+
+std::vector<DirectedLinkRef> Network::InterDcDirectedLinks() const {
+  std::vector<DirectedLinkRef> out;
+  for (int li = 0; li < graph_.num_links(); ++li) {
+    const LinkSpec& l = graph_.link(li);
+    const Vertex& va = graph_.vertex(l.a);
+    const Vertex& vb = graph_.vertex(l.b);
+    if (va.kind != VertexKind::kDciSwitch || vb.kind != VertexKind::kDciSwitch ||
+        va.dc == vb.dc) {
+      continue;
+    }
+    out.push_back({li, l.a, l.b,
+                   &nodes_[static_cast<size_t>(l.a)]->port(
+                       port_of_link_[static_cast<size_t>(li)].first)});
+    out.push_back({li, l.b, l.a,
+                   &nodes_[static_cast<size_t>(l.b)]->port(
+                       port_of_link_[static_cast<size_t>(li)].second)});
+  }
+  return out;
+}
+
+std::string Network::DirectedLinkName(const DirectedLinkRef& ref) const {
+  return graph_.vertex(ref.from).name + "->" + graph_.vertex(ref.to).name;
+}
+
+void Network::StartPolicyTicks() {
+  if (ticks_started_) {
+    return;
+  }
+  ticks_started_ = true;
+  for (NodeId id = 0; id < graph_.num_vertices(); ++id) {
+    if (graph_.vertex(id).kind != VertexKind::kDciSwitch) {
+      continue;
+    }
+    auto& sw = static_cast<SwitchNode&>(*nodes_[static_cast<size_t>(id)]);
+    MultipathPolicy* policy = sw.policy();
+    if (policy == nullptr || policy->tick_interval() <= 0) {
+      continue;
+    }
+    // Self-rescheduling tick; Run() horizons/Stop() bound the recursion.
+    auto tick = std::make_shared<std::function<void()>>();
+    SwitchNode* swp = &sw;
+    *tick = [this, swp, policy, tick]() {
+      policy->OnTick(*swp);
+      sim_.Schedule(policy->tick_interval(), *tick);
+    };
+    sim_.Schedule(policy->tick_interval(), *tick);
+  }
+}
+
+void Network::SetLinkUp(int link_idx, bool up) {
+  const LinkSpec& l = graph_.link(link_idx);
+  nodes_[static_cast<size_t>(l.a)]->port(port_of_link_[static_cast<size_t>(link_idx)].first)
+      .SetUp(up);
+  nodes_[static_cast<size_t>(l.b)]->port(port_of_link_[static_cast<size_t>(link_idx)].second)
+      .SetUp(up);
+}
+
+}  // namespace lcmp

@@ -1,0 +1,90 @@
+// Network: instantiates simulation nodes/ports from a topo::Graph, installs
+// static intra-DC forwarding, attaches one multipath-policy instance to each
+// DCI switch, and starts the per-switch policy ticks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/node.h"
+#include "sim/pfc.h"
+#include "sim/simulator.h"
+#include "topo/candidate_paths.h"
+#include "topo/graph.h"
+
+namespace lcmp {
+
+struct NetworkConfig {
+  // Egress buffer for links whose LinkSpec leaves buffer_bytes == 0.
+  int64_t default_buffer_bytes = 32 * 1024 * 1024;
+  // ECN marking thresholds expressed as time-at-line-rate; kmin 0 disables.
+  TimeNs ecn_kmin_at_rate = Microseconds(40);
+  TimeNs ecn_kmax_at_rate = Microseconds(160);
+  double ecn_pmax = 0.2;
+  // Stamp HPCC INT records on DATA packets.
+  bool enable_int = false;
+  // Hop-by-hop PFC (lossless operation); applied to every switch.
+  PfcConfig pfc;
+  uint64_t seed = 1;
+};
+
+// Identifies one direction of a graph link, for utilization reporting.
+struct DirectedLinkRef {
+  int link_idx = -1;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  const Port* port = nullptr;
+};
+
+class Network {
+ public:
+  // `factory` is invoked once per DCI switch. It may be null when the graph
+  // has no inter-DC links (single-DC tests).
+  Network(const Graph& graph, const NetworkConfig& config, PolicyFactory factory);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulator& sim() { return sim_; }
+  const Graph& graph() const { return graph_; }
+  const InterDcRoutes& routes() const { return routes_; }
+  const NetworkConfig& config() const { return config_; }
+
+  Node& node(NodeId id) { return *nodes_[static_cast<size_t>(id)]; }
+  HostNode& host(NodeId id);
+  SwitchNode& switch_node(NodeId id);
+  DcId dc_of(NodeId id) const { return dc_of_node_[static_cast<size_t>(id)]; }
+
+  // Egress port on `from` for graph link `link_idx`; null if absent.
+  Port* FindPort(NodeId from, int link_idx);
+
+  // All directed inter-DC links (DCI<->DCI), for utilization reports.
+  std::vector<DirectedLinkRef> InterDcDirectedLinks() const;
+
+  // Human-readable "dc1.dci->dc2.dci" label for a directed link.
+  std::string DirectedLinkName(const DirectedLinkRef& ref) const;
+
+  // Begins periodic policy ticks on every DCI switch (idempotent).
+  void StartPolicyTicks();
+
+  // Marks both directions of graph link `link_idx` down/up (failure tests).
+  void SetLinkUp(int link_idx, bool up);
+
+ private:
+  void BuildNodes(const NetworkConfig& config, const PolicyFactory& factory);
+  void BuildStaticForwarding();
+  void BuildInterDcCandidates();
+
+  Graph graph_;
+  NetworkConfig config_;
+  Simulator sim_;
+  InterDcRoutes routes_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<DcId> dc_of_node_;
+  // port_of_link_[link_idx] = {port index at a, port index at b}.
+  std::vector<std::pair<PortIndex, PortIndex>> port_of_link_;
+  bool ticks_started_ = false;
+};
+
+}  // namespace lcmp

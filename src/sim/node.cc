@@ -1,0 +1,88 @@
+#include "sim/node.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+PortIndex Node::AddPort(const PortConfig& config, int graph_link_idx) {
+  const PortIndex idx = static_cast<PortIndex>(ports_.size());
+  ports_.push_back(std::make_unique<Port>(sim_, &rng_, this, idx, config, graph_link_idx));
+  return idx;
+}
+
+void SwitchNode::Receive(Packet pkt, PortIndex in_port) {
+  const PortIndex out = ResolveEgress(pkt);
+  if (out == kInvalidPort) {
+    ++dropped_no_route_;
+    return;
+  }
+  ++forwarded_packets_;
+  pkt.ingress_port = in_port;  // PFC accounting tag (harmless when PFC off)
+  Packet charge;               // only size + ingress matter for accounting
+  charge.size_bytes = pkt.size_bytes;
+  charge.ingress_port = in_port;
+  // Charge *before* Enqueue: an idle port starts transmitting synchronously
+  // and the dequeue hook would otherwise credit an uncharged packet.
+  if (pfc_ != nullptr) {
+    pfc_->OnPacketBuffered(charge, in_port);
+  }
+  const bool accepted = ports_[static_cast<size_t>(out)]->Enqueue(std::move(pkt));
+  if (!accepted && pfc_ != nullptr) {
+    pfc_->OnPacketFreed(charge);  // rejected: refund the charge
+  }
+}
+
+void SwitchNode::EnablePfc(const PfcConfig& config) {
+  pfc_ = std::make_unique<PfcController>(sim_, this, config);
+  for (auto& port : ports_) {
+    port->SetDequeueHook([this](const Packet& pkt) { pfc_->OnPacketFreed(pkt); });
+  }
+}
+
+PortIndex SwitchNode::PickStatic(const Packet& pkt, NodeId toward) {
+  const auto& options = static_ports_[static_cast<size_t>(toward)];
+  if (options.empty()) {
+    return kInvalidPort;
+  }
+  if (options.size() == 1) {
+    return options[0];
+  }
+  // Intra-fabric ECMP: deterministic per-flow hash salted by switch id.
+  const uint64_t h = HashFlowKey(pkt.key, static_cast<uint64_t>(id_));
+  return options[h % options.size()];
+}
+
+PortIndex SwitchNode::ResolveEgress(const Packet& pkt) {
+  LCMP_CHECK(dc_of_node_ != nullptr);
+  const DcId dst_dc = (*dc_of_node_)[static_cast<size_t>(pkt.dst)];
+  if (dst_dc == dc_) {
+    return PickStatic(pkt, pkt.dst);
+  }
+  if (!is_dci_) {
+    // Interior switch: haul the packet to the local DCI edge.
+    LCMP_CHECK(local_dci_ != kInvalidNode);
+    return PickStatic(pkt, local_dci_);
+  }
+  // DCI switch: the multipath policy owns the inter-DC decision.
+  const auto candidates = CandidatesTo(dst_dc);
+  if (candidates.empty()) {
+    return kInvalidPort;
+  }
+  LCMP_CHECK(policy_ != nullptr);
+  return policy_->SelectPort(*this, pkt, candidates);
+}
+
+void HostNode::Receive(Packet pkt, PortIndex /*in_port*/) {
+  if (sink_) {
+    sink_(std::move(pkt));
+  }
+}
+
+void HostNode::Send(Packet pkt) {
+  LCMP_CHECK(!ports_.empty());
+  ports_[0]->Enqueue(std::move(pkt));
+}
+
+}  // namespace lcmp

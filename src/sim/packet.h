@@ -1,0 +1,67 @@
+// Packet model.
+//
+// Packets are passed by value; they are small PODs and copying them through
+// the event closures keeps ownership trivial. DATA packets optionally carry
+// HPCC-style in-band network telemetry (one record per traversed hop).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/hashing.h"
+#include "common/types.h"
+
+namespace lcmp {
+
+enum class PacketType : uint8_t {
+  kData,  // RDMA payload segment
+  kAck,   // cumulative acknowledgment
+  kNack,  // out-of-order notification, triggers Go-Back-N
+  kCnp,   // DCQCN congestion notification packet
+};
+
+// Per-hop telemetry record for HPCC (queue length, link rate, cumulative
+// transmitted bytes and the sampling timestamp at that hop's egress port).
+struct IntRecord {
+  int64_t qlen_bytes = 0;
+  int64_t rate_bps = 0;
+  int64_t tx_bytes = 0;
+  TimeNs ts = 0;
+};
+
+inline constexpr int kMaxIntHops = 12;
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  FlowKey key;          // five tuple of the *flow* (DATA direction)
+  FlowId flow_id = 0;   // FlowIdOf(key), cached
+  NodeId src = kInvalidNode;  // transmitting host of this packet
+  NodeId dst = kInvalidNode;  // receiving host of this packet
+  uint32_t seq = 0;           // DATA: segment index; ACK/NACK: cumulative seq
+  uint32_t size_bytes = 0;    // wire size including headers
+  uint32_t payload_bytes = 0; // DATA payload carried
+  bool ecn_ce = false;        // ECN congestion-experienced mark
+  bool ecn_echo = false;      // ACK: echo of CE seen by receiver
+  bool last_of_flow = false;  // DATA: final segment of the flow
+  TimeNs sent_ts = 0;         // host transmit time (RTT measurement)
+  // HPCC INT stack.
+  bool int_enabled = false;
+  uint8_t int_hops = 0;
+  std::array<IntRecord, kMaxIntHops> int_rec{};
+
+  // ACKs echo the INT stack of the DATA packet they acknowledge.
+
+  // Transient switch-local tag: the ingress port the packet arrived on at
+  // the node currently buffering it (kInvalidPort at hosts / first hop).
+  // Used by PFC ingress-buffer accounting; rewritten at every hop.
+  PortIndex ingress_port = kInvalidPort;
+};
+
+// Wire overhead added to each DATA payload (Eth + IP + UDP + BTH, rounded).
+inline constexpr uint32_t kHeaderBytes = 64;
+// Control packets (ACK/NACK/CNP) wire size.
+inline constexpr uint32_t kControlPacketBytes = 64;
+// Default MTU payload per DATA packet.
+inline constexpr uint32_t kDefaultMtuPayload = 4096;
+
+}  // namespace lcmp

@@ -1,0 +1,65 @@
+#include "sim/pfc.h"
+
+#include "common/logging.h"
+#include "sim/node.h"
+
+namespace lcmp {
+
+PfcController::PfcController(Simulator* sim, SwitchNode* node, const PfcConfig& config)
+    : sim_(sim), node_(node), config_(config) {
+  LCMP_CHECK(config_.xon_bytes <= config_.xoff_bytes);
+  ingress_bytes_.assign(static_cast<size_t>(node_->num_ports()), 0);
+  pause_asserted_.assign(static_cast<size_t>(node_->num_ports()), false);
+}
+
+void PfcController::OnPacketBuffered(const Packet& pkt, PortIndex ingress) {
+  if (ingress == kInvalidPort) {
+    return;
+  }
+  int64_t& bytes = ingress_bytes_[static_cast<size_t>(ingress)];
+  bytes += pkt.size_bytes;
+  if (!pause_asserted_[static_cast<size_t>(ingress)] && bytes >= config_.xoff_bytes) {
+    pause_asserted_[static_cast<size_t>(ingress)] = true;
+    ++pause_frames_;
+    SignalUpstream(ingress, /*pause=*/true);
+  }
+}
+
+void PfcController::OnPacketFreed(const Packet& pkt) {
+  const PortIndex ingress = pkt.ingress_port;
+  if (ingress == kInvalidPort) {
+    return;
+  }
+  int64_t& bytes = ingress_bytes_[static_cast<size_t>(ingress)];
+  bytes -= pkt.size_bytes;
+  LCMP_CHECK(bytes >= 0);
+  if (pause_asserted_[static_cast<size_t>(ingress)] && bytes <= config_.xon_bytes) {
+    pause_asserted_[static_cast<size_t>(ingress)] = false;
+    ++resume_frames_;
+    SignalUpstream(ingress, /*pause=*/false);
+  }
+}
+
+void PfcController::SignalUpstream(PortIndex ingress, bool pause) {
+  Port& in_port = node_->port(ingress);
+  Node* upstream = in_port.peer();
+  if (upstream == nullptr) {
+    return;
+  }
+  // The transmitter feeding this ingress is the upstream node's port on the
+  // same graph link.
+  Port* tx = nullptr;
+  for (PortIndex p = 0; p < upstream->num_ports(); ++p) {
+    if (upstream->port(p).graph_link_idx() == in_port.graph_link_idx()) {
+      tx = &upstream->port(p);
+      break;
+    }
+  }
+  if (tx == nullptr) {
+    return;
+  }
+  // The PFC frame needs one propagation delay to reach the transmitter.
+  sim_->Schedule(in_port.prop_delay_ns(), [tx, pause]() { tx->SetPaused(pause); });
+}
+
+}  // namespace lcmp

@@ -1,0 +1,72 @@
+// Priority Flow Control (IEEE 802.1Qbb) — the lossless-Ethernet substrate
+// RoCE deployments rely on (paper Sec. 2.1 / 6.2: switch buffers are sized
+// for PFC headroom on long-haul links).
+//
+// Model: per ingress port the switch tracks how many bytes from that ingress
+// are currently buffered in its egress queues. Crossing XOFF sends a PAUSE
+// upstream (taking one propagation delay to arrive); falling below XON sends
+// RESUME. A paused upstream egress finishes its in-flight packet and stops.
+// Headroom = XOFF-to-buffer-top must absorb one RTT of in-flight data, which
+// is why long-haul PFC needs multi-GB buffers (motivating the paper's 6 GB).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace lcmp {
+
+class SwitchNode;
+
+struct PfcConfig {
+  bool enabled = false;
+  // Thresholds on per-ingress buffered bytes.
+  int64_t xoff_bytes = 512 * 1024;
+  int64_t xon_bytes = 256 * 1024;
+};
+
+// Per-switch PFC engine. The owning SwitchNode reports every buffered /
+// freed packet; the controller pauses and resumes upstream transmitters.
+class PfcController {
+ public:
+  PfcController(Simulator* sim, SwitchNode* node, const PfcConfig& config);
+
+  PfcController(const PfcController&) = delete;
+  PfcController& operator=(const PfcController&) = delete;
+
+  // A packet from `ingress` was accepted into some egress queue.
+  void OnPacketBuffered(const Packet& pkt, PortIndex ingress);
+
+  // A previously buffered packet left the switch (transmitted or flushed).
+  // Uses pkt.ingress_port, which Receive() stamps.
+  void OnPacketFreed(const Packet& pkt);
+
+  int64_t ingress_buffered_bytes(PortIndex ingress) const {
+    return ingress_bytes_[static_cast<size_t>(ingress)];
+  }
+  bool ingress_paused(PortIndex ingress) const {
+    return pause_asserted_[static_cast<size_t>(ingress)];
+  }
+
+  // --- statistics ---
+  int64_t pause_frames_sent() const { return pause_frames_; }
+  int64_t resume_frames_sent() const { return resume_frames_; }
+
+ private:
+  // Sends PAUSE/RESUME to the transmitter feeding `ingress`; it takes one
+  // link propagation delay to act, as a real PFC frame would.
+  void SignalUpstream(PortIndex ingress, bool pause);
+
+  Simulator* sim_;
+  SwitchNode* node_;
+  PfcConfig config_;
+  std::vector<int64_t> ingress_bytes_;
+  std::vector<bool> pause_asserted_;
+  int64_t pause_frames_ = 0;
+  int64_t resume_frames_ = 0;
+};
+
+}  // namespace lcmp

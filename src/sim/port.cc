@@ -1,0 +1,139 @@
+#include "sim/port.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/node.h"
+
+namespace lcmp {
+
+Port::Port(Simulator* sim, Rng* rng, Node* owner, PortIndex index, const PortConfig& config,
+           int graph_link_idx)
+    : sim_(sim),
+      rng_(rng),
+      owner_(owner),
+      index_(index),
+      config_(config),
+      graph_link_idx_(graph_link_idx) {
+  LCMP_CHECK(config_.rate_bps > 0);
+}
+
+void Port::ConnectTo(Node* peer, PortIndex peer_in_port) {
+  peer_ = peer;
+  peer_in_port_ = peer_in_port;
+}
+
+bool Port::ShouldMarkEcn() {
+  if (config_.ecn_kmin <= 0) {
+    return false;
+  }
+  if (queue_bytes_ <= config_.ecn_kmin) {
+    return false;
+  }
+  if (queue_bytes_ >= config_.ecn_kmax) {
+    return true;
+  }
+  const double frac = static_cast<double>(queue_bytes_ - config_.ecn_kmin) /
+                      static_cast<double>(config_.ecn_kmax - config_.ecn_kmin);
+  return rng_->NextDouble() < frac * config_.ecn_pmax;
+}
+
+bool Port::Enqueue(Packet pkt) {
+  if (!up_) {
+    ++dropped_packets_;
+    return false;
+  }
+  if (queue_bytes_ + pkt.size_bytes > config_.buffer_bytes) {
+    ++dropped_packets_;
+    return false;
+  }
+  // Mark based on occupancy *before* this packet joins, as switch ASICs do.
+  if (pkt.type == PacketType::kData && ShouldMarkEcn()) {
+    pkt.ecn_ce = true;
+    ++ecn_marked_packets_;
+  }
+  queue_bytes_ += pkt.size_bytes;
+  max_queue_bytes_ = std::max(max_queue_bytes_, queue_bytes_);
+  queue_.push_back(std::move(pkt));
+  StartTransmissionIfIdle();
+  return true;
+}
+
+void Port::StartTransmissionIfIdle() {
+  if (transmitting_ || queue_.empty() || !up_ || paused_) {
+    return;
+  }
+  transmitting_ = true;
+  Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  queue_bytes_ -= pkt.size_bytes;
+  if (dequeue_hook_) {
+    dequeue_hook_(pkt);
+  }
+
+  // Stamp HPCC INT at egress: queue depth behind this packet, cumulative
+  // bytes including this packet, link rate, and the departure timestamp.
+  if (pkt.int_enabled && pkt.type == PacketType::kData && pkt.int_hops < kMaxIntHops) {
+    IntRecord& rec = pkt.int_rec[pkt.int_hops++];
+    rec.qlen_bytes = queue_bytes_;
+    rec.rate_bps = config_.rate_bps;
+    rec.tx_bytes = tx_bytes_ + pkt.size_bytes;
+    rec.ts = sim_->now();
+  }
+
+  const TimeNs tx_time = SerializationDelay(pkt.size_bytes, config_.rate_bps);
+  busy_ns_ += tx_time;
+  tx_bytes_ += pkt.size_bytes;
+  ++tx_packets_;
+  sim_->Schedule(tx_time, [this, pkt = std::move(pkt)]() mutable {
+    OnTransmissionDone(std::move(pkt));
+  });
+}
+
+void Port::OnTransmissionDone(Packet pkt) {
+  transmitting_ = false;
+  // Packet is now on the wire; it arrives after the propagation delay even if
+  // the port goes down in the meantime (light already in the fiber).
+  LCMP_CHECK(peer_ != nullptr);
+  Node* peer = peer_;
+  const PortIndex in_port = peer_in_port_;
+  sim_->Schedule(config_.prop_delay_ns, [peer, in_port, pkt = std::move(pkt)]() mutable {
+    peer->Receive(std::move(pkt), in_port);
+  });
+  StartTransmissionIfIdle();
+}
+
+void Port::SetPaused(bool paused) {
+  if (paused_ == paused) {
+    return;
+  }
+  paused_ = paused;
+  if (paused_) {
+    pause_started_ = sim_->now();
+  } else {
+    paused_ns_ += sim_->now() - pause_started_;
+    StartTransmissionIfIdle();
+  }
+}
+
+void Port::SetUp(bool up) {
+  if (up_ == up) {
+    return;
+  }
+  up_ = up;
+  if (!up_) {
+    dropped_packets_ += static_cast<int64_t>(queue_.size());
+    if (dequeue_hook_) {
+      for (const Packet& pkt : queue_) {
+        dequeue_hook_(pkt);
+      }
+    }
+    queue_.clear();
+    queue_bytes_ = 0;
+  } else {
+    StartTransmissionIfIdle();
+  }
+}
+
+}  // namespace lcmp

@@ -1,0 +1,116 @@
+// Egress port: FIFO byte-bounded queue + store-and-forward transmitter.
+//
+// A Port models one direction of a link: packets are enqueued by the owning
+// node, serialized at the link rate, and delivered to the peer node after the
+// propagation delay. ECN marking happens at enqueue time using RED-style
+// thresholds, matching DCQCN's switch-side behavior.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace lcmp {
+
+class Node;
+
+struct PortConfig {
+  int64_t rate_bps = Gbps(100);
+  TimeNs prop_delay_ns = Microseconds(1);
+  int64_t buffer_bytes = 32 * 1024 * 1024;
+  // RED/ECN marking thresholds (bytes). ecn_kmin == 0 disables marking.
+  int64_t ecn_kmin = 0;
+  int64_t ecn_kmax = 0;
+  double ecn_pmax = 0.2;
+};
+
+class Port {
+ public:
+  Port(Simulator* sim, Rng* rng, Node* owner, PortIndex index, const PortConfig& config,
+       int graph_link_idx);
+
+  // Not movable/copyable: events capture `this`.
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  // Wires the receiving side; must be called before any Enqueue.
+  void ConnectTo(Node* peer, PortIndex peer_in_port);
+
+  // Queues `pkt` for transmission. Applies ECN marking, drops on overflow or
+  // when the port is administratively down. Returns true when the packet was
+  // accepted (queued or started transmitting).
+  bool Enqueue(Packet pkt);
+
+  // --- state observed by routing policies (the "data plane registers") ---
+  int64_t queue_bytes() const { return queue_bytes_; }
+  int64_t rate_bps() const { return config_.rate_bps; }
+  TimeNs prop_delay_ns() const { return config_.prop_delay_ns; }
+  int64_t buffer_bytes() const { return config_.buffer_bytes; }
+  bool up() const { return up_; }
+
+  // Administrative/failure control. Bringing a port down drops its queue
+  // (packets in flight on the wire still arrive, as on a real fiber cut the
+  // far end sees a tail of packets).
+  void SetUp(bool up);
+
+  // PFC pause/resume: a paused port finishes the in-flight packet but does
+  // not start new transmissions until resumed.
+  void SetPaused(bool paused);
+  bool paused() const { return paused_; }
+  TimeNs paused_ns() const { return paused_ns_; }
+
+  PortIndex index() const { return index_; }
+  Node* peer() const { return peer_; }
+  int graph_link_idx() const { return graph_link_idx_; }
+
+  // Invoked whenever an accepted packet leaves the queue — onto the wire or
+  // flushed by SetUp(false). PFC ingress accounting credits bytes back here.
+  using DequeueHook = std::function<void(const Packet&)>;
+  void SetDequeueHook(DequeueHook hook) { dequeue_hook_ = std::move(hook); }
+
+  // --- statistics ---
+  int64_t tx_bytes() const { return tx_bytes_; }
+  int64_t tx_packets() const { return tx_packets_; }
+  int64_t dropped_packets() const { return dropped_packets_; }
+  int64_t ecn_marked_packets() const { return ecn_marked_packets_; }
+  int64_t max_queue_bytes() const { return max_queue_bytes_; }
+  TimeNs busy_ns() const { return busy_ns_; }
+
+ private:
+  void StartTransmissionIfIdle();
+  void OnTransmissionDone(Packet pkt);
+  bool ShouldMarkEcn();
+
+  Simulator* sim_;
+  Rng* rng_;
+  Node* owner_;
+  PortIndex index_;
+  PortConfig config_;
+  int graph_link_idx_;
+
+  Node* peer_ = nullptr;
+  PortIndex peer_in_port_ = kInvalidPort;
+
+  std::deque<Packet> queue_;
+  int64_t queue_bytes_ = 0;
+  bool transmitting_ = false;
+  bool up_ = true;
+  bool paused_ = false;
+  TimeNs pause_started_ = 0;
+  TimeNs paused_ns_ = 0;
+  DequeueHook dequeue_hook_;
+
+  int64_t tx_bytes_ = 0;
+  int64_t tx_packets_ = 0;
+  int64_t dropped_packets_ = 0;
+  int64_t ecn_marked_packets_ = 0;
+  int64_t max_queue_bytes_ = 0;
+  TimeNs busy_ns_ = 0;
+};
+
+}  // namespace lcmp

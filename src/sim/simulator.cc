@@ -1,0 +1,22 @@
+#include "sim/simulator.h"
+
+namespace lcmp {
+
+TimeNs Simulator::Run(TimeNs until) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (until >= 0 && queue_.PeekTime() > until) {
+      now_ = until;
+      return now_;
+    }
+    TimeNs t = 0;
+    EventFn fn = queue_.Pop(&t);
+    LCMP_CHECK(t >= now_);
+    now_ = t;
+    ++events_processed_;
+    fn();
+  }
+  return now_;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,44 @@
+// Single-threaded discrete-event simulation driver.
+#pragma once
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "sim/event_queue.h"
+
+namespace lcmp {
+
+class Simulator {
+ public:
+  TimeNs now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now (delay >= 0).
+  void Schedule(TimeNs delay, EventFn fn) {
+    LCMP_CHECK(delay >= 0);
+    queue_.Push(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` at absolute time `t` (t >= now()).
+  void ScheduleAt(TimeNs t, EventFn fn) {
+    LCMP_CHECK(t >= now_);
+    queue_.Push(t, std::move(fn));
+  }
+
+  // Runs until the queue drains, Stop() is called, or `until` is reached
+  // (until < 0 means "no horizon"). Returns the final simulation time.
+  TimeNs Run(TimeNs until = -1);
+
+  // Stops the run loop after the current event returns.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  EventQueue queue_;
+  TimeNs now_ = 0;
+  bool stopped_ = false;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace lcmp

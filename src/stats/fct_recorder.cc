@@ -1,0 +1,82 @@
+#include "stats/fct_recorder.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+TimeNs FctRecorder::IdealFct(NodeId src, NodeId dst, uint64_t bytes) {
+  const PathMetric& m = oracle_.Metric(src, dst);
+  LCMP_CHECK(m.reachable);
+  const int64_t bneck = std::max<int64_t>(m.bottleneck_bps, 1);
+  return m.delay_ns + SerializationDelay(static_cast<int64_t>(bytes), bneck);
+}
+
+void FctRecorder::OnComplete(const FlowRecord& record) {
+  Sample s;
+  s.bytes = record.spec.size_bytes;
+  s.fct = record.complete_time - record.start_time;
+  s.ideal_fct = std::max<TimeNs>(IdealFct(record.spec.src, record.spec.dst, s.bytes), 1);
+  s.slowdown = static_cast<double>(s.fct) / static_cast<double>(s.ideal_fct);
+  s.src_dc = graph_->vertex(record.spec.src).dc;
+  s.dst_dc = graph_->vertex(record.spec.dst).dc;
+  samples_.push_back(s);
+}
+
+SlowdownStats FctRecorder::Summarize(const SampleSet& set) {
+  SlowdownStats out;
+  out.count = static_cast<int>(set.size());
+  if (out.count == 0) {
+    return out;
+  }
+  out.mean = set.Mean();
+  out.p50 = set.Percentile(50);
+  out.p95 = set.Percentile(95);
+  out.p99 = set.Percentile(99);
+  return out;
+}
+
+SlowdownStats FctRecorder::Overall() const {
+  return Where([](const Sample&) { return true; });
+}
+
+SlowdownStats FctRecorder::Where(const std::function<bool(const Sample&)>& pred) const {
+  SampleSet set;
+  for (const Sample& s : samples_) {
+    if (pred(s)) {
+      set.Add(s.slowdown);
+    }
+  }
+  return Summarize(set);
+}
+
+SlowdownStats FctRecorder::ForDcPair(DcId src_dc, DcId dst_dc) const {
+  return Where([src_dc, dst_dc](const Sample& s) {
+    return s.src_dc == src_dc && s.dst_dc == dst_dc;
+  });
+}
+
+std::vector<BucketStats> FctRecorder::ByBuckets(const std::vector<uint64_t>& edges) const {
+  std::vector<BucketStats> out;
+  std::vector<SampleSet> sets(edges.size() + 1);
+  for (const Sample& s : samples_) {
+    const auto it = std::lower_bound(edges.begin(), edges.end(), s.bytes);
+    sets[static_cast<size_t>(it - edges.begin())].Add(s.slowdown);
+  }
+  uint64_t lo = 0;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    BucketStats b;
+    b.size_lo = lo;
+    b.size_hi = i < edges.size() ? edges[i] : std::numeric_limits<uint64_t>::max();
+    b.stats = Summarize(sets[i]);
+    lo = b.size_hi + 1;
+    if (b.stats.count > 0) {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace lcmp

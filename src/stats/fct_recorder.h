@@ -1,0 +1,81 @@
+// FCT-slowdown accounting (the artifact's analysis scripts).
+//
+// Slowdown = actual FCT / ideal FCT, where ideal FCT is the flow's FCT when
+// run alone on the minimum-propagation-delay path of the topology (paper
+// Sec. 6.1 "Metrics"): one-way propagation delay plus transmission at that
+// path's bottleneck rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/histogram.h"
+#include "topo/candidate_paths.h"
+#include "topo/graph.h"
+#include "transport/flow.h"
+
+namespace lcmp {
+
+// Percentile summary of a slowdown population.
+struct SlowdownStats {
+  int count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+// Per-size-bucket summary (Fig. 11 style).
+struct BucketStats {
+  uint64_t size_lo = 0;  // inclusive
+  uint64_t size_hi = 0;  // inclusive upper edge of the bucket
+  SlowdownStats stats;
+};
+
+class FctRecorder {
+ public:
+  explicit FctRecorder(const Graph* g) : graph_(g), oracle_(g) {}
+
+  // Completion callback; computes and stores the slowdown sample.
+  void OnComplete(const FlowRecord& record);
+
+  // One retained sample per completed flow.
+  struct Sample {
+    uint64_t bytes = 0;
+    TimeNs fct = 0;
+    TimeNs ideal_fct = 0;
+    double slowdown = 1.0;
+    DcId src_dc = kInvalidDc;
+    DcId dst_dc = kInvalidDc;
+  };
+
+  int completed() const { return static_cast<int>(samples_.size()); }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  // Summary over all samples.
+  SlowdownStats Overall() const;
+
+  // Summary over samples matching `pred`.
+  SlowdownStats Where(const std::function<bool(const Sample&)>& pred) const;
+
+  // Summary restricted to one ordered DC pair (Fig. 8) — pass both
+  // directions separately or combine with Where().
+  SlowdownStats ForDcPair(DcId src_dc, DcId dst_dc) const;
+
+  // Per-size-bucket breakdown; `edges` are ascending inclusive upper bounds
+  // (flows above the last edge land in a final overflow bucket).
+  std::vector<BucketStats> ByBuckets(const std::vector<uint64_t>& edges) const;
+
+  // Ideal FCT for a hypothetical flow (exposed for tests).
+  TimeNs IdealFct(NodeId src, NodeId dst, uint64_t bytes);
+
+ private:
+  static SlowdownStats Summarize(const SampleSet& set);
+
+  const Graph* graph_;
+  PathOracle oracle_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,39 @@
+#include "stats/link_utilization.h"
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+void LinkUtilizationTracker::Begin() {
+  begin_time_ = net_->sim().now();
+  baseline_bytes_.clear();
+  for (const DirectedLinkRef& ref : net_->InterDcDirectedLinks()) {
+    baseline_bytes_.push_back(ref.port->tx_bytes());
+  }
+}
+
+std::vector<LinkUtilization> LinkUtilizationTracker::End() const {
+  std::vector<LinkUtilization> out;
+  const TimeNs elapsed = net_->sim().now() - begin_time_;
+  const auto refs = net_->InterDcDirectedLinks();
+  LCMP_CHECK(refs.size() == baseline_bytes_.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const DirectedLinkRef& ref = refs[i];
+    LinkUtilization u;
+    u.name = net_->DirectedLinkName(ref);
+    u.link_idx = ref.link_idx;
+    u.from = ref.from;
+    u.to = ref.to;
+    u.rate_bps = ref.port->rate_bps();
+    u.bytes = ref.port->tx_bytes() - baseline_bytes_[i];
+    if (elapsed > 0) {
+      const double capacity_bytes = static_cast<double>(u.rate_bps) / 8.0 *
+                                    static_cast<double>(elapsed) / kNsPerSec;
+      u.utilization = capacity_bytes > 0 ? static_cast<double>(u.bytes) / capacity_bytes : 0.0;
+    }
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+}  // namespace lcmp

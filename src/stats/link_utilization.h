@@ -1,0 +1,36 @@
+// Per-link utilization measurement over a time window (Fig. 1b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace lcmp {
+
+struct LinkUtilization {
+  std::string name;  // "dc1.dci->dc2.dci"
+  int link_idx = -1;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double utilization = 0;   // fraction of capacity used in the window
+  int64_t bytes = 0;        // bytes transmitted in the window
+  int64_t rate_bps = 0;
+};
+
+// Snapshots inter-DC directed-link TX counters at Begin() and computes
+// utilization over [begin, End()] from the deltas.
+class LinkUtilizationTracker {
+ public:
+  explicit LinkUtilizationTracker(Network* net) : net_(net) {}
+
+  void Begin();
+  std::vector<LinkUtilization> End() const;
+
+ private:
+  Network* net_;
+  TimeNs begin_time_ = 0;
+  std::vector<int64_t> baseline_bytes_;
+};
+
+}  // namespace lcmp

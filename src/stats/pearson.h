@@ -1,0 +1,12 @@
+// Pearson correlation (Fig. 6 simulator-fidelity analysis).
+#pragma once
+
+#include <span>
+
+namespace lcmp {
+
+// Pearson correlation coefficient of two equally sized series.
+// Returns 0 when fewer than two points or either variance is zero.
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace lcmp

@@ -1,0 +1,172 @@
+#include "topo/builders.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lcmp {
+namespace {
+
+std::string DcName(DcId dc, const char* suffix, int idx = -1) {
+  std::string name = "dc" + std::to_string(dc + 1) + "." + suffix;
+  if (idx >= 0) {
+    name += std::to_string(idx);
+  }
+  return name;
+}
+
+}  // namespace
+
+NodeId BuildDcFabric(Graph& g, DcId dc, const FabricOptions& opts) {
+  const NodeId dci = g.AddVertex(VertexKind::kDciSwitch, dc, DcName(dc, "dci"));
+  if (opts.kind == FabricKind::kCollapsed) {
+    for (int h = 0; h < opts.hosts; ++h) {
+      const NodeId host = g.AddVertex(VertexKind::kHost, dc, DcName(dc, "h", h));
+      g.AddLink(host, dci, opts.host_link_bps, opts.intra_delay_ns);
+    }
+    return dci;
+  }
+  // Full leaf-spine pod: hosts -> leaves -> spines -> DCI.
+  std::vector<NodeId> spines;
+  spines.reserve(static_cast<size_t>(opts.spines));
+  for (int s = 0; s < opts.spines; ++s) {
+    const NodeId spine = g.AddVertex(VertexKind::kSpine, dc, DcName(dc, "spine", s));
+    g.AddLink(spine, dci, opts.spine_dci_bps, opts.intra_delay_ns);
+    spines.push_back(spine);
+  }
+  for (int l = 0; l < opts.leaves; ++l) {
+    const NodeId leaf = g.AddVertex(VertexKind::kLeaf, dc, DcName(dc, "leaf", l));
+    for (const NodeId spine : spines) {
+      g.AddLink(leaf, spine, opts.leaf_spine_bps, opts.intra_delay_ns);
+    }
+    for (int h = 0; h < opts.hosts_per_leaf; ++h) {
+      const NodeId host =
+          g.AddVertex(VertexKind::kHost, dc, DcName(dc, "h", l * opts.hosts_per_leaf + h));
+      g.AddLink(host, leaf, opts.host_link_bps, opts.intra_delay_ns);
+    }
+  }
+  return dci;
+}
+
+LinearTopo BuildLinear(int64_t rate_bps, TimeNs delay_ns) {
+  LinearTopo t;
+  t.sw = t.graph.AddVertex(VertexKind::kDciSwitch, 0, "sw");
+  t.src_host = t.graph.AddVertex(VertexKind::kHost, 0, "src");
+  t.dst_host = t.graph.AddVertex(VertexKind::kHost, 0, "dst");
+  t.graph.AddLink(t.src_host, t.sw, rate_bps, delay_ns);
+  t.graph.AddLink(t.sw, t.dst_host, rate_bps, delay_ns);
+  return t;
+}
+
+Graph BuildDumbbell(int parallel_links, int hosts_per_dc, int64_t inter_rate_bps,
+                    TimeNs inter_delay_ns) {
+  LCMP_CHECK(parallel_links >= 1);
+  Graph g;
+  FabricOptions fabric;
+  fabric.hosts = hosts_per_dc;
+  const NodeId dci0 = BuildDcFabric(g, 0, fabric);
+  const NodeId dci1 = BuildDcFabric(g, 1, fabric);
+  // Parallel links between the two DCI switches. Distinct graph links map to
+  // distinct ports, so multipath policies see `parallel_links` candidates.
+  for (int i = 0; i < parallel_links; ++i) {
+    g.AddLink(dci0, dci1, inter_rate_bps, inter_delay_ns);
+  }
+  return g;
+}
+
+Graph BuildTestbed8(const Testbed8Options& opts) {
+  Graph g;
+  std::vector<NodeId> dci(8, kInvalidNode);
+  // DC1 (index 0) and DC8 (index 7) carry servers; DC2..DC7 are transit-only.
+  FabricOptions transit = opts.fabric;
+  transit.hosts = 0;
+  transit.kind = FabricKind::kCollapsed;
+  for (DcId dc = 0; dc < 8; ++dc) {
+    const bool endpoint = (dc == 0 || dc == 7);
+    dci[static_cast<size_t>(dc)] = BuildDcFabric(g, dc, endpoint ? opts.fabric : transit);
+  }
+  // Six two-hop routes DC1 -> DC(k) -> DC8, k = 2..7; both legs of a route
+  // share the class attributes (Fig. 1a).
+  for (int k = 0; k < 6; ++k) {
+    const Testbed8PathClass& cls = opts.classes[k];
+    const NodeId transit_dci = dci[static_cast<size_t>(k + 1)];
+    g.AddLink(dci[0], transit_dci, cls.rate_bps, cls.per_link_delay_ns,
+              opts.inter_dc_buffer_bytes);
+    g.AddLink(transit_dci, dci[7], cls.rate_bps, cls.per_link_delay_ns,
+              opts.inter_dc_buffer_bytes);
+  }
+  return g;
+}
+
+Graph BuildBso13(const Bso13Options& opts) {
+  Graph g;
+  std::vector<NodeId> dci(13, kInvalidNode);
+  for (DcId dc = 0; dc < 13; ++dc) {
+    dci[static_cast<size_t>(dc)] = BuildDcFabric(g, dc, opts.fabric);
+  }
+  // Europe-like sparse backbone. Delay classes: 1 ms (regional), 5 ms
+  // (national), 10 ms (2000 km long haul). Capacities 40/100/200 Gbps mix
+  // backbone, transit and customer links. DC numbering is 1-based in
+  // comments to match the paper (DC1 = index 0, DC13 = index 12).
+  struct L {
+    int a, b;
+    int64_t rate;
+    TimeNs delay;
+  };
+  const TimeNs d1 = Milliseconds(1), d5 = Milliseconds(5), d10 = Milliseconds(10);
+  const L links[] = {
+      // Backbone chain DC1..DC13.
+      {1, 2, Gbps(100), d1},  {2, 3, Gbps(100), d1},  {3, 4, Gbps(200), d5},
+      {4, 5, Gbps(40), d1},   {5, 6, Gbps(100), d5},  {6, 7, Gbps(100), d1},
+      {7, 8, Gbps(200), d5},  {8, 9, Gbps(40), d1},   {9, 10, Gbps(100), d5},
+      {10, 11, Gbps(100), d1}, {11, 12, Gbps(40), d1}, {12, 13, Gbps(200), d5},
+      // Long-haul chords creating multipath for a minority of pairs.
+      {1, 5, Gbps(200), d10},  // DC1 reaches the middle of the chain directly
+      {1, 8, Gbps(100), d5},
+      {5, 13, Gbps(200), d10},  // two distinct 2-hop DC1->DC13 routes: a fat
+      {8, 13, Gbps(100), d5},   // 40 ms 200G one vs a lean 20 ms 100G one
+      {3, 7, Gbps(40), d10},
+      {6, 11, Gbps(100), d10},
+  };
+  for (const L& l : links) {
+    g.AddLink(dci[static_cast<size_t>(l.a - 1)], dci[static_cast<size_t>(l.b - 1)], l.rate,
+              l.delay, opts.inter_dc_buffer_bytes);
+  }
+  return g;
+}
+
+Graph BuildRandomWan(const RandomWanOptions& opts) {
+  LCMP_CHECK(opts.num_dcs >= 3);
+  Graph g;
+  std::vector<NodeId> dci(static_cast<size_t>(opts.num_dcs), kInvalidNode);
+  for (DcId dc = 0; dc < opts.num_dcs; ++dc) {
+    dci[static_cast<size_t>(dc)] = BuildDcFabric(g, dc, opts.fabric);
+  }
+  Rng rng(opts.seed ^ 0xbadc0ffeULL);
+  const int64_t rates[] = {Gbps(40), Gbps(100), Gbps(200)};
+  const TimeNs delays[] = {Milliseconds(1), Milliseconds(5), Milliseconds(10)};
+  auto random_rate = [&] { return rates[rng.NextBounded(3)]; };
+  auto random_delay = [&] { return delays[rng.NextBounded(3)]; };
+  // Connectivity ring.
+  for (int i = 0; i < opts.num_dcs; ++i) {
+    const int j = (i + 1) % opts.num_dcs;
+    g.AddLink(dci[static_cast<size_t>(i)], dci[static_cast<size_t>(j)], random_rate(),
+              random_delay(), opts.inter_dc_buffer_bytes);
+  }
+  // Random chords; duplicates between the same DCI pair become parallel
+  // links (distinct candidates), which is fine.
+  for (int c = 0; c < opts.extra_chords; ++c) {
+    const int a = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(opts.num_dcs)));
+    int b = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(opts.num_dcs)));
+    if (b == a) {
+      b = (a + 2) % opts.num_dcs;  // skip self and trivial ring neighbor
+    }
+    g.AddLink(dci[static_cast<size_t>(a)], dci[static_cast<size_t>(b)], random_rate(),
+              random_delay(), opts.inter_dc_buffer_bytes);
+  }
+  return g;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,109 @@
+// Topology builders for every scenario in the paper's evaluation:
+//   - small synthetic graphs for unit tests (linear, dumbbell)
+//   - the 8-DC capacity/delay-asymmetric testbed of Fig. 1a / Fig. 4a
+//   - the 13-DC Europe-like BSONetwork topology of Fig. 4b
+//
+// Intra-DC fabrics come in two fidelities:
+//   - kCollapsed: hosts hang directly off the DCI switch through fat,
+//     low-latency links (the fabric is never the bottleneck; LCMP acts only
+//     at DCI switches, so this preserves the studied mechanism), and
+//   - kLeafSpine: the paper's full 1 DCI + 2 spine + 4 leaf + 16 server pod.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/graph.h"
+
+namespace lcmp {
+
+enum class FabricKind : uint8_t { kCollapsed, kLeafSpine };
+
+// Per-DC fabric parameters (defaults follow the paper's testbed section).
+struct FabricOptions {
+  FabricKind kind = FabricKind::kCollapsed;
+  int hosts = 8;  // per DC (collapsed mode); leaf-spine mode uses 16.
+  int leaves = 4;
+  int spines = 2;
+  int hosts_per_leaf = 4;
+  int64_t host_link_bps = Gbps(100);
+  int64_t leaf_spine_bps = Gbps(100);
+  int64_t spine_dci_bps = Gbps(400);
+  TimeNs intra_delay_ns = Microseconds(1);
+};
+
+// Builds one datacenter pod inside `g` and returns the DCI switch id.
+NodeId BuildDcFabric(Graph& g, DcId dc, const FabricOptions& opts);
+
+// -------- Test topologies --------
+
+// src host - switch - dst host, single path. For transport unit tests.
+struct LinearTopo {
+  Graph graph;
+  NodeId src_host;
+  NodeId dst_host;
+  NodeId sw;
+};
+LinearTopo BuildLinear(int64_t rate_bps = Gbps(100), TimeNs delay_ns = Microseconds(1));
+
+// Two collapsed DCs joined by `parallel_links` equal inter-DC links.
+Graph BuildDumbbell(int parallel_links, int hosts_per_dc, int64_t inter_rate_bps,
+                    TimeNs inter_delay_ns);
+
+// -------- Paper topologies --------
+
+// One first-hop alternative of the 8-DC topology (DC1 -> DCk -> DC8).
+struct Testbed8PathClass {
+  int64_t rate_bps;
+  TimeNs per_link_delay_ns;
+};
+
+struct Testbed8Options {
+  FabricOptions fabric;
+  // Six transit DCs (DC2..DC7), each defining one DC1->DCk->DC8 route whose
+  // two legs share the same rate/delay. Capacity classes high/medium/low,
+  // each with one low-delay and one high-delay member (paper Fig. 1a).
+  Testbed8PathClass classes[6] = {
+      {Gbps(200), Milliseconds(125)},   // via DC2: high cap, high delay
+      {Gbps(200), Milliseconds(30)},    // via DC3: high cap, low delay
+      {Gbps(100), Milliseconds(125)},   // via DC4: medium cap, high delay
+      {Gbps(100), Milliseconds(15)},    // via DC5: medium cap, low delay
+      {Gbps(40), Milliseconds(25)},     // via DC6: low cap, high(er) delay
+      {Gbps(40), Milliseconds(5)},      // via DC7: low cap, low delay
+  };
+  // Inter-DC egress buffering; the paper provisions multi-GB buffers on
+  // long-haul ports so RDMA stays lossless.
+  int64_t inter_dc_buffer_bytes = int64_t{2} * 1024 * 1024 * 1024;
+};
+
+// The Fig. 1a topology: DC1 and DC8 exchange traffic over six two-hop routes
+// through transit DCs 2..7. Transit DCs host no servers.
+Graph BuildTestbed8(const Testbed8Options& opts = {});
+
+struct Bso13Options {
+  FabricOptions fabric;
+  int64_t inter_dc_buffer_bytes = int64_t{2} * 1024 * 1024 * 1024;
+};
+
+// 13-DC Europe-spanning topology modeled after BSONetworkSolutions from the
+// Internet Topology Zoo: a sparse backbone where only a minority of DC pairs
+// see multiple candidate routes. Delay classes 1 ms (200 km), 5 ms (1000 km)
+// and 10 ms (2000 km); capacities 40/100/200 Gbps.
+Graph BuildBso13(const Bso13Options& opts = {});
+
+struct RandomWanOptions {
+  int num_dcs = 16;
+  // Chords added on top of the connectivity ring; each picks random distinct
+  // endpoints, a random capacity from {40, 100, 200} Gbps and a random delay
+  // class from {1, 5, 10} ms.
+  int extra_chords = 8;
+  uint64_t seed = 1;
+  FabricOptions fabric;
+  int64_t inter_dc_buffer_bytes = int64_t{2} * 1024 * 1024 * 1024;
+};
+
+// Random sparse WAN: a ring over all DCs (guaranteed connectivity) plus
+// `extra_chords` random long-haul links. Used for property tests and
+// scalability sweeps; deterministic per seed.
+Graph BuildRandomWan(const RandomWanOptions& opts);
+
+}  // namespace lcmp

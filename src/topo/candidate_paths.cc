@@ -1,0 +1,225 @@
+#include "topo/candidate_paths.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace lcmp {
+namespace {
+
+constexpr TimeNs kInfDelay = std::numeric_limits<TimeNs>::max() / 4;
+
+struct InterDcLink {
+  NodeId a, b;
+  int link_idx;
+  int64_t rate_bps;
+  TimeNs delay_ns;
+};
+
+}  // namespace
+
+InterDcRoutes InterDcRoutes::Compute(const Graph& g) {
+  InterDcRoutes r;
+  r.num_dcs_ = g.num_dcs();
+  r.dci_of_dc_.assign(static_cast<size_t>(r.num_dcs_), kInvalidNode);
+  for (DcId dc = 0; dc < r.num_dcs_; ++dc) {
+    r.dci_of_dc_[static_cast<size_t>(dc)] = g.DciOfDc(dc);
+  }
+
+  // Inter-DC adjacency: per DCI switch, the incident DCI<->DCI links.
+  std::vector<std::vector<InterDcLink>> adj(static_cast<size_t>(g.num_vertices()));
+  for (int li = 0; li < g.num_links(); ++li) {
+    const LinkSpec& l = g.link(li);
+    const Vertex& va = g.vertex(l.a);
+    const Vertex& vb = g.vertex(l.b);
+    if (va.kind == VertexKind::kDciSwitch && vb.kind == VertexKind::kDciSwitch) {
+      adj[static_cast<size_t>(l.a)].push_back({l.a, l.b, li, l.rate_bps, l.delay_ns});
+      adj[static_cast<size_t>(l.b)].push_back({l.b, l.a, li, l.rate_bps, l.delay_ns});
+    }
+  }
+
+  const size_t ndc = static_cast<size_t>(r.num_dcs_);
+  r.candidates_.assign(ndc, std::vector<std::vector<RouteCandidate>>(ndc));
+  r.hop_dist_.assign(ndc, std::vector<int>(ndc, -1));
+
+  for (DcId dst_dc = 0; dst_dc < r.num_dcs_; ++dst_dc) {
+    const NodeId dst_dci = r.dci_of_dc_[static_cast<size_t>(dst_dc)];
+    if (dst_dci == kInvalidNode) {
+      continue;
+    }
+    // BFS hop distances toward dst over the inter-DC graph.
+    std::vector<int> dist(static_cast<size_t>(g.num_vertices()), -1);
+    std::queue<NodeId> bfs;
+    dist[static_cast<size_t>(dst_dci)] = 0;
+    bfs.push(dst_dci);
+    while (!bfs.empty()) {
+      const NodeId u = bfs.front();
+      bfs.pop();
+      for (const InterDcLink& l : adj[static_cast<size_t>(u)]) {
+        if (dist[static_cast<size_t>(l.b)] < 0) {
+          dist[static_cast<size_t>(l.b)] = dist[static_cast<size_t>(u)] + 1;
+          bfs.push(l.b);
+        }
+      }
+    }
+    // Downhill DP in increasing hop distance: best residual delay and the
+    // bottleneck along that best-delay downhill route.
+    std::vector<NodeId> order;
+    for (DcId dc = 0; dc < r.num_dcs_; ++dc) {
+      const NodeId dci = r.dci_of_dc_[static_cast<size_t>(dc)];
+      if (dci != kInvalidNode && dist[static_cast<size_t>(dci)] >= 0) {
+        order.push_back(dci);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](NodeId x, NodeId y) {
+      return dist[static_cast<size_t>(x)] < dist[static_cast<size_t>(y)];
+    });
+    std::vector<TimeNs> best_delay(static_cast<size_t>(g.num_vertices()), kInfDelay);
+    std::vector<int64_t> best_bneck(static_cast<size_t>(g.num_vertices()), 0);
+    best_delay[static_cast<size_t>(dst_dci)] = 0;
+    best_bneck[static_cast<size_t>(dst_dci)] = std::numeric_limits<int64_t>::max();
+
+    for (const NodeId u : order) {
+      const DcId udc = g.vertex(u).dc;
+      r.hop_dist_[static_cast<size_t>(udc)][static_cast<size_t>(dst_dc)] =
+          dist[static_cast<size_t>(u)];
+      if (u == dst_dci) {
+        continue;
+      }
+      std::vector<RouteCandidate>& cands =
+          r.candidates_[static_cast<size_t>(udc)][static_cast<size_t>(dst_dc)];
+      for (const InterDcLink& l : adj[static_cast<size_t>(u)]) {
+        const NodeId v = l.b;
+        if (dist[static_cast<size_t>(v)] < 0 ||
+            dist[static_cast<size_t>(v)] >= dist[static_cast<size_t>(u)]) {
+          continue;  // not downhill
+        }
+        RouteCandidate c;
+        c.next_hop = v;
+        c.link_idx = l.link_idx;
+        c.path_delay_ns = l.delay_ns + best_delay[static_cast<size_t>(v)];
+        c.bottleneck_bps = std::min(l.rate_bps, best_bneck[static_cast<size_t>(v)]);
+        cands.push_back(c);
+        // Update this node's own best residual metrics.
+        if (c.path_delay_ns < best_delay[static_cast<size_t>(u)] ||
+            (c.path_delay_ns == best_delay[static_cast<size_t>(u)] &&
+             c.bottleneck_bps > best_bneck[static_cast<size_t>(u)])) {
+          best_delay[static_cast<size_t>(u)] = c.path_delay_ns;
+          best_bneck[static_cast<size_t>(u)] = c.bottleneck_bps;
+        }
+      }
+      // Stable order (by first-hop link index) for reproducibility.
+      std::sort(cands.begin(), cands.end(),
+                [](const RouteCandidate& x, const RouteCandidate& y) {
+                  return x.link_idx < y.link_idx;
+                });
+    }
+  }
+  return r;
+}
+
+const std::vector<RouteCandidate>& InterDcRoutes::Candidates(NodeId dci, DcId dst_dc) const {
+  static const std::vector<RouteCandidate> kEmpty;
+  if (dst_dc < 0 || dst_dc >= num_dcs_) {
+    return kEmpty;
+  }
+  // Resolve the switch's DC via the stored DCI table.
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    if (dci_of_dc_[static_cast<size_t>(dc)] == dci) {
+      return candidates_[static_cast<size_t>(dc)][static_cast<size_t>(dst_dc)];
+    }
+  }
+  return kEmpty;
+}
+
+int InterDcRoutes::HopDistance(NodeId dci, DcId dst_dc) const {
+  if (dst_dc < 0 || dst_dc >= num_dcs_) {
+    return -1;
+  }
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    if (dci_of_dc_[static_cast<size_t>(dc)] == dci) {
+      return hop_dist_[static_cast<size_t>(dc)][static_cast<size_t>(dst_dc)];
+    }
+  }
+  return -1;
+}
+
+double InterDcRoutes::MultipathPairFraction() const {
+  int pairs = 0;
+  int multi = 0;
+  for (DcId s = 0; s < num_dcs_; ++s) {
+    for (DcId d = 0; d < num_dcs_; ++d) {
+      if (s == d) {
+        continue;
+      }
+      ++pairs;
+      if (candidates_[static_cast<size_t>(s)][static_cast<size_t>(d)].size() >= 2) {
+        ++multi;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : static_cast<double>(multi) / pairs;
+}
+
+PathMetric ComputeMinDelayPath(const Graph& g, NodeId src, NodeId dst) {
+  PathMetric out;
+  if (src == dst) {
+    out.reachable = true;
+    out.bottleneck_bps = std::numeric_limits<int64_t>::max();
+    return out;
+  }
+  const size_t n = static_cast<size_t>(g.num_vertices());
+  std::vector<TimeNs> delay(n, kInfDelay);
+  std::vector<int64_t> bneck(n, 0);
+  std::vector<int> hops(n, 0);
+  using Entry = std::pair<TimeNs, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  delay[static_cast<size_t>(src)] = 0;
+  bneck[static_cast<size_t>(src)] = std::numeric_limits<int64_t>::max();
+  pq.push({0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > delay[static_cast<size_t>(u)]) {
+      continue;
+    }
+    if (u == dst) {
+      break;
+    }
+    for (const int li : g.incident_links(u)) {
+      const LinkSpec& l = g.link(li);
+      const NodeId v = g.Peer(li, u);
+      const TimeNs nd = d + l.delay_ns;
+      const int64_t nb = std::min(bneck[static_cast<size_t>(u)], l.rate_bps);
+      if (nd < delay[static_cast<size_t>(v)] ||
+          (nd == delay[static_cast<size_t>(v)] && nb > bneck[static_cast<size_t>(v)])) {
+        delay[static_cast<size_t>(v)] = nd;
+        bneck[static_cast<size_t>(v)] = nb;
+        hops[static_cast<size_t>(v)] = hops[static_cast<size_t>(u)] + 1;
+        pq.push({nd, v});
+      }
+    }
+  }
+  if (delay[static_cast<size_t>(dst)] >= kInfDelay) {
+    return out;
+  }
+  out.reachable = true;
+  out.delay_ns = delay[static_cast<size_t>(dst)];
+  out.bottleneck_bps = bneck[static_cast<size_t>(dst)];
+  out.hops = hops[static_cast<size_t>(dst)];
+  return out;
+}
+
+const PathMetric& PathOracle::Metric(NodeId src, NodeId dst) {
+  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+                       static_cast<uint32_t>(dst);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, ComputeMinDelayPath(*graph_, src, dst)).first;
+  }
+  return it->second;
+}
+
+}  // namespace lcmp

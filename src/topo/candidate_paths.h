@@ -1,0 +1,85 @@
+// Control-plane route computation over the inter-DC graph.
+//
+// For every (DCI switch, destination DC) pair we precompute the set of
+// loop-free candidate next hops together with the residual path attributes
+// LCMP's C_path needs: the best one-way propagation delay from this hop to
+// the destination and the bottleneck capacity along that best-delay route.
+//
+// Loop freedom comes from "downhill" routing: a neighbor is a candidate only
+// if it is strictly closer (in hops) to the destination DC. On the paper's
+// topologies this yields exactly the candidate routes discussed in Fig. 1.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace lcmp {
+
+// One candidate next hop at a DCI switch toward a destination DC.
+struct RouteCandidate {
+  NodeId next_hop = kInvalidNode;  // neighboring DCI switch
+  int link_idx = -1;               // graph link used for the first hop
+  TimeNs path_delay_ns = 0;        // first-hop delay + best residual delay
+  int64_t bottleneck_bps = 0;      // bottleneck along that best-delay route
+};
+
+// Delay/bottleneck of the minimum-propagation-delay path between two nodes
+// over the full graph (used for ideal-FCT computation).
+struct PathMetric {
+  TimeNs delay_ns = 0;
+  int64_t bottleneck_bps = 0;
+  int hops = 0;
+  bool reachable = false;
+};
+
+class InterDcRoutes {
+ public:
+  // Derives candidate sets from the inter-DC sub-graph of `g` (links whose
+  // endpoints are both DCI switches).
+  static InterDcRoutes Compute(const Graph& g);
+
+  // Candidate next hops at `dci` toward `dst_dc` (empty when unreachable or
+  // when dci already sits in dst_dc).
+  const std::vector<RouteCandidate>& Candidates(NodeId dci, DcId dst_dc) const;
+
+  // Hop distance from `dci` to `dst_dc` over the inter-DC graph; -1 if
+  // unreachable.
+  int HopDistance(NodeId dci, DcId dst_dc) const;
+
+  // Fraction of ordered DC pairs whose source DCI has >= 2 candidates
+  // (the paper quotes 20/78 unordered pairs for the 13-DC topology).
+  double MultipathPairFraction() const;
+
+  int num_dcs() const { return num_dcs_; }
+
+ private:
+  int num_dcs_ = 0;
+  std::vector<NodeId> dci_of_dc_;
+  // candidates_[dc_of(dci)][dst_dc]; DCIs are unique per DC so indexing by
+  // the switch's DC is unambiguous.
+  std::vector<std::vector<std::vector<RouteCandidate>>> candidates_;
+  std::vector<std::vector<int>> hop_dist_;  // [src_dc][dst_dc]
+};
+
+// Minimum-propagation-delay path metric between two vertices over the full
+// graph (Dijkstra on delay; ties broken toward higher bottleneck capacity).
+PathMetric ComputeMinDelayPath(const Graph& g, NodeId src, NodeId dst);
+
+// Memoizing wrapper around ComputeMinDelayPath. Both the transport (base
+// RTT) and the FCT recorder (ideal FCT) consult it, so results are cached
+// per ordered host pair.
+class PathOracle {
+ public:
+  explicit PathOracle(const Graph* g) : graph_(g) {}
+
+  // Cached minimum-delay path metric from src to dst.
+  const PathMetric& Metric(NodeId src, NodeId dst);
+
+ private:
+  const Graph* graph_;
+  std::unordered_map<uint64_t, PathMetric> cache_;
+};
+
+}  // namespace lcmp

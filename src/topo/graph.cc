@@ -1,0 +1,68 @@
+#include "topo/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+NodeId Graph::AddVertex(VertexKind kind, DcId dc, std::string name) {
+  const NodeId id = static_cast<NodeId>(vertices_.size());
+  vertices_.push_back(Vertex{kind, dc, std::move(name)});
+  incident_.emplace_back();
+  num_dcs_ = std::max(num_dcs_, dc + 1);
+  return id;
+}
+
+int Graph::AddLink(NodeId a, NodeId b, int64_t rate_bps, TimeNs delay_ns, int64_t buffer_bytes) {
+  LCMP_CHECK(a >= 0 && a < num_vertices());
+  LCMP_CHECK(b >= 0 && b < num_vertices());
+  LCMP_CHECK(a != b);
+  LCMP_CHECK(rate_bps > 0);
+  LCMP_CHECK(delay_ns >= 0);
+  const int idx = static_cast<int>(links_.size());
+  links_.push_back(LinkSpec{a, b, rate_bps, delay_ns, buffer_bytes});
+  incident_[static_cast<size_t>(a)].push_back(idx);
+  incident_[static_cast<size_t>(b)].push_back(idx);
+  return idx;
+}
+
+NodeId Graph::Peer(int link_idx, NodeId id) const {
+  const LinkSpec& l = links_[static_cast<size_t>(link_idx)];
+  LCMP_CHECK(l.a == id || l.b == id);
+  return l.a == id ? l.b : l.a;
+}
+
+std::vector<NodeId> Graph::HostsInDc(DcId dc) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < num_vertices(); ++id) {
+    const Vertex& v = vertex(id);
+    if (v.dc == dc && v.kind == VertexKind::kHost) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+NodeId Graph::DciOfDc(DcId dc) const {
+  for (NodeId id = 0; id < num_vertices(); ++id) {
+    const Vertex& v = vertex(id);
+    if (v.dc == dc && v.kind == VertexKind::kDciSwitch) {
+      return id;
+    }
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> Graph::DciSwitches() const {
+  std::vector<NodeId> out;
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    const NodeId dci = DciOfDc(dc);
+    if (dci != kInvalidNode) {
+      out.push_back(dci);
+    }
+  }
+  return out;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,87 @@
+// Pure topology description, independent of the simulator.
+//
+// A Graph lists vertices (hosts and switches, each belonging to a datacenter)
+// and full-duplex links with a rate and a one-way propagation delay. The
+// network builder (sim/network.h) instantiates simulation objects from it and
+// the control plane (topo/candidate_paths.h) derives multipath candidate sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lcmp {
+
+// Role of a vertex in the topology.
+enum class VertexKind : uint8_t {
+  kHost,       // end host with an RNIC
+  kLeaf,       // intra-DC leaf (ToR) switch
+  kSpine,      // intra-DC spine switch
+  kDciSwitch,  // datacenter-interconnect edge switch (runs the routing policy)
+};
+
+// Identifier of a datacenter; dense, starting at 0.
+using DcId = int32_t;
+inline constexpr DcId kInvalidDc = -1;
+
+struct Vertex {
+  VertexKind kind = VertexKind::kHost;
+  DcId dc = kInvalidDc;
+  std::string name;  // human-readable, e.g. "dc1.leaf0" or "DC3-DCI"
+};
+
+// Full-duplex link between vertices `a` and `b`. Both directions share the
+// same rate and delay (inter-DC fiber pairs are symmetric in the paper).
+struct LinkSpec {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  int64_t rate_bps = 0;
+  TimeNs delay_ns = 0;
+  // Egress buffer per direction; 0 means "use the network default".
+  int64_t buffer_bytes = 0;
+};
+
+class Graph {
+ public:
+  // Adds a vertex and returns its id. Ids are dense and stable.
+  NodeId AddVertex(VertexKind kind, DcId dc, std::string name);
+
+  // Adds a full-duplex link; both endpoints must exist. Returns link index.
+  int AddLink(NodeId a, NodeId b, int64_t rate_bps, TimeNs delay_ns, int64_t buffer_bytes = 0);
+
+  int num_vertices() const { return static_cast<int>(vertices_.size()); }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  int num_dcs() const { return num_dcs_; }
+
+  const Vertex& vertex(NodeId id) const { return vertices_[static_cast<size_t>(id)]; }
+  const LinkSpec& link(int idx) const { return links_[static_cast<size_t>(idx)]; }
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<LinkSpec>& links() const { return links_; }
+
+  // Link indices incident to `id` (each full-duplex link appears once).
+  const std::vector<int>& incident_links(NodeId id) const {
+    return incident_[static_cast<size_t>(id)];
+  }
+
+  // The vertex on the other side of link `link_idx` from `id`.
+  NodeId Peer(int link_idx, NodeId id) const;
+
+  // All host vertices in datacenter `dc`.
+  std::vector<NodeId> HostsInDc(DcId dc) const;
+
+  // The unique DCI switch of datacenter `dc`; kInvalidNode if none.
+  NodeId DciOfDc(DcId dc) const;
+
+  // All DCI switches, ordered by DC id.
+  std::vector<NodeId> DciSwitches() const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<LinkSpec> links_;
+  std::vector<std::vector<int>> incident_;
+  int num_dcs_ = 0;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,40 @@
+#include "transport/cc/congestion_control.h"
+
+#include "transport/cc/dcqcn.h"
+#include "transport/cc/dctcp.h"
+#include "transport/cc/hpcc.h"
+#include "transport/cc/timely.h"
+
+namespace lcmp {
+
+const char* CcKindName(CcKind kind) {
+  switch (kind) {
+    case CcKind::kDcqcn:
+      return "dcqcn";
+    case CcKind::kHpcc:
+      return "hpcc";
+    case CcKind::kTimely:
+      return "timely";
+    case CcKind::kDctcp:
+      return "dctcp";
+  }
+  return "?";
+}
+
+CcFactory MakeCcFactory(CcKind kind) {
+  switch (kind) {
+    case CcKind::kDcqcn:
+      return [] { return std::make_unique<Dcqcn>(); };
+    case CcKind::kHpcc:
+      return [] { return std::make_unique<Hpcc>(); };
+    case CcKind::kTimely:
+      return [] { return std::make_unique<Timely>(); };
+    case CcKind::kDctcp:
+      return [] { return std::make_unique<Dctcp>(); };
+  }
+  return [] { return std::make_unique<Dcqcn>(); };
+}
+
+bool CcNeedsInt(CcKind kind) { return kind == CcKind::kHpcc; }
+
+}  // namespace lcmp

@@ -1,0 +1,55 @@
+// End-host congestion-control interface (Sec. 6.3.2 evaluates DCQCN, HPCC,
+// TIMELY and DCTCP; LCMP is orthogonal to all of them).
+//
+// All controllers are rate-based: the transport paces DATA packets at
+// rate_bps() and feeds back ACK / CNP / timeout events. This is the standard
+// modeling used by the DCQCN/HPCC simulation studies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+#include "sim/packet.h"
+
+namespace lcmp {
+
+enum class CcKind : uint8_t { kDcqcn, kHpcc, kTimely, kDctcp };
+
+const char* CcKindName(CcKind kind);
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  // Called once before the first packet. `line_rate_bps` is the NIC rate,
+  // `base_rtt` the unloaded round-trip of the flow's best path.
+  virtual void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) = 0;
+
+  // Cumulative ACK arrived. `ack` carries the ECN echo (DCTCP), the echoed
+  // INT stack (HPCC) and timestamps; `rtt` is the measured sample.
+  virtual void OnAck(const Packet& ack, TimeNs rtt, TimeNs now) = 0;
+
+  // DCQCN congestion-notification packet arrived.
+  virtual void OnCnp(TimeNs /*now*/) {}
+
+  // Retransmission timeout fired (Go-Back-N recovery engaged).
+  virtual void OnTimeout(TimeNs /*now*/) {}
+
+  // Current sending rate the transport must pace at.
+  virtual int64_t rate_bps() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+using CcFactory = std::function<std::unique_ptr<CongestionControl>()>;
+
+// Factory for the built-in controllers with their default parameters.
+CcFactory MakeCcFactory(CcKind kind);
+
+// True when the controller consumes HPCC-style in-band telemetry; the
+// network then stamps INT records on DATA packets.
+bool CcNeedsInt(CcKind kind);
+
+}  // namespace lcmp

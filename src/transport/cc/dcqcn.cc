@@ -1,0 +1,68 @@
+#include "transport/cc/dcqcn.h"
+
+#include <algorithm>
+
+namespace lcmp {
+
+void Dcqcn::Init(int64_t line_rate_bps, TimeNs /*base_rtt*/, TimeNs now) {
+  line_rate_ = line_rate_bps;
+  rate_current_ = line_rate_bps;
+  rate_target_ = line_rate_bps;
+  alpha_ = 1.0;
+  last_alpha_update_ = now;
+  last_rate_update_ = now;
+}
+
+void Dcqcn::AdvanceTimers(TimeNs now) {
+  // Alpha decay: alpha <- (1-g) * alpha each period without a CNP.
+  int guard = 0;
+  while (now - last_alpha_update_ >= params_.alpha_timer && guard++ < 4096) {
+    if (!cnp_since_alpha_timer_) {
+      alpha_ *= (1.0 - params_.g);
+    }
+    cnp_since_alpha_timer_ = false;
+    last_alpha_update_ += params_.alpha_timer;
+  }
+  // Rate increase stages.
+  guard = 0;
+  while (now - last_rate_update_ >= params_.rate_timer && guard++ < 4096) {
+    ++increase_rounds_;
+    if (increase_rounds_ > params_.fast_recovery_rounds) {
+      // Additive (or hyper after long quiet) increase of the target.
+      const bool hyper = increase_rounds_ > 5 * params_.fast_recovery_rounds;
+      rate_target_ = std::min(line_rate_,
+                              rate_target_ + (hyper ? params_.rhai_bps : params_.rai_bps));
+    }
+    // Fast recovery toward the target in all stages.
+    rate_current_ = (rate_current_ + rate_target_) / 2;
+    last_rate_update_ += params_.rate_timer;
+  }
+  if (guard >= 4096) {
+    last_alpha_update_ = now;
+    last_rate_update_ = now;
+  }
+}
+
+void Dcqcn::OnAck(const Packet& /*ack*/, TimeNs /*rtt*/, TimeNs now) { AdvanceTimers(now); }
+
+void Dcqcn::OnCnp(TimeNs now) {
+  AdvanceTimers(now);
+  // Multiplicative decrease and alpha bump (the reaction point algorithm).
+  rate_target_ = rate_current_;
+  rate_current_ = std::max<int64_t>(
+      params_.min_rate_bps, static_cast<int64_t>(rate_current_ * (1.0 - alpha_ / 2.0)));
+  alpha_ = (1.0 - params_.g) * alpha_ + params_.g;
+  cnp_since_alpha_timer_ = true;
+  increase_rounds_ = 0;
+  last_rate_update_ = now;
+}
+
+void Dcqcn::OnTimeout(TimeNs now) {
+  // Loss under RoCE is catastrophic; restart gently.
+  rate_target_ = rate_current_;
+  rate_current_ = std::max(params_.min_rate_bps, rate_current_ / 4);
+  increase_rounds_ = 0;
+  last_rate_update_ = now;
+}
+
+}  // namespace lcmp

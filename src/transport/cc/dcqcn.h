@@ -1,0 +1,50 @@
+// DCQCN (Zhu et al., SIGCOMM '15): ECN-driven rate control for RoCEv2.
+//
+// Receiver-side CNPs trigger multiplicative decrease through the alpha
+// estimator; rate recovers through fast-recovery / additive-increase /
+// hyper-increase stages on a timer. Timers are evaluated lazily from packet
+// events, which is exact for a rate-based model.
+#pragma once
+
+#include "transport/cc/congestion_control.h"
+
+namespace lcmp {
+
+struct DcqcnParams {
+  double g = 1.0 / 256.0;           // alpha gain
+  TimeNs alpha_timer = Microseconds(55);   // alpha decay period
+  TimeNs rate_timer = Microseconds(300);   // increase period
+  int fast_recovery_rounds = 5;
+  int64_t rai_bps = Mbps(400);      // additive increase step
+  int64_t rhai_bps = Gbps(4);       // hyper increase step
+  int64_t min_rate_bps = Mbps(100);
+};
+
+class Dcqcn : public CongestionControl {
+ public:
+  explicit Dcqcn(const DcqcnParams& params = {}) : params_(params) {}
+
+  void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) override;
+  void OnAck(const Packet& ack, TimeNs rtt, TimeNs now) override;
+  void OnCnp(TimeNs now) override;
+  void OnTimeout(TimeNs now) override;
+  int64_t rate_bps() const override { return rate_current_; }
+  const char* name() const override { return "dcqcn"; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  void AdvanceTimers(TimeNs now);
+
+  DcqcnParams params_;
+  int64_t line_rate_ = 0;
+  int64_t rate_current_ = 0;
+  int64_t rate_target_ = 0;
+  double alpha_ = 1.0;
+  bool cnp_since_alpha_timer_ = false;
+  int increase_rounds_ = 0;  // since last decrease
+  TimeNs last_alpha_update_ = 0;
+  TimeNs last_rate_update_ = 0;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,44 @@
+#include "transport/cc/dctcp.h"
+
+#include <algorithm>
+
+namespace lcmp {
+
+void Dctcp::Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) {
+  line_rate_ = line_rate_bps;
+  rate_ = line_rate_bps;
+  base_rtt_ = std::max<TimeNs>(base_rtt, Microseconds(10));
+  window_start_ = now;
+}
+
+void Dctcp::OnAck(const Packet& ack, TimeNs rtt, TimeNs now) {
+  ++acked_in_window_;
+  if (ack.ecn_echo) {
+    ++marked_in_window_;
+  }
+  // Window boundary: roughly one (measured) RTT of ACKs.
+  const TimeNs window = std::max(base_rtt_, rtt);
+  if (now - window_start_ < window || acked_in_window_ == 0) {
+    return;
+  }
+  const double frac = static_cast<double>(marked_in_window_) /
+                      static_cast<double>(acked_in_window_);
+  alpha_ = (1.0 - params_.g) * alpha_ + params_.g * frac;
+  if (marked_in_window_ > 0) {
+    rate_ = std::max<int64_t>(params_.min_rate_bps,
+                              static_cast<int64_t>(rate_ * (1.0 - alpha_ / 2.0)));
+  } else {
+    // Additive increase: one MSS of window per RTT expressed as rate.
+    const int64_t ai_bps = params_.ai_bytes_per_rtt * 8 * kNsPerSec / base_rtt_;
+    rate_ = std::min(line_rate_, rate_ + std::max<int64_t>(ai_bps, Mbps(1)));
+  }
+  window_start_ = now;
+  acked_in_window_ = 0;
+  marked_in_window_ = 0;
+}
+
+void Dctcp::OnTimeout(TimeNs /*now*/) {
+  rate_ = std::max(params_.min_rate_bps, rate_ / 2);
+}
+
+}  // namespace lcmp

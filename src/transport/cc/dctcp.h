@@ -1,0 +1,40 @@
+// DCTCP (Alizadeh et al., SIGCOMM '10) in rate form: the ECN-mark fraction
+// over each RTT window drives the alpha estimator; the window's rate is cut
+// by alpha/2 when marks were present and grows additively otherwise.
+#pragma once
+
+#include "transport/cc/congestion_control.h"
+
+namespace lcmp {
+
+struct DctcpParams {
+  double g = 1.0 / 16.0;            // alpha EWMA gain
+  int64_t min_rate_bps = Mbps(100);
+  int64_t ai_bytes_per_rtt = 4096;  // one MSS of window growth per RTT
+};
+
+class Dctcp : public CongestionControl {
+ public:
+  explicit Dctcp(const DctcpParams& params = {}) : params_(params) {}
+
+  void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) override;
+  void OnAck(const Packet& ack, TimeNs rtt, TimeNs now) override;
+  void OnTimeout(TimeNs now) override;
+  int64_t rate_bps() const override { return rate_; }
+  const char* name() const override { return "dctcp"; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  DctcpParams params_;
+  int64_t line_rate_ = 0;
+  int64_t rate_ = 0;
+  TimeNs base_rtt_ = 0;
+  double alpha_ = 0.0;
+  // Per-window mark accounting.
+  TimeNs window_start_ = 0;
+  int64_t acked_in_window_ = 0;
+  int64_t marked_in_window_ = 0;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,58 @@
+#include "transport/cc/hpcc.h"
+
+#include <algorithm>
+
+namespace lcmp {
+
+void Hpcc::Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs /*now*/) {
+  line_rate_ = line_rate_bps;
+  rate_ = line_rate_bps;
+  base_rtt_ = std::max<TimeNs>(base_rtt, Microseconds(10));
+  have_prev_ = false;
+}
+
+void Hpcc::OnAck(const Packet& ack, TimeNs /*rtt*/, TimeNs /*now*/) {
+  if (ack.int_hops == 0) {
+    return;  // telemetry absent (e.g., intra-DC shortcut); keep current rate
+  }
+  // U = max over hops of (qlen / (B * T_base) + txRate / B).
+  double max_u = 0.0;
+  for (uint8_t h = 0; h < ack.int_hops; ++h) {
+    const IntRecord& cur = ack.int_rec[h];
+    if (cur.rate_bps <= 0) {
+      continue;
+    }
+    const double bdp_bytes = static_cast<double>(cur.rate_bps) / 8.0 *
+                             static_cast<double>(base_rtt_) / kNsPerSec;
+    double u = bdp_bytes > 0 ? static_cast<double>(cur.qlen_bytes) / bdp_bytes : 0.0;
+    if (have_prev_ && h < prev_hops_) {
+      const IntRecord& prev = prev_rec_[h];
+      const TimeNs dt = cur.ts - prev.ts;
+      if (dt > 0 && cur.tx_bytes >= prev.tx_bytes) {
+        const double tx_rate_bps =
+            static_cast<double>(cur.tx_bytes - prev.tx_bytes) * 8.0 * kNsPerSec /
+            static_cast<double>(dt);
+        u += tx_rate_bps / static_cast<double>(cur.rate_bps);
+      }
+    }
+    max_u = std::max(max_u, u);
+  }
+  prev_hops_ = ack.int_hops;
+  prev_rec_ = ack.int_rec;
+  have_prev_ = true;
+
+  if (max_u > params_.eta) {
+    // Multiplicative move toward the target utilization, bounded per update.
+    const double factor = std::max(params_.max_stage_gain, params_.eta / max_u);
+    rate_ = std::max<int64_t>(params_.min_rate_bps, static_cast<int64_t>(rate_ * factor));
+  } else {
+    rate_ = std::min(line_rate_, rate_ + params_.wai_bps);
+  }
+}
+
+void Hpcc::OnTimeout(TimeNs /*now*/) {
+  rate_ = std::max(params_.min_rate_bps, rate_ / 2);
+  have_prev_ = false;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,41 @@
+// HPCC (Li et al., SIGCOMM '19): in-band-telemetry-driven congestion
+// control. Every ACK echoes per-hop INT records (queue depth, link rate,
+// cumulative TX bytes, timestamp); the sender computes the max per-hop
+// utilization U and steers its rate toward eta * line capacity.
+#pragma once
+
+#include <array>
+
+#include "transport/cc/congestion_control.h"
+
+namespace lcmp {
+
+struct HpccParams {
+  double eta = 0.95;            // target utilization
+  double max_stage_gain = 0.5;  // max multiplicative cut per update
+  int64_t wai_bps = Mbps(200);  // additive probe
+  int64_t min_rate_bps = Mbps(100);
+};
+
+class Hpcc : public CongestionControl {
+ public:
+  explicit Hpcc(const HpccParams& params = {}) : params_(params) {}
+
+  void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) override;
+  void OnAck(const Packet& ack, TimeNs rtt, TimeNs now) override;
+  void OnTimeout(TimeNs now) override;
+  int64_t rate_bps() const override { return rate_; }
+  const char* name() const override { return "hpcc"; }
+
+ private:
+  HpccParams params_;
+  int64_t line_rate_ = 0;
+  int64_t rate_ = 0;
+  TimeNs base_rtt_ = 0;
+  // Previous INT snapshot, to differentiate txBytes into per-hop rates.
+  bool have_prev_ = false;
+  uint8_t prev_hops_ = 0;
+  std::array<IntRecord, kMaxIntHops> prev_rec_{};
+};
+
+}  // namespace lcmp

@@ -1,0 +1,60 @@
+#include "transport/cc/timely.h"
+
+#include <algorithm>
+
+namespace lcmp {
+
+void Timely::Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs /*now*/) {
+  line_rate_ = line_rate_bps;
+  rate_ = line_rate_bps;
+  base_rtt_ = std::max<TimeNs>(base_rtt, Microseconds(10));
+  prev_rtt_ = 0;
+}
+
+void Timely::OnAck(const Packet& /*ack*/, TimeNs rtt, TimeNs /*now*/) {
+  if (rtt <= 0) {
+    return;
+  }
+  if (prev_rtt_ == 0) {
+    prev_rtt_ = rtt;
+    return;
+  }
+  const double new_diff = static_cast<double>(rtt - prev_rtt_);
+  prev_rtt_ = rtt;
+  rtt_diff_ns_ = (1.0 - params_.ewma_alpha) * rtt_diff_ns_ + params_.ewma_alpha * new_diff;
+  // Normalize the gradient by a minimal-RTT scale; TIMELY uses minRTT, which
+  // over long haul is dominated by propagation, so queueing gradients stay
+  // detectable when normalized by the *queueing* scale (t_high offset).
+  const double norm = static_cast<double>(params_.t_high_offset);
+  const double gradient = rtt_diff_ns_ / norm;
+
+  const TimeNs queuing = rtt - base_rtt_;
+  if (queuing < params_.t_low_offset) {
+    rate_ = std::min(line_rate_, rate_ + params_.delta_bps);
+    return;
+  }
+  if (queuing > params_.t_high_offset) {
+    const double f = 1.0 - params_.beta *
+                               (1.0 - static_cast<double>(params_.t_high_offset) /
+                                          static_cast<double>(queuing));
+    rate_ = std::max<int64_t>(params_.min_rate_bps, static_cast<int64_t>(rate_ * f));
+    neg_gradient_rounds_ = 0;
+    return;
+  }
+  if (gradient <= 0) {
+    ++neg_gradient_rounds_;
+    const int n = neg_gradient_rounds_ >= params_.hai_threshold ? 5 : 1;
+    rate_ = std::min(line_rate_, rate_ + n * params_.delta_bps);
+  } else {
+    neg_gradient_rounds_ = 0;
+    const double f = 1.0 - params_.beta * std::min(gradient, 1.0);
+    rate_ = std::max<int64_t>(params_.min_rate_bps, static_cast<int64_t>(rate_ * f));
+  }
+}
+
+void Timely::OnTimeout(TimeNs /*now*/) {
+  rate_ = std::max(params_.min_rate_bps, rate_ / 2);
+  neg_gradient_rounds_ = 0;
+}
+
+}  // namespace lcmp

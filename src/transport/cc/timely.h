@@ -1,0 +1,40 @@
+// TIMELY (Mittal et al., SIGCOMM '15): RTT-gradient congestion control.
+// Thresholds are offsets over the flow's base RTT so the controller works on
+// both microsecond intra-DC and millisecond long-haul paths.
+#pragma once
+
+#include "transport/cc/congestion_control.h"
+
+namespace lcmp {
+
+struct TimelyParams {
+  TimeNs t_low_offset = Microseconds(50);    // below: additive increase
+  TimeNs t_high_offset = Microseconds(500);  // above: multiplicative decrease
+  double ewma_alpha = 0.46;                  // gradient smoothing
+  double beta = 0.8;                         // decrease factor gain
+  int64_t delta_bps = Mbps(100);             // additive step
+  int hai_threshold = 5;                     // completed-in-band rounds -> HAI
+  int64_t min_rate_bps = Mbps(100);
+};
+
+class Timely : public CongestionControl {
+ public:
+  explicit Timely(const TimelyParams& params = {}) : params_(params) {}
+
+  void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) override;
+  void OnAck(const Packet& ack, TimeNs rtt, TimeNs now) override;
+  void OnTimeout(TimeNs now) override;
+  int64_t rate_bps() const override { return rate_; }
+  const char* name() const override { return "timely"; }
+
+ private:
+  TimelyParams params_;
+  int64_t line_rate_ = 0;
+  int64_t rate_ = 0;
+  TimeNs base_rtt_ = 0;
+  TimeNs prev_rtt_ = 0;
+  double rtt_diff_ns_ = 0.0;  // smoothed gradient numerator
+  int neg_gradient_rounds_ = 0;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,33 @@
+// Flow descriptors shared between the traffic generator, the transport and
+// the statistics pipeline. Header-only so workload/ and stats/ can consume
+// them without linking the transport.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hashing.h"
+#include "common/types.h"
+
+namespace lcmp {
+
+// A unidirectional RDMA transfer request.
+struct FlowSpec {
+  FlowId id = 0;
+  FlowKey key;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  uint64_t size_bytes = 0;
+  TimeNs start_time = 0;
+};
+
+// Completion record delivered when the receiver has the full payload.
+struct FlowRecord {
+  FlowSpec spec;
+  TimeNs start_time = 0;     // when the first packet was handed to the NIC
+  TimeNs complete_time = 0;  // when the last in-order byte arrived
+  uint32_t total_packets = 0;
+  uint32_t retransmitted_packets = 0;
+  TimeNs base_rtt = 0;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,401 @@
+#include "transport/rdma_transport.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+RdmaTransport::RdmaTransport(Network* net, const TransportConfig& config, CcKind cc_kind,
+                             CompletionFn on_complete)
+    : net_(net),
+      config_(config),
+      cc_kind_(cc_kind),
+      cc_factory_(MakeCcFactory(cc_kind)),
+      on_complete_(std::move(on_complete)),
+      oracle_(&net->graph()) {
+  // Register as the packet sink of every host.
+  const Graph& g = net_->graph();
+  for (NodeId id = 0; id < g.num_vertices(); ++id) {
+    if (g.vertex(id).kind == VertexKind::kHost) {
+      net_->host(id).SetSink([this, id](Packet pkt) { OnHostReceive(id, std::move(pkt)); });
+    }
+  }
+}
+
+int64_t RdmaTransport::LineRate(NodeId host) const {
+  const Port& nic = net_->host(host).port(0);
+  int64_t rate = nic.rate_bps();
+  if (config_.emulation_mode) {
+    rate = std::min(rate, config_.emu_rate_cap_bps);
+  }
+  return rate;
+}
+
+TimeNs RdmaTransport::HostOverhead(NodeId host) {
+  if (!config_.emulation_mode) {
+    return 0;
+  }
+  // SoftRoCE software stack: per-packet processing latency with jitter.
+  HostNode& h = net_->host(host);
+  const double sample = h.rng().NextGaussian(static_cast<double>(config_.emu_overhead_mean),
+                                             static_cast<double>(config_.emu_overhead_stddev));
+  return std::max<TimeNs>(static_cast<TimeNs>(sample), Microseconds(1));
+}
+
+TimeNs RdmaTransport::EmuPipelineSlot(std::unordered_map<NodeId, TimeNs>& ready, NodeId host) {
+  const TimeNs now = net_->sim().now();
+  TimeNs slot = now + HostOverhead(host);
+  TimeNs& cursor = ready[host];
+  slot = std::max(slot, cursor + 1);  // strictly increasing: FIFO per host
+  cursor = slot;
+  return slot;
+}
+
+void RdmaTransport::ScheduleFlow(const FlowSpec& spec) {
+  Simulator& sim = net_->sim();
+  LCMP_CHECK(spec.start_time >= sim.now());
+  sim.ScheduleAt(spec.start_time, [this, spec]() { StartFlow(spec); });
+}
+
+void RdmaTransport::StartFlow(const FlowSpec& spec) {
+  LCMP_CHECK(spec.size_bytes > 0);
+  LCMP_CHECK(senders_.find(spec.id) == senders_.end());
+  Simulator& sim = net_->sim();
+
+  Sender s;
+  s.spec = spec;
+  s.total_packets = static_cast<uint32_t>(
+      (spec.size_bytes + config_.mtu_payload - 1) / config_.mtu_payload);
+  s.start_time = sim.now();
+  s.last_progress = sim.now();
+  // Base RTT: both directions of the minimum-delay path plus one MTU of
+  // serialization at the bottleneck.
+  const PathMetric& m = oracle_.Metric(spec.src, spec.dst);
+  LCMP_CHECK_MSG(m.reachable, "flow %llu has unreachable endpoints",
+                 static_cast<unsigned long long>(spec.id));
+  const TimeNs ser = SerializationDelay(config_.mtu_payload + kHeaderBytes,
+                                        std::max<int64_t>(m.bottleneck_bps, 1));
+  s.base_rtt = 2 * m.delay_ns + ser;
+  // Conservative until the first ACK measures the actual route: the flow may
+  // be placed on a path much slower than the minimum-delay one.
+  s.rto = std::max<TimeNs>({config_.rto_min, config_.rto_rtt_multiplier * s.base_rtt,
+                            config_.rto_initial});
+  s.cc = cc_factory_();
+  s.cc->Init(LineRate(spec.src), s.base_rtt, sim.now());
+
+  const FlowId id = spec.id;
+  senders_.emplace(id, std::move(s));
+  PaceNext(id);
+  ArmRto(id);
+}
+
+void RdmaTransport::SchedulePacing(Sender& s, TimeNs delay) {
+  s.pacing_active = true;
+  const FlowId id = s.spec.id;
+  net_->sim().Schedule(delay, [this, id]() {
+    auto it = senders_.find(id);
+    if (it == senders_.end()) {
+      return;
+    }
+    it->second.pacing_active = false;
+    PaceNext(id);
+  });
+}
+
+void RdmaTransport::PaceNext(FlowId flow) {
+  auto it = senders_.find(flow);
+  if (it == senders_.end()) {
+    return;
+  }
+  Sender& s = it->second;
+  if (s.done || s.pacing_active) {
+    return;
+  }
+  if (s.next_seq >= s.total_packets) {
+    return;  // everything sent; waiting for ACKs (RTO guards losses)
+  }
+  HostNode& host = net_->host(s.spec.src);
+  // NIC backpressure: if the host egress backlog is deep, wait for drain
+  // instead of stacking more packets (RNIC QP arbitration, not self-drops).
+  const Port& nic = host.port(0);
+  if (nic.queue_bytes() > config_.host_backlog_bytes) {
+    SchedulePacing(s, SerializationDelay(nic.queue_bytes() / 2, nic.rate_bps()));
+    return;
+  }
+
+  Packet pkt = MakeDataPacket(s, s.next_seq);
+  ++s.next_seq;
+  ++data_packets_sent_;
+
+  if (config_.emulation_mode) {
+    HostNode* hp = &host;
+    const TimeNs slot = EmuPipelineSlot(emu_tx_ready_, s.spec.src);
+    net_->sim().Schedule(slot - net_->sim().now(),
+                         [hp, pkt]() mutable { hp->Send(std::move(pkt)); });
+  } else {
+    host.Send(std::move(pkt));
+  }
+
+  // Pace the next segment at the congestion-controlled rate. The host-stack
+  // overhead is a pipelined latency stage (it delays each packet but does
+  // not throttle the stream), so it does not enter the pacing gap.
+  const int64_t rate = std::clamp<int64_t>(s.cc->rate_bps(), Mbps(10), LineRate(s.spec.src));
+  const TimeNs gap = SerializationDelay(pkt.size_bytes, rate);
+  SchedulePacing(s, gap);
+}
+
+Packet RdmaTransport::MakeDataPacket(const Sender& s, uint32_t seq) const {
+  Packet pkt;
+  pkt.type = PacketType::kData;
+  pkt.key = s.spec.key;
+  pkt.flow_id = s.spec.id;
+  pkt.src = s.spec.src;
+  pkt.dst = s.spec.dst;
+  pkt.seq = seq;
+  const uint64_t offset = static_cast<uint64_t>(seq) * config_.mtu_payload;
+  pkt.payload_bytes = static_cast<uint32_t>(
+      std::min<uint64_t>(config_.mtu_payload, s.spec.size_bytes - offset));
+  pkt.size_bytes = pkt.payload_bytes + kHeaderBytes;
+  pkt.last_of_flow = (seq + 1 == s.total_packets);
+  pkt.sent_ts = net_->sim().now();
+  pkt.int_enabled = net_->config().enable_int;
+  return pkt;
+}
+
+void RdmaTransport::SendSelectiveRetransmit(FlowId flow, uint32_t seq) {
+  auto it = senders_.find(flow);
+  if (it == senders_.end()) {
+    return;
+  }
+  Sender& s = it->second;
+  if (seq >= s.total_packets || seq < s.acked) {
+    return;  // stale request
+  }
+  ++s.retransmits;
+  ++retransmitted_packets_;
+  ++data_packets_sent_;
+  Packet pkt = MakeDataPacket(s, seq);
+  HostNode& host = net_->host(s.spec.src);
+  if (config_.emulation_mode) {
+    HostNode* hp = &host;
+    const TimeNs slot = EmuPipelineSlot(emu_tx_ready_, s.spec.src);
+    net_->sim().Schedule(slot - net_->sim().now(),
+                         [hp, pkt]() mutable { hp->Send(std::move(pkt)); });
+  } else {
+    host.Send(std::move(pkt));
+  }
+}
+
+void RdmaTransport::ArmRto(FlowId flow) {
+  auto it = senders_.find(flow);
+  if (it == senders_.end()) {
+    return;
+  }
+  const TimeNs rto = it->second.rto;  // current estimate; re-armed each cycle
+  const uint32_t acked_at_arm = it->second.acked;
+  net_->sim().Schedule(rto, [this, flow, acked_at_arm]() {
+    auto sit = senders_.find(flow);
+    if (sit == senders_.end() || sit->second.done) {
+      return;
+    }
+    Sender& s = sit->second;
+    if (s.acked == acked_at_arm && s.next_seq > s.acked) {
+      // No progress across one full RTO with data outstanding: Go-Back-N.
+      ++timeouts_;
+      s.retransmits += s.next_seq - s.acked;
+      retransmitted_packets_ += s.next_seq - s.acked;
+      s.next_seq = s.acked;
+      s.cc->OnTimeout(net_->sim().now());
+      PaceNext(flow);
+    }
+    ArmRto(flow);
+  });
+}
+
+void RdmaTransport::OnHostReceive(NodeId host, Packet pkt) {
+  if (config_.emulation_mode) {
+    const TimeNs slot = EmuPipelineSlot(emu_rx_ready_, host);
+    net_->sim().Schedule(slot - net_->sim().now(), [this, host, pkt = std::move(pkt)]() mutable {
+      ProcessPacket(host, std::move(pkt));
+    });
+  } else {
+    ProcessPacket(host, std::move(pkt));
+  }
+}
+
+void RdmaTransport::ProcessPacket(NodeId host, Packet pkt) {
+  switch (pkt.type) {
+    case PacketType::kData:
+      HandleData(host, pkt);
+      break;
+    case PacketType::kAck:
+      HandleAck(pkt);
+      break;
+    case PacketType::kNack:
+      HandleNack(pkt);
+      break;
+    case PacketType::kCnp:
+      HandleCnp(pkt);
+      break;
+  }
+}
+
+void RdmaTransport::HandleData(NodeId host, const Packet& pkt) {
+  const FlowId id = pkt.flow_id;
+  if (finished_.contains(id)) {
+    return;  // stale segment of a completed flow
+  }
+  Receiver& r = receivers_[id];
+  Simulator& sim = net_->sim();
+  HostNode& h = net_->host(host);
+
+  auto reply = [&](PacketType type, uint32_t seq) {
+    Packet out;
+    out.type = type;
+    out.key = ReverseKey(pkt.key);
+    out.flow_id = id;
+    out.src = pkt.dst;
+    out.dst = pkt.src;
+    out.seq = seq;
+    out.size_bytes = kControlPacketBytes;
+    out.sent_ts = pkt.sent_ts;  // echoed for sender RTT measurement
+    if (type == PacketType::kAck) {
+      out.ecn_echo = pkt.ecn_ce;
+      // Echo the INT stack back to the sender (HPCC).
+      out.int_hops = pkt.int_hops;
+      out.int_rec = pkt.int_rec;
+    }
+    h.Send(std::move(out));
+  };
+
+  // DCQCN notification point: CE-marked arrivals emit paced CNPs.
+  if (pkt.ecn_ce && sim.now() - r.last_cnp >= config_.cnp_interval) {
+    r.last_cnp = sim.now();
+    Packet cnp;
+    cnp.type = PacketType::kCnp;
+    cnp.key = ReverseKey(pkt.key);
+    cnp.flow_id = id;
+    cnp.src = pkt.dst;
+    cnp.dst = pkt.src;
+    cnp.size_bytes = kControlPacketBytes;
+    h.Send(std::move(cnp));
+  }
+
+  if (pkt.seq == r.expected_seq) {
+    ++r.expected_seq;
+    r.received_bytes += pkt.payload_bytes;
+    // OoO mode: drain buffered segments that are now in sequence.
+    while (!r.ooo.empty() && *r.ooo.begin() == r.expected_seq) {
+      r.ooo.erase(r.ooo.begin());
+      ++r.expected_seq;
+    }
+    reply(PacketType::kAck, r.expected_seq);
+    auto sit = senders_.find(id);
+    if (sit != senders_.end() && r.received_bytes >= sit->second.spec.size_bytes) {
+      // Full payload delivered in order: the flow is complete.
+      FlowRecord rec;
+      rec.spec = sit->second.spec;
+      rec.start_time = sit->second.start_time;
+      rec.complete_time = sim.now();
+      rec.total_packets = sit->second.total_packets;
+      rec.retransmitted_packets = sit->second.retransmits;
+      rec.base_rtt = sit->second.base_rtt;
+      ++completed_flows_;
+      finished_.insert(id);
+      receivers_.erase(id);
+      if (on_complete_) {
+        on_complete_(rec);
+      }
+    }
+  } else if (pkt.seq > r.expected_seq) {
+    if (config_.ooo_tolerance) {
+      // IRN-style lightweight OoO tracking: buffer the segment (bounded
+      // window) and ask for a *selective* retransmission of the hole.
+      if (r.ooo.size() < static_cast<size_t>(config_.ooo_window_segments) &&
+          r.ooo.insert(pkt.seq).second) {
+        r.received_bytes += pkt.payload_bytes;
+      }
+      if (sim.now() - r.last_nack >= config_.nack_min_interval) {
+        r.last_nack = sim.now();
+        reply(PacketType::kNack, r.expected_seq);
+      }
+      // A fully buffered tail can complete the flow once the hole fills; the
+      // in-order branch above performs the drain and the completion check.
+    } else if (sim.now() - r.last_nack >= config_.nack_min_interval) {
+      // Gap: commodity RNIC behavior, request Go-Back-N from the hole.
+      r.last_nack = sim.now();
+      reply(PacketType::kNack, r.expected_seq);
+    }
+  } else {
+    // Duplicate of an already-delivered segment: re-ACK so the sender moves.
+    reply(PacketType::kAck, r.expected_seq);
+  }
+}
+
+void RdmaTransport::HandleAck(const Packet& pkt) {
+  auto it = senders_.find(pkt.flow_id);
+  if (it == senders_.end()) {
+    return;
+  }
+  Sender& s = it->second;
+  Simulator& sim = net_->sim();
+  if (pkt.seq > s.acked) {
+    s.acked = pkt.seq;
+    s.last_progress = sim.now();
+    if (s.next_seq < s.acked) {
+      s.next_seq = s.acked;  // cumulative ACK outran a Go-Back-N rewind
+    }
+  }
+  const TimeNs rtt = sim.now() - pkt.sent_ts;
+  if (rtt > 0) {
+    // SRTT EWMA (7/8 old + 1/8 new) drives the adaptive RTO.
+    s.srtt = s.srtt == 0 ? rtt : (7 * s.srtt + rtt) / 8;
+    s.rto = std::max<TimeNs>(config_.rto_min, config_.rto_rtt_multiplier * s.srtt);
+  }
+  s.cc->OnAck(pkt, rtt, sim.now());
+  if (s.acked >= s.total_packets) {
+    FinishSender(s);
+    return;
+  }
+  PaceNext(pkt.flow_id);
+}
+
+void RdmaTransport::HandleNack(const Packet& pkt) {
+  auto it = senders_.find(pkt.flow_id);
+  if (it == senders_.end()) {
+    return;
+  }
+  ++nacks_;
+  Sender& s = it->second;
+  if (pkt.seq > s.acked) {
+    s.acked = pkt.seq;
+    s.last_progress = net_->sim().now();
+  }
+  if (config_.ooo_tolerance) {
+    // Selective retransmission: resend only the hole the receiver reported.
+    SendSelectiveRetransmit(pkt.flow_id, pkt.seq);
+  } else if (pkt.seq < s.next_seq) {
+    // Go-Back-N: rewind to the receiver's hole and resend everything after.
+    s.retransmits += s.next_seq - pkt.seq;
+    retransmitted_packets_ += s.next_seq - pkt.seq;
+    s.next_seq = pkt.seq;
+  }
+  PaceNext(pkt.flow_id);
+}
+
+void RdmaTransport::HandleCnp(const Packet& pkt) {
+  auto it = senders_.find(pkt.flow_id);
+  if (it == senders_.end()) {
+    return;
+  }
+  ++cnps_;
+  it->second.cc->OnCnp(net_->sim().now());
+}
+
+void RdmaTransport::FinishSender(Sender& s) {
+  s.done = true;
+  senders_.erase(s.spec.id);
+}
+
+}  // namespace lcmp

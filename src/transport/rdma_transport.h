@@ -1,0 +1,157 @@
+// RDMA transport model: per-flow rate-paced senders with cumulative ACKs,
+// NACK-triggered Go-Back-N (commodity RNICs treat out-of-order arrival as
+// loss, Sec. 7.5), receiver-side CNP generation for DCQCN, and retransmission
+// timeouts as the last-resort recovery (needed for link-failure experiments).
+//
+// One RdmaTransport instance manages every host in the network: it registers
+// itself as each HostNode's packet sink and keeps per-flow sender/receiver
+// state keyed by flow id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/network.h"
+#include "topo/candidate_paths.h"
+#include "transport/cc/congestion_control.h"
+#include "transport/flow.h"
+
+namespace lcmp {
+
+struct TransportConfig {
+  uint32_t mtu_payload = kDefaultMtuPayload;
+  // Receiver-side DCQCN CNP pacing.
+  TimeNs cnp_interval = Microseconds(50);
+  // Minimum spacing of duplicate NACKs per flow.
+  TimeNs nack_min_interval = Microseconds(100);
+  // Retransmission timeout: starts at max(rto_initial, rto_rtt_multiplier *
+  // base_rtt) and adapts to rto_rtt_multiplier * SRTT once ACKs measure the
+  // actual path (the chosen route may be far slower than the minimum-delay
+  // path the base RTT is computed from).
+  TimeNs rto_min = Milliseconds(1);
+  TimeNs rto_initial = Seconds(2);
+  int rto_rtt_multiplier = 3;
+  // NIC backpressure: pacing stalls while the host egress backlog exceeds
+  // this (RNICs arbitrate QPs instead of dropping their own traffic).
+  int64_t host_backlog_bytes = 256 * 1024;
+
+  // Out-of-order tolerance (the paper's Sec. 7.5 future direction, IRN-style
+  // "lightweight OoO tracking"): the receiver buffers out-of-order segments
+  // in a bounded window and NACKs request *selective* retransmission of the
+  // hole instead of triggering Go-Back-N. Enables flowlet-level steering
+  // without the throughput collapse commodity RNICs suffer on reordering.
+  bool ooo_tolerance = false;
+  // Maximum number of buffered out-of-order segments per flow; overflow
+  // falls back to dropping the segment (it is re-sent on a later NACK).
+  int ooo_window_segments = 2048;
+
+  // "Emulation mode" reproduces the paper's SoftRoCE/Mininet testbed: extra
+  // per-packet host-stack latency with jitter (a pipelined processing stage)
+  // and an optional software rate cap. The default cap is high enough that
+  // the emulated and simulated runs model the same network capacity, which
+  // is the premise of the paper's Fig. 6 fidelity comparison.
+  bool emulation_mode = false;
+  TimeNs emu_overhead_mean = Microseconds(10);
+  TimeNs emu_overhead_stddev = Microseconds(3);
+  int64_t emu_rate_cap_bps = Gbps(100);
+};
+
+class RdmaTransport {
+ public:
+  using CompletionFn = std::function<void(const FlowRecord&)>;
+
+  RdmaTransport(Network* net, const TransportConfig& config, CcKind cc_kind,
+                CompletionFn on_complete);
+
+  RdmaTransport(const RdmaTransport&) = delete;
+  RdmaTransport& operator=(const RdmaTransport&) = delete;
+
+  // Begins transmitting `spec` at the current simulation time.
+  void StartFlow(const FlowSpec& spec);
+
+  // Schedules StartFlow at spec.start_time (must be >= now).
+  void ScheduleFlow(const FlowSpec& spec);
+
+  // --- statistics ---
+  int active_senders() const { return static_cast<int>(senders_.size()); }
+  int64_t completed_flows() const { return completed_flows_; }
+  int64_t data_packets_sent() const { return data_packets_sent_; }
+  int64_t retransmitted_packets() const { return retransmitted_packets_; }
+  int64_t nacks_received() const { return nacks_; }
+  int64_t cnps_received() const { return cnps_; }
+  int64_t timeouts() const { return timeouts_; }
+  CcKind cc_kind() const { return cc_kind_; }
+
+ private:
+  struct Sender {
+    FlowSpec spec;
+    std::unique_ptr<CongestionControl> cc;
+    uint32_t total_packets = 0;
+    uint32_t next_seq = 0;   // next segment to transmit
+    uint32_t acked = 0;      // cumulative segments acknowledged
+    TimeNs start_time = 0;
+    TimeNs base_rtt = 0;
+    TimeNs srtt = 0;  // smoothed measured RTT; 0 until the first sample
+    TimeNs rto = 0;
+    TimeNs last_progress = 0;
+    bool pacing_active = false;
+    bool done = false;
+    uint32_t retransmits = 0;
+  };
+  struct Receiver {
+    uint32_t expected_seq = 0;
+    uint64_t received_bytes = 0;
+    TimeNs last_cnp = -Seconds(1);
+    TimeNs last_nack = -Seconds(1);
+    // OoO-tolerance mode only: buffered segment numbers beyond expected_seq.
+    std::set<uint32_t> ooo;
+  };
+
+  void OnHostReceive(NodeId host, Packet pkt);
+  void ProcessPacket(NodeId host, Packet pkt);
+  void HandleData(NodeId host, const Packet& pkt);
+  void HandleAck(const Packet& pkt);
+  void HandleNack(const Packet& pkt);
+  void HandleCnp(const Packet& pkt);
+
+  void PaceNext(FlowId flow);
+  Packet MakeDataPacket(const Sender& s, uint32_t seq) const;
+  void SendSelectiveRetransmit(FlowId flow, uint32_t seq);
+  void SchedulePacing(Sender& s, TimeNs delay);
+  void ArmRto(FlowId flow);
+  void FinishSender(Sender& s);
+
+  int64_t LineRate(NodeId host) const;
+  TimeNs HostOverhead(NodeId host);
+  // Emulation-mode host stacks are FIFO pipelines: jittered per-packet
+  // processing must never reorder packets within one host, or the jitter
+  // itself would trigger spurious Go-Back-N. Returns the absolute time the
+  // packet clears the stage and advances the per-host cursor.
+  TimeNs EmuPipelineSlot(std::unordered_map<NodeId, TimeNs>& ready, NodeId host);
+
+  Network* net_;
+  TransportConfig config_;
+  CcKind cc_kind_;
+  CcFactory cc_factory_;
+  CompletionFn on_complete_;
+  PathOracle oracle_;
+
+  std::unordered_map<NodeId, TimeNs> emu_tx_ready_;
+  std::unordered_map<NodeId, TimeNs> emu_rx_ready_;
+  std::unordered_map<FlowId, Sender> senders_;
+  std::unordered_map<FlowId, Receiver> receivers_;
+  std::unordered_set<FlowId> finished_;  // absorbs stragglers/duplicates
+
+  int64_t completed_flows_ = 0;
+  int64_t data_packets_sent_ = 0;
+  int64_t retransmitted_packets_ = 0;
+  int64_t nacks_ = 0;
+  int64_t cnps_ = 0;
+  int64_t timeouts_ = 0;
+};
+
+}  // namespace lcmp

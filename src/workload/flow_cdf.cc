@@ -1,0 +1,117 @@
+#include "workload/flow_cdf.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kWebSearch:
+      return "WebSearch";
+    case WorkloadKind::kFbHdp:
+      return "FbHdp";
+    case WorkloadKind::kAliStorage:
+      return "AliStorage";
+  }
+  return "?";
+}
+
+FlowCdf::FlowCdf(std::vector<std::pair<double, double>> points) : points_(std::move(points)) {
+  LCMP_CHECK(points_.size() >= 2);
+  LCMP_CHECK(points_.front().second == 0.0);
+  LCMP_CHECK(points_.back().second == 1.0);
+  for (size_t i = 1; i < points_.size(); ++i) {
+    LCMP_CHECK(points_[i].first >= points_[i - 1].first);
+    LCMP_CHECK(points_[i].second >= points_[i - 1].second);
+  }
+  // Mean of the piecewise-linear CDF: each segment contributes its midpoint
+  // weighted by its probability mass.
+  double mean = 0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].second - points_[i - 1].second;
+    mean += mass * (points_[i].first + points_[i - 1].first) / 2.0;
+  }
+  mean_bytes_ = mean;
+}
+
+uint64_t FlowCdf::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // Find the segment containing u and interpolate.
+  auto it = std::lower_bound(points_.begin(), points_.end(), u,
+                             [](const std::pair<double, double>& p, double v) {
+                               return p.second < v;
+                             });
+  if (it == points_.begin()) {
+    return std::max<uint64_t>(1, static_cast<uint64_t>(points_.front().first));
+  }
+  if (it == points_.end()) {
+    return std::max<uint64_t>(1, static_cast<uint64_t>(points_.back().first));
+  }
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.second - lo.second;
+  const double frac = span > 0 ? (u - lo.second) / span : 0.0;
+  const double bytes = lo.first + frac * (hi.first - lo.first);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(bytes));
+}
+
+double FlowCdf::CdfAt(double bytes) const {
+  if (bytes <= points_.front().first) {
+    return points_.front().second;
+  }
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (bytes <= points_[i].first) {
+      const double dx = points_[i].first - points_[i - 1].first;
+      const double frac = dx > 0 ? (bytes - points_[i - 1].first) / dx : 1.0;
+      return points_[i - 1].second + frac * (points_[i].second - points_[i - 1].second);
+    }
+  }
+  return 1.0;
+}
+
+const FlowCdf& FlowCdf::Get(WorkloadKind kind) {
+  // DCTCP web-search distribution (Alizadeh et al. 2010), bytes.
+  static const FlowCdf web_search({
+      {0, 0.0},        {10'000, 0.15},   {20'000, 0.20},    {30'000, 0.30},
+      {50'000, 0.40},  {80'000, 0.53},   {200'000, 0.60},   {1'000'000, 0.70},
+      {2'000'000, 0.80}, {5'000'000, 0.90}, {10'000'000, 0.97}, {30'000'000, 1.0},
+  });
+  // Facebook Hadoop (Roy et al. 2015), truncated at 30 MB.
+  static const FlowCdf fb_hdp({
+      {0, 0.0},       {180, 0.10},     {216, 0.20},      {560, 0.30},
+      {900, 0.40},    {1'100, 0.50},   {1'870, 0.60},    {3'160, 0.70},
+      {10'000, 0.80}, {400'000, 0.90}, {3'160'000, 0.95}, {10'000'000, 0.99},
+      {30'000'000, 1.0},
+  });
+  // Alibaba storage service (shape approximation; see header comment).
+  static const FlowCdf ali_storage({
+      {0, 0.0},         {1'000, 0.30},    {2'000, 0.50},     {4'096, 0.70},
+      {8'192, 0.78},    {16'384, 0.83},   {65'536, 0.88},    {262'144, 0.91},
+      {1'000'000, 0.94}, {4'000'000, 0.97}, {16'000'000, 0.99}, {32'000'000, 1.0},
+  });
+  switch (kind) {
+    case WorkloadKind::kWebSearch:
+      return web_search;
+    case WorkloadKind::kFbHdp:
+      return fb_hdp;
+    case WorkloadKind::kAliStorage:
+      return ali_storage;
+  }
+  return web_search;
+}
+
+std::vector<uint64_t> SizeBucketEdges(WorkloadKind kind) {
+  const FlowCdf& cdf = FlowCdf::Get(kind);
+  std::vector<uint64_t> edges;
+  for (const auto& [bytes, prob] : cdf.points()) {
+    if (bytes > 0) {
+      edges.push_back(static_cast<uint64_t>(bytes));
+    }
+    (void)prob;
+  }
+  return edges;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,56 @@
+// Empirical flow-size distributions for the paper's three workloads:
+// Web Search (DCTCP paper), Facebook Hadoop, and Alibaba Storage.
+//
+// The published artifact ships these as CDF files; we embed equivalent
+// piecewise-linear CDFs. The AliStorage table is an approximation of the
+// published shape (the original trace file is proprietary): dominated by
+// small (< 4 KB) flows with a heavy multi-MB tail. FbHdp is truncated at
+// 30 MB (as is WebSearch's natural maximum) to keep simulated makespans
+// tractable; the truncation preserves the small/large flow mix that drives
+// the routing comparison.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lcmp {
+
+enum class WorkloadKind : uint8_t { kWebSearch, kFbHdp, kAliStorage };
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+// Piecewise-linear CDF over flow sizes in bytes.
+class FlowCdf {
+ public:
+  // `points` are (size_bytes, cumulative_probability), strictly increasing
+  // in both coordinates, first probability 0, last 1.
+  explicit FlowCdf(std::vector<std::pair<double, double>> points);
+
+  // Shared instance for a built-in workload.
+  static const FlowCdf& Get(WorkloadKind kind);
+
+  // Inverse-transform sample; at least 1 byte.
+  uint64_t Sample(Rng& rng) const;
+
+  // Analytic mean of the piecewise-linear distribution (used to convert an
+  // offered load in bits/sec to a Poisson flow arrival rate).
+  double mean_bytes() const { return mean_bytes_; }
+
+  // Convenience: CDF value at `bytes` (for tests).
+  double CdfAt(double bytes) const;
+
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+  double mean_bytes_ = 0;
+};
+
+// Flow-size bucket edges used by the per-size figures (Fig. 11): one bucket
+// per CDF knee of the workload.
+std::vector<uint64_t> SizeBucketEdges(WorkloadKind kind);
+
+}  // namespace lcmp

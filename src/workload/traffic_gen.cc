@@ -1,0 +1,137 @@
+#include "workload/traffic_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+std::vector<std::pair<DcId, DcId>> AllOrderedDcPairs(int num_dcs) {
+  std::vector<std::pair<DcId, DcId>> pairs;
+  for (DcId s = 0; s < num_dcs; ++s) {
+    for (DcId d = 0; d < num_dcs; ++d) {
+      if (s != d) {
+        pairs.emplace_back(s, d);
+      }
+    }
+  }
+  return pairs;
+}
+
+std::vector<FlowSpec> GenerateTraffic(const Graph& g,
+                                      const std::vector<std::pair<DcId, DcId>>& dc_pairs,
+                                      const TrafficGenConfig& config) {
+  LCMP_CHECK(!dc_pairs.empty());
+  LCMP_CHECK(config.num_flows > 0);
+  LCMP_CHECK(config.offered_bps > 0);
+
+  // Host lists per DC, restricted to DCs that appear in the pairing.
+  std::vector<std::vector<NodeId>> hosts(static_cast<size_t>(g.num_dcs()));
+  for (const auto& [s, d] : dc_pairs) {
+    if (hosts[static_cast<size_t>(s)].empty()) {
+      hosts[static_cast<size_t>(s)] = g.HostsInDc(s);
+    }
+    if (hosts[static_cast<size_t>(d)].empty()) {
+      hosts[static_cast<size_t>(d)] = g.HostsInDc(d);
+    }
+    LCMP_CHECK_MSG(!hosts[static_cast<size_t>(s)].empty(), "DC %d has no hosts", s);
+    LCMP_CHECK_MSG(!hosts[static_cast<size_t>(d)].empty(), "DC %d has no hosts", d);
+  }
+
+  const FlowCdf& cdf = FlowCdf::Get(config.workload);
+  // Poisson arrival rate lambda (flows/sec) so that lambda * mean_size * 8
+  // equals the offered load.
+  const double lambda =
+      static_cast<double>(config.offered_bps) / (8.0 * cdf.mean_bytes());
+  const double mean_gap_ns = static_cast<double>(kNsPerSec) / lambda;
+
+  Rng rng(config.seed);
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<size_t>(config.num_flows));
+  double t = static_cast<double>(config.start_time);
+  for (int i = 0; i < config.num_flows; ++i) {
+    t += rng.NextExponential(mean_gap_ns);
+    const auto& [src_dc, dst_dc] = dc_pairs[rng.NextBounded(dc_pairs.size())];
+    const auto& shosts = hosts[static_cast<size_t>(src_dc)];
+    const auto& dhosts = hosts[static_cast<size_t>(dst_dc)];
+    FlowSpec f;
+    f.id = static_cast<FlowId>(i + 1);
+    f.src = shosts[rng.NextBounded(shosts.size())];
+    f.dst = dhosts[rng.NextBounded(dhosts.size())];
+    f.key.src = f.src;
+    f.key.dst = f.dst;
+    f.key.src_port = static_cast<uint32_t>(i + 1);  // per-flow nonce (QPN)
+    f.key.dst_port = 4791;                          // RoCEv2 UDP port
+    f.size_bytes = cdf.Sample(rng);
+    f.start_time = static_cast<TimeNs>(t);
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> GenerateBurst(const Graph& g,
+                                    const std::vector<std::pair<DcId, DcId>>& dc_pairs,
+                                    const BurstConfig& config) {
+  LCMP_CHECK(!dc_pairs.empty());
+  LCMP_CHECK(config.num_flows > 0);
+  std::vector<std::vector<NodeId>> hosts(static_cast<size_t>(g.num_dcs()));
+  for (const auto& [s, d] : dc_pairs) {
+    if (hosts[static_cast<size_t>(s)].empty()) {
+      hosts[static_cast<size_t>(s)] = g.HostsInDc(s);
+    }
+    if (hosts[static_cast<size_t>(d)].empty()) {
+      hosts[static_cast<size_t>(d)] = g.HostsInDc(d);
+    }
+  }
+  const FlowCdf& cdf = FlowCdf::Get(config.workload);
+  Rng rng(config.seed);
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<size_t>(config.num_flows));
+  for (int i = 0; i < config.num_flows; ++i) {
+    const auto& [src_dc, dst_dc] = dc_pairs[rng.NextBounded(dc_pairs.size())];
+    const auto& shosts = hosts[static_cast<size_t>(src_dc)];
+    const auto& dhosts = hosts[static_cast<size_t>(dst_dc)];
+    FlowSpec f;
+    f.id = static_cast<FlowId>(i + 1);
+    f.src = shosts[rng.NextBounded(shosts.size())];
+    f.dst = dhosts[rng.NextBounded(dhosts.size())];
+    f.key.src = f.src;
+    f.key.dst = f.dst;
+    f.key.src_port = static_cast<uint32_t>(i + 1);
+    f.key.dst_port = 4791;
+    f.size_bytes = config.fixed_size_bytes > 0 ? config.fixed_size_bytes : cdf.Sample(rng);
+    f.start_time = config.burst_time;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+int64_t OfferedLoadForUtilization(const Graph& g, const InterDcRoutes& routes,
+                                  const std::vector<std::pair<DcId, DcId>>& dc_pairs,
+                                  double load) {
+  LCMP_CHECK(load > 0);
+  // Total directed inter-DC capacity.
+  int64_t directed_capacity = 0;
+  for (int li = 0; li < g.num_links(); ++li) {
+    const LinkSpec& l = g.link(li);
+    if (g.vertex(l.a).kind == VertexKind::kDciSwitch &&
+        g.vertex(l.b).kind == VertexKind::kDciSwitch && g.vertex(l.a).dc != g.vertex(l.b).dc) {
+      directed_capacity += 2 * l.rate_bps;
+    }
+  }
+  // Mean hop count: each flow consumes `hops` links' worth of capacity.
+  double total_hops = 0;
+  int counted = 0;
+  for (const auto& [s, d] : dc_pairs) {
+    const NodeId dci = g.DciOfDc(s);
+    const int h = routes.HopDistance(dci, d);
+    if (h > 0) {
+      total_hops += h;
+      ++counted;
+    }
+  }
+  const double mean_hops = counted > 0 ? total_hops / counted : 1.0;
+  return static_cast<int64_t>(load * static_cast<double>(directed_capacity) / mean_hops);
+}
+
+}  // namespace lcmp

@@ -1,0 +1,63 @@
+// Open-loop Poisson traffic generation (the artifact's traffic_gen.py):
+// flows arrive with exponential inter-arrival times calibrated to an offered
+// load, sizes drawn from a workload CDF, endpoints drawn uniformly from an
+// all-to-all inter-DC pairing.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "topo/candidate_paths.h"
+#include "topo/graph.h"
+#include "transport/flow.h"
+#include "workload/flow_cdf.h"
+
+namespace lcmp {
+
+struct TrafficGenConfig {
+  WorkloadKind workload = WorkloadKind::kWebSearch;
+  // Aggregate offered load in bits/sec across all generated flows.
+  int64_t offered_bps = Gbps(100);
+  int num_flows = 1000;
+  TimeNs start_time = 0;
+  uint64_t seed = 1;
+};
+
+// All ordered (src_dc, dst_dc) pairs with src != dst.
+std::vector<std::pair<DcId, DcId>> AllOrderedDcPairs(int num_dcs);
+
+// Generates `num_flows` flows: each picks a DC pair uniformly from
+// `dc_pairs`, then a uniform source host in the source DC and a uniform
+// destination host in the destination DC. Arrival times form a Poisson
+// process whose rate matches offered_bps / mean flow size. Flow ids are
+// sequential (non-zero) and keys carry a per-flow nonce in src_port.
+std::vector<FlowSpec> GenerateTraffic(const Graph& g,
+                                      const std::vector<std::pair<DcId, DcId>>& dc_pairs,
+                                      const TrafficGenConfig& config);
+
+// Offered bits/sec across all `dc_pairs` that yields an average *inter-DC
+// link* utilization of `load`: load * (total directed inter-DC capacity) /
+// (mean inter-DC hop count over the pairs).
+int64_t OfferedLoadForUtilization(const Graph& g, const InterDcRoutes& routes,
+                                  const std::vector<std::pair<DcId, DcId>>& dc_pairs,
+                                  double load);
+
+struct BurstConfig {
+  WorkloadKind workload = WorkloadKind::kWebSearch;
+  int num_flows = 100;
+  TimeNs burst_time = 0;
+  // 0 keeps CDF-sampled sizes; otherwise every flow gets this size.
+  uint64_t fixed_size_bytes = 0;
+  uint64_t seed = 1;
+};
+
+// Generates `num_flows` flows that all start at the same instant — the
+// paper's challenge (3) scenario ("bursts of new flows that start
+// near-simultaneously"), used to study the herd effect and the
+// diversity-preserving selection that mitigates it (Sec. 3.4).
+std::vector<FlowSpec> GenerateBurst(const Graph& g,
+                                    const std::vector<std::pair<DcId, DcId>>& dc_pairs,
+                                    const BurstConfig& config);
+
+}  // namespace lcmp

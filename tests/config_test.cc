@@ -1,0 +1,96 @@
+// Tests for LcmpConfig validation and defaults (the paper's recommended
+// operating point).
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace lcmp {
+namespace {
+
+TEST(ConfigTest, DefaultsMatchPaperRecommendations) {
+  const LcmpConfig c;
+  EXPECT_EQ(c.alpha, 3);  // Sec. 5: (alpha, beta) = (3, 1)
+  EXPECT_EQ(c.beta, 1);
+  EXPECT_EQ(c.w_dl, 3);  // Sec. 7.3: delay-biased path quality
+  EXPECT_EQ(c.w_lc, 1);
+  EXPECT_EQ(c.w_ql, 2);  // Sec. 7.4: queue-first congestion weights
+  EXPECT_EQ(c.w_tl, 1);
+  EXPECT_EQ(c.w_dp, 1);
+  EXPECT_EQ(c.trend_shift_k, 3);       // Sec. 3.3: K = 3
+  EXPECT_EQ(c.keep_num * 2, c.keep_den);  // Sec. 3.4: keep the lower half
+  EXPECT_EQ(c.flow_cache_capacity, 50'000);  // Sec. 4 example
+}
+
+TEST(ConfigTest, DefaultIsValid) { EXPECT_TRUE(ValidateConfig(LcmpConfig{})); }
+
+TEST(ConfigTest, AblationVariantsAreValid) {
+  // rm-alpha and rm-beta (Sec. 7.1) must validate: one of the two fusion
+  // weights may be zero, not both.
+  LcmpConfig rm_alpha;
+  rm_alpha.alpha = 0;
+  EXPECT_TRUE(ValidateConfig(rm_alpha));
+  LcmpConfig rm_beta;
+  rm_beta.beta = 0;
+  EXPECT_TRUE(ValidateConfig(rm_beta));
+  LcmpConfig both;
+  both.alpha = 0;
+  both.beta = 0;
+  EXPECT_FALSE(ValidateConfig(both));
+}
+
+TEST(ConfigTest, RejectsNegativeWeights) {
+  LcmpConfig c;
+  c.w_ql = -1;
+  EXPECT_FALSE(ValidateConfig(c));
+}
+
+TEST(ConfigTest, RejectsBadShifts) {
+  LcmpConfig c;
+  c.s_path = 40;
+  EXPECT_FALSE(ValidateConfig(c));
+  c = LcmpConfig{};
+  c.trend_shift_k = -2;
+  EXPECT_FALSE(ValidateConfig(c));
+}
+
+TEST(ConfigTest, RejectsBadKeepFraction) {
+  LcmpConfig c;
+  c.keep_num = 3;
+  c.keep_den = 2;
+  EXPECT_FALSE(ValidateConfig(c));
+  c = LcmpConfig{};
+  c.keep_den = 0;
+  EXPECT_FALSE(ValidateConfig(c));
+}
+
+TEST(ConfigTest, RejectsBadLevels) {
+  LcmpConfig c;
+  c.num_queue_levels = 1;
+  EXPECT_FALSE(ValidateConfig(c));
+  c = LcmpConfig{};
+  c.num_cap_classes = 500;
+  EXPECT_FALSE(ValidateConfig(c));
+}
+
+TEST(ConfigTest, RejectsNonPositiveTimings) {
+  LcmpConfig c;
+  c.sample_interval = 0;
+  EXPECT_FALSE(ValidateConfig(c));
+  c = LcmpConfig{};
+  c.flow_idle_timeout = -1;
+  EXPECT_FALSE(ValidateConfig(c));
+  c = LcmpConfig{};
+  c.delay_saturation = 0;
+  EXPECT_FALSE(ValidateConfig(c));
+}
+
+TEST(ConfigTest, HighWaterLevelDerivation) {
+  LcmpConfig c;
+  c.num_queue_levels = 16;
+  EXPECT_EQ(c.HighWaterLevel(), 12);
+  c.num_queue_levels = 8;
+  EXPECT_EQ(c.HighWaterLevel(), 6);
+}
+
+}  // namespace
+}  // namespace lcmp

@@ -1,0 +1,202 @@
+// Tests for the on-switch congestion estimator (Sec. 3.3): Q quantization,
+// trend EWMA (Eq. 3), duration penalty, fusion (Eq. 4/5), register layout.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/bootstrap_tables.h"
+#include "core/congestion_estimator.h"
+
+namespace lcmp {
+namespace {
+
+struct Fixture {
+  Fixture() : tables(BootstrapTables::Build(config)), est(config, &tables, 4) {}
+  LcmpConfig config;
+  BootstrapTables tables;
+  CongestionEstimator est;
+};
+
+TEST(CongestionEstimatorTest, RegisterBlockIs24Bytes) {
+  // The Sec. 4 accounting: 4 x 32-bit + 1 x 64-bit = 24 B per port.
+  EXPECT_EQ(sizeof(PortCongestionState), 24u);
+}
+
+TEST(CongestionEstimatorTest, MemoryScalesWithPorts) {
+  LcmpConfig c;
+  BootstrapTables t = BootstrapTables::Build(c);
+  CongestionEstimator est(c, &t, 48);
+  EXPECT_EQ(est.MemoryBytes(), 48u * 24u);  // paper's 1152 B example
+}
+
+TEST(CongestionEstimatorTest, EmptyQueueScoresZero) {
+  Fixture f;
+  f.est.Sample(0, 0, Gbps(100), Microseconds(100));
+  EXPECT_EQ(f.est.CongScore(0, Gbps(100)), 0);
+}
+
+TEST(CongestionEstimatorTest, DeepQueueScoresHigh) {
+  Fixture f;
+  // Queue ref for 100G @ 400us = 5 MB; 5 MB queue => top level.
+  f.est.Sample(0, 5'000'000, Gbps(100), Microseconds(100));
+  const CongestionSignals s = f.est.Signals(0, Gbps(100));
+  EXPECT_EQ(s.queue_level, f.config.num_queue_levels - 1);
+  EXPECT_EQ(s.q_score, 255);
+  EXPECT_GT(s.fused, 100);
+}
+
+TEST(CongestionEstimatorTest, TrendPositiveOnGrowth) {
+  Fixture f;
+  TimeNs now = 0;
+  int64_t q = 0;
+  for (int i = 0; i < 10; ++i) {
+    now += f.config.sample_interval;
+    q += 400'000;  // steady growth
+    f.est.Sample(0, q, Gbps(100), now);
+  }
+  EXPECT_GT(f.est.state(0).trend, 0);
+  EXPECT_GT(f.est.Signals(0, Gbps(100)).t_score, 0);
+}
+
+TEST(CongestionEstimatorTest, TrendDecaysAfterGrowthStops) {
+  Fixture f;
+  TimeNs now = 0;
+  for (int i = 0; i < 10; ++i) {
+    now += f.config.sample_interval;
+    f.est.Sample(0, (i + 1) * 400'000, Gbps(100), now);
+  }
+  const int32_t peak = f.est.state(0).trend;
+  ASSERT_GT(peak, 0);
+  for (int i = 0; i < 40; ++i) {
+    now += f.config.sample_interval;
+    f.est.Sample(0, 4'000'000, Gbps(100), now);  // flat queue
+  }
+  EXPECT_LT(f.est.state(0).trend, peak / 4);
+}
+
+TEST(CongestionEstimatorTest, ShrinkingQueueGivesNonPositiveTrendScore) {
+  Fixture f;
+  TimeNs now = 0;
+  f.est.Sample(0, 4'000'000, Gbps(100), now);
+  for (int i = 0; i < 10; ++i) {
+    now += f.config.sample_interval;
+    f.est.Sample(0, 4'000'000 - (i + 1) * 300'000, Gbps(100), now);
+  }
+  // Non-positive trends map to score 0 (focus on growing queues).
+  EXPECT_EQ(f.est.Signals(0, Gbps(100)).t_score, 0);
+}
+
+TEST(CongestionEstimatorTest, DurationCounterAccumulatesAboveHighWater) {
+  Fixture f;
+  TimeNs now = 0;
+  for (int i = 0; i < 8; ++i) {
+    now += f.config.sample_interval;
+    f.est.Sample(0, 5'000'000, Gbps(100), now);  // top level, above high water
+  }
+  EXPECT_EQ(f.est.state(0).dur_cnt, 8);
+  EXPECT_GT(f.est.Signals(0, Gbps(100)).d_score, 0);
+}
+
+TEST(CongestionEstimatorTest, DurationDecaysBelowHighWater) {
+  Fixture f;
+  TimeNs now = 0;
+  for (int i = 0; i < 8; ++i) {
+    now += f.config.sample_interval;
+    f.est.Sample(0, 5'000'000, Gbps(100), now);
+  }
+  ASSERT_EQ(f.est.state(0).dur_cnt, 8);
+  for (int i = 0; i < 3; ++i) {
+    now += f.config.sample_interval;
+    f.est.Sample(0, 0, Gbps(100), now);
+  }
+  EXPECT_EQ(f.est.state(0).dur_cnt, 5);
+}
+
+TEST(CongestionEstimatorTest, DurationScoreSaturatesAt255) {
+  Fixture f;
+  TimeNs now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += f.config.sample_interval;
+    f.est.Sample(0, 5'000'000, Gbps(100), now);
+  }
+  EXPECT_EQ(f.est.Signals(0, Gbps(100)).d_score, 255);
+}
+
+TEST(CongestionEstimatorTest, FusedScoreIsClampedByte) {
+  Fixture f;
+  TimeNs now = 0;
+  for (int i = 0; i < 300; ++i) {
+    now += f.config.sample_interval;
+    f.est.Sample(0, 50'000'000 + i * 1'000'000, Gbps(100), now);
+  }
+  // Q, T, D are all saturated; fused = (2*255 + 255 + 255) >> 2 = 255 only
+  // when the trend also pins; assert the hard clamp and a near-max value.
+  EXPECT_LE(f.est.CongScore(0, Gbps(100)), 255);
+  EXPECT_GE(f.est.CongScore(0, Gbps(100)), 200);
+}
+
+TEST(CongestionEstimatorTest, NeedsRefreshHonorsInterval) {
+  Fixture f;
+  f.est.Sample(0, 1000, Gbps(100), Microseconds(100));
+  EXPECT_FALSE(f.est.NeedsRefresh(0, Microseconds(100) + f.config.min_refresh_interval - 1));
+  EXPECT_TRUE(f.est.NeedsRefresh(0, Microseconds(100) + f.config.min_refresh_interval));
+}
+
+TEST(CongestionEstimatorTest, PortsAreIndependent) {
+  Fixture f;
+  f.est.Sample(0, 5'000'000, Gbps(100), Microseconds(100));
+  f.est.Sample(1, 0, Gbps(100), Microseconds(100));
+  EXPECT_GT(f.est.CongScore(0, Gbps(100)), 0);
+  EXPECT_EQ(f.est.CongScore(1, Gbps(100)), 0);
+}
+
+TEST(CongestionEstimatorTest, WeightsChangeFusion) {
+  LcmpConfig queue_heavy;
+  queue_heavy.w_ql = 4;
+  queue_heavy.w_tl = 0;
+  queue_heavy.w_dp = 0;
+  LcmpConfig trend_heavy;
+  trend_heavy.w_ql = 0;
+  trend_heavy.w_tl = 4;
+  trend_heavy.w_dp = 0;
+  BootstrapTables tq = BootstrapTables::Build(queue_heavy);
+  BootstrapTables tt = BootstrapTables::Build(trend_heavy);
+  CongestionEstimator eq(queue_heavy, &tq, 1);
+  CongestionEstimator et(trend_heavy, &tt, 1);
+  // Deep but static queue: queue-weighted sees it, trend-weighted does not.
+  TimeNs now = 0;
+  for (int i = 0; i < 20; ++i) {
+    now += queue_heavy.sample_interval;
+    eq.Sample(0, 5'000'000, Gbps(100), now);
+    et.Sample(0, 5'000'000, Gbps(100), now);
+  }
+  EXPECT_GT(eq.CongScore(0, Gbps(100)), 100);
+  EXPECT_EQ(et.CongScore(0, Gbps(100)), 0);
+}
+
+// Property sweep: the fused score never exceeds 255 and is non-decreasing in
+// instantaneous queue depth, for several weight allocations.
+class CongestionWeightSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CongestionWeightSweep, FusedMonotoneInQueueDepth) {
+  LcmpConfig c;
+  std::tie(c.w_ql, c.w_tl, c.w_dp) = GetParam();
+  BootstrapTables t = BootstrapTables::Build(c);
+  uint8_t prev = 0;
+  for (int64_t q = 0; q <= 6'000'000; q += 250'000) {
+    CongestionEstimator est(c, &t, 1);
+    est.Sample(0, q, Gbps(100), Microseconds(100));
+    const uint8_t s = est.CongScore(0, Gbps(100));
+    EXPECT_LE(s, 255);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, CongestionWeightSweep,
+                         ::testing::Values(std::make_tuple(2, 1, 1), std::make_tuple(1, 2, 1),
+                                           std::make_tuple(1, 1, 2), std::make_tuple(1, 0, 0)));
+
+}  // namespace
+}  // namespace lcmp

@@ -1,0 +1,144 @@
+// Tests for the discrete-event queue and the simulation driver.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace lcmp {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    TimeNs t = 0;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimestampIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    q.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    TimeNs t = 0;
+    q.Pop(&t)();
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, PopReportsTimestamp) {
+  EventQueue q;
+  q.Push(42, [] {});
+  EXPECT_EQ(q.PeekTime(), 42);
+  TimeNs t = 0;
+  q.Pop(&t);
+  EXPECT_EQ(t, 42);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, InterleavedPushPop) {
+  EventQueue q;
+  q.Push(10, [] {});
+  q.Push(5, [] {});
+  TimeNs t = 0;
+  q.Pop(&t);
+  EXPECT_EQ(t, 5);
+  q.Push(1, [] {});
+  q.Pop(&t);
+  EXPECT_EQ(t, 1);
+  q.Pop(&t);
+  EXPECT_EQ(t, 10);
+}
+
+TEST(EventQueueTest, LargeHeapStaysSorted) {
+  EventQueue q;
+  // Pseudo-random insertion order.
+  uint64_t x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.Push(static_cast<TimeNs>(x % 100000), [] {});
+  }
+  TimeNs prev = -1;
+  while (!q.empty()) {
+    TimeNs t = 0;
+    q.Pop(&t);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(SimulatorTest, AdvancesTime) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.Schedule(100, [&] { seen = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<TimeNs> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.Schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<TimeNs>{10, 15}));
+}
+
+TEST(SimulatorTest, StopHaltsExecution) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, HorizonStopsBeforeLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(1000, [&] { ++fired; });
+  sim.Run(/*until=*/100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100);
+  // Resuming runs the remaining event.
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.ScheduleAt(77, [&] { seen = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 77);
+}
+
+TEST(SimulatorTest, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 25; ++i) {
+    sim.Schedule(i, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 25u);
+}
+
+}  // namespace
+}  // namespace lcmp

@@ -1,0 +1,135 @@
+// Tests for the CLI flag parser and the CSV exporters.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/csv_writer.h"
+#include "harness/experiment.h"
+#include "harness/flags.h"
+
+namespace lcmp {
+namespace {
+
+FlagSet MakeFlags() {
+  FlagSet f;
+  f.Define("load", "0.3", "load")
+      .Define("flows", "500", "count")
+      .Define("policy", "lcmp", "policy")
+      .Define("emulation", "false", "emu");
+  return f;
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  FlagSet f = MakeFlags();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(f.Parse(1, argv));
+  EXPECT_DOUBLE_EQ(f.GetDouble("load"), 0.3);
+  EXPECT_EQ(f.GetInt("flows"), 500);
+  EXPECT_EQ(f.GetString("policy"), "lcmp");
+  EXPECT_FALSE(f.GetBool("emulation"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet f = MakeFlags();
+  const char* argv[] = {"prog", "--load=0.8", "--flows=42", "--policy=ecmp"};
+  ASSERT_TRUE(f.Parse(4, argv));
+  EXPECT_DOUBLE_EQ(f.GetDouble("load"), 0.8);
+  EXPECT_EQ(f.GetInt("flows"), 42);
+  EXPECT_EQ(f.GetString("policy"), "ecmp");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet f = MakeFlags();
+  const char* argv[] = {"prog", "--flows", "7", "--policy", "ucmp"};
+  ASSERT_TRUE(f.Parse(5, argv));
+  EXPECT_EQ(f.GetInt("flows"), 7);
+  EXPECT_EQ(f.GetString("policy"), "ucmp");
+}
+
+TEST(FlagsTest, BareBoolean) {
+  FlagSet f = MakeFlags();
+  const char* argv[] = {"prog", "--emulation"};
+  ASSERT_TRUE(f.Parse(2, argv));
+  EXPECT_TRUE(f.GetBool("emulation"));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagSet f = MakeFlags();
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(f.Parse(2, argv));
+  EXPECT_NE(f.error().find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagsTest, PositionalRejected) {
+  FlagSet f = MakeFlags();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(f.Parse(2, argv));
+}
+
+TEST(FlagsTest, HelpRequested) {
+  FlagSet f = MakeFlags();
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(f.Parse(2, argv));
+  EXPECT_TRUE(f.help_requested());
+  EXPECT_NE(f.Usage("prog").find("--load"), std::string::npos);
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ExperimentConfig c;
+    c.num_flows = 40;
+    c.hosts_per_dc = 2;
+    c.policy = PolicyKind::kLcmp;
+    c.seed = 6;
+    result_ = RunExperiment(c);
+  }
+  static int CountLines(const std::string& path) {
+    std::ifstream in(path);
+    int lines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      ++lines;
+    }
+    return lines;
+  }
+  ExperimentResult result_;
+};
+
+TEST_F(CsvTest, FlowSamplesRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/flows.csv";
+  ASSERT_TRUE(WriteFlowSamplesCsv(path, result_));
+  EXPECT_EQ(CountLines(path), 1 + static_cast<int>(result_.samples.size()));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "flow_bytes,fct_ns,ideal_fct_ns,slowdown,src_dc,dst_dc");
+  // First data row parses back to the first sample.
+  std::string row;
+  std::getline(in, row);
+  std::stringstream ss(row);
+  std::string cell;
+  std::getline(ss, cell, ',');
+  EXPECT_EQ(std::stoull(cell), result_.samples[0].bytes);
+}
+
+TEST_F(CsvTest, LinkUtilizationRows) {
+  const std::string path = ::testing::TempDir() + "/links.csv";
+  ASSERT_TRUE(WriteLinkUtilizationCsv(path, result_));
+  EXPECT_EQ(CountLines(path), 1 + static_cast<int>(result_.link_utils.size()));
+}
+
+TEST_F(CsvTest, BucketRows) {
+  const std::string path = ::testing::TempDir() + "/buckets.csv";
+  ASSERT_TRUE(WriteBucketsCsv(path, result_));
+  EXPECT_EQ(CountLines(path), 1 + static_cast<int>(result_.buckets.size()));
+}
+
+TEST_F(CsvTest, UnwritablePathFails) {
+  EXPECT_FALSE(WriteFlowSamplesCsv("/nonexistent-dir/x.csv", result_));
+}
+
+}  // namespace
+}  // namespace lcmp

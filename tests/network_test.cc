@@ -1,0 +1,185 @@
+// Tests for Network wiring: static intra-DC forwarding, inter-DC candidate
+// installation, delivery across fabrics, link up/down plumbing.
+#include <gtest/gtest.h>
+
+#include "routing/ecmp.h"
+#include "sim/network.h"
+#include "topo/builders.h"
+
+namespace lcmp {
+namespace {
+
+PolicyFactory EcmpFactory() {
+  return [](SwitchNode&) { return std::make_unique<EcmpPolicy>(); };
+}
+
+Packet MakeData(NodeId src, NodeId dst, uint32_t nonce) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.src = src;
+  p.dst = dst;
+  p.key = FlowKey{src, dst, nonce, 4791, 17};
+  p.flow_id = FlowIdOf(p.key);
+  p.size_bytes = 1000;
+  return p;
+}
+
+TEST(NetworkTest, DeliversWithinOneDc) {
+  Graph g;
+  FabricOptions fabric;
+  fabric.hosts = 2;
+  BuildDcFabric(g, 0, fabric);
+  Network net(g, NetworkConfig{}, nullptr);
+  const auto hosts = g.HostsInDc(0);
+  int delivered = 0;
+  net.host(hosts[1]).SetSink([&](Packet) { ++delivered; });
+  net.host(hosts[0]).Send(MakeData(hosts[0], hosts[1], 1));
+  net.sim().Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkTest, DeliversAcrossDcs) {
+  const Graph g = BuildDumbbell(2, 2, Gbps(100), Milliseconds(5));
+  Network net(g, NetworkConfig{}, EcmpFactory());
+  const auto src_hosts = g.HostsInDc(0);
+  const auto dst_hosts = g.HostsInDc(1);
+  int delivered = 0;
+  TimeNs arrival = 0;
+  net.host(dst_hosts[0]).SetSink([&](Packet) {
+    ++delivered;
+    arrival = net.sim().now();
+  });
+  net.host(src_hosts[0]).Send(MakeData(src_hosts[0], dst_hosts[0], 1));
+  net.sim().Run();
+  EXPECT_EQ(delivered, 1);
+  // Dominated by the 5 ms inter-DC propagation.
+  EXPECT_GT(arrival, Milliseconds(5));
+  EXPECT_LT(arrival, Milliseconds(6));
+}
+
+TEST(NetworkTest, DeliversAcrossLeafSpineFabrics) {
+  Testbed8Options opts;
+  opts.fabric.kind = FabricKind::kLeafSpine;
+  const Graph g = BuildTestbed8(opts);
+  Network net(g, NetworkConfig{}, EcmpFactory());
+  const auto src_hosts = g.HostsInDc(0);
+  const auto dst_hosts = g.HostsInDc(7);
+  ASSERT_EQ(src_hosts.size(), 16u);
+  int delivered = 0;
+  net.host(dst_hosts[3]).SetSink([&](Packet) { ++delivered; });
+  net.host(src_hosts[5]).Send(MakeData(src_hosts[5], dst_hosts[3], 9));
+  net.sim().Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkTest, EcmpSpreadsFlowsAcrossCandidates) {
+  const Graph g = BuildDumbbell(4, 2, Gbps(100), Milliseconds(1));
+  Network net(g, NetworkConfig{}, EcmpFactory());
+  const auto src_hosts = g.HostsInDc(0);
+  const auto dst_hosts = g.HostsInDc(1);
+  for (uint32_t i = 0; i < 64; ++i) {
+    net.host(src_hosts[0]).Send(MakeData(src_hosts[0], dst_hosts[0], i));
+  }
+  net.sim().Run();
+  // All four parallel links should carry traffic.
+  int used = 0;
+  for (const DirectedLinkRef& ref : net.InterDcDirectedLinks()) {
+    if (ref.port->tx_packets() > 0) {
+      ++used;
+    }
+  }
+  EXPECT_GE(used, 3);  // 4 directed a->b links exist plus 4 b->a (idle)
+}
+
+TEST(NetworkTest, SameFlowUsesSamePath) {
+  const Graph g = BuildDumbbell(4, 2, Gbps(100), Milliseconds(1));
+  Network net(g, NetworkConfig{}, EcmpFactory());
+  const auto src_hosts = g.HostsInDc(0);
+  const auto dst_hosts = g.HostsInDc(1);
+  for (int i = 0; i < 10; ++i) {
+    net.host(src_hosts[0]).Send(MakeData(src_hosts[0], dst_hosts[0], 777));
+  }
+  net.sim().Run();
+  int links_used = 0;
+  for (const DirectedLinkRef& ref : net.InterDcDirectedLinks()) {
+    if (ref.port->tx_packets() > 0) {
+      ++links_used;
+    }
+  }
+  EXPECT_EQ(links_used, 1);
+}
+
+TEST(NetworkTest, InterDcCandidatesInstalledOnDci) {
+  const Graph g = BuildTestbed8({});
+  Network net(g, NetworkConfig{}, EcmpFactory());
+  SwitchNode& dci1 = net.switch_node(g.DciOfDc(0));
+  EXPECT_EQ(dci1.CandidatesTo(7).size(), 6u);
+  EXPECT_EQ(dci1.CandidatesTo(0).size(), 0u);
+  // Candidate ports point at distinct egress ports.
+  std::set<PortIndex> ports;
+  for (const PathCandidate& c : dci1.CandidatesTo(7)) {
+    ports.insert(c.port);
+  }
+  EXPECT_EQ(ports.size(), 6u);
+}
+
+TEST(NetworkTest, SetLinkUpDownPropagatesToPorts) {
+  const Graph g = BuildDumbbell(2, 1, Gbps(100), Milliseconds(1));
+  Network net(g, NetworkConfig{}, EcmpFactory());
+  const auto refs = net.InterDcDirectedLinks();
+  ASSERT_FALSE(refs.empty());
+  const int link = refs[0].link_idx;
+  net.SetLinkUp(link, false);
+  Port* p = net.FindPort(refs[0].from, link);
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(p->up());
+  net.SetLinkUp(link, true);
+  EXPECT_TRUE(p->up());
+}
+
+TEST(NetworkTest, DirectedLinkNamesAreHumanReadable) {
+  const Graph g = BuildDumbbell(1, 1, Gbps(100), Milliseconds(1));
+  Network net(g, NetworkConfig{}, EcmpFactory());
+  const auto refs = net.InterDcDirectedLinks();
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(net.DirectedLinkName(refs[0]), "dc1.dci->dc2.dci");
+  EXPECT_EQ(net.DirectedLinkName(refs[1]), "dc2.dci->dc1.dci");
+}
+
+TEST(NetworkTest, EcnThresholdsScaleWithRate) {
+  // A 40G port and a 400G port must get proportionally different Kmin.
+  Graph g;
+  const NodeId a = g.AddVertex(VertexKind::kDciSwitch, 0, "a");
+  const NodeId b = g.AddVertex(VertexKind::kDciSwitch, 1, "b");
+  g.AddLink(a, b, Gbps(40), Milliseconds(1));
+  g.AddLink(a, b, Gbps(400), Milliseconds(1));
+  Network net(g, NetworkConfig{}, EcmpFactory());
+  // Sample the ports' behavior indirectly via utilization refs.
+  const auto refs = net.InterDcDirectedLinks();
+  ASSERT_EQ(refs.size(), 4u);
+  EXPECT_EQ(refs[0].port->rate_bps() * 10, refs[2].port->rate_bps());
+}
+
+TEST(NetworkTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    const Graph g = BuildDumbbell(4, 2, Gbps(100), Milliseconds(1));
+    NetworkConfig cfg;
+    cfg.seed = 99;
+    Network net(g, cfg, EcmpFactory());
+    const auto src_hosts = g.HostsInDc(0);
+    const auto dst_hosts = g.HostsInDc(1);
+    for (uint32_t i = 0; i < 32; ++i) {
+      net.host(src_hosts[i % 2]).Send(MakeData(src_hosts[i % 2], dst_hosts[0], i));
+    }
+    net.sim().Run();
+    std::vector<int64_t> txs;
+    for (const DirectedLinkRef& ref : net.InterDcDirectedLinks()) {
+      txs.push_back(ref.port->tx_bytes());
+    }
+    return txs;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lcmp

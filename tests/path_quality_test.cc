@@ -1,0 +1,211 @@
+// Tests for the compact path-quality representation (Sec. 3.2, Alg. 1/2,
+// Eq. 2): saturation, monotonicity, weight sensitivity, and the bootstrap
+// capacity-class tables.
+#include <gtest/gtest.h>
+
+#include "core/bootstrap_tables.h"
+#include "core/config.h"
+#include "core/path_quality.h"
+
+namespace lcmp {
+namespace {
+
+LcmpConfig DefaultConfig() { return LcmpConfig{}; }
+
+TEST(DelayCostTest, ZeroAndNegativeDelayIsZero) {
+  const LcmpConfig c = DefaultConfig();
+  EXPECT_EQ(CalcDelayCost(0, c), 0);
+  EXPECT_EQ(CalcDelayCost(-5, c), 0);
+}
+
+TEST(DelayCostTest, SaturatesAtConfiguredMax) {
+  LcmpConfig c = DefaultConfig();
+  c.delay_saturation = Milliseconds(64);
+  // Shift-based mapping (Alg. 1): the saturation point lands within one
+  // shift quantum of 255 and anything well past it clamps exactly to 255.
+  EXPECT_GE(CalcDelayCost(Milliseconds(64), c), 240);
+  EXPECT_EQ(CalcDelayCost(Milliseconds(80), c), 255);
+  EXPECT_EQ(CalcDelayCost(Milliseconds(250), c), 255);
+  EXPECT_LT(CalcDelayCost(Milliseconds(32), c), 255);
+}
+
+TEST(DelayCostTest, MonotoneInDelay) {
+  const LcmpConfig c = DefaultConfig();
+  uint8_t prev = 0;
+  for (TimeNs d = 0; d <= Milliseconds(100); d += Microseconds(500)) {
+    const uint8_t score = CalcDelayCost(d, c);
+    EXPECT_GE(score, prev) << "delay " << d;
+    prev = score;
+  }
+}
+
+TEST(DelayCostTest, ShiftMappingIsLinearBeforeSaturation) {
+  LcmpConfig c = DefaultConfig();
+  c.delay_saturation = Milliseconds(64);
+  // Doubling the delay roughly doubles the score (integer truncation aside).
+  const uint8_t s1 = CalcDelayCost(Milliseconds(8), c);
+  const uint8_t s2 = CalcDelayCost(Milliseconds(16), c);
+  EXPECT_NEAR(static_cast<double>(s2), 2.0 * s1, 2.0);
+}
+
+TEST(LinkCapCostTest, FasterIsCheaper) {
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  const uint8_t s40 = CalcLinkCapCost(Gbps(40), c, t);
+  const uint8_t s100 = CalcLinkCapCost(Gbps(100), c, t);
+  const uint8_t s200 = CalcLinkCapCost(Gbps(200), c, t);
+  const uint8_t s400 = CalcLinkCapCost(Gbps(400), c, t);
+  EXPECT_GT(s40, s100);
+  EXPECT_GT(s100, s200);
+  EXPECT_GT(s200, s400);
+  EXPECT_EQ(s400, 0);  // fastest class is free
+}
+
+TEST(LinkCapCostTest, AboveMaxClampsToFastestClass) {
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  EXPECT_EQ(CalcLinkCapCost(Gbps(800), c, t), CalcLinkCapCost(Gbps(400), c, t));
+}
+
+TEST(PathQualityTest, WithinByteRange) {
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  for (TimeNs d : {Microseconds(1), Milliseconds(5), Milliseconds(64), Milliseconds(500)}) {
+    for (int64_t r : {Gbps(10), Gbps(40), Gbps(100), Gbps(400)}) {
+      const uint8_t q = CalcPathQuality(d, r, c, t);
+      EXPECT_LE(q, 255);
+    }
+  }
+}
+
+TEST(PathQualityTest, PrefersLowDelayWithDefaultWeights) {
+  // With the paper's delay-biased (3,1) weights, a low-delay 40G route must
+  // beat a high-delay 200G route.
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  const uint8_t low_delay_low_cap = CalcPathQuality(Milliseconds(10), Gbps(40), c, t);
+  const uint8_t high_delay_high_cap = CalcPathQuality(Milliseconds(250), Gbps(200), c, t);
+  EXPECT_LT(low_delay_low_cap, high_delay_high_cap);
+}
+
+TEST(PathQualityTest, CapacityBiasedWeightsPreferCapacity) {
+  // Flipping to (1,3) must reverse the preference when delays differ little.
+  LcmpConfig c = DefaultConfig();
+  c.w_dl = 1;
+  c.w_lc = 3;
+  const BootstrapTables t = BootstrapTables::Build(c);
+  const uint8_t slow_fat = CalcPathQuality(Milliseconds(12), Gbps(400), c, t);
+  const uint8_t fast_thin = CalcPathQuality(Milliseconds(8), Gbps(40), c, t);
+  EXPECT_LT(slow_fat, fast_thin);
+}
+
+TEST(PathQualityTest, Testbed8RankingMatchesDesign) {
+  // On the Fig. 1a classes the (3,1) C_path ordering should put the two
+  // low-delay, low/medium-capacity routes ahead of both 125 ms routes.
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  const uint8_t via_dc7 = CalcPathQuality(Milliseconds(10), Gbps(40), c, t);
+  const uint8_t via_dc6 = CalcPathQuality(Milliseconds(50), Gbps(40), c, t);
+  const uint8_t via_dc5 = CalcPathQuality(Milliseconds(30), Gbps(100), c, t);
+  const uint8_t via_dc3 = CalcPathQuality(Milliseconds(60), Gbps(200), c, t);
+  const uint8_t via_dc2 = CalcPathQuality(Milliseconds(250), Gbps(200), c, t);
+  const uint8_t via_dc4 = CalcPathQuality(Milliseconds(250), Gbps(100), c, t);
+  EXPECT_LT(via_dc7, via_dc2);
+  EXPECT_LT(via_dc6, via_dc2);
+  EXPECT_LT(via_dc5, via_dc2);
+  EXPECT_LT(via_dc3, via_dc4);
+  EXPECT_LT(via_dc2, via_dc4);  // same delay (saturated), more capacity
+}
+
+TEST(BootstrapTablesTest, CapacityClassesAreMonotone) {
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  int prev = -1;
+  for (int64_t r = Gbps(10); r <= Gbps(400); r += Gbps(10)) {
+    const int cls = t.CapacityClass(r);
+    EXPECT_GE(cls, prev);
+    prev = cls;
+  }
+  EXPECT_EQ(t.CapacityClass(Gbps(400)), c.num_cap_classes - 1);
+}
+
+TEST(BootstrapTablesTest, LevelScoreEndpoints) {
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  EXPECT_EQ(t.LevelScore(0), 0);
+  EXPECT_EQ(t.LevelScore(t.num_levels() - 1), 255);
+  EXPECT_EQ(t.LevelScore(t.num_levels() + 100), 255);  // clamped
+  EXPECT_EQ(t.LevelScore(-3), 0);
+}
+
+TEST(BootstrapTablesTest, QueueLevelScalesWithRate) {
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  // The same absolute queue is more alarming on a slower link.
+  const int64_t q = 200'000;
+  EXPECT_GE(t.QueueLevel(q, Gbps(40)), t.QueueLevel(q, Gbps(400)));
+  EXPECT_EQ(t.QueueLevel(0, Gbps(100)), 0);
+  EXPECT_EQ(t.QueueLevel(-10, Gbps(100)), 0);
+}
+
+TEST(BootstrapTablesTest, QueueLevelSaturates) {
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  EXPECT_EQ(t.QueueLevel(int64_t{1} << 40, Gbps(100)), c.num_queue_levels - 1);
+}
+
+TEST(BootstrapTablesTest, TrendLevelZeroForNonPositive) {
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  EXPECT_EQ(t.TrendLevel(0, Gbps(100), c.sample_interval), 0);
+  EXPECT_EQ(t.TrendLevel(-5000, Gbps(100), c.sample_interval), 0);
+  EXPECT_GT(t.TrendLevel(100'000, Gbps(100), c.sample_interval), 0);
+}
+
+TEST(BootstrapTablesTest, MemoryFootprintIsTiny) {
+  // Sec. 4: control tables are "a few dozen bytes each".
+  const LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  EXPECT_LT(t.MemoryBytes(), 256u);
+}
+
+// --- Property sweep: C_path is monotone in delay for any weight setting ---
+
+class PathQualityWeightSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PathQualityWeightSweep, MonotoneInDelayForAllWeights) {
+  LcmpConfig c = DefaultConfig();
+  std::tie(c.w_dl, c.w_lc) = GetParam();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  for (int64_t rate : {Gbps(40), Gbps(100), Gbps(400)}) {
+    uint8_t prev = 0;
+    for (TimeNs d = 0; d <= Milliseconds(80); d += Milliseconds(2)) {
+      const uint8_t q = CalcPathQuality(d, rate, c, t);
+      EXPECT_GE(q, prev);
+      prev = q;
+    }
+  }
+}
+
+TEST_P(PathQualityWeightSweep, AntitoneInCapacityForAllWeights) {
+  LcmpConfig c = DefaultConfig();
+  std::tie(c.w_dl, c.w_lc) = GetParam();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  for (TimeNs d : {Milliseconds(1), Milliseconds(20), Milliseconds(64)}) {
+    uint8_t prev = 255;
+    for (int64_t rate = Gbps(40); rate <= Gbps(400); rate += Gbps(40)) {
+      const uint8_t q = CalcPathQuality(d, rate, c, t);
+      EXPECT_LE(q, prev);
+      prev = q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, PathQualityWeightSweep,
+                         ::testing::Values(std::make_tuple(3, 1), std::make_tuple(1, 1),
+                                           std::make_tuple(1, 3), std::make_tuple(5, 2),
+                                           std::make_tuple(0, 1), std::make_tuple(1, 0)));
+
+}  // namespace
+}  // namespace lcmp

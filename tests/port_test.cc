@@ -1,0 +1,220 @@
+// Tests for the egress-port model: serialization, FIFO order, propagation,
+// buffer drops, ECN marking and administrative up/down.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/node.h"
+#include "sim/port.h"
+#include "sim/simulator.h"
+
+namespace lcmp {
+namespace {
+
+// Minimal sink node capturing arrivals.
+class SinkNode : public Node {
+ public:
+  SinkNode(Simulator* sim, NodeId id) : Node(sim, id, Kind::kHost, 0, 1) {}
+  void Receive(Packet pkt, PortIndex) override {
+    arrival_times.push_back(sim_->now());
+    packets.push_back(pkt);
+  }
+  std::vector<TimeNs> arrival_times;
+  std::vector<Packet> packets;
+};
+
+// Source node whose single port we exercise.
+class SourceNode : public Node {
+ public:
+  SourceNode(Simulator* sim, NodeId id) : Node(sim, id, Kind::kHost, 0, 2) {}
+  void Receive(Packet, PortIndex) override {}
+};
+
+struct Fixture {
+  explicit Fixture(PortConfig config) : src(&sim, 0), dst(&sim, 1) {
+    port_idx = src.AddPort(config, /*graph_link_idx=*/0);
+    src.port(port_idx).ConnectTo(&dst, 0);
+  }
+  Packet MakeData(uint32_t size, uint32_t seq = 0) {
+    Packet p;
+    p.type = PacketType::kData;
+    p.size_bytes = size;
+    p.seq = seq;
+    return p;
+  }
+  Simulator sim;
+  SourceNode src;
+  SinkNode dst;
+  PortIndex port_idx = kInvalidPort;
+};
+
+PortConfig BaseConfig() {
+  PortConfig c;
+  c.rate_bps = Gbps(1);  // 1 byte == 8 ns
+  c.prop_delay_ns = 1000;
+  c.buffer_bytes = 1'000'000;
+  c.ecn_kmin = 0;  // marking off unless enabled
+  return c;
+}
+
+TEST(PortTest, SerializationPlusPropagation) {
+  Fixture f(BaseConfig());
+  f.src.port(f.port_idx).Enqueue(f.MakeData(1000));
+  f.sim.Run();
+  ASSERT_EQ(f.dst.arrival_times.size(), 1u);
+  // 1000 B at 1 Gbps = 8000 ns serialization + 1000 ns propagation.
+  EXPECT_EQ(f.dst.arrival_times[0], 9000);
+}
+
+TEST(PortTest, BackToBackPacketsAreSpacedBySerialization) {
+  Fixture f(BaseConfig());
+  f.src.port(f.port_idx).Enqueue(f.MakeData(1000, 0));
+  f.src.port(f.port_idx).Enqueue(f.MakeData(1000, 1));
+  f.sim.Run();
+  ASSERT_EQ(f.dst.arrival_times.size(), 2u);
+  EXPECT_EQ(f.dst.arrival_times[1] - f.dst.arrival_times[0], 8000);
+  EXPECT_EQ(f.dst.packets[0].seq, 0u);
+  EXPECT_EQ(f.dst.packets[1].seq, 1u);
+}
+
+TEST(PortTest, FifoOrderPreserved) {
+  Fixture f(BaseConfig());
+  for (uint32_t i = 0; i < 20; ++i) {
+    f.src.port(f.port_idx).Enqueue(f.MakeData(100, i));
+  }
+  f.sim.Run();
+  ASSERT_EQ(f.dst.packets.size(), 20u);
+  for (uint32_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(f.dst.packets[i].seq, i);
+  }
+}
+
+TEST(PortTest, BufferOverflowDrops) {
+  PortConfig c = BaseConfig();
+  c.buffer_bytes = 2500;  // room for two 1000 B packets in the queue
+  Fixture f(c);
+  // First packet starts transmitting immediately (leaves the queue); then
+  // the queue can hold two more; the rest drop.
+  for (uint32_t i = 0; i < 6; ++i) {
+    f.src.port(f.port_idx).Enqueue(f.MakeData(1000, i));
+  }
+  EXPECT_GT(f.src.port(f.port_idx).dropped_packets(), 0);
+  f.sim.Run();
+  EXPECT_EQ(f.dst.packets.size() + static_cast<size_t>(f.src.port(f.port_idx).dropped_packets()),
+            6u);
+}
+
+TEST(PortTest, QueueBytesTracksOccupancy) {
+  Fixture f(BaseConfig());
+  Port& p = f.src.port(f.port_idx);
+  EXPECT_EQ(p.queue_bytes(), 0);
+  p.Enqueue(f.MakeData(1000, 0));  // starts transmitting, leaves queue
+  p.Enqueue(f.MakeData(1000, 1));
+  p.Enqueue(f.MakeData(1000, 2));
+  EXPECT_EQ(p.queue_bytes(), 2000);
+  f.sim.Run();
+  EXPECT_EQ(p.queue_bytes(), 0);
+  EXPECT_EQ(p.tx_bytes(), 3000);
+  EXPECT_EQ(p.tx_packets(), 3);
+}
+
+TEST(PortTest, EcnMarksAboveKmax) {
+  PortConfig c = BaseConfig();
+  c.ecn_kmin = 500;
+  c.ecn_kmax = 1500;
+  c.ecn_pmax = 0.5;
+  Fixture f(c);
+  Port& p = f.src.port(f.port_idx);
+  // Fill the queue beyond kmax, then everything enqueued must be marked.
+  for (uint32_t i = 0; i < 10; ++i) {
+    p.Enqueue(f.MakeData(1000, i));
+  }
+  f.sim.Run();
+  int marked = 0;
+  for (const Packet& pkt : f.dst.packets) {
+    if (pkt.ecn_ce) {
+      ++marked;
+    }
+  }
+  // Packets enqueued once occupancy > kmax (1500 B) are always marked:
+  // occupancy before packets 3.. was >= 2000 B.
+  EXPECT_GE(marked, 6);
+}
+
+TEST(PortTest, NoEcnWhenDisabled) {
+  Fixture f(BaseConfig());
+  for (uint32_t i = 0; i < 10; ++i) {
+    f.src.port(f.port_idx).Enqueue(f.MakeData(1000, i));
+  }
+  f.sim.Run();
+  for (const Packet& pkt : f.dst.packets) {
+    EXPECT_FALSE(pkt.ecn_ce);
+  }
+  EXPECT_EQ(f.src.port(f.port_idx).ecn_marked_packets(), 0);
+}
+
+TEST(PortTest, ControlPacketsNeverMarked) {
+  PortConfig c = BaseConfig();
+  c.ecn_kmin = 1;
+  c.ecn_kmax = 2;
+  Fixture f(c);
+  Packet ack;
+  ack.type = PacketType::kAck;
+  ack.size_bytes = 64;
+  f.src.port(f.port_idx).Enqueue(f.MakeData(1000, 0));
+  f.src.port(f.port_idx).Enqueue(ack);
+  f.sim.Run();
+  ASSERT_EQ(f.dst.packets.size(), 2u);
+  EXPECT_FALSE(f.dst.packets[1].ecn_ce);
+}
+
+TEST(PortTest, DownPortDropsAndFlushes) {
+  Fixture f(BaseConfig());
+  Port& p = f.src.port(f.port_idx);
+  p.Enqueue(f.MakeData(1000, 0));
+  p.Enqueue(f.MakeData(1000, 1));
+  p.SetUp(false);
+  EXPECT_EQ(p.queue_bytes(), 0);  // queue flushed
+  p.Enqueue(f.MakeData(1000, 2));  // dropped while down
+  f.sim.Run();
+  // Only the packet already on the wire (in transmission) arrives.
+  EXPECT_EQ(f.dst.packets.size(), 1u);
+  EXPECT_GE(p.dropped_packets(), 2);
+}
+
+TEST(PortTest, PortRecoversAfterUp) {
+  Fixture f(BaseConfig());
+  Port& p = f.src.port(f.port_idx);
+  p.SetUp(false);
+  p.Enqueue(f.MakeData(1000, 0));  // dropped
+  p.SetUp(true);
+  p.Enqueue(f.MakeData(1000, 1));
+  f.sim.Run();
+  ASSERT_EQ(f.dst.packets.size(), 1u);
+  EXPECT_EQ(f.dst.packets[0].seq, 1u);
+}
+
+TEST(PortTest, IntStampingRecordsHopState) {
+  Fixture f(BaseConfig());
+  Packet p = f.MakeData(1000, 0);
+  p.int_enabled = true;
+  f.src.port(f.port_idx).Enqueue(f.MakeData(1000, 5));  // queue builder
+  f.src.port(f.port_idx).Enqueue(p);
+  f.sim.Run();
+  ASSERT_EQ(f.dst.packets.size(), 2u);
+  const Packet& got = f.dst.packets[1];
+  ASSERT_EQ(got.int_hops, 1);
+  EXPECT_EQ(got.int_rec[0].rate_bps, Gbps(1));
+  EXPECT_EQ(got.int_rec[0].qlen_bytes, 0);  // nothing behind it
+  EXPECT_EQ(got.int_rec[0].tx_bytes, 2000);
+}
+
+TEST(PortTest, BusyTimeAccumulates) {
+  Fixture f(BaseConfig());
+  f.src.port(f.port_idx).Enqueue(f.MakeData(1000, 0));
+  f.sim.Run();
+  EXPECT_EQ(f.src.port(f.port_idx).busy_ns(), 8000);
+}
+
+}  // namespace
+}  // namespace lcmp

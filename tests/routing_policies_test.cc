@@ -1,0 +1,222 @@
+// Tests for the baseline multipath policies: ECMP, WCMP, UCMP, RedTE.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "routing/ecmp.h"
+#include "routing/redte.h"
+#include "routing/ucmp.h"
+#include "routing/wcmp.h"
+#include "sim/network.h"
+#include "topo/builders.h"
+
+namespace lcmp {
+namespace {
+
+Packet MakeData(NodeId src, NodeId dst, uint32_t nonce) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.src = src;
+  p.dst = dst;
+  p.key = FlowKey{src, dst, nonce, 4791, 17};
+  p.flow_id = FlowIdOf(p.key);
+  p.size_bytes = 1000;
+  return p;
+}
+
+struct Fixture {
+  explicit Fixture(Graph graph_in, PolicyFactory factory)
+      : graph(std::move(graph_in)), net(graph, NetworkConfig{}, std::move(factory)) {}
+  SwitchNode& Dci(DcId dc) { return net.switch_node(graph.DciOfDc(dc)); }
+  Graph graph;
+  Network net;
+};
+
+TEST(EcmpTest, SpreadsFlowsUniformly) {
+  Fixture f(BuildDumbbell(4, 1, Gbps(100), Milliseconds(1)),
+            [](SwitchNode&) { return std::make_unique<EcmpPolicy>(); });
+  SwitchNode& sw = f.Dci(0);
+  const auto cands = sw.CandidatesTo(1);
+  std::map<PortIndex, int> counts;
+  const NodeId src = f.graph.HostsInDc(0)[0];
+  const NodeId dst = f.graph.HostsInDc(1)[0];
+  for (uint32_t i = 0; i < 2000; ++i) {
+    ++counts[sw.policy()->SelectPort(sw, MakeData(src, dst, i), cands)];
+  }
+  EXPECT_EQ(counts.size(), 4u);
+  for (const auto& [port, n] : counts) {
+    EXPECT_GT(n, 350);
+    EXPECT_LT(n, 650);
+  }
+}
+
+TEST(EcmpTest, SameFlowSamePort) {
+  Fixture f(BuildDumbbell(4, 1, Gbps(100), Milliseconds(1)),
+            [](SwitchNode&) { return std::make_unique<EcmpPolicy>(); });
+  SwitchNode& sw = f.Dci(0);
+  const auto cands = sw.CandidatesTo(1);
+  const Packet p = MakeData(f.graph.HostsInDc(0)[0], f.graph.HostsInDc(1)[0], 7);
+  const PortIndex first = sw.policy()->SelectPort(sw, p, cands);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sw.policy()->SelectPort(sw, p, cands), first);
+  }
+}
+
+TEST(EcmpTest, SkipsDownPorts) {
+  Fixture f(BuildDumbbell(3, 1, Gbps(100), Milliseconds(1)),
+            [](SwitchNode&) { return std::make_unique<EcmpPolicy>(); });
+  SwitchNode& sw = f.Dci(0);
+  const auto cands = sw.CandidatesTo(1);
+  sw.port(cands[0].port).SetUp(false);
+  const NodeId src = f.graph.HostsInDc(0)[0];
+  const NodeId dst = f.graph.HostsInDc(1)[0];
+  for (uint32_t i = 0; i < 100; ++i) {
+    const PortIndex p = sw.policy()->SelectPort(sw, MakeData(src, dst, i), cands);
+    EXPECT_NE(p, cands[0].port);
+    EXPECT_NE(p, kInvalidPort);
+  }
+}
+
+TEST(EcmpTest, AllDownReturnsInvalid) {
+  Fixture f(BuildDumbbell(2, 1, Gbps(100), Milliseconds(1)),
+            [](SwitchNode&) { return std::make_unique<EcmpPolicy>(); });
+  SwitchNode& sw = f.Dci(0);
+  const auto cands = sw.CandidatesTo(1);
+  for (const auto& c : cands) {
+    sw.port(c.port).SetUp(false);
+  }
+  const Packet p = MakeData(f.graph.HostsInDc(0)[0], f.graph.HostsInDc(1)[0], 1);
+  EXPECT_EQ(sw.policy()->SelectPort(sw, p, cands), kInvalidPort);
+}
+
+TEST(WcmpTest, WeightsFollowCapacity) {
+  // Testbed-8: capacities 200/200/100/100/40/40 -> the 200G routes should
+  // carry roughly 5x the flows of the 40G routes.
+  Fixture f(BuildTestbed8({}), [](SwitchNode&) { return std::make_unique<WcmpPolicy>(); });
+  SwitchNode& sw = f.Dci(0);
+  const auto cands = sw.CandidatesTo(7);
+  std::map<PortIndex, int> counts;
+  const NodeId src = f.graph.HostsInDc(0)[0];
+  const NodeId dst = f.graph.HostsInDc(7)[0];
+  for (uint32_t i = 0; i < 6800; ++i) {
+    ++counts[sw.policy()->SelectPort(sw, MakeData(src, dst, i), cands)];
+  }
+  // Expected shares ~ 200:200:100:100:40:40 out of 680.
+  const int n200 = counts[cands[0].port];
+  const int n40 = counts[cands[5].port];
+  EXPECT_GT(n200, 3 * n40);
+}
+
+TEST(UcmpTest, ConcentratesOnHighCapacity) {
+  // The Fig. 1 motivation: UCMP's capacity-centric cost sends everything to
+  // the two 200G routes and starves the 40G low-delay routes.
+  Fixture f(BuildTestbed8({}), [](SwitchNode&) { return std::make_unique<UcmpPolicy>(); });
+  SwitchNode& sw = f.Dci(0);
+  const auto cands = sw.CandidatesTo(7);
+  std::map<PortIndex, int> counts;
+  const NodeId src = f.graph.HostsInDc(0)[0];
+  const NodeId dst = f.graph.HostsInDc(7)[0];
+  for (uint32_t i = 0; i < 1000; ++i) {
+    ++counts[sw.policy()->SelectPort(sw, MakeData(src, dst, i), cands)];
+  }
+  // All flows land on the two 200G candidates (indices 0 and 1).
+  EXPECT_EQ(counts[cands[0].port] + counts[cands[1].port], 1000);
+  EXPECT_GT(counts[cands[0].port], 300);  // tie-break spreads across both
+  EXPECT_EQ(counts[cands[4].port], 0);
+  EXPECT_EQ(counts[cands[5].port], 0);
+}
+
+TEST(UcmpTest, QueueWaitBreaksConcentrationEventually) {
+  Fixture f(BuildTestbed8({}), [](SwitchNode&) { return std::make_unique<UcmpPolicy>(); });
+  SwitchNode& sw = f.Dci(0);
+  const auto cands = sw.CandidatesTo(7);
+  // Pile multi-MB of queue onto both 200G ports.
+  for (int idx : {0, 1}) {
+    for (int i = 0; i < 4000; ++i) {
+      Packet filler = MakeData(0, f.graph.HostsInDc(7)[0], 500'000 + idx * 10'000 + i);
+      filler.size_bytes = 4096;
+      sw.port(cands[static_cast<size_t>(idx)].port).Enqueue(filler);
+    }
+  }
+  const NodeId src = f.graph.HostsInDc(0)[0];
+  const NodeId dst = f.graph.HostsInDc(7)[0];
+  int off_200g = 0;
+  for (uint32_t i = 0; i < 100; ++i) {
+    const PortIndex p = sw.policy()->SelectPort(sw, MakeData(src, dst, i), cands);
+    if (p != cands[0].port && p != cands[1].port) {
+      ++off_200g;
+    }
+  }
+  EXPECT_GT(off_200g, 0);
+}
+
+TEST(UcmpTest, StickyAcrossCostChanges) {
+  Fixture f(BuildTestbed8({}), [](SwitchNode&) { return std::make_unique<UcmpPolicy>(); });
+  SwitchNode& sw = f.Dci(0);
+  const auto cands = sw.CandidatesTo(7);
+  const Packet p = MakeData(f.graph.HostsInDc(0)[0], f.graph.HostsInDc(7)[0], 3);
+  const PortIndex first = sw.policy()->SelectPort(sw, p, cands);
+  // Congest the chosen port; the established flow must stay.
+  for (int i = 0; i < 4000; ++i) {
+    Packet filler = MakeData(0, f.graph.HostsInDc(7)[0], 700'000 + i);
+    filler.size_bytes = 4096;
+    sw.port(first).Enqueue(filler);
+  }
+  EXPECT_EQ(sw.policy()->SelectPort(sw, p, cands), first);
+}
+
+TEST(RedteTest, InitialSplitFollowsCapacity) {
+  Fixture f(BuildTestbed8({}), [](SwitchNode&) { return std::make_unique<RedtePolicy>(); });
+  SwitchNode& sw = f.Dci(0);
+  const auto cands = sw.CandidatesTo(7);
+  std::map<PortIndex, int> counts;
+  const NodeId src = f.graph.HostsInDc(0)[0];
+  const NodeId dst = f.graph.HostsInDc(7)[0];
+  for (uint32_t i = 0; i < 2560; ++i) {
+    ++counts[sw.policy()->SelectPort(sw, MakeData(src, dst, i), cands)];
+  }
+  // Capacity-weighted split: 200G routes get more than 40G routes.
+  EXPECT_GT(counts[cands[0].port], counts[cands[5].port]);
+}
+
+TEST(RedteTest, ControlLoopIs100ms) {
+  RedtePolicy p;
+  EXPECT_EQ(p.tick_interval(), Milliseconds(100));
+}
+
+TEST(RedteTest, RebalancesTowardIdleLinks) {
+  RedteConfig rcfg;
+  rcfg.rebalance_min_gap = 0.001;  // tiny hysteresis so the test converges fast
+  Fixture f(BuildDumbbell(2, 1, Gbps(100), Milliseconds(1)),
+            [rcfg](SwitchNode&) { return std::make_unique<RedtePolicy>(rcfg); });
+  SwitchNode& sw = f.Dci(0);
+  const auto cands = sw.CandidatesTo(1);
+  const NodeId src = f.graph.HostsInDc(0)[0];
+  const NodeId dst = f.graph.HostsInDc(1)[0];
+  // Initialize the group.
+  sw.policy()->SelectPort(sw, MakeData(src, dst, 0), cands);
+  // Artificially load candidate 0's port and tick the control loop several
+  // times: the split should shift toward candidate 1, biasing future picks.
+  std::map<PortIndex, int> before, after;
+  for (uint32_t i = 0; i < 512; ++i) {
+    ++before[sw.policy()->SelectPort(sw, MakeData(src, dst, 10'000 + i), cands)];
+  }
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      Packet filler = MakeData(src, dst, 1'000'000u + static_cast<uint32_t>(round * 2000 + i));
+      filler.size_bytes = 4096;
+      sw.port(cands[0].port).Enqueue(filler);
+    }
+    f.net.sim().Schedule(Milliseconds(100), [] {});
+    f.net.sim().Run();
+    sw.policy()->OnTick(sw);
+  }
+  for (uint32_t i = 0; i < 512; ++i) {
+    ++after[sw.policy()->SelectPort(sw, MakeData(src, dst, 20'000 + i), cands)];
+  }
+  EXPECT_GT(after[cands[1].port], before[cands[1].port]);
+}
+
+}  // namespace
+}  // namespace lcmp

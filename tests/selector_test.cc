@@ -1,0 +1,168 @@
+// Tests for the diversity-preserving two-stage selection (Sec. 3.4).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/hashing.h"
+#include "core/selector.h"
+
+namespace lcmp {
+namespace {
+
+std::vector<ScoredCandidate> MakeCandidates(std::vector<int32_t> costs,
+                                            std::vector<uint8_t> cong = {}) {
+  std::vector<ScoredCandidate> out;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    ScoredCandidate c;
+    c.port = static_cast<PortIndex>(i);
+    c.fused_cost = costs[i];
+    c.cong_score = i < cong.size() ? cong[i] : 0;
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(SelectorTest, EmptyReturnsInvalid) {
+  std::vector<ScoredCandidate> scratch;
+  const SelectionResult r = SelectDiverse({}, 123, LcmpConfig{}, scratch);
+  EXPECT_EQ(r.port, kInvalidPort);
+}
+
+TEST(SelectorTest, SingleCandidateAlwaysWins) {
+  std::vector<ScoredCandidate> scratch;
+  const auto cands = MakeCandidates({50});
+  for (uint64_t h = 0; h < 16; ++h) {
+    EXPECT_EQ(SelectDiverse(cands, h, LcmpConfig{}, scratch).port, 0);
+  }
+}
+
+TEST(SelectorTest, KeepsLowerHalfOnly) {
+  // 6 candidates, keep 3: the high-cost suffix (ports 3,4,5 by cost) must
+  // never be selected.
+  std::vector<ScoredCandidate> scratch;
+  const auto cands = MakeCandidates({10, 20, 30, 100, 200, 300});
+  for (uint64_t h = 0; h < 1000; ++h) {
+    const SelectionResult r = SelectDiverse(cands, h, LcmpConfig{}, scratch);
+    EXPECT_LE(r.port, 2);
+    EXPECT_EQ(r.reduced_set_size, 3);
+  }
+}
+
+TEST(SelectorTest, HashSpreadsWithinReducedSet) {
+  std::vector<ScoredCandidate> scratch;
+  const auto cands = MakeCandidates({10, 20, 30, 100, 200, 300});
+  std::map<PortIndex, int> counts;
+  for (uint32_t i = 0; i < 3000; ++i) {
+    FlowKey k{1, 2, i, 4791, 17};
+    ++counts[SelectDiverse(cands, HashFlowKey(k), LcmpConfig{}, scratch).port];
+  }
+  // All three low-cost candidates used with a roughly fair share.
+  for (PortIndex p = 0; p < 3; ++p) {
+    EXPECT_GT(counts[p], 700) << "port " << p;
+  }
+}
+
+TEST(SelectorTest, CostOrderNotInputOrderDeterminesFilter) {
+  std::vector<ScoredCandidate> scratch;
+  // Costs shuffled relative to port order.
+  const auto cands = MakeCandidates({300, 10, 200, 30, 100, 20});
+  for (uint64_t h = 0; h < 500; ++h) {
+    const PortIndex p = SelectDiverse(cands, h, LcmpConfig{}, scratch).port;
+    EXPECT_TRUE(p == 1 || p == 3 || p == 5) << p;
+  }
+}
+
+TEST(SelectorTest, AllCongestedFallsBackToMinimumCost) {
+  LcmpConfig config;
+  std::vector<ScoredCandidate> scratch;
+  const auto cands =
+      MakeCandidates({90, 50, 70}, {250, 240, 255});  // all >= threshold (224)
+  for (uint64_t h = 0; h < 64; ++h) {
+    const SelectionResult r = SelectDiverse(cands, h, config, scratch);
+    EXPECT_TRUE(r.used_fallback);
+    EXPECT_EQ(r.port, 1);  // minimum fused cost
+  }
+}
+
+TEST(SelectorTest, NotAllCongestedDoesNotFallBack) {
+  LcmpConfig config;
+  std::vector<ScoredCandidate> scratch;
+  const auto cands = MakeCandidates({90, 50, 70}, {250, 100, 255});
+  const SelectionResult r = SelectDiverse(cands, 7, config, scratch);
+  EXPECT_FALSE(r.used_fallback);
+}
+
+TEST(SelectorTest, KeepFractionConfigurable) {
+  LcmpConfig config;
+  config.keep_num = 1;
+  config.keep_den = 3;  // keep only the cheapest third
+  std::vector<ScoredCandidate> scratch;
+  const auto cands = MakeCandidates({10, 20, 30, 40, 50, 60});
+  for (uint64_t h = 0; h < 200; ++h) {
+    const SelectionResult r = SelectDiverse(cands, h, config, scratch);
+    EXPECT_LE(r.port, 1);
+    EXPECT_EQ(r.reduced_set_size, 2);
+  }
+}
+
+TEST(SelectorTest, KeepAtLeastOne) {
+  LcmpConfig config;
+  config.keep_num = 1;
+  config.keep_den = 100;
+  std::vector<ScoredCandidate> scratch;
+  const auto cands = MakeCandidates({10, 20});
+  const SelectionResult r = SelectDiverse(cands, 3, config, scratch);
+  EXPECT_EQ(r.port, 0);
+  EXPECT_EQ(r.reduced_set_size, 1);
+}
+
+TEST(SelectorTest, EqualCostsStayDiverse) {
+  // Herd-effect core case: all candidates equally cheap; the hash must
+  // spread across the kept half rather than collapsing onto one.
+  std::vector<ScoredCandidate> scratch;
+  const auto cands = MakeCandidates({40, 40, 40, 40});
+  std::map<PortIndex, int> counts;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    FlowKey k{3, 4, i, 4791, 17};
+    ++counts[SelectDiverse(cands, HashFlowKey(k), LcmpConfig{}, scratch).port];
+  }
+  EXPECT_EQ(counts.size(), 2u);  // keep-half of 4 = 2 candidates in play
+  for (const auto& [port, n] : counts) {
+    EXPECT_GT(n, 300);
+  }
+}
+
+TEST(SelectorTest, DeterministicForSameHash) {
+  std::vector<ScoredCandidate> scratch;
+  const auto cands = MakeCandidates({10, 20, 30, 40});
+  const PortIndex first = SelectDiverse(cands, 12345, LcmpConfig{}, scratch).port;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SelectDiverse(cands, 12345, LcmpConfig{}, scratch).port, first);
+  }
+}
+
+// Property sweep over candidate-set sizes: selection always returns a valid
+// candidate from the cheapest ceil(n*keep) subset.
+class SelectorSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectorSizeSweep, AlwaysPicksFromKeptPrefix) {
+  const int n = GetParam();
+  std::vector<int32_t> costs;
+  for (int i = 0; i < n; ++i) {
+    costs.push_back(10 * (i + 1));
+  }
+  const auto cands = MakeCandidates(costs);
+  std::vector<ScoredCandidate> scratch;
+  const size_t keep = std::max<size_t>(static_cast<size_t>(n) / 2, 1);
+  for (uint64_t h = 0; h < 256; ++h) {
+    const SelectionResult r = SelectDiverse(cands, h, LcmpConfig{}, scratch);
+    ASSERT_NE(r.port, kInvalidPort);
+    EXPECT_LT(static_cast<size_t>(r.port), keep);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SelectorSizeSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 16));
+
+}  // namespace
+}  // namespace lcmp

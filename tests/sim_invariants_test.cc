@@ -1,0 +1,133 @@
+// Whole-system invariants checked over randomized scenarios: when a run
+// drains, no packet may be left buffered anywhere; without failures and with
+// ample buffers nothing is dropped; flow-cache occupancy never exceeds its
+// bound; and identical seeds give identical simulations across policies.
+#include <gtest/gtest.h>
+
+#include "core/control_plane.h"
+#include "core/lcmp_router.h"
+#include "harness/experiment.h"
+#include "stats/fct_recorder.h"
+#include "workload/traffic_gen.h"
+
+namespace lcmp {
+namespace {
+
+struct RunArtifacts {
+  int completed = 0;
+  int64_t switch_drops = 0;
+  int64_t leftover_queue_bytes = 0;
+  int64_t nic_drops = 0;
+};
+
+RunArtifacts RunScenario(PolicyKind policy, uint64_t seed) {
+  Testbed8Options topo_opts;
+  topo_opts.fabric.hosts = 4;
+  const Graph graph = BuildTestbed8(topo_opts);
+  NetworkConfig ncfg;
+  ncfg.seed = seed;
+  Network net(graph, ncfg, MakePolicyFactory(policy, LcmpConfig{}));
+  ControlPlane cp{LcmpConfig{}};
+  cp.Provision(net);
+  int completed = 0;
+  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+                          [&](const FlowRecord&) { ++completed; });
+  TrafficGenConfig traffic;
+  traffic.offered_bps = Gbps(150);
+  traffic.num_flows = 80;
+  traffic.seed = seed;
+  for (const FlowSpec& f : GenerateTraffic(graph, {{0, 7}, {7, 0}}, traffic)) {
+    transport.ScheduleFlow(f);
+  }
+  // No StartPolicyTicks: let the queue fully drain so the invariants below
+  // talk about a quiescent network (LCMP still samples on demand).
+  net.sim().Run(Seconds(120));
+
+  RunArtifacts a;
+  a.completed = completed;
+  for (NodeId id = 0; id < graph.num_vertices(); ++id) {
+    Node& n = net.node(id);
+    for (PortIndex p = 0; p < n.num_ports(); ++p) {
+      a.leftover_queue_bytes += n.port(p).queue_bytes();
+      if (graph.vertex(id).kind == VertexKind::kHost) {
+        a.nic_drops += n.port(p).dropped_packets();
+      } else {
+        a.switch_drops += n.port(p).dropped_packets();
+      }
+    }
+  }
+  return a;
+}
+
+class InvariantSweep
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, uint64_t>> {};
+
+TEST_P(InvariantSweep, DrainedNetworkIsEmptyAndLossless) {
+  const auto [policy, seed] = GetParam();
+  const RunArtifacts a = RunScenario(policy, seed);
+  EXPECT_EQ(a.completed, 80) << PolicyKindName(policy);
+  // Quiescence: every queue empty once the event queue drained.
+  EXPECT_EQ(a.leftover_queue_bytes, 0);
+  // Ample buffers, no failures: nothing may drop anywhere.
+  EXPECT_EQ(a.switch_drops, 0);
+  EXPECT_EQ(a.nic_drops, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySeeds, InvariantSweep,
+    ::testing::Combine(::testing::Values(PolicyKind::kEcmp, PolicyKind::kUcmp,
+                                         PolicyKind::kLcmp),
+                       ::testing::Values(1u, 7u, 13u)),
+    [](const ::testing::TestParamInfo<std::tuple<PolicyKind, uint64_t>>& info) {
+      return std::string(PolicyKindName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(InvariantTest, FlowCacheNeverExceedsCapacity) {
+  LcmpConfig config;
+  config.flow_cache_capacity = 64;
+  const Graph graph = BuildDumbbell(3, 2, Gbps(100), Milliseconds(1));
+  Network net(graph, NetworkConfig{}, MakeLcmpFactory(config));
+  ControlPlane cp(config);
+  cp.Provision(net);
+  SwitchNode& sw = net.switch_node(graph.DciOfDc(0));
+  auto* router = dynamic_cast<LcmpRouter*>(sw.policy());
+  const auto cands = sw.CandidatesTo(1);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    Packet p;
+    p.type = PacketType::kData;
+    p.src = graph.HostsInDc(0)[0];
+    p.dst = graph.HostsInDc(1)[0];
+    p.key = FlowKey{p.src, p.dst, i, 4791, 17};
+    router->SelectPort(sw, p, cands);
+    ASSERT_LE(router->flow_cache().size(), 64);
+  }
+}
+
+TEST(InvariantTest, SlowdownNeverBelowOneOnSymmetricSinglePath) {
+  // On a single-path topology the ideal path is the only path, so measured
+  // FCT can never beat the ideal.
+  const LinearTopo t = BuildLinear();
+  FctRecorder recorder(&t.graph);
+  Network net(t.graph, NetworkConfig{}, nullptr);
+  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+                          [&](const FlowRecord& r) { recorder.OnComplete(r); });
+  for (FlowId i = 1; i <= 20; ++i) {
+    FlowSpec f;
+    f.id = i;
+    f.src = t.src_host;
+    f.dst = t.dst_host;
+    f.key = FlowKey{f.src, f.dst, static_cast<uint32_t>(i), 4791, 17};
+    f.size_bytes = 10'000 * i;
+    f.start_time = static_cast<TimeNs>(i) * Microseconds(30);
+    transport.ScheduleFlow(f);
+  }
+  net.sim().Run(Seconds(10));
+  ASSERT_EQ(recorder.completed(), 20);
+  for (const auto& s : recorder.samples()) {
+    EXPECT_GE(s.slowdown, 0.999);
+  }
+}
+
+}  // namespace
+}  // namespace lcmp

@@ -1,0 +1,247 @@
+// Tests for the topology graph, the paper topologies and the control-plane
+// candidate-path computation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topo/builders.h"
+#include "topo/candidate_paths.h"
+#include "topo/graph.h"
+
+namespace lcmp {
+namespace {
+
+TEST(GraphTest, AddVertexAndLink) {
+  Graph g;
+  const NodeId a = g.AddVertex(VertexKind::kHost, 0, "a");
+  const NodeId b = g.AddVertex(VertexKind::kDciSwitch, 0, "b");
+  const int l = g.AddLink(a, b, Gbps(100), Microseconds(1));
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_links(), 1);
+  EXPECT_EQ(g.Peer(l, a), b);
+  EXPECT_EQ(g.Peer(l, b), a);
+  EXPECT_EQ(g.incident_links(a).size(), 1u);
+}
+
+TEST(GraphTest, DcAccounting) {
+  Graph g;
+  g.AddVertex(VertexKind::kHost, 0, "h0");
+  g.AddVertex(VertexKind::kHost, 2, "h2");
+  EXPECT_EQ(g.num_dcs(), 3);
+  EXPECT_EQ(g.HostsInDc(0).size(), 1u);
+  EXPECT_EQ(g.HostsInDc(1).size(), 0u);
+  EXPECT_EQ(g.DciOfDc(0), kInvalidNode);
+}
+
+TEST(BuildersTest, LinearTopoShape) {
+  const LinearTopo t = BuildLinear();
+  EXPECT_EQ(t.graph.num_vertices(), 3);
+  EXPECT_EQ(t.graph.num_links(), 2);
+  EXPECT_EQ(t.graph.vertex(t.src_host).kind, VertexKind::kHost);
+}
+
+TEST(BuildersTest, CollapsedFabricShape) {
+  Graph g;
+  FabricOptions opts;
+  opts.hosts = 4;
+  const NodeId dci = BuildDcFabric(g, 0, opts);
+  EXPECT_EQ(g.vertex(dci).kind, VertexKind::kDciSwitch);
+  EXPECT_EQ(g.HostsInDc(0).size(), 4u);
+  EXPECT_EQ(g.num_links(), 4);  // one uplink per host
+}
+
+TEST(BuildersTest, LeafSpineFabricShape) {
+  Graph g;
+  FabricOptions opts;
+  opts.kind = FabricKind::kLeafSpine;
+  const NodeId dci = BuildDcFabric(g, 0, opts);
+  // 1 DCI + 2 spines + 4 leaves + 16 hosts (paper's pod).
+  EXPECT_EQ(g.num_vertices(), 23);
+  EXPECT_EQ(g.HostsInDc(0).size(), 16u);
+  // Links: 2 spine-dci + 4*2 leaf-spine + 16 host-leaf = 26.
+  EXPECT_EQ(g.num_links(), 26);
+  EXPECT_EQ(g.DciOfDc(0), dci);
+}
+
+TEST(BuildersTest, Testbed8Shape) {
+  const Graph g = BuildTestbed8({});
+  EXPECT_EQ(g.num_dcs(), 8);
+  EXPECT_EQ(g.DciSwitches().size(), 8u);
+  // Endpoint DCs have hosts, transit DCs do not.
+  EXPECT_GT(g.HostsInDc(0).size(), 0u);
+  EXPECT_GT(g.HostsInDc(7).size(), 0u);
+  for (DcId dc = 1; dc <= 6; ++dc) {
+    EXPECT_EQ(g.HostsInDc(dc).size(), 0u) << "transit DC " << dc;
+  }
+}
+
+TEST(BuildersTest, Testbed8HasSixTwoHopRoutes) {
+  const Graph g = BuildTestbed8({});
+  const InterDcRoutes routes = InterDcRoutes::Compute(g);
+  const NodeId dci1 = g.DciOfDc(0);
+  const auto& cands = routes.Candidates(dci1, 7);
+  EXPECT_EQ(cands.size(), 6u);
+  EXPECT_EQ(routes.HopDistance(dci1, 7), 2);
+  // Each transit DCI has exactly one candidate onward to DC8.
+  for (DcId dc = 1; dc <= 6; ++dc) {
+    EXPECT_EQ(routes.Candidates(g.DciOfDc(dc), 7).size(), 1u);
+  }
+}
+
+TEST(BuildersTest, Testbed8CandidateAttributesMatchClasses) {
+  Testbed8Options opts;
+  const Graph g = BuildTestbed8(opts);
+  const InterDcRoutes routes = InterDcRoutes::Compute(g);
+  const auto& cands = routes.Candidates(g.DciOfDc(0), 7);
+  ASSERT_EQ(cands.size(), 6u);
+  // Candidates are ordered by first-hop link index == class order.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(cands[static_cast<size_t>(i)].bottleneck_bps, opts.classes[i].rate_bps);
+    EXPECT_EQ(cands[static_cast<size_t>(i)].path_delay_ns,
+              2 * opts.classes[i].per_link_delay_ns);
+  }
+}
+
+TEST(BuildersTest, Bso13ShapeAndDelayClasses) {
+  const Graph g = BuildBso13({});
+  EXPECT_EQ(g.num_dcs(), 13);
+  EXPECT_EQ(g.DciSwitches().size(), 13u);
+  // Every inter-DC link uses one of the paper's three delay classes.
+  const std::set<TimeNs> classes = {Milliseconds(1), Milliseconds(5), Milliseconds(10)};
+  for (int li = 0; li < g.num_links(); ++li) {
+    const LinkSpec& l = g.link(li);
+    if (g.vertex(l.a).kind == VertexKind::kDciSwitch &&
+        g.vertex(l.b).kind == VertexKind::kDciSwitch) {
+      EXPECT_TRUE(classes.count(l.delay_ns)) << "link " << li;
+    }
+  }
+}
+
+TEST(BuildersTest, Bso13IsSparseMultipath) {
+  // The paper reports only a minority (~25%) of pairs see multiple candidate
+  // routes on the realistic topology; ours must be in that regime, not a
+  // dense mesh.
+  const Graph g = BuildBso13({});
+  const InterDcRoutes routes = InterDcRoutes::Compute(g);
+  const double frac = routes.MultipathPairFraction();
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.55);
+}
+
+TEST(BuildersTest, Bso13Dc1Dc13HasDiverseCandidates) {
+  // The Fig. 8 case study needs DC1 -> DC13 to offer multiple candidates
+  // with opposite delay/capacity trade-offs.
+  const Graph g = BuildBso13({});
+  const InterDcRoutes routes = InterDcRoutes::Compute(g);
+  const auto& cands = routes.Candidates(g.DciOfDc(0), 12);
+  ASSERT_GE(cands.size(), 2u);
+  std::set<int64_t> caps;
+  for (const auto& c : cands) {
+    caps.insert(c.bottleneck_bps);
+  }
+  EXPECT_GE(caps.size(), 2u) << "candidates should differ in capacity";
+}
+
+TEST(BuildersTest, Bso13AllPairsReachable) {
+  const Graph g = BuildBso13({});
+  const InterDcRoutes routes = InterDcRoutes::Compute(g);
+  for (DcId s = 0; s < 13; ++s) {
+    for (DcId d = 0; d < 13; ++d) {
+      if (s == d) {
+        continue;
+      }
+      EXPECT_GE(routes.HopDistance(g.DciOfDc(s), d), 1) << s << "->" << d;
+      EXPECT_GE(routes.Candidates(g.DciOfDc(s), d).size(), 1u) << s << "->" << d;
+    }
+  }
+}
+
+TEST(CandidatePathsTest, DownhillRoutingIsLoopFree) {
+  // Following any candidate strictly decreases the hop distance, so no
+  // forwarding loop can form.
+  const Graph g = BuildBso13({});
+  const InterDcRoutes routes = InterDcRoutes::Compute(g);
+  for (DcId s = 0; s < 13; ++s) {
+    for (DcId d = 0; d < 13; ++d) {
+      if (s == d) {
+        continue;
+      }
+      const NodeId dci = g.DciOfDc(s);
+      for (const RouteCandidate& c : routes.Candidates(dci, d)) {
+        EXPECT_LT(routes.HopDistance(c.next_hop, d), routes.HopDistance(dci, d));
+      }
+    }
+  }
+}
+
+TEST(CandidatePathsTest, MinDelayPathOnLinear) {
+  const LinearTopo t = BuildLinear(Gbps(100), Microseconds(1));
+  const PathMetric m = ComputeMinDelayPath(t.graph, t.src_host, t.dst_host);
+  ASSERT_TRUE(m.reachable);
+  EXPECT_EQ(m.delay_ns, Microseconds(2));
+  EXPECT_EQ(m.bottleneck_bps, Gbps(100));
+  EXPECT_EQ(m.hops, 2);
+}
+
+TEST(CandidatePathsTest, MinDelayPicksLowDelayNotHighCapacity) {
+  // Two paths: 10 ms @ 200G vs 1 ms @ 40G; min-delay must pick the latter.
+  Graph g;
+  const NodeId a = g.AddVertex(VertexKind::kDciSwitch, 0, "a");
+  const NodeId b = g.AddVertex(VertexKind::kDciSwitch, 1, "b");
+  const NodeId m = g.AddVertex(VertexKind::kDciSwitch, 2, "m");
+  g.AddLink(a, b, Gbps(200), Milliseconds(10));
+  g.AddLink(a, m, Gbps(40), Microseconds(400));
+  g.AddLink(m, b, Gbps(40), Microseconds(600));
+  const PathMetric pm = ComputeMinDelayPath(g, a, b);
+  EXPECT_EQ(pm.delay_ns, Milliseconds(1));
+  EXPECT_EQ(pm.bottleneck_bps, Gbps(40));
+}
+
+TEST(CandidatePathsTest, UnreachableReportsFalse) {
+  Graph g;
+  const NodeId a = g.AddVertex(VertexKind::kHost, 0, "a");
+  const NodeId b = g.AddVertex(VertexKind::kHost, 1, "b");
+  const PathMetric m = ComputeMinDelayPath(g, a, b);
+  EXPECT_FALSE(m.reachable);
+}
+
+TEST(CandidatePathsTest, SelfPathIsZero) {
+  Graph g;
+  const NodeId a = g.AddVertex(VertexKind::kHost, 0, "a");
+  const PathMetric m = ComputeMinDelayPath(g, a, a);
+  EXPECT_TRUE(m.reachable);
+  EXPECT_EQ(m.delay_ns, 0);
+}
+
+TEST(CandidatePathsTest, OracleCachesAndMatchesDirectComputation) {
+  const Graph g = BuildTestbed8({});
+  PathOracle oracle(&g);
+  const auto hosts1 = g.HostsInDc(0);
+  const auto hosts8 = g.HostsInDc(7);
+  ASSERT_FALSE(hosts1.empty());
+  ASSERT_FALSE(hosts8.empty());
+  const PathMetric direct = ComputeMinDelayPath(g, hosts1[0], hosts8[0]);
+  const PathMetric& cached = oracle.Metric(hosts1[0], hosts8[0]);
+  EXPECT_EQ(cached.delay_ns, direct.delay_ns);
+  EXPECT_EQ(cached.bottleneck_bps, direct.bottleneck_bps);
+  // Second call returns the same object.
+  EXPECT_EQ(&oracle.Metric(hosts1[0], hosts8[0]), &cached);
+}
+
+TEST(CandidatePathsTest, Testbed8MinDelayIsLowestDelayRoute) {
+  Testbed8Options opts;
+  const Graph g = BuildTestbed8(opts);
+  const auto hosts1 = g.HostsInDc(0);
+  const auto hosts8 = g.HostsInDc(7);
+  const PathMetric m = ComputeMinDelayPath(g, hosts1[0], hosts8[0]);
+  // Best route: via DC7, 2 x 5 ms inter-DC plus 2 x 1 us intra-DC hops.
+  TimeNs best = std::numeric_limits<TimeNs>::max();
+  for (const auto& cls : opts.classes) {
+    best = std::min(best, 2 * cls.per_link_delay_ns);
+  }
+  EXPECT_EQ(m.delay_ns, best + 2 * Microseconds(1));
+}
+
+}  // namespace
+}  // namespace lcmp

@@ -1,0 +1,146 @@
+// Edge-case hardening tests for the RDMA transport: stale control packets,
+// duplicate deliveries, odd flow sizes, simultaneous bidirectional flows
+// sharing one switch, and CNP pacing.
+#include <gtest/gtest.h>
+
+#include "routing/ecmp.h"
+#include "sim/network.h"
+#include "topo/builders.h"
+#include "transport/rdma_transport.h"
+
+namespace lcmp {
+namespace {
+
+PolicyFactory EcmpFactory() {
+  return [](SwitchNode&) { return std::make_unique<EcmpPolicy>(); };
+}
+
+FlowSpec MakeFlow(FlowId id, NodeId src, NodeId dst, uint64_t bytes, TimeNs start = 0) {
+  FlowSpec f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.key = FlowKey{src, dst, static_cast<uint32_t>(id), 4791, 17};
+  f.size_bytes = bytes;
+  f.start_time = start;
+  return f;
+}
+
+struct Harness {
+  explicit Harness(Graph g, TransportConfig tcfg = {})
+      : graph(std::move(g)),
+        net(graph, NetworkConfig{}, EcmpFactory()),
+        transport(&net, tcfg, CcKind::kDcqcn,
+                  [this](const FlowRecord& r) { records.push_back(r); }) {}
+  Graph graph;
+  Network net;
+  RdmaTransport transport;
+  std::vector<FlowRecord> records;
+};
+
+class FlowSizeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlowSizeSweep, ExactByteCountDelivered) {
+  // Sizes around MTU boundaries: 1 B, MTU-1, MTU, MTU+1, 10*MTU+17, ...
+  const LinearTopo t = BuildLinear();
+  Harness h(t.graph);
+  h.transport.StartFlow(MakeFlow(1, t.src_host, t.dst_host, GetParam()));
+  h.net.sim().Run(Seconds(10));
+  ASSERT_EQ(h.records.size(), 1u);
+  EXPECT_EQ(h.records[0].spec.size_bytes, GetParam());
+  const uint32_t expect_packets = static_cast<uint32_t>(
+      (GetParam() + kDefaultMtuPayload - 1) / kDefaultMtuPayload);
+  EXPECT_EQ(h.records[0].total_packets, expect_packets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FlowSizeSweep,
+                         ::testing::Values(1ull, 4095ull, 4096ull, 4097ull, 40977ull,
+                                           1'000'000ull));
+
+TEST(TransportEdgeTest, BidirectionalFlowsDoNotInterfereInSwitchState) {
+  // A->B and B->A flows share the DCI switches; ACKs of one direction must
+  // not collide with the other's data in any per-flow switch state.
+  const Graph g = BuildDumbbell(2, 2, Gbps(10), Milliseconds(1));
+  Harness h(g);
+  const auto a = g.HostsInDc(0);
+  const auto b = g.HostsInDc(1);
+  h.transport.StartFlow(MakeFlow(1, a[0], b[0], 500'000));
+  h.transport.StartFlow(MakeFlow(2, b[0], a[0], 500'000));
+  h.transport.StartFlow(MakeFlow(3, a[1], b[1], 500'000));
+  h.transport.StartFlow(MakeFlow(4, b[1], a[1], 500'000));
+  h.net.sim().Run(Seconds(10));
+  EXPECT_EQ(h.records.size(), 4u);
+  for (const FlowRecord& r : h.records) {
+    EXPECT_EQ(r.retransmitted_packets, 0u);
+  }
+}
+
+TEST(TransportEdgeTest, ManySmallFlowsSameHostPair) {
+  // 200 one-packet flows between the same pair: per-flow nonces must keep
+  // transport and switch state separate.
+  const LinearTopo t = BuildLinear();
+  Harness h(t.graph);
+  for (FlowId i = 1; i <= 200; ++i) {
+    h.transport.ScheduleFlow(
+        MakeFlow(i, t.src_host, t.dst_host, 100, static_cast<TimeNs>(i) * Microseconds(1)));
+  }
+  h.net.sim().Run(Seconds(10));
+  EXPECT_EQ(h.records.size(), 200u);
+}
+
+TEST(TransportEdgeTest, CnpPacingLimitsCnpRate) {
+  // Saturate a slow link; CNPs must be paced at >= cnp_interval per flow,
+  // so their count is far below the number of marked packets.
+  Graph g;
+  FabricOptions fo;
+  fo.hosts = 1;
+  const NodeId dci0 = BuildDcFabric(g, 0, fo);
+  const NodeId dci1 = BuildDcFabric(g, 1, fo);
+  g.AddLink(dci0, dci1, Gbps(2), Milliseconds(1));
+  TransportConfig tcfg;
+  Harness h(std::move(g), tcfg);
+  h.transport.StartFlow(MakeFlow(1, h.graph.HostsInDc(0)[0], h.graph.HostsInDc(1)[0],
+                                 8'000'000));
+  h.net.sim().Run(Seconds(60));
+  ASSERT_EQ(h.records.size(), 1u);
+  const TimeNs fct = h.records[0].complete_time - h.records[0].start_time;
+  const int64_t max_cnps = fct / tcfg.cnp_interval + 1;
+  EXPECT_LE(h.transport.cnps_received(), max_cnps);
+}
+
+TEST(TransportEdgeTest, CompletionRecordsConsistentTimestamps) {
+  const LinearTopo t = BuildLinear(Gbps(100), Milliseconds(2));
+  Harness h(t.graph);
+  h.transport.StartFlow(MakeFlow(1, t.src_host, t.dst_host, 50'000));
+  h.net.sim().Run();
+  ASSERT_EQ(h.records.size(), 1u);
+  const FlowRecord& r = h.records[0];
+  EXPECT_GT(r.complete_time, r.start_time);
+  // One-way delay alone is 4 ms (two 2 ms hops); FCT must exceed it.
+  EXPECT_GT(r.complete_time - r.start_time, Milliseconds(4));
+  EXPECT_GT(r.base_rtt, Milliseconds(8));
+}
+
+TEST(TransportEdgeTest, ZeroFlowsIsANoop) {
+  const LinearTopo t = BuildLinear();
+  Harness h(t.graph);
+  h.net.sim().Run();
+  EXPECT_TRUE(h.records.empty());
+  EXPECT_EQ(h.transport.data_packets_sent(), 0);
+}
+
+TEST(TransportEdgeTest, SequentialFlowsReuseCleanState) {
+  // The same five-tuple nonce is reused after the first flow fully
+  // completes; the transport must treat it as a fresh flow.
+  const LinearTopo t = BuildLinear();
+  Harness h(t.graph);
+  h.transport.StartFlow(MakeFlow(1, t.src_host, t.dst_host, 10'000));
+  h.net.sim().Run();
+  ASSERT_EQ(h.records.size(), 1u);
+  h.transport.StartFlow(MakeFlow(2, t.src_host, t.dst_host, 10'000));
+  h.net.sim().Run();
+  EXPECT_EQ(h.records.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lcmp

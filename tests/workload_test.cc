@@ -1,0 +1,159 @@
+// Tests for the flow-size CDFs and the Poisson traffic generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/builders.h"
+#include "workload/flow_cdf.h"
+#include "workload/traffic_gen.h"
+
+namespace lcmp {
+namespace {
+
+class CdfTest : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(CdfTest, SamplesWithinSupport) {
+  const FlowCdf& cdf = FlowCdf::Get(GetParam());
+  Rng rng(1);
+  const double max_bytes = cdf.points().back().first;
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t s = cdf.Sample(rng);
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(static_cast<double>(s), max_bytes);
+  }
+}
+
+TEST_P(CdfTest, EmpiricalMeanMatchesAnalytic) {
+  const FlowCdf& cdf = FlowCdf::Get(GetParam());
+  Rng rng(2);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(cdf.Sample(rng));
+  }
+  const double empirical = sum / n;
+  EXPECT_NEAR(empirical / cdf.mean_bytes(), 1.0, 0.05)
+      << WorkloadKindName(GetParam()) << " empirical=" << empirical
+      << " analytic=" << cdf.mean_bytes();
+}
+
+TEST_P(CdfTest, CdfAtKnotsMatchesTable) {
+  const FlowCdf& cdf = FlowCdf::Get(GetParam());
+  for (const auto& [bytes, prob] : cdf.points()) {
+    EXPECT_NEAR(cdf.CdfAt(bytes), prob, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CdfTest,
+                         ::testing::Values(WorkloadKind::kWebSearch, WorkloadKind::kFbHdp,
+                                           WorkloadKind::kAliStorage),
+                         [](const ::testing::TestParamInfo<WorkloadKind>& info) {
+                           return WorkloadKindName(info.param);
+                         });
+
+TEST(CdfShapeTest, WorkloadsDifferAsPublished) {
+  // FbHdp is dominated by tiny flows; WebSearch has a much larger mean.
+  const double ws = FlowCdf::Get(WorkloadKind::kWebSearch).mean_bytes();
+  const double fb = FlowCdf::Get(WorkloadKind::kFbHdp).mean_bytes();
+  const double ali = FlowCdf::Get(WorkloadKind::kAliStorage).mean_bytes();
+  EXPECT_GT(ws, 1'000'000.0);
+  EXPECT_LT(fb, ws);
+  EXPECT_LT(ali, ws);
+  // FbHdp median is sub-2KB.
+  Rng rng(3);
+  int small = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (FlowCdf::Get(WorkloadKind::kFbHdp).Sample(rng) < 2000) {
+      ++small;
+    }
+  }
+  EXPECT_GT(small, 4'500);
+}
+
+TEST(TrafficGenTest, AllOrderedPairs) {
+  const auto pairs = AllOrderedDcPairs(4);
+  EXPECT_EQ(pairs.size(), 12u);
+  std::set<std::pair<DcId, DcId>> unique(pairs.begin(), pairs.end());
+  EXPECT_EQ(unique.size(), 12u);
+  for (const auto& [s, d] : pairs) {
+    EXPECT_NE(s, d);
+  }
+}
+
+TEST(TrafficGenTest, GeneratesRequestedFlows) {
+  const Graph g = BuildTestbed8({});
+  TrafficGenConfig cfg;
+  cfg.num_flows = 500;
+  cfg.offered_bps = Gbps(100);
+  const auto flows = GenerateTraffic(g, {{0, 7}, {7, 0}}, cfg);
+  ASSERT_EQ(flows.size(), 500u);
+  for (size_t i = 0; i < flows.size(); ++i) {
+    const FlowSpec& f = flows[i];
+    EXPECT_EQ(f.id, i + 1);
+    EXPECT_GT(f.size_bytes, 0u);
+    const DcId sdc = g.vertex(f.src).dc;
+    const DcId ddc = g.vertex(f.dst).dc;
+    EXPECT_TRUE((sdc == 0 && ddc == 7) || (sdc == 7 && ddc == 0));
+    if (i > 0) {
+      EXPECT_GE(f.start_time, flows[i - 1].start_time);
+    }
+  }
+}
+
+TEST(TrafficGenTest, ArrivalRateMatchesOfferedLoad) {
+  const Graph g = BuildTestbed8({});
+  TrafficGenConfig cfg;
+  cfg.num_flows = 20'000;
+  cfg.offered_bps = Gbps(200);
+  cfg.seed = 5;
+  const auto flows = GenerateTraffic(g, {{0, 7}}, cfg);
+  // Aggregate bytes / makespan should approximate the offered load.
+  uint64_t total_bytes = 0;
+  for (const FlowSpec& f : flows) {
+    total_bytes += f.size_bytes;
+  }
+  const double makespan_s =
+      static_cast<double>(flows.back().start_time) / static_cast<double>(kNsPerSec);
+  const double achieved_bps = static_cast<double>(total_bytes) * 8.0 / makespan_s;
+  EXPECT_NEAR(achieved_bps / static_cast<double>(cfg.offered_bps), 1.0, 0.1);
+}
+
+TEST(TrafficGenTest, DeterministicForSeed) {
+  const Graph g = BuildTestbed8({});
+  TrafficGenConfig cfg;
+  cfg.num_flows = 100;
+  cfg.offered_bps = Gbps(50);
+  cfg.seed = 77;
+  const auto a = GenerateTraffic(g, {{0, 7}}, cfg);
+  const auto b = GenerateTraffic(g, {{0, 7}}, cfg);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].size_bytes, b[i].size_bytes);
+    EXPECT_EQ(a[i].start_time, b[i].start_time);
+    EXPECT_EQ(a[i].src, b[i].src);
+  }
+}
+
+TEST(TrafficGenTest, OfferedLoadForUtilizationTestbed8) {
+  const Graph g = BuildTestbed8({});
+  const InterDcRoutes routes = InterDcRoutes::Compute(g);
+  // Directed inter-DC capacity: 2 * 2 * (200+200+100+100+40+40) G = 2720 G.
+  // Mean hops over {0->7, 7->0} = 2. Offered at 30% = 0.3 * 2720/2 = 408 G.
+  const int64_t offered =
+      OfferedLoadForUtilization(g, routes, {{0, 7}, {7, 0}}, 0.30);
+  EXPECT_NEAR(static_cast<double>(offered), 0.3 * 2720.0e9 / 2.0, 1e9);
+}
+
+TEST(TrafficGenTest, StartTimeOffsetRespected) {
+  const Graph g = BuildTestbed8({});
+  TrafficGenConfig cfg;
+  cfg.num_flows = 10;
+  cfg.offered_bps = Gbps(50);
+  cfg.start_time = Milliseconds(7);
+  const auto flows = GenerateTraffic(g, {{0, 7}}, cfg);
+  for (const FlowSpec& f : flows) {
+    EXPECT_GE(f.start_time, Milliseconds(7));
+  }
+}
+
+}  // namespace
+}  // namespace lcmp

@@ -1,0 +1,162 @@
+// lcmp_sim: command-line experiment driver (the artifact's scripts/ folder
+// equivalent). Runs one experiment described by flags, prints the summary
+// table, and optionally dumps CSVs for external analysis/plotting.
+//
+//   lcmp_sim --topo=testbed8 --policy=lcmp --workload=websearch
+//            --cc=dcqcn --load=0.5 --flows=500 --seed=7 --csv-prefix=out/run1
+#include <cstdio>
+#include <string>
+
+#include "harness/csv_writer.h"
+#include "harness/experiment.h"
+#include "harness/flags.h"
+#include "harness/table.h"
+
+namespace {
+
+using namespace lcmp;
+
+bool ParseEnums(const FlagSet& flags, ExperimentConfig& config, std::string& error) {
+  const std::string topo = flags.GetString("topo");
+  if (topo == "testbed8") {
+    config.topo = TopologyKind::kTestbed8;
+  } else if (topo == "bso13") {
+    config.topo = TopologyKind::kBso13;
+  } else {
+    error = "unknown --topo: " + topo + " (testbed8|bso13)";
+    return false;
+  }
+  const std::string policy = flags.GetString("policy");
+  if (policy == "ecmp") {
+    config.policy = PolicyKind::kEcmp;
+  } else if (policy == "wcmp") {
+    config.policy = PolicyKind::kWcmp;
+  } else if (policy == "ucmp") {
+    config.policy = PolicyKind::kUcmp;
+  } else if (policy == "redte") {
+    config.policy = PolicyKind::kRedte;
+  } else if (policy == "lcmp") {
+    config.policy = PolicyKind::kLcmp;
+  } else {
+    error = "unknown --policy: " + policy + " (ecmp|wcmp|ucmp|redte|lcmp)";
+    return false;
+  }
+  const std::string workload = flags.GetString("workload");
+  if (workload == "websearch") {
+    config.workload = WorkloadKind::kWebSearch;
+  } else if (workload == "fbhdp") {
+    config.workload = WorkloadKind::kFbHdp;
+  } else if (workload == "alistorage") {
+    config.workload = WorkloadKind::kAliStorage;
+  } else {
+    error = "unknown --workload: " + workload + " (websearch|fbhdp|alistorage)";
+    return false;
+  }
+  const std::string cc = flags.GetString("cc");
+  if (cc == "dcqcn") {
+    config.cc = CcKind::kDcqcn;
+  } else if (cc == "hpcc") {
+    config.cc = CcKind::kHpcc;
+  } else if (cc == "timely") {
+    config.cc = CcKind::kTimely;
+  } else if (cc == "dctcp") {
+    config.cc = CcKind::kDctcp;
+  } else {
+    error = "unknown --cc: " + cc + " (dcqcn|hpcc|timely|dctcp)";
+    return false;
+  }
+  const std::string pairing = flags.GetString("pairing");
+  if (pairing == "endpoints") {
+    config.pairing = PairingKind::kEndpointPair;
+  } else if (pairing == "all") {
+    config.pairing = PairingKind::kAllToAll;
+  } else if (pairing == "all-focus") {
+    config.pairing = PairingKind::kAllToAllFocusEndpoints;
+  } else {
+    error = "unknown --pairing: " + pairing + " (endpoints|all|all-focus)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("topo", "testbed8", "topology: testbed8 | bso13")
+      .Define("policy", "lcmp", "routing policy: ecmp | wcmp | ucmp | redte | lcmp")
+      .Define("workload", "websearch", "flow-size mix: websearch | fbhdp | alistorage")
+      .Define("cc", "dcqcn", "congestion control: dcqcn | hpcc | timely | dctcp")
+      .Define("pairing", "endpoints", "traffic pairing: endpoints | all | all-focus")
+      .Define("load", "0.3", "target average inter-DC link utilization (0, 1]")
+      .Define("flows", "500", "number of flows to generate")
+      .Define("hosts-per-dc", "8", "hosts per datacenter")
+      .Define("seed", "1", "PRNG seed (runs are deterministic per seed)")
+      .Define("emulation", "false", "SoftRoCE-style host emulation mode")
+      .Define("alpha", "3", "LCMP global fusion weight for C_path")
+      .Define("beta", "1", "LCMP global fusion weight for C_cong")
+      .Define("w-dl", "3", "LCMP path-quality delay weight")
+      .Define("w-lc", "1", "LCMP path-quality capacity weight")
+      .Define("w-ql", "2", "LCMP congestion queue-level weight")
+      .Define("w-tl", "1", "LCMP congestion trend weight")
+      .Define("w-dp", "1", "LCMP congestion duration weight")
+      .Define("csv-prefix", "", "if set, write <prefix>_{flows,links,buckets}.csv");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(), flags.Usage(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  ExperimentConfig config;
+  std::string error;
+  if (!ParseEnums(flags, config, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  config.load = flags.GetDouble("load");
+  config.num_flows = static_cast<int>(flags.GetInt("flows"));
+  config.hosts_per_dc = static_cast<int>(flags.GetInt("hosts-per-dc"));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.emulation_mode = flags.GetBool("emulation");
+  config.lcmp.alpha = static_cast<int>(flags.GetInt("alpha"));
+  config.lcmp.beta = static_cast<int>(flags.GetInt("beta"));
+  config.lcmp.w_dl = static_cast<int>(flags.GetInt("w-dl"));
+  config.lcmp.w_lc = static_cast<int>(flags.GetInt("w-lc"));
+  config.lcmp.w_ql = static_cast<int>(flags.GetInt("w-ql"));
+  config.lcmp.w_tl = static_cast<int>(flags.GetInt("w-tl"));
+  config.lcmp.w_dp = static_cast<int>(flags.GetInt("w-dp"));
+
+  const ExperimentResult result = RunExperiment(config);
+
+  std::printf("topology=%s policy=%s workload=%s cc=%s load=%.2f seed=%llu\n",
+              TopologyKindName(config.topo), PolicyKindName(config.policy),
+              WorkloadKindName(config.workload), CcKindName(config.cc), config.load,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("flows completed: %d/%d  (sim time %.3f s, %llu events)\n",
+              result.flows_completed, result.flows_requested,
+              static_cast<double>(result.sim_end_time) / kNsPerSec,
+              static_cast<unsigned long long>(result.events_processed));
+
+  TablePrinter summary({"metric", "value"});
+  summary.AddRow({"p50 slowdown", Fmt(result.overall.p50)});
+  summary.AddRow({"p95 slowdown", Fmt(result.overall.p95)});
+  summary.AddRow({"p99 slowdown", Fmt(result.overall.p99)});
+  summary.AddRow({"mean slowdown", Fmt(result.overall.mean)});
+  summary.AddRow({"retransmitted packets", std::to_string(result.retransmitted_packets)});
+  summary.Print();
+
+  const std::string prefix = flags.GetString("csv-prefix");
+  if (!prefix.empty()) {
+    const bool ok = WriteFlowSamplesCsv(prefix + "_flows.csv", result) &&
+                    WriteLinkUtilizationCsv(prefix + "_links.csv", result) &&
+                    WriteBucketsCsv(prefix + "_buckets.csv", result);
+    if (!ok) {
+      return 1;
+    }
+    std::printf("wrote %s_{flows,links,buckets}.csv\n", prefix.c_str());
+  }
+  return 0;
+}
