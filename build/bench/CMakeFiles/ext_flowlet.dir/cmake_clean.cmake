@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_flowlet.dir/ext_flowlet.cc.o"
+  "CMakeFiles/ext_flowlet.dir/ext_flowlet.cc.o.d"
+  "ext_flowlet"
+  "ext_flowlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_flowlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_herd.dir/ext_herd.cc.o"
+  "CMakeFiles/ext_herd.dir/ext_herd.cc.o.d"
+  "ext_herd"
+  "ext_herd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_herd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

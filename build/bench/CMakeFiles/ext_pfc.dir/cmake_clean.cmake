@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pfc.dir/ext_pfc.cc.o"
+  "CMakeFiles/ext_pfc.dir/ext_pfc.cc.o.d"
+  "ext_pfc"
+  "ext_pfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_testbed.dir/fig05_testbed.cc.o"
+  "CMakeFiles/fig05_testbed.dir/fig05_testbed.cc.o.d"
+  "fig05_testbed"
+  "fig05_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

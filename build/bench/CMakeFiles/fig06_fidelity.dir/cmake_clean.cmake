@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_fidelity.dir/fig06_fidelity.cc.o"
+  "CMakeFiles/fig06_fidelity.dir/fig06_fidelity.cc.o.d"
+  "fig06_fidelity"
+  "fig06_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

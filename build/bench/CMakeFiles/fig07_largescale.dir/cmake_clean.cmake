@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_largescale.dir/fig07_largescale.cc.o"
+  "CMakeFiles/fig07_largescale.dir/fig07_largescale.cc.o.d"
+  "fig07_largescale"
+  "fig07_largescale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_largescale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dcpair.dir/fig08_dcpair.cc.o"
+  "CMakeFiles/fig08_dcpair.dir/fig08_dcpair.cc.o.d"
+  "fig08_dcpair"
+  "fig08_dcpair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dcpair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_workloads.dir/fig09_workloads.cc.o"
+  "CMakeFiles/fig09_workloads.dir/fig09_workloads.cc.o.d"
+  "fig09_workloads"
+  "fig09_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

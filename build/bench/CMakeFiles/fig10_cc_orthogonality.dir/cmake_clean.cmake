@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cc_orthogonality.dir/fig10_cc_orthogonality.cc.o"
+  "CMakeFiles/fig10_cc_orthogonality.dir/fig10_cc_orthogonality.cc.o.d"
+  "fig10_cc_orthogonality"
+  "fig10_cc_orthogonality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cc_orthogonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

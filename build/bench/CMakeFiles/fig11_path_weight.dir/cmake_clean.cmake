@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_path_weight.dir/fig11_path_weight.cc.o"
+  "CMakeFiles/fig11_path_weight.dir/fig11_path_weight.cc.o.d"
+  "fig11_path_weight"
+  "fig11_path_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_path_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

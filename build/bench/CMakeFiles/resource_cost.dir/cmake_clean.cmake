@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_cost.dir/resource_cost.cc.o"
+  "CMakeFiles/resource_cost.dir/resource_cost.cc.o.d"
+  "resource_cost"
+  "resource_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_common.dir/common/hashing.cc.o"
+  "CMakeFiles/lcmp_common.dir/common/hashing.cc.o.d"
+  "CMakeFiles/lcmp_common.dir/common/histogram.cc.o"
+  "CMakeFiles/lcmp_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/lcmp_common.dir/common/logging.cc.o"
+  "CMakeFiles/lcmp_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/lcmp_common.dir/common/rng.cc.o"
+  "CMakeFiles/lcmp_common.dir/common/rng.cc.o.d"
+  "liblcmp_common.a"
+  "liblcmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap_tables.cc" "src/CMakeFiles/lcmp_core.dir/core/bootstrap_tables.cc.o" "gcc" "src/CMakeFiles/lcmp_core.dir/core/bootstrap_tables.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/lcmp_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/lcmp_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/congestion_estimator.cc" "src/CMakeFiles/lcmp_core.dir/core/congestion_estimator.cc.o" "gcc" "src/CMakeFiles/lcmp_core.dir/core/congestion_estimator.cc.o.d"
+  "/root/repo/src/core/control_plane.cc" "src/CMakeFiles/lcmp_core.dir/core/control_plane.cc.o" "gcc" "src/CMakeFiles/lcmp_core.dir/core/control_plane.cc.o.d"
+  "/root/repo/src/core/flow_cache.cc" "src/CMakeFiles/lcmp_core.dir/core/flow_cache.cc.o" "gcc" "src/CMakeFiles/lcmp_core.dir/core/flow_cache.cc.o.d"
+  "/root/repo/src/core/lcmp_router.cc" "src/CMakeFiles/lcmp_core.dir/core/lcmp_router.cc.o" "gcc" "src/CMakeFiles/lcmp_core.dir/core/lcmp_router.cc.o.d"
+  "/root/repo/src/core/path_quality.cc" "src/CMakeFiles/lcmp_core.dir/core/path_quality.cc.o" "gcc" "src/CMakeFiles/lcmp_core.dir/core/path_quality.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/CMakeFiles/lcmp_core.dir/core/selector.cc.o" "gcc" "src/CMakeFiles/lcmp_core.dir/core/selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcmp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

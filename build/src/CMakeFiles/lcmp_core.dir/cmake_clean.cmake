@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_core.dir/core/bootstrap_tables.cc.o"
+  "CMakeFiles/lcmp_core.dir/core/bootstrap_tables.cc.o.d"
+  "CMakeFiles/lcmp_core.dir/core/config.cc.o"
+  "CMakeFiles/lcmp_core.dir/core/config.cc.o.d"
+  "CMakeFiles/lcmp_core.dir/core/congestion_estimator.cc.o"
+  "CMakeFiles/lcmp_core.dir/core/congestion_estimator.cc.o.d"
+  "CMakeFiles/lcmp_core.dir/core/control_plane.cc.o"
+  "CMakeFiles/lcmp_core.dir/core/control_plane.cc.o.d"
+  "CMakeFiles/lcmp_core.dir/core/flow_cache.cc.o"
+  "CMakeFiles/lcmp_core.dir/core/flow_cache.cc.o.d"
+  "CMakeFiles/lcmp_core.dir/core/lcmp_router.cc.o"
+  "CMakeFiles/lcmp_core.dir/core/lcmp_router.cc.o.d"
+  "CMakeFiles/lcmp_core.dir/core/path_quality.cc.o"
+  "CMakeFiles/lcmp_core.dir/core/path_quality.cc.o.d"
+  "CMakeFiles/lcmp_core.dir/core/selector.cc.o"
+  "CMakeFiles/lcmp_core.dir/core/selector.cc.o.d"
+  "liblcmp_core.a"
+  "liblcmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

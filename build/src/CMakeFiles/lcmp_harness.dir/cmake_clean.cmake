@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_harness.dir/harness/csv_writer.cc.o"
+  "CMakeFiles/lcmp_harness.dir/harness/csv_writer.cc.o.d"
+  "CMakeFiles/lcmp_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/lcmp_harness.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/lcmp_harness.dir/harness/flags.cc.o"
+  "CMakeFiles/lcmp_harness.dir/harness/flags.cc.o.d"
+  "CMakeFiles/lcmp_harness.dir/harness/scenario.cc.o"
+  "CMakeFiles/lcmp_harness.dir/harness/scenario.cc.o.d"
+  "CMakeFiles/lcmp_harness.dir/harness/table.cc.o"
+  "CMakeFiles/lcmp_harness.dir/harness/table.cc.o.d"
+  "liblcmp_harness.a"
+  "liblcmp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

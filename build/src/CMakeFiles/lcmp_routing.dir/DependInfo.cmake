@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/ecmp.cc" "src/CMakeFiles/lcmp_routing.dir/routing/ecmp.cc.o" "gcc" "src/CMakeFiles/lcmp_routing.dir/routing/ecmp.cc.o.d"
+  "/root/repo/src/routing/policy.cc" "src/CMakeFiles/lcmp_routing.dir/routing/policy.cc.o" "gcc" "src/CMakeFiles/lcmp_routing.dir/routing/policy.cc.o.d"
+  "/root/repo/src/routing/redte.cc" "src/CMakeFiles/lcmp_routing.dir/routing/redte.cc.o" "gcc" "src/CMakeFiles/lcmp_routing.dir/routing/redte.cc.o.d"
+  "/root/repo/src/routing/ucmp.cc" "src/CMakeFiles/lcmp_routing.dir/routing/ucmp.cc.o" "gcc" "src/CMakeFiles/lcmp_routing.dir/routing/ucmp.cc.o.d"
+  "/root/repo/src/routing/wcmp.cc" "src/CMakeFiles/lcmp_routing.dir/routing/wcmp.cc.o" "gcc" "src/CMakeFiles/lcmp_routing.dir/routing/wcmp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

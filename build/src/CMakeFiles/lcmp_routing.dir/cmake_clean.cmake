@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_routing.dir/routing/ecmp.cc.o"
+  "CMakeFiles/lcmp_routing.dir/routing/ecmp.cc.o.d"
+  "CMakeFiles/lcmp_routing.dir/routing/policy.cc.o"
+  "CMakeFiles/lcmp_routing.dir/routing/policy.cc.o.d"
+  "CMakeFiles/lcmp_routing.dir/routing/redte.cc.o"
+  "CMakeFiles/lcmp_routing.dir/routing/redte.cc.o.d"
+  "CMakeFiles/lcmp_routing.dir/routing/ucmp.cc.o"
+  "CMakeFiles/lcmp_routing.dir/routing/ucmp.cc.o.d"
+  "CMakeFiles/lcmp_routing.dir/routing/wcmp.cc.o"
+  "CMakeFiles/lcmp_routing.dir/routing/wcmp.cc.o.d"
+  "liblcmp_routing.a"
+  "liblcmp_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

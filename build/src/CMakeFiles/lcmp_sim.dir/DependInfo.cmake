@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/lcmp_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/lcmp_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/lcmp_sim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/lcmp_sim.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/CMakeFiles/lcmp_sim.dir/sim/node.cc.o" "gcc" "src/CMakeFiles/lcmp_sim.dir/sim/node.cc.o.d"
+  "/root/repo/src/sim/pfc.cc" "src/CMakeFiles/lcmp_sim.dir/sim/pfc.cc.o" "gcc" "src/CMakeFiles/lcmp_sim.dir/sim/pfc.cc.o.d"
+  "/root/repo/src/sim/port.cc" "src/CMakeFiles/lcmp_sim.dir/sim/port.cc.o" "gcc" "src/CMakeFiles/lcmp_sim.dir/sim/port.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/lcmp_sim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/lcmp_sim.dir/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

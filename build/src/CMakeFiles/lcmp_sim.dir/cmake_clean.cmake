@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/lcmp_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/lcmp_sim.dir/sim/network.cc.o"
+  "CMakeFiles/lcmp_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/lcmp_sim.dir/sim/node.cc.o"
+  "CMakeFiles/lcmp_sim.dir/sim/node.cc.o.d"
+  "CMakeFiles/lcmp_sim.dir/sim/pfc.cc.o"
+  "CMakeFiles/lcmp_sim.dir/sim/pfc.cc.o.d"
+  "CMakeFiles/lcmp_sim.dir/sim/port.cc.o"
+  "CMakeFiles/lcmp_sim.dir/sim/port.cc.o.d"
+  "CMakeFiles/lcmp_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/lcmp_sim.dir/sim/simulator.cc.o.d"
+  "liblcmp_sim.a"
+  "liblcmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

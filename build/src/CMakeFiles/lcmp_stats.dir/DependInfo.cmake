@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/fct_recorder.cc" "src/CMakeFiles/lcmp_stats.dir/stats/fct_recorder.cc.o" "gcc" "src/CMakeFiles/lcmp_stats.dir/stats/fct_recorder.cc.o.d"
+  "/root/repo/src/stats/link_utilization.cc" "src/CMakeFiles/lcmp_stats.dir/stats/link_utilization.cc.o" "gcc" "src/CMakeFiles/lcmp_stats.dir/stats/link_utilization.cc.o.d"
+  "/root/repo/src/stats/pearson.cc" "src/CMakeFiles/lcmp_stats.dir/stats/pearson.cc.o" "gcc" "src/CMakeFiles/lcmp_stats.dir/stats/pearson.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

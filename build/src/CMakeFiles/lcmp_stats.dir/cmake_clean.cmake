@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_stats.dir/stats/fct_recorder.cc.o"
+  "CMakeFiles/lcmp_stats.dir/stats/fct_recorder.cc.o.d"
+  "CMakeFiles/lcmp_stats.dir/stats/link_utilization.cc.o"
+  "CMakeFiles/lcmp_stats.dir/stats/link_utilization.cc.o.d"
+  "CMakeFiles/lcmp_stats.dir/stats/pearson.cc.o"
+  "CMakeFiles/lcmp_stats.dir/stats/pearson.cc.o.d"
+  "liblcmp_stats.a"
+  "liblcmp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

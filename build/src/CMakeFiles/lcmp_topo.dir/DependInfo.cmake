@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/builders.cc" "src/CMakeFiles/lcmp_topo.dir/topo/builders.cc.o" "gcc" "src/CMakeFiles/lcmp_topo.dir/topo/builders.cc.o.d"
+  "/root/repo/src/topo/candidate_paths.cc" "src/CMakeFiles/lcmp_topo.dir/topo/candidate_paths.cc.o" "gcc" "src/CMakeFiles/lcmp_topo.dir/topo/candidate_paths.cc.o.d"
+  "/root/repo/src/topo/graph.cc" "src/CMakeFiles/lcmp_topo.dir/topo/graph.cc.o" "gcc" "src/CMakeFiles/lcmp_topo.dir/topo/graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

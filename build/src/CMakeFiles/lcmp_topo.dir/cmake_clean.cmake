@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_topo.dir/topo/builders.cc.o"
+  "CMakeFiles/lcmp_topo.dir/topo/builders.cc.o.d"
+  "CMakeFiles/lcmp_topo.dir/topo/candidate_paths.cc.o"
+  "CMakeFiles/lcmp_topo.dir/topo/candidate_paths.cc.o.d"
+  "CMakeFiles/lcmp_topo.dir/topo/graph.cc.o"
+  "CMakeFiles/lcmp_topo.dir/topo/graph.cc.o.d"
+  "liblcmp_topo.a"
+  "liblcmp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

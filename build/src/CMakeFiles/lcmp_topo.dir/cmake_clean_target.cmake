@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblcmp_topo.a"
+)

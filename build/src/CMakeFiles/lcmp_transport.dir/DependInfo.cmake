@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/cc/congestion_control.cc" "src/CMakeFiles/lcmp_transport.dir/transport/cc/congestion_control.cc.o" "gcc" "src/CMakeFiles/lcmp_transport.dir/transport/cc/congestion_control.cc.o.d"
+  "/root/repo/src/transport/cc/dcqcn.cc" "src/CMakeFiles/lcmp_transport.dir/transport/cc/dcqcn.cc.o" "gcc" "src/CMakeFiles/lcmp_transport.dir/transport/cc/dcqcn.cc.o.d"
+  "/root/repo/src/transport/cc/dctcp.cc" "src/CMakeFiles/lcmp_transport.dir/transport/cc/dctcp.cc.o" "gcc" "src/CMakeFiles/lcmp_transport.dir/transport/cc/dctcp.cc.o.d"
+  "/root/repo/src/transport/cc/hpcc.cc" "src/CMakeFiles/lcmp_transport.dir/transport/cc/hpcc.cc.o" "gcc" "src/CMakeFiles/lcmp_transport.dir/transport/cc/hpcc.cc.o.d"
+  "/root/repo/src/transport/cc/timely.cc" "src/CMakeFiles/lcmp_transport.dir/transport/cc/timely.cc.o" "gcc" "src/CMakeFiles/lcmp_transport.dir/transport/cc/timely.cc.o.d"
+  "/root/repo/src/transport/rdma_transport.cc" "src/CMakeFiles/lcmp_transport.dir/transport/rdma_transport.cc.o" "gcc" "src/CMakeFiles/lcmp_transport.dir/transport/rdma_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

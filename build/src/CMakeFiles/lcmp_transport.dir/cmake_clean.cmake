@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_transport.dir/transport/cc/congestion_control.cc.o"
+  "CMakeFiles/lcmp_transport.dir/transport/cc/congestion_control.cc.o.d"
+  "CMakeFiles/lcmp_transport.dir/transport/cc/dcqcn.cc.o"
+  "CMakeFiles/lcmp_transport.dir/transport/cc/dcqcn.cc.o.d"
+  "CMakeFiles/lcmp_transport.dir/transport/cc/dctcp.cc.o"
+  "CMakeFiles/lcmp_transport.dir/transport/cc/dctcp.cc.o.d"
+  "CMakeFiles/lcmp_transport.dir/transport/cc/hpcc.cc.o"
+  "CMakeFiles/lcmp_transport.dir/transport/cc/hpcc.cc.o.d"
+  "CMakeFiles/lcmp_transport.dir/transport/cc/timely.cc.o"
+  "CMakeFiles/lcmp_transport.dir/transport/cc/timely.cc.o.d"
+  "CMakeFiles/lcmp_transport.dir/transport/rdma_transport.cc.o"
+  "CMakeFiles/lcmp_transport.dir/transport/rdma_transport.cc.o.d"
+  "liblcmp_transport.a"
+  "liblcmp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

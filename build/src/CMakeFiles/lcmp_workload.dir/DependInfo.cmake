@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flow_cdf.cc" "src/CMakeFiles/lcmp_workload.dir/workload/flow_cdf.cc.o" "gcc" "src/CMakeFiles/lcmp_workload.dir/workload/flow_cdf.cc.o.d"
+  "/root/repo/src/workload/traffic_gen.cc" "src/CMakeFiles/lcmp_workload.dir/workload/traffic_gen.cc.o" "gcc" "src/CMakeFiles/lcmp_workload.dir/workload/traffic_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

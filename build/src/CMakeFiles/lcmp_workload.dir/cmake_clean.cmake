@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_workload.dir/workload/flow_cdf.cc.o"
+  "CMakeFiles/lcmp_workload.dir/workload/flow_cdf.cc.o.d"
+  "CMakeFiles/lcmp_workload.dir/workload/traffic_gen.cc.o"
+  "CMakeFiles/lcmp_workload.dir/workload/traffic_gen.cc.o.d"
+  "liblcmp_workload.a"
+  "liblcmp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_estimator_test.dir/congestion_estimator_test.cc.o"
+  "CMakeFiles/congestion_estimator_test.dir/congestion_estimator_test.cc.o.d"
+  "congestion_estimator_test"
+  "congestion_estimator_test.pdb"
+  "congestion_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flags_csv_test.dir/flags_csv_test.cc.o"
+  "CMakeFiles/flags_csv_test.dir/flags_csv_test.cc.o.d"
+  "flags_csv_test"
+  "flags_csv_test.pdb"
+  "flags_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flags_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

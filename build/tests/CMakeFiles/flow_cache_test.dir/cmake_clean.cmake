@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_cache_test.dir/flow_cache_test.cc.o"
+  "CMakeFiles/flow_cache_test.dir/flow_cache_test.cc.o.d"
+  "flow_cache_test"
+  "flow_cache_test.pdb"
+  "flow_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_router_test.dir/lcmp_router_test.cc.o"
+  "CMakeFiles/lcmp_router_test.dir/lcmp_router_test.cc.o.d"
+  "lcmp_router_test"
+  "lcmp_router_test.pdb"
+  "lcmp_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

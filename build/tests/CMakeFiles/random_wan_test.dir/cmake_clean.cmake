@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_wan_test.dir/random_wan_test.cc.o"
+  "CMakeFiles/random_wan_test.dir/random_wan_test.cc.o.d"
+  "random_wan_test"
+  "random_wan_test.pdb"
+  "random_wan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_wan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_policies_test.dir/routing_policies_test.cc.o"
+  "CMakeFiles/routing_policies_test.dir/routing_policies_test.cc.o.d"
+  "routing_policies_test"
+  "routing_policies_test.pdb"
+  "routing_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_ooo_test.dir/transport_ooo_test.cc.o"
+  "CMakeFiles/transport_ooo_test.dir/transport_ooo_test.cc.o.d"
+  "transport_ooo_test"
+  "transport_ooo_test.pdb"
+  "transport_ooo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_ooo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

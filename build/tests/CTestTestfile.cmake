@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/port_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/path_quality_test[1]_include.cmake")
+include("/root/repo/build/tests/congestion_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/selector_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/lcmp_router_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_policies_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/control_plane_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_ooo_test[1]_include.cmake")
+include("/root/repo/build/tests/pfc_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_csv_test[1]_include.cmake")
+include("/root/repo/build/tests/random_wan_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_edge_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmp_sim_cli.dir/lcmp_sim.cc.o"
+  "CMakeFiles/lcmp_sim_cli.dir/lcmp_sim.cc.o.d"
+  "lcmp_sim"
+  "lcmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmp_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
