@@ -1,0 +1,308 @@
+// Event hot-path microbenchmark: InlineEvent vs the seed std::function loop.
+//
+// Reproduces the simulator's steady state — a fixed population of in-flight
+// "packets", each delivery scheduling the next hop with a closure that
+// captures the Packet by value — against two queues with identical heap
+// algorithms and (time, seq) FIFO tie-break:
+//   * fn_queue:     EventFn = std::function<void()>  (the seed implementation;
+//                   a ~80 B capture exceeds the 16 B libstdc++ SBO, so every
+//                   event heap-allocates)
+//   * inline_queue: the production EventQueue over InlineEvent (capture lives
+//                   in the queue entry; steady state allocates nothing)
+//
+// Reports events/sec and allocations/event (measured with a real operator
+// new/delete override, cross-checked against InlineEvent's inline/heap
+// counters) and emits JSON for the BENCH_*.json trajectory:
+//   --json=PATH or LCMP_BENCH_JSON=PATH writes the JSON file (next to the
+//   other bench outputs); otherwise the JSON goes to stdout.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+
+// --- allocation counter -----------------------------------------------------
+// Counts every global operator new; the benchmark reads deltas around each
+// timed section. Single-threaded, so a plain counter suffices.
+static uint64_t g_allocs = 0;
+
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lcmp {
+namespace {
+
+// The seed event queue: same hole-based binary heap and FIFO tie-break as
+// sim/event_queue.cc, but storing std::function<void()> like the original
+// implementation did.
+class FnEventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  uint64_t Push(TimeNs time, Fn fn) {
+    const uint64_t seq = next_seq_++;
+    heap_.push_back(Entry{time, seq, std::move(fn)});
+    SiftUp(heap_.size() - 1);
+    return seq;
+  }
+
+  Fn Pop(TimeNs* time) {
+    Entry& top = heap_.front();
+    *time = top.time;
+    Fn fn = std::move(top.fn);
+    Entry last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = std::move(last);
+      SiftDown(0);
+    }
+    return fn;
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    TimeNs time;
+    uint64_t seq;
+    Fn fn;
+  };
+  static bool Less(const Entry& a, const Entry& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+  void SiftUp(size_t i) {
+    Entry moving = std::move(heap_[i]);
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!Less(moving, heap_[parent])) {
+        break;
+      }
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(moving);
+  }
+  void SiftDown(size_t i) {
+    Entry moving = std::move(heap_[i]);
+    const size_t n = heap_.size();
+    while (true) {
+      size_t best = 2 * i + 1;
+      if (best >= n) {
+        break;
+      }
+      if (best + 1 < n && Less(heap_[best + 1], heap_[best])) {
+        ++best;
+      }
+      if (!Less(heap_[best], moving)) {
+        break;
+      }
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(moving);
+  }
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+struct RunResult {
+  double events_per_sec = 0;
+  double allocs_per_event = 0;
+  uint64_t checksum = 0;  // keeps the closures from being optimized away
+};
+
+// Replica of the pre-refactor Packet: the INT telemetry stack rode along in
+// every packet (and thus in every scheduled closure), which is what pushed
+// the seed's per-event captures to ~500 B and onto the heap. The reference
+// loop schedules this so the baseline reproduces the seed implementation's
+// cost honestly.
+struct SeedPacket {
+  Packet slim;
+  bool int_enabled = false;
+  uint8_t int_hops = 0;
+  std::array<IntRecord, kMaxIntHops> int_rec{};
+};
+static_assert(sizeof(SeedPacket) > 400, "seed replica should match the old fat Packet");
+
+// Shared loop state lives behind one pointer so the per-event closure is
+// "context pointer + Packet by value" — the simulator's link-delivery shape
+// and size (and small enough for the inline buffer).
+template <typename Queue>
+struct HopContext {
+  Queue* q = nullptr;
+  uint64_t processed = 0;
+  uint64_t checksum = 0;
+  uint64_t rng = 0x9e3779b97f4a7c15ull;  // deterministic LCG hop delays
+  uint64_t total = 0;
+  TimeNs now = 0;
+
+  TimeNs NextDelay() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<TimeNs>(1 + (rng >> 33) % 10000);
+  }
+};
+
+// One self-propagating closure per in-flight packet. PacketT is the slim
+// Packet for the InlineEvent queue and SeedPacket for the reference queue.
+template <typename Queue, typename PacketT>
+struct Hop {
+  HopContext<Queue>* ctx;
+  PacketT pkt;
+  void operator()() {
+    uint32_t& seq = SeqOf(pkt);
+    ++ctx->processed;
+    ctx->checksum += seq + static_cast<uint64_t>(SizeOf(pkt));
+    if (ctx->processed >= ctx->total) {
+      return;
+    }
+    ++seq;
+    ctx->q->Push(ctx->now + ctx->NextDelay(), Hop{*this});
+  }
+  static Packet& SlimOf(Packet& p) { return p; }
+  static Packet& SlimOf(SeedPacket& p) { return p.slim; }
+  static uint32_t& SeqOf(PacketT& p) { return SlimOf(p).seq; }
+  static uint32_t SizeOf(PacketT& p) { return SlimOf(p).size_bytes; }
+};
+
+static_assert(InlineEvent::kFitsInline<Hop<EventQueue, Packet>>,
+              "benchmark hop closure must exercise the inline path");
+
+// Steady-state hop loop: `population` packets in flight, `total_events`
+// deliveries, each delivery re-scheduling the packet's next hop.
+template <typename PacketT, typename Queue>
+RunResult RunHopLoop(Queue& q, int population, uint64_t total_events) {
+  HopContext<Queue> ctx;
+  ctx.q = &q;
+  ctx.total = total_events;
+
+  for (int i = 0; i < population; ++i) {
+    PacketT pkt{};
+    Packet& slim = Hop<Queue, PacketT>::SlimOf(pkt);
+    slim.type = PacketType::kData;
+    slim.seq = static_cast<uint32_t>(i);
+    slim.size_bytes = 1064;
+    q.Push(ctx.NextDelay(), Hop<Queue, PacketT>{&ctx, pkt});
+  }
+
+  const uint64_t allocs_before = g_allocs;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!q.empty() && ctx.processed < total_events) {
+    auto fn = q.Pop(&ctx.now);
+    fn();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const uint64_t allocs_after = g_allocs;
+
+  // Drain leftovers outside the timed section.
+  while (!q.empty()) {
+    q.Pop(&ctx.now);
+  }
+
+  RunResult r;
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  r.events_per_sec = secs > 0 ? static_cast<double>(ctx.processed) / secs : 0;
+  r.allocs_per_event =
+      ctx.processed > 0 ? static_cast<double>(allocs_after - allocs_before) / ctx.processed : 0;
+  r.checksum = ctx.checksum;
+  return r;
+}
+
+}  // namespace
+}  // namespace lcmp
+
+int main(int argc, char** argv) {
+  using namespace lcmp;
+
+  std::string json_path;
+  if (const char* env = std::getenv("LCMP_BENCH_JSON")) {
+    json_path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  constexpr int kPopulation = 4096;     // in-flight packets ≈ heap size
+  constexpr uint64_t kEvents = 4'000'000;
+
+  // Warm-up pass sizes both heaps' backing vectors, then the measured pass
+  // runs allocation-free where the callable representation allows it.
+  FnEventQueue fn_q;
+  RunHopLoop<SeedPacket>(fn_q, kPopulation, kEvents / 8);
+  const RunResult fn_r = RunHopLoop<SeedPacket>(fn_q, kPopulation, kEvents);
+
+  EventQueue inline_q;
+  RunHopLoop<Packet>(inline_q, kPopulation, kEvents / 8);
+  InlineEvent::ResetCounters();
+  const RunResult inline_r = RunHopLoop<Packet>(inline_q, kPopulation, kEvents);
+  const InlineEvent::Counters counters = InlineEvent::counters();
+
+  if (fn_r.checksum != inline_r.checksum) {
+    std::fprintf(stderr, "checksum mismatch: queues executed different work\n");
+    return 1;
+  }
+
+  const double speedup =
+      fn_r.events_per_sec > 0 ? inline_r.events_per_sec / fn_r.events_per_sec : 0;
+
+  std::printf("events_hotpath: %llu events, population %d\n",
+              static_cast<unsigned long long>(kEvents), kPopulation);
+  std::printf("  std::function queue : %12.0f events/s  %.3f allocs/event\n",
+              fn_r.events_per_sec, fn_r.allocs_per_event);
+  std::printf("  InlineEvent queue   : %12.0f events/s  %.3f allocs/event  "
+              "(%llu inline, %llu heap)\n",
+              inline_r.events_per_sec, inline_r.allocs_per_event,
+              static_cast<unsigned long long>(counters.inline_events),
+              static_cast<unsigned long long>(counters.heap_events));
+  std::printf("  speedup             : %.2fx\n", speedup);
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"bench\": \"events_hotpath\",\n"
+      "  \"events\": %llu,\n"
+      "  \"population\": %d,\n"
+      "  \"fn_queue\": {\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f},\n"
+      "  \"inline_queue\": {\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f,\n"
+      "                   \"inline_events\": %llu, \"heap_events\": %llu},\n"
+      "  \"speedup\": %.3f\n"
+      "}\n",
+      static_cast<unsigned long long>(kEvents), kPopulation, fn_r.events_per_sec,
+      fn_r.allocs_per_event, inline_r.events_per_sec, inline_r.allocs_per_event,
+      static_cast<unsigned long long>(counters.inline_events),
+      static_cast<unsigned long long>(counters.heap_events), speedup);
+
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json, f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  } else {
+    std::fputs(json, stdout);
+  }
+  return 0;
+}

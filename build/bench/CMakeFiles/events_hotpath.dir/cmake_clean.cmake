@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/events_hotpath.dir/events_hotpath.cc.o"
+  "CMakeFiles/events_hotpath.dir/events_hotpath.cc.o.d"
+  "events_hotpath"
+  "events_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/events_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -218,10 +218,12 @@ bench/CMakeFiles/fig08_dcpair.dir/fig08_dcpair.cc.o: \
  /root/repo/src/common/hashing.h /root/repo/src/common/rng.h \
  /root/repo/src/sim/packet.h /root/repo/src/sim/pfc.h \
  /root/repo/src/sim/simulator.h /root/repo/src/common/logging.h \
- /root/repo/src/sim/event_queue.h /root/repo/src/sim/port.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/topo/graph.h \
- /root/repo/src/sim/network.h /root/repo/src/topo/candidate_paths.h \
+ /root/repo/src/sim/event_queue.h /root/repo/src/sim/inline_event.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/port.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/topo/graph.h /root/repo/src/sim/network.h \
+ /root/repo/src/sim/int_pool.h /root/repo/src/topo/candidate_paths.h \
  /root/repo/src/routing/policy.h /usr/include/c++/12/optional \
  /root/repo/src/stats/fct_recorder.h /root/repo/src/common/histogram.h \
  /root/repo/src/transport/flow.h /root/repo/src/stats/link_utilization.h \
@@ -232,8 +234,7 @@ bench/CMakeFiles/fig08_dcpair.dir/fig08_dcpair.cc.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/transport/cc/congestion_control.h \
- /root/repo/src/workload/traffic_gen.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/workload/flow_cdf.h \
+ /root/repo/src/workload/traffic_gen.h /root/repo/src/workload/flow_cdf.h \
  /root/repo/src/harness/scenario.h /root/repo/src/harness/table.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc

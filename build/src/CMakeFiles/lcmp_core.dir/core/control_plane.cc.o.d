@@ -218,8 +218,10 @@ src/CMakeFiles/lcmp_core.dir/core/control_plane.cc.o: \
  /root/repo/src/common/hashing.h /root/repo/src/common/rng.h \
  /root/repo/src/sim/packet.h /root/repo/src/sim/pfc.h \
  /root/repo/src/sim/simulator.h /root/repo/src/common/logging.h \
- /root/repo/src/sim/event_queue.h /root/repo/src/sim/port.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/topo/graph.h \
- /root/repo/src/sim/network.h /root/repo/src/topo/candidate_paths.h \
+ /root/repo/src/sim/event_queue.h /root/repo/src/sim/inline_event.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/port.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/topo/graph.h /root/repo/src/sim/network.h \
+ /root/repo/src/sim/int_pool.h /root/repo/src/topo/candidate_paths.h \
  /root/repo/src/core/path_quality.h

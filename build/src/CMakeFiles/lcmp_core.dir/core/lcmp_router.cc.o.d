@@ -217,10 +217,12 @@ src/CMakeFiles/lcmp_core.dir/core/lcmp_router.cc.o: \
  /root/repo/src/common/hashing.h /root/repo/src/common/rng.h \
  /root/repo/src/sim/packet.h /root/repo/src/sim/pfc.h \
  /root/repo/src/sim/simulator.h /root/repo/src/common/logging.h \
- /root/repo/src/sim/event_queue.h /root/repo/src/sim/port.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/topo/graph.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/event_queue.h /root/repo/src/sim/inline_event.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/port.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/topo/graph.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/path_quality.h

@@ -214,6 +214,8 @@ src/CMakeFiles/lcmp_routing.dir/routing/ucmp.cc.o: \
  /root/repo/src/common/rng.h /root/repo/src/sim/packet.h \
  /root/repo/src/sim/pfc.h /root/repo/src/sim/simulator.h \
  /root/repo/src/common/logging.h /root/repo/src/sim/event_queue.h \
- /root/repo/src/sim/port.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/topo/graph.h /usr/include/c++/12/limits
+ /root/repo/src/sim/inline_event.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/port.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/topo/graph.h \
+ /usr/include/c++/12/limits

@@ -197,29 +197,29 @@ src/CMakeFiles/lcmp_sim.dir/sim/network.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/node.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/int_pool.h \
+ /usr/include/c++/12/array /root/repo/src/common/logging.h \
+ /root/repo/src/sim/packet.h /root/repo/src/common/hashing.h \
+ /root/repo/src/common/types.h /root/repo/src/sim/node.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/common/hashing.h \
- /root/repo/src/common/types.h /root/repo/src/common/rng.h \
- /root/repo/src/sim/packet.h /root/repo/src/sim/pfc.h \
- /root/repo/src/sim/simulator.h /root/repo/src/common/logging.h \
- /root/repo/src/sim/event_queue.h /root/repo/src/sim/port.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/topo/graph.h \
- /root/repo/src/topo/candidate_paths.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/cstddef /root/repo/src/common/rng.h \
+ /root/repo/src/sim/pfc.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/sim/event_queue.h /root/repo/src/sim/inline_event.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/port.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/topo/graph.h /root/repo/src/topo/candidate_paths.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/limits /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/bits/stl_queue.h

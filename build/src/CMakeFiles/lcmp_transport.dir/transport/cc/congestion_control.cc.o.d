@@ -212,4 +212,5 @@ src/CMakeFiles/lcmp_transport.dir/transport/cc/congestion_control.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/types.h \
  /root/repo/src/sim/packet.h /root/repo/src/common/hashing.h \
  /root/repo/src/transport/cc/dcqcn.h /root/repo/src/transport/cc/dctcp.h \
- /root/repo/src/transport/cc/hpcc.h /root/repo/src/transport/cc/timely.h
+ /root/repo/src/transport/cc/hpcc.h /root/repo/src/sim/int_pool.h \
+ /root/repo/src/common/logging.h /root/repo/src/transport/cc/timely.h

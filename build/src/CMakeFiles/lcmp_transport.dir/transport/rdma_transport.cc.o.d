@@ -212,12 +212,14 @@ src/CMakeFiles/lcmp_transport.dir/transport/rdma_transport.cc.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/network.h \
- /root/repo/src/sim/node.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/common/hashing.h \
- /root/repo/src/common/types.h /root/repo/src/common/rng.h \
- /root/repo/src/sim/packet.h /root/repo/src/sim/pfc.h \
- /root/repo/src/sim/simulator.h /root/repo/src/common/logging.h \
- /root/repo/src/sim/event_queue.h /root/repo/src/sim/port.h \
+ /root/repo/src/sim/int_pool.h /root/repo/src/common/logging.h \
+ /root/repo/src/sim/packet.h /root/repo/src/common/hashing.h \
+ /root/repo/src/common/types.h /root/repo/src/sim/node.h \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /root/repo/src/common/rng.h /root/repo/src/sim/pfc.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
+ /root/repo/src/sim/inline_event.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/port.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/topo/graph.h \
  /root/repo/src/topo/candidate_paths.h \

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/event_queue_stress_test.cc" "tests/CMakeFiles/event_queue_stress_test.dir/event_queue_stress_test.cc.o" "gcc" "tests/CMakeFiles/event_queue_stress_test.dir/event_queue_stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcmp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -294,4 +294,5 @@ tests/CMakeFiles/event_queue_test.dir/event_queue_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/event_queue.h /root/repo/src/common/types.h \
- /root/repo/src/sim/simulator.h /root/repo/src/common/logging.h
+ /root/repo/src/sim/inline_event.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/common/logging.h

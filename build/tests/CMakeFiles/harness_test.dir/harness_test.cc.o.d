@@ -302,10 +302,11 @@ tests/CMakeFiles/harness_test.dir/harness_test.cc.o: \
  /root/repo/src/common/hashing.h /root/repo/src/common/rng.h \
  /root/repo/src/sim/packet.h /root/repo/src/sim/pfc.h \
  /root/repo/src/sim/simulator.h /root/repo/src/common/logging.h \
- /root/repo/src/sim/event_queue.h /root/repo/src/sim/port.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/topo/graph.h \
- /root/repo/src/sim/network.h /root/repo/src/topo/candidate_paths.h \
+ /root/repo/src/sim/event_queue.h /root/repo/src/sim/inline_event.h \
+ /root/repo/src/sim/port.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/topo/graph.h /root/repo/src/sim/network.h \
+ /root/repo/src/sim/int_pool.h /root/repo/src/topo/candidate_paths.h \
  /root/repo/src/routing/policy.h /root/repo/src/stats/fct_recorder.h \
  /root/repo/src/common/histogram.h /root/repo/src/transport/flow.h \
  /root/repo/src/stats/link_utilization.h /root/repo/src/topo/builders.h \

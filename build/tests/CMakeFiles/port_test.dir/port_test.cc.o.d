@@ -293,11 +293,12 @@ tests/CMakeFiles/port_test.dir/port_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/node.h /usr/include/c++/12/span \
- /root/repo/src/common/hashing.h /root/repo/src/common/types.h \
- /root/repo/src/common/rng.h /root/repo/src/sim/packet.h \
+ /root/repo/src/sim/int_pool.h /root/repo/src/common/logging.h \
+ /root/repo/src/sim/packet.h /root/repo/src/common/hashing.h \
+ /root/repo/src/common/types.h /root/repo/src/sim/node.h \
+ /usr/include/c++/12/span /root/repo/src/common/rng.h \
  /root/repo/src/sim/pfc.h /root/repo/src/sim/simulator.h \
- /root/repo/src/common/logging.h /root/repo/src/sim/event_queue.h \
+ /root/repo/src/sim/event_queue.h /root/repo/src/sim/inline_event.h \
  /root/repo/src/sim/port.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/topo/graph.h

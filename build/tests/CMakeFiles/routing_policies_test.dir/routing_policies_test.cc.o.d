@@ -299,9 +299,10 @@ tests/CMakeFiles/routing_policies_test.dir/routing_policies_test.cc.o: \
  /root/repo/src/common/rng.h /root/repo/src/sim/packet.h \
  /root/repo/src/sim/pfc.h /root/repo/src/sim/simulator.h \
  /root/repo/src/common/logging.h /root/repo/src/sim/event_queue.h \
- /root/repo/src/sim/port.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/topo/graph.h /root/repo/src/routing/redte.h \
- /root/repo/src/routing/ucmp.h /root/repo/src/routing/wcmp.h \
- /root/repo/src/sim/network.h /root/repo/src/topo/candidate_paths.h \
+ /root/repo/src/sim/inline_event.h /root/repo/src/sim/port.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/topo/graph.h \
+ /root/repo/src/routing/redte.h /root/repo/src/routing/ucmp.h \
+ /root/repo/src/routing/wcmp.h /root/repo/src/sim/network.h \
+ /root/repo/src/sim/int_pool.h /root/repo/src/topo/candidate_paths.h \
  /root/repo/src/topo/builders.h

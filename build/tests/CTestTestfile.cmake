@@ -28,3 +28,5 @@ include("/root/repo/build/tests/flags_csv_test[1]_include.cmake")
 include("/root/repo/build/tests/random_wan_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_invariants_test[1]_include.cmake")
 include("/root/repo/build/tests/transport_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")

@@ -30,6 +30,23 @@ void ControlPlane::Provision(Network& net) {
   }
 }
 
+Simulator::TimerId ControlPlane::StartTelemetryLoop(Network& net, TimeNs period) {
+  StopTelemetryLoop(net);
+  Network* np = &net;
+  telemetry_timer_ = net.sim().ScheduleEvery(period, [this, np] {
+    latest_telemetry_ = CollectTelemetry(*np);
+    ++telemetry_sweeps_;
+  });
+  return telemetry_timer_;
+}
+
+void ControlPlane::StopTelemetryLoop(Network& net) {
+  if (telemetry_timer_ != Simulator::kInvalidTimer) {
+    net.sim().CancelTimer(telemetry_timer_);
+    telemetry_timer_ = Simulator::kInvalidTimer;
+  }
+}
+
 std::vector<SwitchTelemetry> ControlPlane::CollectTelemetry(Network& net) const {
   std::vector<SwitchTelemetry> out;
   const Graph& g = net.graph();

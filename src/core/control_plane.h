@@ -41,12 +41,25 @@ class ControlPlane {
   // Collects per-switch telemetry (Sec. 5 "lightweight telemetry").
   std::vector<SwitchTelemetry> CollectTelemetry(Network& net) const;
 
+  // Runs CollectTelemetry as a standing control loop on the network's
+  // simulator: one recurring timer with one stored callable (no per-sweep
+  // closure rebuilds). The latest snapshot is kept for inspection between
+  // sweeps. Not started by default — periodic sweeps add events, so callers
+  // that need bit-identical legacy traces must opt in.
+  Simulator::TimerId StartTelemetryLoop(Network& net, TimeNs period);
+  void StopTelemetryLoop(Network& net);
+  const std::vector<SwitchTelemetry>& latest_telemetry() const { return latest_telemetry_; }
+  int64_t telemetry_sweeps() const { return telemetry_sweeps_; }
+
   const LcmpConfig& config() const { return config_; }
   const BootstrapTables& tables() const { return tables_; }
 
  private:
   LcmpConfig config_;
   BootstrapTables tables_;
+  Simulator::TimerId telemetry_timer_ = Simulator::kInvalidTimer;
+  std::vector<SwitchTelemetry> latest_telemetry_;
+  int64_t telemetry_sweeps_ = 0;
 };
 
 }  // namespace lcmp

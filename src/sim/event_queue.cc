@@ -6,53 +6,75 @@ namespace lcmp {
 
 uint64_t EventQueue::Push(TimeNs t, EventFn fn) {
   const uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{t, seq, std::move(fn)});
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+  heap_.push_back(Entry{t, seq, slot});
   SiftUp(heap_.size() - 1);
   return seq;
 }
 
 EventFn EventQueue::Pop(TimeNs* time) {
-  Entry top = std::move(heap_.front());
+  const Entry top = heap_.front();
   *time = top.time;
   if (heap_.size() > 1) {
-    heap_.front() = std::move(heap_.back());
+    heap_.front() = heap_.back();
   }
   heap_.pop_back();
   if (!heap_.empty()) {
     SiftDown(0);
   }
-  return std::move(top.fn);
+  EventFn fn = std::move(slots_[top.slot]);
+  free_slots_.push_back(top.slot);
+  return fn;
 }
 
 void EventQueue::SiftUp(size_t i) {
+  if (i == 0 || !Less(heap_[i], heap_[(i - 1) / 2])) {
+    return;
+  }
+  // Hole-based insertion: lift the out-of-place entry once, shift ancestors
+  // down into the hole, and drop the entry at its final position.
+  const Entry moving = heap_[i];
   while (i > 0) {
     const size_t parent = (i - 1) / 2;
-    if (!Less(heap_[i], heap_[parent])) {
+    if (!Less(moving, heap_[parent])) {
       break;
     }
-    std::swap(heap_[i], heap_[parent]);
+    heap_[i] = heap_[parent];
     i = parent;
   }
+  heap_[i] = moving;
 }
 
 void EventQueue::SiftDown(size_t i) {
   const size_t n = heap_.size();
+  const Entry moving = heap_[i];
   while (true) {
     const size_t l = 2 * i + 1;
     const size_t r = l + 1;
     size_t smallest = i;
-    if (l < n && Less(heap_[l], heap_[smallest])) {
+    const Entry* best = &moving;
+    if (l < n && Less(heap_[l], *best)) {
       smallest = l;
+      best = &heap_[l];
     }
-    if (r < n && Less(heap_[r], heap_[smallest])) {
+    if (r < n && Less(heap_[r], *best)) {
       smallest = r;
     }
     if (smallest == i) {
       break;
     }
-    std::swap(heap_[i], heap_[smallest]);
+    heap_[i] = heap_[smallest];
     i = smallest;
   }
+  heap_[i] = moving;
 }
 
 }  // namespace lcmp

@@ -3,17 +3,24 @@
 // Events at the same timestamp fire in insertion order (FIFO tie-break via a
 // monotonically increasing sequence number), which makes whole-simulation
 // runs bit-for-bit reproducible from the seed.
+//
+// Layout: an indexed binary min-heap. Callbacks are InlineEvent small-buffer
+// callables kept in a slab of reusable slots; the heap itself orders 24-byte
+// {time, seq, slot} entries. Sifting therefore moves only the tiny entries —
+// never the up-to-96 B capture state — and the slot free list makes the
+// steady state allocation-free (both vectors stop growing once the queue has
+// seen its high-water mark of outstanding events).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/inline_event.h"
 
 namespace lcmp {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineEvent;
 
 class EventQueue {
  public:
@@ -34,10 +41,11 @@ class EventQueue {
   struct Entry {
     TimeNs time;
     uint64_t seq;
-    EventFn fn;
+    uint32_t slot;  // index into slots_
   };
   // Min-heap ordered by (time, seq). Hand-rolled so Pop() can move the
-  // callback out (std::priority_queue::top() is const).
+  // callback out (std::priority_queue::top() is const) and so the sift
+  // routines can shift entries into a hole instead of pairwise-swapping.
   static bool Less(const Entry& a, const Entry& b) {
     return a.time < b.time || (a.time == b.time && a.seq < b.seq);
   }
@@ -45,6 +53,8 @@ class EventQueue {
   void SiftDown(size_t i);
 
   std::vector<Entry> heap_;
+  std::vector<EventFn> slots_;       // callable slab, indexed by Entry::slot
+  std::vector<uint32_t> free_slots_;
   uint64_t next_seq_ = 0;
 };
 

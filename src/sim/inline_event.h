@@ -1,0 +1,141 @@
+// InlineEvent: a move-only callable with small-buffer-optimized storage,
+// replacing std::function<void()> on the event hot path.
+//
+// Every simulated packet hop schedules one closure; with std::function those
+// closures (which capture a Packet by value, ~80 B) exceed the 16 B libstdc++
+// SBO and heap-allocate on essentially every event. InlineEvent embeds up to
+// kInlineCapacity bytes of capture state directly in the event-queue entry,
+// so the steady-state event loop performs zero heap allocations. Oversized
+// captures still work via a heap fallback, and per-process counters expose
+// the inline/heap split so benchmarks and tests can assert the hot closures
+// stay inline (see bench/events_hotpath.cc and DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lcmp {
+
+class InlineEvent {
+ public:
+  // Sized so that "this pointer + slim Packet + a few scalars" fits inline.
+  // The tightest hot closures are the port transmit-done and link-delivery
+  // lambdas capturing a Packet by value (see static_asserts in sim/port.cc).
+  static constexpr size_t kInlineCapacity = 96;
+
+  // True when a callable of type F runs from the inline buffer.
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(std::decay_t<F>) <= kInlineCapacity &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  // Process-wide construction counters (the simulator is single-threaded).
+  // heap_events is the number of events that fell back to an allocation;
+  // a healthy hot path keeps it at ~0 in steady state.
+  struct Counters {
+    // No default member initializers: counters_ below is declared while this
+    // enclosing class is still incomplete, and GCC rejects NSDMIs there.
+    // Aggregate value-initialization zeroes the fields instead.
+    uint64_t inline_events;
+    uint64_t heap_events;
+  };
+  static Counters counters() { return counters_; }
+  static void ResetCounters() { counters_ = Counters{}; }
+
+  InlineEvent() noexcept = default;
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, InlineEvent>>>
+  InlineEvent(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (kFitsInline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+      ++counters_.inline_events;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Fn>;
+      ++counters_.heap_events;
+    }
+  }
+
+  InlineEvent(InlineEvent&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineEvent& operator=(InlineEvent&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineEvent(const InlineEvent&) = delete;
+  InlineEvent& operator=(const InlineEvent&) = delete;
+
+  ~InlineEvent() { Reset(); }
+
+  // Invokes the stored callable. Unlike a one-shot task type this is
+  // repeatable, which lets Simulator's recurring timers keep one stored
+  // callable and fire it every period.
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs into dst from src and destroys src's payload.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      /*relocate=*/
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      /*destroy=*/[](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      /*relocate=*/
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      /*destroy=*/[](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+  };
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  static inline Counters counters_{};
+
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,100 @@
+// Free-list pool of HPCC INT telemetry stacks.
+//
+// Embedding the 12x32 B INT array in every Packet made the packet ~500 B and
+// forced every packet-carrying event closure onto the heap. Instead, the
+// network owns one IntStackPool; a DATA packet that carries telemetry holds a
+// 32-bit IntHandle into it. Slots are recycled through a free list, so after
+// warm-up the pool performs no allocations: at most one stack is live per
+// in-flight telemetry-carrying packet (the ACK inherits the DATA packet's
+// slot rather than copying it).
+//
+// Handles are owning but Packet has no destructor (it must stay trivially
+// copyable); every packet "death site" — drop, flush, unroutable, delivery —
+// must call Release. Network::int_pool().in_use() is asserted back to zero in
+// tests to catch leaks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/packet.h"
+
+namespace lcmp {
+
+// One pooled telemetry stack: the hop count plus per-hop records.
+struct IntStack {
+  uint8_t hops = 0;
+  std::array<IntRecord, kMaxIntHops> rec{};
+};
+
+class IntStackPool {
+ public:
+  IntStackPool() = default;
+  IntStackPool(const IntStackPool&) = delete;
+  IntStackPool& operator=(const IntStackPool&) = delete;
+
+  // Returns a cleared stack. Reuses a free slot when available; grows the
+  // pool otherwise (steady state never grows).
+  IntHandle Acquire() {
+    IntHandle h;
+    if (!free_.empty()) {
+      h = free_.back();
+      free_.pop_back();
+      store_[h].hops = 0;
+    } else {
+      h = static_cast<IntHandle>(store_.size());
+      store_.emplace_back();
+    }
+    ++in_use_;
+    return h;
+  }
+
+  // Returns `h` to the free list. Ignores kInvalidIntHandle so callers can
+  // release unconditionally.
+  void Release(IntHandle h) {
+    if (h == kInvalidIntHandle) {
+      return;
+    }
+    LCMP_CHECK(h < store_.size() && in_use_ > 0);
+    free_.push_back(h);
+    --in_use_;
+  }
+
+  // Releases the packet's stack (if any) and clears the handle.
+  void ReleaseFrom(Packet& pkt) {
+    Release(pkt.int_stack);
+    pkt.int_stack = kInvalidIntHandle;
+  }
+
+  IntStack& Get(IntHandle h) {
+    LCMP_CHECK(h < store_.size());
+    return store_[h];
+  }
+  const IntStack& Get(IntHandle h) const {
+    LCMP_CHECK(h < store_.size());
+    return store_[h];
+  }
+
+  // Appends an egress-hop record to `h`'s stack (no-op once full, matching
+  // real INT headers that stop growing at the hop limit).
+  IntRecord* AppendHop(IntHandle h) {
+    IntStack& s = Get(h);
+    if (s.hops >= kMaxIntHops) {
+      return nullptr;
+    }
+    return &s.rec[s.hops++];
+  }
+
+  // Live handles (leak detector for tests) and total slots ever created.
+  size_t in_use() const { return in_use_; }
+  size_t capacity() const { return store_.size(); }
+
+ private:
+  std::vector<IntStack> store_;
+  std::vector<IntHandle> free_;
+  size_t in_use_ = 0;
+};
+
+}  // namespace lcmp

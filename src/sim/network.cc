@@ -50,6 +50,7 @@ void Network::BuildNodes(const NetworkConfig& config, const PolicyFactory& facto
       const bool is_dci = v.kind == VertexKind::kDciSwitch;
       nodes_.push_back(std::make_unique<SwitchNode>(&sim_, id, v.dc, is_dci, seed));
     }
+    nodes_.back()->SetIntPool(&int_pool_);
   }
   // Ports: one per link direction.
   port_of_link_.resize(static_cast<size_t>(graph_.num_links()));
@@ -241,14 +242,10 @@ void Network::StartPolicyTicks() {
     if (policy == nullptr || policy->tick_interval() <= 0) {
       continue;
     }
-    // Self-rescheduling tick; Run() horizons/Stop() bound the recursion.
-    auto tick = std::make_shared<std::function<void()>>();
+    // One stored callable per switch; the simulator re-arms it every period
+    // (this also carries RedTE's 100 ms control loop — its OnTick runs here).
     SwitchNode* swp = &sw;
-    *tick = [this, swp, policy, tick]() {
-      policy->OnTick(*swp);
-      sim_.Schedule(policy->tick_interval(), *tick);
-    };
-    sim_.Schedule(policy->tick_interval(), *tick);
+    sim_.ScheduleEvery(policy->tick_interval(), [swp, policy] { policy->OnTick(*swp); });
   }
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/int_pool.h"
 #include "sim/node.h"
 #include "sim/pfc.h"
 #include "sim/simulator.h"
@@ -50,6 +51,9 @@ class Network {
   const Graph& graph() const { return graph_; }
   const InterDcRoutes& routes() const { return routes_; }
   const NetworkConfig& config() const { return config_; }
+  // Side-buffer pool for HPCC INT stacks (shared by all nodes/ports; the
+  // transport acquires a slot per telemetry-carrying DATA packet).
+  IntStackPool& int_pool() { return int_pool_; }
 
   Node& node(NodeId id) { return *nodes_[static_cast<size_t>(id)]; }
   HostNode& host(NodeId id);
@@ -79,6 +83,7 @@ class Network {
   Graph graph_;
   NetworkConfig config_;
   Simulator sim_;
+  IntStackPool int_pool_;
   InterDcRoutes routes_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<DcId> dc_of_node_;

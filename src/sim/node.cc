@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "sim/int_pool.h"
 
 namespace lcmp {
 
@@ -12,32 +13,38 @@ PortIndex Node::AddPort(const PortConfig& config, int graph_link_idx) {
   return idx;
 }
 
+void Node::ReleaseIntStack(Packet& pkt) {
+  if (pkt.int_stack != kInvalidIntHandle && int_pool_ != nullptr) {
+    int_pool_->ReleaseFrom(pkt);
+  }
+}
+
 void SwitchNode::Receive(Packet pkt, PortIndex in_port) {
   const PortIndex out = ResolveEgress(pkt);
   if (out == kInvalidPort) {
     ++dropped_no_route_;
+    ReleaseIntStack(pkt);
     return;
   }
   ++forwarded_packets_;
   pkt.ingress_port = in_port;  // PFC accounting tag (harmless when PFC off)
-  Packet charge;               // only size + ingress matter for accounting
-  charge.size_bytes = pkt.size_bytes;
-  charge.ingress_port = in_port;
+  const int64_t charge_bytes = pkt.size_bytes;
   // Charge *before* Enqueue: an idle port starts transmitting synchronously
   // and the dequeue hook would otherwise credit an uncharged packet.
   if (pfc_ != nullptr) {
-    pfc_->OnPacketBuffered(charge, in_port);
+    pfc_->OnPacketBuffered(charge_bytes, in_port);
   }
   const bool accepted = ports_[static_cast<size_t>(out)]->Enqueue(std::move(pkt));
   if (!accepted && pfc_ != nullptr) {
-    pfc_->OnPacketFreed(charge);  // rejected: refund the charge
+    pfc_->OnPacketFreed(charge_bytes, in_port);  // rejected: refund the charge
   }
 }
 
 void SwitchNode::EnablePfc(const PfcConfig& config) {
   pfc_ = std::make_unique<PfcController>(sim_, this, config);
   for (auto& port : ports_) {
-    port->SetDequeueHook([this](const Packet& pkt) { pfc_->OnPacketFreed(pkt); });
+    port->SetDequeueHook(
+        [this](const Packet& pkt) { pfc_->OnPacketFreed(pkt.size_bytes, pkt.ingress_port); });
   }
 }
 
@@ -77,6 +84,8 @@ PortIndex SwitchNode::ResolveEgress(const Packet& pkt) {
 void HostNode::Receive(Packet pkt, PortIndex /*in_port*/) {
   if (sink_) {
     sink_(std::move(pkt));
+  } else {
+    ReleaseIntStack(pkt);  // no transport attached: the packet dies here
   }
 }
 

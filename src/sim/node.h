@@ -19,6 +19,8 @@
 
 namespace lcmp {
 
+class IntStackPool;
+
 class Node {
  public:
   enum class Kind : uint8_t { kHost, kSwitch };
@@ -45,12 +47,21 @@ class Node {
   DcId dc() const { return dc_; }
   Rng& rng() { return rng_; }
 
+  // INT side-buffer pool (owned by the Network; null when telemetry is off
+  // and in port-level unit tests that never stamp INT).
+  void SetIntPool(IntStackPool* pool) { int_pool_ = pool; }
+  IntStackPool* int_pool() const { return int_pool_; }
+
  protected:
+  // Releases `pkt`'s INT side-buffer when this node terminates the packet.
+  void ReleaseIntStack(Packet& pkt);
+
   Simulator* sim_;
   NodeId id_;
   Kind kind_;
   DcId dc_;
   Rng rng_;
+  IntStackPool* int_pool_ = nullptr;
   std::vector<std::unique_ptr<Port>> ports_;
 };
 

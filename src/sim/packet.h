@@ -1,11 +1,14 @@
 // Packet model.
 //
 // Packets are passed by value; they are small PODs and copying them through
-// the event closures keeps ownership trivial. DATA packets optionally carry
-// HPCC-style in-band network telemetry (one record per traversed hop).
+// the event closures keeps ownership trivial. The HPCC INT telemetry stack
+// (12 records x 32 B) is NOT embedded: DATA packets that carry telemetry
+// reference a pooled side-buffer through a 32-bit IntHandle (sim/int_pool.h),
+// keeping sizeof(Packet) small enough that packet-carrying event closures fit
+// in InlineEvent's inline storage. The static_assert at the bottom guards the
+// budget (see DESIGN.md "Event & packet memory model").
 #pragma once
 
-#include <array>
 #include <cstdint>
 
 #include "common/hashing.h"
@@ -31,6 +34,10 @@ struct IntRecord {
 
 inline constexpr int kMaxIntHops = 12;
 
+// Reference to a pooled INT stack (IntStackPool slot index).
+using IntHandle = uint32_t;
+inline constexpr IntHandle kInvalidIntHandle = UINT32_MAX;
+
 struct Packet {
   PacketType type = PacketType::kData;
   FlowKey key;          // five tuple of the *flow* (DATA direction)
@@ -44,18 +51,24 @@ struct Packet {
   bool ecn_echo = false;      // ACK: echo of CE seen by receiver
   bool last_of_flow = false;  // DATA: final segment of the flow
   TimeNs sent_ts = 0;         // host transmit time (RTT measurement)
-  // HPCC INT stack.
-  bool int_enabled = false;
-  uint8_t int_hops = 0;
-  std::array<IntRecord, kMaxIntHops> int_rec{};
 
-  // ACKs echo the INT stack of the DATA packet they acknowledge.
+  // HPCC INT side-buffer handle. kInvalidIntHandle when telemetry is off for
+  // this packet. The handle *owns* the pool slot: whoever destroys the last
+  // copy of a packet that still carries a valid handle must release it back
+  // to the network's IntStackPool (ports/nodes do this on drops, the
+  // transport on delivery). ACKs take over the handle of the DATA packet
+  // they acknowledge, echoing the stack to the sender without copying it.
+  IntHandle int_stack = kInvalidIntHandle;
 
   // Transient switch-local tag: the ingress port the packet arrived on at
   // the node currently buffering it (kInvalidPort at hosts / first hop).
   // Used by PFC ingress-buffer accounting; rewritten at every hop.
   PortIndex ingress_port = kInvalidPort;
 };
+
+// Budget: a Packet plus a `this` pointer (and change) must fit in
+// InlineEvent's inline buffer, so the per-hop closures never heap-allocate.
+static_assert(sizeof(Packet) <= 128, "Packet outgrew the hot-path size budget");
 
 // Wire overhead added to each DATA payload (Eth + IP + UDP + BTH, rounded).
 inline constexpr uint32_t kHeaderBytes = 64;

@@ -12,28 +12,27 @@ PfcController::PfcController(Simulator* sim, SwitchNode* node, const PfcConfig& 
   pause_asserted_.assign(static_cast<size_t>(node_->num_ports()), false);
 }
 
-void PfcController::OnPacketBuffered(const Packet& pkt, PortIndex ingress) {
+void PfcController::OnPacketBuffered(int64_t bytes, PortIndex ingress) {
   if (ingress == kInvalidPort) {
     return;
   }
-  int64_t& bytes = ingress_bytes_[static_cast<size_t>(ingress)];
-  bytes += pkt.size_bytes;
-  if (!pause_asserted_[static_cast<size_t>(ingress)] && bytes >= config_.xoff_bytes) {
+  int64_t& buffered = ingress_bytes_[static_cast<size_t>(ingress)];
+  buffered += bytes;
+  if (!pause_asserted_[static_cast<size_t>(ingress)] && buffered >= config_.xoff_bytes) {
     pause_asserted_[static_cast<size_t>(ingress)] = true;
     ++pause_frames_;
     SignalUpstream(ingress, /*pause=*/true);
   }
 }
 
-void PfcController::OnPacketFreed(const Packet& pkt) {
-  const PortIndex ingress = pkt.ingress_port;
+void PfcController::OnPacketFreed(int64_t bytes, PortIndex ingress) {
   if (ingress == kInvalidPort) {
     return;
   }
-  int64_t& bytes = ingress_bytes_[static_cast<size_t>(ingress)];
-  bytes -= pkt.size_bytes;
-  LCMP_CHECK(bytes >= 0);
-  if (pause_asserted_[static_cast<size_t>(ingress)] && bytes <= config_.xon_bytes) {
+  int64_t& buffered = ingress_bytes_[static_cast<size_t>(ingress)];
+  buffered -= bytes;
+  LCMP_CHECK(buffered >= 0);
+  if (pause_asserted_[static_cast<size_t>(ingress)] && buffered <= config_.xon_bytes) {
     pause_asserted_[static_cast<size_t>(ingress)] = false;
     ++resume_frames_;
     SignalUpstream(ingress, /*pause=*/false);

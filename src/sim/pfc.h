@@ -14,7 +14,6 @@
 #include <vector>
 
 #include "common/types.h"
-#include "sim/packet.h"
 #include "sim/simulator.h"
 
 namespace lcmp {
@@ -37,12 +36,14 @@ class PfcController {
   PfcController(const PfcController&) = delete;
   PfcController& operator=(const PfcController&) = delete;
 
-  // A packet from `ingress` was accepted into some egress queue.
-  void OnPacketBuffered(const Packet& pkt, PortIndex ingress);
+  // `bytes` from `ingress` were accepted into some egress queue. Plain byte
+  // accounting — the controller never needs the packet itself, and passing
+  // the bytes keeps the hot path free of scratch Packet copies.
+  void OnPacketBuffered(int64_t bytes, PortIndex ingress);
 
-  // A previously buffered packet left the switch (transmitted or flushed).
-  // Uses pkt.ingress_port, which Receive() stamps.
-  void OnPacketFreed(const Packet& pkt);
+  // A previously buffered packet's bytes left the switch (transmitted or
+  // flushed). `ingress` is the pkt.ingress_port tag Receive() stamps.
+  void OnPacketFreed(int64_t bytes, PortIndex ingress);
 
   int64_t ingress_buffered_bytes(PortIndex ingress) const {
     return ingress_bytes_[static_cast<size_t>(ingress)];

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "sim/int_pool.h"
 #include "sim/node.h"
 
 namespace lcmp {
@@ -39,13 +40,21 @@ bool Port::ShouldMarkEcn() {
   return rng_->NextDouble() < frac * config_.ecn_pmax;
 }
 
+void Port::ReleaseIntStack(Packet& pkt) {
+  if (pkt.int_stack != kInvalidIntHandle && owner_->int_pool() != nullptr) {
+    owner_->int_pool()->ReleaseFrom(pkt);
+  }
+}
+
 bool Port::Enqueue(Packet pkt) {
   if (!up_) {
     ++dropped_packets_;
+    ReleaseIntStack(pkt);
     return false;
   }
   if (queue_bytes_ + pkt.size_bytes > config_.buffer_bytes) {
     ++dropped_packets_;
+    ReleaseIntStack(pkt);
     return false;
   }
   // Mark based on occupancy *before* this packet joins, as switch ASICs do.
@@ -74,21 +83,25 @@ void Port::StartTransmissionIfIdle() {
 
   // Stamp HPCC INT at egress: queue depth behind this packet, cumulative
   // bytes including this packet, link rate, and the departure timestamp.
-  if (pkt.int_enabled && pkt.type == PacketType::kData && pkt.int_hops < kMaxIntHops) {
-    IntRecord& rec = pkt.int_rec[pkt.int_hops++];
-    rec.qlen_bytes = queue_bytes_;
-    rec.rate_bps = config_.rate_bps;
-    rec.tx_bytes = tx_bytes_ + pkt.size_bytes;
-    rec.ts = sim_->now();
+  if (pkt.int_stack != kInvalidIntHandle && pkt.type == PacketType::kData) {
+    IntStackPool* pool = owner_->int_pool();
+    LCMP_CHECK(pool != nullptr);
+    if (IntRecord* rec = pool->AppendHop(pkt.int_stack); rec != nullptr) {
+      rec->qlen_bytes = queue_bytes_;
+      rec->rate_bps = config_.rate_bps;
+      rec->tx_bytes = tx_bytes_ + pkt.size_bytes;
+      rec->ts = sim_->now();
+    }
   }
 
   const TimeNs tx_time = SerializationDelay(pkt.size_bytes, config_.rate_bps);
   busy_ns_ += tx_time;
   tx_bytes_ += pkt.size_bytes;
   ++tx_packets_;
-  sim_->Schedule(tx_time, [this, pkt = std::move(pkt)]() mutable {
-    OnTransmissionDone(std::move(pkt));
-  });
+  auto tx_done = [this, pkt = std::move(pkt)]() mutable { OnTransmissionDone(std::move(pkt)); };
+  static_assert(InlineEvent::kFitsInline<decltype(tx_done)>,
+                "port transmit-done closure must stay allocation-free");
+  sim_->Schedule(tx_time, std::move(tx_done));
 }
 
 void Port::OnTransmissionDone(Packet pkt) {
@@ -98,9 +111,12 @@ void Port::OnTransmissionDone(Packet pkt) {
   LCMP_CHECK(peer_ != nullptr);
   Node* peer = peer_;
   const PortIndex in_port = peer_in_port_;
-  sim_->Schedule(config_.prop_delay_ns, [peer, in_port, pkt = std::move(pkt)]() mutable {
+  auto deliver = [peer, in_port, pkt = std::move(pkt)]() mutable {
     peer->Receive(std::move(pkt), in_port);
-  });
+  };
+  static_assert(InlineEvent::kFitsInline<decltype(deliver)>,
+                "link delivery closure must stay allocation-free");
+  sim_->Schedule(config_.prop_delay_ns, std::move(deliver));
   StartTransmissionIfIdle();
 }
 
@@ -124,10 +140,11 @@ void Port::SetUp(bool up) {
   up_ = up;
   if (!up_) {
     dropped_packets_ += static_cast<int64_t>(queue_.size());
-    if (dequeue_hook_) {
-      for (const Packet& pkt : queue_) {
+    for (Packet& pkt : queue_) {
+      if (dequeue_hook_) {
         dequeue_hook_(pkt);
       }
+      ReleaseIntStack(pkt);
     }
     queue_.clear();
     queue_bytes_ = 0;

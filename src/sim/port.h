@@ -70,6 +70,7 @@ class Port {
 
   // Invoked whenever an accepted packet leaves the queue — onto the wire or
   // flushed by SetUp(false). PFC ingress accounting credits bytes back here.
+  // Installed once per port (not per event), so std::function is fine here.
   using DequeueHook = std::function<void(const Packet&)>;
   void SetDequeueHook(DequeueHook hook) { dequeue_hook_ = std::move(hook); }
 
@@ -85,6 +86,8 @@ class Port {
   void StartTransmissionIfIdle();
   void OnTransmissionDone(Packet pkt);
   bool ShouldMarkEcn();
+  // Returns a dropped/flushed packet's INT side-buffer (if any) to the pool.
+  void ReleaseIntStack(Packet& pkt);
 
   Simulator* sim_;
   Rng* rng_;

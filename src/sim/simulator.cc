@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <utility>
+
 namespace lcmp {
 
 TimeNs Simulator::Run(TimeNs until) {
@@ -17,6 +19,51 @@ TimeNs Simulator::Run(TimeNs until) {
     fn();
   }
   return now_;
+}
+
+Simulator::TimerId Simulator::ScheduleEvery(TimeNs interval, EventFn fn) {
+  LCMP_CHECK(interval > 0);
+  TimerId id;
+  if (!free_timer_slots_.empty()) {
+    id = free_timer_slots_.back();
+    free_timer_slots_.pop_back();
+  } else {
+    id = static_cast<TimerId>(timers_.size());
+    timers_.push_back(std::make_unique<RepeatingTimer>());
+  }
+  RepeatingTimer& timer = *timers_[id];
+  timer.interval = interval;
+  timer.fn = std::move(fn);
+  timer.cancelled = false;
+  Schedule(interval, [this, id] { FireTimer(id); });
+  return id;
+}
+
+void Simulator::SetTimerInterval(TimerId id, TimeNs interval) {
+  LCMP_CHECK(id < timers_.size() && interval > 0);
+  timers_[id]->interval = interval;
+}
+
+void Simulator::CancelTimer(TimerId id) {
+  LCMP_CHECK(id < timers_.size());
+  timers_[id]->cancelled = true;
+}
+
+void Simulator::FireTimer(TimerId id) {
+  RepeatingTimer& timer = *timers_[id];
+  if (!timer.cancelled) {
+    timer.fn();
+  }
+  // The callback itself may have cancelled the timer; check again before
+  // re-arming. A cancelled slot drops its callable and becomes reusable
+  // exactly when its one pending firing is consumed, so a recycled TimerId
+  // can never alias a stale in-queue thunk.
+  if (timer.cancelled) {
+    timer.fn = EventFn();
+    free_timer_slots_.push_back(id);
+    return;
+  }
+  Schedule(timer.interval, [this, id] { FireTimer(id); });
 }
 
 }  // namespace lcmp

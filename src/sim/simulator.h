@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/logging.h"
 #include "sim/event_queue.h"
@@ -10,6 +12,10 @@ namespace lcmp {
 
 class Simulator {
  public:
+  // Handle for a recurring timer created by ScheduleEvery.
+  using TimerId = uint32_t;
+  static constexpr TimerId kInvalidTimer = UINT32_MAX;
+
   TimeNs now() const { return now_; }
 
   // Schedules `fn` to run `delay` from now (delay >= 0).
@@ -24,6 +30,23 @@ class Simulator {
     queue_.Push(t, std::move(fn));
   }
 
+  // Self-rearming recurring timer: `fn` first fires `interval` from now and
+  // then every `interval` after the previous firing. The callable is stored
+  // once; each firing only pushes a tiny (16 B, always-inline) re-arm thunk,
+  // so periodic control loops (policy ticks, RedTE's 100 ms rebalance,
+  // telemetry sampling, RTO scans) never rebuild their closures.
+  TimerId ScheduleEvery(TimeNs interval, EventFn fn);
+
+  // Changes the period applied at the timer's *next* re-arm (the firing
+  // already in the queue keeps its scheduled time). Used by adaptive timers
+  // such as the transport's SRTT-driven RTO.
+  void SetTimerInterval(TimerId id, TimeNs interval);
+
+  // Stops the timer: the pending firing is consumed without invoking the
+  // callback and the slot is recycled. Safe to call from the timer's own
+  // callback.
+  void CancelTimer(TimerId id);
+
   // Runs until the queue drains, Stop() is called, or `until` is reached
   // (until < 0 means "no horizon"). Returns the final simulation time.
   TimeNs Run(TimeNs until = -1);
@@ -35,10 +58,20 @@ class Simulator {
   uint64_t events_processed() const { return events_processed_; }
 
  private:
+  struct RepeatingTimer {
+    TimeNs interval = 0;
+    EventFn fn;
+    bool cancelled = false;
+  };
+
+  void FireTimer(TimerId id);
+
   EventQueue queue_;
   TimeNs now_ = 0;
   bool stopped_ = false;
   uint64_t events_processed_ = 0;
+  std::vector<std::unique_ptr<RepeatingTimer>> timers_;
+  std::vector<TimerId> free_timer_slots_;
 };
 
 }  // namespace lcmp

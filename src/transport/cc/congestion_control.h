@@ -15,6 +15,8 @@
 
 namespace lcmp {
 
+struct IntStack;
+
 enum class CcKind : uint8_t { kDcqcn, kHpcc, kTimely, kDctcp };
 
 const char* CcKindName(CcKind kind);
@@ -27,9 +29,11 @@ class CongestionControl {
   // `base_rtt` the unloaded round-trip of the flow's best path.
   virtual void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) = 0;
 
-  // Cumulative ACK arrived. `ack` carries the ECN echo (DCTCP), the echoed
-  // INT stack (HPCC) and timestamps; `rtt` is the measured sample.
-  virtual void OnAck(const Packet& ack, TimeNs rtt, TimeNs now) = 0;
+  // Cumulative ACK arrived. `ack` carries the ECN echo (DCTCP) and
+  // timestamps; `rtt` is the measured sample. `telemetry` is the echoed INT
+  // stack the ACK references (HPCC), resolved from the network's pool by the
+  // transport, or nullptr when the ACK carries none.
+  virtual void OnAck(const Packet& ack, const IntStack* telemetry, TimeNs rtt, TimeNs now) = 0;
 
   // DCQCN congestion-notification packet arrived.
   virtual void OnCnp(TimeNs /*now*/) {}

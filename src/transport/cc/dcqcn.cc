@@ -43,7 +43,10 @@ void Dcqcn::AdvanceTimers(TimeNs now) {
   }
 }
 
-void Dcqcn::OnAck(const Packet& /*ack*/, TimeNs /*rtt*/, TimeNs now) { AdvanceTimers(now); }
+void Dcqcn::OnAck(const Packet& /*ack*/, const IntStack* /*telemetry*/, TimeNs /*rtt*/,
+                  TimeNs now) {
+  AdvanceTimers(now);
+}
 
 void Dcqcn::OnCnp(TimeNs now) {
   AdvanceTimers(now);

@@ -11,7 +11,7 @@ void Dctcp::Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) {
   window_start_ = now;
 }
 
-void Dctcp::OnAck(const Packet& ack, TimeNs rtt, TimeNs now) {
+void Dctcp::OnAck(const Packet& ack, const IntStack* /*telemetry*/, TimeNs rtt, TimeNs now) {
   ++acked_in_window_;
   if (ack.ecn_echo) {
     ++marked_in_window_;

@@ -11,22 +11,23 @@ void Hpcc::Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs /*now*/) {
   have_prev_ = false;
 }
 
-void Hpcc::OnAck(const Packet& ack, TimeNs /*rtt*/, TimeNs /*now*/) {
-  if (ack.int_hops == 0) {
+void Hpcc::OnAck(const Packet& /*ack*/, const IntStack* telemetry, TimeNs /*rtt*/,
+                 TimeNs /*now*/) {
+  if (telemetry == nullptr || telemetry->hops == 0) {
     return;  // telemetry absent (e.g., intra-DC shortcut); keep current rate
   }
   // U = max over hops of (qlen / (B * T_base) + txRate / B).
   double max_u = 0.0;
-  for (uint8_t h = 0; h < ack.int_hops; ++h) {
-    const IntRecord& cur = ack.int_rec[h];
+  for (uint8_t h = 0; h < telemetry->hops; ++h) {
+    const IntRecord& cur = telemetry->rec[h];
     if (cur.rate_bps <= 0) {
       continue;
     }
     const double bdp_bytes = static_cast<double>(cur.rate_bps) / 8.0 *
                              static_cast<double>(base_rtt_) / kNsPerSec;
     double u = bdp_bytes > 0 ? static_cast<double>(cur.qlen_bytes) / bdp_bytes : 0.0;
-    if (have_prev_ && h < prev_hops_) {
-      const IntRecord& prev = prev_rec_[h];
+    if (have_prev_ && h < prev_.hops) {
+      const IntRecord& prev = prev_.rec[h];
       const TimeNs dt = cur.ts - prev.ts;
       if (dt > 0 && cur.tx_bytes >= prev.tx_bytes) {
         const double tx_rate_bps =
@@ -37,8 +38,7 @@ void Hpcc::OnAck(const Packet& ack, TimeNs /*rtt*/, TimeNs /*now*/) {
     }
     max_u = std::max(max_u, u);
   }
-  prev_hops_ = ack.int_hops;
-  prev_rec_ = ack.int_rec;
+  prev_ = *telemetry;
   have_prev_ = true;
 
   if (max_u > params_.eta) {

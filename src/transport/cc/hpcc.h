@@ -6,6 +6,7 @@
 
 #include <array>
 
+#include "sim/int_pool.h"
 #include "transport/cc/congestion_control.h"
 
 namespace lcmp {
@@ -22,7 +23,7 @@ class Hpcc : public CongestionControl {
   explicit Hpcc(const HpccParams& params = {}) : params_(params) {}
 
   void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) override;
-  void OnAck(const Packet& ack, TimeNs rtt, TimeNs now) override;
+  void OnAck(const Packet& ack, const IntStack* telemetry, TimeNs rtt, TimeNs now) override;
   void OnTimeout(TimeNs now) override;
   int64_t rate_bps() const override { return rate_; }
   const char* name() const override { return "hpcc"; }
@@ -33,9 +34,10 @@ class Hpcc : public CongestionControl {
   int64_t rate_ = 0;
   TimeNs base_rtt_ = 0;
   // Previous INT snapshot, to differentiate txBytes into per-hop rates.
+  // Copied out of the pooled stack: the pool slot is recycled as soon as the
+  // ACK is consumed, so the controller cannot hold a handle across ACKs.
   bool have_prev_ = false;
-  uint8_t prev_hops_ = 0;
-  std::array<IntRecord, kMaxIntHops> prev_rec_{};
+  IntStack prev_{};
 };
 
 }  // namespace lcmp

@@ -11,7 +11,8 @@ void Timely::Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs /*now*/) {
   prev_rtt_ = 0;
 }
 
-void Timely::OnAck(const Packet& /*ack*/, TimeNs rtt, TimeNs /*now*/) {
+void Timely::OnAck(const Packet& /*ack*/, const IntStack* /*telemetry*/, TimeNs rtt,
+                   TimeNs /*now*/) {
   if (rtt <= 0) {
     return;
   }

@@ -22,7 +22,7 @@ class Timely : public CongestionControl {
   explicit Timely(const TimelyParams& params = {}) : params_(params) {}
 
   void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) override;
-  void OnAck(const Packet& ack, TimeNs rtt, TimeNs now) override;
+  void OnAck(const Packet& ack, const IntStack* telemetry, TimeNs rtt, TimeNs now) override;
   void OnTimeout(TimeNs now) override;
   int64_t rate_bps() const override { return rate_; }
   const char* name() const override { return "timely"; }

@@ -85,22 +85,25 @@ void RdmaTransport::StartFlow(const FlowSpec& spec) {
   s.cc->Init(LineRate(spec.src), s.base_rtt, sim.now());
 
   const FlowId id = spec.id;
-  senders_.emplace(id, std::move(s));
+  Sender& stored = senders_.emplace(id, std::move(s)).first->second;
   PaceNext(id);
-  ArmRto(id);
+  stored.rto_timer = sim.ScheduleEvery(stored.rto, [this, id] { OnRtoScan(id); });
 }
 
 void RdmaTransport::SchedulePacing(Sender& s, TimeNs delay) {
   s.pacing_active = true;
   const FlowId id = s.spec.id;
-  net_->sim().Schedule(delay, [this, id]() {
+  auto pace = [this, id]() {
     auto it = senders_.find(id);
     if (it == senders_.end()) {
       return;
     }
     it->second.pacing_active = false;
     PaceNext(id);
-  });
+  };
+  static_assert(InlineEvent::kFitsInline<decltype(pace)>,
+                "pacing closure must stay allocation-free");
+  net_->sim().Schedule(delay, std::move(pace));
 }
 
 void RdmaTransport::PaceNext(FlowId flow) {
@@ -131,8 +134,10 @@ void RdmaTransport::PaceNext(FlowId flow) {
   if (config_.emulation_mode) {
     HostNode* hp = &host;
     const TimeNs slot = EmuPipelineSlot(emu_tx_ready_, s.spec.src);
-    net_->sim().Schedule(slot - net_->sim().now(),
-                         [hp, pkt]() mutable { hp->Send(std::move(pkt)); });
+    auto send = [hp, pkt]() mutable { hp->Send(std::move(pkt)); };
+    static_assert(InlineEvent::kFitsInline<decltype(send)>,
+                  "host send closure must stay allocation-free");
+    net_->sim().Schedule(slot - net_->sim().now(), std::move(send));
   } else {
     host.Send(std::move(pkt));
   }
@@ -159,7 +164,9 @@ Packet RdmaTransport::MakeDataPacket(const Sender& s, uint32_t seq) const {
   pkt.size_bytes = pkt.payload_bytes + kHeaderBytes;
   pkt.last_of_flow = (seq + 1 == s.total_packets);
   pkt.sent_ts = net_->sim().now();
-  pkt.int_enabled = net_->config().enable_int;
+  if (net_->config().enable_int) {
+    pkt.int_stack = net_->int_pool().Acquire();
+  }
   return pkt;
 }
 
@@ -187,38 +194,38 @@ void RdmaTransport::SendSelectiveRetransmit(FlowId flow, uint32_t seq) {
   }
 }
 
-void RdmaTransport::ArmRto(FlowId flow) {
-  auto it = senders_.find(flow);
-  if (it == senders_.end()) {
-    return;
+// Periodic RTO scan (one recurring timer per flow). Fires every `rto`; a
+// full period without cumulative-ACK progress while data is outstanding
+// triggers Go-Back-N recovery.
+void RdmaTransport::OnRtoScan(FlowId flow) {
+  auto sit = senders_.find(flow);
+  if (sit == senders_.end() || sit->second.done) {
+    return;  // FinishSender cancelled the timer; nothing to do
   }
-  const TimeNs rto = it->second.rto;  // current estimate; re-armed each cycle
-  const uint32_t acked_at_arm = it->second.acked;
-  net_->sim().Schedule(rto, [this, flow, acked_at_arm]() {
-    auto sit = senders_.find(flow);
-    if (sit == senders_.end() || sit->second.done) {
-      return;
-    }
-    Sender& s = sit->second;
-    if (s.acked == acked_at_arm && s.next_seq > s.acked) {
-      // No progress across one full RTO with data outstanding: Go-Back-N.
-      ++timeouts_;
-      s.retransmits += s.next_seq - s.acked;
-      retransmitted_packets_ += s.next_seq - s.acked;
-      s.next_seq = s.acked;
-      s.cc->OnTimeout(net_->sim().now());
-      PaceNext(flow);
-    }
-    ArmRto(flow);
-  });
+  Sender& s = sit->second;
+  if (s.acked == s.acked_at_last_rto && s.next_seq > s.acked) {
+    // No progress across one full RTO with data outstanding: Go-Back-N.
+    ++timeouts_;
+    s.retransmits += s.next_seq - s.acked;
+    retransmitted_packets_ += s.next_seq - s.acked;
+    s.next_seq = s.acked;
+    s.cc->OnTimeout(net_->sim().now());
+    PaceNext(flow);
+  }
+  s.acked_at_last_rto = s.acked;
+  // The adaptive RTO estimate feeds the timer's next period.
+  net_->sim().SetTimerInterval(s.rto_timer, s.rto);
 }
 
 void RdmaTransport::OnHostReceive(NodeId host, Packet pkt) {
   if (config_.emulation_mode) {
     const TimeNs slot = EmuPipelineSlot(emu_rx_ready_, host);
-    net_->sim().Schedule(slot - net_->sim().now(), [this, host, pkt = std::move(pkt)]() mutable {
+    auto process = [this, host, pkt = std::move(pkt)]() mutable {
       ProcessPacket(host, std::move(pkt));
-    });
+    };
+    static_assert(InlineEvent::kFitsInline<decltype(process)>,
+                  "host receive closure must stay allocation-free");
+    net_->sim().Schedule(slot - net_->sim().now(), std::move(process));
   } else {
     ProcessPacket(host, std::move(pkt));
   }
@@ -241,9 +248,10 @@ void RdmaTransport::ProcessPacket(NodeId host, Packet pkt) {
   }
 }
 
-void RdmaTransport::HandleData(NodeId host, const Packet& pkt) {
+void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
   const FlowId id = pkt.flow_id;
   if (finished_.contains(id)) {
+    net_->int_pool().ReleaseFrom(pkt);
     return;  // stale segment of a completed flow
   }
   Receiver& r = receivers_[id];
@@ -262,9 +270,10 @@ void RdmaTransport::HandleData(NodeId host, const Packet& pkt) {
     out.sent_ts = pkt.sent_ts;  // echoed for sender RTT measurement
     if (type == PacketType::kAck) {
       out.ecn_echo = pkt.ecn_ce;
-      // Echo the INT stack back to the sender (HPCC).
-      out.int_hops = pkt.int_hops;
-      out.int_rec = pkt.int_rec;
+      // Echo the INT stack back to the sender (HPCC): the ACK inherits the
+      // DATA packet's pooled side-buffer instead of copying it.
+      out.int_stack = pkt.int_stack;
+      pkt.int_stack = kInvalidIntHandle;
     }
     h.Send(std::move(out));
   };
@@ -331,11 +340,14 @@ void RdmaTransport::HandleData(NodeId host, const Packet& pkt) {
     // Duplicate of an already-delivered segment: re-ACK so the sender moves.
     reply(PacketType::kAck, r.expected_seq);
   }
+  // Any INT stack not transferred onto an ACK dies with the data packet.
+  net_->int_pool().ReleaseFrom(pkt);
 }
 
-void RdmaTransport::HandleAck(const Packet& pkt) {
+void RdmaTransport::HandleAck(Packet& pkt) {
   auto it = senders_.find(pkt.flow_id);
   if (it == senders_.end()) {
+    net_->int_pool().ReleaseFrom(pkt);
     return;
   }
   Sender& s = it->second;
@@ -353,7 +365,10 @@ void RdmaTransport::HandleAck(const Packet& pkt) {
     s.srtt = s.srtt == 0 ? rtt : (7 * s.srtt + rtt) / 8;
     s.rto = std::max<TimeNs>(config_.rto_min, config_.rto_rtt_multiplier * s.srtt);
   }
-  s.cc->OnAck(pkt, rtt, sim.now());
+  const IntStack* telemetry =
+      pkt.int_stack != kInvalidIntHandle ? &net_->int_pool().Get(pkt.int_stack) : nullptr;
+  s.cc->OnAck(pkt, telemetry, rtt, sim.now());
+  net_->int_pool().ReleaseFrom(pkt);
   if (s.acked >= s.total_packets) {
     FinishSender(s);
     return;
@@ -395,6 +410,7 @@ void RdmaTransport::HandleCnp(const Packet& pkt) {
 
 void RdmaTransport::FinishSender(Sender& s) {
   s.done = true;
+  net_->sim().CancelTimer(s.rto_timer);
   senders_.erase(s.spec.id);
 }
 

@@ -101,6 +101,10 @@ class RdmaTransport {
     bool pacing_active = false;
     bool done = false;
     uint32_t retransmits = 0;
+    // Recurring RTO scan: one stored callable for the flow's lifetime; the
+    // period follows the adaptive `rto` via Simulator::SetTimerInterval.
+    Simulator::TimerId rto_timer = Simulator::kInvalidTimer;
+    uint32_t acked_at_last_rto = 0;  // progress snapshot at the last scan
   };
   struct Receiver {
     uint32_t expected_seq = 0;
@@ -111,10 +115,13 @@ class RdmaTransport {
     std::set<uint32_t> ooo;
   };
 
+  // HandleData/HandleAck take the packet by mutable reference: they assume
+  // ownership of its INT side-buffer handle (transferring it onto the ACK or
+  // releasing it back to the network's pool).
   void OnHostReceive(NodeId host, Packet pkt);
   void ProcessPacket(NodeId host, Packet pkt);
-  void HandleData(NodeId host, const Packet& pkt);
-  void HandleAck(const Packet& pkt);
+  void HandleData(NodeId host, Packet& pkt);
+  void HandleAck(Packet& pkt);
   void HandleNack(const Packet& pkt);
   void HandleCnp(const Packet& pkt);
 
@@ -122,7 +129,7 @@ class RdmaTransport {
   Packet MakeDataPacket(const Sender& s, uint32_t seq) const;
   void SendSelectiveRetransmit(FlowId flow, uint32_t seq);
   void SchedulePacing(Sender& s, TimeNs delay);
-  void ArmRto(FlowId flow);
+  void OnRtoScan(FlowId flow);
   void FinishSender(Sender& s);
 
   int64_t LineRate(NodeId host) const;

@@ -93,6 +93,27 @@ TEST(ControlPlaneTest, TelemetryReportsCacheAndMemory) {
   EXPECT_EQ(t1->port_queue_levels.size(), static_cast<size_t>(dci1.num_ports()));
 }
 
+TEST(ControlPlaneTest, TelemetryLoopSweepsPeriodically) {
+  const LcmpConfig config;
+  const Graph g = BuildTestbed8({});
+  Network net(g, NetworkConfig{}, MakeLcmpFactory(config));
+  ControlPlane cp(config);
+  cp.Provision(net);
+
+  cp.StartTelemetryLoop(net, Milliseconds(10));
+  net.sim().ScheduleAt(Milliseconds(95), [&] { net.sim().Stop(); });
+  net.sim().Run(Seconds(1));
+  // Sweeps at 10, 20, ..., 90 ms.
+  EXPECT_EQ(cp.telemetry_sweeps(), 9);
+  EXPECT_EQ(cp.latest_telemetry().size(), 8u);
+
+  // Stopping unregisters the recurring timer: no further sweeps fire.
+  cp.StopTelemetryLoop(net);
+  net.sim().ScheduleAt(Milliseconds(200), [&] { net.sim().Stop(); });
+  net.sim().Run(Seconds(1));
+  EXPECT_EQ(cp.telemetry_sweeps(), 9);
+}
+
 TEST(ControlPlaneTest, ReprovisionIsIdempotent) {
   const LcmpConfig config;
   const Graph g = BuildTestbed8({});

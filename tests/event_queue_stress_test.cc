@@ -1,0 +1,127 @@
+// Randomized stress test of the indexed-heap EventQueue against a
+// std::priority_queue reference: 10k pushes with heavy timestamp collisions,
+// interleaved pops, and verification of the exact (time, seq) FIFO order the
+// simulator's determinism contract depends on. Also exercises the slot free
+// list (slab reuse) and InlineEvent's inline/heap accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace lcmp {
+namespace {
+
+struct RefEntry {
+  TimeNs time;
+  uint64_t seq;
+};
+struct RefGreater {
+  bool operator()(const RefEntry& a, const RefEntry& b) const {
+    return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+  }
+};
+using RefQueue = std::priority_queue<RefEntry, std::vector<RefEntry>, RefGreater>;
+
+TEST(EventQueueStressTest, MatchesPriorityQueueReferenceWithDuplicateTimes) {
+  EventQueue q;
+  RefQueue ref;
+  Rng rng(1234);
+
+  // Each callback records the seq its push returned; popping must replay the
+  // exact (time, seq) sequence the reference dictates.
+  uint64_t fired_seq = ~0ull;
+  constexpr int kPushes = 10'000;
+  int pushed = 0;
+  int pops = 0;
+  while (pushed < kPushes || !q.empty()) {
+    const bool push_more = pushed < kPushes && (q.empty() || rng.NextU64() % 3 != 0);
+    if (push_more) {
+      // Few distinct timestamps -> long FIFO runs at equal time. Seq ids are
+      // sequential from 0, so the push count predicts the returned seq.
+      const TimeNs t = static_cast<TimeNs>(rng.NextU64() % 64);
+      const uint64_t expected_seq = static_cast<uint64_t>(pushed);
+      const uint64_t seq =
+          q.Push(t, [&fired_seq, expected_seq] { fired_seq = expected_seq; });
+      ASSERT_EQ(seq, expected_seq);
+      ref.push(RefEntry{t, seq});
+      ++pushed;
+    } else {
+      ASSERT_FALSE(ref.empty());
+      const RefEntry expect = ref.top();
+      ref.pop();
+      TimeNs t = 0;
+      EventFn fn = q.Pop(&t);
+      ASSERT_TRUE(static_cast<bool>(fn));
+      fn();
+      EXPECT_EQ(t, expect.time) << "pop #" << pops;
+      EXPECT_EQ(fired_seq, expect.seq) << "pop #" << pops;
+      ++pops;
+    }
+  }
+  EXPECT_TRUE(ref.empty());
+  EXPECT_EQ(pops, kPushes);
+}
+
+TEST(EventQueueStressTest, CallbackOrderFollowsTimeSeqExactly) {
+  EventQueue q;
+  Rng rng(99);
+  std::vector<std::pair<TimeNs, uint64_t>> pushed;  // (time, seq)
+  std::vector<uint64_t> fired;
+
+  constexpr int kPushes = 10'000;
+  for (int i = 0; i < kPushes; ++i) {
+    const TimeNs t = static_cast<TimeNs>(rng.NextU64() % 16);  // many duplicates
+    uint64_t seq = 0;
+    seq = q.Push(t, [&fired, i] { fired.push_back(static_cast<uint64_t>(i)); });
+    pushed.emplace_back(t, seq);
+  }
+
+  // Expected firing order: stable sort by (time, seq); seq is the push index.
+  std::vector<uint64_t> expect_order(kPushes);
+  for (uint64_t i = 0; i < kPushes; ++i) {
+    expect_order[i] = i;
+  }
+  std::stable_sort(expect_order.begin(), expect_order.end(), [&](uint64_t a, uint64_t b) {
+    return pushed[a].first < pushed[b].first;
+  });
+
+  TimeNs prev = -1;
+  while (!q.empty()) {
+    TimeNs t = 0;
+    q.Pop(&t)();
+    EXPECT_GE(t, prev);  // non-decreasing time
+    prev = t;
+  }
+  ASSERT_EQ(fired.size(), expect_order.size());
+  EXPECT_EQ(fired, expect_order);
+}
+
+TEST(EventQueueStressTest, SlotSlabReusesFreedSlotsAllocationFree) {
+  EventQueue q;
+  // Steady-state churn: a bounded population cycled many times must neither
+  // grow the callable slab beyond the high-water mark nor fall back to heap
+  // callables for small captures.
+  InlineEvent::ResetCounters();
+  int fired = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      q.Push(round * 100 + i, [&fired] { ++fired; });
+    }
+    while (!q.empty()) {
+      TimeNs t = 0;
+      q.Pop(&t)();
+    }
+  }
+  EXPECT_EQ(fired, 200 * 32);
+  const InlineEvent::Counters c = InlineEvent::counters();
+  EXPECT_EQ(c.heap_events, 0u);
+  EXPECT_GE(c.inline_events, static_cast<uint64_t>(200 * 32));
+}
+
+}  // namespace
+}  // namespace lcmp

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "sim/int_pool.h"
 #include "sim/node.h"
 #include "sim/port.h"
 #include "sim/simulator.h"
@@ -196,17 +197,22 @@ TEST(PortTest, PortRecoversAfterUp) {
 
 TEST(PortTest, IntStampingRecordsHopState) {
   Fixture f(BaseConfig());
+  IntStackPool pool;
+  f.src.SetIntPool(&pool);
   Packet p = f.MakeData(1000, 0);
-  p.int_enabled = true;
+  p.int_stack = pool.Acquire();  // INT-enabled packets carry a pool handle
   f.src.port(f.port_idx).Enqueue(f.MakeData(1000, 5));  // queue builder
   f.src.port(f.port_idx).Enqueue(p);
   f.sim.Run();
   ASSERT_EQ(f.dst.packets.size(), 2u);
   const Packet& got = f.dst.packets[1];
-  ASSERT_EQ(got.int_hops, 1);
-  EXPECT_EQ(got.int_rec[0].rate_bps, Gbps(1));
-  EXPECT_EQ(got.int_rec[0].qlen_bytes, 0);  // nothing behind it
-  EXPECT_EQ(got.int_rec[0].tx_bytes, 2000);
+  ASSERT_NE(got.int_stack, kInvalidIntHandle);
+  const IntStack& stack = pool.Get(got.int_stack);
+  ASSERT_EQ(stack.hops, 1);
+  EXPECT_EQ(stack.rec[0].rate_bps, Gbps(1));
+  EXPECT_EQ(stack.rec[0].qlen_bytes, 0);  // nothing behind it
+  EXPECT_EQ(stack.rec[0].tx_bytes, 2000);
+  EXPECT_EQ(pool.in_use(), 1u);  // the non-INT packet never acquired a slot
 }
 
 TEST(PortTest, BusyTimeAccumulates) {

@@ -213,7 +213,7 @@ TEST(DcqcnUnitTest, CnpCutsRateAndRecovers) {
   EXPECT_LT(after_cut, Gbps(100));
   // Rate recovers over time through FR/AI on ACK clocking.
   Packet ack;
-  cc.OnAck(ack, Milliseconds(1), Milliseconds(50));
+  cc.OnAck(ack, nullptr, Milliseconds(1), Milliseconds(50));
   EXPECT_GT(cc.rate_bps(), after_cut);
 }
 
@@ -232,7 +232,7 @@ TEST(DcqcnUnitTest, AlphaDecaysWithoutCnps) {
   cc.OnCnp(Microseconds(10));
   const double alpha_after_cnp = cc.alpha();
   Packet ack;
-  cc.OnAck(ack, Milliseconds(1), Milliseconds(100));
+  cc.OnAck(ack, nullptr, Milliseconds(1), Milliseconds(100));
   EXPECT_LT(cc.alpha(), alpha_after_cnp);
 }
 
@@ -243,9 +243,9 @@ TEST(DctcpUnitTest, MarkedWindowCutsRate) {
   marked.ecn_echo = true;
   // A full RTT window of marked ACKs.
   for (int i = 0; i < 50; ++i) {
-    cc.OnAck(marked, Microseconds(100), Microseconds(2 * i));
+    cc.OnAck(marked, nullptr, Microseconds(100), Microseconds(2 * i));
   }
-  cc.OnAck(marked, Microseconds(100), Microseconds(150));
+  cc.OnAck(marked, nullptr, Microseconds(100), Microseconds(150));
   EXPECT_LT(cc.rate_bps(), Gbps(100));
   EXPECT_GT(cc.alpha(), 0.0);
 }
@@ -256,13 +256,13 @@ TEST(DctcpUnitTest, CleanWindowGrowsRate) {
   Packet marked;
   marked.ecn_echo = true;
   for (int i = 0; i < 50; ++i) {
-    cc.OnAck(marked, Microseconds(100), Microseconds(2 * i));
+    cc.OnAck(marked, nullptr, Microseconds(100), Microseconds(2 * i));
   }
-  cc.OnAck(marked, Microseconds(100), Microseconds(150));
+  cc.OnAck(marked, nullptr, Microseconds(100), Microseconds(150));
   const int64_t low = cc.rate_bps();
   Packet clean;
   for (int i = 0; i < 200; ++i) {
-    cc.OnAck(clean, Microseconds(100), Microseconds(200 + 2 * i));
+    cc.OnAck(clean, nullptr, Microseconds(100), Microseconds(200 + 2 * i));
   }
   EXPECT_GT(cc.rate_bps(), low);
 }
@@ -273,7 +273,7 @@ TEST(TimelyUnitTest, RisingRttCutsRate) {
   Packet ack;
   // Steeply rising RTT well above t_high.
   for (int i = 0; i < 20; ++i) {
-    cc.OnAck(ack, Milliseconds(1) + Microseconds(100) * i + Microseconds(600), 0);
+    cc.OnAck(ack, nullptr, Milliseconds(1) + Microseconds(100) * i + Microseconds(600), 0);
   }
   EXPECT_LT(cc.rate_bps(), Gbps(100));
 }
@@ -283,12 +283,12 @@ TEST(TimelyUnitTest, LowRttGrowsRateBack) {
   cc.Init(Gbps(100), Milliseconds(1), 0);
   Packet ack;
   for (int i = 0; i < 20; ++i) {
-    cc.OnAck(ack, Milliseconds(2), 0);
+    cc.OnAck(ack, nullptr, Milliseconds(2), 0);
   }
   const int64_t low = cc.rate_bps();
   ASSERT_LT(low, Gbps(100));
   for (int i = 0; i < 50; ++i) {
-    cc.OnAck(ack, Milliseconds(1) + Microseconds(10), 0);
+    cc.OnAck(ack, nullptr, Milliseconds(1) + Microseconds(10), 0);
   }
   EXPECT_GT(cc.rate_bps(), low);
 }
@@ -297,13 +297,14 @@ TEST(HpccUnitTest, HighUtilizationCutsRate) {
   Hpcc cc;
   cc.Init(Gbps(100), Milliseconds(1), 0);
   Packet ack;
-  ack.int_hops = 1;
-  ack.int_rec[0].rate_bps = Gbps(100);
+  IntStack stack;
+  stack.hops = 1;
+  stack.rec[0].rate_bps = Gbps(100);
   // Queue of a full BDP -> U >= 1 > eta.
-  ack.int_rec[0].qlen_bytes = Gbps(100) / 8 / 1000;  // 1 ms of line rate
-  ack.int_rec[0].tx_bytes = 1'000'000;
-  ack.int_rec[0].ts = Microseconds(100);
-  cc.OnAck(ack, Milliseconds(1), Microseconds(100));
+  stack.rec[0].qlen_bytes = Gbps(100) / 8 / 1000;  // 1 ms of line rate
+  stack.rec[0].tx_bytes = 1'000'000;
+  stack.rec[0].ts = Microseconds(100);
+  cc.OnAck(ack, &stack, Milliseconds(1), Microseconds(100));
   EXPECT_LT(cc.rate_bps(), Gbps(100));
 }
 
@@ -314,11 +315,12 @@ TEST(HpccUnitTest, LowUtilizationProbesUp) {
   cc.OnTimeout(0);
   const int64_t low = cc.rate_bps();
   Packet ack;
-  ack.int_hops = 1;
-  ack.int_rec[0].rate_bps = Gbps(100);
-  ack.int_rec[0].qlen_bytes = 0;
-  ack.int_rec[0].ts = Microseconds(100);
-  cc.OnAck(ack, Milliseconds(1), Microseconds(100));
+  IntStack stack;
+  stack.hops = 1;
+  stack.rec[0].rate_bps = Gbps(100);
+  stack.rec[0].qlen_bytes = 0;
+  stack.rec[0].ts = Microseconds(100);
+  cc.OnAck(ack, &stack, Milliseconds(1), Microseconds(100));
   EXPECT_GT(cc.rate_bps(), low);
 }
 
