@@ -6,6 +6,8 @@ namespace lcmp {
 namespace {
 
 LogLevel g_level = LogLevel::kWarning;
+const int64_t* g_sim_now = nullptr;
+CheckFailureHook g_check_hook = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,6 +30,25 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
 
+const int64_t* SetLogSimTimeSource(const int64_t* now_ns) {
+  const int64_t* prev = g_sim_now;
+  g_sim_now = now_ns;
+  return prev;
+}
+
+void SetCheckFailureHook(CheckFailureHook hook) { g_check_hook = hook; }
+
+void NotifyCheckFailure() {
+  // A hook that CHECK-fails itself must not recurse into the hook forever.
+  static bool in_hook = false;
+  if (g_check_hook != nullptr && !in_hook) {
+    in_hook = true;
+    g_check_hook();
+    in_hook = false;
+  }
+  std::fflush(stderr);
+}
+
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
   // Strip directories from __FILE__ for readability.
   const char* base = file;
@@ -36,7 +57,15 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
       base = p + 1;
     }
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+  if (g_sim_now != nullptr) {
+    std::fprintf(stderr, "[%s %s:%d t=%lldns] %s\n", LevelName(level), base, line,
+                 static_cast<long long>(*g_sim_now), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+  }
+  if (level == LogLevel::kError) {
+    std::fflush(stderr);
+  }
 }
 
 std::string StrFormat(const char* fmt, ...) {

@@ -19,7 +19,22 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
-// printf-style log emission; prefer the LCMP_LOG* macros below.
+// Current-simulation-time source for log prefixes. While a Simulator runs it
+// points at the simulator's clock (installed/restored by Simulator::Run), so
+// every log line — including crash logs — carries the simulation timestamp.
+// Pass nullptr to clear. Returns the previous source so scopes can nest.
+const int64_t* SetLogSimTimeSource(const int64_t* now_ns);
+
+// Hook invoked once when an LCMP_CHECK fails, before the process traps; the
+// observability layer installs the flight-recorder dump here so crashes ship
+// their trailing event history. Re-entrant failures skip the hook.
+using CheckFailureHook = void (*)();
+void SetCheckFailureHook(CheckFailureHook hook);
+// Called by the LCMP_CHECK macros; not for direct use.
+void NotifyCheckFailure();
+
+// printf-style log emission; prefer the LCMP_LOG* macros below. Messages at
+// kError also flush stderr so crash logs are never lost in a buffer.
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
 
 // Assembles a std::string printf-style.
@@ -46,6 +61,7 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
     if (!(cond)) {                                                               \
       ::lcmp::LogMessage(::lcmp::LogLevel::kError, __FILE__, __LINE__,           \
                          std::string("CHECK failed: ") + #cond);                 \
+      ::lcmp::NotifyCheckFailure();                                              \
       __builtin_trap();                                                          \
     }                                                                            \
   } while (0)
@@ -56,6 +72,7 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
       ::lcmp::LogMessage(::lcmp::LogLevel::kError, __FILE__, __LINE__,           \
                          std::string("CHECK failed: ") + #cond + " " +           \
                              ::lcmp::StrFormat(__VA_ARGS__));                    \
+      ::lcmp::NotifyCheckFailure();                                              \
       __builtin_trap();                                                          \
     }                                                                            \
   } while (0)

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace lcmp {
 
@@ -43,6 +44,26 @@ void CongestionEstimator::Sample(int port, int64_t queue_bytes, int64_t rate_bps
     s.dur_cnt = std::max(0, s.dur_cnt - 1);
   }
   s.last_sample = now;
+  // Q/T/D score distributions (Sec. 3.3 registers). Signals() is only worth
+  // computing when the registry is live, so the whole block sits behind the
+  // single obs branch; handles are function-local statics because estimators
+  // are per-switch and all aggregate into the same cells.
+  if (obs::MetricsEnabled()) {
+    static const std::vector<int64_t> kScoreBounds = {0, 16, 32, 64, 96, 128, 160, 192, 224};
+    static obs::Histogram* h_q =
+        obs::MetricsRegistry::Instance().GetHistogram("lcmp.cong.q_score", kScoreBounds);
+    static obs::Histogram* h_t =
+        obs::MetricsRegistry::Instance().GetHistogram("lcmp.cong.t_score", kScoreBounds);
+    static obs::Histogram* h_d =
+        obs::MetricsRegistry::Instance().GetHistogram("lcmp.cong.d_score", kScoreBounds);
+    static obs::Histogram* h_fused =
+        obs::MetricsRegistry::Instance().GetHistogram("lcmp.cong.fused", kScoreBounds);
+    const CongestionSignals sig = Signals(port, rate_bps);
+    h_q->AddAlways(sig.q_score);
+    h_t->AddAlways(sig.t_score);
+    h_d->AddAlways(sig.d_score);
+    h_fused->AddAlways(sig.fused);
+  }
 }
 
 bool CongestionEstimator::NeedsRefresh(int port, TimeNs now) const {

@@ -1,6 +1,8 @@
 #include "core/control_plane.h"
 
 #include "core/path_quality.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace lcmp {
 
@@ -48,6 +50,7 @@ void ControlPlane::StopTelemetryLoop(Network& net) {
 }
 
 std::vector<SwitchTelemetry> ControlPlane::CollectTelemetry(Network& net) const {
+  LCMP_PROFILE_SCOPE("cp.collect_telemetry");
   std::vector<SwitchTelemetry> out;
   const Graph& g = net.graph();
   for (const NodeId dci : g.DciSwitches()) {
@@ -71,6 +74,26 @@ std::vector<SwitchTelemetry> ControlPlane::CollectTelemetry(Network& net) const 
           tables_.QueueLevel(port.queue_bytes(), port.rate_bps()));
     }
     out.push_back(std::move(t));
+  }
+  // Telemetry sweeps double as the metrics sampling cadence: fold the
+  // fleet-wide aggregates into gauges and snapshot the registry so
+  // --metrics-out captures a time series, not just finals. Reads sim state
+  // only — never schedules events — so enabling it cannot perturb the run.
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+    static obs::Gauge* g_entries = reg.GetGauge("lcmp.flow_cache.entries");
+    static obs::Gauge* g_memory = reg.GetGauge("lcmp.router.memory_bytes");
+    static obs::Gauge* g_switches = reg.GetGauge("cp.telemetry.switches");
+    int64_t entries = 0;
+    int64_t memory = 0;
+    for (const SwitchTelemetry& t : out) {
+      entries += t.flow_cache_entries;
+      memory += static_cast<int64_t>(t.memory_bytes);
+    }
+    g_entries->Set(entries);
+    g_memory->Set(memory);
+    g_switches->Set(static_cast<int64_t>(out.size()));
+    reg.Snapshot(net.sim().now());
   }
   return out;
 }

@@ -34,6 +34,10 @@ FlowCache::FlowCache(int capacity, TimeNs idle_timeout)
   const size_t n = NextPow2(static_cast<size_t>(capacity) * 2);
   slots_.assign(n, Entry{});
   mask_ = n - 1;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  m_hits_ = reg.GetCounter("lcmp.flow_cache.hits");
+  m_misses_ = reg.GetCounter("lcmp.flow_cache.misses");
+  m_evictions_ = reg.GetCounter("lcmp.flow_cache.evictions");
 }
 
 size_t FlowCache::SlotFor(FlowId flow) const { return Mix64(flow) & mask_; }
@@ -57,6 +61,7 @@ PortIndex FlowCache::Lookup(FlowId flow, TimeNs now) {
   Entry* e = Find(flow);
   if (e == nullptr) {
     ++misses_;
+    m_misses_->Inc();
     return kInvalidPort;
   }
   if (now - e->last_seen > idle_timeout_) {
@@ -66,10 +71,13 @@ PortIndex FlowCache::Lookup(FlowId flow, TimeNs now) {
     --live_;
     ++evictions_;
     ++misses_;
+    m_evictions_->Inc();
+    m_misses_->Inc();
     return kInvalidPort;
   }
   e->last_seen = now;
   ++hits_;
+  m_hits_->Inc();
   return e->out_dev_idx;
 }
 
@@ -109,6 +117,7 @@ void FlowCache::Insert(FlowId flow, PortIndex port, TimeNs now) {
   if (victim != nullptr) {
     *victim = Entry{flow, port, now};
     ++evictions_;
+    m_evictions_->Inc();
   }
   // Remaining case (cache at capacity and every probed slot free/tombstone)
   // drops the mapping: the capacity bound is a hard guarantee and the flow
@@ -133,6 +142,7 @@ int FlowCache::Gc(TimeNs now) {
     }
   }
   evictions_ += evicted;
+  m_evictions_->Add(evicted);
   return evicted;
 }
 

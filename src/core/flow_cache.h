@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace lcmp {
 
@@ -70,6 +71,11 @@ class FlowCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  // Fleet-wide metric handles, resolved once at construction (all caches
+  // aggregate into the same cells).
+  obs::Counter* m_hits_;
+  obs::Counter* m_misses_;
+  obs::Counter* m_evictions_;
 };
 
 }  // namespace lcmp

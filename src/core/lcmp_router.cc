@@ -4,6 +4,9 @@
 
 #include "common/logging.h"
 #include "core/path_quality.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace lcmp {
 
@@ -55,6 +58,7 @@ void LcmpRouter::RefreshCongestion(SwitchNode& sw, std::span<const PathCandidate
 
 PortIndex LcmpRouter::DecideNewFlow(SwitchNode& sw, const Packet& pkt,
                                     std::span<const PathCandidate> candidates) {
+  LCMP_PROFILE_SCOPE("lcmp.decide_new_flow");
   // (1) refresh congestion state of stale candidate ports.
   RefreshCongestion(sw, candidates);
   const DcId dst_dc = sw.DstDcOf(pkt);
@@ -85,6 +89,28 @@ PortIndex LcmpRouter::DecideNewFlow(SwitchNode& sw, const Packet& pkt,
   if (sel.used_fallback) {
     ++stats_.fallback_decisions;
   }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+    static obs::Counter* m_decisions = reg.GetCounter("lcmp.router.new_flow_decisions");
+    static obs::Counter* m_fallbacks = reg.GetCounter("lcmp.router.fallback_decisions");
+    static const std::vector<int64_t> kCostBounds = {0,   32,  64,  96,   128,  192,
+                                                     256, 384, 512, 1024, 2048, 4096};
+    static obs::Histogram* h_fused = reg.GetHistogram("lcmp.fused_cost", kCostBounds);
+    static const std::vector<int64_t> kScoreBounds = {0, 16, 32, 64, 96, 128, 160, 192, 224};
+    static obs::Histogram* h_cpath = reg.GetHistogram("lcmp.cpath_score", kScoreBounds);
+    m_decisions->Inc();
+    if (sel.used_fallback) {
+      m_fallbacks->Inc();
+    }
+    for (const ScoredCandidate& s : scored_) {
+      h_fused->AddAlways(s.fused_cost);
+    }
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      h_cpath->AddAlways(cpath[i]);
+    }
+  }
+  LCMP_TRACE(obs::TraceEv::kRouteDecision, sw.sim().now(), RoutingFlowId(pkt.key), sw.id(),
+             sel.port, /*aux=*/static_cast<int64_t>(scored_.size()));
   // (5) record the mapping for path consistency.
   if (sel.port != kInvalidPort) {
     flow_cache_.Insert(RoutingFlowId(pkt.key), sel.port, sw.sim().now());
@@ -94,6 +120,7 @@ PortIndex LcmpRouter::DecideNewFlow(SwitchNode& sw, const Packet& pkt,
 
 PortIndex LcmpRouter::SelectPort(SwitchNode& sw, const Packet& pkt,
                                  std::span<const PathCandidate> candidates) {
+  LCMP_PROFILE_SCOPE("lcmp.select_port");
   ++stats_.packets;
   const TimeNs now = sw.sim().now();
   const FlowId fid = RoutingFlowId(pkt.key);
@@ -112,6 +139,7 @@ PortIndex LcmpRouter::SelectPort(SwitchNode& sw, const Packet& pkt,
 }
 
 void LcmpRouter::OnTick(SwitchNode& sw) {
+  LCMP_PROFILE_SCOPE("lcmp.monitor_tick");
   ++ticks_;
   // Background monitor: sample every inter-DC egress so T/D evolve even when
   // no new flow arrives (Sec. 3.3 "iterates over device ports").

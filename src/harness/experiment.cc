@@ -168,7 +168,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   LinkUtilizationTracker util(&net);
   util.Begin();
   net.StartPolicyTicks();
+  if (config.telemetry_period > 0) {
+    control_plane.StartTelemetryLoop(net, config.telemetry_period);
+  }
   sim.Run(config.horizon);
+  control_plane.StopTelemetryLoop(net);
 
   ExperimentResult result;
   result.config = config;

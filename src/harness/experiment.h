@@ -53,6 +53,11 @@ struct ExperimentConfig {
   // Safety horizon; the run stops early once all flows complete.
   TimeNs horizon = Seconds(120);
   int hosts_per_dc = 8;
+  // Control-plane telemetry sweep cadence; each sweep also snapshots the
+  // metrics registry when metrics are enabled. 0 keeps the loop off so the
+  // event stream (and thus determinism digests) is identical to a run
+  // without observability.
+  TimeNs telemetry_period = 0;
 };
 
 struct ExperimentResult {

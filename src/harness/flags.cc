@@ -1,6 +1,11 @@
 #include "harness/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace lcmp {
 
@@ -75,6 +80,71 @@ std::string FlagSet::Usage(const std::string& program) const {
     out += "  --" + name + " (default: " + f.default_value + ")\n      " + f.help + "\n";
   }
   return out;
+}
+
+void DefineObsFlags(FlagSet& flags) {
+  flags.Define("metrics-out", "", "write the metrics registry as JSON (.csv for CSV) on exit")
+      .Define("trace", "false", "enable the packet flight recorder (no filters = all events)")
+      .Define("trace-flow", "-1", "flight recorder: record this flow id (enables tracing)")
+      .Define("trace-node", "-1", "flight recorder: record this node id (enables tracing)")
+      .Define("trace-out", "trace.csv", "flight recorder dump path (written when tracing)")
+      .Define("trace-depth", "65536", "flight recorder ring capacity in records")
+      .Define("profile", "false", "per-event-type wall-time profile, reported on exit")
+      .Define("telemetry-period-ms", "0",
+              "control-plane telemetry + metric snapshot cadence; 0 disables the loop");
+}
+
+ObsOptions ApplyObsFlags(const FlagSet& flags) {
+  ObsOptions opts;
+  opts.metrics_out = flags.GetString("metrics-out");
+  opts.trace_out = flags.GetString("trace-out");
+  opts.trace_flow = flags.GetInt("trace-flow");
+  opts.trace_node = static_cast<int32_t>(flags.GetInt("trace-node"));
+  opts.trace_depth = flags.GetInt("trace-depth");
+  opts.trace = flags.GetBool("trace") || opts.trace_flow >= 0 || opts.trace_node >= 0;
+  opts.profile = flags.GetBool("profile");
+  opts.telemetry_period_ms = flags.GetInt("telemetry-period-ms");
+
+  if (!opts.metrics_out.empty()) {
+    obs::SetMetricsEnabled(true);
+  }
+  if (opts.trace) {
+    obs::FlightRecorder& rec = obs::FlightRecorder::Instance();
+    if (opts.trace_depth > 0) {
+      rec.Configure(static_cast<size_t>(opts.trace_depth));
+    }
+    rec.SetFilters(opts.trace_flow, opts.trace_node);
+    rec.Enable(true);
+  }
+  // --metrics-out implies a profile: attributing wall time by event type is
+  // part of the same "what did this run spend its time on" story.
+  if (opts.profile || !opts.metrics_out.empty()) {
+    obs::SetProfileEnabled(true);
+  }
+  return opts;
+}
+
+void FinalizeObs(const ObsOptions& opts, int64_t now_ns) {
+  if (!opts.metrics_out.empty()) {
+    if (obs::MetricsRegistry::Instance().WriteFile(opts.metrics_out, now_ns)) {
+      std::printf("wrote metrics to %s\n", opts.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n", opts.metrics_out.c_str());
+    }
+  }
+  if (opts.trace && !opts.trace_out.empty()) {
+    obs::FlightRecorder& rec = obs::FlightRecorder::Instance();
+    if (rec.DumpToFile(opts.trace_out)) {
+      std::printf("wrote %llu trace records (%zu in ring) to %s\n",
+                  static_cast<unsigned long long>(rec.total_recorded()), rec.size(),
+                  opts.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", opts.trace_out.c_str());
+    }
+  }
+  if (obs::ProfileEnabled()) {
+    std::printf("%s", obs::ProfileReport().c_str());
+  }
 }
 
 }  // namespace lcmp

@@ -44,4 +44,25 @@ class FlagSet {
   std::string error_;
 };
 
+// --- observability flags (shared by lcmp_sim and the example binaries) ---
+//
+// DefineObsFlags registers the --metrics-out / --trace-* / --profile family;
+// ApplyObsFlags reads them, turns the matching obs subsystems on, and returns
+// the parsed options; FinalizeObs writes the requested dumps at end of run.
+struct ObsOptions {
+  std::string metrics_out;       // "" = metrics disabled
+  std::string trace_out;         // flight-recorder dump path
+  int64_t trace_flow = -1;       // -1 = no flow filter
+  int32_t trace_node = -1;       // -1 = no node filter
+  int64_t trace_depth = 65536;   // ring capacity (records)
+  bool trace = false;            // recorder on (implied by filters/trace-out)
+  bool profile = false;          // per-event-type profiling on
+  int64_t telemetry_period_ms = 0;  // 0 = no periodic metric snapshots
+};
+
+void DefineObsFlags(FlagSet& flags);
+ObsOptions ApplyObsFlags(const FlagSet& flags);
+// Dumps metrics/trace/profile as requested; `now_ns` stamps the metrics file.
+void FinalizeObs(const ObsOptions& opts, int64_t now_ns);
+
 }  // namespace lcmp

@@ -1,0 +1,224 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lcmp {
+namespace obs {
+
+bool g_metrics_enabled = false;
+
+void SetMetricsEnabled(bool on) { g_metrics_enabled = on; }
+
+void Histogram::AddAlways(int64_t v) {
+  size_t i = 0;
+  while (i < bounds.size() && v > bounds[i]) {
+    ++i;
+  }
+  ++counts[i];
+  ++count;
+  sum += v;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+namespace {
+
+// JSON string escaping for metric names (names are controlled identifiers,
+// but a dump must never be invalid JSON regardless).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  for (auto* n : counters_) {
+    if (n->name == name) {
+      return &n->cell;
+    }
+  }
+  counters_.push_back(new Named<Counter>{name, Counter{}});
+  return &counters_.back()->cell;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  for (auto* n : gauges_) {
+    if (n->name == name) {
+      return &n->cell;
+    }
+  }
+  gauges_.push_back(new Named<Gauge>{name, Gauge{}});
+  return &gauges_.back()->cell;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, std::vector<int64_t> bounds) {
+  for (auto* n : histograms_) {
+    if (n->name == name) {
+      return &n->cell;
+    }
+  }
+  auto* named = new Named<Histogram>{name, Histogram{}};
+  named->cell.bounds = std::move(bounds);
+  std::sort(named->cell.bounds.begin(), named->cell.bounds.end());
+  named->cell.counts.assign(named->cell.bounds.size() + 1, 0);
+  histograms_.push_back(named);
+  return &named->cell;
+}
+
+void MetricsRegistry::Snapshot(TimeNs now) {
+  SnapshotRow row;
+  row.t = now;
+  row.values.reserve(counters_.size() + gauges_.size());
+  for (const auto* c : counters_) {
+    row.values.push_back(c->cell.value);
+  }
+  for (const auto* g : gauges_) {
+    row.values.push_back(g->cell.value);
+  }
+  snapshots_.push_back(std::move(row));
+}
+
+std::string MetricsRegistry::ToJson(TimeNs now) const {
+  std::string out = "{\n";
+  out += "  \"sim_time_ns\": " + std::to_string(now) + ",\n";
+
+  // Time series: one row per Snapshot() call, values keyed by metric name.
+  // Counter/gauge lists only grow, so the first row.values.size() names of
+  // the counters-then-gauges ordering line up with any older row.
+  out += "  \"snapshots\": [";
+  for (size_t r = 0; r < snapshots_.size(); ++r) {
+    const SnapshotRow& row = snapshots_[r];
+    out += r == 0 ? "\n" : ",\n";
+    out += "    {\"time_ns\": " + std::to_string(row.t);
+    for (size_t i = 0; i < row.values.size(); ++i) {
+      const std::string* name = nullptr;
+      if (i < counters_.size()) {
+        name = &counters_[i]->name;
+      } else if (i - counters_.size() < gauges_.size()) {
+        name = &gauges_[i - counters_.size()]->name;
+      }
+      if (name != nullptr) {
+        out += ", \"" + JsonEscape(*name) + "\": " + std::to_string(row.values[i]);
+      }
+    }
+    out += "}";
+  }
+  out += "\n  ],\n";
+
+  out += "  \"counters\": {";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(counters_[i]->name) +
+           "\": " + std::to_string(counters_[i]->cell.value);
+  }
+  out += "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(gauges_[i]->name) +
+           "\": " + std::to_string(gauges_[i]->cell.value);
+  }
+  out += "\n  },\n";
+
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& h = histograms_[i]->cell;
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(histograms_[i]->name) + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) + ", \"bounds\": [";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) {
+        out += ", ";
+      }
+      out += std::to_string(h.bounds[b]);
+    }
+    out += "], \"buckets\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) {
+        out += ", ";
+      }
+      out += std::to_string(h.counts[b]);
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToCsv(TimeNs now) const {
+  std::string out = "time_ns,name,value\n";
+  auto append = [&out](TimeNs t, const std::string& name, int64_t v) {
+    out += std::to_string(t) + "," + name + "," + std::to_string(v) + "\n";
+  };
+  for (const SnapshotRow& row : snapshots_) {
+    // Values are ordered counters-then-gauges as of snapshot time; both lists
+    // only grow, so the first row.values.size() names line up.
+    for (size_t i = 0; i < row.values.size(); ++i) {
+      if (i < counters_.size()) {
+        append(row.t, counters_[i]->name, row.values[i]);
+      } else if (i - counters_.size() < gauges_.size()) {
+        append(row.t, gauges_[i - counters_.size()]->name, row.values[i]);
+      }
+    }
+  }
+  for (const auto* c : counters_) {
+    append(now, c->name, c->cell.value);
+  }
+  for (const auto* g : gauges_) {
+    append(now, g->name, g->cell.value);
+  }
+  for (const auto* h : histograms_) {
+    append(now, h->name + ".count", static_cast<int64_t>(h->cell.count));
+    append(now, h->name + ".sum", h->cell.sum);
+  }
+  return out;
+}
+
+bool MetricsRegistry::WriteFile(const std::string& path, TimeNs now) const {
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const std::string body = csv ? ToCsv(now) : ToJson(now);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+void MetricsRegistry::ResetValues() {
+  for (auto* c : counters_) {
+    c->cell.value = 0;
+  }
+  for (auto* g : gauges_) {
+    g->cell.value = 0;
+  }
+  for (auto* h : histograms_) {
+    std::fill(h->cell.counts.begin(), h->cell.counts.end(), 0);
+    h->cell.count = 0;
+    h->cell.sum = 0;
+  }
+  snapshots_.clear();
+}
+
+}  // namespace obs
+}  // namespace lcmp

@@ -1,0 +1,131 @@
+// Simulator-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms with handle-based updates.
+//
+// Registration resolves a name to a stable cell pointer exactly once (one
+// map lookup at construction time); every subsequent update goes through the
+// returned handle and costs a single predictable branch on the global enable
+// flag plus one store. Cells are never deallocated or moved, so handles stay
+// valid across MetricsRegistry::ResetValues() (tests) and re-registration of
+// the same name returns the same cell (components built per-switch or
+// per-flow all aggregate into one series).
+//
+// The registry is process-global and single-threaded like the simulator;
+// enabling or disabling it never changes simulation state, only whether the
+// cells accumulate — the determinism guard in tests relies on that.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lcmp {
+namespace obs {
+
+// Global kill switch. Updates compile to `if (g_metrics_enabled) store`.
+extern bool g_metrics_enabled;
+inline bool MetricsEnabled() { return g_metrics_enabled; }
+void SetMetricsEnabled(bool on);
+
+// Monotonic event count. 8 bytes; handle updates are branch + add.
+struct Counter {
+  int64_t value = 0;
+
+  void Add(int64_t v) {
+    if (__builtin_expect(g_metrics_enabled, 0)) {
+      value += v;
+    }
+  }
+  void Inc() { Add(1); }
+};
+
+// Last-written value (occupancy, memory bytes, sim time).
+struct Gauge {
+  int64_t value = 0;
+
+  void Set(int64_t v) {
+    if (__builtin_expect(g_metrics_enabled, 0)) {
+      value = v;
+    }
+  }
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds and
+// the final bucket is the overflow (> bounds.back()). Bucket layout is fixed
+// at registration, so Add is a short linear scan over a handful of bounds —
+// no allocation, no rebucketing on the hot path.
+struct Histogram {
+  std::vector<int64_t> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1 entries
+  uint64_t count = 0;
+  int64_t sum = 0;
+
+  void Add(int64_t v) {
+    if (__builtin_expect(g_metrics_enabled, 0)) {
+      AddAlways(v);
+    }
+  }
+  void AddAlways(int64_t v);
+};
+
+class MetricsRegistry {
+ public:
+  // Process-global instance (the simulator is single-threaded).
+  static MetricsRegistry& Instance();
+
+  // Resolve a name to its cell, creating it on first use. Each kind has its
+  // own namespace; re-registering an existing name returns the same cell.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // `bounds` are only consulted when the histogram is first created.
+  Histogram* GetHistogram(const std::string& name, std::vector<int64_t> bounds);
+
+  // Appends one time-series row (every counter and gauge) at sim time `now`.
+  // Driven by the control plane's telemetry sweep so sampling cadence rides
+  // the *existing* timer and adds no simulator events of its own.
+  void Snapshot(TimeNs now);
+  size_t num_snapshots() const { return snapshots_.size(); }
+
+  // Final-value dumps. ToJson emits one document with counters, gauges and
+  // histograms; ToCsv emits `time_ns,name,value` rows for every snapshot
+  // plus a final row set at `now`.
+  std::string ToJson(TimeNs now) const;
+  std::string ToCsv(TimeNs now) const;
+  // Dispatches on extension: ".csv" writes ToCsv, anything else ToJson.
+  bool WriteFile(const std::string& path, TimeNs now) const;
+
+  // Zeroes every cell and drops snapshots; registrations (and therefore all
+  // outstanding handles) stay valid. Test isolation hook.
+  void ResetValues();
+
+  size_t num_counters() const { return counters_.size(); }
+  size_t num_gauges() const { return gauges_.size(); }
+  size_t num_histograms() const { return histograms_.size(); }
+
+ private:
+  struct SnapshotRow {
+    TimeNs t = 0;
+    // Parallel to the registration order of counters then gauges at the time
+    // the snapshot was taken (the CSV writer pairs values back to names).
+    std::vector<int64_t> values;
+  };
+
+  template <typename T>
+  struct Named {
+    std::string name;
+    // Each Named lives on its own heap block and is never freed, so `&cell`
+    // stays valid for the process lifetime even across ResetValues().
+    T cell;
+  };
+
+  // Names are scanned only at registration; handles bypass the lists.
+  std::vector<Named<Counter>*> counters_;
+  std::vector<Named<Gauge>*> gauges_;
+  std::vector<Named<Histogram>*> histograms_;
+  std::vector<SnapshotRow> snapshots_;
+};
+
+}  // namespace obs
+}  // namespace lcmp

@@ -1,0 +1,82 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace lcmp {
+namespace obs {
+
+bool g_profile_enabled = false;
+
+void SetProfileEnabled(bool on) { g_profile_enabled = on; }
+
+namespace {
+ProfileSite* g_sites = nullptr;  // singly-linked registration list
+}
+
+ProfileSite* RegisterProfileSite(const char* tag) {
+  for (ProfileSite* s = g_sites; s != nullptr; s = s->next) {
+    if (s->tag == tag || std::strcmp(s->tag, tag) == 0) {
+      return s;
+    }
+  }
+  auto* site = new ProfileSite();  // never destroyed
+  site->tag = tag;
+  site->next = g_sites;
+  g_sites = site;
+  return site;
+}
+
+uint64_t ProfileClockNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string ProfileReport() {
+  std::vector<const ProfileSite*> sites;
+  uint64_t total_ns = 0;
+  for (const ProfileSite* s = g_sites; s != nullptr; s = s->next) {
+    if (s->calls > 0) {
+      sites.push_back(s);
+      total_ns += s->wall_ns;
+    }
+  }
+  std::sort(sites.begin(), sites.end(), [](const ProfileSite* a, const ProfileSite* b) {
+    return a->wall_ns > b->wall_ns;
+  });
+
+  std::string out = "per-event-type profile (inclusive wall time):\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %-28s %12s %14s %10s %8s\n", "event type", "calls",
+                "wall ms", "ns/call", "share");
+  out += line;
+  for (const ProfileSite* s : sites) {
+    const double ms = static_cast<double>(s->wall_ns) / 1e6;
+    const double per_call = static_cast<double>(s->wall_ns) / static_cast<double>(s->calls);
+    const double share =
+        total_ns > 0 ? 100.0 * static_cast<double>(s->wall_ns) / static_cast<double>(total_ns)
+                     : 0.0;
+    std::snprintf(line, sizeof(line), "  %-28s %12llu %14.3f %10.0f %7.1f%%\n", s->tag,
+                  static_cast<unsigned long long>(s->calls), ms, per_call, share);
+    out += line;
+  }
+  if (sites.empty()) {
+    out += "  (no profiled events; run with profiling enabled)\n";
+  }
+  return out;
+}
+
+void ResetProfile() {
+  for (ProfileSite* s = g_sites; s != nullptr; s = s->next) {
+    s->calls = 0;
+    s->wall_ns = 0;
+  }
+}
+
+}  // namespace obs
+}  // namespace lcmp

@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include "common/logging.h"
+
+namespace lcmp {
+namespace obs {
+
+bool g_trace_enabled = false;
+
+namespace {
+constexpr size_t kDefaultCapacity = 65536;
+
+void DumpOnCheckFailure() {
+  std::fprintf(stderr, "--- flight recorder (last %zu events) ---\n",
+               FlightRecorder::Instance().size());
+  FlightRecorder::Instance().Dump(stderr);
+  std::fflush(stderr);
+}
+}  // namespace
+
+const char* TraceEvName(TraceEv ev) {
+  switch (ev) {
+    case TraceEv::kEnqueue:
+      return "enqueue";
+    case TraceEv::kDequeue:
+      return "dequeue";
+    case TraceEv::kDrop:
+      return "drop";
+    case TraceEv::kEcnMark:
+      return "ecn_mark";
+    case TraceEv::kPfcPause:
+      return "pfc_pause";
+    case TraceEv::kPfcResume:
+      return "pfc_resume";
+    case TraceEv::kRouteDecision:
+      return "route_decision";
+    case TraceEv::kCcRateChange:
+      return "cc_rate_change";
+    case TraceEv::kLinkDown:
+      return "link_down";
+    case TraceEv::kLinkUp:
+      return "link_up";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder() { ring_.resize(kDefaultCapacity); }
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+void FlightRecorder::Configure(size_t capacity) {
+  ring_.assign(capacity > 0 ? capacity : 1, TraceRecord{});
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+void FlightRecorder::SetFilters(int64_t flow_filter, NodeId node_filter) {
+  flow_filter_ = flow_filter;
+  node_filter_ = node_filter;
+}
+
+void FlightRecorder::Enable(bool on) {
+  g_trace_enabled = on;
+  if (on) {
+    SetCheckFailureHook(&DumpOnCheckFailure);
+  }
+}
+
+void FlightRecorder::Record(TraceEv ev, TimeNs ts, FlowId flow, NodeId node, PortIndex port,
+                            int64_t aux) {
+  if (flow_filter_ >= 0 || node_filter_ != kInvalidNode) {
+    const bool flow_ok = flow_filter_ >= 0 && static_cast<int64_t>(flow) == flow_filter_;
+    const bool node_ok = node_filter_ != kInvalidNode && node == node_filter_;
+    if (!flow_ok && !node_ok) {
+      return;
+    }
+  }
+  TraceRecord& r = ring_[head_];
+  r.ts = ts;
+  r.flow = flow;
+  r.aux = aux;
+  r.node = node;
+  r.port = static_cast<int16_t>(port);
+  r.ev = ev;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) {
+    ++size_;
+  }
+  ++total_;
+}
+
+const TraceRecord& FlightRecorder::at(size_t i) const {
+  const size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  return ring_[(start + i) % ring_.size()];
+}
+
+void FlightRecorder::Dump(std::FILE* out) const {
+  std::fprintf(out, "time_ns,event,flow,node,port,aux\n");
+  for (size_t i = 0; i < size_; ++i) {
+    const TraceRecord& r = at(i);
+    std::fprintf(out, "%lld,%s,%llu,%d,%d,%lld\n", static_cast<long long>(r.ts),
+                 TraceEvName(r.ev), static_cast<unsigned long long>(r.flow), r.node, r.port,
+                 static_cast<long long>(r.aux));
+  }
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  Dump(f);
+  std::fclose(f);
+  return true;
+}
+
+void FlightRecorder::Clear() {
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+}  // namespace obs
+}  // namespace lcmp

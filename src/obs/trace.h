@@ -1,0 +1,117 @@
+// Packet flight recorder: a fixed-size ring buffer of compact trace records.
+//
+// Every interesting data-plane transition (enqueue/dequeue/drop/ECN-mark/
+// PFC-pause/route-decision/CC-rate-change/link up-down) can be recorded with
+// one LCMP_TRACE call. When tracing is off the call is a single predictable
+// branch on a global flag; builds that must strip even that from the
+// per-packet path can define LCMP_OBS_STRIP_TRACE.
+//
+// Records are 32 bytes and live in a preallocated ring, so recording never
+// allocates and old records are overwritten FIFO. Filters restrict recording
+// to one flow id and/or one node id so a 13-DC run can shadow a single flow.
+// The ring is dumped on demand (--trace-out) and automatically to stderr
+// when an LCMP_CHECK fails, so crashes ship their last N thousand events.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lcmp {
+namespace obs {
+
+extern bool g_trace_enabled;
+inline bool TraceEnabled() { return __builtin_expect(g_trace_enabled, 0); }
+
+enum class TraceEv : uint8_t {
+  kEnqueue = 0,
+  kDequeue,
+  kDrop,
+  kEcnMark,
+  kPfcPause,
+  kPfcResume,
+  kRouteDecision,
+  kCcRateChange,
+  kLinkDown,
+  kLinkUp,
+};
+const char* TraceEvName(TraceEv ev);
+
+// One ring entry. Packed to 32 bytes so the default 64Ki-deep ring costs
+// 2 MiB. `aux` is event-specific: queue bytes for enqueue/dequeue/drop/mark,
+// buffered bytes for PFC, the fallback flag for route decisions, the new
+// rate in bps for CC changes.
+struct TraceRecord {
+  TimeNs ts = 0;
+  uint64_t flow = 0;
+  int64_t aux = 0;
+  NodeId node = kInvalidNode;
+  int16_t port = -1;
+  TraceEv ev = TraceEv::kEnqueue;
+  uint8_t pad = 0;
+};
+static_assert(sizeof(TraceRecord) == 32, "trace records must stay compact");
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& Instance();
+
+  // Sizes the ring (records). Discards existing contents.
+  void Configure(size_t capacity);
+  // Restricts recording: a record is kept when no filter is set, or when its
+  // flow matches `flow_filter` (>= 0), or its node matches `node_filter`
+  // (>= 0). Events that carry no flow (PFC, link state) pass the node filter.
+  void SetFilters(int64_t flow_filter, NodeId node_filter);
+
+  // Turns recording on/off; enabling installs the LCMP_CHECK failure hook
+  // that dumps the ring to stderr before the process traps.
+  void Enable(bool on);
+
+  void Record(TraceEv ev, TimeNs ts, FlowId flow, NodeId node, PortIndex port, int64_t aux);
+
+  // Oldest-first dump, one CSV row per record.
+  void Dump(std::FILE* out) const;
+  bool DumpToFile(const std::string& path) const;
+
+  void Clear();
+
+  // Records currently held (<= capacity).
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  // All records accepted, including ones the ring has since overwritten.
+  uint64_t total_recorded() const { return total_; }
+  // i-th held record, oldest first (test introspection).
+  const TraceRecord& at(size_t i) const;
+
+ private:
+  FlightRecorder();
+
+  std::vector<TraceRecord> ring_;
+  size_t head_ = 0;  // next write position
+  size_t size_ = 0;
+  uint64_t total_ = 0;
+  int64_t flow_filter_ = -1;
+  NodeId node_filter_ = kInvalidNode;
+};
+
+}  // namespace obs
+}  // namespace lcmp
+
+#if defined(LCMP_OBS_STRIP_TRACE)
+#define LCMP_TRACE(ev, ts, flow, node, port, aux) \
+  do {                                            \
+  } while (0)
+#else
+// Single predictable branch when tracing is off; arguments are not evaluated
+// unless the recorder is enabled.
+#define LCMP_TRACE(ev, ts, flow, node, port, aux)                                        \
+  do {                                                                                   \
+    if (__builtin_expect(::lcmp::obs::g_trace_enabled, 0)) {                             \
+      ::lcmp::obs::FlightRecorder::Instance().Record((ev), (ts), (flow), (node), (port), \
+                                                     (aux));                             \
+    }                                                                                    \
+  } while (0)
+#endif

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace lcmp {
 
@@ -74,6 +76,7 @@ PortIndex RedtePolicy::SelectPort(SwitchNode& sw, const Packet& pkt,
 }
 
 void RedtePolicy::OnTick(SwitchNode& sw) {
+  LCMP_PROFILE_SCOPE("redte.control_tick");
   // 100 ms control loop: move split weight from the most- to the least-
   // utilized candidate of every destination group.
   for (Group& g : groups_) {
@@ -102,6 +105,9 @@ void RedtePolicy::OnTick(SwitchNode& sw) {
       const int step = std::min(config_.rebalance_step_256, g.state[static_cast<size_t>(max_i)].weight_256);
       g.state[static_cast<size_t>(max_i)].weight_256 -= step;
       g.state[static_cast<size_t>(min_i)].weight_256 += step;
+      static obs::Counter* m_rebalances =
+          obs::MetricsRegistry::Instance().GetCounter("redte.weight_rebalances");
+      m_rebalances->Inc();
     }
   }
   flows_.Gc(sw.sim().now());

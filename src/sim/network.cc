@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lcmp {
 namespace {
@@ -251,6 +253,11 @@ void Network::StartPolicyTicks() {
 
 void Network::SetLinkUp(int link_idx, bool up) {
   const LinkSpec& l = graph_.link(link_idx);
+  static obs::Counter* m_transitions =
+      obs::MetricsRegistry::Instance().GetCounter("sim.link.state_transitions");
+  m_transitions->Inc();
+  LCMP_TRACE(up ? obs::TraceEv::kLinkUp : obs::TraceEv::kLinkDown, sim_.now(), /*flow=*/0, l.a,
+             port_of_link_[static_cast<size_t>(link_idx)].first, /*aux=*/link_idx);
   nodes_[static_cast<size_t>(l.a)]->port(port_of_link_[static_cast<size_t>(link_idx)].first)
       .SetUp(up);
   nodes_[static_cast<size_t>(l.b)]->port(port_of_link_[static_cast<size_t>(link_idx)].second)

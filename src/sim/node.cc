@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/int_pool.h"
 
 namespace lcmp {
@@ -23,6 +25,10 @@ void SwitchNode::Receive(Packet pkt, PortIndex in_port) {
   const PortIndex out = ResolveEgress(pkt);
   if (out == kInvalidPort) {
     ++dropped_no_route_;
+    static obs::Counter* m_no_route = obs::MetricsRegistry::Instance().GetCounter(
+        "sim.switch.drops_no_route");
+    m_no_route->Inc();
+    LCMP_TRACE(obs::TraceEv::kDrop, sim_->now(), pkt.flow_id, id_, kInvalidPort, /*aux=*/-1);
     ReleaseIntStack(pkt);
     return;
   }

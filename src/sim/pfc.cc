@@ -1,6 +1,8 @@
 #include "sim/pfc.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/node.h"
 
 namespace lcmp {
@@ -10,6 +12,9 @@ PfcController::PfcController(Simulator* sim, SwitchNode* node, const PfcConfig& 
   LCMP_CHECK(config_.xon_bytes <= config_.xoff_bytes);
   ingress_bytes_.assign(static_cast<size_t>(node_->num_ports()), 0);
   pause_asserted_.assign(static_cast<size_t>(node_->num_ports()), false);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  m_pause_frames_ = reg.GetCounter("sim.pfc.pause_frames");
+  m_resume_frames_ = reg.GetCounter("sim.pfc.resume_frames");
 }
 
 void PfcController::OnPacketBuffered(int64_t bytes, PortIndex ingress) {
@@ -21,6 +26,8 @@ void PfcController::OnPacketBuffered(int64_t bytes, PortIndex ingress) {
   if (!pause_asserted_[static_cast<size_t>(ingress)] && buffered >= config_.xoff_bytes) {
     pause_asserted_[static_cast<size_t>(ingress)] = true;
     ++pause_frames_;
+    m_pause_frames_->Inc();
+    LCMP_TRACE(obs::TraceEv::kPfcPause, sim_->now(), /*flow=*/0, node_->id(), ingress, buffered);
     SignalUpstream(ingress, /*pause=*/true);
   }
 }
@@ -35,6 +42,8 @@ void PfcController::OnPacketFreed(int64_t bytes, PortIndex ingress) {
   if (pause_asserted_[static_cast<size_t>(ingress)] && buffered <= config_.xon_bytes) {
     pause_asserted_[static_cast<size_t>(ingress)] = false;
     ++resume_frames_;
+    m_resume_frames_->Inc();
+    LCMP_TRACE(obs::TraceEv::kPfcResume, sim_->now(), /*flow=*/0, node_->id(), ingress, buffered);
     SignalUpstream(ingress, /*pause=*/false);
   }
 }

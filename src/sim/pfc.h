@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace lcmp {
@@ -68,6 +69,9 @@ class PfcController {
   std::vector<bool> pause_asserted_;
   int64_t pause_frames_ = 0;
   int64_t resume_frames_ = 0;
+  // Fleet-wide metric handles, resolved once at construction.
+  obs::Counter* m_pause_frames_;
+  obs::Counter* m_resume_frames_;
 };
 
 }  // namespace lcmp

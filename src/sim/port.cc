@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "sim/int_pool.h"
 #include "sim/node.h"
 
@@ -18,6 +19,11 @@ Port::Port(Simulator* sim, Rng* rng, Node* owner, PortIndex index, const PortCon
       config_(config),
       graph_link_idx_(graph_link_idx) {
   LCMP_CHECK(config_.rate_bps > 0);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  m_tx_packets_ = reg.GetCounter("sim.port.tx_packets");
+  m_tx_bytes_ = reg.GetCounter("sim.port.tx_bytes");
+  m_drops_ = reg.GetCounter("sim.port.drops");
+  m_ecn_marks_ = reg.GetCounter("sim.port.ecn_marks");
 }
 
 void Port::ConnectTo(Node* peer, PortIndex peer_in_port) {
@@ -49,11 +55,15 @@ void Port::ReleaseIntStack(Packet& pkt) {
 bool Port::Enqueue(Packet pkt) {
   if (!up_) {
     ++dropped_packets_;
+    m_drops_->Inc();
+    LCMP_TRACE(obs::TraceEv::kDrop, sim_->now(), pkt.flow_id, owner_->id(), index_, queue_bytes_);
     ReleaseIntStack(pkt);
     return false;
   }
   if (queue_bytes_ + pkt.size_bytes > config_.buffer_bytes) {
     ++dropped_packets_;
+    m_drops_->Inc();
+    LCMP_TRACE(obs::TraceEv::kDrop, sim_->now(), pkt.flow_id, owner_->id(), index_, queue_bytes_);
     ReleaseIntStack(pkt);
     return false;
   }
@@ -61,9 +71,13 @@ bool Port::Enqueue(Packet pkt) {
   if (pkt.type == PacketType::kData && ShouldMarkEcn()) {
     pkt.ecn_ce = true;
     ++ecn_marked_packets_;
+    m_ecn_marks_->Inc();
+    LCMP_TRACE(obs::TraceEv::kEcnMark, sim_->now(), pkt.flow_id, owner_->id(), index_,
+               queue_bytes_);
   }
   queue_bytes_ += pkt.size_bytes;
   max_queue_bytes_ = std::max(max_queue_bytes_, queue_bytes_);
+  LCMP_TRACE(obs::TraceEv::kEnqueue, sim_->now(), pkt.flow_id, owner_->id(), index_, queue_bytes_);
   queue_.push_back(std::move(pkt));
   StartTransmissionIfIdle();
   return true;
@@ -77,6 +91,7 @@ void Port::StartTransmissionIfIdle() {
   Packet pkt = std::move(queue_.front());
   queue_.pop_front();
   queue_bytes_ -= pkt.size_bytes;
+  LCMP_TRACE(obs::TraceEv::kDequeue, sim_->now(), pkt.flow_id, owner_->id(), index_, queue_bytes_);
   if (dequeue_hook_) {
     dequeue_hook_(pkt);
   }
@@ -98,6 +113,8 @@ void Port::StartTransmissionIfIdle() {
   busy_ns_ += tx_time;
   tx_bytes_ += pkt.size_bytes;
   ++tx_packets_;
+  m_tx_packets_->Inc();
+  m_tx_bytes_->Add(pkt.size_bytes);
   auto tx_done = [this, pkt = std::move(pkt)]() mutable { OnTransmissionDone(std::move(pkt)); };
   static_assert(InlineEvent::kFitsInline<decltype(tx_done)>,
                 "port transmit-done closure must stay allocation-free");
@@ -140,7 +157,10 @@ void Port::SetUp(bool up) {
   up_ = up;
   if (!up_) {
     dropped_packets_ += static_cast<int64_t>(queue_.size());
+    m_drops_->Add(static_cast<int64_t>(queue_.size()));
     for (Packet& pkt : queue_) {
+      LCMP_TRACE(obs::TraceEv::kDrop, sim_->now(), pkt.flow_id, owner_->id(), index_,
+                 queue_bytes_);
       if (dequeue_hook_) {
         dequeue_hook_(pkt);
       }

@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
 
@@ -114,6 +115,13 @@ class Port {
   int64_t ecn_marked_packets_ = 0;
   int64_t max_queue_bytes_ = 0;
   TimeNs busy_ns_ = 0;
+
+  // Fleet-wide metric handles, resolved once at construction (all ports
+  // share the same cells, so updates are branch + add with no lookups).
+  obs::Counter* m_tx_packets_;
+  obs::Counter* m_tx_bytes_;
+  obs::Counter* m_drops_;
+  obs::Counter* m_ecn_marks_;
 };
 
 }  // namespace lcmp

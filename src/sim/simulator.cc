@@ -2,9 +2,25 @@
 
 #include <utility>
 
+#include "obs/profile.h"
+
 namespace lcmp {
 
+namespace {
+// While Run is on the stack, log lines (and crash dumps) carry `now_`.
+class ScopedLogSimTime {
+ public:
+  explicit ScopedLogSimTime(const TimeNs* now) : prev_(SetLogSimTimeSource(now)) {}
+  ~ScopedLogSimTime() { SetLogSimTimeSource(prev_); }
+
+ private:
+  const int64_t* prev_;
+};
+}  // namespace
+
 TimeNs Simulator::Run(TimeNs until) {
+  ScopedLogSimTime log_time(&now_);
+  LCMP_PROFILE_SCOPE("sim.run");
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
     if (until >= 0 && queue_.PeekTime() > until) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace lcmp {
 
 void Dcqcn::Init(int64_t line_rate_bps, TimeNs /*base_rtt*/, TimeNs now) {
@@ -49,6 +51,10 @@ void Dcqcn::OnAck(const Packet& /*ack*/, const IntStack* /*telemetry*/, TimeNs /
 }
 
 void Dcqcn::OnCnp(TimeNs now) {
+  // CC objects are per-flow, so the counter handle is a function-local
+  // static: one registry lookup per process, all flows share the cell.
+  static obs::Counter* m_cnps = obs::MetricsRegistry::Instance().GetCounter("cc.dcqcn.cnps");
+  m_cnps->Inc();
   AdvanceTimers(now);
   // Multiplicative decrease and alpha bump (the reaction point algorithm).
   rate_target_ = rate_current_;
@@ -61,6 +67,9 @@ void Dcqcn::OnCnp(TimeNs now) {
 }
 
 void Dcqcn::OnTimeout(TimeNs now) {
+  static obs::Counter* m_timeouts =
+      obs::MetricsRegistry::Instance().GetCounter("cc.dcqcn.timeouts");
+  m_timeouts->Inc();
   // Loss under RoCE is catastrophic; restart gently.
   rate_target_ = rate_current_;
   rate_current_ = std::max(params_.min_rate_bps, rate_current_ / 4);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace lcmp {
 
 void Dctcp::Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) {
@@ -24,9 +26,15 @@ void Dctcp::OnAck(const Packet& ack, const IntStack* /*telemetry*/, TimeNs rtt, 
   const double frac = static_cast<double>(marked_in_window_) /
                       static_cast<double>(acked_in_window_);
   alpha_ = (1.0 - params_.g) * alpha_ + params_.g * frac;
+  static obs::Counter* m_windows =
+      obs::MetricsRegistry::Instance().GetCounter("cc.dctcp.window_updates");
+  m_windows->Inc();
   if (marked_in_window_ > 0) {
     rate_ = std::max<int64_t>(params_.min_rate_bps,
                               static_cast<int64_t>(rate_ * (1.0 - alpha_ / 2.0)));
+    static obs::Counter* m_decreases =
+        obs::MetricsRegistry::Instance().GetCounter("cc.dctcp.marked_decreases");
+    m_decreases->Inc();
   } else {
     // Additive increase: one MSS of window per RTT expressed as rate.
     const int64_t ai_bps = params_.ai_bytes_per_rtt * 8 * kNsPerSec / base_rtt_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace lcmp {
 
 void Hpcc::Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs /*now*/) {
@@ -16,6 +18,9 @@ void Hpcc::OnAck(const Packet& /*ack*/, const IntStack* telemetry, TimeNs /*rtt*
   if (telemetry == nullptr || telemetry->hops == 0) {
     return;  // telemetry absent (e.g., intra-DC shortcut); keep current rate
   }
+  static obs::Counter* m_int_updates =
+      obs::MetricsRegistry::Instance().GetCounter("cc.hpcc.int_updates");
+  m_int_updates->Inc();
   // U = max over hops of (qlen / (B * T_base) + txRate / B).
   double max_u = 0.0;
   for (uint8_t h = 0; h < telemetry->hops; ++h) {
@@ -45,6 +50,9 @@ void Hpcc::OnAck(const Packet& /*ack*/, const IntStack* telemetry, TimeNs /*rtt*
     // Multiplicative move toward the target utilization, bounded per update.
     const double factor = std::max(params_.max_stage_gain, params_.eta / max_u);
     rate_ = std::max<int64_t>(params_.min_rate_bps, static_cast<int64_t>(rate_ * factor));
+    static obs::Counter* m_decreases =
+        obs::MetricsRegistry::Instance().GetCounter("cc.hpcc.decreases");
+    m_decreases->Inc();
   } else {
     rate_ = std::min(line_rate_, rate_ + params_.wai_bps);
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace lcmp {
 
 void Timely::Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs /*now*/) {
@@ -40,6 +42,9 @@ void Timely::OnAck(const Packet& /*ack*/, const IntStack* /*telemetry*/, TimeNs 
                                           static_cast<double>(queuing));
     rate_ = std::max<int64_t>(params_.min_rate_bps, static_cast<int64_t>(rate_ * f));
     neg_gradient_rounds_ = 0;
+    static obs::Counter* m_thigh =
+        obs::MetricsRegistry::Instance().GetCounter("cc.timely.t_high_decreases");
+    m_thigh->Inc();
     return;
   }
   if (gradient <= 0) {
@@ -50,6 +55,9 @@ void Timely::OnAck(const Packet& /*ack*/, const IntStack* /*telemetry*/, TimeNs 
     neg_gradient_rounds_ = 0;
     const double f = 1.0 - params_.beta * std::min(gradient, 1.0);
     rate_ = std::max<int64_t>(params_.min_rate_bps, static_cast<int64_t>(rate_ * f));
+    static obs::Counter* m_grad =
+        obs::MetricsRegistry::Instance().GetCounter("cc.timely.gradient_decreases");
+    m_grad->Inc();
   }
 }
 

@@ -3,8 +3,38 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace lcmp {
+namespace {
+
+// Shared transport-wide metric cells (one registry lookup per process).
+struct TransportMetrics {
+  obs::Counter* data_sent;
+  obs::Counter* retransmits;
+  obs::Counter* timeouts;
+  obs::Counter* nacks;
+  obs::Counter* cnps;
+  obs::Counter* flows_completed;
+  static TransportMetrics& Get() {
+    static TransportMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      TransportMetrics t;
+      t.data_sent = reg.GetCounter("transport.data_packets_sent");
+      t.retransmits = reg.GetCounter("transport.retransmitted_packets");
+      t.timeouts = reg.GetCounter("transport.timeouts");
+      t.nacks = reg.GetCounter("transport.nacks");
+      t.cnps = reg.GetCounter("transport.cnps");
+      t.flows_completed = reg.GetCounter("transport.flows_completed");
+      return t;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 RdmaTransport::RdmaTransport(Network* net, const TransportConfig& config, CcKind cc_kind,
                              CompletionFn on_complete)
@@ -118,6 +148,7 @@ void RdmaTransport::PaceNext(FlowId flow) {
   if (s.next_seq >= s.total_packets) {
     return;  // everything sent; waiting for ACKs (RTO guards losses)
   }
+  LCMP_PROFILE_SCOPE("transport.pace");
   HostNode& host = net_->host(s.spec.src);
   // NIC backpressure: if the host egress backlog is deep, wait for drain
   // instead of stacking more packets (RNIC QP arbitration, not self-drops).
@@ -130,6 +161,7 @@ void RdmaTransport::PaceNext(FlowId flow) {
   Packet pkt = MakeDataPacket(s, s.next_seq);
   ++s.next_seq;
   ++data_packets_sent_;
+  TransportMetrics::Get().data_sent->Inc();
 
   if (config_.emulation_mode) {
     HostNode* hp = &host;
@@ -182,6 +214,8 @@ void RdmaTransport::SendSelectiveRetransmit(FlowId flow, uint32_t seq) {
   ++s.retransmits;
   ++retransmitted_packets_;
   ++data_packets_sent_;
+  TransportMetrics::Get().retransmits->Inc();
+  TransportMetrics::Get().data_sent->Inc();
   Packet pkt = MakeDataPacket(s, seq);
   HostNode& host = net_->host(s.spec.src);
   if (config_.emulation_mode) {
@@ -204,12 +238,18 @@ void RdmaTransport::OnRtoScan(FlowId flow) {
   }
   Sender& s = sit->second;
   if (s.acked == s.acked_at_last_rto && s.next_seq > s.acked) {
+    LCMP_PROFILE_SCOPE("transport.rto_recovery");
     // No progress across one full RTO with data outstanding: Go-Back-N.
     ++timeouts_;
     s.retransmits += s.next_seq - s.acked;
     retransmitted_packets_ += s.next_seq - s.acked;
+    TransportMetrics::Get().timeouts->Inc();
+    TransportMetrics::Get().retransmits->Add(s.next_seq - s.acked);
     s.next_seq = s.acked;
+    const int64_t rate_before = obs::TraceEnabled() ? s.cc->rate_bps() : 0;
     s.cc->OnTimeout(net_->sim().now());
+    LCMP_TRACE(obs::TraceEv::kCcRateChange, net_->sim().now(), flow, s.spec.src, kInvalidPort,
+               s.cc->rate_bps() - rate_before);
     PaceNext(flow);
   }
   s.acked_at_last_rto = s.acked;
@@ -249,6 +289,7 @@ void RdmaTransport::ProcessPacket(NodeId host, Packet pkt) {
 }
 
 void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
+  LCMP_PROFILE_SCOPE("transport.handle_data");
   const FlowId id = pkt.flow_id;
   if (finished_.contains(id)) {
     net_->int_pool().ReleaseFrom(pkt);
@@ -311,6 +352,7 @@ void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
       rec.retransmitted_packets = sit->second.retransmits;
       rec.base_rtt = sit->second.base_rtt;
       ++completed_flows_;
+      TransportMetrics::Get().flows_completed->Inc();
       finished_.insert(id);
       receivers_.erase(id);
       if (on_complete_) {
@@ -345,6 +387,7 @@ void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
 }
 
 void RdmaTransport::HandleAck(Packet& pkt) {
+  LCMP_PROFILE_SCOPE("transport.handle_ack");
   auto it = senders_.find(pkt.flow_id);
   if (it == senders_.end()) {
     net_->int_pool().ReleaseFrom(pkt);
@@ -367,7 +410,12 @@ void RdmaTransport::HandleAck(Packet& pkt) {
   }
   const IntStack* telemetry =
       pkt.int_stack != kInvalidIntHandle ? &net_->int_pool().Get(pkt.int_stack) : nullptr;
+  const int64_t rate_before = obs::TraceEnabled() ? s.cc->rate_bps() : 0;
   s.cc->OnAck(pkt, telemetry, rtt, sim.now());
+  if (obs::TraceEnabled() && s.cc->rate_bps() != rate_before) {
+    LCMP_TRACE(obs::TraceEv::kCcRateChange, sim.now(), pkt.flow_id, s.spec.src, kInvalidPort,
+               s.cc->rate_bps() - rate_before);
+  }
   net_->int_pool().ReleaseFrom(pkt);
   if (s.acked >= s.total_packets) {
     FinishSender(s);
@@ -377,11 +425,13 @@ void RdmaTransport::HandleAck(Packet& pkt) {
 }
 
 void RdmaTransport::HandleNack(const Packet& pkt) {
+  LCMP_PROFILE_SCOPE("transport.handle_nack");
   auto it = senders_.find(pkt.flow_id);
   if (it == senders_.end()) {
     return;
   }
   ++nacks_;
+  TransportMetrics::Get().nacks->Inc();
   Sender& s = it->second;
   if (pkt.seq > s.acked) {
     s.acked = pkt.seq;
@@ -400,12 +450,20 @@ void RdmaTransport::HandleNack(const Packet& pkt) {
 }
 
 void RdmaTransport::HandleCnp(const Packet& pkt) {
+  LCMP_PROFILE_SCOPE("transport.handle_cnp");
   auto it = senders_.find(pkt.flow_id);
   if (it == senders_.end()) {
     return;
   }
   ++cnps_;
-  it->second.cc->OnCnp(net_->sim().now());
+  TransportMetrics::Get().cnps->Inc();
+  Sender& s = it->second;
+  const int64_t rate_before = obs::TraceEnabled() ? s.cc->rate_bps() : 0;
+  s.cc->OnCnp(net_->sim().now());
+  if (obs::TraceEnabled() && s.cc->rate_bps() != rate_before) {
+    LCMP_TRACE(obs::TraceEv::kCcRateChange, net_->sim().now(), pkt.flow_id, s.spec.src,
+               kInvalidPort, s.cc->rate_bps() - rate_before);
+  }
 }
 
 void RdmaTransport::FinishSender(Sender& s) {

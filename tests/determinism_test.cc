@@ -10,6 +10,9 @@
 
 #include "core/control_plane.h"
 #include "core/lcmp_router.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "stats/fct_recorder.h"
 #include "topo/builders.h"
 #include "transport/rdma_transport.h"
@@ -38,7 +41,17 @@ uint64_t HashMix(uint64_t h, uint64_t v) {
   return h;
 }
 
-RunDigest RunScenario(CcKind cc, uint64_t seed) {
+// `with_obs` turns on every observability subsystem (metrics + untargeted
+// flight recorder + profiling) for the run; observability must only *read*
+// simulation state, so the digest has to match an obs-off run bit for bit.
+RunDigest RunScenario(CcKind cc, uint64_t seed, bool with_obs = false) {
+  obs::SetMetricsEnabled(with_obs);
+  obs::SetProfileEnabled(with_obs);
+  obs::MetricsRegistry::Instance().ResetValues();
+  obs::FlightRecorder::Instance().Clear();
+  obs::FlightRecorder::Instance().SetFilters(-1, kInvalidNode);
+  obs::FlightRecorder::Instance().Enable(with_obs);
+
   Testbed8Options topts;
   topts.fabric.hosts = 2;
   const Graph graph = BuildTestbed8(topts);
@@ -93,6 +106,11 @@ RunDigest RunScenario(CcKind cc, uint64_t seed) {
   }
   d.int_stacks_live = net.int_pool().in_use();
   d.telemetry_sweeps = cp.telemetry_sweeps();
+
+  // Restore the default-off globals so later tests see a clean slate.
+  obs::SetMetricsEnabled(false);
+  obs::SetProfileEnabled(false);
+  obs::FlightRecorder::Instance().Enable(false);
   return d;
 }
 
@@ -122,6 +140,22 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
   const RunDigest a = RunScenario(CcKind::kDcqcn, 7);
   const RunDigest b = RunScenario(CcKind::kDcqcn, 8);
   EXPECT_NE(a.fct_hash, b.fct_hash);
+}
+
+TEST(DeterminismTest, ObservabilityDoesNotPerturbTheRun) {
+  // The zero-overhead-when-off contract's stronger sibling: even *enabled*
+  // observability (metrics + flight recorder + profiling) only reads sim
+  // state and writes obs state, so event counts, forwarded-packet counts and
+  // the FCT sequence must be identical to a run with everything off.
+  const RunDigest off = RunScenario(CcKind::kDcqcn, 7, /*with_obs=*/false);
+  const RunDigest on = RunScenario(CcKind::kDcqcn, 7, /*with_obs=*/true);
+  EXPECT_EQ(off.events, on.events);
+  EXPECT_EQ(off.fct_hash, on.fct_hash);
+  EXPECT_EQ(off.forwarded, on.forwarded);
+  EXPECT_TRUE(off == on);
+  // The obs run must actually have observed something, or the guard is vacuous.
+  EXPECT_GT(obs::MetricsRegistry::Instance().GetCounter("sim.port.tx_packets")->value, 0);
+  EXPECT_GT(obs::FlightRecorder::Instance().total_recorded(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,117 @@
+// Flight recorder semantics: ring wrap-around, flow/node filters, the
+// LCMP_TRACE enable gate, dump formatting, and the crash path that dumps the
+// ring to stderr when an LCMP_CHECK fails.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace lcmp {
+namespace obs {
+namespace {
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder& rec = FlightRecorder::Instance();
+    rec.Configure(8);
+    rec.SetFilters(-1, kInvalidNode);
+    rec.Enable(true);
+  }
+  void TearDown() override {
+    FlightRecorder& rec = FlightRecorder::Instance();
+    rec.Enable(false);
+    rec.SetFilters(-1, kInvalidNode);
+    rec.Clear();
+  }
+};
+
+TEST_F(FlightRecorderTest, RingOverwritesOldestOnWrap) {
+  FlightRecorder& rec = FlightRecorder::Instance();
+  rec.Configure(4);
+  for (int i = 0; i < 6; ++i) {
+    rec.Record(TraceEv::kEnqueue, /*ts=*/i, /*flow=*/static_cast<FlowId>(i), /*node=*/1,
+               /*port=*/0, /*aux=*/0);
+  }
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 6u);
+  // Oldest-first iteration: records 0 and 1 were overwritten.
+  EXPECT_EQ(rec.at(0).ts, 2);
+  EXPECT_EQ(rec.at(3).ts, 5);
+}
+
+TEST_F(FlightRecorderTest, FlowAndNodeFiltersAreOrSemantics) {
+  FlightRecorder& rec = FlightRecorder::Instance();
+  rec.SetFilters(/*flow_filter=*/42, /*node_filter=*/9);
+  rec.Record(TraceEv::kEnqueue, 1, /*flow=*/42, /*node=*/3, 0, 0);  // flow match
+  rec.Record(TraceEv::kEnqueue, 2, /*flow=*/5, /*node=*/9, 0, 0);   // node match
+  rec.Record(TraceEv::kEnqueue, 3, /*flow=*/5, /*node=*/3, 0, 0);   // neither: dropped
+  // Flow-less events (PFC pause, link state) pass via the node filter.
+  rec.Record(TraceEv::kPfcPause, 4, /*flow=*/0, /*node=*/9, 0, 0);
+  ASSERT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.at(0).ts, 1);
+  EXPECT_EQ(rec.at(1).ts, 2);
+  EXPECT_EQ(rec.at(2).ev, TraceEv::kPfcPause);
+}
+
+TEST_F(FlightRecorderTest, NoFiltersRecordsEverything) {
+  FlightRecorder& rec = FlightRecorder::Instance();
+  rec.Record(TraceEv::kDrop, 1, 1, 1, 0, 0);
+  rec.Record(TraceEv::kEcnMark, 2, 2, 2, 0, 0);
+  EXPECT_EQ(rec.size(), 2u);
+}
+
+TEST_F(FlightRecorderTest, TraceMacroIsGatedByEnable) {
+  FlightRecorder& rec = FlightRecorder::Instance();
+  LCMP_TRACE(TraceEv::kEnqueue, 1, 1, 1, 0, 0);
+  EXPECT_EQ(rec.size(), 1u);
+  rec.Enable(false);
+  LCMP_TRACE(TraceEv::kEnqueue, 2, 2, 2, 0, 0);
+  EXPECT_EQ(rec.size(), 1u) << "disabled LCMP_TRACE must record nothing";
+}
+
+TEST_F(FlightRecorderTest, DumpWritesCsvRowsOldestFirst) {
+  FlightRecorder& rec = FlightRecorder::Instance();
+  rec.Record(TraceEv::kEnqueue, 100, 7, 2, 1, 4096);
+  rec.Record(TraceEv::kDrop, 200, 7, 3, 0, 8192);
+  const std::string path = ::testing::TempDir() + "/flight_recorder_dump.csv";
+  ASSERT_TRUE(rec.DumpToFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    content += buf;
+  }
+  std::fclose(f);
+  EXPECT_EQ(content.rfind("time_ns,event,flow,node,port,aux\n", 0), 0u);
+  EXPECT_NE(content.find("100,enqueue,7,2,1,4096"), std::string::npos);
+  EXPECT_NE(content.find("200,drop,7,3,0,8192"), std::string::npos);
+  EXPECT_LT(content.find("100,enqueue"), content.find("200,drop"));
+}
+
+TEST_F(FlightRecorderTest, ClearDropsRecordsButKeepsCapacity) {
+  FlightRecorder& rec = FlightRecorder::Instance();
+  rec.Record(TraceEv::kEnqueue, 1, 1, 1, 0, 0);
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.capacity(), 8u);
+}
+
+using FlightRecorderDeathTest = FlightRecorderTest;
+
+TEST_F(FlightRecorderDeathTest, CheckFailureDumpsRingToStderr) {
+  FlightRecorder& rec = FlightRecorder::Instance();
+  rec.Record(TraceEv::kDrop, 777, 13, 4, 2, 555);
+  // Enable(true) installed the check-failure hook: the trap must be preceded
+  // by the ring contents on stderr so crashes ship their trailing events.
+  EXPECT_DEATH({ LCMP_CHECK(1 == 2); }, "777,drop,13,4,2,555");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace lcmp

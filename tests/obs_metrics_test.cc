@@ -1,0 +1,167 @@
+// Metrics registry semantics: handle stability, enable-gating, histogram
+// bucketing, snapshots, and the JSON/CSV dump formats. The registry is a
+// process-global singleton, so every test uses its own metric names and a
+// fixture restores the disabled state.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace lcmp {
+namespace obs {
+namespace {
+
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetMetricsEnabled(true); }
+  void TearDown() override {
+    SetMetricsEnabled(false);
+    SetProfileEnabled(false);
+    MetricsRegistry::Instance().ResetValues();
+  }
+};
+
+TEST_F(ObsMetricsTest, CounterAddsOnlyWhenEnabled) {
+  Counter* c = MetricsRegistry::Instance().GetCounter("test.counter.gating");
+  c->Inc();
+  c->Add(4);
+  EXPECT_EQ(c->value, 5);
+  SetMetricsEnabled(false);
+  c->Inc();
+  c->Add(100);
+  EXPECT_EQ(c->value, 5) << "disabled updates must be dropped";
+  SetMetricsEnabled(true);
+  c->Inc();
+  EXPECT_EQ(c->value, 6);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetsOnlyWhenEnabled) {
+  Gauge* g = MetricsRegistry::Instance().GetGauge("test.gauge.gating");
+  g->Set(42);
+  EXPECT_EQ(g->value, 42);
+  SetMetricsEnabled(false);
+  g->Set(7);
+  EXPECT_EQ(g->value, 42);
+}
+
+TEST_F(ObsMetricsTest, SameNameReturnsSameCell) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* a = reg.GetCounter("test.counter.reuse");
+  Counter* b = reg.GetCounter("test.counter.reuse");
+  EXPECT_EQ(a, b) << "same name must resolve to the same cell";
+  EXPECT_NE(a, reg.GetCounter("test.counter.other"));
+  // Handles survive ResetValues: the cell is zeroed in place, never moved.
+  a->Add(3);
+  reg.ResetValues();
+  EXPECT_EQ(b->value, 0);
+  b->Inc();
+  EXPECT_EQ(a->value, 1);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsByUpperBound) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram("test.histo.buckets", {10, 20, 30});
+  h->Add(5);    // <= 10
+  h->Add(10);   // <= 10 (bounds are inclusive upper edges)
+  h->Add(15);   // <= 20
+  h->Add(31);   // overflow bucket
+  h->Add(400);  // overflow bucket
+  ASSERT_EQ(h->counts.size(), 4u);
+  EXPECT_EQ(h->counts[0], 2u);
+  EXPECT_EQ(h->counts[1], 1u);
+  EXPECT_EQ(h->counts[2], 0u);
+  EXPECT_EQ(h->counts[3], 2u);
+  EXPECT_EQ(h->count, 5u);
+  EXPECT_EQ(h->sum, 5 + 10 + 15 + 31 + 400);
+  SetMetricsEnabled(false);
+  h->Add(1);
+  EXPECT_EQ(h->count, 5u);
+}
+
+TEST_F(ObsMetricsTest, HistogramSortsBoundsAndDedupResolvesByName) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Histogram* h = reg.GetHistogram("test.histo.sorted", {30, 10, 20});
+  EXPECT_EQ(h->bounds, (std::vector<int64_t>{10, 20, 30}));
+  // Second registration with different bounds returns the existing cell.
+  Histogram* again = reg.GetHistogram("test.histo.sorted", {1, 2});
+  EXPECT_EQ(h, again);
+  EXPECT_EQ(again->bounds.size(), 3u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotRecordsTimeSeries) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("test.counter.series");
+  c->Add(1);
+  reg.Snapshot(1000);
+  c->Add(1);
+  reg.Snapshot(2000);
+  EXPECT_EQ(reg.num_snapshots(), 2u);
+  const std::string json = reg.ToJson(3000);
+  EXPECT_NE(json.find("\"time_ns\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"time_ns\": 2000"), std::string::npos);
+  reg.ResetValues();
+  EXPECT_EQ(reg.num_snapshots(), 0u);
+}
+
+TEST_F(ObsMetricsTest, JsonDumpRoundTripsNamesAndValues) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.GetCounter("test.json.counter")->Add(17);
+  reg.GetGauge("test.json.gauge")->Set(-3);
+  Histogram* h = reg.GetHistogram("test.json.histo", {100});
+  h->Add(50);
+  h->Add(150);
+  const std::string json = reg.ToJson(12345);
+  EXPECT_NE(json.find("\"sim_time_ns\": 12345"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.histo\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 200"), std::string::npos);
+  // Structural sanity: balanced braces/brackets make it parseable JSON.
+  int braces = 0;
+  int brackets = 0;
+  for (char ch : json) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(ObsMetricsTest, CsvDumpEmitsSnapshotRowsAndFinals) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("test.csv.counter");
+  c->Add(2);
+  reg.Snapshot(500);
+  c->Add(2);
+  const std::string csv = reg.ToCsv(999);
+  EXPECT_EQ(csv.rfind("time_ns,name,value\n", 0), 0u);
+  EXPECT_NE(csv.find("500,test.csv.counter,2"), std::string::npos);
+  EXPECT_NE(csv.find("999,test.csv.counter,4"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, ProfilerAttributesCallsToTaggedSites) {
+  ResetProfile();
+  SetProfileEnabled(true);
+  for (int i = 0; i < 3; ++i) {
+    LCMP_PROFILE_SCOPE("test.profile.site");
+    // A trivial body still counts as one call of this event type.
+  }
+  SetProfileEnabled(false);
+  {
+    LCMP_PROFILE_SCOPE("test.profile.site");  // disabled: must not count
+  }
+  ProfileSite* site = RegisterProfileSite("test.profile.site");
+  EXPECT_EQ(site->calls, 3u);
+  const std::string report = ProfileReport();
+  EXPECT_NE(report.find("test.profile.site"), std::string::npos);
+  ResetProfile();
+  EXPECT_EQ(site->calls, 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace lcmp

@@ -101,6 +101,7 @@ int main(int argc, char** argv) {
       .Define("w-tl", "1", "LCMP congestion trend weight")
       .Define("w-dp", "1", "LCMP congestion duration weight")
       .Define("csv-prefix", "", "if set, write <prefix>_{flows,links,buckets}.csv");
+  DefineObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(), flags.Usage(argv[0]).c_str());
     return 2;
@@ -128,6 +129,14 @@ int main(int argc, char** argv) {
   config.lcmp.w_ql = static_cast<int>(flags.GetInt("w-ql"));
   config.lcmp.w_tl = static_cast<int>(flags.GetInt("w-tl"));
   config.lcmp.w_dp = static_cast<int>(flags.GetInt("w-dp"));
+
+  const ObsOptions obs_opts = ApplyObsFlags(flags);
+  if (obs_opts.telemetry_period_ms > 0) {
+    config.telemetry_period = Milliseconds(obs_opts.telemetry_period_ms);
+  } else if (!obs_opts.metrics_out.empty()) {
+    // Metrics without an explicit cadence still deserve a time series.
+    config.telemetry_period = Milliseconds(10);
+  }
 
   const ExperimentResult result = RunExperiment(config);
 
@@ -158,5 +167,6 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s_{flows,links,buckets}.csv\n", prefix.c_str());
   }
+  FinalizeObs(obs_opts, result.sim_end_time);
   return 0;
 }
