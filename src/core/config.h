@@ -75,6 +75,13 @@ struct LcmpConfig {
   TimeNs flow_idle_timeout = Milliseconds(500);
   TimeNs gc_period = Milliseconds(100);
 
+  // Fault-injection negative-testing knob: when set, SelectPort returns a
+  // cached egress even if that port is down, i.e. the Sec. 3.4 lazy-update
+  // fast failover is switched OFF. Exists so the invariant monitor can prove
+  // it catches a system that pins flows to dead paths; never enable outside
+  // tests.
+  bool disable_failover = false;
+
   // Derived helpers.
   int HighWaterLevel() const {
     return num_queue_levels * high_water_level_num / high_water_level_den;

@@ -36,6 +36,13 @@ Simulator::TimerId ControlPlane::StartTelemetryLoop(Network& net, TimeNs period)
   StopTelemetryLoop(net);
   Network* np = &net;
   telemetry_timer_ = net.sim().ScheduleEvery(period, [this, np] {
+    if (np->sim().now() < telemetry_outage_until_) {
+      ++telemetry_dropped_sweeps_;
+      static obs::Counter* m_dropped =
+          obs::MetricsRegistry::Instance().GetCounter("cp.telemetry.dropped_sweeps");
+      m_dropped->Inc();
+      return;
+    }
     latest_telemetry_ = CollectTelemetry(*np);
     ++telemetry_sweeps_;
   });
@@ -84,15 +91,33 @@ std::vector<SwitchTelemetry> ControlPlane::CollectTelemetry(Network& net) const 
     static obs::Gauge* g_entries = reg.GetGauge("lcmp.flow_cache.entries");
     static obs::Gauge* g_memory = reg.GetGauge("lcmp.router.memory_bytes");
     static obs::Gauge* g_switches = reg.GetGauge("cp.telemetry.switches");
+    // Fleet-wide routing decision aggregates, so --metrics-out time series
+    // show failover behavior (fault episodes appear as rehash steps).
+    static obs::Gauge* g_rehashes = reg.GetGauge("lcmp.router.failover_rehashes_total");
+    static obs::Gauge* g_new_flows = reg.GetGauge("lcmp.router.new_flow_decisions_total");
+    static obs::Gauge* g_cache_hits = reg.GetGauge("lcmp.router.cache_hits_total");
+    static obs::Gauge* g_fallbacks = reg.GetGauge("lcmp.router.fallback_decisions_total");
     int64_t entries = 0;
     int64_t memory = 0;
+    int64_t rehashes = 0;
+    int64_t new_flows = 0;
+    int64_t cache_hits = 0;
+    int64_t fallbacks = 0;
     for (const SwitchTelemetry& t : out) {
       entries += t.flow_cache_entries;
       memory += static_cast<int64_t>(t.memory_bytes);
+      rehashes += t.failover_rehashes;
+      new_flows += t.new_flow_decisions;
+      cache_hits += t.cache_hits;
+      fallbacks += t.fallback_decisions;
     }
     g_entries->Set(entries);
     g_memory->Set(memory);
     g_switches->Set(static_cast<int64_t>(out.size()));
+    g_rehashes->Set(rehashes);
+    g_new_flows->Set(new_flows);
+    g_cache_hits->Set(cache_hits);
+    g_fallbacks->Set(fallbacks);
     reg.Snapshot(net.sim().now());
   }
   return out;

@@ -51,6 +51,15 @@ class ControlPlane {
   const std::vector<SwitchTelemetry>& latest_telemetry() const { return latest_telemetry_; }
   int64_t telemetry_sweeps() const { return telemetry_sweeps_; }
 
+  // Control-plane fault injection: telemetry sweeps scheduled before `until`
+  // are dropped (the management network lost the switch), modeling the
+  // telemetry-loss fault class. The data plane is unaffected — LCMP's
+  // decisions read on-switch registers, which is the paper's robustness
+  // argument for why losing the 100 ms control loop is survivable.
+  void SetTelemetryOutageUntil(TimeNs until) { telemetry_outage_until_ = until; }
+  TimeNs telemetry_outage_until() const { return telemetry_outage_until_; }
+  int64_t telemetry_dropped_sweeps() const { return telemetry_dropped_sweeps_; }
+
   const LcmpConfig& config() const { return config_; }
   const BootstrapTables& tables() const { return tables_; }
 
@@ -60,6 +69,8 @@ class ControlPlane {
   Simulator::TimerId telemetry_timer_ = Simulator::kInvalidTimer;
   std::vector<SwitchTelemetry> latest_telemetry_;
   int64_t telemetry_sweeps_ = 0;
+  TimeNs telemetry_outage_until_ = 0;
+  int64_t telemetry_dropped_sweeps_ = 0;
 };
 
 }  // namespace lcmp

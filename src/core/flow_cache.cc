@@ -12,10 +12,7 @@ namespace {
 // probed slot (keeps every operation O(1), as a hardware table would be).
 constexpr size_t kProbeLimit = 8;
 
-// Deleted-slot marker: probing continues through tombstones so live entries
-// deeper in a chain stay reachable (flows must never be silently re-placed
-// mid-life, or they would be re-routed and reordered).
-constexpr FlowId kTombstone = ~FlowId{0};
+constexpr FlowId kTombstone = FlowCache::kTombstone;
 
 size_t NextPow2(size_t n) {
   size_t p = 1;

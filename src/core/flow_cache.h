@@ -26,6 +26,10 @@ class FlowCache {
     TimeNs last_seen = 0;
   };
   static constexpr size_t kBytesPerEntry = 20;  // Sec. 4 accounting
+  // Deleted-slot marker: probing continues through tombstones so live entries
+  // deeper in a chain stay reachable (flows must never be silently re-placed
+  // mid-life, or they would be re-routed and reordered).
+  static constexpr FlowId kTombstone = ~FlowId{0};
 
   // `capacity` is the maximum number of live entries; `idle_timeout` drives
   // both GC and lookup-time staleness rejection.
@@ -49,6 +53,17 @@ class FlowCache {
 
   int size() const { return live_; }
   int capacity() const { return capacity_; }
+
+  // Read-only sweep over every live entry (fault-injection invariant
+  // monitoring: "no entry still points at a dead egress"). Not a hot path.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const Entry& e : slots_) {
+      if (e.flow_id != 0 && e.flow_id != kTombstone) {
+        fn(e);
+      }
+    }
+  }
 
   // Paper-accounting memory footprint (entries * 20 B).
   size_t MemoryBytes() const { return static_cast<size_t>(capacity_) * kBytesPerEntry; }

@@ -126,7 +126,7 @@ PortIndex LcmpRouter::SelectPort(SwitchNode& sw, const Packet& pkt,
   const FlowId fid = RoutingFlowId(pkt.key);
   const PortIndex cached = flow_cache_.Lookup(fid, now);
   if (cached != kInvalidPort) {
-    if (sw.port(cached).up()) {
+    if (sw.port(cached).up() || config_.disable_failover) {
       ++stats_.cache_hits;
       return cached;
     }
@@ -134,6 +134,9 @@ PortIndex LcmpRouter::SelectPort(SwitchNode& sw, const Packet& pkt,
     // treat this packet as the flow's first (Sec. 3.4).
     flow_cache_.Invalidate(fid);
     ++stats_.failover_rehashes;
+    static obs::Counter* m_rehash =
+        obs::MetricsRegistry::Instance().GetCounter("lcmp.router.failover_rehashes");
+    m_rehash->Inc();
   }
   return DecideNewFlow(sw, pkt, candidates);
 }

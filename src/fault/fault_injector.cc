@@ -1,0 +1,88 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "fault/invariant_monitor.h"
+#include "obs/metrics.h"
+
+namespace lcmp {
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  LCMP_CHECK_MSG(!armed_, "FaultInjector::Arm called twice");
+  armed_ = true;
+  plan_ = plan;
+  plan_.Sort();
+  Simulator& sim = net_.sim();
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kLinkFlap) {
+      // Expand the flap into its toggles at arm time so each one is a plain
+      // timestamped event (down first, then alternating).
+      for (int k = 0; k < e.flap_count; ++k) {
+        const bool up = k % 2 == 1;
+        const int li = e.link_idx;
+        sim.ScheduleAt(e.at + e.flap_period * k, [this, li, up] { SetLink(li, up); });
+      }
+      continue;
+    }
+    sim.ScheduleAt(e.at, [this, e] { Apply(e); });
+  }
+}
+
+void FaultInjector::SetLink(int link_idx, bool up) {
+  if (net_.LinkIsUp(link_idx) == up) {
+    ++skipped_;  // overlapping plan events; Network would no-op anyway
+    return;
+  }
+  net_.SetLinkUp(link_idx, up);
+  ++injections_;
+  static obs::Counter* m_injected =
+      obs::MetricsRegistry::Instance().GetCounter("fault.injections");
+  m_injected->Inc();
+  if (monitor_ != nullptr) {
+    monitor_->OnLinkStateChange(link_idx, up, net_.sim().now());
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      SetLink(e.link_idx, false);
+      break;
+    case FaultKind::kLinkUp:
+      SetLink(e.link_idx, true);
+      break;
+    case FaultKind::kLinkFlap:
+      LCMP_CHECK_MSG(false, "flaps are expanded at Arm time");
+      break;
+    case FaultKind::kSwitchDown:
+    case FaultKind::kSwitchUp: {
+      // Per-link loop (rather than Network::SetSwitchUp) so the monitor sees
+      // each constituent link transition with its exact timestamp.
+      const bool up = e.kind == FaultKind::kSwitchUp;
+      for (const int li : net_.graph().incident_links(e.node)) {
+        SetLink(li, up);
+      }
+      break;
+    }
+    case FaultKind::kDegrade:
+      net_.SetLinkDegraded(e.link_idx, e.degrade);
+      ++injections_;
+      break;
+    case FaultKind::kRestore:
+      net_.SetLinkDegraded(e.link_idx, LinkDegrade{});
+      ++injections_;
+      break;
+    case FaultKind::kTelemetryOutage:
+      if (cp_ == nullptr) {
+        ++skipped_;
+        break;
+      }
+      cp_->SetTelemetryOutageUntil(
+          std::max(cp_->telemetry_outage_until(), net_.sim().now() + e.duration));
+      ++injections_;
+      break;
+  }
+}
+
+}  // namespace lcmp

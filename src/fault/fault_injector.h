@@ -1,0 +1,54 @@
+// Arms a FaultPlan onto a live Network: every FaultEvent becomes one or more
+// simulator events (flaps expand to their individual toggles), so a fault run
+// is just a normal deterministic event-driven run with extra scheduled state
+// changes. All link/switch mutations funnel through Network::SetLinkUp /
+// SetLinkDegraded, which emit flight-recorder records and bump the sim.link.*
+// metrics — the injector itself only adds scheduling and bookkeeping.
+#pragma once
+
+#include <cstdint>
+
+#include "core/control_plane.h"
+#include "fault/fault_plan.h"
+#include "sim/network.h"
+
+namespace lcmp {
+
+class InvariantMonitor;
+
+class FaultInjector {
+ public:
+  // `cp` may be null; then kTelemetryOutage events are ignored (counted as
+  // skipped, not injected).
+  explicit FaultInjector(Network& net, ControlPlane* cp = nullptr) : net_(net), cp_(cp) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Registers the monitor to notify on every link state change the injector
+  // performs (precise down-since timestamps for the dead-path-pinning check).
+  void SetMonitor(InvariantMonitor* monitor) { monitor_ = monitor; }
+
+  // Schedules every event of `plan` on the network's simulator. Must be
+  // called before Simulator::Run. May be called once per injector.
+  void Arm(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  // State changes actually applied (flap toggles count individually).
+  int64_t injections() const { return injections_; }
+  int64_t skipped() const { return skipped_; }
+
+ private:
+  void Apply(const FaultEvent& e);
+  void SetLink(int link_idx, bool up);
+
+  Network& net_;
+  ControlPlane* cp_;
+  InvariantMonitor* monitor_ = nullptr;
+  FaultPlan plan_;
+  bool armed_ = false;
+  int64_t injections_ = 0;
+  int64_t skipped_ = 0;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,592 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lcmp {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kLinkUp:
+      return "link-up";
+    case FaultKind::kLinkFlap:
+      return "flap";
+    case FaultKind::kSwitchDown:
+      return "switch-down";
+    case FaultKind::kSwitchUp:
+      return "switch-up";
+    case FaultKind::kDegrade:
+      return "degrade";
+    case FaultKind::kRestore:
+      return "restore";
+    case FaultKind::kTelemetryOutage:
+      return "telemetry-outage";
+  }
+  return "?";
+}
+
+void FaultPlan::Sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+TimeNs FaultPlan::AllClearTime() const {
+  // Replay the schedule symbolically: every break must have a visible repair
+  // (link-up for link-down, switch-up for switch-down, restore for degrade,
+  // even-toggle flaps end up, outages end at at+duration). Pairings that
+  // never resolve (a permanent cut) make the plan "never all clear" (-1).
+  TimeNs clear = 0;
+  std::vector<int> down_links, down_nodes, degraded_links;
+  auto mark = [](std::vector<int>& v, int key) {
+    if (std::find(v.begin(), v.end(), key) == v.end()) {
+      v.push_back(key);
+    }
+  };
+  auto unmark = [](std::vector<int>& v, int key) {
+    v.erase(std::remove(v.begin(), v.end(), key), v.end());
+  };
+  for (const FaultEvent& e : events) {
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+        mark(down_links, e.link_idx);
+        break;
+      case FaultKind::kLinkUp:
+        unmark(down_links, e.link_idx);
+        clear = std::max(clear, e.at);
+        break;
+      case FaultKind::kLinkFlap: {
+        const TimeNs end = e.at + e.flap_period * std::max(e.flap_count - 1, 0);
+        if (e.flap_count % 2 == 0) {
+          clear = std::max(clear, end);
+        } else {
+          mark(down_links, e.link_idx);  // odd toggle count leaves it down
+        }
+        break;
+      }
+      case FaultKind::kSwitchDown:
+        mark(down_nodes, e.node);
+        break;
+      case FaultKind::kSwitchUp:
+        unmark(down_nodes, e.node);
+        clear = std::max(clear, e.at);
+        break;
+      case FaultKind::kDegrade:
+        mark(degraded_links, e.link_idx);
+        break;
+      case FaultKind::kRestore:
+        unmark(degraded_links, e.link_idx);
+        clear = std::max(clear, e.at);
+        break;
+      case FaultKind::kTelemetryOutage:
+        clear = std::max(clear, e.at + e.duration);
+        break;
+    }
+  }
+  if (!down_links.empty() || !down_nodes.empty() || !degraded_links.empty()) {
+    return -1;
+  }
+  return clear;
+}
+
+namespace {
+
+std::string FormatTime(TimeNs t) {
+  char buf[32];
+  if (t != 0 && t % kNsPerSec == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(t / kNsPerSec));
+  } else if (t != 0 && t % kNsPerMs == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(t / kNsPerMs));
+  } else if (t != 0 && t % kNsPerUs == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(t / kNsPerUs));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+bool ParseTime(const std::string& tok, TimeNs* out) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || v < 0) {
+    return false;
+  }
+  const std::string suffix(end);
+  double scale = 0;
+  if (suffix == "ns") {
+    scale = 1;
+  } else if (suffix == "us") {
+    scale = kNsPerUs;
+  } else if (suffix == "ms") {
+    scale = kNsPerMs;
+  } else if (suffix == "s") {
+    scale = kNsPerSec;
+  } else {
+    return false;
+  }
+  *out = static_cast<TimeNs>(v * scale);
+  return true;
+}
+
+// Resolves `dci=<a>:<b>[#k]`: the k-th (by link index) inter-DC link between
+// the DCI switches of DC a and DC b.
+bool ResolveDciLink(const std::string& value, const Graph& g, int* out) {
+  int a = -1, b = -1, k = 0;
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    return false;
+  }
+  a = std::atoi(value.substr(0, colon).c_str());
+  std::string rest = value.substr(colon + 1);
+  const size_t hash = rest.find('#');
+  if (hash != std::string::npos) {
+    k = std::atoi(rest.substr(hash + 1).c_str());
+    rest = rest.substr(0, hash);
+  }
+  b = std::atoi(rest.c_str());
+  if (a < 0 || b < 0 || a >= g.num_dcs() || b >= g.num_dcs() || k < 0) {
+    return false;
+  }
+  const NodeId da = g.DciOfDc(a);
+  const NodeId db = g.DciOfDc(b);
+  if (da == kInvalidNode || db == kInvalidNode) {
+    return false;
+  }
+  int seen = 0;
+  for (int li = 0; li < g.num_links(); ++li) {
+    const LinkSpec& l = g.link(li);
+    if ((l.a == da && l.b == db) || (l.a == db && l.b == da)) {
+      if (seen == k) {
+        *out = li;
+        return true;
+      }
+      ++seen;
+    }
+  }
+  return false;
+}
+
+struct KvArgs {
+  std::vector<std::pair<std::string, std::string>> kv;
+  const std::string* Find(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Resolves the event's link target from `link=`/`dci=` args.
+bool ResolveLinkTarget(const KvArgs& args, const Graph& g, int* out, std::string* error) {
+  if (const std::string* v = args.Find("link")) {
+    const int idx = std::atoi(v->c_str());
+    if (idx < 0 || idx >= g.num_links()) {
+      *error = "link index out of range: " + *v;
+      return false;
+    }
+    *out = idx;
+    return true;
+  }
+  if (const std::string* v = args.Find("dci")) {
+    if (!ResolveDciLink(*v, g, out)) {
+      *error = "cannot resolve inter-DC link: dci=" + *v;
+      return false;
+    }
+    return true;
+  }
+  *error = "missing link target (link=<idx> or dci=<a>:<b>[#k])";
+  return false;
+}
+
+bool ResolveSwitchTarget(const KvArgs& args, const Graph& g, NodeId* out, std::string* error) {
+  if (const std::string* v = args.Find("node")) {
+    const int id = std::atoi(v->c_str());
+    if (id < 0 || id >= g.num_vertices() || g.vertex(id).kind == VertexKind::kHost) {
+      *error = "not a switch node id: " + *v;
+      return false;
+    }
+    *out = id;
+    return true;
+  }
+  if (const std::string* v = args.Find("dc")) {
+    const int dc = std::atoi(v->c_str());
+    if (dc < 0 || dc >= g.num_dcs() || g.DciOfDc(dc) == kInvalidNode) {
+      *error = "no DCI switch for dc=" + *v;
+      return false;
+    }
+    *out = g.DciOfDc(dc);
+    return true;
+  }
+  *error = "missing switch target (dc=<d> or node=<id>)";
+  return false;
+}
+
+}  // namespace
+
+std::string FaultPlan::ToString() const {
+  std::string out = "# fault plan (" + std::to_string(events.size()) + " events)\n";
+  for (const FaultEvent& e : events) {
+    out += FormatTime(e.at);
+    out += ' ';
+    out += FaultKindName(e.kind);
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+      case FaultKind::kRestore:
+        out += " link=" + std::to_string(e.link_idx);
+        break;
+      case FaultKind::kLinkFlap:
+        out += " link=" + std::to_string(e.link_idx) + " period=" + FormatTime(e.flap_period) +
+               " count=" + std::to_string(e.flap_count);
+        break;
+      case FaultKind::kSwitchDown:
+      case FaultKind::kSwitchUp:
+        out += " node=" + std::to_string(e.node);
+        break;
+      case FaultKind::kDegrade: {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), " link=%d rate=%g delay=%s loss=%g", e.link_idx,
+                      e.degrade.rate_factor, FormatTime(e.degrade.extra_delay_ns).c_str(),
+                      e.degrade.loss_rate);
+        out += buf;
+        break;
+      }
+      case FaultKind::kTelemetryOutage:
+        out += " duration=" + FormatTime(e.duration);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool ParseFaultPlan(const std::string& text, const Graph& graph, FaultPlan* plan,
+                    std::string* error) {
+  plan->events.clear();
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = "fault plan line " + std::to_string(lineno) + ": " + msg;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    // '#' opens a comment only at line start or after whitespace — it is also
+    // the parallel-link selector inside dci=<a>:<b>#k targets.
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '#' && (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t')) {
+        line = line.substr(0, i);
+        break;
+      }
+    }
+    std::istringstream tokens(line);
+    std::string time_tok, action;
+    if (!(tokens >> time_tok)) {
+      continue;  // blank/comment-only line
+    }
+    if (!(tokens >> action)) {
+      return fail("missing action after time");
+    }
+    FaultEvent ev;
+    if (!ParseTime(time_tok, &ev.at)) {
+      return fail("bad time: " + time_tok + " (want <num>{ns|us|ms|s})");
+    }
+    KvArgs args;
+    std::string tok;
+    while (tokens >> tok) {
+      const size_t eq = tok.find('=');
+      if (eq == std::string::npos) {
+        return fail("expected key=value, got: " + tok);
+      }
+      args.kv.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    std::string terr;
+    if (action == "link-down" || action == "link-up" || action == "restore") {
+      ev.kind = action == "link-down" ? FaultKind::kLinkDown
+                : action == "link-up" ? FaultKind::kLinkUp
+                                      : FaultKind::kRestore;
+      if (!ResolveLinkTarget(args, graph, &ev.link_idx, &terr)) {
+        return fail(terr);
+      }
+    } else if (action == "flap") {
+      ev.kind = FaultKind::kLinkFlap;
+      if (!ResolveLinkTarget(args, graph, &ev.link_idx, &terr)) {
+        return fail(terr);
+      }
+      const std::string* period = args.Find("period");
+      const std::string* count = args.Find("count");
+      if (period == nullptr || !ParseTime(*period, &ev.flap_period) || ev.flap_period <= 0) {
+        return fail("flap needs period=<time>");
+      }
+      ev.flap_count = count != nullptr ? std::atoi(count->c_str()) : 2;
+      if (ev.flap_count <= 0) {
+        return fail("flap count must be positive");
+      }
+    } else if (action == "switch-down" || action == "switch-up") {
+      ev.kind = action == "switch-down" ? FaultKind::kSwitchDown : FaultKind::kSwitchUp;
+      if (!ResolveSwitchTarget(args, graph, &ev.node, &terr)) {
+        return fail(terr);
+      }
+    } else if (action == "degrade") {
+      ev.kind = FaultKind::kDegrade;
+      if (!ResolveLinkTarget(args, graph, &ev.link_idx, &terr)) {
+        return fail(terr);
+      }
+      if (const std::string* v = args.Find("rate")) {
+        ev.degrade.rate_factor = std::atof(v->c_str());
+        if (ev.degrade.rate_factor <= 0 || ev.degrade.rate_factor > 1.0) {
+          return fail("degrade rate must be in (0, 1]");
+        }
+      }
+      if (const std::string* v = args.Find("delay")) {
+        if (!ParseTime(*v, &ev.degrade.extra_delay_ns)) {
+          return fail("bad degrade delay: " + *v);
+        }
+      }
+      if (const std::string* v = args.Find("loss")) {
+        ev.degrade.loss_rate = std::atof(v->c_str());
+        if (ev.degrade.loss_rate < 0 || ev.degrade.loss_rate >= 1.0) {
+          return fail("degrade loss must be in [0, 1)");
+        }
+      }
+      if (!ev.degrade.active()) {
+        return fail("degrade needs at least one of rate=/delay=/loss=");
+      }
+    } else if (action == "telemetry-outage") {
+      ev.kind = FaultKind::kTelemetryOutage;
+      const std::string* v = args.Find("duration");
+      if (v == nullptr || !ParseTime(*v, &ev.duration) || ev.duration <= 0) {
+        return fail("telemetry-outage needs duration=<time>");
+      }
+    } else {
+      return fail("unknown action: " + action);
+    }
+    plan->events.push_back(ev);
+  }
+  plan->Sort();
+  return true;
+}
+
+bool LoadFaultPlanFile(const std::string& path, const Graph& graph, FaultPlan* plan,
+                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open fault plan file: " + path;
+    }
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseFaultPlan(buf.str(), graph, plan, error);
+}
+
+namespace {
+
+// One scheduled outage interval of a link, for overlap bookkeeping.
+struct Interval {
+  TimeNs start;
+  TimeNs end;
+};
+
+bool Overlaps(const std::vector<Interval>& v, TimeNs start, TimeNs end) {
+  for (const Interval& i : v) {
+    if (start < i.end && i.start < end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultPlan GenerateChaosPlan(const Graph& graph, const ChaosOptions& options) {
+  FaultPlan plan;
+  Rng rng(options.seed);
+
+  // Fault targets: inter-DC links, and DCI switches of host-less (transit)
+  // DCs — failing a DC that terminates traffic would disconnect its flows
+  // for the whole episode instead of exercising failover.
+  std::vector<int> dci_links;
+  for (int li = 0; li < graph.num_links(); ++li) {
+    const LinkSpec& l = graph.link(li);
+    if (graph.vertex(l.a).kind == VertexKind::kDciSwitch &&
+        graph.vertex(l.b).kind == VertexKind::kDciSwitch &&
+        graph.vertex(l.a).dc != graph.vertex(l.b).dc) {
+      dci_links.push_back(li);
+    }
+  }
+  std::vector<NodeId> transit_dcis;
+  for (const NodeId dci : graph.DciSwitches()) {
+    if (graph.HostsInDc(graph.vertex(dci).dc).empty()) {
+      transit_dcis.push_back(dci);
+    }
+  }
+  if (dci_links.empty() || options.window <= 0) {
+    return plan;
+  }
+
+  // Per-link scheduled outage intervals, for keep_one_path and to avoid
+  // conflicting events (a flap toggling a link another episode already cut).
+  std::vector<std::vector<Interval>> busy(static_cast<size_t>(graph.num_links()));
+
+  // A link may be taken down over [start, end) if it is not already busy and
+  // (keep_one_path) each endpoint DCI keeps at least one other inter-DC link
+  // live throughout the interval.
+  auto can_cut = [&](int li, TimeNs start, TimeNs end) {
+    if (Overlaps(busy[static_cast<size_t>(li)], start, end)) {
+      return false;
+    }
+    if (!options.keep_one_path) {
+      return true;
+    }
+    const LinkSpec& l = graph.link(li);
+    for (const NodeId endpoint : {l.a, l.b}) {
+      int live = 0;
+      for (const int other : graph.incident_links(endpoint)) {
+        if (other == li) {
+          continue;
+        }
+        const LinkSpec& ol = graph.link(other);
+        const bool inter_dc = graph.vertex(ol.a).kind == VertexKind::kDciSwitch &&
+                              graph.vertex(ol.b).kind == VertexKind::kDciSwitch &&
+                              graph.vertex(ol.a).dc != graph.vertex(ol.b).dc;
+        if (inter_dc && !Overlaps(busy[static_cast<size_t>(other)], start, end)) {
+          ++live;
+        }
+      }
+      if (live == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto mark_busy = [&](int li, TimeNs start, TimeNs end) {
+    busy[static_cast<size_t>(li)].push_back({start, end});
+  };
+
+  const int episodes = std::max<int>(
+      1, static_cast<int>(options.faults_per_sec * static_cast<double>(options.window) /
+                          static_cast<double>(kNsPerSec) +
+                          0.5));
+  const TimeNs dur_span = std::max<TimeNs>(options.max_duration - options.min_duration, 1);
+  for (int ep = 0; ep < episodes; ++ep) {
+    const TimeNs at =
+        options.window_start + static_cast<TimeNs>(rng.NextBounded(
+                                   static_cast<uint64_t>(options.window)));
+    const TimeNs duration =
+        options.min_duration + static_cast<TimeNs>(rng.NextBounded(
+                                   static_cast<uint64_t>(dur_span)));
+    // Weighted fault-class pick; disabled classes fall through to link cuts.
+    const uint64_t roll = rng.NextBounded(100);
+    if (roll < 10 && options.telemetry_faults) {
+      FaultEvent ev;
+      ev.at = at;
+      ev.kind = FaultKind::kTelemetryOutage;
+      ev.duration = duration;
+      plan.events.push_back(ev);
+      continue;
+    }
+    if (roll < 20 && options.switch_faults && !transit_dcis.empty()) {
+      const NodeId node =
+          transit_dcis[rng.NextBounded(static_cast<uint64_t>(transit_dcis.size()))];
+      bool ok = true;
+      for (const int li : graph.incident_links(node)) {
+        if (!can_cut(li, at, at + duration)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (const int li : graph.incident_links(node)) {
+          mark_busy(li, at, at + duration);
+        }
+        FaultEvent down;
+        down.at = at;
+        down.kind = FaultKind::kSwitchDown;
+        down.node = node;
+        plan.events.push_back(down);
+        FaultEvent up = down;
+        up.at = at + duration;
+        up.kind = FaultKind::kSwitchUp;
+        plan.events.push_back(up);
+        continue;
+      }
+      // Switch not safely cuttable right now: fall through to a link fault.
+    }
+    const int li = dci_links[rng.NextBounded(static_cast<uint64_t>(dci_links.size()))];
+    if (roll < 40 && options.degrade_faults) {
+      if (Overlaps(busy[static_cast<size_t>(li)], at, at + duration)) {
+        continue;  // skip rather than stack degradation onto an outage
+      }
+      FaultEvent ev;
+      ev.at = at;
+      ev.kind = FaultKind::kDegrade;
+      ev.link_idx = li;
+      switch (rng.NextBounded(3)) {
+        case 0:
+          ev.degrade.rate_factor = 0.25 + 0.25 * static_cast<double>(rng.NextBounded(3));
+          break;
+        case 1:
+          ev.degrade.extra_delay_ns =
+              Microseconds(100) + static_cast<TimeNs>(rng.NextBounded(Milliseconds(2)));
+          break;
+        default:
+          ev.degrade.loss_rate = 1e-4 * static_cast<double>(1 + rng.NextBounded(100));
+          break;
+      }
+      plan.events.push_back(ev);
+      FaultEvent restore;
+      restore.at = at + duration;
+      restore.kind = FaultKind::kRestore;
+      restore.link_idx = li;
+      plan.events.push_back(restore);
+      mark_busy(li, at, at + duration);
+      continue;
+    }
+    if (roll < 60 && options.flap_faults) {
+      const int toggles = 2 * static_cast<int>(1 + rng.NextBounded(3));  // 2/4/6, ends up
+      const TimeNs period = std::max<TimeNs>(duration / toggles, Microseconds(200));
+      const TimeNs end = at + period * (toggles - 1);
+      if (can_cut(li, at, end)) {
+        FaultEvent ev;
+        ev.at = at;
+        ev.kind = FaultKind::kLinkFlap;
+        ev.link_idx = li;
+        ev.flap_period = period;
+        ev.flap_count = toggles;
+        plan.events.push_back(ev);
+        mark_busy(li, at, end);
+      }
+      continue;
+    }
+    if (options.link_faults && can_cut(li, at, at + duration)) {
+      FaultEvent down;
+      down.at = at;
+      down.kind = FaultKind::kLinkDown;
+      down.link_idx = li;
+      plan.events.push_back(down);
+      FaultEvent up = down;
+      up.at = at + duration;
+      up.kind = FaultKind::kLinkUp;
+      plan.events.push_back(up);
+      mark_busy(li, at, at + duration);
+    }
+  }
+  plan.Sort();
+  return plan;
+}
+
+}  // namespace lcmp

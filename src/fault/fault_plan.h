@@ -1,0 +1,127 @@
+// Deterministic fault schedules for the fault-injection subsystem.
+//
+// A FaultPlan is a time-sorted list of typed fault events against a concrete
+// topology: link down/up, periodic link flapping, whole-switch failure,
+// degraded links (rate cut / added latency / random loss) and control-plane
+// telemetry outages. Plans come from three sources:
+//   - built programmatically (tests, benches),
+//   - parsed from the plan text format (--fault-plan=<file>), or
+//   - drawn from the seeded chaos generator (--chaos-seed / --chaos-rate),
+// and in every case replaying the same plan against the same seeded network
+// reproduces the run bit for bit (the generator uses the project Rng and the
+// injector only schedules simulator events).
+//
+// Plan text format — one event per line, '#' starts a comment:
+//
+//   <time> <action> <target> [key=value ...]
+//
+//   3ms   link-down  link=0
+//   9ms   link-up    link=0
+//   2ms   flap       dci=0:7#1 period=500us count=6
+//   1ms   switch-down dc=3
+//   12ms  switch-up  dc=3
+//   4ms   degrade    link=1 rate=0.5 delay=2ms loss=0.001
+//   10ms  restore    link=1
+//   5ms   telemetry-outage duration=30ms
+//
+// Times accept ns/us/ms/s suffixes. Link targets are either `link=<idx>`
+// (graph link index) or `dci=<dcA>:<dcB>[#k]` (the k-th inter-DC link between
+// the DCI switches of two datacenters, default k=0). Switch targets are
+// `dc=<d>` (the DCI switch of DC d) or `node=<id>`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/port.h"
+#include "topo/graph.h"
+
+namespace lcmp {
+
+enum class FaultKind : uint8_t {
+  kLinkDown,         // cut both directions of a link
+  kLinkUp,           // restore a cut link
+  kLinkFlap,         // toggle down/up `flap_count` times, `flap_period` apart
+  kSwitchDown,       // fail every link attached to a switch
+  kSwitchUp,         // restore every link attached to a switch
+  kDegrade,          // apply LinkDegrade (rate cut / extra delay / loss)
+  kRestore,          // clear a link's degradation
+  kTelemetryOutage,  // drop control-plane telemetry sweeps for `duration`
+};
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  TimeNs at = 0;
+  FaultKind kind = FaultKind::kLinkDown;
+  int link_idx = -1;            // kLink* / kDegrade / kRestore target
+  NodeId node = kInvalidNode;   // kSwitch* target
+  TimeNs flap_period = 0;       // kLinkFlap: time between toggles
+  int flap_count = 0;           // kLinkFlap: number of toggles (down first)
+  LinkDegrade degrade;          // kDegrade parameters
+  TimeNs duration = 0;          // kTelemetryOutage length
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // sorted by `at` (stable for ties)
+
+  bool empty() const { return events.empty(); }
+  size_t size() const { return events.size(); }
+
+  // Time-sorts events (stable). Parsers/generators call this; hand-built
+  // plans should too before arming an injector.
+  void Sort();
+
+  // Simulation time after which every injected fault has been lifted: links
+  // re-raised, degradations cleared, flaps finished, outages over. Faults
+  // with no matching restore event (e.g. a permanent cut) make this -1.
+  // Soak harnesses use it to decide whether "all flows complete" may be
+  // asserted.
+  TimeNs AllClearTime() const;
+
+  // Round-trippable text form (the plan file grammar above).
+  std::string ToString() const;
+};
+
+// Parses the plan text format against `graph` (targets are resolved to link
+// indices / node ids immediately so a bad plan fails before the run starts).
+// Returns false and fills `error` (with a line number) on malformed input.
+bool ParseFaultPlan(const std::string& text, const Graph& graph, FaultPlan* plan,
+                    std::string* error);
+
+// Reads `path` and parses it. Returns false on IO or parse errors.
+bool LoadFaultPlanFile(const std::string& path, const Graph& graph, FaultPlan* plan,
+                       std::string* error);
+
+// Seeded random chaos schedules. All faults are drawn from Rng(seed) only,
+// so (seed, options, graph) fully determines the plan.
+struct ChaosOptions {
+  uint64_t seed = 1;
+  // Average fault episodes per simulated second of the injection window.
+  double faults_per_sec = 20.0;
+  // Episodes start uniformly inside [window_start, window_start + window).
+  TimeNs window_start = Milliseconds(1);
+  TimeNs window = Milliseconds(300);
+  // Every episode is repaired after a duration in [min_duration, max_duration]
+  // so connectivity is always eventually restored.
+  TimeNs min_duration = Milliseconds(2);
+  TimeNs max_duration = Milliseconds(50);
+  // Fault-class toggles (all on by default).
+  bool link_faults = true;
+  bool flap_faults = true;
+  bool switch_faults = true;
+  bool degrade_faults = true;
+  bool telemetry_faults = true;
+  // Never cut the last live inter-DC link of a DC pair's candidate set when
+  // true; keeps at least one route available so fast failover (rather than
+  // RTO recovery) is what gets exercised.
+  bool keep_one_path = true;
+};
+
+// Draws a chaos plan against `graph`. Targets only inter-DC links and DCI
+// switches (intra-DC fabrics are out of the paper's fault scope). The plan
+// is sorted and every fault carries a matching repair event.
+FaultPlan GenerateChaosPlan(const Graph& graph, const ChaosOptions& options);
+
+}  // namespace lcmp

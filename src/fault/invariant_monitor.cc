@@ -1,0 +1,166 @@
+#include "fault/invariant_monitor.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/lcmp_router.h"
+#include "obs/metrics.h"
+
+namespace lcmp {
+
+InvariantMonitor::InvariantMonitor(Network& net, InvariantMonitorOptions options)
+    : net_(net), options_(options) {
+  const int n = net_.graph().num_links();
+  link_up_.resize(static_cast<size_t>(n));
+  down_since_.resize(static_cast<size_t>(n), 0);
+  for (int li = 0; li < n; ++li) {
+    link_up_[static_cast<size_t>(li)] = net_.LinkIsUp(li);
+  }
+}
+
+void InvariantMonitor::Start() {
+  if (timer_ != Simulator::kInvalidTimer) {
+    return;
+  }
+  timer_ = net_.sim().ScheduleEvery(options_.check_period, [this] { RunChecks(); });
+}
+
+void InvariantMonitor::Stop() {
+  if (timer_ != Simulator::kInvalidTimer) {
+    net_.sim().CancelTimer(timer_);
+    timer_ = Simulator::kInvalidTimer;
+  }
+}
+
+void InvariantMonitor::OnLinkStateChange(int link_idx, bool up, TimeNs now) {
+  link_up_[static_cast<size_t>(link_idx)] = up;
+  if (!up) {
+    down_since_[static_cast<size_t>(link_idx)] = now;
+  }
+}
+
+void InvariantMonitor::ReconcileLinkStates() {
+  const TimeNs now = net_.sim().now();
+  for (int li = 0; li < net_.graph().num_links(); ++li) {
+    const bool up = net_.LinkIsUp(li);
+    if (up != link_up_[static_cast<size_t>(li)]) {
+      OnLinkStateChange(li, up, now);
+    }
+  }
+}
+
+void InvariantMonitor::Violate(const std::string& what) {
+  ++violations_;
+  static obs::Counter* m_violations =
+      obs::MetricsRegistry::Instance().GetCounter("fault.invariant_violations");
+  m_violations->Inc();
+  if (options_.strict) {
+    LCMP_CHECK_MSG(false, "invariant violation: %s", what.c_str());
+  }
+  if (violation_log_.size() < options_.max_recorded) {
+    violation_log_.push_back(what);
+  }
+}
+
+void InvariantMonitor::RunChecks() {
+  ++checks_run_;
+  ReconcileLinkStates();
+  const TimeNs now = net_.sim().now();
+  const Graph& g = net_.graph();
+  char buf[256];
+
+  // (3) routing loops, fleet-wide.
+  int64_t ttl_drops = 0;
+  for (NodeId id = 0; id < g.num_vertices(); ++id) {
+    if (g.vertex(id).kind != VertexKind::kHost) {
+      ttl_drops += net_.switch_node(id).ttl_exhausted_drops();
+    }
+  }
+  if (ttl_drops > last_ttl_drops_) {
+    std::snprintf(buf, sizeof(buf), "routing loop: %lld TTL-exhausted drops (was %lld)",
+                  static_cast<long long>(ttl_drops), static_cast<long long>(last_ttl_drops_));
+    last_ttl_drops_ = ttl_drops;
+    Violate(buf);
+  }
+
+  // (4) byte conservation on every port of every node.
+  for (NodeId id = 0; id < g.num_vertices(); ++id) {
+    Node& node = net_.node(id);
+    for (PortIndex p = 0; p < node.num_ports(); ++p) {
+      const Port& port = node.port(p);
+      const int64_t ledger = port.tx_bytes() + port.flushed_bytes() + port.queue_bytes();
+      if (port.accepted_bytes() != ledger) {
+        std::snprintf(buf, sizeof(buf),
+                      "byte conservation broken at node %d port %d: accepted=%lld != "
+                      "tx+flushed+queued=%lld",
+                      id, p, static_cast<long long>(port.accepted_bytes()),
+                      static_cast<long long>(ledger));
+        Violate(buf);
+      }
+    }
+  }
+
+  // (1)+(2) flow-cache invariants on every LCMP DCI switch.
+  for (const NodeId dci : g.DciSwitches()) {
+    SwitchNode& sw = net_.switch_node(dci);
+    auto* router = dynamic_cast<LcmpRouter*>(sw.policy());
+    if (router == nullptr) {
+      continue;
+    }
+    const LcmpConfig& cfg = router->config();
+    router->flow_cache().ForEachEntry([&](const FlowCache::Entry& e) {
+      if (e.out_dev_idx == kInvalidPort || e.out_dev_idx >= sw.num_ports()) {
+        return;
+      }
+      const Port& port = sw.port(e.out_dev_idx);
+      if (port.up()) {
+        return;
+      }
+      const TimeNs since = down_since_[static_cast<size_t>(port.graph_link_idx())];
+      // A healthy lazy-invalidation data plane can leave an entry pointing at
+      // a dead port (that's the design), but it can never *refresh* one: the
+      // first post-failure lookup rehashes the flow. A refresh later than one
+      // estimator period after the cut means failover is broken.
+      if (e.last_seen > since + cfg.sample_interval) {
+        std::snprintf(buf, sizeof(buf),
+                      "flow %llu pinned to dead port %d of switch %d: last_seen=%lld > "
+                      "down_since=%lld + estimator period",
+                      static_cast<unsigned long long>(e.flow_id), e.out_dev_idx, dci,
+                      static_cast<long long>(e.last_seen), static_cast<long long>(since));
+        Violate(buf);
+      }
+      // GC must reap dead-egress entries once idle past the timeout (slack:
+      // two GC periods, since the sweep itself is periodic).
+      if (now - e.last_seen > cfg.flow_idle_timeout + 2 * cfg.gc_period) {
+        std::snprintf(buf, sizeof(buf),
+                      "flow %llu entry for dead port %d of switch %d not GC'd: idle %lld ns "
+                      "exceeds timeout+2*gc_period",
+                      static_cast<unsigned long long>(e.flow_id), e.out_dev_idx, dci,
+                      static_cast<long long>(now - e.last_seen));
+        Violate(buf);
+      }
+    });
+  }
+}
+
+void InvariantMonitor::FinalCheck(int64_t flows_started, int64_t flows_completed,
+                                  TimeNs all_clear_time) {
+  RunChecks();
+  // (5) liveness: once connectivity is restored and the run drained, every
+  // started flow completed. Skipped for plans that never fully heal or runs
+  // that ended mid-fault.
+  if (all_clear_time < 0 || net_.sim().now() < all_clear_time) {
+    return;
+  }
+  if (flows_completed != flows_started) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "liveness: %lld of %lld flows incomplete after faults cleared at %lld ns",
+                  static_cast<long long>(flows_started - flows_completed),
+                  static_cast<long long>(flows_started),
+                  static_cast<long long>(all_clear_time));
+    Violate(buf);
+  }
+}
+
+}  // namespace lcmp

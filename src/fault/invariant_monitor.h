@@ -1,0 +1,89 @@
+// Runtime invariant checking during fault-injection runs.
+//
+// The monitor periodically sweeps read-only simulator state and asserts the
+// properties that must hold no matter what the fault plan does:
+//
+//   1. Dead-path pinning: no LCMP flow-cache entry is refreshed (last_seen
+//      advanced) after its egress port went down — lazy invalidation must
+//      rehash the flow within one estimator period of the first packet.
+//   2. Flow-cache GC: entries pointing at a dead egress are evicted within
+//      the idle timeout plus two GC periods.
+//   3. No routing loops: the fleet-wide TTL-exhaustion drop counter stays 0.
+//   4. Byte conservation per port: accepted == transmitted + flushed + queued
+//      at every instant (no byte is created or silently lost by a fault).
+//   5. Liveness (FinalCheck): once every fault has been lifted and the run
+//      drained, every started flow has completed.
+//
+// Checks only *read* state — they never schedule data-plane events or draw
+// randomness — so enabling the monitor cannot change a run's outcome. In
+// strict mode a violation fails fast through LCMP_CHECK_MSG (dumping the
+// flight recorder); in collect mode violations are recorded and exposed, so
+// tests can assert that a deliberately broken system is caught.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace lcmp {
+
+struct InvariantMonitorOptions {
+  // Sweep cadence once Start()ed.
+  TimeNs check_period = Microseconds(500);
+  // Fail fast via LCMP_CHECK_MSG (true) or record and keep going (false).
+  bool strict = true;
+  // In collect mode, cap the violation log (the count keeps increasing).
+  size_t max_recorded = 64;
+};
+
+class InvariantMonitor {
+ public:
+  explicit InvariantMonitor(Network& net, InvariantMonitorOptions options = {});
+
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  // Begins periodic sweeps on the network's simulator (idempotent).
+  void Start();
+  void Stop();
+
+  // Precise link-transition timestamps, called by FaultInjector. Transitions
+  // performed behind the monitor's back are still caught by polling, just
+  // with the sweep period as timestamp slack.
+  void OnLinkStateChange(int link_idx, bool up, TimeNs now);
+
+  // One sweep of checks 1-4; callable directly from tests.
+  void RunChecks();
+
+  // End-of-run check: one final sweep plus the liveness invariant. Callers
+  // pass all_clear_time = FaultPlan::AllClearTime(); liveness is skipped when
+  // it is negative (a permanent fault legitimately strands flows) or lies
+  // beyond the current simulation time (the run ended mid-fault).
+  void FinalCheck(int64_t flows_started, int64_t flows_completed, TimeNs all_clear_time);
+
+  int64_t checks_run() const { return checks_run_; }
+  int64_t violations() const { return violations_; }
+  const std::vector<std::string>& violation_log() const { return violation_log_; }
+
+ private:
+  void Violate(const std::string& what);
+  // Polls every link's up/down state against the last known state so
+  // transitions not reported through OnLinkStateChange get a down-since time.
+  void ReconcileLinkStates();
+
+  Network& net_;
+  InvariantMonitorOptions options_;
+  Simulator::TimerId timer_ = Simulator::kInvalidTimer;
+  std::vector<bool> link_up_;         // last observed state per graph link
+  std::vector<TimeNs> down_since_;    // valid while !link_up_[i]
+  int64_t last_ttl_drops_ = 0;        // report TTL jumps once, not per sweep
+  int64_t checks_run_ = 0;
+  int64_t violations_ = 0;
+  std::vector<std::string> violation_log_;
+};
+
+}  // namespace lcmp

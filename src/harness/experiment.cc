@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "core/lcmp_router.h"
+#include "fault/fault_injector.h"
+#include "fault/invariant_monitor.h"
 #include "routing/ecmp.h"
 #include "routing/redte.h"
 #include "routing/ucmp.h"
@@ -165,6 +167,21 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     transport.ScheduleFlow(f);
   }
 
+  // Fault injection + invariant monitoring (no-ops when unconfigured; the
+  // monitor only reads state, so enabling it cannot change the run).
+  FaultInjector injector(net, &control_plane);
+  std::unique_ptr<InvariantMonitor> monitor;
+  if (config.monitor_invariants) {
+    InvariantMonitorOptions mopts;
+    mopts.strict = config.monitor_strict;
+    monitor = std::make_unique<InvariantMonitor>(net, mopts);
+    injector.SetMonitor(monitor.get());
+    monitor->Start();
+  }
+  if (!config.fault_plan.empty()) {
+    injector.Arm(config.fault_plan);
+  }
+
   LinkUtilizationTracker util(&net);
   util.Begin();
   net.StartPolicyTicks();
@@ -173,6 +190,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
   sim.Run(config.horizon);
   control_plane.StopTelemetryLoop(net);
+  if (monitor != nullptr) {
+    monitor->Stop();
+    monitor->FinalCheck(expected, recorder.completed(), config.fault_plan.AllClearTime());
+  }
 
   ExperimentResult result;
   result.config = config;
@@ -188,6 +209,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.events_processed = sim.events_processed();
   result.sim_end_time = sim.now();
   result.multipath_pair_fraction = net.routes().MultipathPairFraction();
+  result.faults_injected = injector.injections();
+  if (monitor != nullptr) {
+    result.invariant_checks = monitor->checks_run();
+    result.invariant_violations = monitor->violations();
+    result.violation_log = monitor->violation_log();
+  }
   if (result.flows_completed < expected) {
     LCMP_WARN("experiment finished %d/%d flows before the horizon (policy=%s load=%.2f)",
               result.flows_completed, expected, PolicyKindName(config.policy), config.load);

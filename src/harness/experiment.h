@@ -8,6 +8,7 @@
 
 #include "core/config.h"
 #include "core/control_plane.h"
+#include "fault/fault_plan.h"
 #include "routing/policy.h"
 #include "stats/fct_recorder.h"
 #include "stats/link_utilization.h"
@@ -58,6 +59,13 @@ struct ExperimentConfig {
   // event stream (and thus determinism digests) is identical to a run
   // without observability.
   TimeNs telemetry_period = 0;
+  // Fault injection: a non-empty plan is armed on the network before the run
+  // (see src/fault/). With monitor_invariants the run also carries an
+  // InvariantMonitor; in strict mode any violation aborts via LCMP_CHECK,
+  // otherwise violations are reported in the result.
+  FaultPlan fault_plan;
+  bool monitor_invariants = false;
+  bool monitor_strict = true;
 };
 
 struct ExperimentResult {
@@ -74,6 +82,11 @@ struct ExperimentResult {
   uint64_t events_processed = 0;
   TimeNs sim_end_time = 0;
   double multipath_pair_fraction = 0;  // topology statistic (Sec. 6.2.1)
+  // Fault-injection accounting (zero when no plan/monitor was configured).
+  int64_t faults_injected = 0;
+  int64_t invariant_checks = 0;
+  int64_t invariant_violations = 0;
+  std::vector<std::string> violation_log;
 
   // Slowdown summary filtered to one ordered DC pair.
   SlowdownStats ForDcPair(DcId src, DcId dst) const;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -145,6 +146,57 @@ void FinalizeObs(const ObsOptions& opts, int64_t now_ns) {
   if (obs::ProfileEnabled()) {
     std::printf("%s", obs::ProfileReport().c_str());
   }
+}
+
+void DefineFaultFlags(FlagSet& flags) {
+  flags
+      .Define("fault-plan", "",
+              "fault plan file to inject (see src/fault/fault_plan.h for the format)")
+      .Define("chaos-seed", "0",
+              "seed for the chaos fault generator; 0 disables (ignored with --fault-plan)")
+      .Define("chaos-rate", "20", "chaos generator: average fault episodes per simulated second")
+      .Define("chaos-window-ms", "300", "chaos generator: injection window length in ms")
+      .Define("monitor", "false",
+              "run the fault-invariant monitor (fails fast on any violation)")
+      .Define("fault-plan-out", "", "write the resolved fault plan text to this path");
+}
+
+FaultOptions GetFaultOptions(const FlagSet& flags) {
+  FaultOptions opts;
+  opts.fault_plan_file = flags.GetString("fault-plan");
+  opts.chaos_seed = static_cast<uint64_t>(flags.GetInt("chaos-seed"));
+  opts.chaos_rate = flags.GetDouble("chaos-rate");
+  opts.chaos_window_ms = flags.GetInt("chaos-window-ms");
+  opts.monitor = flags.GetBool("monitor");
+  opts.fault_plan_out = flags.GetString("fault-plan-out");
+  return opts;
+}
+
+bool BuildFaultPlan(const FaultOptions& opts, const Graph& graph, FaultPlan* plan,
+                    std::string* error) {
+  plan->events.clear();
+  if (!opts.fault_plan_file.empty()) {
+    if (!LoadFaultPlanFile(opts.fault_plan_file, graph, plan, error)) {
+      return false;
+    }
+  } else if (opts.chaos_seed != 0) {
+    ChaosOptions chaos;
+    chaos.seed = opts.chaos_seed;
+    chaos.faults_per_sec = opts.chaos_rate;
+    chaos.window = Milliseconds(opts.chaos_window_ms);
+    *plan = GenerateChaosPlan(graph, chaos);
+  }
+  if (!opts.fault_plan_out.empty()) {
+    std::ofstream out(opts.fault_plan_out);
+    if (!out) {
+      if (error != nullptr) {
+        *error = "cannot write fault plan to " + opts.fault_plan_out;
+      }
+      return false;
+    }
+    out << plan->ToString();
+  }
+  return true;
 }
 
 }  // namespace lcmp

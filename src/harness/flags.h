@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
+
 namespace lcmp {
 
 class FlagSet {
@@ -64,5 +66,27 @@ void DefineObsFlags(FlagSet& flags);
 ObsOptions ApplyObsFlags(const FlagSet& flags);
 // Dumps metrics/trace/profile as requested; `now_ns` stamps the metrics file.
 void FinalizeObs(const ObsOptions& opts, int64_t now_ns);
+
+// --- fault-injection flags (src/fault/; shared by lcmp_sim and soak tools) ---
+//
+// DefineFaultFlags registers --fault-plan / --chaos-* / --monitor;
+// GetFaultOptions reads them; BuildFaultPlan resolves them into a FaultPlan
+// against the experiment's graph (an explicit plan file wins over chaos).
+struct FaultOptions {
+  std::string fault_plan_file;   // "" = no plan file
+  uint64_t chaos_seed = 0;       // 0 = chaos generator off
+  double chaos_rate = 20.0;      // fault episodes per simulated second
+  int64_t chaos_window_ms = 300; // injection window length
+  bool monitor = false;          // attach the InvariantMonitor (strict)
+  std::string fault_plan_out;    // dump the resolved plan text here
+};
+
+void DefineFaultFlags(FlagSet& flags);
+FaultOptions GetFaultOptions(const FlagSet& flags);
+// Builds the plan from the options (file > chaos > empty) and, if requested,
+// writes its resolved text to fault_plan_out. Returns false + `error` when
+// the plan file is missing or malformed.
+bool BuildFaultPlan(const FaultOptions& opts, const Graph& graph, FaultPlan* plan,
+                    std::string* error);
 
 }  // namespace lcmp

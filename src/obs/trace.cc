@@ -40,6 +40,10 @@ const char* TraceEvName(TraceEv ev) {
       return "link_down";
     case TraceEv::kLinkUp:
       return "link_up";
+    case TraceEv::kLinkDegraded:
+      return "link_degraded";
+    case TraceEv::kLinkRestored:
+      return "link_restored";
   }
   return "?";
 }

@@ -37,6 +37,8 @@ enum class TraceEv : uint8_t {
   kCcRateChange,
   kLinkDown,
   kLinkUp,
+  kLinkDegraded,   // fault injection: rate cut / added delay / loss applied
+  kLinkRestored,   // fault injection: degradation removed
 };
 const char* TraceEvName(TraceEv ev);
 

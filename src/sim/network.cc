@@ -253,6 +253,9 @@ void Network::StartPolicyTicks() {
 
 void Network::SetLinkUp(int link_idx, bool up) {
   const LinkSpec& l = graph_.link(link_idx);
+  if (LinkIsUp(link_idx) == up) {
+    return;  // keep transition counters honest under overlapping fault plans
+  }
   static obs::Counter* m_transitions =
       obs::MetricsRegistry::Instance().GetCounter("sim.link.state_transitions");
   m_transitions->Inc();
@@ -262,6 +265,34 @@ void Network::SetLinkUp(int link_idx, bool up) {
       .SetUp(up);
   nodes_[static_cast<size_t>(l.b)]->port(port_of_link_[static_cast<size_t>(link_idx)].second)
       .SetUp(up);
+}
+
+bool Network::LinkIsUp(int link_idx) const {
+  const LinkSpec& l = graph_.link(link_idx);
+  return nodes_[static_cast<size_t>(l.a)]
+      ->port(port_of_link_[static_cast<size_t>(link_idx)].first)
+      .up();
+}
+
+void Network::SetLinkDegraded(int link_idx, const LinkDegrade& degrade) {
+  const LinkSpec& l = graph_.link(link_idx);
+  static obs::Counter* m_degrades =
+      obs::MetricsRegistry::Instance().GetCounter("sim.link.degrade_transitions");
+  m_degrades->Inc();
+  LCMP_TRACE(degrade.active() ? obs::TraceEv::kLinkDegraded : obs::TraceEv::kLinkRestored,
+             sim_.now(), /*flow=*/0, l.a, port_of_link_[static_cast<size_t>(link_idx)].first,
+             /*aux=*/link_idx);
+  nodes_[static_cast<size_t>(l.a)]->port(port_of_link_[static_cast<size_t>(link_idx)].first)
+      .SetDegrade(degrade);
+  nodes_[static_cast<size_t>(l.b)]->port(port_of_link_[static_cast<size_t>(link_idx)].second)
+      .SetDegrade(degrade);
+}
+
+void Network::SetSwitchUp(NodeId node, bool up) {
+  LCMP_CHECK(graph_.vertex(node).kind != VertexKind::kHost);
+  for (const int li : graph_.incident_links(node)) {
+    SetLinkUp(li, up);
+  }
 }
 
 }  // namespace lcmp

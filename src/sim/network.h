@@ -72,8 +72,21 @@ class Network {
   // Begins periodic policy ticks on every DCI switch (idempotent).
   void StartPolicyTicks();
 
-  // Marks both directions of graph link `link_idx` down/up (failure tests).
+  // Marks both directions of graph link `link_idx` down/up (failure tests
+  // and the fault-injection subsystem). No-op if already in that state.
   void SetLinkUp(int link_idx, bool up);
+
+  // True while graph link `link_idx` is up (both directions share state).
+  bool LinkIsUp(int link_idx) const;
+
+  // Applies the degraded-link model to both directions of `link_idx`; pass
+  // a default-constructed LinkDegrade to restore the link.
+  void SetLinkDegraded(int link_idx, const LinkDegrade& degrade);
+
+  // Fails/restores a whole switch by toggling every incident link — the
+  // fault model for a chassis power loss (OpenSM-style sweep-on-fault treats
+  // a dead switch as the set of its dead links).
+  void SetSwitchUp(NodeId node, bool up);
 
  private:
   void BuildNodes(const NetworkConfig& config, const PolicyFactory& factory);

@@ -22,6 +22,15 @@ void Node::ReleaseIntStack(Packet& pkt) {
 }
 
 void SwitchNode::Receive(Packet pkt, PortIndex in_port) {
+  if (++pkt.hops > kMaxForwardHops) {
+    ++ttl_exhausted_drops_;
+    static obs::Counter* m_ttl = obs::MetricsRegistry::Instance().GetCounter(
+        "sim.switch.ttl_exhausted");
+    m_ttl->Inc();
+    LCMP_TRACE(obs::TraceEv::kDrop, sim_->now(), pkt.flow_id, id_, in_port, /*aux=*/-2);
+    ReleaseIntStack(pkt);
+    return;
+  }
   const PortIndex out = ResolveEgress(pkt);
   if (out == kInvalidPort) {
     ++dropped_no_route_;

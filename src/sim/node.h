@@ -141,6 +141,10 @@ class SwitchNode : public Node {
 
   int64_t forwarded_packets() const { return forwarded_packets_; }
   int64_t dropped_no_route() const { return dropped_no_route_; }
+  // Packets dropped because they exceeded kMaxForwardHops switch traversals.
+  // Nonzero means a routing loop — the fault-injection invariant monitor
+  // treats any increment as a hard violation.
+  int64_t ttl_exhausted_drops() const { return ttl_exhausted_drops_; }
 
  private:
   PortIndex ResolveEgress(const Packet& pkt);
@@ -158,6 +162,7 @@ class SwitchNode : public Node {
 
   int64_t forwarded_packets_ = 0;
   int64_t dropped_no_route_ = 0;
+  int64_t ttl_exhausted_drops_ = 0;
 };
 
 class HostNode : public Node {

@@ -50,6 +50,7 @@ struct Packet {
   bool ecn_ce = false;        // ECN congestion-experienced mark
   bool ecn_echo = false;      // ACK: echo of CE seen by receiver
   bool last_of_flow = false;  // DATA: final segment of the flow
+  uint8_t hops = 0;           // switch traversals; routing-loop guard (TTL)
   TimeNs sent_ts = 0;         // host transmit time (RTT measurement)
 
   // HPCC INT side-buffer handle. kInvalidIntHandle when telemetry is off for
@@ -69,6 +70,11 @@ struct Packet {
 // Budget: a Packet plus a `this` pointer (and change) must fit in
 // InlineEvent's inline buffer, so the per-hop closures never heap-allocate.
 static_assert(sizeof(Packet) <= 128, "Packet outgrew the hot-path size budget");
+
+// Routing-loop guard: any sane path in the modeled topologies is well under
+// this many switch hops; a packet that exceeds it is looping and is dropped
+// (counted per switch, see SwitchNode::ttl_exhausted_drops).
+inline constexpr uint8_t kMaxForwardHops = 64;
 
 // Wire overhead added to each DATA payload (Eth + IP + UDP + BTH, rounded).
 inline constexpr uint32_t kHeaderBytes = 64;

@@ -17,7 +17,8 @@ Port::Port(Simulator* sim, Rng* rng, Node* owner, PortIndex index, const PortCon
       owner_(owner),
       index_(index),
       config_(config),
-      graph_link_idx_(graph_link_idx) {
+      graph_link_idx_(graph_link_idx),
+      effective_rate_bps_(config.rate_bps) {
   LCMP_CHECK(config_.rate_bps > 0);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
   m_tx_packets_ = reg.GetCounter("sim.port.tx_packets");
@@ -60,6 +61,17 @@ bool Port::Enqueue(Packet pkt) {
     ReleaseIntStack(pkt);
     return false;
   }
+  // Degraded-link random loss (fault injection): the packet is corrupted on
+  // the wire, modeled as a drop before it ever occupies buffer space. The
+  // RNG is only consulted while a degradation is active, so fault-free runs
+  // consume the identical random stream as before.
+  if (degrade_.loss_rate > 0 && rng_->NextDouble() < degrade_.loss_rate) {
+    ++dropped_packets_;
+    m_drops_->Inc();
+    LCMP_TRACE(obs::TraceEv::kDrop, sim_->now(), pkt.flow_id, owner_->id(), index_, queue_bytes_);
+    ReleaseIntStack(pkt);
+    return false;
+  }
   if (queue_bytes_ + pkt.size_bytes > config_.buffer_bytes) {
     ++dropped_packets_;
     m_drops_->Inc();
@@ -76,6 +88,7 @@ bool Port::Enqueue(Packet pkt) {
                queue_bytes_);
   }
   queue_bytes_ += pkt.size_bytes;
+  accepted_bytes_ += pkt.size_bytes;
   max_queue_bytes_ = std::max(max_queue_bytes_, queue_bytes_);
   LCMP_TRACE(obs::TraceEv::kEnqueue, sim_->now(), pkt.flow_id, owner_->id(), index_, queue_bytes_);
   queue_.push_back(std::move(pkt));
@@ -103,13 +116,13 @@ void Port::StartTransmissionIfIdle() {
     LCMP_CHECK(pool != nullptr);
     if (IntRecord* rec = pool->AppendHop(pkt.int_stack); rec != nullptr) {
       rec->qlen_bytes = queue_bytes_;
-      rec->rate_bps = config_.rate_bps;
+      rec->rate_bps = effective_rate_bps_;
       rec->tx_bytes = tx_bytes_ + pkt.size_bytes;
       rec->ts = sim_->now();
     }
   }
 
-  const TimeNs tx_time = SerializationDelay(pkt.size_bytes, config_.rate_bps);
+  const TimeNs tx_time = SerializationDelay(pkt.size_bytes, effective_rate_bps_);
   busy_ns_ += tx_time;
   tx_bytes_ += pkt.size_bytes;
   ++tx_packets_;
@@ -133,7 +146,7 @@ void Port::OnTransmissionDone(Packet pkt) {
   };
   static_assert(InlineEvent::kFitsInline<decltype(deliver)>,
                 "link delivery closure must stay allocation-free");
-  sim_->Schedule(config_.prop_delay_ns, std::move(deliver));
+  sim_->Schedule(config_.prop_delay_ns + degrade_.extra_delay_ns, std::move(deliver));
   StartTransmissionIfIdle();
 }
 
@@ -161,6 +174,7 @@ void Port::SetUp(bool up) {
     for (Packet& pkt : queue_) {
       LCMP_TRACE(obs::TraceEv::kDrop, sim_->now(), pkt.flow_id, owner_->id(), index_,
                  queue_bytes_);
+      flushed_bytes_ += pkt.size_bytes;
       if (dequeue_hook_) {
         dequeue_hook_(pkt);
       }
@@ -171,6 +185,16 @@ void Port::SetUp(bool up) {
   } else {
     StartTransmissionIfIdle();
   }
+}
+
+void Port::SetDegrade(const LinkDegrade& degrade) {
+  LCMP_CHECK(degrade.rate_factor > 0 && degrade.rate_factor <= 1.0);
+  LCMP_CHECK(degrade.extra_delay_ns >= 0);
+  LCMP_CHECK(degrade.loss_rate >= 0 && degrade.loss_rate < 1.0);
+  degrade_ = degrade;
+  effective_rate_bps_ =
+      std::max<int64_t>(1, static_cast<int64_t>(static_cast<double>(config_.rate_bps) *
+                                                degrade.rate_factor));
 }
 
 }  // namespace lcmp

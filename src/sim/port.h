@@ -30,6 +30,16 @@ struct PortConfig {
   double ecn_pmax = 0.2;
 };
 
+// Degraded-link model applied by the fault-injection subsystem: a partially
+// failed fiber/amplifier serializes slower, adds latency, and corrupts a
+// fraction of packets. The identity value (no degradation) is the default.
+struct LinkDegrade {
+  double rate_factor = 1.0;   // effective rate = configured rate * factor
+  TimeNs extra_delay_ns = 0;  // added one-way propagation delay
+  double loss_rate = 0.0;     // iid per-packet corruption/drop probability
+  bool active() const { return rate_factor != 1.0 || extra_delay_ns != 0 || loss_rate != 0.0; }
+};
+
 class Port {
  public:
   Port(Simulator* sim, Rng* rng, Node* owner, PortIndex index, const PortConfig& config,
@@ -49,8 +59,11 @@ class Port {
 
   // --- state observed by routing policies (the "data plane registers") ---
   int64_t queue_bytes() const { return queue_bytes_; }
-  int64_t rate_bps() const { return config_.rate_bps; }
-  TimeNs prop_delay_ns() const { return config_.prop_delay_ns; }
+  // Current effective line rate; tracks degradation so congestion estimators
+  // and INT telemetry see what the link actually serializes at.
+  int64_t rate_bps() const { return effective_rate_bps_; }
+  int64_t configured_rate_bps() const { return config_.rate_bps; }
+  TimeNs prop_delay_ns() const { return config_.prop_delay_ns + degrade_.extra_delay_ns; }
   int64_t buffer_bytes() const { return config_.buffer_bytes; }
   bool up() const { return up_; }
 
@@ -58,6 +71,12 @@ class Port {
   // (packets in flight on the wire still arrive, as on a real fiber cut the
   // far end sees a tail of packets).
   void SetUp(bool up);
+
+  // Applies/clears the degraded-link model (SetDegrade(LinkDegrade{}) to
+  // restore). Takes effect from the next transmission start; the in-flight
+  // packet keeps the rate it started with.
+  void SetDegrade(const LinkDegrade& degrade);
+  const LinkDegrade& degrade() const { return degrade_; }
 
   // PFC pause/resume: a paused port finishes the in-flight packet but does
   // not start new transmissions until resumed.
@@ -83,6 +102,13 @@ class Port {
   int64_t max_queue_bytes() const { return max_queue_bytes_; }
   TimeNs busy_ns() const { return busy_ns_; }
 
+  // Byte-conservation ledger (fault-injection invariant): every byte this
+  // port ever accepted is either transmitted, flushed by a fault, or still
+  // queued — accepted_bytes() == tx_bytes() + flushed_bytes() + queue_bytes()
+  // holds at every instant.
+  int64_t accepted_bytes() const { return accepted_bytes_; }
+  int64_t flushed_bytes() const { return flushed_bytes_; }
+
  private:
   void StartTransmissionIfIdle();
   void OnTransmissionDone(Packet pkt);
@@ -104,6 +130,8 @@ class Port {
   int64_t queue_bytes_ = 0;
   bool transmitting_ = false;
   bool up_ = true;
+  LinkDegrade degrade_;
+  int64_t effective_rate_bps_;
   bool paused_ = false;
   TimeNs pause_started_ = 0;
   TimeNs paused_ns_ = 0;
@@ -114,6 +142,8 @@ class Port {
   int64_t dropped_packets_ = 0;
   int64_t ecn_marked_packets_ = 0;
   int64_t max_queue_bytes_ = 0;
+  int64_t accepted_bytes_ = 0;
+  int64_t flushed_bytes_ = 0;
   TimeNs busy_ns_ = 0;
 
   // Fleet-wide metric handles, resolved once at construction (all ports

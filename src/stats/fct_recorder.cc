@@ -17,6 +17,7 @@ TimeNs FctRecorder::IdealFct(NodeId src, NodeId dst, uint64_t bytes) {
 void FctRecorder::OnComplete(const FlowRecord& record) {
   Sample s;
   s.bytes = record.spec.size_bytes;
+  s.start = record.start_time;
   s.fct = record.complete_time - record.start_time;
   s.ideal_fct = std::max<TimeNs>(IdealFct(record.spec.src, record.spec.dst, s.bytes), 1);
   s.slowdown = static_cast<double>(s.fct) / static_cast<double>(s.ideal_fct);

@@ -43,6 +43,7 @@ class FctRecorder {
   // One retained sample per completed flow.
   struct Sample {
     uint64_t bytes = 0;
+    TimeNs start = 0;  // transmission start (time-binned recovery analysis)
     TimeNs fct = 0;
     TimeNs ideal_fct = 0;
     double slowdown = 1.0;

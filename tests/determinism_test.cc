@@ -10,6 +10,7 @@
 
 #include "core/control_plane.h"
 #include "core/lcmp_router.h"
+#include "harness/experiment.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -140,6 +141,78 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
   const RunDigest a = RunScenario(CcKind::kDcqcn, 7);
   const RunDigest b = RunScenario(CcKind::kDcqcn, 8);
   EXPECT_NE(a.fct_hash, b.fct_hash);
+}
+
+// --- fault-injection determinism (src/fault/) ---
+//
+// Chaos plans are drawn from Rng(seed) only and the injector only schedules
+// simulator events, so (experiment seed, chaos seed) must fully determine a
+// faulted run. Digested through the harness: the exact FCT sequence plus the
+// injection count. Event counts are deliberately excluded where the monitor
+// is involved (its sweep timer adds events but must not touch the data
+// plane).
+struct FaultRunDigest {
+  int completed = 0;
+  uint64_t fct_hash = 0;
+  uint64_t events = 0;
+  int64_t faults_injected = 0;
+  std::string plan_text;
+};
+
+FaultRunDigest RunFaultedScenario(uint64_t chaos_seed, bool monitor) {
+  ExperimentConfig config;
+  config.topo = TopologyKind::kTestbed8;
+  config.policy = PolicyKind::kLcmp;
+  config.num_flows = 100;
+  config.load = 0.3;
+  config.seed = 7;
+  ChaosOptions chaos;
+  chaos.seed = chaos_seed;
+  chaos.faults_per_sec = 150;
+  chaos.window_start = Milliseconds(1);
+  chaos.window = Milliseconds(40);
+  chaos.max_duration = Milliseconds(15);
+  config.fault_plan = GenerateChaosPlan(BuildTopology(config), chaos);
+  config.monitor_invariants = monitor;
+  config.monitor_strict = false;
+  const ExperimentResult result = RunExperiment(config);
+
+  FaultRunDigest d;
+  d.completed = result.flows_completed;
+  for (const FctRecorder::Sample& s : result.samples) {
+    d.fct_hash = HashMix(d.fct_hash, static_cast<uint64_t>(s.fct));
+    d.fct_hash = HashMix(d.fct_hash, s.bytes);
+  }
+  d.events = result.events_processed;
+  d.faults_injected = result.faults_injected;
+  d.plan_text = config.fault_plan.ToString();
+  return d;
+}
+
+TEST(DeterminismTest, SameSeedAndFaultPlanIsBitIdentical) {
+  const FaultRunDigest a = RunFaultedScenario(21, /*monitor=*/false);
+  const FaultRunDigest b = RunFaultedScenario(21, /*monitor=*/false);
+  EXPECT_EQ(a.plan_text, b.plan_text);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.fct_hash, b.fct_hash);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_GT(a.faults_injected, 0);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+}
+
+TEST(DeterminismTest, DifferentChaosSeedsDiverge) {
+  const FaultRunDigest a = RunFaultedScenario(21, /*monitor=*/false);
+  const FaultRunDigest b = RunFaultedScenario(22, /*monitor=*/false);
+  EXPECT_NE(a.plan_text, b.plan_text) << "different chaos seeds must draw different schedules";
+  EXPECT_NE(a.fct_hash, b.fct_hash);
+}
+
+TEST(DeterminismTest, InvariantMonitorDoesNotPerturbFaultedRuns) {
+  const FaultRunDigest off = RunFaultedScenario(21, /*monitor=*/false);
+  const FaultRunDigest on = RunFaultedScenario(21, /*monitor=*/true);
+  EXPECT_EQ(off.fct_hash, on.fct_hash);
+  EXPECT_EQ(off.completed, on.completed);
+  EXPECT_EQ(off.faults_injected, on.faults_injected);
 }
 
 TEST(DeterminismTest, ObservabilityDoesNotPerturbTheRun) {

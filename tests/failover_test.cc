@@ -1,0 +1,153 @@
+// CTest mirror of examples/failover_demo: cut one of three parallel inter-DC
+// links while RDMA elephants are in flight and assert LCMP's lazy flow-cache
+// invalidation carries every flow across the cut with no control-plane help.
+// Unlike the demo this drives the cut through the fault subsystem
+// (FaultPlan + FaultInjector) under a strict InvariantMonitor, so any
+// dead-path pinning, routing loop, or byte-ledger break aborts the test.
+#include <gtest/gtest.h>
+
+#include "core/control_plane.h"
+#include "core/lcmp_router.h"
+#include "fault/fault_injector.h"
+#include "fault/invariant_monitor.h"
+#include "stats/fct_recorder.h"
+#include "topo/builders.h"
+#include "transport/rdma_transport.h"
+#include "workload/traffic_gen.h"
+
+namespace lcmp {
+namespace {
+
+// Lowest-indexed inter-DC link (cutting a host access link would strand that
+// host's flows instead of exercising DCI failover).
+int FirstInterDcLink(const Graph& g) {
+  for (int li = 0; li < g.num_links(); ++li) {
+    const LinkSpec& l = g.link(li);
+    if (g.vertex(l.a).kind == VertexKind::kDciSwitch &&
+        g.vertex(l.b).kind == VertexKind::kDciSwitch && g.vertex(l.a).dc != g.vertex(l.b).dc) {
+      return li;
+    }
+  }
+  return -1;
+}
+
+struct FailoverRun {
+  int completed = 0;
+  int64_t rehashes = 0;
+  int64_t injections = 0;
+  int64_t checks = 0;
+  int64_t violations = 0;
+  double p50 = 0;
+};
+
+// The demo scenario: two DCs, three parallel 100G links 5 ms apart, 60
+// elephant flows of 8 MB; one inter-DC link is cut mid-flight. The cut lands
+// at 12 ms — after the first ACKs (10 ms RTT) have established SRTTs but while all flows are still in flight — so their
+// retransmissions arrive well inside the flow-cache idle timeout and exercise
+// the lazy rehash (a cut before the first ACK would stall those flows on the
+// 2 s initial RTO, expire their cache entries, and re-place rather than
+// rehash them).
+FailoverRun RunDumbbellCut(const FaultPlan& plan, bool stop_on_complete = true,
+                           TimeNs horizon = Seconds(20)) {
+  const Graph graph = BuildDumbbell(/*parallel_links=*/3, /*hosts_per_dc=*/4, Gbps(100),
+                                    Milliseconds(5));
+  const LcmpConfig lcmp_config;
+  NetworkConfig net_config;
+  net_config.seed = 3;
+  Network net(graph, net_config, MakeLcmpFactory(lcmp_config));
+  ControlPlane control_plane(lcmp_config);
+  control_plane.Provision(net);
+
+  FctRecorder recorder(&net.graph());
+  const int num_flows = 60;
+  Simulator& sim = net.sim();
+  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn, [&](const FlowRecord& rec) {
+    recorder.OnComplete(rec);
+    if (stop_on_complete && recorder.completed() >= num_flows) {
+      sim.Stop();
+    }
+  });
+  TrafficGenConfig traffic;
+  traffic.workload = WorkloadKind::kWebSearch;
+  traffic.offered_bps = Gbps(120);
+  traffic.num_flows = num_flows;
+  traffic.seed = 9;
+  for (FlowSpec f : GenerateTraffic(graph, {{0, 1}, {1, 0}}, traffic)) {
+    f.size_bytes = 8'000'000;  // uniform elephants make the rehash visible
+    transport.ScheduleFlow(f);
+  }
+
+  // Strict: any invariant violation fails the whole test binary fast.
+  InvariantMonitor monitor(net);
+  FaultInjector injector(net, &control_plane);
+  injector.SetMonitor(&monitor);
+  injector.Arm(plan);
+  monitor.Start();
+
+  net.StartPolicyTicks();
+  sim.Run(horizon);
+  monitor.Stop();
+  monitor.FinalCheck(num_flows, recorder.completed(), plan.AllClearTime());
+
+  FailoverRun out;
+  out.completed = recorder.completed();
+  out.injections = injector.injections();
+  out.checks = monitor.checks_run();
+  out.violations = monitor.violations();
+  out.p50 = recorder.Overall().p50;
+  for (const SwitchTelemetry& t : control_plane.CollectTelemetry(net)) {
+    out.rehashes += t.failover_rehashes;
+  }
+  return out;
+}
+
+TEST(FailoverTest, AllFlowsSurviveAPermanentCut) {
+  const Graph graph = BuildDumbbell(3, 4, Gbps(100), Milliseconds(5));
+  FaultPlan plan;
+  FaultEvent cut;
+  cut.at = Milliseconds(12);
+  cut.kind = FaultKind::kLinkDown;
+  cut.link_idx = FirstInterDcLink(graph);
+  ASSERT_GE(cut.link_idx, 0);
+  plan.events.push_back(cut);
+  ASSERT_EQ(plan.AllClearTime(), -1);  // never repaired
+
+  const FailoverRun run = RunDumbbellCut(plan);
+  EXPECT_EQ(run.completed, 60) << "flows must survive the cut on the two remaining links";
+  EXPECT_EQ(run.injections, 1);
+  EXPECT_GT(run.rehashes, 0) << "the cut must have forced lazy flow-cache rehashes";
+  EXPECT_GT(run.checks, 0);
+  EXPECT_EQ(run.violations, 0);
+  EXPECT_GT(run.p50, 0.0);
+}
+
+TEST(FailoverTest, LivenessHoldsAfterRepair) {
+  // Cut-then-repair: AllClearTime is finite and inside the run, so
+  // FinalCheck also asserts the liveness invariant (every started flow
+  // completed once connectivity returned) instead of skipping it.
+  const Graph graph = BuildDumbbell(3, 4, Gbps(100), Milliseconds(5));
+  FaultPlan plan;
+  FaultEvent cut;
+  cut.at = Milliseconds(12);
+  cut.kind = FaultKind::kLinkDown;
+  cut.link_idx = FirstInterDcLink(graph);
+  ASSERT_GE(cut.link_idx, 0);
+  plan.events.push_back(cut);
+  FaultEvent repair = cut;
+  repair.at = Milliseconds(20);
+  repair.kind = FaultKind::kLinkUp;
+  plan.events.push_back(repair);
+  ASSERT_EQ(plan.AllClearTime(), Milliseconds(20));
+
+  // Run to a fixed horizon (flows can drain before the repair lands; the
+  // repair must still fire for FinalCheck to assert liveness rather than
+  // skip it).
+  const FailoverRun run = RunDumbbellCut(plan, /*stop_on_complete=*/false, Seconds(1));
+  EXPECT_EQ(run.completed, 60);
+  EXPECT_EQ(run.injections, 2);
+  EXPECT_GT(run.rehashes, 0);
+  EXPECT_EQ(run.violations, 0);
+}
+
+}  // namespace
+}  // namespace lcmp

@@ -1,0 +1,331 @@
+// Fault-plan tests (src/fault/): the plan text grammar (parse, round-trip,
+// line-numbered errors), the AllClearTime symbolic replay, and the seeded
+// chaos generator's contracts — (seed, options, graph) fully determines the
+// plan, every fault carries a repair, and keep_one_path never schedules a
+// window where a DC pair loses its last inter-DC link.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "topo/builders.h"
+
+namespace lcmp {
+namespace {
+
+// Two DCs, three parallel 100G links, two hosts per DC: the smallest graph
+// where dci=<a>:<b>#k targets and keep_one_path are both meaningful.
+Graph Dumbbell() {
+  return BuildDumbbell(/*parallel_links=*/3, /*hosts_per_dc=*/2, Gbps(100), Milliseconds(5));
+}
+
+NodeId SomeHost(const Graph& g) {
+  for (NodeId id = 0; id < g.num_vertices(); ++id) {
+    if (g.vertex(id).kind == VertexKind::kHost) {
+      return id;
+    }
+  }
+  return kInvalidNode;
+}
+
+// Inter-DC links ordered by graph link index (what dci=<a>:<b>#k selects).
+std::vector<int> InterDcLinks(const Graph& g) {
+  std::vector<int> out;
+  for (int li = 0; li < g.num_links(); ++li) {
+    const LinkSpec& l = g.link(li);
+    if (g.vertex(l.a).kind == VertexKind::kDciSwitch &&
+        g.vertex(l.b).kind == VertexKind::kDciSwitch && g.vertex(l.a).dc != g.vertex(l.b).dc) {
+      out.push_back(li);
+    }
+  }
+  return out;
+}
+
+TEST(FaultPlanParseTest, ParsesEveryActionAndTargetForm) {
+  const Graph g = Dumbbell();
+  const NodeId dci0 = g.DciOfDc(0);
+  const std::vector<int> inter = InterDcLinks(g);
+  ASSERT_EQ(inter.size(), 3u);
+  const std::string text =
+      "# every action, out of order on purpose\n"
+      "9ms   link-up    link=" +
+      std::to_string(inter[0]) +
+      "\n"
+      "3ms   link-down  dci=0:1#0   # same link, dci form\n"
+      "2ms   flap       dci=0:1#2 period=500us count=6\n"
+      "12ms  switch-up  node=" +
+      std::to_string(dci0) +
+      "\n"
+      "1ms   switch-down dc=0\n"
+      "4ms   degrade    link=1 rate=0.5 delay=2ms loss=0.001\n"
+      "10ms  restore    link=1\n"
+      "5ms   telemetry-outage duration=30ms\n";
+
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan(text, g, &plan, &error)) << error;
+  ASSERT_EQ(plan.size(), 8u);
+  // Sorted by time regardless of file order.
+  EXPECT_TRUE(std::is_sorted(plan.events.begin(), plan.events.end(),
+                             [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; }));
+
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kSwitchDown);
+  EXPECT_EQ(plan.events[0].node, dci0);
+
+  const FaultEvent& flap = plan.events[1];
+  EXPECT_EQ(flap.kind, FaultKind::kLinkFlap);
+  EXPECT_EQ(flap.flap_period, Microseconds(500));
+  EXPECT_EQ(flap.flap_count, 6);
+
+  // dci=0:1#0 resolves to the lowest-indexed parallel link (same link the
+  // link-up line names by index), #2 to the highest.
+  const FaultEvent& down = plan.events[2];
+  EXPECT_EQ(down.kind, FaultKind::kLinkDown);
+  EXPECT_EQ(down.at, Milliseconds(3));
+  EXPECT_EQ(down.link_idx, inter[0]);
+  EXPECT_EQ(flap.link_idx, inter[2]);
+
+  const FaultEvent& degrade = plan.events[3];
+  EXPECT_EQ(degrade.kind, FaultKind::kDegrade);
+  EXPECT_DOUBLE_EQ(degrade.degrade.rate_factor, 0.5);
+  EXPECT_EQ(degrade.degrade.extra_delay_ns, Milliseconds(2));
+  EXPECT_DOUBLE_EQ(degrade.degrade.loss_rate, 0.001);
+
+  EXPECT_EQ(plan.events[4].kind, FaultKind::kTelemetryOutage);
+  EXPECT_EQ(plan.events[4].duration, Milliseconds(30));
+}
+
+TEST(FaultPlanParseTest, ToStringRoundTrips) {
+  const Graph g = Dumbbell();
+  const std::string text =
+      "3ms link-down link=0\n"
+      "9ms link-up link=0\n"
+      "2ms flap link=2 period=500us count=4\n"
+      "4ms degrade link=1 rate=0.25 delay=750us loss=0.002\n"
+      "10ms restore link=1\n"
+      "5ms telemetry-outage duration=30ms\n";
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan(text, g, &plan, &error)) << error;
+
+  FaultPlan reparsed;
+  ASSERT_TRUE(ParseFaultPlan(plan.ToString(), g, &reparsed, &error)) << error;
+  EXPECT_EQ(plan.ToString(), reparsed.ToString());
+  EXPECT_EQ(plan.size(), reparsed.size());
+  EXPECT_EQ(plan.AllClearTime(), reparsed.AllClearTime());
+}
+
+TEST(FaultPlanParseTest, RejectsMalformedInputWithLineNumbers) {
+  const Graph g = Dumbbell();
+  const struct {
+    const char* text;
+    const char* expect_in_error;
+  } cases[] = {
+      {"3xs link-down link=0", "bad time"},
+      {"3ms frobnicate link=0", "unknown action"},
+      {"3ms link-down link=999", "out of range"},
+      {"3ms link-down", "missing link target"},
+      {"3ms link-down dci=0:9", "cannot resolve"},
+      {"3ms flap link=0 count=4", "period"},
+      {"3ms flap link=0 period=1ms count=0", "count"},
+      {"3ms degrade link=0", "at least one of"},
+      {"3ms degrade link=0 rate=1.5", "rate"},
+      {"3ms telemetry-outage", "duration"},
+      {"3ms switch-down", "missing switch target"},
+      {"3ms link-down link", "key=value"},
+      {"3ms", "missing action"},
+  };
+  for (const auto& c : cases) {
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(ParseFaultPlan(c.text, g, &plan, &error)) << c.text;
+    EXPECT_NE(error.find("line 1"), std::string::npos) << c.text << " -> " << error;
+    EXPECT_NE(error.find(c.expect_in_error), std::string::npos) << c.text << " -> " << error;
+  }
+
+  // A host id is not a valid switch target.
+  FaultPlan plan;
+  std::string error;
+  const std::string host_line = "3ms switch-down node=" + std::to_string(SomeHost(g));
+  EXPECT_FALSE(ParseFaultPlan(host_line, g, &plan, &error));
+  EXPECT_NE(error.find("not a switch"), std::string::npos) << error;
+
+  // Errors carry the offending line's number, not line 1.
+  const std::string multi =
+      "1ms link-down link=0\n"
+      "# comment\n"
+      "2ms link-up nonsense\n";
+  EXPECT_FALSE(ParseFaultPlan(multi, g, &plan, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+TEST(FaultPlanTest, AllClearTimeReplaysPairings) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.AllClearTime(), 0);  // nothing to clear
+
+  auto link_event = [](TimeNs at, FaultKind kind, int li) {
+    FaultEvent e;
+    e.at = at;
+    e.kind = kind;
+    e.link_idx = li;
+    return e;
+  };
+
+  // Paired cut clears at the repair.
+  plan.events = {link_event(Milliseconds(3), FaultKind::kLinkDown, 0),
+                 link_event(Milliseconds(9), FaultKind::kLinkUp, 0)};
+  EXPECT_EQ(plan.AllClearTime(), Milliseconds(9));
+
+  // A permanent cut never clears.
+  plan.events = {link_event(Milliseconds(3), FaultKind::kLinkDown, 0)};
+  EXPECT_EQ(plan.AllClearTime(), -1);
+
+  // Even toggle count ends up: clears at the last toggle.
+  FaultEvent flap = link_event(Milliseconds(2), FaultKind::kLinkFlap, 0);
+  flap.flap_period = Microseconds(500);
+  flap.flap_count = 6;
+  plan.events = {flap};
+  EXPECT_EQ(plan.AllClearTime(), Milliseconds(2) + Microseconds(500) * 5);
+
+  // Odd toggle count leaves the link down.
+  flap.flap_count = 3;
+  plan.events = {flap};
+  EXPECT_EQ(plan.AllClearTime(), -1);
+
+  // Degrade needs its restore.
+  plan.events = {link_event(Milliseconds(4), FaultKind::kDegrade, 1)};
+  EXPECT_EQ(plan.AllClearTime(), -1);
+  plan.events.push_back(link_event(Milliseconds(10), FaultKind::kRestore, 1));
+  EXPECT_EQ(plan.AllClearTime(), Milliseconds(10));
+
+  // Telemetry outages clear on their own after `duration`.
+  FaultEvent outage;
+  outage.at = Milliseconds(5);
+  outage.kind = FaultKind::kTelemetryOutage;
+  outage.duration = Milliseconds(30);
+  plan.events = {outage};
+  EXPECT_EQ(plan.AllClearTime(), Milliseconds(35));
+}
+
+ChaosOptions SoakOptions(uint64_t seed) {
+  ChaosOptions opts;
+  opts.seed = seed;
+  opts.faults_per_sec = 100;
+  opts.window_start = Milliseconds(1);
+  opts.window = Milliseconds(200);
+  return opts;
+}
+
+TEST(ChaosPlanTest, SameSeedSamePlanDifferentSeedsDiverge) {
+  const Graph g = BuildTestbed8(Testbed8Options{});
+  const FaultPlan a = GenerateChaosPlan(g, SoakOptions(7));
+  const FaultPlan b = GenerateChaosPlan(g, SoakOptions(7));
+  const FaultPlan c = GenerateChaosPlan(g, SoakOptions(8));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(ChaosPlanTest, EveryFaultIsPairedAndInWindowAndOnValidTargets) {
+  const Graph g = BuildTestbed8(Testbed8Options{});
+  const ChaosOptions opts = SoakOptions(42);
+  const FaultPlan plan = GenerateChaosPlan(g, opts);
+  ASSERT_FALSE(plan.empty());
+
+  // Every break has a repair: the plan eventually goes all-clear, and not
+  // before the window even opens.
+  EXPECT_GE(plan.AllClearTime(), opts.window_start);
+
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_GE(e.at, opts.window_start);
+    EXPECT_LE(e.at, opts.window_start + opts.window + opts.max_duration);
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+      case FaultKind::kLinkFlap:
+      case FaultKind::kDegrade:
+      case FaultKind::kRestore: {
+        ASSERT_GE(e.link_idx, 0);
+        ASSERT_LT(e.link_idx, g.num_links());
+        const LinkSpec& l = g.link(e.link_idx);
+        EXPECT_EQ(g.vertex(l.a).kind, VertexKind::kDciSwitch);
+        EXPECT_EQ(g.vertex(l.b).kind, VertexKind::kDciSwitch);
+        EXPECT_NE(g.vertex(l.a).dc, g.vertex(l.b).dc) << "chaos must target inter-DC links";
+        break;
+      }
+      case FaultKind::kSwitchDown:
+      case FaultKind::kSwitchUp:
+        // Only transit (host-less) DCs may lose a whole switch; failing an
+        // endpoint DC would strand its flows rather than exercise failover.
+        EXPECT_TRUE(g.HostsInDc(g.vertex(e.node).dc).empty());
+        break;
+      case FaultKind::kTelemetryOutage:
+        EXPECT_GT(e.duration, 0);
+        break;
+    }
+  }
+}
+
+TEST(ChaosPlanTest, KeepOnePathNeverCutsAllParallelLinks) {
+  // On the dumbbell every inter-DC link is parallel between the same DCI
+  // pair, so keep_one_path must leave at least one of the three up at all
+  // times. Rebuild the outage intervals from the plan and sweep them.
+  const Graph g = Dumbbell();
+  ChaosOptions opts = SoakOptions(3);
+  opts.faults_per_sec = 300;  // saturate: plenty of chances to violate
+  const FaultPlan plan = GenerateChaosPlan(g, opts);
+  ASSERT_FALSE(plan.empty());
+
+  struct Interval {
+    TimeNs start;
+    TimeNs end;
+  };
+  std::map<int, std::vector<Interval>> outages;
+  std::map<int, TimeNs> open;
+  for (const FaultEvent& e : plan.events) {
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+        open[e.link_idx] = e.at;
+        break;
+      case FaultKind::kLinkUp:
+        ASSERT_TRUE(open.count(e.link_idx)) << "repair without a matching cut";
+        outages[e.link_idx].push_back({open[e.link_idx], e.at});
+        open.erase(e.link_idx);
+        break;
+      case FaultKind::kLinkFlap:
+        // Conservatively treat the whole flap span as an outage.
+        outages[e.link_idx].push_back({e.at, e.at + e.flap_period * (e.flap_count - 1)});
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(open.empty()) << "every cut must be repaired";
+
+  auto down_at = [&](TimeNs t) {
+    int n = 0;
+    for (const auto& [li, v] : outages) {
+      for (const Interval& i : v) {
+        if (t >= i.start && t < i.end) {
+          ++n;
+          break;
+        }
+      }
+    }
+    return n;
+  };
+  int cuts = 0;
+  for (const auto& [li, v] : outages) {
+    for (const Interval& i : v) {
+      ++cuts;
+      EXPECT_LT(down_at(i.start), 3) << "all parallel links down at " << i.start;
+    }
+  }
+  EXPECT_GT(cuts, 0);
+}
+
+}  // namespace
+}  // namespace lcmp

@@ -102,6 +102,7 @@ int main(int argc, char** argv) {
       .Define("w-dp", "1", "LCMP congestion duration weight")
       .Define("csv-prefix", "", "if set, write <prefix>_{flows,links,buckets}.csv");
   DefineObsFlags(flags);
+  DefineFaultFlags(flags);
   if (!flags.Parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(), flags.Usage(argv[0]).c_str());
     return 2;
@@ -138,6 +139,13 @@ int main(int argc, char** argv) {
     config.telemetry_period = Milliseconds(10);
   }
 
+  const FaultOptions fault_opts = GetFaultOptions(flags);
+  if (!BuildFaultPlan(fault_opts, BuildTopology(config), &config.fault_plan, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  config.monitor_invariants = fault_opts.monitor;
+
   const ExperimentResult result = RunExperiment(config);
 
   std::printf("topology=%s policy=%s workload=%s cc=%s load=%.2f seed=%llu\n",
@@ -148,6 +156,15 @@ int main(int argc, char** argv) {
               result.flows_completed, result.flows_requested,
               static_cast<double>(result.sim_end_time) / kNsPerSec,
               static_cast<unsigned long long>(result.events_processed));
+
+  if (!config.fault_plan.empty()) {
+    std::printf("faults: %zu planned events, %lld injections, monitor %s (%lld checks, %lld "
+                "violations)\n",
+                config.fault_plan.size(), static_cast<long long>(result.faults_injected),
+                config.monitor_invariants ? "on" : "off",
+                static_cast<long long>(result.invariant_checks),
+                static_cast<long long>(result.invariant_violations));
+  }
 
   TablePrinter summary({"metric", "value"});
   summary.AddRow({"p50 slowdown", Fmt(result.overall.p50)});
