@@ -2,13 +2,44 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/scenario.h"
 #include "harness/table.h"
 
 namespace lcmp {
+
+// Expands and runs a sweep spec on the parallel engine (all cores by
+// default; set LCMP_BENCH_JOBS to pin the worker count, 1 = sequential).
+// Results are deterministic regardless of the job count. A malformed spec
+// is a bench bug: report and abort.
+inline std::vector<RunOutcome> RunSpec(const SweepSpec& spec) {
+  SweepRunnerOptions opts;
+  if (const char* jobs = std::getenv("LCMP_BENCH_JOBS")) {
+    opts.jobs = std::atoi(jobs);
+  }
+  std::vector<RunOutcome> outcomes;
+  std::string error;
+  if (!RunSweep(spec, opts, &outcomes, &error)) {
+    std::fprintf(stderr, "sweep spec error: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return outcomes;
+}
+
+// The display label one axis contributed to a run's cell (falls back to the
+// full run label if the axis is absent).
+inline std::string CellLabel(const RunOutcome& outcome, const std::string& field) {
+  for (const auto& [axis_field, label] : outcome.run.cell) {
+    if (axis_field == field) {
+      return label;
+    }
+  }
+  return outcome.run.label;
+}
 
 // Baseline configuration for the 8-DC testbed experiments (Fig. 1/5/6/9/10/11).
 inline ExperimentConfig Testbed8Config() {

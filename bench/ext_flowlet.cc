@@ -15,91 +15,28 @@
 // Expected shape: flowlet+GBN suffers heavy retransmission; flowlet+OoO
 // removes the retransmit blowup and matches or beats flow-level stickiness.
 #include "bench/bench_util.h"
-#include "core/control_plane.h"
-#include "core/lcmp_router.h"
-#include "stats/fct_recorder.h"
-#include "workload/traffic_gen.h"
-
-namespace {
-
-struct Variant {
-  const char* name;
-  lcmp::TimeNs flowlet_gap;  // 0 = flow-level stickiness
-  bool ooo;
-};
-
-struct Outcome {
-  lcmp::SlowdownStats stats;
-  int64_t retransmits = 0;
-  int completed = 0;
-};
-
-Outcome Run(const Variant& v) {
-  using namespace lcmp;
-  ExperimentConfig c = Testbed8Config();
-  c.load = 0.5;
-  c.num_flows = 400;
-
-  Testbed8Options topo_opts;
-  topo_opts.fabric.hosts = c.hosts_per_dc;
-  const Graph graph = BuildTestbed8(topo_opts);
-  LcmpConfig lcmp_config = c.lcmp;
-  if (v.flowlet_gap > 0) {
-    lcmp_config.flow_idle_timeout = v.flowlet_gap;
-    lcmp_config.gc_period = Milliseconds(10);
-  }
-  NetworkConfig ncfg;
-  ncfg.seed = c.seed;
-  Network net(graph, ncfg, MakeLcmpFactory(lcmp_config));
-  ControlPlane cp(lcmp_config);
-  cp.Provision(net);
-
-  FctRecorder recorder(&net.graph());
-  TransportConfig tcfg;
-  tcfg.ooo_tolerance = v.ooo;
-  Simulator& sim = net.sim();
-  RdmaTransport transport(&net, tcfg, c.cc, [&](const FlowRecord& rec) {
-    recorder.OnComplete(rec);
-    if (recorder.completed() >= c.num_flows) {
-      sim.Stop();
-    }
-  });
-  const auto pairs = BuildPairing(c, graph.num_dcs());
-  TrafficGenConfig traffic;
-  traffic.workload = c.workload;
-  traffic.offered_bps = OfferedLoadForUtilization(graph, net.routes(), pairs, c.load);
-  traffic.num_flows = c.num_flows;
-  traffic.seed = Mix64(c.seed ^ 0x7ea1);
-  for (const FlowSpec& f : GenerateTraffic(graph, pairs, traffic)) {
-    transport.ScheduleFlow(f);
-  }
-  net.StartPolicyTicks();
-  sim.Run(c.horizon);
-
-  Outcome out;
-  out.stats = recorder.Overall();
-  out.retransmits = transport.retransmitted_packets();
-  out.completed = recorder.completed();
-  return out;
-}
-
-}  // namespace
 
 int main() {
   using namespace lcmp;
   Banner("Extension (Sec. 7.5) - flowlet steering with OoO tolerance",
          "flowlet+GBN: retransmit blowup; flowlet+OoO: no blowup, responsive");
 
-  const Variant variants[] = {
-      {"flow-level LCMP (paper)", 0, false},
-      {"flowlet LCMP + Go-Back-N", Microseconds(200), false},
-      {"flowlet LCMP + OoO tolerance", Microseconds(200), true},
-  };
+  ExperimentConfig base = Testbed8Config();
+  base.policy = PolicyKind::kLcmp;
+  base.load = 0.5;
+  base.num_flows = 400;
+  SweepSpec spec(base);
+  spec.Variants({{"", "flow-level LCMP (paper)"},
+                 {"lcmp.flow_idle_timeout_us=200 lcmp.gc_period_ms=10",
+                  "flowlet LCMP + Go-Back-N"},
+                 {"lcmp.flow_idle_timeout_us=200 lcmp.gc_period_ms=10 ooo_tolerance=true",
+                  "flowlet LCMP + OoO tolerance"}});
+
   TablePrinter table({"variant", "flows", "p50 slowdown", "p99 slowdown", "retransmits"});
-  for (const Variant& v : variants) {
-    const Outcome o = Run(v);
-    table.AddRow({v.name, std::to_string(o.completed), Fmt(o.stats.p50), Fmt(o.stats.p99),
-                  std::to_string(o.retransmits)});
+  for (const RunOutcome& o : RunSpec(spec)) {
+    table.AddRow({o.run.label, std::to_string(o.result.flows_completed),
+                  Fmt(o.result.overall.p50), Fmt(o.result.overall.p99),
+                  std::to_string(o.result.retransmitted_packets)});
   }
   std::printf("\n== Flowlet steering trade-off (WebSearch @ 50%%, 8-DC) ==\n");
   table.Print();

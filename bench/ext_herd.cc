@@ -15,84 +15,6 @@
 // background congestion exists (the other figures); here the point is purely
 // the cascade.
 #include "bench/bench_util.h"
-#include "core/control_plane.h"
-#include "core/lcmp_router.h"
-#include "stats/fct_recorder.h"
-#include "workload/traffic_gen.h"
-
-namespace {
-
-// 8-DC topology with all six routes identical: 100G / 10 ms per leg.
-lcmp::Graph SymmetricTestbed() {
-  lcmp::Testbed8Options opts;
-  for (auto& cls : opts.classes) {
-    cls.rate_bps = lcmp::Gbps(100);
-    cls.per_link_delay_ns = lcmp::Milliseconds(10);
-  }
-  opts.fabric.hosts = 8;
-  return lcmp::BuildTestbed8(opts);
-}
-
-struct Outcome {
-  lcmp::SlowdownStats stats;
-  int64_t max_queue = 0;  // max egress occupancy on DC1's inter-DC ports
-  int ports_used = 0;     // distinct DC1 egresses carrying burst traffic
-};
-
-Outcome Run(const char* variant) {
-  using namespace lcmp;
-  const Graph graph = SymmetricTestbed();
-  LcmpConfig lcmp_config;
-  PolicyFactory factory;
-  if (std::string(variant) == "greedy") {
-    lcmp_config.keep_num = 1;
-    lcmp_config.keep_den = 6;  // keep exactly the cheapest candidate
-    factory = MakeLcmpFactory(lcmp_config);
-  } else if (std::string(variant) == "lcmp") {
-    factory = MakeLcmpFactory(lcmp_config);
-  } else {
-    factory = MakePolicyFactory(PolicyKind::kEcmp, lcmp_config);
-  }
-  NetworkConfig ncfg;
-  ncfg.seed = 5;
-  Network net(graph, ncfg, factory);
-  ControlPlane cp(lcmp_config);
-  cp.Provision(net);
-
-  FctRecorder recorder(&net.graph());
-  const int num_flows = 120;
-  Simulator& sim = net.sim();
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
-                          [&](const FlowRecord& rec) {
-                            recorder.OnComplete(rec);
-                            if (recorder.completed() >= num_flows) {
-                              sim.Stop();
-                            }
-                          });
-  BurstConfig burst;
-  burst.num_flows = num_flows;
-  burst.fixed_size_bytes = 2'000'000;  // identical elephants
-  burst.seed = 3;
-  for (const FlowSpec& f : GenerateBurst(graph, {{0, 7}}, burst)) {
-    transport.ScheduleFlow(f);
-  }
-  net.StartPolicyTicks();
-  sim.Run(Seconds(60));
-
-  Outcome out;
-  out.stats = recorder.Overall();
-  SwitchNode& dci1 = net.switch_node(graph.DciOfDc(0));
-  for (const PathCandidate& c : dci1.CandidatesTo(7)) {
-    const Port& p = dci1.port(c.port);
-    out.max_queue = std::max(out.max_queue, p.max_queue_bytes());
-    if (p.tx_bytes() > 1'000'000) {
-      ++out.ports_used;
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 int main() {
   using namespace lcmp;
@@ -100,14 +22,27 @@ int main() {
          "greedy min-cost cascades onto one egress; LCMP's filter+hash and "
          "ECMP's hash spread the burst");
 
+  ExperimentConfig base;
+  base.topo = TopologyKind::kTestbed8Sym;
+  base.pairing = PairingKind::kEndpointOneWay;
+  base.policy = PolicyKind::kLcmp;
+  base.cc = CcKind::kDcqcn;
+  base.burst_mode = true;
+  base.burst_size_bytes = 2'000'000;  // identical elephants
+  base.num_flows = 120;
+  base.hosts_per_dc = 8;
+  base.seed = 5;
+  base.horizon = Seconds(60);
+  SweepSpec spec(base);
+  spec.Variants({{"lcmp.keep_num=1 lcmp.keep_den=6", "greedy min-cost (no filter+hash)"},
+                 {"", "LCMP two-stage (Sec. 3.4)"},
+                 {"policy=ecmp", "ECMP hash"}});
+
   TablePrinter table({"selection", "p50", "p99", "DC1 egresses used", "max egress queue"});
-  for (const char* v : {"greedy", "lcmp", "ecmp"}) {
-    const Outcome o = Run(v);
-    const char* name = std::string(v) == "greedy" ? "greedy min-cost (no filter+hash)"
-                       : std::string(v) == "lcmp" ? "LCMP two-stage (Sec. 3.4)"
-                                                  : "ECMP hash";
-    table.AddRow({name, Fmt(o.stats.p50), Fmt(o.stats.p99), std::to_string(o.ports_used),
-                  FmtBytes(static_cast<uint64_t>(o.max_queue))});
+  for (const RunOutcome& o : RunSpec(spec)) {
+    table.AddRow({o.run.label, Fmt(o.result.overall.p50), Fmt(o.result.overall.p99),
+                  std::to_string(o.result.endpoint_egress_used),
+                  FmtBytes(static_cast<uint64_t>(o.result.endpoint_max_queue_bytes))});
   }
   table.Print();
   Note("all six DC1->DC8 routes are identical (100G, 2x10ms), so only the "

@@ -15,97 +15,33 @@
 // congestion-aware spreading clears pauses almost immediately (many short
 // XOFF/XON cycles, near-zero cumulative paused time).
 #include "bench/bench_util.h"
-#include "core/control_plane.h"
-#include "core/lcmp_router.h"
-#include "stats/fct_recorder.h"
-#include "workload/traffic_gen.h"
-
-namespace {
-
-struct Outcome {
-  lcmp::SlowdownStats stats;
-  int64_t drops = 0;
-  int64_t pause_frames = 0;
-  double paused_ms = 0;
-  int completed = 0;
-};
-
-Outcome Run(lcmp::PolicyKind policy) {
-  using namespace lcmp;
-  ExperimentConfig c = Testbed8Config();
-  c.load = 0.8;
-  c.num_flows = 400;
-
-  Testbed8Options topo_opts;
-  topo_opts.fabric.hosts = c.hosts_per_dc;
-  const Graph graph = BuildTestbed8(topo_opts);
-  NetworkConfig ncfg;
-  ncfg.seed = c.seed;
-  ncfg.pfc.enabled = true;
-  // Long-haul PFC: XOFF above the ECN operating point (so steady state does
-  // not pause) but low enough that bursts which outrun the delayed ECN
-  // feedback do. Headroom for the 125 ms links is covered by the 2 GB
-  // inter-DC buffers the topology provisions.
-  ncfg.pfc.xoff_bytes = 1LL * 1024 * 1024;
-  ncfg.pfc.xon_bytes = 512LL * 1024;
-  Network net(graph, ncfg, MakePolicyFactory(policy, c.lcmp));
-  ControlPlane cp(c.lcmp);
-  cp.Provision(net);
-
-  FctRecorder recorder(&net.graph());
-  Simulator& sim = net.sim();
-  RdmaTransport transport(&net, TransportConfig{}, c.cc, [&](const FlowRecord& rec) {
-    recorder.OnComplete(rec);
-    if (recorder.completed() >= c.num_flows) {
-      sim.Stop();
-    }
-  });
-  const auto pairs = BuildPairing(c, graph.num_dcs());
-  TrafficGenConfig traffic;
-  traffic.workload = c.workload;
-  traffic.offered_bps = OfferedLoadForUtilization(graph, net.routes(), pairs, c.load);
-  traffic.num_flows = c.num_flows;
-  traffic.seed = Mix64(c.seed ^ 0x7ea1);
-  for (const FlowSpec& f : GenerateTraffic(graph, pairs, traffic)) {
-    transport.ScheduleFlow(f);
-  }
-  net.StartPolicyTicks();
-  sim.Run(c.horizon);
-
-  Outcome out;
-  out.stats = recorder.Overall();
-  out.completed = recorder.completed();
-  for (NodeId id = 0; id < graph.num_vertices(); ++id) {
-    if (graph.vertex(id).kind == VertexKind::kHost) {
-      continue;
-    }
-    SwitchNode& sw = net.switch_node(id);
-    for (PortIndex p = 0; p < sw.num_ports(); ++p) {
-      out.drops += sw.port(p).dropped_packets();
-      out.paused_ms += static_cast<double>(sw.port(p).paused_ns()) / kNsPerMs;
-    }
-    if (sw.pfc() != nullptr) {
-      out.pause_frames += sw.pfc()->pause_frames_sent();
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 int main() {
   using namespace lcmp;
   Banner("Substrate - PFC (lossless) pressure per routing policy @ 80% load",
          "all lossless (0 drops); LCMP minimizes cumulative paused time");
 
+  ExperimentConfig base = Testbed8Config();
+  base.load = 0.8;
+  base.num_flows = 400;
+  // Long-haul PFC: XOFF above the ECN operating point (so steady state does
+  // not pause) but low enough that bursts which outrun the delayed ECN
+  // feedback do. Headroom for the 125 ms links is covered by the 2 GB
+  // inter-DC buffers the topology provisions.
+  base.pfc_enabled = true;
+  base.pfc_xoff_bytes = 1LL * 1024 * 1024;
+  base.pfc_xon_bytes = 512LL * 1024;
+  SweepSpec spec(base);
+  spec.Policies({PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kRedte, PolicyKind::kLcmp});
+
   TablePrinter table({"policy", "flows", "p50", "p99", "switch drops", "pause frames",
                       "paused (ms, all ports)"});
-  for (const PolicyKind p :
-       {PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kRedte, PolicyKind::kLcmp}) {
-    const Outcome o = Run(p);
-    table.AddRow({PolicyKindName(p), std::to_string(o.completed), Fmt(o.stats.p50),
-                  Fmt(o.stats.p99), std::to_string(o.drops), std::to_string(o.pause_frames),
-                  Fmt(o.paused_ms, 1)});
+  for (const RunOutcome& o : RunSpec(spec)) {
+    table.AddRow({CellLabel(o, "policy"), std::to_string(o.result.flows_completed),
+                  Fmt(o.result.overall.p50), Fmt(o.result.overall.p99),
+                  std::to_string(o.result.switch_dropped_packets),
+                  std::to_string(o.result.pfc_pause_frames),
+                  Fmt(static_cast<double>(o.result.total_paused_ns) / kNsPerMs, 1)});
   }
   table.Print();
   Note("PFC XOFF=1MB/XON=512KB per ingress; 2GB inter-DC buffers provide the "

@@ -14,11 +14,11 @@ int main() {
          "UCMP: 17%-class util on DC1-DC2 high-delay route, 0% on the 40G low-delay "
          "routes; ECMP: ~30% on the 40G routes; LCMP balances and wins both p50 and p99");
 
-  ExperimentConfig base = Testbed8Config();
+  SweepSpec spec(Testbed8Config());
+  spec.Policies({PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kLcmp});
   std::vector<NamedResult> results;
-  for (const PolicyKind p : {PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kLcmp}) {
-    base.policy = p;
-    results.push_back(NamedResult{PolicyKindName(p), RunExperiment(base)});
+  for (const RunOutcome& o : RunSpec(spec)) {
+    results.push_back(NamedResult{CellLabel(o, "policy"), o.result});
   }
 
   PrintLinkUtilizationTable("Fig. 1b - per-link utilization (directed inter-DC links)",

@@ -16,9 +16,12 @@ int main() {
   ExperimentConfig base = Testbed8Config();
   base.emulation_mode = true;
   base.num_flows = 400;
-  const auto cells = RunPolicyLoadSweep(
-      base, {PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kRedte, PolicyKind::kLcmp},
-      {0.30, 0.50, 0.80});
+  // Loads first: the slowest-varying axis, matching the legacy load-major
+  // table order.
+  SweepSpec spec(base);
+  spec.Loads({0.30, 0.50, 0.80})
+      .Policies({PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kRedte, PolicyKind::kLcmp});
+  const auto cells = ToSweepCells(RunSpec(spec));
   PrintSlowdownTable("Fig. 5 - WebSearch on the 8-DC testbed (DCQCN, emulation mode)", cells);
 
   Note("'pXX vs LCMP' columns report the reduction LCMP achieves relative to that "

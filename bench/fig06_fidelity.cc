@@ -18,14 +18,19 @@ int main() {
   ExperimentConfig base = Testbed8Config();
   base.num_flows = 400;
 
+  // Policy is the slow axis, emulation the fast one, so outcomes come back
+  // as (sim, emu) pairs per policy.
+  SweepSpec spec(base);
+  spec.Policies({PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kLcmp})
+      .Axis("emulation", {"false", "true"});
+  const auto outcomes = RunSpec(spec);
+
   TablePrinter table({"policy", "size bucket", "sim p50", "emu p50", "sim p99", "emu p99"});
   std::vector<double> sim_p50, emu_p50, sim_p99, emu_p99;
-  for (const PolicyKind p : {PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kLcmp}) {
-    base.policy = p;
-    base.emulation_mode = false;
-    const ExperimentResult sim_r = RunExperiment(base);
-    base.emulation_mode = true;
-    const ExperimentResult emu_r = RunExperiment(base);
+  for (size_t i = 0; i + 1 < outcomes.size(); i += 2) {
+    const ExperimentResult& sim_r = outcomes[i].result;
+    const ExperimentResult& emu_r = outcomes[i + 1].result;
+    const std::string policy = CellLabel(outcomes[i], "policy");
     for (const auto& sb : sim_r.buckets) {
       for (const auto& eb : emu_r.buckets) {
         if (sb.size_hi == eb.size_hi && sb.stats.count >= 5 && eb.stats.count >= 5) {
@@ -33,7 +38,7 @@ int main() {
           emu_p50.push_back(eb.stats.p50);
           sim_p99.push_back(sb.stats.p99);
           emu_p99.push_back(eb.stats.p99);
-          table.AddRow({PolicyKindName(p), FmtBytes(sb.size_hi), Fmt(sb.stats.p50),
+          table.AddRow({policy, FmtBytes(sb.size_hi), Fmt(sb.stats.p50),
                         Fmt(eb.stats.p50), Fmt(sb.stats.p99), Fmt(eb.stats.p99)});
         }
       }

@@ -13,10 +13,10 @@ int main() {
   Banner("Figure 7 - 13-DC system-wide FCT slowdown at 30/50/80% load",
          "median ~ECMP, p99 modestly better; diluted by single-path pairs");
 
-  ExperimentConfig base = Bso13Config();
-  const auto cells = RunPolicyLoadSweep(
-      base, {PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kRedte, PolicyKind::kLcmp},
-      {0.30, 0.50, 0.80});
+  SweepSpec spec(Bso13Config());
+  spec.Loads({0.30, 0.50, 0.80})
+      .Policies({PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kRedte, PolicyKind::kLcmp});
+  const auto cells = ToSweepCells(RunSpec(spec));
   PrintSlowdownTable("Fig. 7 - all-to-all aggregate (13-DC BSONetwork, DCQCN)", cells);
 
   if (!cells.empty()) {

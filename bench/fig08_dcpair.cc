@@ -16,9 +16,10 @@ int main() {
   // Oversample the focal pair so each cell has enough samples; the
   // background traffic is still the Fig. 7 all-to-all mix.
   base.pairing = PairingKind::kAllToAllFocusEndpoints;
-  const auto cells = RunPolicyLoadSweep(
-      base, {PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kRedte, PolicyKind::kLcmp},
-      {0.30, 0.50, 0.80});
+  SweepSpec spec(base);
+  spec.Loads({0.30, 0.50, 0.80})
+      .Policies({PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kRedte, PolicyKind::kLcmp});
+  const auto cells = ToSweepCells(RunSpec(spec));
   PrintSlowdownTable("Fig. 8 - flows between DC1 and DC13 only", cells,
                      /*dc_pair_only=*/true, /*pair_a=*/0, /*pair_b=*/12);
   Note("rows use only the samples whose endpoints are DC1/DC13 (both directions); "

@@ -12,17 +12,14 @@ int main() {
   Banner("Figure 9 - workload sensitivity at 30% load (DCQCN, 8-DC)",
          "LCMP wins medians and tails on every workload; UCMP worst medians");
 
+  SweepSpec spec(Testbed8Config());
+  spec.Workloads({WorkloadKind::kWebSearch, WorkloadKind::kFbHdp, WorkloadKind::kAliStorage})
+      .Policies({PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kLcmp});
+
   TablePrinter table({"workload", "policy", "p50 slowdown", "p99 slowdown"});
-  for (const WorkloadKind w :
-       {WorkloadKind::kWebSearch, WorkloadKind::kFbHdp, WorkloadKind::kAliStorage}) {
-    for (const PolicyKind p : {PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kLcmp}) {
-      ExperimentConfig c = Testbed8Config();
-      c.workload = w;
-      c.policy = p;
-      const ExperimentResult r = RunExperiment(c);
-      table.AddRow({WorkloadKindName(w), PolicyKindName(p), Fmt(r.overall.p50),
-                    Fmt(r.overall.p99)});
-    }
+  for (const RunOutcome& o : RunSpec(spec)) {
+    table.AddRow({CellLabel(o, "workload"), CellLabel(o, "policy"),
+                  Fmt(o.result.overall.p50), Fmt(o.result.overall.p99)});
   }
   std::printf("\n== Fig. 9 - three workloads, ECMP vs UCMP vs LCMP ==\n");
   table.Print();

@@ -13,16 +13,14 @@ int main() {
   Banner("Figure 10 - CC orthogonality at 30% load (8-DC)",
          "similar LCMP gains under DCQCN, HPCC, TIMELY and DCTCP");
 
+  SweepSpec spec(Testbed8Config());
+  spec.Ccs({CcKind::kDcqcn, CcKind::kHpcc, CcKind::kTimely, CcKind::kDctcp})
+      .Policies({PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kLcmp});
+
   TablePrinter table({"cc", "policy", "p50 slowdown", "p99 slowdown"});
-  for (const CcKind cc : {CcKind::kDcqcn, CcKind::kHpcc, CcKind::kTimely, CcKind::kDctcp}) {
-    for (const PolicyKind p : {PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kLcmp}) {
-      ExperimentConfig c = Testbed8Config();
-      c.cc = cc;
-      c.policy = p;
-      const ExperimentResult r = RunExperiment(c);
-      table.AddRow({CcKindName(cc), PolicyKindName(p), Fmt(r.overall.p50),
-                    Fmt(r.overall.p99)});
-    }
+  for (const RunOutcome& o : RunSpec(spec)) {
+    table.AddRow({CellLabel(o, "cc"), CellLabel(o, "policy"),
+                  Fmt(o.result.overall.p50), Fmt(o.result.overall.p99)});
   }
   std::printf("\n== Fig. 10 - four congestion controllers ==\n");
   table.Print();

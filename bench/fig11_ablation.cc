@@ -13,24 +13,13 @@ int main() {
   Banner("Figure 11a - ablation: rm-alpha / rm-beta / full LCMP",
          "rm-alpha hurts all sizes; rm-beta hurts the largest flows; full wins");
 
-  std::vector<NamedResult> results;
-  {
-    ExperimentConfig c = Testbed8Config();
-    c.policy = PolicyKind::kLcmp;
-    c.lcmp.alpha = 0;  // rm-alpha: path-quality removed
-    results.push_back(NamedResult{"rm-alpha", RunExperiment(c)});
-  }
-  {
-    ExperimentConfig c = Testbed8Config();
-    c.policy = PolicyKind::kLcmp;
-    c.lcmp.beta = 0;  // rm-beta: congestion removed
-    results.push_back(NamedResult{"rm-beta", RunExperiment(c)});
-  }
-  {
-    ExperimentConfig c = Testbed8Config();
-    c.policy = PolicyKind::kLcmp;
-    results.push_back(NamedResult{"full", RunExperiment(c)});
-  }
+  ExperimentConfig base = Testbed8Config();
+  base.policy = PolicyKind::kLcmp;
+  SweepSpec spec(base);
+  spec.Variants({{"lcmp.alpha=0", "rm-alpha"},  // path-quality removed
+                 {"lcmp.beta=0", "rm-beta"},    // congestion removed
+                 {"", "full"}});
+  const std::vector<NamedResult> results = ToNamedResults(RunSpec(spec));
 
   PrintBucketTable("Fig. 11a - per-size p50/p99 slowdown", results);
 

@@ -11,18 +11,13 @@ int main() {
   Banner("Figure 11d - congestion weights (w_ql, w_tl, w_dp)",
          "queue-focused (2,1,1) most stable; others inflate elephant tails");
 
-  std::vector<NamedResult> results;
-  const int settings[3][3] = {{2, 1, 1}, {1, 2, 1}, {1, 1, 2}};
-  for (const auto& s : settings) {
-    ExperimentConfig c = Testbed8Config();
-    c.policy = PolicyKind::kLcmp;
-    c.lcmp.w_ql = s[0];
-    c.lcmp.w_tl = s[1];
-    c.lcmp.w_dp = s[2];
-    const std::string name = "(" + std::to_string(s[0]) + "," + std::to_string(s[1]) + "," +
-                             std::to_string(s[2]) + ")";
-    results.push_back(NamedResult{name, RunExperiment(c)});
-  }
+  ExperimentConfig base = Testbed8Config();
+  base.policy = PolicyKind::kLcmp;
+  SweepSpec spec(base);
+  spec.Variants({{"lcmp.w_ql=2 lcmp.w_tl=1 lcmp.w_dp=1", "(2,1,1)"},
+                 {"lcmp.w_ql=1 lcmp.w_tl=2 lcmp.w_dp=1", "(1,2,1)"},
+                 {"lcmp.w_ql=1 lcmp.w_tl=1 lcmp.w_dp=2", "(1,1,2)"}});
+  const std::vector<NamedResult> results = ToNamedResults(RunSpec(spec));
   PrintBucketTable("Fig. 11d - per-size p50/p99 slowdown", results);
 
   TablePrinter overall({"(w_ql,w_tl,w_dp)", "p50", "p99"});

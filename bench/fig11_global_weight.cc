@@ -11,16 +11,13 @@ int main() {
   Banner("Figure 11b - global fusion weights (alpha, beta)",
          "similar p50 everywhere; (3,1) roughly halves p99 vs (1,1)/(1,3)");
 
-  std::vector<NamedResult> results;
-  const int settings[3][2] = {{3, 1}, {1, 1}, {1, 3}};
-  for (const auto& s : settings) {
-    ExperimentConfig c = Testbed8Config();
-    c.policy = PolicyKind::kLcmp;
-    c.lcmp.alpha = s[0];
-    c.lcmp.beta = s[1];
-    const std::string name = "(" + std::to_string(s[0]) + "," + std::to_string(s[1]) + ")";
-    results.push_back(NamedResult{name, RunExperiment(c)});
-  }
+  ExperimentConfig base = Testbed8Config();
+  base.policy = PolicyKind::kLcmp;
+  SweepSpec spec(base);
+  spec.Variants({{"lcmp.alpha=3 lcmp.beta=1", "(3,1)"},
+                 {"lcmp.alpha=1 lcmp.beta=1", "(1,1)"},
+                 {"lcmp.alpha=1 lcmp.beta=3", "(1,3)"}});
+  const std::vector<NamedResult> results = ToNamedResults(RunSpec(spec));
   PrintBucketTable("Fig. 11b - per-size p50/p99 slowdown", results);
 
   TablePrinter overall({"(alpha,beta)", "p50", "p99"});

@@ -12,16 +12,13 @@ int main() {
   Banner("Figure 11c - path-quality weights (w_dl, w_lc)",
          "(3,1) best; (1,1) worse tails; (1,3) worst medians and tails");
 
-  std::vector<NamedResult> results;
-  const int settings[3][2] = {{3, 1}, {1, 1}, {1, 3}};
-  for (const auto& s : settings) {
-    ExperimentConfig c = Testbed8Config();
-    c.policy = PolicyKind::kLcmp;
-    c.lcmp.w_dl = s[0];
-    c.lcmp.w_lc = s[1];
-    const std::string name = "(" + std::to_string(s[0]) + "," + std::to_string(s[1]) + ")";
-    results.push_back(NamedResult{name, RunExperiment(c)});
-  }
+  ExperimentConfig base = Testbed8Config();
+  base.policy = PolicyKind::kLcmp;
+  SweepSpec spec(base);
+  spec.Variants({{"lcmp.w_dl=3 lcmp.w_lc=1", "(3,1)"},
+                 {"lcmp.w_dl=1 lcmp.w_lc=1", "(1,1)"},
+                 {"lcmp.w_dl=1 lcmp.w_lc=3", "(1,3)"}});
+  const std::vector<NamedResult> results = ToNamedResults(RunSpec(spec));
   PrintBucketTable("Fig. 11c - per-size p50/p99 slowdown", results);
 
   TablePrinter overall({"(w_dl,w_lc)", "p50", "p99"});

@@ -6,7 +6,9 @@ namespace lcmp {
 namespace {
 
 LogLevel g_level = LogLevel::kWarning;
-const int64_t* g_sim_now = nullptr;
+// Installed per-Simulator::Run; thread_local so each parallel sweep worker's
+// log lines carry its own simulator's clock.
+thread_local const int64_t* g_sim_now = nullptr;
 CheckFailureHook g_check_hook = nullptr;
 
 const char* LevelName(LogLevel level) {
@@ -40,7 +42,7 @@ void SetCheckFailureHook(CheckFailureHook hook) { g_check_hook = hook; }
 
 void NotifyCheckFailure() {
   // A hook that CHECK-fails itself must not recurse into the hook forever.
-  static bool in_hook = false;
+  static thread_local bool in_hook = false;
   if (g_check_hook != nullptr && !in_hook) {
     in_hook = true;
     g_check_hook();

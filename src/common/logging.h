@@ -22,6 +22,8 @@ void SetLogLevel(LogLevel level);
 // Current-simulation-time source for log prefixes. While a Simulator runs it
 // points at the simulator's clock (installed/restored by Simulator::Run), so
 // every log line — including crash logs — carries the simulation timestamp.
+// The source is thread-local: each parallel sweep worker installs its own
+// simulator's clock without affecting other threads' log prefixes.
 // Pass nullptr to clear. Returns the previous source so scopes can nest.
 const int64_t* SetLogSimTimeSource(const int64_t* now_ns);
 

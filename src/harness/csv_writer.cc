@@ -68,4 +68,26 @@ bool WriteBucketsCsv(const std::string& path, const ExperimentResult& result) {
   return true;
 }
 
+bool WriteSweepSummaryCsv(const std::string& path, const std::vector<RunOutcome>& outcomes) {
+  File file(path);
+  if (file.f == nullptr) {
+    LCMP_ERROR("cannot open %s for writing", path.c_str());
+    return false;
+  }
+  std::fprintf(file.f,
+               "index,label,policy,load,seed,flows_completed,p50,p95,p99,mean,digest,"
+               "wall_seconds\n");
+  for (const RunOutcome& o : outcomes) {
+    // Labels can contain spaces but never commas/quotes (axis labels are
+    // token-like), so plain CSV quoting is enough.
+    std::fprintf(file.f, "%zu,\"%s\",%s,%.4f,%llu,%d,%.4f,%.4f,%.4f,%.4f,0x%016llx,%.3f\n",
+                 o.run.index, o.run.label.c_str(), PolicyKindToken(o.run.config.policy),
+                 o.run.config.load, static_cast<unsigned long long>(o.run.config.seed),
+                 o.result.flows_completed, o.result.overall.p50, o.result.overall.p95,
+                 o.result.overall.p99, o.result.overall.mean,
+                 static_cast<unsigned long long>(o.digest), o.wall_seconds);
+  }
+  return true;
+}
+
 }  // namespace lcmp

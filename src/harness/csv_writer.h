@@ -3,8 +3,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
+#include "harness/runner.h"
 
 namespace lcmp {
 
@@ -19,5 +21,9 @@ bool WriteLinkUtilizationCsv(const std::string& path, const ExperimentResult& re
 // Writes one row per flow-size bucket:
 //   size_hi_bytes,count,p50,p95,p99,mean
 bool WriteBucketsCsv(const std::string& path, const ExperimentResult& result);
+
+// Writes one row per sweep run (expansion order):
+//   index,label,policy,load,seed,flows_completed,p50,p95,p99,mean,digest,wall_seconds
+bool WriteSweepSummaryCsv(const std::string& path, const std::vector<RunOutcome>& outcomes);
 
 }  // namespace lcmp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "core/lcmp_router.h"
@@ -36,8 +38,139 @@ const char* TopologyKindName(TopologyKind kind) {
       return "testbed-8dc";
     case TopologyKind::kBso13:
       return "bso-13dc";
+    case TopologyKind::kTestbed8Sym:
+      return "testbed-8dc-sym";
   }
   return "?";
+}
+
+const char* PolicyKindToken(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kEcmp:
+      return "ecmp";
+    case PolicyKind::kWcmp:
+      return "wcmp";
+    case PolicyKind::kUcmp:
+      return "ucmp";
+    case PolicyKind::kRedte:
+      return "redte";
+    case PolicyKind::kLcmp:
+      return "lcmp";
+  }
+  return "?";
+}
+
+const char* TopologyKindToken(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kTestbed8:
+      return "testbed8";
+    case TopologyKind::kBso13:
+      return "bso13";
+    case TopologyKind::kTestbed8Sym:
+      return "testbed8-sym";
+  }
+  return "?";
+}
+
+const char* WorkloadKindToken(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kWebSearch:
+      return "websearch";
+    case WorkloadKind::kFbHdp:
+      return "fbhdp";
+    case WorkloadKind::kAliStorage:
+      return "alistorage";
+  }
+  return "?";
+}
+
+const char* PairingKindToken(PairingKind kind) {
+  switch (kind) {
+    case PairingKind::kEndpointPair:
+      return "endpoints";
+    case PairingKind::kAllToAll:
+      return "all";
+    case PairingKind::kAllToAllFocusEndpoints:
+      return "all-focus";
+    case PairingKind::kEndpointOneWay:
+      return "endpoints-oneway";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shared skeleton for the Parse*Kind helpers: match `text` against the token
+// table; on failure compose "unknown <what> '<text>' (expected one of: ...)".
+template <typename Kind>
+bool ParseKindToken(const std::string& text, const char* what,
+                    const std::vector<std::pair<const char*, Kind>>& table, Kind* out,
+                    std::string* error) {
+  for (const auto& [token, kind] : table) {
+    if (text == token) {
+      *out = kind;
+      return true;
+    }
+  }
+  if (error != nullptr) {
+    std::string expected;
+    for (const auto& [token, kind] : table) {
+      (void)kind;
+      if (!expected.empty()) {
+        expected += " | ";
+      }
+      expected += token;
+    }
+    *error = std::string("unknown ") + what + " '" + text + "' (expected one of: " + expected +
+             ")";
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ParsePolicyKind(const std::string& text, PolicyKind* out, std::string* error) {
+  return ParseKindToken<PolicyKind>(text, "policy",
+                                    {{"ecmp", PolicyKind::kEcmp},
+                                     {"wcmp", PolicyKind::kWcmp},
+                                     {"ucmp", PolicyKind::kUcmp},
+                                     {"redte", PolicyKind::kRedte},
+                                     {"lcmp", PolicyKind::kLcmp}},
+                                    out, error);
+}
+
+bool ParseTopologyKind(const std::string& text, TopologyKind* out, std::string* error) {
+  return ParseKindToken<TopologyKind>(text, "topology",
+                                      {{"testbed8", TopologyKind::kTestbed8},
+                                       {"bso13", TopologyKind::kBso13},
+                                       {"testbed8-sym", TopologyKind::kTestbed8Sym}},
+                                      out, error);
+}
+
+bool ParseCcKind(const std::string& text, CcKind* out, std::string* error) {
+  return ParseKindToken<CcKind>(text, "congestion control",
+                                {{"dcqcn", CcKind::kDcqcn},
+                                 {"hpcc", CcKind::kHpcc},
+                                 {"timely", CcKind::kTimely},
+                                 {"dctcp", CcKind::kDctcp}},
+                                out, error);
+}
+
+bool ParseWorkloadKind(const std::string& text, WorkloadKind* out, std::string* error) {
+  return ParseKindToken<WorkloadKind>(text, "workload",
+                                      {{"websearch", WorkloadKind::kWebSearch},
+                                       {"fbhdp", WorkloadKind::kFbHdp},
+                                       {"alistorage", WorkloadKind::kAliStorage}},
+                                      out, error);
+}
+
+bool ParsePairingKind(const std::string& text, PairingKind* out, std::string* error) {
+  return ParseKindToken<PairingKind>(text, "pairing",
+                                     {{"endpoints", PairingKind::kEndpointPair},
+                                      {"all", PairingKind::kAllToAll},
+                                      {"all-focus", PairingKind::kAllToAllFocusEndpoints},
+                                      {"endpoints-oneway", PairingKind::kEndpointOneWay}},
+                                     out, error);
 }
 
 PolicyFactory MakePolicyFactory(PolicyKind kind, const LcmpConfig& lcmp_config) {
@@ -68,6 +201,15 @@ Graph BuildTopology(const ExperimentConfig& config) {
       opts.fabric.hosts = config.hosts_per_dc;
       return BuildBso13(opts);
     }
+    case TopologyKind::kTestbed8Sym: {
+      Testbed8Options opts;
+      for (auto& cls : opts.classes) {
+        cls.rate_bps = Gbps(100);
+        cls.per_link_delay_ns = Milliseconds(10);
+      }
+      opts.fabric.hosts = config.hosts_per_dc;
+      return BuildTestbed8(opts);
+    }
   }
   return BuildTestbed8({});
 }
@@ -86,10 +228,13 @@ std::vector<std::pair<DcId, DcId>> BuildPairing(const ExperimentConfig& config, 
     }
     return pairs;
   }
-  // Endpoint pair: first and last DC, both directions (DC1 <-> DC8 on the
-  // testbed topology; DC1 <-> DC13 endpoints carry hosts in bso13 too).
   const DcId a = 0;
   const DcId b = static_cast<DcId>(num_dcs - 1);
+  if (config.pairing == PairingKind::kEndpointOneWay) {
+    return {{a, b}};
+  }
+  // Endpoint pair: first and last DC, both directions (DC1 <-> DC8 on the
+  // testbed topology; DC1 <-> DC13 endpoints carry hosts in bso13 too).
   return {{a, b}, {b, a}};
 }
 
@@ -136,25 +281,40 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   NetworkConfig net_config;
   net_config.seed = config.seed;
   net_config.enable_int = CcNeedsInt(config.cc);
+  net_config.pfc.enabled = config.pfc_enabled;
+  net_config.pfc.xoff_bytes = config.pfc_xoff_bytes;
+  net_config.pfc.xon_bytes = config.pfc_xon_bytes;
   Network net(graph, net_config, MakePolicyFactory(config.policy, config.lcmp));
 
   // Control plane provisioning (no-op for non-LCMP policies).
   ControlPlane control_plane(config.lcmp);
   control_plane.Provision(net);
 
-  // Workload.
+  // Workload: open-loop Poisson arrivals by default, or a simultaneous burst
+  // (herd-effect experiments) when burst_mode is set.
   const auto pairs = BuildPairing(config, graph.num_dcs());
-  TrafficGenConfig traffic;
-  traffic.workload = config.workload;
-  traffic.offered_bps = OfferedLoadForUtilization(graph, net.routes(), pairs, config.load);
-  traffic.num_flows = config.num_flows;
-  traffic.seed = Mix64(config.seed ^ 0x7ea1);
-  const std::vector<FlowSpec> flows = GenerateTraffic(graph, pairs, traffic);
+  std::vector<FlowSpec> flows;
+  if (config.burst_mode) {
+    BurstConfig burst;
+    burst.workload = config.workload;
+    burst.num_flows = config.num_flows;
+    burst.fixed_size_bytes = config.burst_size_bytes;
+    burst.seed = Mix64(config.seed ^ 0x7ea1);
+    flows = GenerateBurst(graph, pairs, burst);
+  } else {
+    TrafficGenConfig traffic;
+    traffic.workload = config.workload;
+    traffic.offered_bps = OfferedLoadForUtilization(graph, net.routes(), pairs, config.load);
+    traffic.num_flows = config.num_flows;
+    traffic.seed = Mix64(config.seed ^ 0x7ea1);
+    flows = GenerateTraffic(graph, pairs, traffic);
+  }
 
   // Transport + stats.
   FctRecorder recorder(&net.graph());
   TransportConfig tconfig;
   tconfig.emulation_mode = config.emulation_mode;
+  tconfig.ooo_tolerance = config.ooo_tolerance;
   Simulator& sim = net.sim();
   const int expected = static_cast<int>(flows.size());
   RdmaTransport transport(&net, tconfig, config.cc, [&](const FlowRecord& rec) {
@@ -178,8 +338,18 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     injector.SetMonitor(monitor.get());
     monitor->Start();
   }
-  if (!config.fault_plan.empty()) {
-    injector.Arm(config.fault_plan);
+  // An explicit plan wins; otherwise a non-zero chaos seed draws one, so
+  // fault sweeps are expressible as plain (sweepable) config fields.
+  FaultPlan armed_plan = config.fault_plan;
+  if (armed_plan.empty() && config.chaos_seed != 0) {
+    ChaosOptions chaos;
+    chaos.seed = config.chaos_seed;
+    chaos.faults_per_sec = config.chaos_rate;
+    chaos.window = Milliseconds(config.chaos_window_ms);
+    armed_plan = GenerateChaosPlan(graph, chaos);
+  }
+  if (!armed_plan.empty()) {
+    injector.Arm(armed_plan);
   }
 
   LinkUtilizationTracker util(&net);
@@ -192,7 +362,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   control_plane.StopTelemetryLoop(net);
   if (monitor != nullptr) {
     monitor->Stop();
-    monitor->FinalCheck(expected, recorder.completed(), config.fault_plan.AllClearTime());
+    monitor->FinalCheck(expected, recorder.completed(), armed_plan.AllClearTime());
   }
 
   ExperimentResult result;
@@ -210,6 +380,34 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.sim_end_time = sim.now();
   result.multipath_pair_fraction = net.routes().MultipathPairFraction();
   result.faults_injected = injector.injections();
+  // Substrate accounting (cheap: one pass over switch ports).
+  for (NodeId id = 0; id < graph.num_vertices(); ++id) {
+    if (graph.vertex(id).kind == VertexKind::kHost) {
+      continue;
+    }
+    SwitchNode& sw = net.switch_node(id);
+    for (PortIndex p = 0; p < sw.num_ports(); ++p) {
+      result.switch_dropped_packets += sw.port(p).dropped_packets();
+      result.total_paused_ns += sw.port(p).paused_ns();
+    }
+    if (sw.pfc() != nullptr) {
+      result.pfc_pause_frames += sw.pfc()->pause_frames_sent();
+    }
+  }
+  // Endpoint egress spread: the first DC's candidate egresses toward the
+  // last DC (herd-effect experiments read these off the result).
+  if (graph.num_dcs() >= 2) {
+    const DcId last = static_cast<DcId>(graph.num_dcs() - 1);
+    SwitchNode& first_dci = net.switch_node(graph.DciOfDc(0));
+    for (const PathCandidate& cand : first_dci.CandidatesTo(last)) {
+      const Port& port = first_dci.port(cand.port);
+      result.endpoint_max_queue_bytes =
+          std::max(result.endpoint_max_queue_bytes, port.max_queue_bytes());
+      if (port.tx_bytes() > 1'000'000) {
+        ++result.endpoint_egress_used;
+      }
+    }
+  }
   if (monitor != nullptr) {
     result.invariant_checks = monitor->checks_run();
     result.invariant_violations = monitor->violations();

@@ -24,7 +24,14 @@ const char* PolicyKindName(PolicyKind kind);
 // Policy factory for a Network (LCMP consumes the LcmpConfig).
 PolicyFactory MakePolicyFactory(PolicyKind kind, const LcmpConfig& lcmp_config);
 
-enum class TopologyKind : uint8_t { kTestbed8, kBso13 };
+enum class TopologyKind : uint8_t {
+  kTestbed8,
+  kBso13,
+  // The herd-effect variant of the 8-DC testbed: all six DC1->DC8 routes are
+  // identical (100G, 2x10ms), so path quality cannot separate candidates and
+  // only the selection mechanism differs (paper Sec. 2.3 challenge 3).
+  kTestbed8Sym,
+};
 const char* TopologyKindName(TopologyKind kind);
 
 // Which (src DC, dst DC) pairs exchange traffic.
@@ -36,7 +43,26 @@ enum class PairingKind : uint8_t {
   // share of offered load stays small (a heavy focus share would saturate the
   // pair's low-delay route and wash out the effect being measured).
   kAllToAllFocusEndpoints,
+  // First DC -> last DC only (burst/herd micro-experiments).
+  kEndpointOneWay,
 };
+
+// String -> enum parsing for CLI flags and the JSON sweep-spec loader. Each
+// accepts the lower-case CLI token ("ecmp", "bso13", ...); on failure the
+// target is left untouched and `error` lists every accepted token.
+bool ParsePolicyKind(const std::string& text, PolicyKind* out, std::string* error);
+bool ParseTopologyKind(const std::string& text, TopologyKind* out, std::string* error);
+bool ParseCcKind(const std::string& text, CcKind* out, std::string* error);
+bool ParseWorkloadKind(const std::string& text, WorkloadKind* out, std::string* error);
+bool ParsePairingKind(const std::string& text, PairingKind* out, std::string* error);
+
+// The CLI token each parser accepts for a kind (inverse of the Parse*
+// helpers; distinct from the display-oriented *KindName strings, except for
+// CcKind whose KindName already is the lower-case token).
+const char* PolicyKindToken(PolicyKind kind);
+const char* TopologyKindToken(TopologyKind kind);
+const char* PairingKindToken(PairingKind kind);
+const char* WorkloadKindToken(WorkloadKind kind);
 
 struct ExperimentConfig {
   TopologyKind topo = TopologyKind::kTestbed8;
@@ -66,6 +92,25 @@ struct ExperimentConfig {
   FaultPlan fault_plan;
   bool monitor_invariants = false;
   bool monitor_strict = true;
+  // Declarative chaos: when fault_plan is empty and chaos_seed != 0,
+  // RunExperiment draws a seeded chaos plan against the built topology
+  // (GenerateChaosPlan), so fault sweeps are expressible as plain config
+  // fields — no pre-built plan object needed.
+  uint64_t chaos_seed = 0;
+  double chaos_rate = 20.0;        // fault episodes per simulated second
+  int64_t chaos_window_ms = 300;   // injection window length
+  // Transport: IRN-style selective retransmission instead of Go-Back-N
+  // (the Sec. 7.5 flowlet extension's receiver).
+  bool ooo_tolerance = false;
+  // Lossless operation: hop-by-hop PFC on every switch (the ext_pfc
+  // substrate experiment). Thresholds follow its long-haul operating point.
+  bool pfc_enabled = false;
+  int64_t pfc_xoff_bytes = 1LL * 1024 * 1024;
+  int64_t pfc_xon_bytes = 512LL * 1024;
+  // Burst workload: all flows start at t=0 (herd-effect experiments). When
+  // burst_size_bytes != 0 every flow gets that size instead of a CDF draw.
+  bool burst_mode = false;
+  uint64_t burst_size_bytes = 0;
 };
 
 struct ExperimentResult {
@@ -87,6 +132,16 @@ struct ExperimentResult {
   int64_t invariant_checks = 0;
   int64_t invariant_violations = 0;
   std::vector<std::string> violation_log;
+  // Switch-level substrate accounting, summed over every switch port:
+  // drops (0 under PFC), PFC pause frames sent, and cumulative paused time.
+  int64_t switch_dropped_packets = 0;
+  int64_t pfc_pause_frames = 0;
+  int64_t total_paused_ns = 0;
+  // Endpoint egress spread (herd-effect experiments): over the first DC's
+  // candidate egresses toward the last DC, the number of ports that carried
+  // > 1 MB and the maximum egress queue depth observed.
+  int endpoint_egress_used = 0;
+  int64_t endpoint_max_queue_bytes = 0;
 
   // Slowdown summary filtered to one ordered DC pair.
   SlowdownStats ForDcPair(DcId src, DcId dst) const;

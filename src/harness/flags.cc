@@ -148,6 +148,30 @@ void FinalizeObs(const ObsOptions& opts, int64_t now_ns) {
   }
 }
 
+void DefineSweepFlags(FlagSet& flags) {
+  flags
+      .Define("jobs", "0",
+              "parallel sweep worker threads; 0 = hardware concurrency, 1 = sequential")
+      .Define("sweep-spec", "", "JSON sweep spec file (enables sweep mode)")
+      .Define("sweep-axes", "",
+              "inline sweep axes 'field=v1,v2;field2=...' (enables sweep mode)")
+      .Define("sweep-spec-out", "", "write the resolved sweep spec JSON to this path")
+      .Define("sweep-out", "", "write machine-readable sweep results JSON to this path")
+      .Define("verify-sequential", "false",
+              "re-run the sweep at --jobs=1 and fail on any digest mismatch");
+}
+
+SweepOptions GetSweepOptions(const FlagSet& flags) {
+  SweepOptions opts;
+  opts.jobs = static_cast<int>(flags.GetInt("jobs"));
+  opts.spec_file = flags.GetString("sweep-spec");
+  opts.spec_out = flags.GetString("sweep-spec-out");
+  opts.axes = flags.GetString("sweep-axes");
+  opts.results_out = flags.GetString("sweep-out");
+  opts.verify_sequential = flags.GetBool("verify-sequential");
+  return opts;
+}
+
 void DefineFaultFlags(FlagSet& flags) {
   flags
       .Define("fault-plan", "",

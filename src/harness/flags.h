@@ -67,6 +67,25 @@ ObsOptions ApplyObsFlags(const FlagSet& flags);
 // Dumps metrics/trace/profile as requested; `now_ns` stamps the metrics file.
 void FinalizeObs(const ObsOptions& opts, int64_t now_ns);
 
+// --- sweep flags (the parallel sweep engine; src/harness/sweep.h) ---
+//
+// DefineSweepFlags registers --jobs / --sweep-* / --verify-sequential;
+// GetSweepOptions reads them. Sweep mode activates when a spec file or
+// inline axes are given; otherwise the CLI runs one experiment as before.
+struct SweepOptions {
+  int jobs = 0;                   // 0 = hardware concurrency
+  std::string spec_file;          // --sweep-spec: JSON spec to load
+  std::string spec_out;           // --sweep-spec-out: resolved spec round-trip
+  std::string axes;               // --sweep-axes: "field=v1,v2;field2=..."
+  std::string results_out;        // --sweep-out: sweep_results.json path
+  bool verify_sequential = false; // re-run at jobs=1 and compare digests
+
+  bool active() const { return !spec_file.empty() || !axes.empty(); }
+};
+
+void DefineSweepFlags(FlagSet& flags);
+SweepOptions GetSweepOptions(const FlagSet& flags);
+
 // --- fault-injection flags (src/fault/; shared by lcmp_sim and soak tools) ---
 //
 // DefineFaultFlags registers --fault-plan / --chaos-* / --monitor;

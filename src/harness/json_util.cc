@@ -1,0 +1,356 @@
+#include "harness/json_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lcmp {
+namespace json {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+bool JsonValue::AsString(std::string* out) const {
+  switch (kind) {
+    case Kind::kString:
+    case Kind::kNumber:
+    case Kind::kBool:
+      *out = scalar;
+      return true;
+    case Kind::kNull:
+    case Kind::kArray:
+    case Kind::kObject:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& msg) {
+    if (error_ != nullptr) {
+      int line = 1;
+      int col = 1;
+      for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+      }
+      *error_ = msg + " (line " + std::to_string(line) + ", column " + std::to_string(col) + ")";
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  bool ParseValue(JsonValue* out) {
+    if (AtEnd()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->scalar);
+      case 't':
+      case 'f':
+        return ParseKeyword(out);
+      case 'n':
+        return ParseKeyword(out);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          return ParseNumber(out);
+        }
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  bool ParseKeyword(JsonValue* out) {
+    static const struct {
+      const char* word;
+      JsonValue::Kind kind;
+    } kKeywords[] = {
+        {"true", JsonValue::Kind::kBool},
+        {"false", JsonValue::Kind::kBool},
+        {"null", JsonValue::Kind::kNull},
+    };
+    for (const auto& kw : kKeywords) {
+      const size_t len = std::strlen(kw.word);
+      if (text_.compare(pos_, len, kw.word) == 0) {
+        out->kind = kw.kind;
+        out->scalar = kw.word;
+        pos_ += len;
+        return true;
+      }
+    }
+    return Fail("invalid keyword (expected true/false/null)");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || (c >= '0' && c <= '9')) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string raw = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0') {
+      pos_ = start;
+      return Fail("malformed number '" + raw + "'");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->scalar = raw;  // raw text preserved for round-trip fidelity
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (AtEnd()) {
+        return Fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) {
+        return Fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("invalid hex digit in \\u escape");
+            }
+          }
+          // Sweep specs are ASCII; anything beyond is out of scope here.
+          if (code > 0x7f) {
+            return Fail("non-ASCII \\u escape not supported");
+          }
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Fail(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (!AtEnd() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      SkipWs();
+      if (!ParseValue(&item)) {
+        return false;
+      }
+      out->items.push_back(std::move(item));
+      SkipWs();
+      if (AtEnd()) {
+        return Fail("unterminated array");
+      }
+      const char c = text_[pos_++];
+      if (c == ']') {
+        return true;
+      }
+      if (c != ',') {
+        --pos_;
+        return Fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (!AtEnd() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (AtEnd() || text_[pos_] != '"') {
+        return Fail("expected string key in object");
+      }
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (AtEnd() || text_[pos_] != ':') {
+        return Fail("expected ':' after object key");
+      }
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (AtEnd()) {
+        return Fail("unterminated object");
+      }
+      const char c = text_[pos_++];
+      if (c == '}') {
+        return true;
+      }
+      if (c != ',') {
+        --pos_;
+        return Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};
+  return Parser(text, error).Parse(out);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) {
+      return buf;
+    }
+  }
+  return buf;
+}
+
+}  // namespace json
+}  // namespace lcmp

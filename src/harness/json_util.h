@@ -1,0 +1,42 @@
+// Minimal JSON support for the sweep engine: a small recursive-descent
+// parser plus escaping/number-formatting helpers. Deliberately tiny — the
+// repo takes no external dependencies, and sweep specs only need objects,
+// arrays, strings, numbers and booleans. Numbers are kept as their raw
+// source text so a parsed spec re-serializes byte-identically (round-trip
+// fidelity matters for --sweep-spec-out).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lcmp {
+namespace json {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  // String contents (unescaped), raw number text, or "true"/"false".
+  std::string scalar;
+  std::vector<JsonValue> items;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> members; // kObject, in order
+
+  // Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+  // Scalar (string/number/bool) as a string; false for null/array/object.
+  bool AsString(std::string* out) const;
+};
+
+// Parses strict JSON. On failure returns false and sets `error` with a
+// message that includes the line/column of the offending byte.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// Escapes a string's contents for embedding between double quotes.
+std::string JsonEscape(const std::string& s);
+
+// Shortest "%g"-family rendering of `v` that strtod parses back to exactly
+// `v` — stable under spec round-trips without "0.29999999999999999" noise.
+std::string FormatDouble(double v);
+
+}  // namespace json
+}  // namespace lcmp

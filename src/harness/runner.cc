@@ -1,0 +1,171 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "harness/json_util.h"
+
+namespace lcmp {
+
+int DefaultJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+void HashMix(uint64_t* h, uint64_t v) {
+  *h ^= v + 0x9e3779b97f4a7c15ull + (*h << 6) + (*h >> 2);
+}
+
+}  // namespace
+
+uint64_t ExperimentDigest(const ExperimentResult& result) {
+  uint64_t h = 0;
+  for (const FctRecorder::Sample& sample : result.samples) {
+    HashMix(&h, static_cast<uint64_t>(sample.fct));
+    HashMix(&h, sample.bytes);
+  }
+  HashMix(&h, result.events_processed);
+  HashMix(&h, static_cast<uint64_t>(result.flows_completed));
+  HashMix(&h, static_cast<uint64_t>(result.sim_end_time));
+  return h;
+}
+
+std::vector<RunOutcome> RunSweep(std::vector<SweepRun> runs, const SweepRunnerOptions& options) {
+  std::vector<RunOutcome> outcomes(runs.size());
+  if (runs.empty()) {
+    return outcomes;
+  }
+  int jobs = options.jobs > 0 ? options.jobs : DefaultJobs();
+  jobs = std::max(1, std::min(jobs, static_cast<int>(runs.size())));
+
+  // Each worker claims run indices off a shared atomic counter and writes
+  // only outcomes[i] — index-ordered output regardless of thread timing.
+  std::atomic<size_t> next{0};
+  auto worker = [&runs, &outcomes, &next]() {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < runs.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      RunOutcome& outcome = outcomes[i];
+      outcome.run = std::move(runs[i]);
+      const auto start = std::chrono::steady_clock::now();
+      outcome.result = RunExperiment(outcome.run.config);
+      outcome.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      outcome.digest = ExperimentDigest(outcome.result);
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  return outcomes;
+}
+
+bool RunSweep(const SweepSpec& spec, const SweepRunnerOptions& options,
+              std::vector<RunOutcome>* outcomes, std::string* error) {
+  std::vector<SweepRun> runs;
+  if (!ExpandSweep(spec, &runs, error)) {
+    return false;
+  }
+  *outcomes = RunSweep(std::move(runs), options);
+  return true;
+}
+
+namespace {
+
+std::string HexDigest(uint64_t digest) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace
+
+std::string SweepResultsToJson(const std::vector<RunOutcome>& outcomes, int jobs) {
+  using json::FormatDouble;
+  using json::JsonEscape;
+  const ExperimentConfig defaults;
+  std::string out = "{\n";
+  out += "  \"jobs\": " + std::to_string(jobs) + ",\n";
+  out += "  \"runs\": [";
+  bool first = true;
+  for (const RunOutcome& outcome : outcomes) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\n";
+    out += "      \"index\": " + std::to_string(outcome.run.index) + ",\n";
+    out += "      \"label\": \"" + JsonEscape(outcome.run.label) + "\",\n";
+    out += "      \"cell\": {";
+    bool cell_first = true;
+    for (const auto& [field, label] : outcome.run.cell) {
+      if (!cell_first) {
+        out += ", ";
+      }
+      cell_first = false;
+      out += "\"" + JsonEscape(field) + "\": \"" + JsonEscape(label) + "\"";
+    }
+    out += "},\n";
+    // Config echo: every field whose encoding differs from the defaults.
+    out += "      \"config\": {";
+    bool config_first = true;
+    for (const std::string& field : KnownConfigFields()) {
+      std::string cur;
+      std::string def;
+      if (!GetConfigField(outcome.run.config, field, &cur) ||
+          !GetConfigField(defaults, field, &def) || cur == def) {
+        continue;
+      }
+      if (!config_first) {
+        out += ", ";
+      }
+      config_first = false;
+      out += "\"" + JsonEscape(field) + "\": \"" + JsonEscape(cur) + "\"";
+    }
+    out += "},\n";
+    out += "      \"seed\": " + std::to_string(outcome.run.config.seed) + ",\n";
+    out += "      \"digest\": \"" + HexDigest(outcome.digest) + "\",\n";
+    out += "      \"wall_seconds\": " + FormatDouble(outcome.wall_seconds) + ",\n";
+    out += "      \"flows_completed\": " + std::to_string(outcome.result.flows_completed) + ",\n";
+    out += "      \"flows_requested\": " + std::to_string(outcome.result.flows_requested) + ",\n";
+    out += "      \"events_processed\": " + std::to_string(outcome.result.events_processed) + ",\n";
+    out += "      \"sim_end_ms\": " +
+           FormatDouble(static_cast<double>(outcome.result.sim_end_time) / 1e6) + ",\n";
+    const SlowdownStats& fct = outcome.result.overall;
+    out += "      \"fct_slowdown\": {\"count\": " + std::to_string(fct.count) +
+           ", \"mean\": " + FormatDouble(fct.mean) + ", \"p50\": " + FormatDouble(fct.p50) +
+           ", \"p95\": " + FormatDouble(fct.p95) + ", \"p99\": " + FormatDouble(fct.p99) + "}\n";
+    out += "    }";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool WriteSweepResultsJson(const std::string& path, const std::vector<RunOutcome>& outcomes,
+                           int jobs, std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot write sweep results '" + path + "'";
+    }
+    return false;
+  }
+  out << SweepResultsToJson(outcomes, jobs);
+  return static_cast<bool>(out);
+}
+
+}  // namespace lcmp

@@ -1,0 +1,62 @@
+// Parallel sweep runner: executes an expanded SweepRun list on an N-thread
+// worker pool and aggregates per-run results.
+//
+// Determinism model: a Simulator and everything it owns (Network, transport,
+// traffic, recorders) is built, run, and torn down entirely inside one
+// RunExperiment call, which executes on exactly one worker thread. Workers
+// share nothing but the run queue (an atomic index) and the pre-sized output
+// vector, where each run writes only its own slot — so every run is
+// bit-identical to a sequential execution, regardless of --jobs. The
+// remaining process-global state (metrics registry, flight recorder, profile
+// sites, log clock) is either internally synchronized or thread-local; see
+// DESIGN.md "Parallel sweep engine".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.h"
+
+namespace lcmp {
+
+struct SweepRunnerOptions {
+  // Worker threads; <= 0 means DefaultJobs(). Capped at the number of runs.
+  // jobs == 1 runs inline on the calling thread (no pool), preserving the
+  // exact legacy sequential call stack.
+  int jobs = 0;
+};
+
+// std::thread::hardware_concurrency(), with the mandated >= 1 fallback.
+int DefaultJobs();
+
+struct RunOutcome {
+  SweepRun run;
+  ExperimentResult result;
+  uint64_t digest = 0;     // ExperimentDigest(result)
+  double wall_seconds = 0; // wall-clock time of this run alone
+};
+
+// Order-sensitive digest over the per-flow samples (fct, bytes) plus the
+// event and completion counters — the same folding determinism_test.cc uses.
+// Two runs of the same config produce the same digest iff the simulations
+// were event-for-event identical.
+uint64_t ExperimentDigest(const ExperimentResult& result);
+
+// Runs every SweepRun; outcomes[i] corresponds to runs[i] (expansion order),
+// independent of which worker executed it or when it finished.
+std::vector<RunOutcome> RunSweep(std::vector<SweepRun> runs,
+                                 const SweepRunnerOptions& options = {});
+
+// Convenience: ExpandSweep + RunSweep. False (with *error) if expansion fails.
+bool RunSweep(const SweepSpec& spec, const SweepRunnerOptions& options,
+              std::vector<RunOutcome>* outcomes, std::string* error);
+
+// Machine-readable results: one record per run with its cell labels, config
+// echo (non-default fields), seed, digest (hex), wall time, flow/event
+// counts, and FCT-slowdown percentiles.
+std::string SweepResultsToJson(const std::vector<RunOutcome>& outcomes, int jobs);
+bool WriteSweepResultsJson(const std::string& path, const std::vector<RunOutcome>& outcomes,
+                           int jobs, std::string* error = nullptr);
+
+}  // namespace lcmp

@@ -4,24 +4,51 @@
 #include <limits>
 #include <map>
 
+#include "common/logging.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 
 namespace lcmp {
 
-std::vector<SweepCell> RunPolicyLoadSweep(const ExperimentConfig& base,
-                                          const std::vector<PolicyKind>& policies,
-                                          const std::vector<double>& loads) {
+std::vector<SweepCell> ToSweepCells(const std::vector<RunOutcome>& outcomes) {
   std::vector<SweepCell> cells;
-  for (const double load : loads) {
-    for (const PolicyKind policy : policies) {
-      ExperimentConfig config = base;
-      config.policy = policy;
-      config.load = load;
-      cells.push_back(SweepCell{policy, load, RunExperiment(config)});
-    }
+  cells.reserve(outcomes.size());
+  for (const RunOutcome& outcome : outcomes) {
+    cells.push_back(SweepCell{outcome.run.config.policy, outcome.run.config.load,
+                              outcome.result});
   }
   return cells;
 }
+
+std::vector<NamedResult> ToNamedResults(const std::vector<RunOutcome>& outcomes) {
+  std::vector<NamedResult> results;
+  results.reserve(outcomes.size());
+  for (const RunOutcome& outcome : outcomes) {
+    results.push_back(NamedResult{outcome.run.label, outcome.result});
+  }
+  return results;
+}
+
+// Defining the deprecated shim is not itself a deprecated use, but some
+// compilers warn anyway; keep the build quiet either way.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+std::vector<SweepCell> RunPolicyLoadSweep(const ExperimentConfig& base,
+                                          const std::vector<PolicyKind>& policies,
+                                          const std::vector<double>& loads) {
+  // Loads before Policies: the legacy loop nested policies inside loads, and
+  // the first-declared axis varies slowest, so cell order is preserved.
+  SweepSpec spec(base);
+  spec.Loads(loads).Policies(policies);
+  std::vector<RunOutcome> outcomes;
+  std::string error;
+  if (!RunSweep(spec, SweepRunnerOptions{}, &outcomes, &error)) {
+    LCMP_ERROR("RunPolicyLoadSweep: %s", error.c_str());
+    return {};
+  }
+  return ToSweepCells(outcomes);
+}
+#pragma GCC diagnostic pop
 
 void PrintSlowdownTable(const std::string& title, const std::vector<SweepCell>& cells,
                         bool dc_pair_only, DcId pair_a, DcId pair_b) {

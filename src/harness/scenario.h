@@ -1,22 +1,30 @@
-// Figure-level scenario helpers shared by the bench binaries: run a grid of
-// (policy x load) experiments and print the paper-style comparison tables.
+// Figure-level scenario helpers shared by the bench binaries: bridge sweep
+// outcomes into the paper-style comparison tables.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/runner.h"
 
 namespace lcmp {
 
-// Result of one grid cell.
+// Result of one (policy, load) grid cell (legacy table input).
 struct SweepCell {
   PolicyKind policy;
   double load;
   ExperimentResult result;
 };
 
-// Runs every (policy, load) combination of `base` sequentially.
+// Bridges sweep outcomes to the legacy (policy, load) tables by reading
+// policy and load back out of each run's config.
+std::vector<SweepCell> ToSweepCells(const std::vector<RunOutcome>& outcomes);
+
+// Runs every (policy, load) combination of `base` in load-major, policy-minor
+// order. Thin shim over the sweep engine, kept so pre-sweep callers print
+// byte-identical tables; new code should build a SweepSpec and call RunSweep.
+[[deprecated("build a SweepSpec and call RunSweep instead")]]
 std::vector<SweepCell> RunPolicyLoadSweep(const ExperimentConfig& base,
                                           const std::vector<PolicyKind>& policies,
                                           const std::vector<double>& loads);
@@ -32,6 +40,9 @@ struct NamedResult {
   std::string name;
   ExperimentResult result;
 };
+// Bridges sweep outcomes to the named-result printers (name = run label).
+std::vector<NamedResult> ToNamedResults(const std::vector<RunOutcome>& outcomes);
+
 void PrintBucketTable(const std::string& title, const std::vector<NamedResult>& results);
 
 // Prints Fig. 1b-style per-link utilization for a set of named results.

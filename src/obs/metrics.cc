@@ -6,18 +6,18 @@
 namespace lcmp {
 namespace obs {
 
-bool g_metrics_enabled = false;
+std::atomic<bool> g_metrics_enabled{false};
 
-void SetMetricsEnabled(bool on) { g_metrics_enabled = on; }
+void SetMetricsEnabled(bool on) { g_metrics_enabled.store(on, std::memory_order_relaxed); }
 
 void Histogram::AddAlways(int64_t v) {
   size_t i = 0;
   while (i < bounds.size() && v > bounds[i]) {
     ++i;
   }
-  ++counts[i];
-  ++count;
-  sum += v;
+  counts[i].fetch_add(1, std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_relaxed);
+  sum.fetch_add(v, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::Instance() {
@@ -50,53 +50,82 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto* n : counters_) {
     if (n->name == name) {
       return &n->cell;
     }
   }
-  counters_.push_back(new Named<Counter>{name, Counter{}});
+  counters_.push_back(new Named<Counter>{name, {}});
   return &counters_.back()->cell;
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto* n : gauges_) {
     if (n->name == name) {
       return &n->cell;
     }
   }
-  gauges_.push_back(new Named<Gauge>{name, Gauge{}});
+  gauges_.push_back(new Named<Gauge>{name, {}});
   return &gauges_.back()->cell;
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name, std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto* n : histograms_) {
     if (n->name == name) {
       return &n->cell;
     }
   }
-  auto* named = new Named<Histogram>{name, Histogram{}};
+  auto* named = new Named<Histogram>{name, {}};
   named->cell.bounds = std::move(bounds);
   std::sort(named->cell.bounds.begin(), named->cell.bounds.end());
-  named->cell.counts.assign(named->cell.bounds.size() + 1, 0);
+  named->cell.counts = std::vector<std::atomic<uint64_t>>(named->cell.bounds.size() + 1);
   histograms_.push_back(named);
   return &named->cell;
 }
 
 void MetricsRegistry::Snapshot(TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
   SnapshotRow row;
   row.t = now;
   row.values.reserve(counters_.size() + gauges_.size());
   for (const auto* c : counters_) {
-    row.values.push_back(c->cell.value);
+    row.values.push_back(c->cell.value.load(std::memory_order_relaxed));
   }
   for (const auto* g : gauges_) {
-    row.values.push_back(g->cell.value);
+    row.values.push_back(g->cell.value.load(std::memory_order_relaxed));
   }
   snapshots_.push_back(std::move(row));
 }
 
+size_t MetricsRegistry::num_snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_.size();
+}
+
+size_t MetricsRegistry::num_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
+}
+
+size_t MetricsRegistry::num_gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.size();
+}
+
+size_t MetricsRegistry::num_histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.size();
+}
+
 std::string MetricsRegistry::ToJson(TimeNs now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ToJsonLocked(now);
+}
+
+std::string MetricsRegistry::ToJsonLocked(TimeNs now) const {
   std::string out = "{\n";
   out += "  \"sim_time_ns\": " + std::to_string(now) + ",\n";
 
@@ -126,16 +155,16 @@ std::string MetricsRegistry::ToJson(TimeNs now) const {
   out += "  \"counters\": {";
   for (size_t i = 0; i < counters_.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
-    out += "    \"" + JsonEscape(counters_[i]->name) +
-           "\": " + std::to_string(counters_[i]->cell.value);
+    out += "    \"" + JsonEscape(counters_[i]->name) + "\": " +
+           std::to_string(counters_[i]->cell.value.load(std::memory_order_relaxed));
   }
   out += "\n  },\n";
 
   out += "  \"gauges\": {";
   for (size_t i = 0; i < gauges_.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
-    out += "    \"" + JsonEscape(gauges_[i]->name) +
-           "\": " + std::to_string(gauges_[i]->cell.value);
+    out += "    \"" + JsonEscape(gauges_[i]->name) + "\": " +
+           std::to_string(gauges_[i]->cell.value.load(std::memory_order_relaxed));
   }
   out += "\n  },\n";
 
@@ -143,8 +172,10 @@ std::string MetricsRegistry::ToJson(TimeNs now) const {
   for (size_t i = 0; i < histograms_.size(); ++i) {
     const Histogram& h = histograms_[i]->cell;
     out += i == 0 ? "\n" : ",\n";
-    out += "    \"" + JsonEscape(histograms_[i]->name) + "\": {\"count\": " +
-           std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) + ", \"bounds\": [";
+    out += "    \"" + JsonEscape(histograms_[i]->name) +
+           "\": {\"count\": " + std::to_string(h.count.load(std::memory_order_relaxed)) +
+           ", \"sum\": " + std::to_string(h.sum.load(std::memory_order_relaxed)) +
+           ", \"bounds\": [";
     for (size_t b = 0; b < h.bounds.size(); ++b) {
       if (b > 0) {
         out += ", ";
@@ -156,7 +187,7 @@ std::string MetricsRegistry::ToJson(TimeNs now) const {
       if (b > 0) {
         out += ", ";
       }
-      out += std::to_string(h.counts[b]);
+      out += std::to_string(h.counts[b].load(std::memory_order_relaxed));
     }
     out += "]}";
   }
@@ -165,6 +196,11 @@ std::string MetricsRegistry::ToJson(TimeNs now) const {
 }
 
 std::string MetricsRegistry::ToCsv(TimeNs now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ToCsvLocked(now);
+}
+
+std::string MetricsRegistry::ToCsvLocked(TimeNs now) const {
   std::string out = "time_ns,name,value\n";
   auto append = [&out](TimeNs t, const std::string& name, int64_t v) {
     out += std::to_string(t) + "," + name + "," + std::to_string(v) + "\n";
@@ -181,14 +217,15 @@ std::string MetricsRegistry::ToCsv(TimeNs now) const {
     }
   }
   for (const auto* c : counters_) {
-    append(now, c->name, c->cell.value);
+    append(now, c->name, c->cell.value.load(std::memory_order_relaxed));
   }
   for (const auto* g : gauges_) {
-    append(now, g->name, g->cell.value);
+    append(now, g->name, g->cell.value.load(std::memory_order_relaxed));
   }
   for (const auto* h : histograms_) {
-    append(now, h->name + ".count", static_cast<int64_t>(h->cell.count));
-    append(now, h->name + ".sum", h->cell.sum);
+    append(now, h->name + ".count",
+           static_cast<int64_t>(h->cell.count.load(std::memory_order_relaxed)));
+    append(now, h->name + ".sum", h->cell.sum.load(std::memory_order_relaxed));
   }
   return out;
 }
@@ -206,16 +243,19 @@ bool MetricsRegistry::WriteFile(const std::string& path, TimeNs now) const {
 }
 
 void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto* c : counters_) {
-    c->cell.value = 0;
+    c->cell.value.store(0, std::memory_order_relaxed);
   }
   for (auto* g : gauges_) {
-    g->cell.value = 0;
+    g->cell.value.store(0, std::memory_order_relaxed);
   }
   for (auto* h : histograms_) {
-    std::fill(h->cell.counts.begin(), h->cell.counts.end(), 0);
-    h->cell.count = 0;
-    h->cell.sum = 0;
+    for (auto& bucket : h->cell.counts) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    h->cell.count.store(0, std::memory_order_relaxed);
+    h->cell.sum.store(0, std::memory_order_relaxed);
   }
   snapshots_.clear();
 }

@@ -9,13 +9,21 @@
 // the same name returns the same cell (components built per-switch or
 // per-flow all aggregate into one series).
 //
-// The registry is process-global and single-threaded like the simulator;
-// enabling or disabling it never changes simulation state, only whether the
-// cells accumulate — the determinism guard in tests relies on that.
+// Thread model (parallel sweep engine): each Simulator instance runs on one
+// thread, but the sweep runner executes many simulators concurrently in one
+// process, all of which share this registry. Registration (GetCounter /
+// GetGauge / GetHistogram) is mutex-guarded — it happens once per callsite
+// via function-local statics, so the lock is off the steady-state path —
+// and cell updates are relaxed atomics, so concurrently enabled runs merge
+// their increments without tearing. Enabling or disabling the registry never
+// changes simulation state, only whether the cells accumulate — the
+// determinism guard in tests relies on that.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,18 +32,26 @@
 namespace lcmp {
 namespace obs {
 
-// Global kill switch. Updates compile to `if (g_metrics_enabled) store`.
-extern bool g_metrics_enabled;
-inline bool MetricsEnabled() { return g_metrics_enabled; }
+// Global kill switch. Updates compile to `if (g_metrics_enabled) store`; the
+// relaxed atomic load is a plain load on every mainstream ISA, so the
+// dormant-path cost is unchanged.
+extern std::atomic<bool> g_metrics_enabled;
+inline bool MetricsEnabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
 void SetMetricsEnabled(bool on);
 
-// Monotonic event count. 8 bytes; handle updates are branch + add.
+namespace detail {
+inline bool MetricsOn() {
+  return __builtin_expect(g_metrics_enabled.load(std::memory_order_relaxed), 0);
+}
+}  // namespace detail
+
+// Monotonic event count. 8 bytes; handle updates are branch + relaxed add.
 struct Counter {
-  int64_t value = 0;
+  std::atomic<int64_t> value{0};
 
   void Add(int64_t v) {
-    if (__builtin_expect(g_metrics_enabled, 0)) {
-      value += v;
+    if (detail::MetricsOn()) {
+      value.fetch_add(v, std::memory_order_relaxed);
     }
   }
   void Inc() { Add(1); }
@@ -43,11 +59,11 @@ struct Counter {
 
 // Last-written value (occupancy, memory bytes, sim time).
 struct Gauge {
-  int64_t value = 0;
+  std::atomic<int64_t> value{0};
 
   void Set(int64_t v) {
-    if (__builtin_expect(g_metrics_enabled, 0)) {
-      value = v;
+    if (detail::MetricsOn()) {
+      value.store(v, std::memory_order_relaxed);
     }
   }
 };
@@ -55,15 +71,16 @@ struct Gauge {
 // Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds and
 // the final bucket is the overflow (> bounds.back()). Bucket layout is fixed
 // at registration, so Add is a short linear scan over a handful of bounds —
-// no allocation, no rebucketing on the hot path.
+// no allocation, no rebucketing on the hot path. Bucket counts are relaxed
+// atomics; concurrent simulators may interleave additions but never tear.
 struct Histogram {
   std::vector<int64_t> bounds;
-  std::vector<uint64_t> counts;  // bounds.size() + 1 entries
-  uint64_t count = 0;
-  int64_t sum = 0;
+  std::vector<std::atomic<uint64_t>> counts;  // bounds.size() + 1 entries
+  std::atomic<uint64_t> count{0};
+  std::atomic<int64_t> sum{0};
 
   void Add(int64_t v) {
-    if (__builtin_expect(g_metrics_enabled, 0)) {
+    if (detail::MetricsOn()) {
       AddAlways(v);
     }
   }
@@ -72,11 +89,12 @@ struct Histogram {
 
 class MetricsRegistry {
  public:
-  // Process-global instance (the simulator is single-threaded).
+  // Process-global instance, shared by every simulator thread.
   static MetricsRegistry& Instance();
 
   // Resolve a name to its cell, creating it on first use. Each kind has its
   // own namespace; re-registering an existing name returns the same cell.
+  // Thread-safe; callers cache the handle in a function-local static.
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   // `bounds` are only consulted when the histogram is first created.
@@ -86,7 +104,7 @@ class MetricsRegistry {
   // Driven by the control plane's telemetry sweep so sampling cadence rides
   // the *existing* timer and adds no simulator events of its own.
   void Snapshot(TimeNs now);
-  size_t num_snapshots() const { return snapshots_.size(); }
+  size_t num_snapshots() const;
 
   // Final-value dumps. ToJson emits one document with counters, gauges and
   // histograms; ToCsv emits `time_ns,name,value` rows for every snapshot
@@ -100,9 +118,9 @@ class MetricsRegistry {
   // outstanding handles) stay valid. Test isolation hook.
   void ResetValues();
 
-  size_t num_counters() const { return counters_.size(); }
-  size_t num_gauges() const { return gauges_.size(); }
-  size_t num_histograms() const { return histograms_.size(); }
+  size_t num_counters() const;
+  size_t num_gauges() const;
+  size_t num_histograms() const;
 
  private:
   struct SnapshotRow {
@@ -120,6 +138,12 @@ class MetricsRegistry {
     T cell;
   };
 
+  std::string ToJsonLocked(TimeNs now) const;
+  std::string ToCsvLocked(TimeNs now) const;
+
+  // Guards the registration lists and the snapshot series. Cell *updates* go
+  // through handles and never take the lock.
+  mutable std::mutex mu_;
   // Names are scanned only at registration; handles bypass the lists.
   std::vector<Named<Counter>*> counters_;
   std::vector<Named<Gauge>*> gauges_;

@@ -4,20 +4,23 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 namespace lcmp {
 namespace obs {
 
-bool g_profile_enabled = false;
+std::atomic<bool> g_profile_enabled{false};
 
-void SetProfileEnabled(bool on) { g_profile_enabled = on; }
+void SetProfileEnabled(bool on) { g_profile_enabled.store(on, std::memory_order_relaxed); }
 
 namespace {
+std::mutex g_sites_mu;           // guards list mutation; readers see a stable prefix
 ProfileSite* g_sites = nullptr;  // singly-linked registration list
-}
+}  // namespace
 
 ProfileSite* RegisterProfileSite(const char* tag) {
+  std::lock_guard<std::mutex> lock(g_sites_mu);
   for (ProfileSite* s = g_sites; s != nullptr; s = s->next) {
     if (s->tag == tag || std::strcmp(s->tag, tag) == 0) {
       return s;
@@ -38,43 +41,53 @@ uint64_t ProfileClockNs() {
 }
 
 std::string ProfileReport() {
-  std::vector<const ProfileSite*> sites;
+  struct Row {
+    const char* tag;
+    uint64_t calls;
+    uint64_t wall_ns;
+  };
+  std::vector<Row> rows;
   uint64_t total_ns = 0;
-  for (const ProfileSite* s = g_sites; s != nullptr; s = s->next) {
-    if (s->calls > 0) {
-      sites.push_back(s);
-      total_ns += s->wall_ns;
+  {
+    std::lock_guard<std::mutex> lock(g_sites_mu);
+    for (const ProfileSite* s = g_sites; s != nullptr; s = s->next) {
+      const uint64_t calls = s->calls.load(std::memory_order_relaxed);
+      const uint64_t wall_ns = s->wall_ns.load(std::memory_order_relaxed);
+      if (calls > 0) {
+        rows.push_back({s->tag, calls, wall_ns});
+        total_ns += wall_ns;
+      }
     }
   }
-  std::sort(sites.begin(), sites.end(), [](const ProfileSite* a, const ProfileSite* b) {
-    return a->wall_ns > b->wall_ns;
-  });
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.wall_ns > b.wall_ns; });
 
   std::string out = "per-event-type profile (inclusive wall time):\n";
   char line[256];
   std::snprintf(line, sizeof(line), "  %-28s %12s %14s %10s %8s\n", "event type", "calls",
                 "wall ms", "ns/call", "share");
   out += line;
-  for (const ProfileSite* s : sites) {
-    const double ms = static_cast<double>(s->wall_ns) / 1e6;
-    const double per_call = static_cast<double>(s->wall_ns) / static_cast<double>(s->calls);
+  for (const Row& r : rows) {
+    const double ms = static_cast<double>(r.wall_ns) / 1e6;
+    const double per_call = static_cast<double>(r.wall_ns) / static_cast<double>(r.calls);
     const double share =
-        total_ns > 0 ? 100.0 * static_cast<double>(s->wall_ns) / static_cast<double>(total_ns)
+        total_ns > 0 ? 100.0 * static_cast<double>(r.wall_ns) / static_cast<double>(total_ns)
                      : 0.0;
-    std::snprintf(line, sizeof(line), "  %-28s %12llu %14.3f %10.0f %7.1f%%\n", s->tag,
-                  static_cast<unsigned long long>(s->calls), ms, per_call, share);
+    std::snprintf(line, sizeof(line), "  %-28s %12llu %14.3f %10.0f %7.1f%%\n", r.tag,
+                  static_cast<unsigned long long>(r.calls), ms, per_call, share);
     out += line;
   }
-  if (sites.empty()) {
+  if (rows.empty()) {
     out += "  (no profiled events; run with profiling enabled)\n";
   }
   return out;
 }
 
 void ResetProfile() {
+  std::lock_guard<std::mutex> lock(g_sites_mu);
   for (ProfileSite* s = g_sites; s != nullptr; s = s->next) {
-    s->calls = 0;
-    s->wall_ns = 0;
+    s->calls.store(0, std::memory_order_relaxed);
+    s->wall_ns.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -10,23 +10,31 @@
 //
 // Profiling reads the host clock only — it never touches simulation state,
 // so enabling it cannot perturb event counts or FCT results.
+//
+// Thread model: the parallel sweep runner executes many simulators at once.
+// Site registration is mutex-guarded (it happens once per callsite via a
+// function-local static), and per-site counters are relaxed atomics so
+// concurrently profiled runs merge their samples without tearing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace lcmp {
 namespace obs {
 
-extern bool g_profile_enabled;
-inline bool ProfileEnabled() { return __builtin_expect(g_profile_enabled, 0); }
+extern std::atomic<bool> g_profile_enabled;
+inline bool ProfileEnabled() {
+  return __builtin_expect(g_profile_enabled.load(std::memory_order_relaxed), 0);
+}
 void SetProfileEnabled(bool on);
 
 // One registered callsite. Lives forever; linked into a global list.
 struct ProfileSite {
   const char* tag = nullptr;
-  uint64_t calls = 0;
-  uint64_t wall_ns = 0;
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> wall_ns{0};
   ProfileSite* next = nullptr;
 };
 
@@ -39,15 +47,15 @@ uint64_t ProfileClockNs();
 class ScopedProfile {
  public:
   explicit ScopedProfile(ProfileSite* site) {
-    if (__builtin_expect(g_profile_enabled, 0)) {
+    if (ProfileEnabled()) {
       site_ = site;
       start_ns_ = ProfileClockNs();
     }
   }
   ~ScopedProfile() {
     if (site_ != nullptr) {
-      site_->wall_ns += ProfileClockNs() - start_ns_;
-      ++site_->calls;
+      site_->wall_ns.fetch_add(ProfileClockNs() - start_ns_, std::memory_order_relaxed);
+      site_->calls.fetch_add(1, std::memory_order_relaxed);
     }
   }
 

@@ -5,7 +5,7 @@
 namespace lcmp {
 namespace obs {
 
-bool g_trace_enabled = false;
+std::atomic<bool> g_trace_enabled{false};
 
 namespace {
 constexpr size_t kDefaultCapacity = 65536;
@@ -56,6 +56,7 @@ FlightRecorder& FlightRecorder::Instance() {
 }
 
 void FlightRecorder::Configure(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.assign(capacity > 0 ? capacity : 1, TraceRecord{});
   head_ = 0;
   size_ = 0;
@@ -63,12 +64,13 @@ void FlightRecorder::Configure(size_t capacity) {
 }
 
 void FlightRecorder::SetFilters(int64_t flow_filter, NodeId node_filter) {
+  std::lock_guard<std::mutex> lock(mu_);
   flow_filter_ = flow_filter;
   node_filter_ = node_filter;
 }
 
 void FlightRecorder::Enable(bool on) {
-  g_trace_enabled = on;
+  g_trace_enabled.store(on, std::memory_order_relaxed);
   if (on) {
     SetCheckFailureHook(&DumpOnCheckFailure);
   }
@@ -76,6 +78,7 @@ void FlightRecorder::Enable(bool on) {
 
 void FlightRecorder::Record(TraceEv ev, TimeNs ts, FlowId flow, NodeId node, PortIndex port,
                             int64_t aux) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (flow_filter_ >= 0 || node_filter_ != kInvalidNode) {
     const bool flow_ok = flow_filter_ >= 0 && static_cast<int64_t>(flow) == flow_filter_;
     const bool node_ok = node_filter_ != kInvalidNode && node == node_filter_;
@@ -97,15 +100,36 @@ void FlightRecorder::Record(TraceEv ev, TimeNs ts, FlowId flow, NodeId node, Por
   ++total_;
 }
 
-const TraceRecord& FlightRecorder::at(size_t i) const {
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+TraceRecord FlightRecorder::AtLocked(size_t i) const {
   const size_t start = (head_ + ring_.size() - size_) % ring_.size();
   return ring_[(start + i) % ring_.size()];
 }
 
+TraceRecord FlightRecorder::at(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AtLocked(i);
+}
+
 void FlightRecorder::Dump(std::FILE* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::fprintf(out, "time_ns,event,flow,node,port,aux\n");
   for (size_t i = 0; i < size_; ++i) {
-    const TraceRecord& r = at(i);
+    const TraceRecord r = AtLocked(i);
     std::fprintf(out, "%lld,%s,%llu,%d,%d,%lld\n", static_cast<long long>(r.ts),
                  TraceEvName(r.ev), static_cast<unsigned long long>(r.flow), r.node, r.port,
                  static_cast<long long>(r.aux));
@@ -123,6 +147,7 @@ bool FlightRecorder::DumpToFile(const std::string& path) const {
 }
 
 void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   head_ = 0;
   size_ = 0;
   total_ = 0;

@@ -13,8 +13,10 @@
 // when an LCMP_CHECK fails, so crashes ship their last N thousand events.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,8 +25,10 @@
 namespace lcmp {
 namespace obs {
 
-extern bool g_trace_enabled;
-inline bool TraceEnabled() { return __builtin_expect(g_trace_enabled, 0); }
+extern std::atomic<bool> g_trace_enabled;
+inline bool TraceEnabled() {
+  return __builtin_expect(g_trace_enabled.load(std::memory_order_relaxed), 0);
+}
 
 enum class TraceEv : uint8_t {
   kEnqueue = 0,
@@ -81,16 +85,23 @@ class FlightRecorder {
   void Clear();
 
   // Records currently held (<= capacity).
-  size_t size() const { return size_; }
-  size_t capacity() const { return ring_.size(); }
+  size_t size() const;
+  size_t capacity() const;
   // All records accepted, including ones the ring has since overwritten.
-  uint64_t total_recorded() const { return total_; }
+  uint64_t total_recorded() const;
   // i-th held record, oldest first (test introspection).
-  const TraceRecord& at(size_t i) const;
+  TraceRecord at(size_t i) const;
 
  private:
   FlightRecorder();
 
+  TraceRecord AtLocked(size_t i) const;
+
+  // The flight recorder is a process-wide singleton; under the parallel sweep
+  // runner several simulator threads may trace at once, so ring mutation is
+  // mutex-guarded. Tracing stays opt-in, so the lock is never taken on the
+  // dormant path (LCMP_TRACE checks g_trace_enabled first).
+  mutable std::mutex mu_;
   std::vector<TraceRecord> ring_;
   size_t head_ = 0;  // next write position
   size_t size_ = 0;
@@ -111,7 +122,7 @@ class FlightRecorder {
 // unless the recorder is enabled.
 #define LCMP_TRACE(ev, ts, flow, node, port, aux)                                        \
   do {                                                                                   \
-    if (__builtin_expect(::lcmp::obs::g_trace_enabled, 0)) {                             \
+    if (::lcmp::obs::TraceEnabled()) {                                                   \
       ::lcmp::obs::FlightRecorder::Instance().Record((ev), (ts), (flow), (node), (port), \
                                                      (aux));                             \
     }                                                                                    \

@@ -34,7 +34,10 @@ class InlineEvent {
       alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
       std::is_nothrow_move_constructible_v<std::decay_t<F>>;
 
-  // Process-wide construction counters (the simulator is single-threaded).
+  // Per-thread construction counters. Each simulator runs on one thread, so
+  // thread_local keeps the unconditional hot-path increment race-free when
+  // the sweep runner executes simulators in parallel; benchmarks and tests
+  // read the counters from the thread that ran the simulation.
   // heap_events is the number of events that fell back to an allocation;
   // a healthy hot path keeps it at ~0 in steady state.
   struct Counters {
@@ -132,7 +135,7 @@ class InlineEvent {
     }
   }
 
-  static inline Counters counters_{};
+  static inline thread_local Counters counters_{};
 
   alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
   const Ops* ops_ = nullptr;

@@ -4,12 +4,23 @@
 //
 //   lcmp_sim --topo=testbed8 --policy=lcmp --workload=websearch
 //            --cc=dcqcn --load=0.5 --flows=500 --seed=7 --csv-prefix=out/run1
+//
+// Sweep mode: --sweep-spec=<file.json> and/or --sweep-axes="..." switch to
+// the parallel sweep engine. The single-run flags above still apply — they
+// seed the sweep's base config — and --jobs picks the worker count:
+//
+//   lcmp_sim --flows=300 --sweep-axes="load=0.3,0.5;policy=ecmp,lcmp"
+//            --jobs=8 --sweep-out=sweep_results.json
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/csv_writer.h"
 #include "harness/experiment.h"
 #include "harness/flags.h"
+#include "harness/runner.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 
 namespace {
@@ -17,77 +28,123 @@ namespace {
 using namespace lcmp;
 
 bool ParseEnums(const FlagSet& flags, ExperimentConfig& config, std::string& error) {
-  const std::string topo = flags.GetString("topo");
-  if (topo == "testbed8") {
-    config.topo = TopologyKind::kTestbed8;
-  } else if (topo == "bso13") {
-    config.topo = TopologyKind::kBso13;
-  } else {
-    error = "unknown --topo: " + topo + " (testbed8|bso13)";
-    return false;
+  return ParseTopologyKind(flags.GetString("topo"), &config.topo, &error) &&
+         ParsePolicyKind(flags.GetString("policy"), &config.policy, &error) &&
+         ParseWorkloadKind(flags.GetString("workload"), &config.workload, &error) &&
+         ParseCcKind(flags.GetString("cc"), &config.cc, &error) &&
+         ParsePairingKind(flags.GetString("pairing"), &config.pairing, &error);
+}
+
+int RunSweepMode(const ExperimentConfig& base, const SweepOptions& sweep_opts,
+                 const FaultOptions& fault_opts, const std::string& csv_prefix) {
+  SweepSpec spec(base);
+  // In sweep mode the chaos flags become config fields so every run draws
+  // its own plan against its own topology (an explicit --fault-plan file was
+  // already resolved into base.fault_plan against the base topology).
+  spec.base.chaos_seed = fault_opts.chaos_seed;
+  spec.base.chaos_rate = fault_opts.chaos_rate;
+  spec.base.chaos_window_ms = fault_opts.chaos_window_ms;
+
+  std::string error;
+  if (!sweep_opts.spec_file.empty() && !LoadSweepSpecFile(sweep_opts.spec_file, &spec, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
   }
-  const std::string policy = flags.GetString("policy");
-  if (policy == "ecmp") {
-    config.policy = PolicyKind::kEcmp;
-  } else if (policy == "wcmp") {
-    config.policy = PolicyKind::kWcmp;
-  } else if (policy == "ucmp") {
-    config.policy = PolicyKind::kUcmp;
-  } else if (policy == "redte") {
-    config.policy = PolicyKind::kRedte;
-  } else if (policy == "lcmp") {
-    config.policy = PolicyKind::kLcmp;
-  } else {
-    error = "unknown --policy: " + policy + " (ecmp|wcmp|ucmp|redte|lcmp)";
-    return false;
+  if (!sweep_opts.axes.empty() && !ParseSweepAxes(sweep_opts.axes, &spec, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
   }
-  const std::string workload = flags.GetString("workload");
-  if (workload == "websearch") {
-    config.workload = WorkloadKind::kWebSearch;
-  } else if (workload == "fbhdp") {
-    config.workload = WorkloadKind::kFbHdp;
-  } else if (workload == "alistorage") {
-    config.workload = WorkloadKind::kAliStorage;
-  } else {
-    error = "unknown --workload: " + workload + " (websearch|fbhdp|alistorage)";
-    return false;
+  if (!sweep_opts.spec_out.empty()) {
+    if (!SaveSweepSpecFile(sweep_opts.spec_out, spec, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::printf("wrote resolved sweep spec to %s\n", sweep_opts.spec_out.c_str());
   }
-  const std::string cc = flags.GetString("cc");
-  if (cc == "dcqcn") {
-    config.cc = CcKind::kDcqcn;
-  } else if (cc == "hpcc") {
-    config.cc = CcKind::kHpcc;
-  } else if (cc == "timely") {
-    config.cc = CcKind::kTimely;
-  } else if (cc == "dctcp") {
-    config.cc = CcKind::kDctcp;
-  } else {
-    error = "unknown --cc: " + cc + " (dcqcn|hpcc|timely|dctcp)";
-    return false;
+
+  SweepRunnerOptions runner_opts;
+  runner_opts.jobs = sweep_opts.jobs;
+  const int jobs = sweep_opts.jobs > 0 ? sweep_opts.jobs : DefaultJobs();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<RunOutcome> outcomes;
+  if (!RunSweep(spec, runner_opts, &outcomes, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
   }
-  const std::string pairing = flags.GetString("pairing");
-  if (pairing == "endpoints") {
-    config.pairing = PairingKind::kEndpointPair;
-  } else if (pairing == "all") {
-    config.pairing = PairingKind::kAllToAll;
-  } else if (pairing == "all-focus") {
-    config.pairing = PairingKind::kAllToAllFocusEndpoints;
-  } else {
-    error = "unknown --pairing: " + pairing + " (endpoints|all|all-focus)";
-    return false;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  double run_seconds = 0;
+  for (const RunOutcome& o : outcomes) {
+    run_seconds += o.wall_seconds;
   }
-  return true;
+  std::printf("sweep: %zu runs on %d jobs in %.2f s (%.2f s of simulation, %.2fx)\n",
+              outcomes.size(), jobs, wall, run_seconds, wall > 0 ? run_seconds / wall : 0.0);
+
+  TablePrinter table({"run", "flows", "p50 slowdown", "p99 slowdown", "digest", "wall s"});
+  for (const RunOutcome& o : outcomes) {
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx", static_cast<unsigned long long>(o.digest));
+    table.AddRow({o.run.label, std::to_string(o.result.flows_completed), Fmt(o.result.overall.p50),
+                  Fmt(o.result.overall.p99), digest, Fmt(o.wall_seconds, 2)});
+  }
+  table.Print();
+
+  if (sweep_opts.verify_sequential) {
+    std::vector<RunOutcome> sequential;
+    SweepRunnerOptions seq_opts;
+    seq_opts.jobs = 1;
+    if (!RunSweep(spec, seq_opts, &sequential, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    int mismatches = 0;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].digest != sequential[i].digest) {
+        std::fprintf(stderr,
+                     "DIGEST MISMATCH run %zu (%s): jobs=%d -> %016llx, jobs=1 -> %016llx\n", i,
+                     outcomes[i].run.label.c_str(), jobs,
+                     static_cast<unsigned long long>(outcomes[i].digest),
+                     static_cast<unsigned long long>(sequential[i].digest));
+        ++mismatches;
+      }
+    }
+    if (mismatches > 0) {
+      std::fprintf(stderr, "verify-sequential: %d of %zu runs diverged\n", mismatches,
+                   outcomes.size());
+      return 1;
+    }
+    std::printf("verify-sequential: all %zu digests identical to --jobs=1\n", outcomes.size());
+  }
+
+  if (!sweep_opts.results_out.empty()) {
+    if (!WriteSweepResultsJson(sweep_opts.results_out, outcomes, jobs, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote sweep results to %s\n", sweep_opts.results_out.c_str());
+  }
+  if (!csv_prefix.empty()) {
+    const std::string path = csv_prefix + "_sweep.csv";
+    if (!WriteSweepSummaryCsv(path, outcomes)) {
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   FlagSet flags;
-  flags.Define("topo", "testbed8", "topology: testbed8 | bso13")
+  flags.Define("topo", "testbed8", "topology: testbed8 | bso13 | testbed8-sym")
       .Define("policy", "lcmp", "routing policy: ecmp | wcmp | ucmp | redte | lcmp")
       .Define("workload", "websearch", "flow-size mix: websearch | fbhdp | alistorage")
       .Define("cc", "dcqcn", "congestion control: dcqcn | hpcc | timely | dctcp")
-      .Define("pairing", "endpoints", "traffic pairing: endpoints | all | all-focus")
+      .Define("pairing", "endpoints",
+              "traffic pairing: endpoints | all | all-focus | endpoints-oneway")
       .Define("load", "0.3", "target average inter-DC link utilization (0, 1]")
       .Define("flows", "500", "number of flows to generate")
       .Define("hosts-per-dc", "8", "hosts per datacenter")
@@ -100,7 +157,9 @@ int main(int argc, char** argv) {
       .Define("w-ql", "2", "LCMP congestion queue-level weight")
       .Define("w-tl", "1", "LCMP congestion trend weight")
       .Define("w-dp", "1", "LCMP congestion duration weight")
-      .Define("csv-prefix", "", "if set, write <prefix>_{flows,links,buckets}.csv");
+      .Define("csv-prefix", "", "if set, write <prefix>_{flows,links,buckets}.csv"
+              " (in sweep mode: <prefix>_sweep.csv)");
+  DefineSweepFlags(flags);
   DefineObsFlags(flags);
   DefineFaultFlags(flags);
   if (!flags.Parse(argc, argv)) {
@@ -140,11 +199,30 @@ int main(int argc, char** argv) {
   }
 
   const FaultOptions fault_opts = GetFaultOptions(flags);
+  const SweepOptions sweep_opts = GetSweepOptions(flags);
+  config.monitor_invariants = fault_opts.monitor;
+
+  if (sweep_opts.active()) {
+    // An explicit plan file is resolved once against the base topology;
+    // chaos flags are passed through as config fields (see RunSweepMode).
+    if (!fault_opts.fault_plan_file.empty()) {
+      FaultOptions plan_only = fault_opts;
+      plan_only.chaos_seed = 0;
+      if (!BuildFaultPlan(plan_only, BuildTopology(config), &config.fault_plan, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+    }
+    const int status =
+        RunSweepMode(config, sweep_opts, fault_opts, flags.GetString("csv-prefix"));
+    FinalizeObs(obs_opts, 0);
+    return status;
+  }
+
   if (!BuildFaultPlan(fault_opts, BuildTopology(config), &config.fault_plan, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 2;
   }
-  config.monitor_invariants = fault_opts.monitor;
 
   const ExperimentResult result = RunExperiment(config);
 
