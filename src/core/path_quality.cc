@@ -3,37 +3,25 @@
 #include <algorithm>
 
 namespace lcmp {
-namespace {
-
-// Smallest shift s such that (saturation >> s) <= 255; the data plane then
-// computes delayScore = min(delay >> s, 255) with one shift + one compare.
-int DelayShiftFor(TimeNs saturation_ns) {
-  int s = 0;
-  while ((saturation_ns >> s) > 255 && s < 62) {
-    ++s;
-  }
-  return s;
-}
-
-}  // namespace
 
 uint8_t CalcDelayCost(TimeNs path_delay_ns, const LcmpConfig& config) {
   if (path_delay_ns <= 0) {
     return 0;
   }
-  const int shift = DelayShiftFor(config.delay_saturation);
-  const int64_t score = path_delay_ns >> shift;
+  // The shift is precomputed from delay_saturation (LcmpConfig::delay_shift);
+  // this function runs per packet and must stay one shift + one compare.
+  const int64_t score = path_delay_ns >> config.delay_shift;
   return static_cast<uint8_t>(std::min<int64_t>(score, 255));
 }
 
 uint8_t CalcLinkCapCost(int64_t bottleneck_bps, const LcmpConfig& config,
                         const BootstrapTables& tables) {
+  if (config.num_cap_classes <= 1) {
+    return 0;  // one class: every link is equally cheap
+  }
   const int cls = tables.CapacityClass(bottleneck_bps);
   // Invert: the fastest class costs 0, the slowest costs 255.
   const int inverted = config.num_cap_classes - 1 - cls;
-  if (config.num_cap_classes <= 1) {
-    return 0;
-  }
   return static_cast<uint8_t>(255 * inverted / (config.num_cap_classes - 1));
 }
 

@@ -24,17 +24,17 @@ SelectionResult SelectDiverse(std::span<const ScoredCandidate> candidates, uint6
                      (a.fused_cost == b.fused_cost && a.port < b.port);
             });
 
-  // All-congested fallback: no point spreading across uniformly bad paths.
-  const bool all_congested =
+  // All-congested detection: when every candidate's congestion score is
+  // saturated the scores carry no ranking signal, so selection must NOT
+  // collapse onto the single lowest-cost port (that herds every new flow
+  // onto one path exactly when the network is most congested, the failure
+  // mode Alg. 2's hash stage exists to prevent). The condition is only
+  // reported; the two-stage filter + hash below still runs so flows keep
+  // spreading across the surviving low-cost candidates.
+  result.used_fallback =
       std::all_of(scratch.begin(), scratch.end(), [&](const ScoredCandidate& c) {
         return c.cong_score >= config.all_congested_threshold;
       });
-  if (all_congested) {
-    result.port = scratch.front().port;
-    result.reduced_set_size = 1;
-    result.used_fallback = true;
-    return result;
-  }
 
   // Stage 1: drop the high-cost suffix; keep at least one candidate.
   size_t keep = scratch.size() * static_cast<size_t>(config.keep_num) /

@@ -5,8 +5,11 @@
 // Stage 2 hashes the flow into the reduced set (ECMP inside the low-cost
 // subset) so simultaneous arrivals do not herd onto one egress.
 //
-// Fallback: when every candidate is highly congested, randomizing among
-// uniformly bad choices is pointless, so the minimum-cost candidate wins.
+// All-congested handling: when every candidate's congestion score saturates,
+// the scores carry no ranking signal, so the hash stage still spreads flows
+// across the kept low-cost candidates (pinning to the single cheapest port
+// would herd every new flow onto one path precisely under overload). The
+// condition is surfaced via SelectionResult::used_fallback for telemetry.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +32,7 @@ struct ScoredCandidate {
 struct SelectionResult {
   PortIndex port = kInvalidPort;
   int reduced_set_size = 0;
-  bool used_fallback = false;  // all-congested minimum-cost fallback taken
+  bool used_fallback = false;  // every candidate was saturated-congested
 };
 
 // Applies the two-stage selection. `flow_hash` is the per-flow hash used for

@@ -172,6 +172,25 @@ SweepOptions GetSweepOptions(const FlagSet& flags) {
   return opts;
 }
 
+bool ValidateSweepObsOptions(const SweepOptions& sweep, const ObsOptions& obs,
+                             std::string* error) {
+  if (!sweep.active() || obs.metrics_out.empty()) {
+    return true;
+  }
+  // jobs == 0 means DefaultJobs(), which is > 1 on any multicore machine —
+  // only an explicit --jobs=1 makes the merged snapshot well-defined.
+  if (sweep.jobs != 1) {
+    if (error != nullptr) {
+      *error =
+          "--metrics-out with a parallel sweep (--jobs != 1) would merge all "
+          "concurrent runs into one process-global metrics snapshot; re-run "
+          "with --jobs=1 for a sequential aggregate, or drop --metrics-out";
+    }
+    return false;
+  }
+  return true;
+}
+
 void DefineFaultFlags(FlagSet& flags) {
   flags
       .Define("fault-plan", "",

@@ -86,6 +86,16 @@ struct SweepOptions {
 void DefineSweepFlags(FlagSet& flags);
 SweepOptions GetSweepOptions(const FlagSet& flags);
 
+// Rejects flag combinations whose output would be silently wrong. Today that
+// is --metrics-out with a parallel sweep: the metrics registry is
+// process-global, so a sweep at --jobs>1 would merge every concurrent run's
+// counters into one indistinguishable snapshot. Metrics in sweep mode are
+// therefore only allowed at --jobs=1, where the dump is a well-defined
+// sequential aggregate over all runs (documented in DESIGN.md §9). Returns
+// false and fills `error` on a bad combination.
+bool ValidateSweepObsOptions(const SweepOptions& sweep, const ObsOptions& obs,
+                             std::string* error);
+
 // --- fault-injection flags (src/fault/; shared by lcmp_sim and soak tools) ---
 //
 // DefineFaultFlags registers --fault-plan / --chaos-* / --monitor;

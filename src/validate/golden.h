@@ -1,0 +1,83 @@
+// Golden-digest regression corpus (validation layer, DESIGN.md §10).
+//
+// A golden scenario is a canonical ExperimentConfig — policy × topology ×
+// workload, some with a seeded chaos plan — whose deterministic
+// ExperimentDigest is pinned in tests/golden/<name>.json. The golden test
+// re-runs every scenario and diffs the digest (plus the event/flow counters
+// and the config echo) against the pinned record, so ANY change to the
+// event-for-event behavior of the simulator, a routing policy, the transport
+// or the fault injector shows up as a named scenario diff instead of a
+// silent drift. Intentional behavior changes re-pin the corpus with
+//   lcmp_validate --update-golden
+// and the new records are reviewed like any other diff.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace lcmp {
+namespace validate {
+
+struct GoldenScenario {
+  std::string name;       // file stem under the golden dir
+  std::string overrides;  // registry "field=value ..." list applied to defaults
+};
+
+// The canonical corpus: every routing policy on the 8-DC testbed, both paper
+// topologies, the herd-effect symmetric variant, chaos plans with the
+// invariant monitor attached, and the substrate/transport extensions.
+const std::vector<GoldenScenario>& GoldenScenarios();
+
+// Builds the scenario's ExperimentConfig from its overrides string. Dies
+// (LCMP_CHECK-style false return) only on a malformed scenario table.
+bool BuildGoldenConfig(const GoldenScenario& scenario, ExperimentConfig* config,
+                       std::string* error);
+
+// What gets pinned per scenario. digest/events/flows/sim_end are compared
+// exactly; config_echo is compared to catch default-value drift (a changed
+// default silently changes what "the same scenario" means); the percentiles
+// are informational context for reviewing an intentional re-pin.
+struct GoldenRecord {
+  std::string name;
+  uint64_t digest = 0;
+  uint64_t events_processed = 0;
+  int64_t flows_completed = 0;
+  int64_t sim_end_ns = 0;
+  // "field=value field=value ..." over registry fields that differ from a
+  // default-constructed ExperimentConfig, in registry order.
+  std::string config_echo;
+  double p50_slowdown = 0;  // informational, not compared
+  double p99_slowdown = 0;  // informational, not compared
+};
+
+// Runs the scenario and folds the result into a record.
+GoldenRecord ComputeGoldenRecord(const GoldenScenario& scenario);
+
+// The registry-order non-default config echo used in records.
+std::string ConfigEcho(const ExperimentConfig& config);
+
+// JSON (de)serialization of one record.
+std::string GoldenRecordToJson(const GoldenRecord& record);
+bool ParseGoldenRecord(const std::string& text, GoldenRecord* record, std::string* error);
+bool LoadGoldenRecord(const std::string& path, GoldenRecord* record, std::string* error);
+bool SaveGoldenRecord(const std::string& path, const GoldenRecord& record, std::string* error);
+
+// Pinned-vs-current comparison; `detail` names every differing field.
+struct GoldenDiff {
+  bool match = false;
+  std::string detail;
+};
+GoldenDiff CompareGolden(const GoldenRecord& pinned, const GoldenRecord& current);
+
+// Golden corpus directory: $LCMP_GOLDEN_DIR if set, else the compiled-in
+// source-tree path (tests/golden).
+std::string GoldenDir();
+
+// Path of one scenario's record file inside `dir`.
+std::string GoldenPath(const std::string& dir, const std::string& scenario_name);
+
+}  // namespace validate
+}  // namespace lcmp

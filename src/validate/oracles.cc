@@ -1,0 +1,241 @@
+#include "validate/oracles.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/port.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+#include "transport/rdma_transport.h"
+
+namespace lcmp {
+namespace validate {
+namespace {
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+FlowSpec MakeFlow(FlowId id, NodeId src, NodeId dst, uint64_t bytes, TimeNs start) {
+  FlowSpec f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.key = FlowKey{src, dst, static_cast<uint32_t>(id), 4791, 17};
+  f.size_bytes = bytes;
+  f.start_time = start;
+  return f;
+}
+
+// Runs `num_flows` DC0 -> DC1 transfers over `graph` under `policy` and
+// returns the completion records sorted by flow id.
+std::vector<FlowRecord> RunDumbbellFlows(const Graph& graph, PolicyKind policy, int num_flows,
+                                         uint64_t seed) {
+  Network net(graph, NetworkConfig{}, MakePolicyFactory(policy, LcmpConfig{}));
+  net.StartPolicyTicks();
+  std::vector<FlowRecord> records;
+  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+                          [&](const FlowRecord& r) { records.push_back(r); });
+  const auto src_hosts = graph.HostsInDc(0);
+  const auto dst_hosts = graph.HostsInDc(1);
+  Rng rng(seed);
+  for (FlowId i = 1; i <= static_cast<FlowId>(num_flows); ++i) {
+    const uint64_t bytes = 20'000 + rng.NextBounded(400'000);
+    const TimeNs start = static_cast<TimeNs>(rng.NextBounded(Milliseconds(2)));
+    transport.ScheduleFlow(MakeFlow(i, src_hosts[i % src_hosts.size()],
+                                    dst_hosts[(i + 1) % dst_hosts.size()], bytes, start));
+  }
+  net.sim().Run(Seconds(60));
+  std::sort(records.begin(), records.end(),
+            [](const FlowRecord& a, const FlowRecord& b) { return a.spec.id < b.spec.id; });
+  return records;
+}
+
+}  // namespace
+
+OracleResult CheckByteConservation(uint64_t seed) {
+  const Graph graph = BuildDumbbell(/*parallel_links=*/2, /*hosts_per_dc=*/2, Gbps(10),
+                                    Milliseconds(1));
+  Network net(graph, NetworkConfig{}, MakePolicyFactory(PolicyKind::kEcmp, LcmpConfig{}));
+  std::vector<FlowRecord> records;
+  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+                          [&](const FlowRecord& r) { records.push_back(r); });
+  const auto src_hosts = graph.HostsInDc(0);
+  const auto dst_hosts = graph.HostsInDc(1);
+  Rng rng(seed);
+  const int num_flows = 20;
+  for (FlowId i = 1; i <= static_cast<FlowId>(num_flows); ++i) {
+    const uint64_t bytes = 10'000 + rng.NextBounded(200'000);
+    transport.ScheduleFlow(MakeFlow(i, src_hosts[i % src_hosts.size()],
+                                    dst_hosts[i % dst_hosts.size()], bytes,
+                                    static_cast<TimeNs>(i) * Microseconds(20)));
+  }
+  net.sim().Run(Seconds(60));
+  if (static_cast<int>(records.size()) != num_flows) {
+    return {false, Fmt("only %zu of %d flows completed", records.size(), num_flows)};
+  }
+  // End-to-end ledger: every byte a port ever accepted was transmitted,
+  // administratively flushed, or is still queued — and at quiescence nothing
+  // may still be queued.
+  int ports_checked = 0;
+  for (NodeId id = 0; id < graph.num_vertices(); ++id) {
+    Node& node = net.node(id);
+    for (PortIndex p = 0; p < node.num_ports(); ++p) {
+      const Port& port = node.port(p);
+      ++ports_checked;
+      const int64_t ledger = port.tx_bytes() + port.flushed_bytes() + port.queue_bytes();
+      if (port.accepted_bytes() != ledger) {
+        return {false, Fmt("node %d port %d: accepted %lld != tx %lld + flushed %lld + "
+                           "queued %lld",
+                           static_cast<int>(id), static_cast<int>(p),
+                           static_cast<long long>(port.accepted_bytes()),
+                           static_cast<long long>(port.tx_bytes()),
+                           static_cast<long long>(port.flushed_bytes()),
+                           static_cast<long long>(port.queue_bytes()))};
+      }
+      if (port.queue_bytes() != 0) {
+        return {false, Fmt("node %d port %d: %lld bytes still queued after quiescence",
+                           static_cast<int>(id), static_cast<int>(p),
+                           static_cast<long long>(port.queue_bytes()))};
+      }
+    }
+  }
+  return {true, Fmt("%d flows, %d port ledgers balanced", num_flows, ports_checked)};
+}
+
+OracleResult CheckSingleFlowCeiling(uint64_t seed) {
+  const int64_t bottleneck = Gbps(10);
+  const TimeNs inter_delay = Milliseconds(5);
+  const Graph graph = BuildDumbbell(1, 1, bottleneck, inter_delay);
+  Network net(graph, NetworkConfig{}, MakePolicyFactory(PolicyKind::kEcmp, LcmpConfig{}));
+  std::vector<FlowRecord> records;
+  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+                          [&](const FlowRecord& r) { records.push_back(r); });
+  const uint64_t bytes = 1'000'000 + (seed % 7) * 100'000;
+  transport.StartFlow(
+      MakeFlow(1, graph.HostsInDc(0)[0], graph.HostsInDc(1)[0], bytes, 0));
+  net.sim().Run(Seconds(60));
+  if (records.size() != 1) {
+    return {false, "single flow did not complete"};
+  }
+  const TimeNs fct = records[0].complete_time - records[0].start_time;
+  // Physics floor: the payload must at least serialize at the bottleneck and
+  // cross the inter-DC propagation once. (Headers, intra-DC hops, ACK-clocked
+  // ramp-up only add to this.)
+  const TimeNs floor = SerializationDelay(static_cast<int64_t>(bytes), bottleneck) + inter_delay;
+  if (fct < floor) {
+    return {false, Fmt("FCT %lld ns beats the analytic floor %lld ns",
+                       static_cast<long long>(fct), static_cast<long long>(floor))};
+  }
+  // Goodput ceiling: payload bits per FCT second cannot exceed line rate.
+  const double goodput_bps = static_cast<double>(bytes) * 8e9 / static_cast<double>(fct);
+  if (goodput_bps > static_cast<double>(bottleneck)) {
+    return {false, Fmt("goodput %.0f bps exceeds the %lld bps bottleneck", goodput_bps,
+                       static_cast<long long>(bottleneck))};
+  }
+  return {true, Fmt("%llu B: FCT %lld ns >= floor %lld ns, goodput %.2f Gbps <= 10 Gbps",
+                    static_cast<unsigned long long>(bytes), static_cast<long long>(fct),
+                    static_cast<long long>(floor), goodput_bps / 1e9)};
+}
+
+OracleResult CheckSinglePathPolicyEquivalence(uint64_t seed) {
+  // One inter-DC link: every policy's candidate set is a singleton, so the
+  // routing decision is forced and the transports must behave identically.
+  const Graph graph = BuildDumbbell(1, 2, Gbps(10), Milliseconds(5));
+  const int num_flows = 12;
+  const auto ecmp = RunDumbbellFlows(graph, PolicyKind::kEcmp, num_flows, seed);
+  const auto lcmp = RunDumbbellFlows(graph, PolicyKind::kLcmp, num_flows, seed);
+  if (ecmp.size() != lcmp.size() || static_cast<int>(ecmp.size()) != num_flows) {
+    return {false, Fmt("completion counts differ: ecmp %zu, lcmp %zu (want %d)", ecmp.size(),
+                       lcmp.size(), num_flows)};
+  }
+  for (int i = 0; i < num_flows; ++i) {
+    const TimeNs fct_e = ecmp[i].complete_time - ecmp[i].start_time;
+    const TimeNs fct_l = lcmp[i].complete_time - lcmp[i].start_time;
+    if (ecmp[i].spec.id != lcmp[i].spec.id || fct_e != fct_l ||
+        ecmp[i].spec.size_bytes != lcmp[i].spec.size_bytes) {
+      return {false, Fmt("flow %lld diverges: ecmp FCT %lld ns, lcmp FCT %lld ns",
+                         static_cast<long long>(ecmp[i].spec.id),
+                         static_cast<long long>(fct_e), static_cast<long long>(fct_l))};
+    }
+  }
+  return {true, Fmt("%d flows bit-identical across ECMP and LCMP", num_flows)};
+}
+
+namespace {
+
+// Minimal nodes for driving one Port directly (no routing, no transport).
+class OracleSink : public Node {
+ public:
+  OracleSink(Simulator* sim, NodeId id) : Node(sim, id, Kind::kHost, 0, 1) {}
+  void Receive(Packet, PortIndex) override {}
+};
+
+class OracleSource : public Node {
+ public:
+  OracleSource(Simulator* sim, NodeId id) : Node(sim, id, Kind::kHost, 0, 2) {}
+  void Receive(Packet, PortIndex) override {}
+};
+
+}  // namespace
+
+OracleResult CheckQueueBuildupRate() {
+  Simulator sim;
+  OracleSource src(&sim, 0);
+  OracleSink dst(&sim, 1);
+  PortConfig pc;
+  pc.rate_bps = Gbps(1);  // drain µ = 1 Gbps
+  pc.prop_delay_ns = 1000;
+  pc.buffer_bytes = 16'000'000;
+  pc.ecn_kmin = 0;
+  const PortIndex idx = src.AddPort(pc, /*graph_link_idx=*/0);
+  src.port(idx).ConnectTo(&dst, 0);
+  // Offer λ = 2 Gbps: one 1000 B packet every 4 µs.
+  const int64_t pkt_bytes = 1000;
+  const TimeNs spacing = 4000;
+  const TimeNs horizon = Milliseconds(1);
+  for (TimeNs t = 0; t < horizon; t += spacing) {
+    sim.ScheduleAt(t, [&src, idx, pkt_bytes] {
+      Packet p;
+      p.type = PacketType::kData;
+      p.size_bytes = static_cast<uint32_t>(pkt_bytes);
+      src.port(idx).Enqueue(p);
+    });
+  }
+  sim.Run(horizon);
+  // Arithmetic: queue(T) = (λ - µ)·T / 8 = 1 Gbps · 1 ms / 8 = 125000 B.
+  const int64_t expected = (Gbps(2) - Gbps(1)) / 8 * horizon / Seconds(1);
+  const int64_t actual = src.port(idx).queue_bytes();
+  const int64_t tolerance = 4 * pkt_bytes;  // packet quantization at both rates
+  if (actual < expected - tolerance || actual > expected + tolerance) {
+    return {false, Fmt("queue after 1 ms at 2x load: %lld B, expected %lld +/- %lld B",
+                       static_cast<long long>(actual), static_cast<long long>(expected),
+                       static_cast<long long>(tolerance))};
+  }
+  return {true, Fmt("queue %lld B matches (λ-µ)·T = %lld B within %lld B",
+                    static_cast<long long>(actual), static_cast<long long>(expected),
+                    static_cast<long long>(tolerance))};
+}
+
+std::vector<std::pair<std::string, OracleResult>> RunAllOracles(uint64_t seed) {
+  std::vector<std::pair<std::string, OracleResult>> out;
+  out.emplace_back("byte-conservation", CheckByteConservation(seed));
+  out.emplace_back("single-flow-ceiling", CheckSingleFlowCeiling(seed));
+  out.emplace_back("single-path-equivalence", CheckSinglePathPolicyEquivalence(seed));
+  out.emplace_back("queue-buildup-rate", CheckQueueBuildupRate());
+  return out;
+}
+
+}  // namespace validate
+}  // namespace lcmp

@@ -1,0 +1,49 @@
+// Analytic oracles (validation layer, DESIGN.md §10).
+//
+// Each oracle checks a simulation outcome against a quantity derivable with
+// pencil and paper — independent of the simulator's own bookkeeping — so a
+// bug that shifts behavior *consistently* (and therefore survives the golden
+// digests, which only pin change) still gets caught:
+//   - per-port byte conservation: accepted == transmitted + flushed + queued
+//     on every port of a transport run, end to end;
+//   - single-flow FCT floor / throughput ceiling: one flow on an idle path
+//     cannot beat serialization + propagation, and its goodput cannot exceed
+//     the bottleneck line rate;
+//   - degenerate-topology policy equivalence: on a single-path topology every
+//     multipath policy has exactly one choice, so ECMP and LCMP must produce
+//     identical per-flow completion times;
+//   - queue-buildup arithmetic: a port offered λ > µ builds queue at λ - µ.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lcmp {
+namespace validate {
+
+struct OracleResult {
+  bool passed = false;
+  std::string detail;  // human-readable numbers behind the verdict
+};
+
+// Runs ~20 flows over a 2-link dumbbell and checks every port's byte ledger.
+OracleResult CheckByteConservation(uint64_t seed);
+
+// One flow, one path: FCT >= bottleneck serialization + propagation, and
+// goodput <= bottleneck rate.
+OracleResult CheckSingleFlowCeiling(uint64_t seed);
+
+// Single-path dumbbell: ECMP and LCMP per-flow FCT sequences are identical.
+OracleResult CheckSinglePathPolicyEquivalence(uint64_t seed);
+
+// Offered load 2x the drain rate: after T the queue holds (λ-µ)·T bits,
+// within a packet-quantization tolerance.
+OracleResult CheckQueueBuildupRate();
+
+// All oracles, named, for the test suite and the lcmp_validate CLI.
+std::vector<std::pair<std::string, OracleResult>> RunAllOracles(uint64_t seed);
+
+}  // namespace validate
+}  // namespace lcmp

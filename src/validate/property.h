@@ -1,0 +1,74 @@
+// Seeded property-based testing harness (validation layer, DESIGN.md §10).
+//
+// A property is a function from (Rng, size) to an optional failure message:
+// it draws arbitrary inputs from the Rng — scaled by `size` — checks an
+// invariant, and returns the violation (or nullopt). RunProperty executes the
+// property across `cases` derived seeds with sizes cycling through
+// [1, max_size]; on the first failure it SHRINKS the size dimension (same
+// seed, smaller sizes) to the minimal still-failing case and reports a
+// one-line repro:
+//     name: FAILED seed=<s> size=<n>: <message>
+//     repro: RunProperty once with PropertyOptions{.base_seed=<s>,
+//            .cases=1, .min_size=<n>, .max_size=<n>}
+// so a CI failure is reproducible locally without replaying the whole run.
+//
+// Generators for the project's domain types (valid LcmpConfigs, scored
+// candidate sets, random WAN topologies via BuildRandomWan, chaos fault
+// plans via GenerateChaosPlan) live alongside the harness so every property
+// draws from the same vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/selector.h"
+
+namespace lcmp {
+namespace validate {
+
+struct PropertyOptions {
+  uint64_t base_seed = 1;  // case i uses seed base_seed + i
+  int cases = 200;
+  int min_size = 1;
+  int max_size = 64;  // sizes cycle min_size..max_size across cases
+};
+
+struct PropertyResult {
+  std::string name;
+  bool passed = false;
+  int cases_run = 0;
+  // Populated on failure (after shrinking).
+  uint64_t failing_seed = 0;
+  int failing_size = 0;
+  std::string failure;
+  std::string repro;  // one-line reproduction recipe
+
+  // "name: OK (N cases)" or the failure + repro lines.
+  std::string Report() const;
+};
+
+// The property draws inputs from `rng` (deterministic per case) at the given
+// size and returns a failure message, or nullopt when the invariant holds.
+using PropertyFn = std::function<std::optional<std::string>(Rng& rng, int size)>;
+
+PropertyResult RunProperty(const std::string& name, const PropertyOptions& options,
+                           const PropertyFn& property);
+
+// ---- Generators ----
+
+// A random *valid* LcmpConfig (ValidateConfig-true by construction): weights,
+// shifts, keep fraction, thresholds and timings drawn from their full legal
+// ranges, delay saturation applied via SetDelaySaturation.
+LcmpConfig GenLcmpConfig(Rng& rng);
+
+// `size` scored candidates with random ports (a permutation), costs and
+// congestion scores.
+std::vector<ScoredCandidate> GenCandidates(Rng& rng, int size);
+
+}  // namespace validate
+}  // namespace lcmp

@@ -84,6 +84,29 @@ TEST(ConfigTest, RejectsNonPositiveTimings) {
   EXPECT_FALSE(ValidateConfig(c));
 }
 
+TEST(ConfigTest, SetDelaySaturationKeepsShiftInSync) {
+  LcmpConfig c;
+  c.SetDelaySaturation(Milliseconds(16));
+  EXPECT_EQ(c.delay_shift, LcmpConfig::DelayShiftFor(Milliseconds(16)));
+  EXPECT_TRUE(ValidateConfig(c));
+}
+
+TEST(ConfigTest, RejectsStaleDelayShift) {
+  // Writing delay_saturation directly leaves the precomputed hot-path shift
+  // stale; validation must catch it instead of silently mis-scoring delays.
+  LcmpConfig c;
+  c.delay_saturation = Milliseconds(16);  // bypasses SetDelaySaturation
+  EXPECT_FALSE(ValidateConfig(c));
+}
+
+TEST(ConfigTest, DelayShiftForSaturatesAt255Quanta) {
+  // The shift maps the saturation point to the top of the byte range.
+  const TimeNs sat = Milliseconds(64);
+  const int s = LcmpConfig::DelayShiftFor(sat);
+  EXPECT_LE(sat >> s, 255);
+  EXPECT_GT(sat >> (s - 1), 255);
+}
+
 TEST(ConfigTest, HighWaterLevelDerivation) {
   LcmpConfig c;
   c.num_queue_levels = 16;

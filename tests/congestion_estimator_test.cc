@@ -198,5 +198,39 @@ INSTANTIATE_TEST_SUITE_P(Weights, CongestionWeightSweep,
                          ::testing::Values(std::make_tuple(2, 1, 1), std::make_tuple(1, 2, 1),
                                            std::make_tuple(1, 1, 2), std::make_tuple(1, 0, 0)));
 
+// --- Regression: t=0 is a legitimate sample time, not "uninitialized" ---
+
+TEST(CongestionEstimatorTest, SampleAtTimeZeroIsARealSample) {
+  Fixture f;
+  EXPECT_FALSE(f.est.has_sample(0));
+  f.est.Sample(0, 0, Gbps(100), 0);
+  EXPECT_TRUE(f.est.has_sample(0));
+  EXPECT_FALSE(f.est.has_sample(1));
+}
+
+TEST(CongestionEstimatorTest, CadenceNormalizationAppliesAfterTimeZeroSample) {
+  // Regression: the old code used `last_sample > 0` as an "uninitialized"
+  // sentinel, so a port first sampled at t=0 looked never-sampled on its
+  // SECOND sample and the early/late cadence normalization was skipped,
+  // corrupting the first trend delta. With the explicit has-sample flag the
+  // second sample (taken at half the nominal cadence) is normalized: the
+  // observed delta doubles before entering the EWMA.
+  Fixture f;
+  f.est.Sample(0, 0, Gbps(100), 0);
+  f.est.Sample(0, 8000, Gbps(100), f.config.sample_interval / 2);
+  // delta = 8000 * sample_interval / (sample_interval/2) = 16000;
+  // trend = 0 - (0 >> k) + (16000 >> 3) = 2000. The pre-fix code skipped the
+  // normalization and produced 1000.
+  EXPECT_EQ(f.est.state(0).trend, 16000 >> f.config.trend_shift_k);
+}
+
+TEST(CongestionEstimatorTest, FirstSampleIsNeverCadenceNormalized) {
+  // A port whose first-ever sample arrives off-cadence has no previous
+  // sample to measure against; the raw delta must enter the EWMA unscaled.
+  Fixture f;
+  f.est.Sample(0, 8000, Gbps(100), f.config.sample_interval / 2);
+  EXPECT_EQ(f.est.state(0).trend, 8000 >> f.config.trend_shift_k);
+}
+
 }  // namespace
 }  // namespace lcmp

@@ -76,6 +76,54 @@ TEST(FlagsTest, HelpRequested) {
   EXPECT_NE(f.Usage("prog").find("--load"), std::string::npos);
 }
 
+TEST(SweepObsValidationTest, NoSweepOrNoMetricsAlwaysOk) {
+  SweepOptions sweep;  // inactive
+  ObsOptions obs;
+  obs.metrics_out = "metrics.json";
+  std::string error;
+  EXPECT_TRUE(ValidateSweepObsOptions(sweep, obs, &error));
+  sweep.axes = "lcmp.alpha=1,3";
+  obs.metrics_out.clear();
+  EXPECT_TRUE(ValidateSweepObsOptions(sweep, obs, &error));
+}
+
+TEST(SweepObsValidationTest, ParallelSweepWithMetricsRejected) {
+  // Regression: the metrics registry is process-global, so a --jobs>1 sweep
+  // with --metrics-out used to silently interleave every worker's counters
+  // into one meaningless snapshot. The combination must fail fast.
+  SweepOptions sweep;
+  sweep.axes = "lcmp.alpha=1,3";
+  sweep.jobs = 4;
+  ObsOptions obs;
+  obs.metrics_out = "metrics.json";
+  std::string error;
+  EXPECT_FALSE(ValidateSweepObsOptions(sweep, obs, &error));
+  EXPECT_NE(error.find("--jobs=1"), std::string::npos);
+}
+
+TEST(SweepObsValidationTest, DefaultJobsCountsAsParallel) {
+  // jobs == 0 resolves to hardware concurrency, so it is parallel too.
+  SweepOptions sweep;
+  sweep.spec_file = "spec.json";
+  sweep.jobs = 0;
+  ObsOptions obs;
+  obs.metrics_out = "metrics.csv";
+  EXPECT_FALSE(ValidateSweepObsOptions(sweep, obs, nullptr));
+}
+
+TEST(SweepObsValidationTest, SequentialSweepWithMetricsAllowed) {
+  // --jobs=1 is the documented escape hatch: the dump is a well-defined
+  // sequential aggregate across all runs.
+  SweepOptions sweep;
+  sweep.axes = "lcmp.alpha=1,3";
+  sweep.jobs = 1;
+  ObsOptions obs;
+  obs.metrics_out = "metrics.json";
+  std::string error;
+  EXPECT_TRUE(ValidateSweepObsOptions(sweep, obs, &error));
+  EXPECT_TRUE(error.empty());
+}
+
 class CsvTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -48,6 +48,37 @@ TEST(DelayCostTest, ShiftMappingIsLinearBeforeSaturation) {
   EXPECT_NEAR(static_cast<double>(s2), 2.0 * s1, 2.0);
 }
 
+TEST(DelayCostTest, SetDelaySaturationRecomputesShift) {
+  // The per-packet hot path uses the precomputed delay_shift, so changing
+  // the saturation point must go through SetDelaySaturation. A smaller
+  // saturation means scores climb (and clamp) earlier.
+  LcmpConfig c = DefaultConfig();
+  c.SetDelaySaturation(Milliseconds(16));
+  EXPECT_EQ(c.delay_shift, LcmpConfig::DelayShiftFor(Milliseconds(16)));
+  EXPECT_GE(CalcDelayCost(Milliseconds(16), c), 240);
+  EXPECT_EQ(CalcDelayCost(Milliseconds(20), c), 255);
+  // The default 64 ms shift would leave 16 ms well below saturation.
+  EXPECT_LT(CalcDelayCost(Milliseconds(16), DefaultConfig()), 80);
+}
+
+TEST(DelayCostTest, ExactlyAtSaturationIsNearMax) {
+  const LcmpConfig c = DefaultConfig();
+  EXPECT_GE(CalcDelayCost(c.delay_saturation, c), 240);
+  EXPECT_EQ(CalcDelayCost(c.delay_saturation * 2, c), 255);
+}
+
+TEST(LinkCapCostTest, SingleCapacityClassIsFree) {
+  // With one capacity class every link is equally cheap; the guard must
+  // return before consulting the class tables (which would divide by
+  // num_cap_classes - 1 == 0).
+  LcmpConfig c = DefaultConfig();
+  const BootstrapTables t = BootstrapTables::Build(c);
+  c.num_cap_classes = 1;
+  for (int64_t r : {Gbps(10), Gbps(40), Gbps(100), Gbps(400), Gbps(800)}) {
+    EXPECT_EQ(CalcLinkCapCost(r, c, t), 0);
+  }
+}
+
 TEST(LinkCapCostTest, FasterIsCheaper) {
   const LcmpConfig c = DefaultConfig();
   const BootstrapTables t = BootstrapTables::Build(c);

@@ -1,0 +1,100 @@
+// Golden-digest regression suite: every canonical scenario's current
+// ExperimentDigest must equal the record pinned in tests/golden/. A failure
+// means an intentional behavior change (re-pin with `lcmp_validate
+// --update-golden` and review the new records) or an unintended one (fix it).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "validate/golden.h"
+
+namespace lcmp {
+namespace validate {
+namespace {
+
+class GoldenDigestTest : public ::testing::TestWithParam<GoldenScenario> {};
+
+TEST_P(GoldenDigestTest, MatchesPinnedRecord) {
+  const GoldenScenario& scenario = GetParam();
+  GoldenRecord pinned;
+  std::string error;
+  const std::string path = GoldenPath(GoldenDir(), scenario.name);
+  ASSERT_TRUE(LoadGoldenRecord(path, &pinned, &error))
+      << error << "\nMissing or unreadable golden record. Generate the corpus with:\n"
+      << "  lcmp_validate --update-golden";
+  const GoldenRecord current = ComputeGoldenRecord(scenario);
+  const GoldenDiff diff = CompareGolden(pinned, current);
+  EXPECT_TRUE(diff.match) << "scenario '" << scenario.name << "' drifted: " << diff.detail
+                          << "\nIf this change is intentional, re-pin with:\n"
+                          << "  lcmp_validate --update-golden\nand review " << path
+                          << " like any other diff.";
+}
+
+TEST(GoldenCorpusTest, HasAtLeastTwelveScenarios) {
+  EXPECT_GE(GoldenScenarios().size(), 12u);
+}
+
+TEST(GoldenCorpusTest, ScenarioNamesAreUniqueAndConfigsValid) {
+  std::set<std::string> names;
+  for (const GoldenScenario& scenario : GoldenScenarios()) {
+    EXPECT_TRUE(names.insert(scenario.name).second) << "duplicate name " << scenario.name;
+    ExperimentConfig config;
+    std::string error;
+    EXPECT_TRUE(BuildGoldenConfig(scenario, &config, &error))
+        << scenario.name << ": " << error;
+  }
+}
+
+TEST(GoldenRecordTest, JsonRoundTrip) {
+  GoldenRecord rec;
+  rec.name = "x";
+  rec.digest = 0xdeadbeefcafef00dULL;
+  rec.events_processed = 123456;
+  rec.flows_completed = 120;
+  rec.sim_end_ns = 987654321;
+  rec.config_echo = "policy=lcmp flows=120";
+  rec.p50_slowdown = 1.25;
+  rec.p99_slowdown = 9.5;
+  GoldenRecord back;
+  std::string error;
+  ASSERT_TRUE(ParseGoldenRecord(GoldenRecordToJson(rec), &back, &error)) << error;
+  EXPECT_EQ(back.name, rec.name);
+  EXPECT_EQ(back.digest, rec.digest);
+  EXPECT_EQ(back.events_processed, rec.events_processed);
+  EXPECT_EQ(back.flows_completed, rec.flows_completed);
+  EXPECT_EQ(back.sim_end_ns, rec.sim_end_ns);
+  EXPECT_EQ(back.config_echo, rec.config_echo);
+  EXPECT_TRUE(CompareGolden(rec, back).match);
+}
+
+TEST(GoldenRecordTest, CompareNamesEveryDivergingField) {
+  GoldenRecord a;
+  a.digest = 1;
+  a.events_processed = 10;
+  GoldenRecord b;
+  b.digest = 2;
+  b.events_processed = 20;
+  const GoldenDiff diff = CompareGolden(a, b);
+  EXPECT_FALSE(diff.match);
+  EXPECT_NE(diff.detail.find("digest"), std::string::npos);
+  EXPECT_NE(diff.detail.find("events_processed"), std::string::npos);
+}
+
+std::string ParamName(const ::testing::TestParamInfo<GoldenScenario>& info) {
+  std::string name = info.param.name;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenDigestTest, ::testing::ValuesIn(GoldenScenarios()),
+                         ParamName);
+
+}  // namespace
+}  // namespace validate
+}  // namespace lcmp

@@ -1,0 +1,47 @@
+// Analytic-oracle suite: simulation outcomes checked against pencil-and-paper
+// quantities (byte conservation, FCT floors, degenerate-topology policy
+// equivalence, queue-buildup arithmetic). See src/validate/oracles.h.
+#include <gtest/gtest.h>
+
+#include "validate/oracles.h"
+
+namespace lcmp {
+namespace validate {
+namespace {
+
+class OracleSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleSeedSweep, ByteConservation) {
+  const OracleResult r = CheckByteConservation(GetParam());
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST_P(OracleSeedSweep, SingleFlowCeiling) {
+  const OracleResult r = CheckSingleFlowCeiling(GetParam());
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST_P(OracleSeedSweep, SinglePathPolicyEquivalence) {
+  const OracleResult r = CheckSinglePathPolicyEquivalence(GetParam());
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSeedSweep, ::testing::Values(1u, 7u, 42u));
+
+TEST(OracleTest, QueueBuildupRate) {
+  const OracleResult r = CheckQueueBuildupRate();
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(OracleTest, RunAllCoversEveryOracle) {
+  const auto all = RunAllOracles(1);
+  ASSERT_EQ(all.size(), 4u);
+  for (const auto& [name, result] : all) {
+    EXPECT_TRUE(result.passed) << name << ": " << result.detail;
+    EXPECT_FALSE(result.detail.empty()) << name << " reported no numbers";
+  }
+}
+
+}  // namespace
+}  // namespace validate
+}  // namespace lcmp

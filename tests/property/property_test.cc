@@ -1,0 +1,338 @@
+// Property-based invariant suite, driven by the seeded harness in
+// src/validate/property.h. Each TEST runs one property across >= 200 derived
+// seeds; a failure prints a shrunk one-line repro (seed + size).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hashing.h"
+#include "core/bootstrap_tables.h"
+#include "core/congestion_estimator.h"
+#include "core/flow_cache.h"
+#include "core/path_quality.h"
+#include "core/selector.h"
+#include "fault/fault_plan.h"
+#include "harness/sweep.h"
+#include "topo/builders.h"
+#include "validate/property.h"
+
+namespace lcmp {
+namespace validate {
+namespace {
+
+void ExpectPassed(const PropertyResult& result) {
+  EXPECT_TRUE(result.passed) << result.Report();
+  EXPECT_GE(result.cases_run, 200) << result.name << " ran too few cases";
+}
+
+TEST(PropertyTest, GeneratedConfigsAreAlwaysValid) {
+  // Meta-property: every other property trusts GenLcmpConfig to produce
+  // ValidateConfig-clean inputs.
+  ExpectPassed(RunProperty("gen-config-valid", {}, [](Rng& rng, int) {
+    const LcmpConfig c = GenLcmpConfig(rng);
+    if (!ValidateConfig(c)) {
+      return std::optional<std::string>("GenLcmpConfig produced an invalid config");
+    }
+    return std::optional<std::string>();
+  }));
+}
+
+TEST(PropertyTest, SelectorReturnsMemberOfKeptPrefix) {
+  // Alg. 2 invariants for arbitrary configs and candidate sets: the chosen
+  // port is a real candidate, the reduced set size is the exact stage-1
+  // arithmetic, and the chosen candidate's cost is within the kept prefix of
+  // the cost-sorted order.
+  ExpectPassed(RunProperty("selector-membership", {}, [](Rng& rng, int size) {
+    const LcmpConfig config = GenLcmpConfig(rng);
+    const auto cands = GenCandidates(rng, size);
+    const uint64_t flow_hash = rng.NextU64();
+    std::vector<ScoredCandidate> scratch;
+    const SelectionResult r = SelectDiverse(cands, flow_hash, config, scratch);
+    if (size == 0) {
+      if (r.port != kInvalidPort) {
+        return std::optional<std::string>("empty candidate set produced a port");
+      }
+      return std::optional<std::string>();
+    }
+    const auto is_member = std::any_of(cands.begin(), cands.end(),
+                                       [&](const ScoredCandidate& c) { return c.port == r.port; });
+    if (!is_member) {
+      return std::optional<std::string>("selected port is not a candidate");
+    }
+    const size_t expect_keep =
+        std::max<size_t>(cands.size() * static_cast<size_t>(config.keep_num) /
+                             static_cast<size_t>(config.keep_den),
+                         1);
+    if (static_cast<size_t>(r.reduced_set_size) != expect_keep) {
+      return std::optional<std::string>(
+          "reduced_set_size " + std::to_string(r.reduced_set_size) + " != expected " +
+          std::to_string(expect_keep));
+    }
+    // Cost-prefix check: the selected candidate's cost must not exceed the
+    // keep-th smallest cost.
+    std::vector<int32_t> costs;
+    int32_t selected_cost = 0;
+    for (const ScoredCandidate& c : cands) {
+      costs.push_back(c.fused_cost);
+      if (c.port == r.port) {
+        selected_cost = c.fused_cost;
+      }
+    }
+    std::nth_element(costs.begin(), costs.begin() + static_cast<long>(expect_keep) - 1,
+                     costs.end());
+    if (selected_cost > costs[expect_keep - 1]) {
+      return std::optional<std::string>("selected cost " + std::to_string(selected_cost) +
+                                        " outside the kept prefix (threshold " +
+                                        std::to_string(costs[expect_keep - 1]) + ")");
+    }
+    return std::optional<std::string>();
+  }));
+}
+
+TEST(PropertyTest, SelectorIsDeterministic) {
+  ExpectPassed(RunProperty("selector-deterministic", {}, [](Rng& rng, int size) {
+    if (size == 0) {
+      return std::optional<std::string>();
+    }
+    const LcmpConfig config = GenLcmpConfig(rng);
+    const auto cands = GenCandidates(rng, size);
+    const uint64_t flow_hash = rng.NextU64();
+    std::vector<ScoredCandidate> scratch;
+    const SelectionResult a = SelectDiverse(cands, flow_hash, config, scratch);
+    const SelectionResult b = SelectDiverse(cands, flow_hash, config, scratch);
+    if (a.port != b.port || a.reduced_set_size != b.reduced_set_size ||
+        a.used_fallback != b.used_fallback) {
+      return std::optional<std::string>("same inputs produced different selections");
+    }
+    return std::optional<std::string>();
+  }));
+}
+
+TEST(PropertyTest, PathQualityMonotoneInDelay) {
+  // Eq. 2: more delay can never make a path look better, for any valid
+  // weight/shift assignment.
+  ExpectPassed(RunProperty("path-quality-monotone-delay", {}, [](Rng& rng, int) {
+    const LcmpConfig config = GenLcmpConfig(rng);
+    const BootstrapTables tables = BootstrapTables::Build(config);
+    const int64_t rate = Gbps(1 + static_cast<int64_t>(rng.NextBounded(400)));
+    TimeNs d1 = static_cast<TimeNs>(rng.NextBounded(Milliseconds(300)));
+    TimeNs d2 = static_cast<TimeNs>(rng.NextBounded(Milliseconds(300)));
+    if (d1 > d2) {
+      std::swap(d1, d2);
+    }
+    const uint8_t q1 = CalcPathQuality(d1, rate, config, tables);
+    const uint8_t q2 = CalcPathQuality(d2, rate, config, tables);
+    if (q1 > q2) {
+      return std::optional<std::string>("quality(" + std::to_string(d1) + "ns)=" +
+                                        std::to_string(q1) + " > quality(" +
+                                        std::to_string(d2) + "ns)=" + std::to_string(q2));
+    }
+    return std::optional<std::string>();
+  }));
+}
+
+TEST(PropertyTest, PathQualityAntitoneInCapacity) {
+  ExpectPassed(RunProperty("path-quality-antitone-capacity", {}, [](Rng& rng, int) {
+    const LcmpConfig config = GenLcmpConfig(rng);
+    const BootstrapTables tables = BootstrapTables::Build(config);
+    const TimeNs delay = static_cast<TimeNs>(rng.NextBounded(Milliseconds(200)));
+    int64_t r1 = Gbps(1 + static_cast<int64_t>(rng.NextBounded(400)));
+    int64_t r2 = Gbps(1 + static_cast<int64_t>(rng.NextBounded(400)));
+    if (r1 > r2) {
+      std::swap(r1, r2);
+    }
+    const uint8_t q_slow = CalcPathQuality(delay, r1, config, tables);
+    const uint8_t q_fast = CalcPathQuality(delay, r2, config, tables);
+    if (q_fast > q_slow) {
+      return std::optional<std::string>("faster link scored worse: " + std::to_string(r2) +
+                                        "bps=" + std::to_string(q_fast) + " vs " +
+                                        std::to_string(r1) + "bps=" + std::to_string(q_slow));
+    }
+    return std::optional<std::string>();
+  }));
+}
+
+TEST(PropertyTest, CongScoreMonotoneInFinalQueueDepth) {
+  // Two estimators fed an identical random history must rank a deeper final
+  // queue at least as congested (Q, trend delta and duration all move the
+  // same way).
+  ExpectPassed(RunProperty("cong-score-monotone", {}, [](Rng& rng, int size) {
+    const LcmpConfig config = GenLcmpConfig(rng);
+    BootstrapTables tables = BootstrapTables::Build(config);
+    CongestionEstimator est_a(config, &tables, 1);
+    CongestionEstimator est_b(config, &tables, 1);
+    const int64_t rate = Gbps(10 + static_cast<int64_t>(rng.NextBounded(390)));
+    TimeNs now = 0;
+    for (int i = 0; i < size; ++i) {
+      now += config.sample_interval;
+      const int64_t q = static_cast<int64_t>(rng.NextBounded(8'000'000));
+      est_a.Sample(0, q, rate, now);
+      est_b.Sample(0, q, rate, now);
+    }
+    now += config.sample_interval;
+    int64_t qa = static_cast<int64_t>(rng.NextBounded(8'000'000));
+    int64_t qb = static_cast<int64_t>(rng.NextBounded(8'000'000));
+    if (qa > qb) {
+      std::swap(qa, qb);
+    }
+    est_a.Sample(0, qa, rate, now);
+    est_b.Sample(0, qb, rate, now);
+    const uint8_t sa = est_a.CongScore(0, rate);
+    const uint8_t sb = est_b.CongScore(0, rate);
+    if (sa > sb) {
+      return std::optional<std::string>("score(q=" + std::to_string(qa) + ")=" +
+                                        std::to_string(sa) + " > score(q=" +
+                                        std::to_string(qb) + ")=" + std::to_string(sb));
+    }
+    return std::optional<std::string>();
+  }));
+}
+
+TEST(PropertyTest, FlowCacheEntriesNeverOutliveGcHorizon) {
+  // After a GC sweep at time `now`, no surviving entry may be idle past the
+  // timeout, expired entries must not resolve via Lookup, and invalidated
+  // (dead-path) entries must be gone entirely.
+  ExpectPassed(RunProperty("flow-cache-gc-horizon", {}, [](Rng& rng, int size) {
+    const int capacity = 4 + static_cast<int>(rng.NextBounded(64));
+    const TimeNs timeout = Microseconds(100 + static_cast<int64_t>(rng.NextBounded(100'000)));
+    FlowCache cache(capacity, timeout);
+    const TimeNs now = 2 * timeout + static_cast<TimeNs>(rng.NextBounded(Seconds(1)));
+    const int inserts = 1 + size;
+    std::vector<FlowId> inserted;
+    for (int i = 0; i < inserts; ++i) {
+      const FlowId flow = 1 + rng.NextU64() % 1'000'000;
+      const TimeNs seen = static_cast<TimeNs>(rng.NextBounded(static_cast<uint64_t>(now) + 1));
+      const PortIndex port = static_cast<PortIndex>(rng.NextBounded(8));
+      cache.Insert(flow, port, seen);
+      inserted.push_back(flow);
+    }
+    // Dead-path invalidation happens after all inserts so a random flow-id
+    // collision cannot resurrect an invalidated entry.
+    std::vector<FlowId> dead_flows;
+    for (const FlowId flow : inserted) {
+      if (rng.NextBounded(4) == 0) {
+        cache.Invalidate(flow);
+        dead_flows.push_back(flow);
+      }
+    }
+    cache.Gc(now);
+    std::optional<std::string> violation;
+    cache.ForEachEntry([&](const FlowCache::Entry& e) {
+      if (now - e.last_seen > timeout && !violation.has_value()) {
+        violation = "entry idle " + std::to_string(now - e.last_seen) +
+                    "ns survived GC (timeout " + std::to_string(timeout) + "ns)";
+      }
+    });
+    if (violation.has_value()) {
+      return violation;
+    }
+    for (const FlowId flow : dead_flows) {
+      if (cache.Lookup(flow, now) != kInvalidPort) {
+        return std::optional<std::string>("invalidated flow " + std::to_string(flow) +
+                                          " still resolves to a port");
+      }
+    }
+    return std::optional<std::string>();
+  }));
+}
+
+TEST(PropertyTest, FlowCacheLookupRejectsExpiredEntries) {
+  ExpectPassed(RunProperty("flow-cache-expiry", {}, [](Rng& rng, int) {
+    const TimeNs timeout = Microseconds(100 + static_cast<int64_t>(rng.NextBounded(100'000)));
+    FlowCache cache(64, timeout);
+    const FlowId flow = 1 + rng.NextU64() % 1'000'000;
+    const PortIndex port = static_cast<PortIndex>(rng.NextBounded(8));
+    cache.Insert(flow, port, 0);
+    const TimeNs fresh = static_cast<TimeNs>(rng.NextBounded(static_cast<uint64_t>(timeout)));
+    if (cache.Lookup(flow, fresh) != port) {
+      return std::optional<std::string>("fresh entry did not resolve");
+    }
+    // Lookup refreshed last_seen to `fresh`; anything past fresh + timeout
+    // must now miss.
+    const TimeNs stale =
+        fresh + timeout + 1 + static_cast<TimeNs>(rng.NextBounded(Seconds(1)));
+    if (cache.Lookup(flow, stale) != kInvalidPort) {
+      return std::optional<std::string>("expired entry still resolves");
+    }
+    return std::optional<std::string>();
+  }));
+}
+
+TEST(PropertyTest, ChaosPlanTextFormIsAFixedPoint) {
+  // FaultPlan::ToString must parse back to a plan whose text form is
+  // identical (one round trip reaches the grammar's canonical form), for
+  // arbitrary seeded chaos plans on arbitrary random WANs.
+  PropertyOptions options;
+  options.max_size = 16;
+  ExpectPassed(RunProperty("fault-plan-round-trip", options, [](Rng& rng, int size) {
+    RandomWanOptions wan;
+    wan.num_dcs = 3 + static_cast<int>(rng.NextBounded(6));
+    wan.extra_chords = static_cast<int>(rng.NextBounded(6));
+    wan.seed = rng.NextU64();
+    wan.fabric.hosts = 1;
+    const Graph graph = BuildRandomWan(wan);
+    ChaosOptions chaos;
+    chaos.seed = rng.NextU64();
+    chaos.faults_per_sec = 5.0 + static_cast<double>(rng.NextBounded(100));
+    chaos.window = Milliseconds(10 + static_cast<int64_t>(size) * 20);
+    const FaultPlan plan = GenerateChaosPlan(graph, chaos);
+    const std::string text = plan.ToString();
+    FaultPlan parsed;
+    std::string error;
+    if (!ParseFaultPlan(text, graph, &parsed, &error)) {
+      return std::optional<std::string>("ToString output failed to parse: " + error);
+    }
+    if (parsed.ToString() != text) {
+      return std::optional<std::string>("text form is not a fixed point under round-trip");
+    }
+    if (parsed.size() != plan.size()) {
+      return std::optional<std::string>("round trip changed event count");
+    }
+    return std::optional<std::string>();
+  }));
+}
+
+TEST(PropertyTest, ConfigRegistryGetApplyIsAFixedPoint) {
+  // For every registry field: reading a (randomized) config and re-applying
+  // the encoded value onto a fresh config reproduces the same encoding.
+  ExpectPassed(RunProperty("config-registry-round-trip", {}, [](Rng& rng, int) {
+    ExperimentConfig config;
+    // Randomize through the registry itself so only encodable states occur.
+    const char* kPolicies[] = {"ecmp", "wcmp", "ucmp", "redte", "lcmp"};
+    const char* kTopos[] = {"testbed8", "bso13", "testbed8-sym"};
+    std::string error;
+    if (!ApplyConfigField(&config, "policy", kPolicies[rng.NextBounded(5)], &error) ||
+        !ApplyConfigField(&config, "topo", kTopos[rng.NextBounded(3)], &error) ||
+        !ApplyConfigField(&config, "flows",
+                          std::to_string(1 + rng.NextBounded(5000)), &error) ||
+        !ApplyConfigField(&config, "seed", std::to_string(rng.NextU64() >> 1), &error) ||
+        !ApplyConfigField(&config, "lcmp.alpha",
+                          std::to_string(rng.NextBounded(8)), &error)) {
+      return std::optional<std::string>("randomization failed: " + error);
+    }
+    for (const std::string& field : KnownConfigFields()) {
+      std::string encoded;
+      if (!GetConfigField(config, field, &encoded)) {
+        return std::optional<std::string>("GetConfigField failed for " + field);
+      }
+      ExperimentConfig fresh;
+      if (!ApplyConfigField(&fresh, field, encoded, &error)) {
+        return std::optional<std::string>("ApplyConfigField(" + field + ", '" + encoded +
+                                          "') failed: " + error);
+      }
+      std::string back;
+      if (!GetConfigField(fresh, field, &back) || back != encoded) {
+        return std::optional<std::string>("field " + field + " round-trips '" + encoded +
+                                          "' to '" + back + "'");
+      }
+    }
+    return std::optional<std::string>();
+  }));
+}
+
+}  // namespace
+}  // namespace validate
+}  // namespace lcmp

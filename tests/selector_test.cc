@@ -73,7 +73,9 @@ TEST(SelectorTest, CostOrderNotInputOrderDeterminesFilter) {
   }
 }
 
-TEST(SelectorTest, AllCongestedFallsBackToMinimumCost) {
+TEST(SelectorTest, AllCongestedSetsFlagButStillFilters) {
+  // All-congested is telemetry only: the two-stage filter still runs, so
+  // with 3 candidates keep = 3/2 = 1 and the cheapest wins regardless.
   LcmpConfig config;
   std::vector<ScoredCandidate> scratch;
   const auto cands =
@@ -82,6 +84,7 @@ TEST(SelectorTest, AllCongestedFallsBackToMinimumCost) {
     const SelectionResult r = SelectDiverse(cands, h, config, scratch);
     EXPECT_TRUE(r.used_fallback);
     EXPECT_EQ(r.port, 1);  // minimum fused cost
+    EXPECT_EQ(r.reduced_set_size, 1);
   }
 }
 
@@ -91,6 +94,63 @@ TEST(SelectorTest, NotAllCongestedDoesNotFallBack) {
   const auto cands = MakeCandidates({90, 50, 70}, {250, 100, 255});
   const SelectionResult r = SelectDiverse(cands, 7, config, scratch);
   EXPECT_FALSE(r.used_fallback);
+}
+
+TEST(SelectorTest, AllCongestedStillSpreadsAcrossKeptPrefix) {
+  // Regression for the herding bug: the old all-congested branch returned
+  // the single minimum-cost candidate, so every flow on a congested fabric
+  // re-converged onto one port — the exact herd the two-stage selection
+  // exists to prevent. The fix keeps hashing over the kept prefix.
+  LcmpConfig config;
+  std::vector<ScoredCandidate> scratch;
+  const auto cands = MakeCandidates({10, 20, 30, 100, 200, 300},
+                                    {255, 240, 250, 230, 245, 235});
+  std::map<PortIndex, int> counts;
+  for (uint32_t i = 0; i < 3000; ++i) {
+    FlowKey k{1, 2, i, 4791, 17};
+    const SelectionResult r = SelectDiverse(cands, HashFlowKey(k), config, scratch);
+    EXPECT_TRUE(r.used_fallback);
+    EXPECT_EQ(r.reduced_set_size, 3);
+    ++counts[r.port];
+  }
+  // Pre-fix behavior: counts[0] == 3000 and the other ports never appear.
+  EXPECT_EQ(counts.size(), 3u);
+  for (PortIndex p = 0; p < 3; ++p) {
+    EXPECT_GT(counts[p], 700) << "port " << p;
+  }
+}
+
+TEST(SelectorTest, KeepRoundingAtBoundaries) {
+  // n * keep_num / keep_den truncates; pin the exact kept-set sizes at the
+  // rounding boundaries so a refactor cannot silently change the fraction.
+  std::vector<ScoredCandidate> scratch;
+  struct Case {
+    int n, keep_num, keep_den, expect_keep;
+  };
+  const Case cases[] = {
+      {5, 1, 2, 2},   // 5/2 truncates down
+      {3, 2, 3, 2},   // exact
+      {4, 3, 4, 3},   // exact
+      {7, 3, 4, 5},   // 21/4 truncates down
+      {2, 1, 2, 1},   // minimum non-degenerate set
+      {4, 1, 1, 4},   // keep everything
+  };
+  for (const Case& c : cases) {
+    LcmpConfig config;
+    config.keep_num = c.keep_num;
+    config.keep_den = c.keep_den;
+    std::vector<int32_t> costs;
+    for (int i = 0; i < c.n; ++i) {
+      costs.push_back(10 * (i + 1));
+    }
+    const auto cands = MakeCandidates(costs);
+    for (uint64_t h = 0; h < 128; ++h) {
+      const SelectionResult r = SelectDiverse(cands, h, config, scratch);
+      EXPECT_EQ(r.reduced_set_size, c.expect_keep)
+          << "n=" << c.n << " keep=" << c.keep_num << "/" << c.keep_den;
+      EXPECT_LT(r.port, c.expect_keep);
+    }
+  }
 }
 
 TEST(SelectorTest, KeepFractionConfigurable) {

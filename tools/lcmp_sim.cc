@@ -202,6 +202,11 @@ int main(int argc, char** argv) {
   const SweepOptions sweep_opts = GetSweepOptions(flags);
   config.monitor_invariants = fault_opts.monitor;
 
+  if (!ValidateSweepObsOptions(sweep_opts, obs_opts, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+
   if (sweep_opts.active()) {
     // An explicit plan file is resolved once against the base topology;
     // chaos flags are passed through as config fields (see RunSweepMode).

@@ -1,0 +1,118 @@
+// Validation CLI: checks (or re-pins) the golden-digest corpus and runs the
+// analytic oracles. The golden/oracle/property ctest suites are the CI
+// entry point; this binary is the human workflow:
+//
+//   lcmp_validate                  # check goldens + oracles, exit 1 on drift
+//   lcmp_validate --update-golden  # re-pin the corpus after an intentional
+//                                  # behavior change (review the diff!)
+//   lcmp_validate --list           # print the scenario table
+#include <cstdio>
+#include <string>
+
+#include "harness/flags.h"
+#include "validate/golden.h"
+#include "validate/oracles.h"
+
+namespace lcmp {
+namespace {
+
+int ListScenarios() {
+  for (const validate::GoldenScenario& scenario : validate::GoldenScenarios()) {
+    std::printf("%-28s %s\n", scenario.name.c_str(), scenario.overrides.c_str());
+  }
+  return 0;
+}
+
+int UpdateGolden(const std::string& dir) {
+  int failures = 0;
+  for (const validate::GoldenScenario& scenario : validate::GoldenScenarios()) {
+    const validate::GoldenRecord record = validate::ComputeGoldenRecord(scenario);
+    const std::string path = validate::GoldenPath(dir, scenario.name);
+    std::string error;
+    if (!validate::SaveGoldenRecord(path, record, &error)) {
+      std::fprintf(stderr, "%s: %s\n", scenario.name.c_str(), error.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("pinned %-28s digest=%016llx flows=%lld -> %s\n", scenario.name.c_str(),
+                static_cast<unsigned long long>(record.digest),
+                static_cast<long long>(record.flows_completed), path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int CheckGolden(const std::string& dir) {
+  int failures = 0;
+  for (const validate::GoldenScenario& scenario : validate::GoldenScenarios()) {
+    const std::string path = validate::GoldenPath(dir, scenario.name);
+    validate::GoldenRecord pinned;
+    std::string error;
+    if (!validate::LoadGoldenRecord(path, &pinned, &error)) {
+      std::fprintf(stderr, "MISSING %s: %s (run with --update-golden to pin)\n",
+                   scenario.name.c_str(), error.c_str());
+      ++failures;
+      continue;
+    }
+    const validate::GoldenRecord current = validate::ComputeGoldenRecord(scenario);
+    const validate::GoldenDiff diff = validate::CompareGolden(pinned, current);
+    if (diff.match) {
+      std::printf("ok      %s\n", scenario.name.c_str());
+    } else {
+      std::fprintf(stderr, "DRIFT   %s: %s\n", scenario.name.c_str(), diff.detail.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int RunOracles(uint64_t seed) {
+  int failures = 0;
+  for (const auto& [name, result] : validate::RunAllOracles(seed)) {
+    if (result.passed) {
+      std::printf("ok      %s: %s\n", name.c_str(), result.detail.c_str());
+    } else {
+      std::fprintf(stderr, "FAILED  %s: %s\n", name.c_str(), result.detail.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("update-golden", "false", "re-run every scenario and overwrite its pinned record")
+      .Define("golden-dir", "", "golden corpus directory (default: $LCMP_GOLDEN_DIR or the "
+                                "source tree's tests/golden)")
+      .Define("list", "false", "print the scenario table and exit")
+      .Define("skip-oracles", "false", "golden corpus only, skip the analytic oracles")
+      .Define("seed", "1", "seed for the seeded oracles");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(), flags.Usage("lcmp_validate").c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("lcmp_validate").c_str());
+    return 0;
+  }
+  if (flags.GetBool("list")) {
+    return ListScenarios();
+  }
+  std::string dir = flags.GetString("golden-dir");
+  if (dir.empty()) {
+    dir = validate::GoldenDir();
+  }
+  if (flags.GetBool("update-golden")) {
+    return UpdateGolden(dir);
+  }
+  int rc = CheckGolden(dir);
+  if (!flags.GetBool("skip-oracles")) {
+    const int oracle_rc = RunOracles(static_cast<uint64_t>(flags.GetInt("seed")));
+    rc = rc != 0 ? rc : oracle_rc;
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace lcmp
+
+int main(int argc, char** argv) { return lcmp::Main(argc, argv); }
