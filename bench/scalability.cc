@@ -1,24 +1,99 @@
 // Scalability sweep: simulator throughput and LCMP behavior as the WAN
-// grows. Random sparse WANs of 8..32 DCs, all-to-all WebSearch traffic at
-// 30% load under LCMP.
+// grows, plus the sharded-core axis (DESIGN.md §12).
 //
-// Expected shape: events scale with delivered traffic; per-switch LCMP state
-// stays bounded (the flow cache and 24 B/port registers are size-independent
-// of the topology); wall-clock throughput stays in the millions of events
-// per second.
+// Part 1 — random sparse WANs of 8..32 DCs, all-to-all WebSearch traffic at
+// 30% load under LCMP, sequential core. Expected shape: events scale with
+// delivered traffic; per-switch LCMP state stays bounded (the flow cache and
+// 24 B/port registers are size-independent of the topology); wall-clock
+// throughput stays in the millions of events per second.
+//
+// Part 2 — shard-count axis {1,2,4,8} on the paper's two fixed topologies at
+// high load, through the harness so --shards exercises the same path as the
+// CLI. Emits events/s, parallel speedup over shards=1, and a digest-match
+// check (the bit-identical contract, re-verified on every bench run). JSON
+// goes to --json=PATH or $LCMP_BENCH_JSON for the BENCH_*.json trajectory;
+// `hardware_concurrency` is included so a speedup measured on a small box is
+// interpretable (shards beyond the core count time-slice and cannot win).
 #include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/control_plane.h"
 #include "core/lcmp_router.h"
+#include "harness/experiment.h"
+#include "harness/runner.h"
 #include "stats/fct_recorder.h"
 #include "workload/traffic_gen.h"
 
-int main() {
+namespace {
+
+using namespace lcmp;
+
+struct WanRow {
+  int dcs = 0;
+  uint64_t events = 0;
+  double wall_ms = 0;
+  double mev = 0;
+  size_t max_mem = 0;
+};
+
+struct ShardRow {
+  const char* topo = "";
+  int dcs = 0;
+  int shards = 0;
+  uint64_t events = 0;
+  uint64_t digest = 0;
+  double wall_ms = 0;
+  double mev = 0;
+  double speedup = 0;
+  bool match = false;
+};
+
+ShardRow RunSharded(TopologyKind topo, const char* topo_name, int dcs, int shards) {
+  ExperimentConfig config;
+  config.topo = topo;
+  config.policy = PolicyKind::kLcmp;
+  config.num_flows = 600;
+  config.hosts_per_dc = 2;
+  config.load = 0.7;
+  config.seed = 7;
+  config.shards = shards;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ExperimentResult result = RunExperiment(config);
+  const auto t1 = std::chrono::steady_clock::now();
+  ShardRow row;
+  row.topo = topo_name;
+  row.dcs = dcs;
+  row.shards = shards;
+  row.events = result.events_processed;
+  row.digest = ExperimentDigest(result);
+  row.wall_ms = std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() / 1000.0;
+  row.mev = row.wall_ms > 0 ? static_cast<double>(row.events) / (row.wall_ms * 1000.0) : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace lcmp;
+
+  std::string json_path;
+  if (const char* env = std::getenv("LCMP_BENCH_JSON")) {
+    json_path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
   Banner("Scalability - random WANs of 8..32 DCs under LCMP",
          "bounded per-switch state; millions of simulated events per second");
 
+  std::vector<WanRow> wan_rows;
   TablePrinter table({"DCs", "hosts", "flows", "p50", "p99", "sim events", "wall ms",
                       "Mevents/s", "max switch mem (KB)"});
   for (const int dcs : {8, 16, 24, 32}) {
@@ -72,9 +147,84 @@ int main() {
     table.AddRow({std::to_string(dcs), std::to_string(dcs * 2), std::to_string(s.count),
                   Fmt(s.p50), Fmt(s.p99), std::to_string(sim.events_processed()),
                   Fmt(wall_ms, 1), Fmt(mev, 2), Fmt(static_cast<double>(max_mem) / 1024.0, 1)});
+    wan_rows.push_back({dcs, sim.events_processed(), wall_ms, mev, max_mem});
   }
   table.Print();
   Note("per-switch memory is dominated by the fixed-size 50k-entry flow cache, "
        "independent of WAN size (Sec. 4's deployability argument).");
-  return 0;
+
+  Banner("Sharded core - conservative PDES on the fixed testbeds at 70% load",
+         "speedup over shards=1; digest must match the sequential core bit for bit");
+
+  const int hw = DefaultJobs();
+  std::vector<ShardRow> shard_rows;
+  TablePrinter stable({"topo", "DCs", "shards", "sim events", "wall ms", "Mevents/s",
+                       "speedup", "digest match"});
+  for (const auto& [topo, name, dcs] :
+       {std::tuple{TopologyKind::kTestbed8, "testbed8", 8},
+        std::tuple{TopologyKind::kBso13, "bso13", 13}}) {
+    double base_ms = 0;
+    uint64_t base_digest = 0;
+    for (const int shards : {1, 2, 4, 8}) {
+      ShardRow row = RunSharded(topo, name, dcs, shards);
+      if (shards == 1) {
+        base_ms = row.wall_ms;
+        base_digest = row.digest;
+      }
+      row.speedup = row.wall_ms > 0 ? base_ms / row.wall_ms : 0.0;
+      row.match = row.digest == base_digest;
+      stable.AddRow({row.topo, std::to_string(row.dcs), std::to_string(row.shards),
+                     std::to_string(row.events), Fmt(row.wall_ms, 1), Fmt(row.mev, 2),
+                     Fmt(row.speedup, 2), row.match ? "yes" : "NO"});
+      shard_rows.push_back(row);
+    }
+  }
+  stable.Print();
+  std::printf("hardware concurrency: %d\n", hw);
+  Note("lookahead = min DCI propagation delay, so barrier windows span "
+       "millions of events; shards beyond the core count only time-slice.");
+
+  bool all_match = true;
+  std::string json = "{\n  \"bench\": \"scalability\",\n  \"hardware_concurrency\": " +
+                     std::to_string(hw) + ",\n  \"random_wan\": [\n";
+  for (size_t i = 0; i < wan_rows.size(); ++i) {
+    const WanRow& r = wan_rows[i];
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"dcs\": %d, \"events\": %llu, \"wall_ms\": %.1f, "
+                  "\"events_per_sec\": %.0f}%s\n",
+                  r.dcs, static_cast<unsigned long long>(r.events), r.wall_ms, r.mev * 1e6,
+                  i + 1 < wan_rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n  \"shard_axis\": [\n";
+  for (size_t i = 0; i < shard_rows.size(); ++i) {
+    const ShardRow& r = shard_rows[i];
+    all_match = all_match && r.match;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"topo\": \"%s\", \"dcs\": %d, \"shards\": %d, \"events\": %llu, "
+                  "\"wall_ms\": %.1f, \"events_per_sec\": %.0f, \"speedup\": %.3f, "
+                  "\"digest_match\": %s}%s\n",
+                  r.topo, r.dcs, r.shards, static_cast<unsigned long long>(r.events), r.wall_ms,
+                  r.mev * 1e6, r.speedup, r.match ? "true" : "false",
+                  i + 1 < shard_rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  // A digest mismatch is a correctness bug, not a performance result.
+  return all_match ? 0 : 1;
 }

@@ -2,15 +2,6 @@
 
 namespace lcmp {
 
-uint64_t Mix64(uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
-}
-
 uint64_t HashFlowKey(const FlowKey& key, uint64_t salt) {
   uint64_t h = salt ^ 0x2545f4914f6cdd1dULL;
   h = Mix64(h ^ (static_cast<uint64_t>(static_cast<uint32_t>(key.src)) |

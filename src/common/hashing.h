@@ -25,7 +25,16 @@ struct FlowKey {
 };
 
 // 64-bit finalizer-quality mix (from MurmurHash3 / SplitMix64 family).
-uint64_t Mix64(uint64_t x);
+// Inline: this sits on the event-scheduling hot path (lineage tie-break
+// keys, Simulator::MintKeyFor) as well as in per-packet flow hashing.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
 
 // Deterministic hash of the five tuple, optionally perturbed by `salt`
 // (switches use their NodeId as salt so different hops decorrelate).

@@ -35,8 +35,8 @@ void ControlPlane::Provision(Network& net) {
 Simulator::TimerId ControlPlane::StartTelemetryLoop(Network& net, TimeNs period) {
   StopTelemetryLoop(net);
   Network* np = &net;
-  telemetry_timer_ = net.sim().ScheduleEvery(period, [this, np] {
-    if (np->sim().now() < telemetry_outage_until_) {
+  telemetry_timer_ = net.control_sim().ScheduleEvery(period, [this, np] {
+    if (np->control_sim().now() < telemetry_outage_until_) {
       ++telemetry_dropped_sweeps_;
       static obs::Counter* m_dropped =
           obs::MetricsRegistry::Instance().GetCounter("cp.telemetry.dropped_sweeps");
@@ -51,7 +51,7 @@ Simulator::TimerId ControlPlane::StartTelemetryLoop(Network& net, TimeNs period)
 
 void ControlPlane::StopTelemetryLoop(Network& net) {
   if (telemetry_timer_ != Simulator::kInvalidTimer) {
-    net.sim().CancelTimer(telemetry_timer_);
+    net.control_sim().CancelTimer(telemetry_timer_);
     telemetry_timer_ = Simulator::kInvalidTimer;
   }
 }
@@ -118,7 +118,7 @@ std::vector<SwitchTelemetry> ControlPlane::CollectTelemetry(Network& net) const 
     g_new_flows->Set(new_flows);
     g_cache_hits->Set(cache_hits);
     g_fallbacks->Set(fallbacks);
-    reg.Snapshot(net.sim().now());
+    reg.Snapshot(net.control_sim().now());
   }
   return out;
 }

@@ -13,7 +13,7 @@ void FaultInjector::Arm(const FaultPlan& plan) {
   armed_ = true;
   plan_ = plan;
   plan_.Sort();
-  Simulator& sim = net_.sim();
+  Simulator& sim = net_.control_sim();
   for (const FaultEvent& e : plan_.events) {
     if (e.kind == FaultKind::kLinkFlap) {
       // Expand the flap into its toggles at arm time so each one is a plain
@@ -40,7 +40,7 @@ void FaultInjector::SetLink(int link_idx, bool up) {
       obs::MetricsRegistry::Instance().GetCounter("fault.injections");
   m_injected->Inc();
   if (monitor_ != nullptr) {
-    monitor_->OnLinkStateChange(link_idx, up, net_.sim().now());
+    monitor_->OnLinkStateChange(link_idx, up, net_.control_sim().now());
   }
 }
 
@@ -79,7 +79,7 @@ void FaultInjector::Apply(const FaultEvent& e) {
         break;
       }
       cp_->SetTelemetryOutageUntil(
-          std::max(cp_->telemetry_outage_until(), net_.sim().now() + e.duration));
+          std::max(cp_->telemetry_outage_until(), net_.control_sim().now() + e.duration));
       ++injections_;
       break;
   }

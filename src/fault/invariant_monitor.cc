@@ -22,12 +22,12 @@ void InvariantMonitor::Start() {
   if (timer_ != Simulator::kInvalidTimer) {
     return;
   }
-  timer_ = net_.sim().ScheduleEvery(options_.check_period, [this] { RunChecks(); });
+  timer_ = net_.control_sim().ScheduleEvery(options_.check_period, [this] { RunChecks(); });
 }
 
 void InvariantMonitor::Stop() {
   if (timer_ != Simulator::kInvalidTimer) {
-    net_.sim().CancelTimer(timer_);
+    net_.control_sim().CancelTimer(timer_);
     timer_ = Simulator::kInvalidTimer;
   }
 }
@@ -40,7 +40,7 @@ void InvariantMonitor::OnLinkStateChange(int link_idx, bool up, TimeNs now) {
 }
 
 void InvariantMonitor::ReconcileLinkStates() {
-  const TimeNs now = net_.sim().now();
+  const TimeNs now = net_.control_sim().now();
   for (int li = 0; li < net_.graph().num_links(); ++li) {
     const bool up = net_.LinkIsUp(li);
     if (up != link_up_[static_cast<size_t>(li)]) {
@@ -65,7 +65,7 @@ void InvariantMonitor::Violate(const std::string& what) {
 void InvariantMonitor::RunChecks() {
   ++checks_run_;
   ReconcileLinkStates();
-  const TimeNs now = net_.sim().now();
+  const TimeNs now = net_.control_sim().now();
   const Graph& g = net_.graph();
   char buf[256];
 
@@ -149,7 +149,7 @@ void InvariantMonitor::FinalCheck(int64_t flows_started, int64_t flows_completed
   // (5) liveness: once connectivity is restored and the run drained, every
   // started flow completed. Skipped for plans that never fully heal or runs
   // that ended mid-fault.
-  if (all_clear_time < 0 || net_.sim().now() < all_clear_time) {
+  if (all_clear_time < 0 || net_.control_sim().now() < all_clear_time) {
     return;
   }
   if (flows_completed != flows_started) {

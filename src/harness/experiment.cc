@@ -13,6 +13,7 @@
 #include "routing/redte.h"
 #include "routing/ucmp.h"
 #include "routing/wcmp.h"
+#include "sim/shard_engine.h"
 
 namespace lcmp {
 
@@ -280,6 +281,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   NetworkConfig net_config;
   net_config.seed = config.seed;
+  net_config.shards = config.shards;
   net_config.enable_int = CcNeedsInt(config.cc);
   net_config.pfc.enabled = config.pfc_enabled;
   net_config.pfc.xoff_bytes = config.pfc_xoff_bytes;
@@ -317,7 +319,18 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   tconfig.ooo_tolerance = config.ooo_tolerance;
   Simulator& sim = net.sim();
   const int expected = static_cast<int>(flows.size());
+  // Sharded runs buffer completions with their (time, key) stamps and replay
+  // them into the recorder in merged order after the run — the exact order
+  // the sequential core's callback saw them (digest equality depends on it).
+  std::unique_ptr<ShardEngine<FlowRecord>> engine;
+  if (net.num_shards() > 1) {
+    engine = std::make_unique<ShardEngine<FlowRecord>>(&net, config.horizon, expected);
+  }
   RdmaTransport transport(&net, tconfig, config.cc, [&](const FlowRecord& rec) {
+    if (engine != nullptr) {
+      engine->OnComplete(rec, rec.spec.dst);
+      return;
+    }
     recorder.OnComplete(rec);
     if (recorder.completed() >= expected) {
       sim.Stop();
@@ -358,7 +371,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   if (config.telemetry_period > 0) {
     control_plane.StartTelemetryLoop(net, config.telemetry_period);
   }
-  sim.Run(config.horizon);
+  if (engine != nullptr) {
+    engine->Run();
+    for (const auto& c : engine->SortedCompletions()) {
+      recorder.OnComplete(c.rec);
+    }
+  } else {
+    sim.Run(config.horizon);
+  }
   control_plane.StopTelemetryLoop(net);
   if (monitor != nullptr) {
     monitor->Stop();
@@ -376,8 +396,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.flows_requested = expected;
   result.retransmitted_packets = transport.retransmitted_packets();
   result.timeouts = transport.timeouts();
-  result.events_processed = sim.events_processed();
-  result.sim_end_time = sim.now();
+  result.events_processed = engine != nullptr ? engine->events_processed() : sim.events_processed();
+  result.sim_end_time = engine != nullptr ? engine->end_time() : sim.now();
   result.multipath_pair_fraction = net.routes().MultipathPairFraction();
   result.faults_injected = injector.injections();
   // Substrate accounting (cheap: one pass over switch ports).

@@ -111,6 +111,12 @@ struct ExperimentConfig {
   // burst_size_bytes != 0 every flow gets that size instead of a CDF draw.
   bool burst_mode = false;
   uint64_t burst_size_bytes = 0;
+  // Conservative-PDES shard count (DESIGN.md §12): partitions the event core
+  // by DC group and runs one worker thread per shard. Clamped to the DC
+  // count; 1 keeps the sequential core. Deliberately NOT a registry-echoed
+  // config field — any shard count produces bit-identical results, so it is
+  // an execution knob like --jobs, not part of the experiment's identity.
+  int shards = 1;
 };
 
 struct ExperimentResult {

@@ -191,6 +191,81 @@ bool ValidateSweepObsOptions(const SweepOptions& sweep, const ObsOptions& obs,
   return true;
 }
 
+void DefineShardFlags(FlagSet& flags) {
+  flags.Define("shards", "1",
+               "partition the event core into N DC-group shards (conservative PDES, "
+               "bit-identical results; see DESIGN.md); 1 = sequential core");
+}
+
+ShardOptions GetShardOptions(const FlagSet& flags) {
+  ShardOptions opts;
+  opts.shards = static_cast<int>(flags.GetInt("shards"));
+  return opts;
+}
+
+bool ValidateShardOptions(const ShardOptions& shard, const SweepOptions& sweep,
+                          const ObsOptions& obs, bool emulation_mode, int thread_budget,
+                          std::string* error) {
+  if (shard.shards < 1) {
+    if (error != nullptr) {
+      *error = "--shards must be >= 1";
+    }
+    return false;
+  }
+  if (shard.shards == 1) {
+    return true;
+  }
+  if (obs.trace) {
+    if (error != nullptr) {
+      *error =
+          "--trace/--trace-flow/--trace-node with --shards > 1: the flight "
+          "recorder is one process-global ring whose cursor is not "
+          "synchronized across shard workers, so concurrent shards would tear "
+          "its records; re-run with --shards=1 to trace, or drop the trace "
+          "flags (--metrics-out is fine: metric cells are atomic)";
+    }
+    return false;
+  }
+  if (emulation_mode) {
+    if (error != nullptr) {
+      *error =
+          "--emulation with --shards > 1: host emulation pipeline state is "
+          "not partitioned by shard; re-run with --shards=1";
+    }
+    return false;
+  }
+  // Thread budget: every concurrent experiment spawns `shards` workers, so
+  // even one run (or an auto-sized sweep, which caps jobs but not shards)
+  // needs the shard count alone to fit.
+  const int runs = sweep.active() && sweep.jobs > 0 ? sweep.jobs : 1;
+  if (runs * shard.shards > thread_budget) {
+    if (error != nullptr) {
+      char buf[256];
+      // --jobs=0 auto-sizing only helps when the shard count itself fits.
+      const bool autosize_helps = sweep.active() && shard.shards <= thread_budget;
+      std::snprintf(buf, sizeof(buf),
+                    "oversubscribed: %d concurrent run%s x %d shard workers = %d threads, but "
+                    "hardware concurrency is %d; lower %s",
+                    runs, runs == 1 ? "" : "s", shard.shards, runs * shard.shards, thread_budget,
+                    autosize_helps
+                        ? "--jobs or --shards (or --jobs=0 to auto-size under the budget)"
+                        : "--shards");
+      *error = buf;
+    }
+    return false;
+  }
+  return true;
+}
+
+int ResolveSweepJobs(const SweepOptions& sweep, const ShardOptions& shard, int thread_budget) {
+  if (sweep.jobs > 0) {
+    return sweep.jobs;
+  }
+  const int shards = shard.shards < 1 ? 1 : shard.shards;
+  const int jobs = thread_budget / shards;
+  return jobs < 1 ? 1 : jobs;
+}
+
 void DefineFaultFlags(FlagSet& flags) {
   flags
       .Define("fault-plan", "",

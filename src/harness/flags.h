@@ -96,6 +96,44 @@ SweepOptions GetSweepOptions(const FlagSet& flags);
 bool ValidateSweepObsOptions(const SweepOptions& sweep, const ObsOptions& obs,
                              std::string* error);
 
+// --- shard flags (the conservative-PDES sharded core; DESIGN.md §12) ---
+//
+// DefineShardFlags registers --shards; GetShardOptions reads it;
+// ValidateShardOptions enforces the combination rules; ResolveSweepJobs picks
+// a sweep worker count that keeps jobs x shards inside the thread budget.
+struct ShardOptions {
+  int shards = 1;  // event-core partitions per run; 1 = the sequential core
+};
+
+void DefineShardFlags(FlagSet& flags);
+ShardOptions GetShardOptions(const FlagSet& flags);
+
+// Rejects flag combinations the sharded core cannot honor. Two classes:
+//
+// Shard-unsafe subsystems (mirrors the --metrics-out x sweep guard above):
+// the flight recorder is one process-global ring with an unsynchronized
+// cursor, so --trace* with --shards>1 would tear records; --emulation keeps
+// host pipeline state that is not partitioned by shard. Metrics are *not*
+// rejected — cell updates are relaxed atomics and snapshots run on the
+// quiesced barrier step, so concurrent shards merge safely.
+//
+// Thread budget: a run at --shards=S spawns S workers and a sweep at
+// --jobs=J runs J experiments concurrently, so the process needs J*S (or S)
+// threads. Explicit combinations over `thread_budget` (callers pass
+// DefaultJobs(); parameterized for tests) are rejected; --jobs=0 in a sweep
+// auto-sizes instead (ResolveSweepJobs) and always validates.
+//
+// Returns false and fills `error` on a bad combination (CLI exits 2).
+bool ValidateShardOptions(const ShardOptions& shard, const SweepOptions& sweep,
+                          const ObsOptions& obs, bool emulation_mode, int thread_budget,
+                          std::string* error);
+
+// Effective sweep worker count under the thread budget: an explicit --jobs
+// wins (ValidateShardOptions vetted the product); --jobs=0 resolves to
+// max(1, thread_budget / shards) so auto-sized sweeps never oversubscribe
+// when every run spawns its own shard workers.
+int ResolveSweepJobs(const SweepOptions& sweep, const ShardOptions& shard, int thread_budget);
+
 // --- fault-injection flags (src/fault/; shared by lcmp_sim and soak tools) ---
 //
 // DefineFaultFlags registers --fault-plan / --chaos-* / --monitor;

@@ -4,8 +4,7 @@
 
 namespace lcmp {
 
-uint64_t EventQueue::Push(TimeNs t, EventFn fn) {
-  const uint64_t seq = next_seq_++;
+uint32_t EventQueue::StoreSlot(EventFn fn) {
   uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -15,14 +14,29 @@ uint64_t EventQueue::Push(TimeNs t, EventFn fn) {
     slot = static_cast<uint32_t>(slots_.size());
     slots_.push_back(std::move(fn));
   }
+  return slot;
+}
+
+uint64_t EventQueue::Push(TimeNs t, EventFn fn) {
+  const uint64_t seq = next_seq_++;
+  const uint32_t slot = StoreSlot(std::move(fn));
   heap_.push_back(Entry{t, seq, slot});
   SiftUp(heap_.size() - 1);
   return seq;
 }
 
-EventFn EventQueue::Pop(TimeNs* time) {
+void EventQueue::PushKeyed(TimeNs t, uint64_t key, EventFn fn) {
+  const uint32_t slot = StoreSlot(std::move(fn));
+  heap_.push_back(Entry{t, key, slot});
+  SiftUp(heap_.size() - 1);
+}
+
+EventFn EventQueue::Pop(TimeNs* time, uint64_t* key) {
   const Entry top = heap_.front();
   *time = top.time;
+  if (key != nullptr) {
+    *key = top.seq;
+  }
   if (heap_.size() > 1) {
     heap_.front() = heap_.back();
   }

@@ -24,8 +24,24 @@ using EventFn = InlineEvent;
 
 class EventQueue {
  public:
-  // Schedules `fn` at absolute time `t`. Returns the event's sequence id.
+  // Sequence keys break equal-timestamp ties. The Simulator mints them (see
+  // Simulator::MintKeyFor) as (same-timestamp generation << kGenShift) |
+  // 48-bit lineage hash for events pushed from inside an executing event,
+  // and as plain counters (generation 0) for events pushed during setup.
+  // Because a key depends only on the pushing event's own key — never on
+  // which partition queue or thread performed the push — every core layout
+  // (sequential or any shard count, DESIGN.md §12) assigns identical keys,
+  // which is what makes sharded runs bit-identical. The generation field
+  // guarantees a same-timestamp child always sorts after its parent, so pop
+  // order within a timestamp equals key order in every layout.
+  static constexpr int kGenShift = 48;
+
+  // Schedules `fn` at absolute time `t` with a private-counter key (for
+  // standalone queue users/tests). Returns the event's sequence key.
   uint64_t Push(TimeNs t, EventFn fn);
+
+  // Schedules `fn` at `t` with an externally minted sequence key.
+  void PushKeyed(TimeNs t, uint64_t key, EventFn fn);
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
@@ -34,8 +50,9 @@ class EventQueue {
   TimeNs PeekTime() const { return heap_.front().time; }
 
   // Removes and returns the earliest event's callback, setting *time to its
-  // timestamp. Only valid when !empty().
-  EventFn Pop(TimeNs* time);
+  // timestamp and, when `key` is non-null, *key to its sequence key. Only
+  // valid when !empty().
+  EventFn Pop(TimeNs* time, uint64_t* key = nullptr);
 
  private:
   struct Entry {
@@ -51,6 +68,8 @@ class EventQueue {
   }
   void SiftUp(size_t i);
   void SiftDown(size_t i);
+
+  uint32_t StoreSlot(EventFn fn);
 
   std::vector<Entry> heap_;
   std::vector<EventFn> slots_;       // callable slab, indexed by Entry::slot

@@ -12,10 +12,24 @@
 // copyable); every packet "death site" — drop, flush, unroutable, delivery —
 // must call Release. Network::int_pool().in_use() is asserted back to zero in
 // tests to catch leaks.
+//
+// Sharded runs (DESIGN.md §12) share one pool across shard worker threads. A
+// handle's ownership travels with its packet, so Get/AppendHop on a live
+// handle are data-race-free by construction (the cross-shard channel + window
+// barrier publish the stack's storage block before the consuming shard can
+// touch it). Only Acquire/Release mutate shared state (free list, counters);
+// SetConcurrent(true) puts them under a mutex. Storage is a fixed array of
+// heap blocks instead of one growable vector so a concurrent Acquire never
+// relocates stacks another shard is reading. The free-list *order* becomes
+// schedule-dependent under concurrency, but handles are opaque — no RNG draw
+// or behavioral branch depends on their values — so digests are unaffected.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/logging.h"
@@ -35,20 +49,18 @@ class IntStackPool {
   IntStackPool(const IntStackPool&) = delete;
   IntStackPool& operator=(const IntStackPool&) = delete;
 
+  // Serialize Acquire/Release for multi-shard runs. Single-shard runs keep
+  // the lock-free fast path.
+  void SetConcurrent(bool on) { concurrent_ = on; }
+
   // Returns a cleared stack. Reuses a free slot when available; grows the
   // pool otherwise (steady state never grows).
   IntHandle Acquire() {
-    IntHandle h;
-    if (!free_.empty()) {
-      h = free_.back();
-      free_.pop_back();
-      store_[h].hops = 0;
-    } else {
-      h = static_cast<IntHandle>(store_.size());
-      store_.emplace_back();
+    if (concurrent_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      return AcquireLocked();
     }
-    ++in_use_;
-    return h;
+    return AcquireLocked();
   }
 
   // Returns `h` to the free list. Ignores kInvalidIntHandle so callers can
@@ -57,9 +69,12 @@ class IntStackPool {
     if (h == kInvalidIntHandle) {
       return;
     }
-    LCMP_CHECK(h < store_.size() && in_use_ > 0);
-    free_.push_back(h);
-    --in_use_;
+    if (concurrent_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ReleaseLocked(h);
+      return;
+    }
+    ReleaseLocked(h);
   }
 
   // Releases the packet's stack (if any) and clears the handle.
@@ -69,12 +84,12 @@ class IntStackPool {
   }
 
   IntStack& Get(IntHandle h) {
-    LCMP_CHECK(h < store_.size());
-    return store_[h];
+    LCMP_CHECK(h < size_.load(std::memory_order_relaxed));
+    return blocks_[h >> kBlockShift][h & (kBlockSize - 1)];
   }
   const IntStack& Get(IntHandle h) const {
-    LCMP_CHECK(h < store_.size());
-    return store_[h];
+    LCMP_CHECK(h < size_.load(std::memory_order_relaxed));
+    return blocks_[h >> kBlockShift][h & (kBlockSize - 1)];
   }
 
   // Appends an egress-hop record to `h`'s stack (no-op once full, matching
@@ -88,13 +103,47 @@ class IntStackPool {
   }
 
   // Live handles (leak detector for tests) and total slots ever created.
+  // Read from quiesced state (after the run) in tests.
   size_t in_use() const { return in_use_; }
-  size_t capacity() const { return store_.size(); }
+  size_t capacity() const { return size_.load(std::memory_order_relaxed); }
 
  private:
-  std::vector<IntStack> store_;
+  static constexpr uint32_t kBlockShift = 10;
+  static constexpr uint32_t kBlockSize = 1u << kBlockShift;  // stacks per block
+  static constexpr uint32_t kMaxBlocks = 1u << 12;           // 4 M stacks total
+
+  IntHandle AcquireLocked() {
+    IntHandle h;
+    if (!free_.empty()) {
+      h = free_.back();
+      free_.pop_back();
+      Get(h).hops = 0;
+    } else {
+      const uint32_t size = size_.load(std::memory_order_relaxed);
+      const uint32_t block = size >> kBlockShift;
+      LCMP_CHECK(block < kMaxBlocks);
+      if (blocks_[block] == nullptr) {
+        blocks_[block] = std::make_unique<IntStack[]>(kBlockSize);
+      }
+      h = size;
+      size_.store(size + 1, std::memory_order_relaxed);
+    }
+    ++in_use_;
+    return h;
+  }
+
+  void ReleaseLocked(IntHandle h) {
+    LCMP_CHECK(h < size_.load(std::memory_order_relaxed) && in_use_ > 0);
+    free_.push_back(h);
+    --in_use_;
+  }
+
+  std::array<std::unique_ptr<IntStack[]>, kMaxBlocks> blocks_;
+  std::atomic<uint32_t> size_{0};  // slots ever created across all blocks
   std::vector<IntHandle> free_;
   size_t in_use_ = 0;
+  bool concurrent_ = false;
+  std::mutex mu_;
 };
 
 }  // namespace lcmp

@@ -31,7 +31,27 @@ PortConfig MakePortConfig(const NetworkConfig& cfg, const LinkSpec& link) {
 }  // namespace
 
 Network::Network(const Graph& graph, const NetworkConfig& config, PolicyFactory factory)
-    : graph_(graph), config_(config), routes_(InterDcRoutes::Compute(graph_)) {
+    : graph_(graph),
+      config_(config),
+      plan_(BuildShardPlan(graph_, config.shards)),
+      routes_(InterDcRoutes::Compute(graph_)) {
+  sims_.reserve(static_cast<size_t>(plan_.num_shards));
+  for (int i = 0; i < plan_.num_shards; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  if (plan_.num_shards > 1) {
+    global_sim_ = std::make_unique<Simulator>();
+    // Every queue draws its setup-phase tie-break keys from one shared
+    // counter, so the cross-queue pre-run insertion order is exactly the
+    // sequential core's (runtime events mint lineage keys instead, which
+    // are core-layout-invariant by construction — see Simulator::MintKeyFor).
+    for (auto& s : sims_) {
+      s->UseSharedSeq(&setup_seq_);
+    }
+    global_sim_->UseSharedSeq(&setup_seq_);
+    channels_.resize(static_cast<size_t>(plan_.num_shards) * plan_.num_shards);
+    int_pool_.SetConcurrent(true);
+  }
   dc_of_node_.resize(static_cast<size_t>(graph_.num_vertices()));
   for (NodeId id = 0; id < graph_.num_vertices(); ++id) {
     dc_of_node_[static_cast<size_t>(id)] = graph_.vertex(id).dc;
@@ -41,16 +61,40 @@ Network::Network(const Graph& graph, const NetworkConfig& config, PolicyFactory 
   BuildInterDcCandidates();
 }
 
+ShardChannel* Network::ChannelFor(int src_shard, int dst_shard) {
+  auto& slot =
+      channels_[static_cast<size_t>(src_shard) * plan_.num_shards + static_cast<size_t>(dst_shard)];
+  if (slot == nullptr) {
+    slot = std::make_unique<ShardChannel>();
+  }
+  return slot.get();
+}
+
+void Network::DrainCrossShardChannels() {
+  const int n = plan_.num_shards;
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      ShardChannel* ch = channels_[static_cast<size_t>(src) * n + static_cast<size_t>(dst)].get();
+      if (ch != nullptr) {
+        ch->DrainInto(sims_[static_cast<size_t>(dst)].get());
+      }
+    }
+  }
+}
+
 void Network::BuildNodes(const NetworkConfig& config, const PolicyFactory& factory) {
   nodes_.reserve(static_cast<size_t>(graph_.num_vertices()));
   for (NodeId id = 0; id < graph_.num_vertices(); ++id) {
     const Vertex& v = graph_.vertex(id);
     const uint64_t seed = Mix64(config.seed ^ (0xabcdULL + static_cast<uint64_t>(id)));
+    // Every node lives on its DC's home-shard simulator; with shards == 1
+    // that is sims_[0] and this is the old single-simulator wiring.
+    Simulator* home = sims_[static_cast<size_t>(shard_of(id))].get();
     if (v.kind == VertexKind::kHost) {
-      nodes_.push_back(std::make_unique<HostNode>(&sim_, id, v.dc, seed));
+      nodes_.push_back(std::make_unique<HostNode>(home, id, v.dc, seed));
     } else {
       const bool is_dci = v.kind == VertexKind::kDciSwitch;
-      nodes_.push_back(std::make_unique<SwitchNode>(&sim_, id, v.dc, is_dci, seed));
+      nodes_.push_back(std::make_unique<SwitchNode>(home, id, v.dc, is_dci, seed));
     }
     nodes_.back()->SetIntPool(&int_pool_);
   }
@@ -66,6 +110,15 @@ void Network::BuildNodes(const NetworkConfig& config, const PolicyFactory& facto
     nodes_[static_cast<size_t>(l.b)]->port(pb).ConnectTo(nodes_[static_cast<size_t>(l.a)].get(),
                                                          pa);
     port_of_link_[static_cast<size_t>(li)] = {pa, pb};
+    // Shard-crossing links hand deliveries (and PFC pause signals) off via
+    // a channel owned by the sending shard instead of scheduling directly
+    // into the peer's queue.
+    const int sa = shard_of(l.a);
+    const int sb = shard_of(l.b);
+    if (sa != sb) {
+      nodes_[static_cast<size_t>(l.a)]->port(pa).SetCrossShardChannel(ChannelFor(sa, sb));
+      nodes_[static_cast<size_t>(l.b)]->port(pb).SetCrossShardChannel(ChannelFor(sb, sa));
+    }
   }
   // Switch wiring and policies.
   for (NodeId id = 0; id < graph_.num_vertices(); ++id) {
@@ -247,7 +300,7 @@ void Network::StartPolicyTicks() {
     // One stored callable per switch; the simulator re-arms it every period
     // (this also carries RedTE's 100 ms control loop — its OnTick runs here).
     SwitchNode* swp = &sw;
-    sim_.ScheduleEvery(policy->tick_interval(), [swp, policy] { policy->OnTick(*swp); });
+    sw.sim().ScheduleEvery(policy->tick_interval(), [swp, policy] { policy->OnTick(*swp); });
   }
 }
 
@@ -259,7 +312,8 @@ void Network::SetLinkUp(int link_idx, bool up) {
   static obs::Counter* m_transitions =
       obs::MetricsRegistry::Instance().GetCounter("sim.link.state_transitions");
   m_transitions->Inc();
-  LCMP_TRACE(up ? obs::TraceEv::kLinkUp : obs::TraceEv::kLinkDown, sim_.now(), /*flow=*/0, l.a,
+  LCMP_TRACE(up ? obs::TraceEv::kLinkUp : obs::TraceEv::kLinkDown, control_sim().now(),
+             /*flow=*/0, l.a,
              port_of_link_[static_cast<size_t>(link_idx)].first, /*aux=*/link_idx);
   nodes_[static_cast<size_t>(l.a)]->port(port_of_link_[static_cast<size_t>(link_idx)].first)
       .SetUp(up);
@@ -280,7 +334,8 @@ void Network::SetLinkDegraded(int link_idx, const LinkDegrade& degrade) {
       obs::MetricsRegistry::Instance().GetCounter("sim.link.degrade_transitions");
   m_degrades->Inc();
   LCMP_TRACE(degrade.active() ? obs::TraceEv::kLinkDegraded : obs::TraceEv::kLinkRestored,
-             sim_.now(), /*flow=*/0, l.a, port_of_link_[static_cast<size_t>(link_idx)].first,
+             control_sim().now(), /*flow=*/0, l.a,
+             port_of_link_[static_cast<size_t>(link_idx)].first,
              /*aux=*/link_idx);
   nodes_[static_cast<size_t>(l.a)]->port(port_of_link_[static_cast<size_t>(link_idx)].first)
       .SetDegrade(degrade);

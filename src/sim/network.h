@@ -10,9 +10,11 @@
 #include "sim/int_pool.h"
 #include "sim/node.h"
 #include "sim/pfc.h"
+#include "sim/shard_channel.h"
 #include "sim/simulator.h"
 #include "topo/candidate_paths.h"
 #include "topo/graph.h"
+#include "topo/shard_plan.h"
 
 namespace lcmp {
 
@@ -28,6 +30,9 @@ struct NetworkConfig {
   // Hop-by-hop PFC (lossless operation); applied to every switch.
   PfcConfig pfc;
   uint64_t seed = 1;
+  // Partition the event core into this many DC-group shards (conservative
+  // PDES, DESIGN.md §12); clamped to [1, num_dcs]. 1 = sequential core.
+  int shards = 1;
 };
 
 // Identifies one direction of a graph link, for utilization reporting.
@@ -47,7 +52,28 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  Simulator& sim() { return sim_; }
+  // The first (or only) partition simulator. Single-shard code — unit tests,
+  // benches, the sequential experiment path — keeps using this everywhere.
+  Simulator& sim() { return *sims_[0]; }
+
+  // --- sharded-core accessors (DESIGN.md §12) ---
+  int num_shards() const { return plan_.num_shards; }
+  const ShardPlan& shard_plan() const { return plan_; }
+  Simulator& shard_sim(int shard) { return *sims_[static_cast<size_t>(shard)]; }
+  int shard_of(NodeId id) const {
+    const DcId dc = dc_of(id);
+    return dc < 0 ? 0 : plan_.shard_of_dc[static_cast<size_t>(dc)];
+  }
+  // Home simulator of a node — where its events execute and stamp times.
+  Simulator& sim_of(NodeId id) { return *sims_[static_cast<size_t>(shard_of(id))]; }
+  // Control-plane simulator: telemetry loops, fault injection and the
+  // invariant monitor run here. Identical to sim() on single-shard runs; a
+  // dedicated global queue (executed at barriers) on sharded runs.
+  Simulator& control_sim() { return global_sim_ != nullptr ? *global_sim_ : *sims_[0]; }
+  // Moves pending cross-shard handoffs into their destination queues. Called
+  // only by the barrier coordinator while every worker is parked.
+  void DrainCrossShardChannels();
+
   const Graph& graph() const { return graph_; }
   const InterDcRoutes& routes() const { return routes_; }
   const NetworkConfig& config() const { return config_; }
@@ -92,10 +118,16 @@ class Network {
   void BuildNodes(const NetworkConfig& config, const PolicyFactory& factory);
   void BuildStaticForwarding();
   void BuildInterDcCandidates();
+  ShardChannel* ChannelFor(int src_shard, int dst_shard);
 
   Graph graph_;
   NetworkConfig config_;
-  Simulator sim_;
+  ShardPlan plan_;
+  std::vector<std::unique_ptr<Simulator>> sims_;  // one per shard
+  std::unique_ptr<Simulator> global_sim_;         // control plane, shards > 1 only
+  uint64_t setup_seq_ = 0;  // shared pre-run tie-break counter (all queues)
+  // channels_[src * num_shards + dst], created only for linked shard pairs.
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
   IntStackPool int_pool_;
   InterDcRoutes routes_;
   std::vector<std::unique_ptr<Node>> nodes_;

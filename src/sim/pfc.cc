@@ -4,6 +4,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/node.h"
+#include "sim/shard_channel.h"
 
 namespace lcmp {
 
@@ -66,8 +67,15 @@ void PfcController::SignalUpstream(PortIndex ingress, bool pause) {
   if (tx == nullptr) {
     return;
   }
-  // The PFC frame needs one propagation delay to reach the transmitter.
-  sim_->Schedule(in_port.prop_delay_ns(), [tx, pause]() { tx->SetPaused(pause); });
+  // The PFC frame needs one propagation delay to reach the transmitter. When
+  // the upstream node is homed on another shard, the frame rides this port's
+  // cross-shard channel (in_port's channel points toward the upstream shard).
+  if (ShardChannel* xlink = in_port.xlink(); xlink != nullptr) {
+    const TimeNs at = sim_->now() + in_port.prop_delay_ns();
+    xlink->Push(at, sim_->MintKeyFor(at), [tx, pause]() { tx->SetPaused(pause); });
+  } else {
+    sim_->Schedule(in_port.prop_delay_ns(), [tx, pause]() { tx->SetPaused(pause); });
+  }
 }
 
 }  // namespace lcmp

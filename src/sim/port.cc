@@ -7,6 +7,7 @@
 #include "obs/trace.h"
 #include "sim/int_pool.h"
 #include "sim/node.h"
+#include "sim/shard_channel.h"
 
 namespace lcmp {
 
@@ -146,7 +147,17 @@ void Port::OnTransmissionDone(Packet pkt) {
   };
   static_assert(InlineEvent::kFitsInline<decltype(deliver)>,
                 "link delivery closure must stay allocation-free");
-  sim_->Schedule(config_.prop_delay_ns + degrade_.extra_delay_ns, std::move(deliver));
+  const TimeNs prop_delay = config_.prop_delay_ns + degrade_.extra_delay_ns;
+  if (xlink_ != nullptr) {
+    // Peer is homed on another shard: hand off through the link's channel.
+    // prop_delay is at least the plan's lookahead, so the delivery lands
+    // beyond the destination shard's current window. The key is minted here,
+    // by the producing event, so it matches the sequential core's.
+    const TimeNs at = sim_->now() + prop_delay;
+    xlink_->Push(at, sim_->MintKeyFor(at), std::move(deliver));
+  } else {
+    sim_->Schedule(prop_delay, std::move(deliver));
+  }
   StartTransmissionIfIdle();
 }
 

@@ -19,6 +19,7 @@
 namespace lcmp {
 
 class Node;
+class ShardChannel;
 
 struct PortConfig {
   int64_t rate_bps = Gbps(100);
@@ -88,6 +89,13 @@ class Port {
   Node* peer() const { return peer_; }
   int graph_link_idx() const { return graph_link_idx_; }
 
+  // Sharded runs: when the peer node is homed on another shard, deliveries
+  // (and PFC pause signals toward this port's owner) go through this channel
+  // instead of the local event queue. Null on single-shard runs and on
+  // intra-shard links — the common case stays zero-overhead.
+  void SetCrossShardChannel(ShardChannel* channel) { xlink_ = channel; }
+  ShardChannel* xlink() const { return xlink_; }
+
   // Invoked whenever an accepted packet leaves the queue — onto the wire or
   // flushed by SetUp(false). PFC ingress accounting credits bytes back here.
   // Installed once per port (not per event), so std::function is fine here.
@@ -125,6 +133,7 @@ class Port {
 
   Node* peer_ = nullptr;
   PortIndex peer_in_port_ = kInvalidPort;
+  ShardChannel* xlink_ = nullptr;
 
   std::deque<Packet> queue_;
   int64_t queue_bytes_ = 0;

@@ -1,0 +1,84 @@
+// Bounded SPSC channel for cross-shard event handoff (DESIGN.md §12).
+//
+// Producer: the source shard's worker thread, from inside Port transmission
+// events (and PFC pause signaling) whose peer port is homed on another shard.
+// Consumer: the barrier coordinator, which drains every channel into the
+// destination shard's event queue while all workers are parked — so the ring
+// is never popped concurrently with a push, and the release/acquire indices
+// plus the barrier give the destination shard a happens-before edge over the
+// payload (including any IntStack block published by the producer).
+//
+// Each item carries the lineage key the producing event minted for it
+// (Simulator::MintKeyFor) — the same key the sequential core would have
+// assigned to the same push — so equal-timestamp ties between channel
+// deliveries and queue-local events resolve identically on every run and for
+// every shard count. Ring overflow falls back to a mutex-guarded vector; the
+// heap re-sorts by (time, key) regardless of drain order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace lcmp {
+
+class ShardChannel {
+ public:
+  ShardChannel() : ring_(kCapacity) {}
+
+  // Producer side: hand `fn` off for execution at absolute time `t` on the
+  // destination shard, under the producer-minted lineage `key`.
+  void Push(TimeNs t, uint64_t key, EventFn fn) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) < kCapacity) {
+      Item& item = ring_[tail & (kCapacity - 1)];
+      item.time = t;
+      item.key = key;
+      item.fn = std::move(fn);
+      tail_.store(tail + 1, std::memory_order_release);
+    } else {
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      overflow_.push_back(Item{t, key, std::move(fn)});
+    }
+  }
+
+  // Consumer side (coordinator, workers parked): move every pending item into
+  // the destination shard's event queue.
+  void DrainInto(Simulator* sim) {
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    size_t head = head_.load(std::memory_order_relaxed);
+    while (head != tail) {
+      Item& item = ring_[head & (kCapacity - 1)];
+      sim->PushKeyed(item.time, item.key, std::move(item.fn));
+      item.fn = EventFn();
+      ++head;
+    }
+    head_.store(head, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    for (Item& item : overflow_) {
+      sim->PushKeyed(item.time, item.key, std::move(item.fn));
+    }
+    overflow_.clear();
+  }
+
+ private:
+  static constexpr size_t kCapacity = 4096;  // power of two
+
+  struct Item {
+    TimeNs time = 0;
+    uint64_t key = 0;
+    EventFn fn;
+  };
+
+  std::vector<Item> ring_;
+  std::atomic<size_t> head_{0};
+  std::atomic<size_t> tail_{0};
+  std::mutex overflow_mu_;
+  std::vector<Item> overflow_;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,249 @@
+// Conservative barrier-synchronized PDES driver (DESIGN.md §12).
+//
+// Drives one Network whose event core is partitioned into N shard simulators.
+// Execution alternates between parallel windows and a single-threaded barrier
+// step ("coordinate"): N worker threads each run their shard's queue up to a
+// common exclusive window end, then park on a std::barrier whose completion
+// step drains the cross-shard channels, advances every shard to the global
+// minimum next-event time T, runs the control-plane queue through T, and
+// opens the next window [T, min(T + lookahead, next control event, horizon)).
+// Cross-shard deliveries are timestamped at least one lookahead into the
+// future, so nothing drained at a barrier can land inside an already-executed
+// window — the classic conservative-synchronization argument, with the
+// long-haul DCI propagation delay as the (enormous) lookahead.
+//
+// Determinism contract: every executed event carries a (time, key) pair that
+// totally orders it against events of other shards (see EventQueue's key
+// modes), which lets the engine reconstruct exactly what the sequential core
+// would have counted and recorded:
+//   - completions are stamped with their event's (time, key) and merged in
+//     that order before replaying into the FCT recorder;
+//   - the sequential Stop()-on-last-completion is reproduced without
+//     rollback by finding the maximal completion stamp K_stop and counting
+//     only final-window events at or before it (earlier windows closed
+//     strictly before K_stop's window, so they are counted wholesale).
+#pragma once
+
+#include <algorithm>
+#include <barrier>
+#include <limits>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace lcmp {
+
+// Rec is the completion payload (the transport's FlowRecord); the engine is
+// templated so the sim layer stays independent of the transport's types.
+template <typename Rec>
+class ShardEngine {
+ public:
+  struct Completion {
+    Rec rec{};
+    TimeNs time = 0;
+    uint64_t key = 0;
+  };
+
+  // `expected_completions` > 0 reproduces the harness's stop-on-last-flow;
+  // 0 means "run to the horizon" (the sequential callback never stops).
+  ShardEngine(Network* net, TimeNs horizon, int64_t expected_completions)
+      : net_(net),
+        horizon_(horizon),
+        expected_(expected_completions),
+        completions_(static_cast<size_t>(net->num_shards())),
+        logs_(static_cast<size_t>(net->num_shards())),
+        prev_events_(static_cast<size_t>(net->num_shards()), 0) {
+    LCMP_CHECK(net_->num_shards() > 1 && horizon_ >= 0);
+  }
+
+  // Records a completion observed on `home`'s shard. Called from that
+  // shard's worker thread, inside the completing event.
+  void OnComplete(const Rec& rec, NodeId home) {
+    const int shard = net_->shard_of(home);
+    Simulator& sim = net_->shard_sim(shard);
+    completions_[static_cast<size_t>(shard)].push_back(
+        Completion{rec, sim.now(), sim.current_event_key()});
+  }
+
+  void Run() {
+    const int n = net_->num_shards();
+    auto on_barrier = [this]() noexcept { Coordinate(); };
+    std::barrier barrier(n, on_barrier);
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers.emplace_back([this, i, &barrier] {
+        for (;;) {
+          barrier.arrive_and_wait();
+          if (done_) {
+            break;
+          }
+          net_->shard_sim(i).RunWindow(window_end_, &logs_[static_cast<size_t>(i)]);
+        }
+      });
+    }
+    for (std::thread& t : workers) {
+      t.join();
+    }
+  }
+
+  // All completions in merged (time, key) order — the order the sequential
+  // core's recorder saw them. Valid after Run().
+  std::vector<Completion> SortedCompletions() {
+    std::vector<Completion> all;
+    for (std::vector<Completion>& v : completions_) {
+      all.insert(all.end(), std::make_move_iterator(v.begin()), std::make_move_iterator(v.end()));
+      v.clear();
+    }
+    std::sort(all.begin(), all.end(), [](const Completion& a, const Completion& b) {
+      return a.time < b.time || (a.time == b.time && a.key < b.key);
+    });
+    return all;
+  }
+
+  // Matches the sequential run's Simulator counters. Valid after Run().
+  uint64_t events_processed() const { return events_processed_; }
+  TimeNs end_time() const { return end_time_; }
+
+ private:
+  static constexpr TimeNs kNoEvent = std::numeric_limits<TimeNs>::max();
+
+  void Coordinate() noexcept {
+    const int n = net_->num_shards();
+    net_->DrainCrossShardChannels();
+    if (expected_ > 0) {
+      int64_t total = 0;
+      for (const std::vector<Completion>& v : completions_) {
+        total += static_cast<int64_t>(v.size());
+      }
+      if (total >= expected_) {
+        FinalizeStopped();
+        done_ = true;
+        return;
+      }
+    }
+    Simulator& global = net_->control_sim();
+    TimeNs t = kNoEvent;
+    for (int i = 0; i < n; ++i) {
+      Simulator& s = net_->shard_sim(i);
+      if (s.has_events() && s.next_event_time() < t) {
+        t = s.next_event_time();
+      }
+    }
+    if (global.has_events() && global.next_event_time() < t) {
+      t = global.next_event_time();
+    }
+    if (t == kNoEvent) {
+      FinalizeDrained();
+      done_ = true;
+      return;
+    }
+    if (t > horizon_) {
+      global.Run(horizon_);
+      FinalizeHorizon();
+      done_ = true;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      net_->shard_sim(i).AdvanceTo(t);
+    }
+    // Control-plane events due at T (fault transitions, telemetry samples)
+    // execute here, on the coordinator, against quiesced shard state; any
+    // port events they spawn land in the owning shard's queue at >= T.
+    global.Run(t);
+    TimeNs window_end = horizon_ + 1;
+    const TimeNs lookahead = net_->shard_plan().lookahead_ns;
+    if (lookahead < window_end - t) {
+      window_end = t + lookahead;
+    }
+    // Never execute shard events past the next control-plane event: it must
+    // observe (and mutate — faults flip ports) state as of its own time.
+    if (global.has_events() && global.next_event_time() < window_end) {
+      window_end = global.next_event_time();
+    }
+    LCMP_CHECK(window_end > t);
+    window_end_ = window_end;
+    for (int i = 0; i < n; ++i) {
+      prev_events_[static_cast<size_t>(i)] = net_->shard_sim(i).events_processed();
+      logs_[static_cast<size_t>(i)].clear();
+    }
+  }
+
+  // Stop path: the sequential core executes through the last completion
+  // event (its Stop() takes effect after that event returns) and nothing
+  // after it. K_stop = max completion stamp; earlier windows ended strictly
+  // before K_stop's window start, so only final-window events need the
+  // (time, key) <= K_stop filter.
+  void FinalizeStopped() {
+    TimeNs stop_time = -1;
+    uint64_t stop_key = 0;
+    for (const std::vector<Completion>& v : completions_) {
+      for (const Completion& c : v) {
+        if (c.time > stop_time || (c.time == stop_time && c.key > stop_key)) {
+          stop_time = c.time;
+          stop_key = c.key;
+        }
+      }
+    }
+    Simulator& global = net_->control_sim();
+    global.Run(stop_time);
+    uint64_t events = global.events_processed();
+    const int n = net_->num_shards();
+    for (int i = 0; i < n; ++i) {
+      events += prev_events_[static_cast<size_t>(i)];
+      for (const Simulator::EventKey& e : logs_[static_cast<size_t>(i)]) {
+        if (e.time < stop_time || (e.time == stop_time && e.key <= stop_key)) {
+          ++events;
+        }
+      }
+    }
+    events_processed_ = events;
+    end_time_ = stop_time;
+  }
+
+  void FinalizeHorizon() {
+    events_processed_ = TotalEvents();
+    end_time_ = horizon_;
+  }
+
+  // Every queue drained before the horizon (only reachable without recurring
+  // timers, i.e. not from the harness): match Run(-1) semantics.
+  void FinalizeDrained() {
+    events_processed_ = TotalEvents();
+    TimeNs end = net_->control_sim().now();
+    for (int i = 0; i < net_->num_shards(); ++i) {
+      end = std::max(end, net_->shard_sim(i).now());
+    }
+    end_time_ = end;
+  }
+
+  uint64_t TotalEvents() const {
+    uint64_t events = net_->control_sim().events_processed();
+    for (int i = 0; i < net_->num_shards(); ++i) {
+      events += net_->shard_sim(i).events_processed();
+    }
+    return events;
+  }
+
+  Network* net_;
+  const TimeNs horizon_;
+  const int64_t expected_;
+
+  // Written only by the barrier completion step; read by workers after the
+  // barrier — both edges are ordered by the barrier itself.
+  TimeNs window_end_ = 0;
+  bool done_ = false;
+
+  std::vector<std::vector<Completion>> completions_;        // per shard
+  std::vector<std::vector<Simulator::EventKey>> logs_;      // final-window events
+  std::vector<uint64_t> prev_events_;                       // at window start
+
+  uint64_t events_processed_ = 0;
+  TimeNs end_time_ = 0;
+};
+
+}  // namespace lcmp

@@ -28,13 +28,37 @@ TimeNs Simulator::Run(TimeNs until) {
       return now_;
     }
     TimeNs t = 0;
-    EventFn fn = queue_.Pop(&t);
+    EventFn fn = queue_.Pop(&t, &current_key_);
     LCMP_CHECK(t >= now_);
     now_ = t;
     ++events_processed_;
+    child_idx_ = 0;
+    in_event_ = true;
     fn();
+    in_event_ = false;
   }
   return now_;
+}
+
+uint64_t Simulator::RunWindow(TimeNs end_exclusive, std::vector<EventKey>* log) {
+  ScopedLogSimTime log_time(&now_);
+  uint64_t executed = 0;
+  while (!queue_.empty() && queue_.PeekTime() < end_exclusive) {
+    TimeNs t = 0;
+    EventFn fn = queue_.Pop(&t, &current_key_);
+    LCMP_CHECK(t >= now_);
+    now_ = t;
+    ++events_processed_;
+    ++executed;
+    if (log != nullptr) {
+      log->push_back(EventKey{t, current_key_});
+    }
+    child_idx_ = 0;
+    in_event_ = true;
+    fn();
+    in_event_ = false;
+  }
+  return executed;
 }
 
 Simulator::TimerId Simulator::ScheduleEvery(TimeNs interval, EventFn fn) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/hashing.h"
 #include "common/logging.h"
 #include "sim/event_queue.h"
 
@@ -21,13 +22,14 @@ class Simulator {
   // Schedules `fn` to run `delay` from now (delay >= 0).
   void Schedule(TimeNs delay, EventFn fn) {
     LCMP_CHECK(delay >= 0);
-    queue_.Push(now_ + delay, std::move(fn));
+    const TimeNs t = now_ + delay;
+    queue_.PushKeyed(t, MintKeyFor(t), std::move(fn));
   }
 
   // Schedules `fn` at absolute time `t` (t >= now()).
   void ScheduleAt(TimeNs t, EventFn fn) {
     LCMP_CHECK(t >= now_);
-    queue_.Push(t, std::move(fn));
+    queue_.PushKeyed(t, MintKeyFor(t), std::move(fn));
   }
 
   // Self-rearming recurring timer: `fn` first fires `interval` from now and
@@ -57,6 +59,69 @@ class Simulator {
 
   uint64_t events_processed() const { return events_processed_; }
 
+  // --- sharded-core interface (conservative PDES, DESIGN.md §12) ---
+  // A shard engine drives each partition simulator through bounded windows
+  // instead of Run(), and uses the (time, key) pair of every executed event
+  // as the global tie-break order shared with the sequential core.
+
+  struct EventKey {
+    TimeNs time = 0;
+    uint64_t key = 0;
+  };
+
+  // Executes every event with time < end_exclusive, appending each executed
+  // event's (time, key) to `log` when non-null. Leaves now() at the last
+  // executed event (the coordinator advances it between windows). Returns
+  // the number of events executed.
+  uint64_t RunWindow(TimeNs end_exclusive, std::vector<EventKey>* log);
+
+  // Advances now() to `t` between windows; no pending event may precede `t`.
+  void AdvanceTo(TimeNs t) {
+    LCMP_CHECK(t >= now_ && (queue_.empty() || queue_.PeekTime() >= t));
+    now_ = t;
+  }
+
+  // Sequence key of the event currently executing (valid inside callbacks).
+  uint64_t current_event_key() const { return current_key_; }
+
+  bool has_events() const { return !queue_.empty(); }
+  TimeNs next_event_time() const { return queue_.PeekTime(); }
+
+  // Cross-shard channel drain: insert with a producer-minted key.
+  void PushKeyed(TimeNs t, uint64_t key, EventFn fn) {
+    queue_.PushKeyed(t, key, std::move(fn));
+  }
+
+  // Mints the tie-break key for an event scheduled at `t`. Inside an
+  // executing event, children get a lineage key — same-timestamp generation
+  // in the high 16 bits (one more than the parent's, so a same-time child
+  // always sorts after its parent) and a hash of (parent key, child index)
+  // below. The key depends only on the pushing event's own key, never on
+  // which queue or thread pushes, so the sequential core and every shard
+  // count assign identical keys — the foundation of bit-identical sharded
+  // runs (DESIGN.md §12). Outside event execution (single-threaded setup),
+  // keys come from a counter, shared across all partition queues on sharded
+  // runs so cross-queue setup order matches sequential insertion order.
+  // Public so ports can mint keys for cross-shard channel handoffs.
+  uint64_t MintKeyFor(TimeNs t) {
+    if (!in_event_) {
+      uint64_t* ctr = shared_setup_seq_ != nullptr ? shared_setup_seq_ : &setup_seq_;
+      LCMP_CHECK(*ctr < (1ULL << EventQueue::kGenShift));
+      return (*ctr)++;
+    }
+    uint64_t gen = 0;
+    if (t == now_) {
+      gen = (current_key_ >> EventQueue::kGenShift) + 1;
+      LCMP_CHECK(gen <= 0xffff);  // zero-delay self-scheduling chain run amok
+    }
+    const uint64_t h = Mix64(current_key_ + 0x9e3779b97f4a7c15ULL * ++child_idx_) >> 16;
+    return (gen << EventQueue::kGenShift) | h;
+  }
+
+  // Draw setup-phase keys from `*shared` instead of the private counter
+  // (the owning Network shares one counter across all partition queues).
+  void UseSharedSeq(uint64_t* shared) { shared_setup_seq_ = shared; }
+
  private:
   struct RepeatingTimer {
     TimeNs interval = 0;
@@ -69,7 +134,12 @@ class Simulator {
   EventQueue queue_;
   TimeNs now_ = 0;
   bool stopped_ = false;
+  bool in_event_ = false;  // MintKeyFor: lineage keys vs setup counter
   uint64_t events_processed_ = 0;
+  uint64_t current_key_ = 0;
+  uint64_t child_idx_ = 0;  // pushes by the currently-executing event
+  uint64_t setup_seq_ = 0;
+  uint64_t* shared_setup_seq_ = nullptr;
   std::vector<std::unique_ptr<RepeatingTimer>> timers_;
   std::vector<TimerId> free_timer_slots_;
 };

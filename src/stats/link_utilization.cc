@@ -5,7 +5,7 @@
 namespace lcmp {
 
 void LinkUtilizationTracker::Begin() {
-  begin_time_ = net_->sim().now();
+  begin_time_ = net_->control_sim().now();
   baseline_bytes_.clear();
   for (const DirectedLinkRef& ref : net_->InterDcDirectedLinks()) {
     baseline_bytes_.push_back(ref.port->tx_bytes());
@@ -14,7 +14,7 @@ void LinkUtilizationTracker::Begin() {
 
 std::vector<LinkUtilization> LinkUtilizationTracker::End() const {
   std::vector<LinkUtilization> out;
-  const TimeNs elapsed = net_->sim().now() - begin_time_;
+  const TimeNs elapsed = net_->control_sim().now() - begin_time_;
   const auto refs = net_->InterDcDirectedLinks();
   LCMP_CHECK(refs.size() == baseline_bytes_.size());
   for (size_t i = 0; i < refs.size(); ++i) {

@@ -1,0 +1,40 @@
+#include "topo/shard_plan.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+ShardPlan BuildShardPlan(const Graph& graph, int shards) {
+  ShardPlan plan;
+  const int num_dcs = graph.num_dcs();
+  LCMP_CHECK(num_dcs > 0);
+  plan.num_shards = shards < 1 ? 1 : (shards > num_dcs ? num_dcs : shards);
+  plan.shard_of_dc.resize(static_cast<size_t>(num_dcs));
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    // Contiguous blocks, balanced to within one DC.
+    plan.shard_of_dc[static_cast<size_t>(dc)] =
+        static_cast<int>(static_cast<int64_t>(dc) * plan.num_shards / num_dcs);
+  }
+
+  // Sentinel far below overflow range even after adding a horizon-scale time.
+  plan.lookahead_ns = std::numeric_limits<TimeNs>::max() / 4;
+  for (const LinkSpec& link : graph.links()) {
+    const DcId dc_a = graph.vertex(link.a).dc;
+    const DcId dc_b = graph.vertex(link.b).dc;
+    if (plan.shard_of_dc[static_cast<size_t>(dc_a)] ==
+        plan.shard_of_dc[static_cast<size_t>(dc_b)]) {
+      continue;
+    }
+    // Conservative synchronization needs strictly positive lookahead; the
+    // topology layer never emits zero-delay inter-DC fiber.
+    LCMP_CHECK(link.delay_ns > 0);
+    if (link.delay_ns < plan.lookahead_ns) {
+      plan.lookahead_ns = link.delay_ns;
+    }
+  }
+  return plan;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,33 @@
+// Partition assignment + lookahead derivation for the sharded event core
+// (conservative PDES, DESIGN.md §12).
+//
+// Datacenters are atomic: every vertex of a DC is homed on one shard, so the
+// only cross-shard links are inter-DC (DCI-to-DCI) fiber. The lookahead is
+// the minimum one-way propagation delay over links whose endpoint DCs land on
+// different shards — long-haul WAN delays are milliseconds, which is an
+// enormous window compared to the microsecond intra-DC event density.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "topo/graph.h"
+
+namespace lcmp {
+
+struct ShardPlan {
+  int num_shards = 1;
+  std::vector<int> shard_of_dc;  // indexed by DcId
+  // Minimum propagation delay of any cross-shard link; every cross-shard
+  // handoff arrives at least this far in the future, so a shard at time T may
+  // safely execute up to (exclusive) T + lookahead_ns without hearing from
+  // its neighbors. Huge sentinel when no link crosses shards.
+  TimeNs lookahead_ns = 0;
+};
+
+// Assigns DCs to min(shards, num_dcs) contiguous shard blocks. Contiguity
+// keeps topologically adjacent DCs (which tend to have the shortest fiber
+// between them) co-located, maximizing the min-cut lookahead.
+ShardPlan BuildShardPlan(const Graph& graph, int shards);
+
+}  // namespace lcmp

@@ -44,6 +44,9 @@ RdmaTransport::RdmaTransport(Network* net, const TransportConfig& config, CcKind
       cc_factory_(MakeCcFactory(cc_kind)),
       on_complete_(std::move(on_complete)),
       oracle_(&net->graph()) {
+  // Emulation mode mutates per-host pipeline cursors at runtime; it is a
+  // single-shard feature (the harness rejects the combination up front).
+  LCMP_CHECK(net_->num_shards() == 1 || !config_.emulation_mode);
   // Register as the packet sink of every host.
   const Graph& g = net_->graph();
   for (NodeId id = 0; id < g.num_vertices(); ++id) {
@@ -82,18 +85,33 @@ TimeNs RdmaTransport::EmuPipelineSlot(std::unordered_map<NodeId, TimeNs>& ready,
   return slot;
 }
 
+void RdmaTransport::RegisterFlow(const FlowSpec& spec) {
+  // Pre-size the per-flow maps during single-threaded setup so sharded runs
+  // never mutate them from worker threads, and warm the path-metric cache so
+  // runtime lookups are read-only.
+  Sender& s = senders_[spec.id];
+  s.spec = spec;
+  receivers_[spec.id];
+  oracle_.Metric(spec.src, spec.dst);
+}
+
 void RdmaTransport::ScheduleFlow(const FlowSpec& spec) {
-  Simulator& sim = net_->sim();
+  Simulator& sim = net_->sim_of(spec.src);
   LCMP_CHECK(spec.start_time >= sim.now());
+  RegisterFlow(spec);
   sim.ScheduleAt(spec.start_time, [this, spec]() { StartFlow(spec); });
 }
 
 void RdmaTransport::StartFlow(const FlowSpec& spec) {
   LCMP_CHECK(spec.size_bytes > 0);
-  LCMP_CHECK(senders_.find(spec.id) == senders_.end());
-  Simulator& sim = net_->sim();
+  if (senders_.find(spec.id) == senders_.end()) {
+    RegisterFlow(spec);  // direct StartFlow callers (unit tests) skip ScheduleFlow
+  }
+  Simulator& sim = net_->sim_of(spec.src);
 
-  Sender s;
+  Sender& s = senders_.at(spec.id);
+  LCMP_CHECK(!s.started);
+  s.started = true;
   s.spec = spec;
   s.total_packets = static_cast<uint32_t>(
       (spec.size_bytes + config_.mtu_payload - 1) / config_.mtu_payload);
@@ -115,9 +133,8 @@ void RdmaTransport::StartFlow(const FlowSpec& spec) {
   s.cc->Init(LineRate(spec.src), s.base_rtt, sim.now());
 
   const FlowId id = spec.id;
-  Sender& stored = senders_.emplace(id, std::move(s)).first->second;
   PaceNext(id);
-  stored.rto_timer = sim.ScheduleEvery(stored.rto, [this, id] { OnRtoScan(id); });
+  s.rto_timer = sim.ScheduleEvery(s.rto, [this, id] { OnRtoScan(id); });
 }
 
 void RdmaTransport::SchedulePacing(Sender& s, TimeNs delay) {
@@ -133,7 +150,7 @@ void RdmaTransport::SchedulePacing(Sender& s, TimeNs delay) {
   };
   static_assert(InlineEvent::kFitsInline<decltype(pace)>,
                 "pacing closure must stay allocation-free");
-  net_->sim().Schedule(delay, std::move(pace));
+  net_->sim_of(s.spec.src).Schedule(delay, std::move(pace));
 }
 
 void RdmaTransport::PaceNext(FlowId flow) {
@@ -142,7 +159,7 @@ void RdmaTransport::PaceNext(FlowId flow) {
     return;
   }
   Sender& s = it->second;
-  if (s.done || s.pacing_active) {
+  if (!s.started || s.done || s.pacing_active) {
     return;
   }
   if (s.next_seq >= s.total_packets) {
@@ -160,7 +177,7 @@ void RdmaTransport::PaceNext(FlowId flow) {
 
   Packet pkt = MakeDataPacket(s, s.next_seq);
   ++s.next_seq;
-  ++data_packets_sent_;
+  data_packets_sent_.fetch_add(1, std::memory_order_relaxed);
   TransportMetrics::Get().data_sent->Inc();
 
   if (config_.emulation_mode) {
@@ -195,7 +212,7 @@ Packet RdmaTransport::MakeDataPacket(const Sender& s, uint32_t seq) const {
       std::min<uint64_t>(config_.mtu_payload, s.spec.size_bytes - offset));
   pkt.size_bytes = pkt.payload_bytes + kHeaderBytes;
   pkt.last_of_flow = (seq + 1 == s.total_packets);
-  pkt.sent_ts = net_->sim().now();
+  pkt.sent_ts = net_->sim_of(s.spec.src).now();
   if (net_->config().enable_int) {
     pkt.int_stack = net_->int_pool().Acquire();
   }
@@ -204,16 +221,16 @@ Packet RdmaTransport::MakeDataPacket(const Sender& s, uint32_t seq) const {
 
 void RdmaTransport::SendSelectiveRetransmit(FlowId flow, uint32_t seq) {
   auto it = senders_.find(flow);
-  if (it == senders_.end()) {
+  if (it == senders_.end() || it->second.done) {
     return;
   }
   Sender& s = it->second;
   if (seq >= s.total_packets || seq < s.acked) {
     return;  // stale request
   }
-  ++s.retransmits;
-  ++retransmitted_packets_;
-  ++data_packets_sent_;
+  s.retransmits.fetch_add(1, std::memory_order_relaxed);
+  retransmitted_packets_.fetch_add(1, std::memory_order_relaxed);
+  data_packets_sent_.fetch_add(1, std::memory_order_relaxed);
   TransportMetrics::Get().retransmits->Inc();
   TransportMetrics::Get().data_sent->Inc();
   Packet pkt = MakeDataPacket(s, seq);
@@ -237,24 +254,25 @@ void RdmaTransport::OnRtoScan(FlowId flow) {
     return;  // FinishSender cancelled the timer; nothing to do
   }
   Sender& s = sit->second;
+  Simulator& sim = net_->sim_of(s.spec.src);
   if (s.acked == s.acked_at_last_rto && s.next_seq > s.acked) {
     LCMP_PROFILE_SCOPE("transport.rto_recovery");
     // No progress across one full RTO with data outstanding: Go-Back-N.
-    ++timeouts_;
-    s.retransmits += s.next_seq - s.acked;
-    retransmitted_packets_ += s.next_seq - s.acked;
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    s.retransmits.fetch_add(s.next_seq - s.acked, std::memory_order_relaxed);
+    retransmitted_packets_.fetch_add(s.next_seq - s.acked, std::memory_order_relaxed);
     TransportMetrics::Get().timeouts->Inc();
     TransportMetrics::Get().retransmits->Add(s.next_seq - s.acked);
     s.next_seq = s.acked;
     const int64_t rate_before = obs::TraceEnabled() ? s.cc->rate_bps() : 0;
-    s.cc->OnTimeout(net_->sim().now());
-    LCMP_TRACE(obs::TraceEv::kCcRateChange, net_->sim().now(), flow, s.spec.src, kInvalidPort,
+    s.cc->OnTimeout(sim.now());
+    LCMP_TRACE(obs::TraceEv::kCcRateChange, sim.now(), flow, s.spec.src, kInvalidPort,
                s.cc->rate_bps() - rate_before);
     PaceNext(flow);
   }
   s.acked_at_last_rto = s.acked;
   // The adaptive RTO estimate feeds the timer's next period.
-  net_->sim().SetTimerInterval(s.rto_timer, s.rto);
+  sim.SetTimerInterval(s.rto_timer, s.rto);
 }
 
 void RdmaTransport::OnHostReceive(NodeId host, Packet pkt) {
@@ -291,12 +309,13 @@ void RdmaTransport::ProcessPacket(NodeId host, Packet pkt) {
 void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
   LCMP_PROFILE_SCOPE("transport.handle_data");
   const FlowId id = pkt.flow_id;
-  if (finished_.contains(id)) {
+  auto rit = receivers_.find(id);
+  if (rit == receivers_.end() || rit->second.finished) {
     net_->int_pool().ReleaseFrom(pkt);
-    return;  // stale segment of a completed flow
+    return;  // unknown flow or stale segment of a completed one
   }
-  Receiver& r = receivers_[id];
-  Simulator& sim = net_->sim();
+  Receiver& r = rit->second;
+  Simulator& sim = net_->sim_of(host);
   HostNode& h = net_->host(host);
 
   auto reply = [&](PacketType type, uint32_t seq) {
@@ -349,12 +368,11 @@ void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
       rec.start_time = sit->second.start_time;
       rec.complete_time = sim.now();
       rec.total_packets = sit->second.total_packets;
-      rec.retransmitted_packets = sit->second.retransmits;
+      rec.retransmitted_packets = sit->second.retransmits.load(std::memory_order_relaxed);
       rec.base_rtt = sit->second.base_rtt;
-      ++completed_flows_;
+      completed_flows_.fetch_add(1, std::memory_order_relaxed);
       TransportMetrics::Get().flows_completed->Inc();
-      finished_.insert(id);
-      receivers_.erase(id);
+      r.finished = true;
       if (on_complete_) {
         on_complete_(rec);
       }
@@ -389,12 +407,12 @@ void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
 void RdmaTransport::HandleAck(Packet& pkt) {
   LCMP_PROFILE_SCOPE("transport.handle_ack");
   auto it = senders_.find(pkt.flow_id);
-  if (it == senders_.end()) {
+  if (it == senders_.end() || it->second.done || !it->second.started) {
     net_->int_pool().ReleaseFrom(pkt);
     return;
   }
   Sender& s = it->second;
-  Simulator& sim = net_->sim();
+  Simulator& sim = net_->sim_of(s.spec.src);
   if (pkt.seq > s.acked) {
     s.acked = pkt.seq;
     s.last_progress = sim.now();
@@ -427,23 +445,23 @@ void RdmaTransport::HandleAck(Packet& pkt) {
 void RdmaTransport::HandleNack(const Packet& pkt) {
   LCMP_PROFILE_SCOPE("transport.handle_nack");
   auto it = senders_.find(pkt.flow_id);
-  if (it == senders_.end()) {
+  if (it == senders_.end() || it->second.done || !it->second.started) {
     return;
   }
-  ++nacks_;
+  nacks_.fetch_add(1, std::memory_order_relaxed);
   TransportMetrics::Get().nacks->Inc();
   Sender& s = it->second;
   if (pkt.seq > s.acked) {
     s.acked = pkt.seq;
-    s.last_progress = net_->sim().now();
+    s.last_progress = net_->sim_of(s.spec.src).now();
   }
   if (config_.ooo_tolerance) {
     // Selective retransmission: resend only the hole the receiver reported.
     SendSelectiveRetransmit(pkt.flow_id, pkt.seq);
   } else if (pkt.seq < s.next_seq) {
     // Go-Back-N: rewind to the receiver's hole and resend everything after.
-    s.retransmits += s.next_seq - pkt.seq;
-    retransmitted_packets_ += s.next_seq - pkt.seq;
+    s.retransmits.fetch_add(s.next_seq - pkt.seq, std::memory_order_relaxed);
+    retransmitted_packets_.fetch_add(s.next_seq - pkt.seq, std::memory_order_relaxed);
     s.next_seq = pkt.seq;
   }
   PaceNext(pkt.flow_id);
@@ -452,24 +470,27 @@ void RdmaTransport::HandleNack(const Packet& pkt) {
 void RdmaTransport::HandleCnp(const Packet& pkt) {
   LCMP_PROFILE_SCOPE("transport.handle_cnp");
   auto it = senders_.find(pkt.flow_id);
-  if (it == senders_.end()) {
+  if (it == senders_.end() || it->second.done || !it->second.started) {
     return;
   }
-  ++cnps_;
+  cnps_.fetch_add(1, std::memory_order_relaxed);
   TransportMetrics::Get().cnps->Inc();
   Sender& s = it->second;
+  Simulator& sim = net_->sim_of(s.spec.src);
   const int64_t rate_before = obs::TraceEnabled() ? s.cc->rate_bps() : 0;
-  s.cc->OnCnp(net_->sim().now());
+  s.cc->OnCnp(sim.now());
   if (obs::TraceEnabled() && s.cc->rate_bps() != rate_before) {
-    LCMP_TRACE(obs::TraceEv::kCcRateChange, net_->sim().now(), pkt.flow_id, s.spec.src,
-               kInvalidPort, s.cc->rate_bps() - rate_before);
+    LCMP_TRACE(obs::TraceEv::kCcRateChange, sim.now(), pkt.flow_id, s.spec.src, kInvalidPort,
+               s.cc->rate_bps() - rate_before);
   }
 }
 
 void RdmaTransport::FinishSender(Sender& s) {
+  // The entry stays in the map (done flips instead of erasing) so concurrent
+  // cross-shard find() never races a rehash; the done guard above makes a
+  // second finish — or a recycled-TimerId cancel — impossible.
   s.done = true;
-  net_->sim().CancelTimer(s.rto_timer);
-  senders_.erase(s.spec.id);
+  net_->sim_of(s.spec.src).CancelTimer(s.rto_timer);
 }
 
 }  // namespace lcmp

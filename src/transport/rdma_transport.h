@@ -6,14 +6,25 @@
 // One RdmaTransport instance manages every host in the network: it registers
 // itself as each HostNode's packet sink and keeps per-flow sender/receiver
 // state keyed by flow id.
+// Sharded runs (DESIGN.md §12) share ONE transport across shard worker
+// threads; the state is partitioned by construction rather than by locks.
+// Sender state is touched only by events homed on the flow's source shard
+// (pacing, RTO scans, and ACK/NACK/CNP handling all execute on the source
+// host); receiver state only by the destination shard (DATA delivery). The
+// per-flow map entries are pre-registered during single-threaded setup and
+// never erased at runtime, so concurrent find() never races a rehash.
+// Process-wide tallies are relaxed atomics (totals are deterministic; only
+// the interleaving isn't), and a completing flow reads the sender's
+// setup-written fields across shards only after at least one cross-shard
+// packet handoff — whose channel + barrier ordering publishes them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <set>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "sim/network.h"
 #include "topo/candidate_paths.h"
@@ -73,17 +84,28 @@ class RdmaTransport {
   // Begins transmitting `spec` at the current simulation time.
   void StartFlow(const FlowSpec& spec);
 
-  // Schedules StartFlow at spec.start_time (must be >= now).
+  // Schedules StartFlow at spec.start_time (must be >= now) on the source
+  // host's home shard. Also pre-registers the flow's sender/receiver map
+  // entries and warms the path-metric cache, so sharded runs perform no
+  // shared-map mutation after setup.
   void ScheduleFlow(const FlowSpec& spec);
 
   // --- statistics ---
-  int active_senders() const { return static_cast<int>(senders_.size()); }
-  int64_t completed_flows() const { return completed_flows_; }
-  int64_t data_packets_sent() const { return data_packets_sent_; }
-  int64_t retransmitted_packets() const { return retransmitted_packets_; }
-  int64_t nacks_received() const { return nacks_; }
-  int64_t cnps_received() const { return cnps_; }
-  int64_t timeouts() const { return timeouts_; }
+  int active_senders() const {
+    int n = 0;
+    for (const auto& [id, s] : senders_) {
+      n += (s.started && !s.done) ? 1 : 0;
+    }
+    return n;
+  }
+  int64_t completed_flows() const { return completed_flows_.load(std::memory_order_relaxed); }
+  int64_t data_packets_sent() const { return data_packets_sent_.load(std::memory_order_relaxed); }
+  int64_t retransmitted_packets() const {
+    return retransmitted_packets_.load(std::memory_order_relaxed);
+  }
+  int64_t nacks_received() const { return nacks_.load(std::memory_order_relaxed); }
+  int64_t cnps_received() const { return cnps_.load(std::memory_order_relaxed); }
+  int64_t timeouts() const { return timeouts_.load(std::memory_order_relaxed); }
   CcKind cc_kind() const { return cc_kind_; }
 
  private:
@@ -98,9 +120,12 @@ class RdmaTransport {
     TimeNs srtt = 0;  // smoothed measured RTT; 0 until the first sample
     TimeNs rto = 0;
     TimeNs last_progress = 0;
+    bool started = false;  // registered at setup; StartFlow fired at runtime
     bool pacing_active = false;
     bool done = false;
-    uint32_t retransmits = 0;
+    // Mutated on the source shard, sampled on the destination shard at
+    // completion; atomic for race-freedom, and kept out of the digest.
+    std::atomic<uint32_t> retransmits{0};
     // Recurring RTO scan: one stored callable for the flow's lifetime; the
     // period follows the adaptive `rto` via Simulator::SetTimerInterval.
     Simulator::TimerId rto_timer = Simulator::kInvalidTimer;
@@ -111,6 +136,7 @@ class RdmaTransport {
     uint64_t received_bytes = 0;
     TimeNs last_cnp = -Seconds(1);
     TimeNs last_nack = -Seconds(1);
+    bool finished = false;  // completed; absorbs stragglers/duplicates
     // OoO-tolerance mode only: buffered segment numbers beyond expected_seq.
     std::set<uint32_t> ooo;
   };
@@ -125,6 +151,7 @@ class RdmaTransport {
   void HandleNack(const Packet& pkt);
   void HandleCnp(const Packet& pkt);
 
+  void RegisterFlow(const FlowSpec& spec);
   void PaceNext(FlowId flow);
   Packet MakeDataPacket(const Sender& s, uint32_t seq) const;
   void SendSelectiveRetransmit(FlowId flow, uint32_t seq);
@@ -149,16 +176,17 @@ class RdmaTransport {
 
   std::unordered_map<NodeId, TimeNs> emu_tx_ready_;
   std::unordered_map<NodeId, TimeNs> emu_rx_ready_;
+  // Pre-registered at ScheduleFlow, never erased at runtime (flows flip
+  // started/done/finished flags instead), so shard threads only ever find().
   std::unordered_map<FlowId, Sender> senders_;
   std::unordered_map<FlowId, Receiver> receivers_;
-  std::unordered_set<FlowId> finished_;  // absorbs stragglers/duplicates
 
-  int64_t completed_flows_ = 0;
-  int64_t data_packets_sent_ = 0;
-  int64_t retransmitted_packets_ = 0;
-  int64_t nacks_ = 0;
-  int64_t cnps_ = 0;
-  int64_t timeouts_ = 0;
+  std::atomic<int64_t> completed_flows_{0};
+  std::atomic<int64_t> data_packets_sent_{0};
+  std::atomic<int64_t> retransmitted_packets_{0};
+  std::atomic<int64_t> nacks_{0};
+  std::atomic<int64_t> cnps_{0};
+  std::atomic<int64_t> timeouts_{0};
 };
 
 }  // namespace lcmp

@@ -82,7 +82,7 @@ std::string ConfigEcho(const ExperimentConfig& config) {
   return out;
 }
 
-GoldenRecord ComputeGoldenRecord(const GoldenScenario& scenario) {
+GoldenRecord ComputeGoldenRecord(const GoldenScenario& scenario, int shards) {
   ExperimentConfig config;
   std::string error;
   GoldenRecord record;
@@ -91,6 +91,7 @@ GoldenRecord ComputeGoldenRecord(const GoldenScenario& scenario) {
     record.config_echo = "INVALID SCENARIO: " + error;
     return record;
   }
+  config.shards = shards;
   const ExperimentResult result = RunExperiment(config);
   record.digest = ExperimentDigest(result);
   record.events_processed = result.events_processed;

@@ -53,8 +53,10 @@ struct GoldenRecord {
   double p99_slowdown = 0;  // informational, not compared
 };
 
-// Runs the scenario and folds the result into a record.
-GoldenRecord ComputeGoldenRecord(const GoldenScenario& scenario);
+// Runs the scenario and folds the result into a record. `shards` > 1 runs
+// the sharded PDES core (DESIGN.md §12); because sharding is bit-exact, the
+// record must match the sequentially-pinned one for every shard count.
+GoldenRecord ComputeGoldenRecord(const GoldenScenario& scenario, int shards = 1);
 
 // The registry-order non-default config echo used in records.
 std::string ConfigEcho(const ExperimentConfig& config);

@@ -36,7 +36,7 @@ bool ParseEnums(const FlagSet& flags, ExperimentConfig& config, std::string& err
 }
 
 int RunSweepMode(const ExperimentConfig& base, const SweepOptions& sweep_opts,
-                 const FaultOptions& fault_opts, const std::string& csv_prefix) {
+                 const FaultOptions& fault_opts, int jobs, const std::string& csv_prefix) {
   SweepSpec spec(base);
   // In sweep mode the chaos flags become config fields so every run draws
   // its own plan against its own topology (an explicit --fault-plan file was
@@ -63,8 +63,7 @@ int RunSweepMode(const ExperimentConfig& base, const SweepOptions& sweep_opts,
   }
 
   SweepRunnerOptions runner_opts;
-  runner_opts.jobs = sweep_opts.jobs;
-  const int jobs = sweep_opts.jobs > 0 ? sweep_opts.jobs : DefaultJobs();
+  runner_opts.jobs = jobs;
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<RunOutcome> outcomes;
@@ -160,6 +159,7 @@ int main(int argc, char** argv) {
       .Define("csv-prefix", "", "if set, write <prefix>_{flows,links,buckets}.csv"
               " (in sweep mode: <prefix>_sweep.csv)");
   DefineSweepFlags(flags);
+  DefineShardFlags(flags);
   DefineObsFlags(flags);
   DefineFaultFlags(flags);
   if (!flags.Parse(argc, argv)) {
@@ -206,6 +206,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 2;
   }
+  const ShardOptions shard_opts = GetShardOptions(flags);
+  if (!ValidateShardOptions(shard_opts, sweep_opts, obs_opts, config.emulation_mode,
+                            DefaultJobs(), &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  config.shards = shard_opts.shards;
 
   if (sweep_opts.active()) {
     // An explicit plan file is resolved once against the base topology;
@@ -219,7 +226,9 @@ int main(int argc, char** argv) {
       }
     }
     const int status =
-        RunSweepMode(config, sweep_opts, fault_opts, flags.GetString("csv-prefix"));
+        RunSweepMode(config, sweep_opts, fault_opts,
+                     ResolveSweepJobs(sweep_opts, shard_opts, DefaultJobs()),
+                     flags.GetString("csv-prefix"));
     FinalizeObs(obs_opts, 0);
     return status;
   }

@@ -41,7 +41,10 @@ int UpdateGolden(const std::string& dir) {
   return failures == 0 ? 0 : 1;
 }
 
-int CheckGolden(const std::string& dir) {
+// With shards > 1 the corpus runs on the sharded PDES core but is compared
+// against the *sequentially pinned* records: the digest contract is
+// bit-identical results for every shard count.
+int CheckGolden(const std::string& dir, int shards) {
   int failures = 0;
   for (const validate::GoldenScenario& scenario : validate::GoldenScenarios()) {
     const std::string path = validate::GoldenPath(dir, scenario.name);
@@ -53,7 +56,7 @@ int CheckGolden(const std::string& dir) {
       ++failures;
       continue;
     }
-    const validate::GoldenRecord current = validate::ComputeGoldenRecord(scenario);
+    const validate::GoldenRecord current = validate::ComputeGoldenRecord(scenario, shards);
     const validate::GoldenDiff diff = validate::CompareGolden(pinned, current);
     if (diff.match) {
       std::printf("ok      %s\n", scenario.name.c_str());
@@ -85,7 +88,9 @@ int Main(int argc, char** argv) {
                                 "source tree's tests/golden)")
       .Define("list", "false", "print the scenario table and exit")
       .Define("skip-oracles", "false", "golden corpus only, skip the analytic oracles")
-      .Define("seed", "1", "seed for the seeded oracles");
+      .Define("seed", "1", "seed for the seeded oracles")
+      .Define("shards", "1", "run scenarios on this many PDES shards; the digests must still "
+                             "match the sequentially pinned corpus");
   if (!flags.Parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(), flags.Usage("lcmp_validate").c_str());
     return 2;
@@ -101,10 +106,20 @@ int Main(int argc, char** argv) {
   if (dir.empty()) {
     dir = validate::GoldenDir();
   }
+  const int shards = static_cast<int>(flags.GetInt("shards"));
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
   if (flags.GetBool("update-golden")) {
+    if (shards != 1) {
+      std::fprintf(stderr, "refusing to re-pin the corpus from a sharded run; goldens are "
+                           "pinned sequentially (drop --shards)\n");
+      return 2;
+    }
     return UpdateGolden(dir);
   }
-  int rc = CheckGolden(dir);
+  int rc = CheckGolden(dir, shards);
   if (!flags.GetBool("skip-oracles")) {
     const int oracle_rc = RunOracles(static_cast<uint64_t>(flags.GetInt("seed")));
     rc = rc != 0 ? rc : oracle_rc;
