@@ -15,6 +15,7 @@
 // counters) and emits JSON for the BENCH_*.json trajectory:
 //   --json=PATH or LCMP_BENCH_JSON=PATH writes the JSON file (next to the
 //   other bench outputs); otherwise the JSON goes to stdout.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,22 +23,25 @@
 #include <functional>
 #include <new>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/shard_context.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 
 // --- allocation counter -----------------------------------------------------
 // Counts every global operator new; the benchmark reads deltas around each
-// timed section. Single-threaded, so a plain counter suffices.
-static uint64_t g_allocs = 0;
+// timed section. Atomic so the --shards mode's worker threads count too;
+// relaxed ordering keeps the hot path at one uncontended RMW.
+static std::atomic<uint64_t> g_allocs{0};
 
 void* operator new(std::size_t n) {
-  ++g_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) {
     return p;
   }
@@ -205,12 +209,21 @@ static_assert(InlineEvent::kFitsInline<Hop<EventQueue, Packet, true>>,
               "instrumentation must not grow the hop closure");
 
 // Steady-state hop loop: `population` packets in flight, `total_events`
-// deliveries, each delivery re-scheduling the packet's next hop.
+// deliveries, each delivery re-scheduling the packet's next hop. `shard >= 0`
+// installs a shard obs context for the loop, the way Simulator::RunWindow
+// does on a PDES worker, so instrumented calls exercise the per-lane
+// counter/ring paths instead of lane 0.
 template <typename PacketT, bool kInstrumented = false, typename Queue>
-RunResult RunHopLoop(Queue& q, int population, uint64_t total_events) {
+RunResult RunHopLoop(Queue& q, int population, uint64_t total_events, int shard = -1) {
   HopContext<Queue> ctx;
   ctx.q = &q;
   ctx.total = total_events;
+  obs::ShardContext obs_ctx;
+  obs_ctx.lane = shard >= 0 ? obs::LaneForShard(shard) : 0;
+  obs_ctx.shard = shard;
+  obs_ctx.sim_now = &ctx.now;
+  obs_ctx.event_key = &ctx.processed;  // monotonic per thread; fine for a bench
+  obs::ScopedShardContext scoped(shard >= 0 ? obs_ctx : obs::CurrentShardContext());
   if constexpr (kInstrumented) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
     ctx.c_events = reg.GetCounter("bench.hop.events");
@@ -226,14 +239,14 @@ RunResult RunHopLoop(Queue& q, int population, uint64_t total_events) {
     q.Push(ctx.NextDelay(), Hop<Queue, PacketT, kInstrumented>{&ctx, pkt});
   }
 
-  const uint64_t allocs_before = g_allocs;
+  const uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
   const auto t0 = std::chrono::steady_clock::now();
   while (!q.empty() && ctx.processed < total_events) {
     auto fn = q.Pop(&ctx.now);
     fn();
   }
   const auto t1 = std::chrono::steady_clock::now();
-  const uint64_t allocs_after = g_allocs;
+  const uint64_t allocs_after = g_allocs.load(std::memory_order_relaxed);
 
   // Drain leftovers outside the timed section.
   while (!q.empty()) {
@@ -249,6 +262,43 @@ RunResult RunHopLoop(Queue& q, int population, uint64_t total_events) {
   return r;
 }
 
+// Sharded pass: N worker threads, each with its own queue and shard obs
+// context, the same thread topology as the PDES engine's windows. Throughput
+// is aggregate events over the outer wall time (thread create/join included,
+// as it is in a real windowed run); the checksum sums the per-thread loops so
+// plain and instrumented passes can still be compared for identical work.
+template <bool kInstrumented>
+RunResult RunShardedPass(int shards, int population, uint64_t total_events) {
+  std::vector<RunResult> per(static_cast<size_t>(shards));
+  const uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    threads.emplace_back([&per, s, shards, population, total_events] {
+      EventQueue q;
+      per[static_cast<size_t>(s)] = RunHopLoop<Packet, kInstrumented>(
+          q, population / shards, total_events / shards, s);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const uint64_t allocs_after = g_allocs.load(std::memory_order_relaxed);
+
+  RunResult r;
+  const uint64_t processed = (total_events / shards) * static_cast<uint64_t>(shards);
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  r.events_per_sec = secs > 0 ? static_cast<double>(processed) / secs : 0;
+  r.allocs_per_event =
+      processed > 0 ? static_cast<double>(allocs_after - allocs_before) / processed : 0;
+  for (const RunResult& p : per) {
+    r.checksum += p.checksum;
+  }
+  return r;
+}
+
 }  // namespace
 }  // namespace lcmp
 
@@ -257,6 +307,7 @@ int main(int argc, char** argv) {
 
   std::string json_path;
   std::string obs_mode = "off";
+  int shards = 1;
   if (const char* env = std::getenv("LCMP_BENCH_JSON")) {
     json_path = env;
   }
@@ -267,6 +318,12 @@ int main(int argc, char** argv) {
       obs_mode = argv[i] + 6;
       if (obs_mode != "off" && obs_mode != "on") {
         std::fprintf(stderr, "unknown --obs mode '%s' (off|on)\n", obs_mode.c_str());
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
+      if (shards < 1 || shards > 16) {
+        std::fprintf(stderr, "--shards must be in [1, 16], got '%s'\n", argv[i] + 9);
         return 2;
       }
     }
@@ -323,6 +380,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Sharded variant (--shards=N): the same plain-vs-instrumented comparison
+  // run on N worker threads under per-shard obs contexts, so the overhead
+  // gate also covers the per-lane counter/ring paths under real concurrency.
+  RunResult sharded_plain;
+  RunResult sharded_obs;
+  double sharded_overhead_pct = 0;
+  if (shards > 1) {
+    RunShardedPass<false>(shards, kPopulation, kEvents / 8);  // warm-up
+    RunShardedPass<true>(shards, kPopulation, kEvents / 8);
+    for (int rep = 0; rep < 3; ++rep) {
+      const RunResult a = RunShardedPass<false>(shards, kPopulation, kEvents);
+      const RunResult b = RunShardedPass<true>(shards, kPopulation, kEvents);
+      if (a.events_per_sec > sharded_plain.events_per_sec) {
+        sharded_plain = a;
+      }
+      if (b.events_per_sec > sharded_obs.events_per_sec) {
+        sharded_obs = b;
+      }
+    }
+    if (sharded_plain.checksum != sharded_obs.checksum) {
+      std::fprintf(stderr, "sharded checksum mismatch: passes executed different work\n");
+      return 1;
+    }
+    sharded_overhead_pct =
+        sharded_plain.events_per_sec > 0
+            ? (sharded_plain.events_per_sec - sharded_obs.events_per_sec) /
+                  sharded_plain.events_per_sec * 100.0
+            : 0;
+  }
+
   const double speedup =
       fn_r.events_per_sec > 0 ? inline_r.events_per_sec / fn_r.events_per_sec : 0;
 
@@ -339,27 +426,44 @@ int main(int argc, char** argv) {
   std::printf("  instrumented (obs=%s): %12.0f events/s  %.3f allocs/event  "
               "(%.2f%% vs plain inline)\n",
               obs_mode.c_str(), obs_r.events_per_sec, obs_r.allocs_per_event, obs_overhead_pct);
+  if (shards > 1) {
+    std::printf("  sharded x%d plain   : %12.0f events/s\n", shards,
+                sharded_plain.events_per_sec);
+    std::printf("  sharded x%d obs=%s  : %12.0f events/s  (%.2f%% vs sharded plain)\n", shards,
+                obs_mode.c_str(), sharded_obs.events_per_sec, sharded_overhead_pct);
+  }
 
-  char json[1280];
+  char sharded_json[320] = "";
+  if (shards > 1) {
+    std::snprintf(sharded_json, sizeof(sharded_json),
+                  "  \"sharded\": {\"plain_events_per_sec\": %.0f, "
+                  "\"obs_events_per_sec\": %.0f, \"obs_overhead_pct\": %.3f},\n",
+                  sharded_plain.events_per_sec, sharded_obs.events_per_sec,
+                  sharded_overhead_pct);
+  }
+
+  char json[1792];
   std::snprintf(
       json, sizeof(json),
       "{\n"
       "  \"bench\": \"events_hotpath\",\n"
       "  \"events\": %llu,\n"
       "  \"population\": %d,\n"
+      "  \"shards\": %d,\n"
       "  \"fn_queue\": {\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f},\n"
       "  \"inline_queue\": {\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f,\n"
       "                   \"inline_events\": %llu, \"heap_events\": %llu},\n"
       "  \"speedup\": %.3f,\n"
       "  \"obs_mode\": \"%s\",\n"
       "  \"obs_queue\": {\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f},\n"
+      "%s"
       "  \"obs_overhead_pct\": %.3f\n"
       "}\n",
-      static_cast<unsigned long long>(kEvents), kPopulation, fn_r.events_per_sec,
+      static_cast<unsigned long long>(kEvents), kPopulation, shards, fn_r.events_per_sec,
       fn_r.allocs_per_event, inline_r.events_per_sec, inline_r.allocs_per_event,
       static_cast<unsigned long long>(counters.inline_events),
       static_cast<unsigned long long>(counters.heap_events), speedup, obs_mode.c_str(),
-      obs_r.events_per_sec, obs_r.allocs_per_event, obs_overhead_pct);
+      obs_r.events_per_sec, obs_r.allocs_per_event, sharded_json, obs_overhead_pct);
 
   if (!json_path.empty()) {
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {

@@ -25,6 +25,7 @@
 #include "core/lcmp_router.h"
 #include "harness/experiment.h"
 #include "harness/runner.h"
+#include "obs/shard_profile.h"
 #include "stats/fct_recorder.h"
 #include "workload/traffic_gen.h"
 
@@ -50,7 +51,24 @@ struct ShardRow {
   double mev = 0;
   double speedup = 0;
   bool match = false;
+  // Barrier/stall profile of the run (shards > 1 only; ROADMAP item 1's
+  // work-stealing question is decided off these numbers).
+  obs::BarrierProfiler::Summary barrier;
 };
+
+// Aggregate stall fraction: of total worker wall time (busy + parked), the
+// share spent parked waiting for the window's slowest shard.
+double StallPct(const obs::BarrierProfiler::Summary& s) {
+  uint64_t busy = 0;
+  uint64_t stall = 0;
+  for (const auto& sh : s.per_shard) {
+    busy += sh.busy_ns;
+    stall += sh.stall_ns;
+  }
+  return busy + stall > 0 ? 100.0 * static_cast<double>(stall) /
+                                static_cast<double>(busy + stall)
+                          : 0.0;
+}
 
 ShardRow RunSharded(TopologyKind topo, const char* topo_name, int dcs, int shards) {
   ExperimentConfig config;
@@ -61,6 +79,7 @@ ShardRow RunSharded(TopologyKind topo, const char* topo_name, int dcs, int shard
   config.load = 0.7;
   config.seed = 7;
   config.shards = shards;
+  config.profile_barriers = true;
   const auto t0 = std::chrono::steady_clock::now();
   const ExperimentResult result = RunExperiment(config);
   const auto t1 = std::chrono::steady_clock::now();
@@ -72,6 +91,9 @@ ShardRow RunSharded(TopologyKind topo, const char* topo_name, int dcs, int shard
   row.digest = ExperimentDigest(result);
   row.wall_ms = std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() / 1000.0;
   row.mev = row.wall_ms > 0 ? static_cast<double>(row.events) / (row.wall_ms * 1000.0) : 0.0;
+  if (shards > 1) {
+    row.barrier = obs::BarrierProfiler::Instance().Summarize();
+  }
   return row;
 }
 
@@ -159,7 +181,7 @@ int main(int argc, char** argv) {
   const int hw = DefaultJobs();
   std::vector<ShardRow> shard_rows;
   TablePrinter stable({"topo", "DCs", "shards", "sim events", "wall ms", "Mevents/s",
-                       "speedup", "digest match"});
+                       "speedup", "stall %", "windows", "digest match"});
   for (const auto& [topo, name, dcs] :
        {std::tuple{TopologyKind::kTestbed8, "testbed8", 8},
         std::tuple{TopologyKind::kBso13, "bso13", 13}}) {
@@ -175,7 +197,8 @@ int main(int argc, char** argv) {
       row.match = row.digest == base_digest;
       stable.AddRow({row.topo, std::to_string(row.dcs), std::to_string(row.shards),
                      std::to_string(row.events), Fmt(row.wall_ms, 1), Fmt(row.mev, 2),
-                     Fmt(row.speedup, 2), row.match ? "yes" : "NO"});
+                     Fmt(row.speedup, 2), shards > 1 ? Fmt(StallPct(row.barrier), 1) : "-",
+                     std::to_string(row.barrier.windows), row.match ? "yes" : "NO"});
       shard_rows.push_back(row);
     }
   }
@@ -201,15 +224,44 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < shard_rows.size(); ++i) {
     const ShardRow& r = shard_rows[i];
     all_match = all_match && r.match;
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "    {\"topo\": \"%s\", \"dcs\": %d, \"shards\": %d, \"events\": %llu, "
                   "\"wall_ms\": %.1f, \"events_per_sec\": %.0f, \"speedup\": %.3f, "
-                  "\"digest_match\": %s}%s\n",
+                  "\"digest_match\": %s",
                   r.topo, r.dcs, r.shards, static_cast<unsigned long long>(r.events), r.wall_ms,
-                  r.mev * 1e6, r.speedup, r.match ? "true" : "false",
-                  i + 1 < shard_rows.size() ? "," : "");
+                  r.mev * 1e6, r.speedup, r.match ? "true" : "false");
     json += buf;
+    if (r.shards > 1) {
+      // The barrier/stall profile ROADMAP item 1 asks for: per-shard busy vs
+      // parked time, the window imbalance histogram (10% buckets of
+      // (max-min)/max busy), and cross-shard channel pressure.
+      const obs::BarrierProfiler::Summary& b = r.barrier;
+      std::snprintf(buf, sizeof(buf),
+                    ",\n     \"barrier\": {\"windows\": %llu, \"stall_pct\": %.1f, "
+                    "\"drained_items\": %llu, \"channel_high_water\": %llu, "
+                    "\"coord_drain_ms\": %.2f, \"coord_advance_ms\": %.2f, "
+                    "\"coord_control_ms\": %.2f,\n      \"imbalance_hist\": [",
+                    static_cast<unsigned long long>(b.windows), StallPct(b),
+                    static_cast<unsigned long long>(b.drained_items),
+                    static_cast<unsigned long long>(b.channel_high_water),
+                    b.coord_drain_ns / 1e6, b.coord_advance_ns / 1e6, b.coord_control_ns / 1e6);
+      json += buf;
+      for (size_t k = 0; k < b.imbalance_hist.size(); ++k) {
+        json += (k > 0 ? ", " : "") + std::to_string(b.imbalance_hist[k]);
+      }
+      json += "],\n      \"per_shard\": [";
+      for (size_t k = 0; k < b.per_shard.size(); ++k) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"busy_ms\": %.2f, \"stall_ms\": %.2f, \"events\": %llu}",
+                      k > 0 ? ", " : "", b.per_shard[k].busy_ns / 1e6,
+                      b.per_shard[k].stall_ns / 1e6,
+                      static_cast<unsigned long long>(b.per_shard[k].events));
+        json += buf;
+      }
+      json += "]}";
+    }
+    json += std::string("}") + (i + 1 < shard_rows.size() ? "," : "") + "\n";
   }
   json += "  ]\n}\n";
 

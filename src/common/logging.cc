@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <cstdarg>
+#include <mutex>
 
 namespace lcmp {
 namespace {
@@ -9,7 +10,12 @@ LogLevel g_level = LogLevel::kWarning;
 // Installed per-Simulator::Run; thread_local so each parallel sweep worker's
 // log lines carry its own simulator's clock.
 thread_local const int64_t* g_sim_now = nullptr;
+thread_local int g_log_shard = -1;
 CheckFailureHook g_check_hook = nullptr;
+// Serializes kError emission: shard workers CHECK-fail concurrently, and an
+// interleaved half-line crash log is worse than none. Lower levels keep the
+// single-fprintf fast path (one stdio call is atomic enough in practice).
+std::mutex g_error_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -38,6 +44,12 @@ const int64_t* SetLogSimTimeSource(const int64_t* now_ns) {
   return prev;
 }
 
+int SetLogShard(int shard) {
+  const int prev = g_log_shard;
+  g_log_shard = shard;
+  return prev;
+}
+
 void SetCheckFailureHook(CheckFailureHook hook) { g_check_hook = hook; }
 
 void NotifyCheckFailure() {
@@ -59,14 +71,28 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
       base = p + 1;
     }
   }
+  // Prefix: `[LEVEL file:line s=<shard> t=<ns>ns]`, with the s= field only
+  // under --shards>1 and the t= field only while a simulator runs.
+  char prefix[96];
+  char shard_part[24] = "";
+  if (g_log_shard >= 0) {
+    std::snprintf(shard_part, sizeof(shard_part), " s=%d", g_log_shard);
+  }
   if (g_sim_now != nullptr) {
-    std::fprintf(stderr, "[%s %s:%d t=%lldns] %s\n", LevelName(level), base, line,
-                 static_cast<long long>(*g_sim_now), msg.c_str());
+    std::snprintf(prefix, sizeof(prefix), "[%s %s:%d%s t=%lldns]", LevelName(level), base, line,
+                  shard_part, static_cast<long long>(*g_sim_now));
   } else {
-    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+    std::snprintf(prefix, sizeof(prefix), "[%s %s:%d%s]", LevelName(level), base, line,
+                  shard_part);
   }
   if (level == LogLevel::kError) {
+    // One writer at a time so concurrent shard workers' crash lines never
+    // interleave, and the line is flushed before the lock drops.
+    std::lock_guard<std::mutex> lock(g_error_mu);
+    std::fprintf(stderr, "%s %s\n", prefix, msg.c_str());
     std::fflush(stderr);
+  } else {
+    std::fprintf(stderr, "%s %s\n", prefix, msg.c_str());
   }
 }
 

@@ -27,6 +27,15 @@ void SetLogLevel(LogLevel level);
 // Pass nullptr to clear. Returns the previous source so scopes can nest.
 const int64_t* SetLogSimTimeSource(const int64_t* now_ns);
 
+// Shard id for log prefixes under `--shards>1`. Each shard worker installs
+// its shard id for the duration of its window (RunWindow does this alongside
+// the time source), so a line reads `[... s=2 t=1234ns]` and the timestamp
+// is unambiguously that shard's local clock — before this, a sharded run's
+// lines stamped whichever shard's clock the thread happened to see, with no
+// way to tell shards apart. Thread-local; -1 means "no shard" and drops the
+// `s=` field. Returns the previous id so scopes can nest.
+int SetLogShard(int shard);
+
 // Hook invoked once when an LCMP_CHECK fails, before the process traps; the
 // observability layer installs the flight-recorder dump here so crashes ship
 // their trailing event history. Re-entrant failures skip the hook.

@@ -3,6 +3,7 @@
 #include "core/path_quality.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/timeseries.h"
 
 namespace lcmp {
 
@@ -119,6 +120,51 @@ std::vector<SwitchTelemetry> ControlPlane::CollectTelemetry(Network& net) const 
     g_cache_hits->Set(cache_hits);
     g_fallbacks->Set(fallbacks);
     reg.Snapshot(net.control_sim().now());
+  }
+  // Time-series telemetry rides the same sweep (DESIGN.md §7): per-DCI-link
+  // utilization and queue depth, the transport's last CC rate, and fleet
+  // aggregates, each into a bounded TimeSeriesHub ring. These become the
+  // Perfetto counter tracks of --trace-out=*.json and the --timeseries-out
+  // CSV. Reads-only, like the metrics block above.
+  if (obs::TimeSeriesHub::Instance().enabled()) {
+    obs::TimeSeriesHub& hub = obs::TimeSeriesHub::Instance();
+    const TimeNs now = net.control_sim().now();
+    for (const DirectedLinkRef& ref : net.InterDcDirectedLinks()) {
+      const std::string label = net.DirectedLinkName(ref);
+      obs::TimeSeriesHub::Series* tx = hub.GetSeries("lcmp.link." + label + ".tx_bytes");
+      const double bytes = static_cast<double>(ref.port->tx_bytes());
+      TimeNs prev_t = 0;
+      double prev_bytes = 0;
+      if (tx->Last(&prev_t, &prev_bytes) && now > prev_t && ref.port->rate_bps() > 0) {
+        // Utilization over the elapsed period: delta bits / (dt * rate).
+        const double util = 100.0 * (bytes - prev_bytes) * 8.0 * 1e9 /
+                            (static_cast<double>(now - prev_t) *
+                             static_cast<double>(ref.port->rate_bps()));
+        hub.GetSeries("lcmp.link." + label + ".util_pct")->Sample(now, util);
+      }
+      tx->Sample(now, bytes);
+      hub.GetSeries("lcmp.queue." + label + ".bytes")
+          ->Sample(now, static_cast<double>(ref.port->queue_bytes()));
+    }
+    static obs::Gauge* g_cc_rate =
+        obs::MetricsRegistry::Instance().GetGauge("transport.cc.last_rate_bps");
+    hub.GetSeries("lcmp.cc.rate_bps")
+        ->Sample(now, static_cast<double>(g_cc_rate->MergedValue()));
+    int64_t entries = 0;
+    int64_t levels = 0;
+    int64_t ports = 0;
+    for (const SwitchTelemetry& t : out) {
+      entries += t.flow_cache_entries;
+      for (const int level : t.port_queue_levels) {
+        levels += level;
+        ++ports;
+      }
+    }
+    hub.GetSeries("lcmp.flow_cache.entries")->Sample(now, static_cast<double>(entries));
+    if (ports > 0) {
+      hub.GetSeries("lcmp.cp.queue_level_mean")
+          ->Sample(now, static_cast<double>(levels) / static_cast<double>(ports));
+    }
   }
   return out;
 }

@@ -134,6 +134,10 @@ PortIndex LcmpRouter::SelectPort(SwitchNode& sw, const Packet& pkt,
     // treat this packet as the flow's first (Sec. 3.4).
     flow_cache_.Invalidate(fid);
     ++stats_.failover_rehashes;
+    // aux = the invalidated (dead) port; the rehash's new pick follows as
+    // this packet's kRouteDecision. Perfetto renders these as the failover
+    // instants that make the paper's ~10 ms recovery visible on a timeline.
+    LCMP_TRACE(obs::TraceEv::kFailover, now, fid, sw.id(), cached, /*aux=*/cached);
     static obs::Counter* m_rehash =
         obs::MetricsRegistry::Instance().GetCounter("lcmp.router.failover_rehashes");
     m_rehash->Inc();

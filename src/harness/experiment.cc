@@ -9,6 +9,10 @@
 #include "core/lcmp_router.h"
 #include "fault/fault_injector.h"
 #include "fault/invariant_monitor.h"
+#include "obs/metrics.h"
+#include "obs/shard_profile.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "routing/ecmp.h"
 #include "routing/redte.h"
 #include "routing/ucmp.h"
@@ -372,7 +376,18 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     control_plane.StartTelemetryLoop(net, config.telemetry_period);
   }
   if (engine != nullptr) {
+    // Barrier/stall profiling is wall-clock-only, so arm it whenever any obs
+    // subsystem is on (the trace export and bench JSON consume it) or the
+    // caller asked explicitly. Begin() can fail only if another run holds the
+    // profiler (e.g. a parallel sweep); then this run just goes unprofiled.
+    const bool profile_barriers =
+        (config.profile_barriers || obs::MetricsEnabled() || obs::TraceEnabled() ||
+         obs::ProfileEnabled() || obs::TimeSeriesHub::Instance().enabled()) &&
+        obs::BarrierProfiler::Instance().Begin(net.num_shards());
     engine->Run();
+    if (profile_barriers) {
+      obs::BarrierProfiler::Instance().End();
+    }
     for (const auto& c : engine->SortedCompletions()) {
       recorder.OnComplete(c.rec);
     }

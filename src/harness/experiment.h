@@ -117,6 +117,12 @@ struct ExperimentConfig {
   // config field — any shard count produces bit-identical results, so it is
   // an execution knob like --jobs, not part of the experiment's identity.
   int shards = 1;
+  // Arm the PDES barrier/stall profiler (obs/shard_profile.h) on sharded runs
+  // even when no other obs subsystem is on — the scalability bench uses this
+  // to report per-shard stall/imbalance. Measures wall time only; never
+  // touches sim state, so results stay bit-identical. Like `shards`, an
+  // execution knob outside the experiment's identity.
+  bool profile_barriers = false;
 };
 
 struct ExperimentResult {

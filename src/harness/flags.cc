@@ -6,7 +6,9 @@
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace lcmp {
 
@@ -88,17 +90,29 @@ void DefineObsFlags(FlagSet& flags) {
       .Define("trace", "false", "enable the packet flight recorder (no filters = all events)")
       .Define("trace-flow", "-1", "flight recorder: record this flow id (enables tracing)")
       .Define("trace-node", "-1", "flight recorder: record this node id (enables tracing)")
-      .Define("trace-out", "trace.csv", "flight recorder dump path (written when tracing)")
+      .Define("trace-out", "trace.csv",
+              "flight recorder dump path (written when tracing); a .json path "
+              "writes a Chrome-trace/Perfetto export instead of CSV")
       .Define("trace-depth", "65536", "flight recorder ring capacity in records")
+      .Define("timeseries-out", "",
+              "write the time-series telemetry rings (link util, queue depth, CC "
+              "rate) as CSV on exit; sampled on the --telemetry-period-ms sweep")
       .Define("profile", "false", "per-event-type wall-time profile, reported on exit")
       .Define("telemetry-period-ms", "0",
               "control-plane telemetry + metric snapshot cadence; 0 disables the loop");
+}
+
+bool ObsOptions::TraceOutIsJson() const {
+  const std::string suffix = ".json";
+  return trace_out.size() >= suffix.size() &&
+         trace_out.compare(trace_out.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 ObsOptions ApplyObsFlags(const FlagSet& flags) {
   ObsOptions opts;
   opts.metrics_out = flags.GetString("metrics-out");
   opts.trace_out = flags.GetString("trace-out");
+  opts.timeseries_out = flags.GetString("timeseries-out");
   opts.trace_flow = flags.GetInt("trace-flow");
   opts.trace_node = static_cast<int32_t>(flags.GetInt("trace-node"));
   opts.trace_depth = flags.GetInt("trace-depth");
@@ -116,6 +130,13 @@ ObsOptions ApplyObsFlags(const FlagSet& flags) {
     }
     rec.SetFilters(opts.trace_flow, opts.trace_node);
     rec.Enable(true);
+  }
+  // Time-series telemetry feeds the --timeseries-out CSV and the counter
+  // tracks of a Chrome-trace export; both need the hub sampling. The CC-rate
+  // series reads a metrics gauge, so metrics come on too.
+  if (!opts.timeseries_out.empty() || (opts.trace && opts.TraceOutIsJson())) {
+    obs::TimeSeriesHub::Instance().SetEnabled(true);
+    obs::SetMetricsEnabled(true);
   }
   // --metrics-out implies a profile: attributing wall time by event type is
   // part of the same "what did this run spend its time on" story.
@@ -135,12 +156,28 @@ void FinalizeObs(const ObsOptions& opts, int64_t now_ns) {
   }
   if (opts.trace && !opts.trace_out.empty()) {
     obs::FlightRecorder& rec = obs::FlightRecorder::Instance();
-    if (rec.DumpToFile(opts.trace_out)) {
+    if (opts.TraceOutIsJson()) {
+      if (obs::WriteChromeTrace(opts.trace_out, now_ns)) {
+        std::printf("wrote Chrome trace (%llu recorded, %zu in ring) to %s\n",
+                    static_cast<unsigned long long>(rec.total_recorded()), rec.size(),
+                    opts.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write Chrome trace to %s\n", opts.trace_out.c_str());
+      }
+    } else if (rec.DumpToFile(opts.trace_out)) {
       std::printf("wrote %llu trace records (%zu in ring) to %s\n",
                   static_cast<unsigned long long>(rec.total_recorded()), rec.size(),
                   opts.trace_out.c_str());
     } else {
       std::fprintf(stderr, "failed to write trace to %s\n", opts.trace_out.c_str());
+    }
+  }
+  if (!opts.timeseries_out.empty()) {
+    if (obs::TimeSeriesHub::Instance().WriteCsv(opts.timeseries_out)) {
+      std::printf("wrote %zu time series to %s\n", obs::TimeSeriesHub::Instance().num_series(),
+                  opts.timeseries_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write time series to %s\n", opts.timeseries_out.c_str());
     }
   }
   if (obs::ProfileEnabled()) {
@@ -215,17 +252,10 @@ bool ValidateShardOptions(const ShardOptions& shard, const SweepOptions& sweep,
   if (shard.shards == 1) {
     return true;
   }
-  if (obs.trace) {
-    if (error != nullptr) {
-      *error =
-          "--trace/--trace-flow/--trace-node with --shards > 1: the flight "
-          "recorder is one process-global ring whose cursor is not "
-          "synchronized across shard workers, so concurrent shards would tear "
-          "its records; re-run with --shards=1 to trace, or drop the trace "
-          "flags (--metrics-out is fine: metric cells are atomic)";
-    }
-    return false;
-  }
+  // Observability (--trace*, --metrics-out, --timeseries-out) composes with
+  // sharding: the recorder and metric cells are per-shard-lane and merge
+  // deterministically by (sim-time, lineage key) at dump time (DESIGN.md §7).
+  (void)obs;
   if (emulation_mode) {
     if (error != nullptr) {
       *error =

@@ -53,13 +53,18 @@ class FlagSet {
 // the parsed options; FinalizeObs writes the requested dumps at end of run.
 struct ObsOptions {
   std::string metrics_out;       // "" = metrics disabled
-  std::string trace_out;         // flight-recorder dump path
+  std::string trace_out;         // flight-recorder dump path (.json = Chrome trace)
+  std::string timeseries_out;    // time-series telemetry CSV path
   int64_t trace_flow = -1;       // -1 = no flow filter
   int32_t trace_node = -1;       // -1 = no node filter
   int64_t trace_depth = 65536;   // ring capacity (records)
   bool trace = false;            // recorder on (implied by filters/trace-out)
   bool profile = false;          // per-event-type profiling on
   int64_t telemetry_period_ms = 0;  // 0 = no periodic metric snapshots
+
+  // True when --trace-out names a .json file: FinalizeObs then writes the
+  // Chrome-trace/Perfetto export (obs/trace_export.h) instead of the CSV dump.
+  bool TraceOutIsJson() const;
 };
 
 void DefineObsFlags(FlagSet& flags);
@@ -110,12 +115,12 @@ ShardOptions GetShardOptions(const FlagSet& flags);
 
 // Rejects flag combinations the sharded core cannot honor. Two classes:
 //
-// Shard-unsafe subsystems (mirrors the --metrics-out x sweep guard above):
-// the flight recorder is one process-global ring with an unsynchronized
-// cursor, so --trace* with --shards>1 would tear records; --emulation keeps
-// host pipeline state that is not partitioned by shard. Metrics are *not*
-// rejected — cell updates are relaxed atomics and snapshots run on the
-// quiesced barrier step, so concurrent shards merge safely.
+// Shard-unsafe subsystems: --emulation keeps host pipeline state that is not
+// partitioned by shard. Observability is *not* rejected — metric cells are
+// per-lane relaxed atomics merged at snapshot time, and the flight recorder
+// keeps a per-shard-lane ring whose records merge deterministically by
+// (sim-time, lineage key) at dump time (DESIGN.md §7), so --trace* and
+// --metrics-out both compose with --shards > 1.
 //
 // Thread budget: a run at --shards=S spawns S workers and a sweep at
 // --jobs=J runs J experiments concurrently, so the process needs J*S (or S)

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <thread>
 
@@ -12,6 +13,12 @@
 namespace lcmp {
 
 int DefaultJobs() {
+  if (const char* env = std::getenv("LCMP_THREAD_BUDGET")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) {
+      return static_cast<int>(v);
+    }
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }

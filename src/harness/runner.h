@@ -28,6 +28,10 @@ struct SweepRunnerOptions {
 };
 
 // std::thread::hardware_concurrency(), with the mandated >= 1 fallback.
+// The LCMP_THREAD_BUDGET environment variable (a positive integer) overrides
+// the detected value: containers and CI runners often misreport concurrency,
+// and sharded smoke runs on small boxes are correct (just slower) when
+// oversubscribed.
 int DefaultJobs();
 
 struct RunOutcome {

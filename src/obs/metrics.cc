@@ -20,6 +20,22 @@ void Histogram::AddAlways(int64_t v) {
   sum.fetch_add(v, std::memory_order_relaxed);
 }
 
+std::string CsvEscapeField(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
 MetricsRegistry& MetricsRegistry::Instance() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
   return *registry;
@@ -92,10 +108,10 @@ void MetricsRegistry::Snapshot(TimeNs now) {
   row.t = now;
   row.values.reserve(counters_.size() + gauges_.size());
   for (const auto* c : counters_) {
-    row.values.push_back(c->cell.value.load(std::memory_order_relaxed));
+    row.values.push_back(c->cell.Total());
   }
   for (const auto* g : gauges_) {
-    row.values.push_back(g->cell.value.load(std::memory_order_relaxed));
+    row.values.push_back(g->cell.MergedValue());
   }
   snapshots_.push_back(std::move(row));
 }
@@ -155,16 +171,16 @@ std::string MetricsRegistry::ToJsonLocked(TimeNs now) const {
   out += "  \"counters\": {";
   for (size_t i = 0; i < counters_.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
-    out += "    \"" + JsonEscape(counters_[i]->name) + "\": " +
-           std::to_string(counters_[i]->cell.value.load(std::memory_order_relaxed));
+    out += "    \"" + JsonEscape(counters_[i]->name) +
+           "\": " + std::to_string(counters_[i]->cell.Total());
   }
   out += "\n  },\n";
 
   out += "  \"gauges\": {";
   for (size_t i = 0; i < gauges_.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
-    out += "    \"" + JsonEscape(gauges_[i]->name) + "\": " +
-           std::to_string(gauges_[i]->cell.value.load(std::memory_order_relaxed));
+    out += "    \"" + JsonEscape(gauges_[i]->name) +
+           "\": " + std::to_string(gauges_[i]->cell.MergedValue());
   }
   out += "\n  },\n";
 
@@ -203,7 +219,7 @@ std::string MetricsRegistry::ToCsv(TimeNs now) const {
 std::string MetricsRegistry::ToCsvLocked(TimeNs now) const {
   std::string out = "time_ns,name,value\n";
   auto append = [&out](TimeNs t, const std::string& name, int64_t v) {
-    out += std::to_string(t) + "," + name + "," + std::to_string(v) + "\n";
+    out += std::to_string(t) + "," + CsvEscapeField(name) + "," + std::to_string(v) + "\n";
   };
   for (const SnapshotRow& row : snapshots_) {
     // Values are ordered counters-then-gauges as of snapshot time; both lists
@@ -217,10 +233,10 @@ std::string MetricsRegistry::ToCsvLocked(TimeNs now) const {
     }
   }
   for (const auto* c : counters_) {
-    append(now, c->name, c->cell.value.load(std::memory_order_relaxed));
+    append(now, c->name, c->cell.Total());
   }
   for (const auto* g : gauges_) {
-    append(now, g->name, g->cell.value.load(std::memory_order_relaxed));
+    append(now, g->name, g->cell.MergedValue());
   }
   for (const auto* h : histograms_) {
     append(now, h->name + ".count",
@@ -246,9 +262,19 @@ void MetricsRegistry::ResetValues() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto* c : counters_) {
     c->cell.value.store(0, std::memory_order_relaxed);
+    for (auto& s : c->cell.shard_values) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
   }
   for (auto* g : gauges_) {
     g->cell.value.store(0, std::memory_order_relaxed);
+    g->cell.ts0.store(-1, std::memory_order_relaxed);
+    g->cell.key0.store(0, std::memory_order_relaxed);
+    for (auto& s : g->cell.shard_slots) {
+      s.value.store(0, std::memory_order_relaxed);
+      s.ts.store(-1, std::memory_order_relaxed);
+      s.key.store(0, std::memory_order_relaxed);
+    }
   }
   for (auto* h : histograms_) {
     for (auto& bucket : h->cell.counts) {

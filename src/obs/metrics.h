@@ -9,17 +9,28 @@
 // the same name returns the same cell (components built per-switch or
 // per-flow all aggregate into one series).
 //
-// Thread model (parallel sweep engine): each Simulator instance runs on one
-// thread, but the sweep runner executes many simulators concurrently in one
-// process, all of which share this registry. Registration (GetCounter /
-// GetGauge / GetHistogram) is mutex-guarded — it happens once per callsite
-// via function-local statics, so the lock is off the steady-state path —
-// and cell updates are relaxed atomics, so concurrently enabled runs merge
-// their increments without tearing. Enabling or disabling the registry never
-// changes simulation state, only whether the cells accumulate — the
-// determinism guard in tests relies on that.
+// Thread model. Two kinds of concurrency share this registry:
+//   - The parallel sweep runner executes many simulators in one process;
+//     all of them update lane 0 with relaxed atomics (unchanged from v1).
+//   - The sharded PDES core (--shards>1) runs one worker thread per DC
+//     shard inside a single simulation. Each worker updates its own *lane*
+//     (obs/shard_context.h): counters keep per-lane cache-line-padded
+//     sub-cells summed at read time, so shard workers never contend on one
+//     atomic; gauges keep per-lane slots stamped with the writing event's
+//     (sim-time, lineage-key) so the merged readout is the value the
+//     *globally last* write would have left — exactly what a sequential run
+//     of the same scenario reports. With <= 16 shards every lane has one
+//     writer thread, so gauge stamps never tear; above 16 lanes fold and a
+//     torn stamp can at worst misreport a gauge sample, never corrupt
+//     simulation state.
+// Registration (GetCounter / GetGauge / GetHistogram) is mutex-guarded — it
+// happens once per callsite via function-local statics, so the lock is off
+// the steady-state path. Enabling or disabling the registry never changes
+// simulation state, only whether the cells accumulate — the determinism
+// guard in tests relies on that.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -28,6 +39,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/shard_context.h"
 
 namespace lcmp {
 namespace obs {
@@ -43,28 +55,97 @@ namespace detail {
 inline bool MetricsOn() {
   return __builtin_expect(g_metrics_enabled.load(std::memory_order_relaxed), 0);
 }
+
+// One shard lane's sub-cell, padded to a cache line so concurrent shard
+// workers bumping the same named counter never false-share.
+struct alignas(64) PaddedValue {
+  std::atomic<int64_t> v{0};
+};
 }  // namespace detail
 
-// Monotonic event count. 8 bytes; handle updates are branch + relaxed add.
+// Monotonic event count. `value` is the lane-0 (unsharded/control) sub-cell
+// — existing callers and tests that read it directly keep working for
+// sequential runs; sharded totals come from Total().
 struct Counter {
   std::atomic<int64_t> value{0};
+  std::array<detail::PaddedValue, kNumShardLanes - 1> shard_values{};
 
   void Add(int64_t v) {
     if (detail::MetricsOn()) {
-      value.fetch_add(v, std::memory_order_relaxed);
+      const int lane = CurrentShardContext().lane;
+      if (__builtin_expect(lane == 0, 1)) {
+        value.fetch_add(v, std::memory_order_relaxed);
+      } else {
+        shard_values[lane - 1].v.fetch_add(v, std::memory_order_relaxed);
+      }
     }
   }
   void Inc() { Add(1); }
+
+  // Sum over every lane. Counter increments commute, so the sum is the same
+  // number a sequential run accumulates into lane 0.
+  int64_t Total() const {
+    int64_t t = value.load(std::memory_order_relaxed);
+    for (const auto& s : shard_values) {
+      t += s.v.load(std::memory_order_relaxed);
+    }
+    return t;
+  }
 };
 
-// Last-written value (occupancy, memory bytes, sim time).
+// Last-written value (occupancy, memory bytes, sim time). Per-lane slots
+// carry the writing event's (sim-time, lineage-key) stamp; MergedValue()
+// returns the slot with the greatest stamp — the write that happens last in
+// the global event order, i.e. the value a sequential run would read.
 struct Gauge {
+  struct alignas(64) Slot {
+    std::atomic<int64_t> value{0};
+    std::atomic<TimeNs> ts{-1};  // -1 = never written
+    std::atomic<uint64_t> key{0};
+  };
+
+  // Lane-0 value, kept as a plain member so existing direct readers
+  // (`g->value`) stay correct for sequential runs.
   std::atomic<int64_t> value{0};
+  std::atomic<TimeNs> ts0{-1};
+  std::atomic<uint64_t> key0{0};
+  std::array<Slot, kNumShardLanes - 1> shard_slots{};
 
   void Set(int64_t v) {
     if (detail::MetricsOn()) {
-      value.store(v, std::memory_order_relaxed);
+      const ShardContext& ctx = CurrentShardContext();
+      if (__builtin_expect(ctx.lane == 0, 1)) {
+        value.store(v, std::memory_order_relaxed);
+        ts0.store(ContextNow(), std::memory_order_relaxed);
+        key0.store(ContextKey(), std::memory_order_relaxed);
+      } else {
+        Slot& s = shard_slots[ctx.lane - 1];
+        s.value.store(v, std::memory_order_relaxed);
+        s.ts.store(ContextNow(), std::memory_order_relaxed);
+        s.key.store(ContextKey(), std::memory_order_relaxed);
+      }
     }
+  }
+
+  int64_t MergedValue() const {
+    int64_t best = value.load(std::memory_order_relaxed);
+    TimeNs best_ts = ts0.load(std::memory_order_relaxed);
+    uint64_t best_key = key0.load(std::memory_order_relaxed);
+    for (const Slot& s : shard_slots) {
+      const TimeNs ts = s.ts.load(std::memory_order_relaxed);
+      if (ts < 0) {
+        continue;
+      }
+      const uint64_t key = s.key.load(std::memory_order_relaxed);
+      // Strict comparison: equal stamps keep the lower lane, so merge order
+      // is a pure function of the (deterministic) lane assignment.
+      if (ts > best_ts || (ts == best_ts && key > best_key)) {
+        best = s.value.load(std::memory_order_relaxed);
+        best_ts = ts;
+        best_key = key;
+      }
+    }
+    return best;
   }
 };
 
@@ -72,7 +153,7 @@ struct Gauge {
 // the final bucket is the overflow (> bounds.back()). Bucket layout is fixed
 // at registration, so Add is a short linear scan over a handful of bounds —
 // no allocation, no rebucketing on the hot path. Bucket counts are relaxed
-// atomics; concurrent simulators may interleave additions but never tear.
+// atomics; additions commute, so shard workers share the buckets directly.
 struct Histogram {
   std::vector<int64_t> bounds;
   std::vector<std::atomic<uint64_t>> counts;  // bounds.size() + 1 entries
@@ -87,6 +168,11 @@ struct Histogram {
   void AddAlways(int64_t v);
 };
 
+// RFC-4180 CSV field escaping: fields containing commas, quotes or newlines
+// are double-quoted with embedded quotes doubled. Shared by the metrics CSV
+// writer and the time-series exporter so labels like `testbed8,sym` survive.
+std::string CsvEscapeField(const std::string& s);
+
 class MetricsRegistry {
  public:
   // Process-global instance, shared by every simulator thread.
@@ -100,22 +186,23 @@ class MetricsRegistry {
   // `bounds` are only consulted when the histogram is first created.
   Histogram* GetHistogram(const std::string& name, std::vector<int64_t> bounds);
 
-  // Appends one time-series row (every counter and gauge) at sim time `now`.
-  // Driven by the control plane's telemetry sweep so sampling cadence rides
-  // the *existing* timer and adds no simulator events of its own.
+  // Appends one time-series row (every counter and gauge, merged across
+  // shard lanes) at sim time `now`. Driven by the control plane's telemetry
+  // sweep so sampling cadence rides the *existing* timer and adds no
+  // simulator events of its own.
   void Snapshot(TimeNs now);
   size_t num_snapshots() const;
 
   // Final-value dumps. ToJson emits one document with counters, gauges and
   // histograms; ToCsv emits `time_ns,name,value` rows for every snapshot
-  // plus a final row set at `now`.
+  // plus a final row set at `now`, with names CSV-escaped.
   std::string ToJson(TimeNs now) const;
   std::string ToCsv(TimeNs now) const;
   // Dispatches on extension: ".csv" writes ToCsv, anything else ToJson.
   bool WriteFile(const std::string& path, TimeNs now) const;
 
-  // Zeroes every cell and drops snapshots; registrations (and therefore all
-  // outstanding handles) stay valid. Test isolation hook.
+  // Zeroes every cell (all lanes) and drops snapshots; registrations (and
+  // therefore all outstanding handles) stay valid. Test isolation hook.
   void ResetValues();
 
   size_t num_counters() const;

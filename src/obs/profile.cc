@@ -83,6 +83,23 @@ std::string ProfileReport() {
   return out;
 }
 
+std::vector<ProfileSiteRow> ProfileSiteRows() {
+  std::vector<ProfileSiteRow> rows;
+  {
+    std::lock_guard<std::mutex> lock(g_sites_mu);
+    for (const ProfileSite* s = g_sites; s != nullptr; s = s->next) {
+      const uint64_t calls = s->calls.load(std::memory_order_relaxed);
+      if (calls > 0) {
+        rows.push_back({s->tag, calls, s->wall_ns.load(std::memory_order_relaxed)});
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const ProfileSiteRow& a, const ProfileSiteRow& b) {
+    return a.wall_ns > b.wall_ns;
+  });
+  return rows;
+}
+
 void ResetProfile() {
   std::lock_guard<std::mutex> lock(g_sites_mu);
   for (ProfileSite* s = g_sites; s != nullptr; s = s->next) {

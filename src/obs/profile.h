@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace lcmp {
 namespace obs {
@@ -69,6 +70,15 @@ class ScopedProfile {
 
 // Formats all sites sorted by wall time (descending) as an aligned table.
 std::string ProfileReport();
+
+// Raw per-site totals for sites with at least one call, sorted by wall time
+// descending (trace-export input).
+struct ProfileSiteRow {
+  const char* tag = nullptr;
+  uint64_t calls = 0;
+  uint64_t wall_ns = 0;
+};
+std::vector<ProfileSiteRow> ProfileSiteRows();
 
 // Zeroes every site's counters (sites themselves persist). Test hook.
 void ResetProfile();

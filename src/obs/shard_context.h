@@ -1,0 +1,88 @@
+// Thread-local shard identity for the observability layer.
+//
+// PR 6 split the event core into per-DC shard simulators driven by worker
+// threads. Observability sites (LCMP_TRACE, Counter::Add, Gauge::Set) run on
+// whichever worker owns the emitting shard, so the obs layer needs to know —
+// without taking a lock and without obs/ depending on sim/ headers — which
+// *lane* the calling thread writes into and what the current simulation time
+// and lineage key are, so records and gauge writes can be merged back into
+// the one global order the sequential core would have produced.
+//
+// The contract mirrors common/logging.h's SetLogSimTimeSource: the simulator
+// installs a context for the duration of Run()/RunWindow() pointing at its
+// own `now_` and `current_key_` members (stable addresses), and restores the
+// previous context on exit. Everything here is thread-local, so concurrent
+// shard workers — and concurrent sweep-runner simulators — never interfere.
+//
+// Lanes: lane 0 is the unsharded/control lane (sequential runs, the global
+// control-plane simulator, and any thread that never installed a context).
+// Shard workers use lanes 1..kNumShardLanes-1, folded as 1 + shard % (N-1).
+// Folding is safe for determinism: merge order relies only on the (time,
+// lineage-key) stamp, which is globally unique per event, never on lane
+// exclusivity. Two shards sharing a lane only costs some mutex contention.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace lcmp {
+namespace obs {
+
+// 1 control/unsharded lane + 16 shard lanes. Sized for the realistic shard
+// counts (the engine runs one worker per DC shard, capped by cores).
+inline constexpr int kNumShardLanes = 17;
+
+// Lane for shard `shard` (>= 0). Shard counts above 16 fold.
+constexpr int LaneForShard(int shard) { return 1 + shard % (kNumShardLanes - 1); }
+
+struct ShardContext {
+  int lane = 0;        // obs lane this thread writes into
+  int shard = -1;      // shard id for record stamping; -1 = unsharded/control
+  const TimeNs* sim_now = nullptr;     // owning simulator's clock, or null
+  const uint64_t* event_key = nullptr; // owning simulator's current lineage key
+};
+
+namespace detail {
+inline thread_local ShardContext g_shard_context;
+}  // namespace detail
+
+inline const ShardContext& CurrentShardContext() { return detail::g_shard_context; }
+
+// Installs `ctx` for this thread and returns the previous context so callers
+// can restore it (re-entrant: nested Run() calls compose).
+inline ShardContext SetShardContext(const ShardContext& ctx) {
+  const ShardContext prev = detail::g_shard_context;
+  detail::g_shard_context = ctx;
+  return prev;
+}
+
+// Current simulation time as seen by the emitting thread (0 when no context
+// is installed, e.g. setup code before the first Run()).
+inline TimeNs ContextNow() {
+  const ShardContext& c = detail::g_shard_context;
+  return c.sim_now != nullptr ? *c.sim_now : 0;
+}
+
+// Lineage key of the event being executed on this thread (0 outside events).
+// (time, key) totally orders events across every shard layout, so stamping
+// both onto obs records lets merge reproduce the sequential order exactly.
+inline uint64_t ContextKey() {
+  const ShardContext& c = detail::g_shard_context;
+  return c.event_key != nullptr ? *c.event_key : 0;
+}
+
+class ScopedShardContext {
+ public:
+  explicit ScopedShardContext(const ShardContext& ctx) : prev_(SetShardContext(ctx)) {}
+  ~ScopedShardContext() { SetShardContext(prev_); }
+
+  ScopedShardContext(const ScopedShardContext&) = delete;
+  ScopedShardContext& operator=(const ScopedShardContext&) = delete;
+
+ private:
+  ShardContext prev_;
+};
+
+}  // namespace obs
+}  // namespace lcmp

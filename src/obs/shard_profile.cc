@@ -1,0 +1,169 @@
+#include "obs/shard_profile.h"
+
+#include <algorithm>
+
+namespace lcmp {
+namespace obs {
+
+BarrierProfiler& BarrierProfiler::Instance() {
+  static BarrierProfiler* profiler = new BarrierProfiler();  // never destroyed
+  return *profiler;
+}
+
+bool BarrierProfiler::Begin(int shards) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  shards_ = std::min(shards, kMaxShards);
+  ring_.assign(ring_capacity_, WindowRecord{});
+  head_ = 0;
+  size_ = 0;
+  total_windows_ = 0;
+  window_open_ = false;
+  open_slot_ = 0;
+  agg_shards_.fill(ShardSummary{});
+  imbalance_hist_.fill(0);
+  agg_drained_ = 0;
+  agg_high_water_ = 0;
+  agg_drain_ns_ = 0;
+  agg_advance_ns_ = 0;
+  agg_control_ns_ = 0;
+  active_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void BarrierProfiler::End() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (window_open_) {
+    CloseWindowLocked(ring_[open_slot_]);
+    window_open_ = false;
+  }
+  active_.store(false, std::memory_order_relaxed);
+}
+
+void BarrierProfiler::ConfigureRing(size_t windows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = windows > 0 ? windows : 1;
+}
+
+void BarrierProfiler::CloseWindowLocked(WindowRecord& w) {
+  agg_drained_ += w.drained_items;
+  agg_high_water_ = std::max(agg_high_water_, w.channel_high_water);
+  agg_drain_ns_ += w.drain_ns;
+  agg_advance_ns_ += w.advance_ns;
+  agg_control_ns_ += w.control_ns;
+  uint64_t max_busy = 0;
+  uint64_t min_busy = UINT64_MAX;
+  bool any = false;
+  for (int i = 0; i < shards_; ++i) {
+    const ShardSlot& s = w.shards[static_cast<size_t>(i)];
+    if (!s.recorded) {
+      continue;
+    }
+    any = true;
+    max_busy = std::max(max_busy, s.busy_ns);
+    min_busy = std::min(min_busy, s.busy_ns);
+  }
+  if (!any) {
+    // Final stop-window: the engine set done_ and no worker ran it.
+    return;
+  }
+  for (int i = 0; i < shards_; ++i) {
+    const ShardSlot& s = w.shards[static_cast<size_t>(i)];
+    if (!s.recorded) {
+      continue;
+    }
+    ShardSummary& agg = agg_shards_[static_cast<size_t>(i)];
+    agg.busy_ns += s.busy_ns;
+    agg.stall_ns += max_busy - s.busy_ns;
+    agg.events += s.events;
+  }
+  if (max_busy > 0) {
+    // (max-min)/max in [0,1]; bucket 10% wide, 100% folds into the last.
+    const uint64_t pct = (max_busy - min_busy) * 100 / max_busy;
+    const size_t bucket = std::min<size_t>(pct / 10, kImbalanceBuckets - 1);
+    ++imbalance_hist_[bucket];
+  }
+}
+
+void BarrierProfiler::OnWindowOpen(TimeNs t_start, TimeNs t_end, uint64_t coord_wall_start_ns,
+                                   uint64_t drain_ns, uint64_t advance_ns, uint64_t control_ns,
+                                   uint64_t drained_items, uint64_t channel_high_water) {
+  if (!active_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Coordinator-only; workers are parked on the barrier, so their slot
+  // writes for the previous window are visible and the ring is quiescent.
+  if (window_open_) {
+    CloseWindowLocked(ring_[open_slot_]);
+  }
+  open_slot_ = head_;
+  WindowRecord& w = ring_[open_slot_];
+  w = WindowRecord{};
+  w.t_start = t_start;
+  w.t_end = t_end;
+  w.coord_wall_start_ns = coord_wall_start_ns;
+  w.drain_ns = drain_ns;
+  w.advance_ns = advance_ns;
+  w.control_ns = control_ns;
+  w.drained_items = drained_items;
+  w.channel_high_water = channel_high_water;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) {
+    ++size_;
+  }
+  ++total_windows_;
+  window_open_ = true;
+}
+
+void BarrierProfiler::OnShardWindow(int shard, uint64_t wall_start_ns, uint64_t busy_ns,
+                                    uint64_t events) {
+  if (!active_.load(std::memory_order_relaxed) || !window_open_ || shard >= shards_) {
+    return;
+  }
+  ShardSlot& s = ring_[open_slot_].shards[static_cast<size_t>(shard)];
+  s.wall_start_ns = wall_start_ns;
+  s.busy_ns = busy_ns;
+  s.events = events;
+  s.recorded = true;
+}
+
+BarrierProfiler::Summary BarrierProfiler::Summarize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Summary s;
+  s.shards = shards_;
+  s.windows = total_windows_;
+  s.per_shard.assign(static_cast<size_t>(shards_), ShardSummary{});
+  for (int i = 0; i < shards_; ++i) {
+    s.per_shard[static_cast<size_t>(i)] = agg_shards_[static_cast<size_t>(i)];
+  }
+  s.imbalance_hist = imbalance_hist_;
+  s.drained_items = agg_drained_;
+  s.channel_high_water = agg_high_water_;
+  s.coord_drain_ns = agg_drain_ns_;
+  s.coord_advance_ns = agg_advance_ns_;
+  s.coord_control_ns = agg_control_ns_;
+  return s;
+}
+
+std::vector<BarrierProfiler::WindowRecord> BarrierProfiler::Windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WindowRecord> out;
+  out.reserve(size_);
+  const size_t cap = ring_.size();
+  if (cap == 0) {
+    return out;
+  }
+  const size_t start = (head_ + cap - size_) % cap;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % cap]);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace lcmp

@@ -1,0 +1,140 @@
+// PDES barrier/stall profiler (DESIGN.md §7).
+//
+// ROADMAP item 1 defers intra-window work stealing until "barrier imbalance
+// shows up" — this is the instrument that can show it. The sharded engine
+// (sim/shard_engine.h) reports, for every barrier window, the wall time each
+// shard worker spent executing its slice and the wall time the coordinator
+// spent in each completion-step phase (channel drain, advance-to-T, control
+// events). From those the profiler derives the numbers that decide the
+// work-stealing question: per-shard busy vs stall time (stall = how long a
+// shard sat parked while the window's slowest shard finished), a window
+// imbalance histogram, and cross-shard channel pressure (items drained,
+// high-water occupancy).
+//
+// Thread model, piggybacked on the engine's barrier: OnWindowOpen runs only
+// in the barrier completion step (one thread, all workers parked) and
+// OnShardWindow runs on worker `shard`'s thread between barriers, writing a
+// slot no other thread touches until the next completion step reads it. The
+// barrier itself provides every needed happens-before edge, so the record
+// path takes no locks. Begin/End hand the singleton to exactly one engine
+// run at a time; a second concurrent engine (parallel sweeps) simply gets
+// `false` from Begin and records nothing.
+//
+// Windows land in a bounded ring (default 8192) for the Perfetto wall-time
+// track; running aggregates cover the whole run regardless of ring wrap.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lcmp {
+namespace obs {
+
+class BarrierProfiler {
+ public:
+  // Per-shard slots recorded per window. Shard counts above this record
+  // aggregates only (the realistic engine tops out at one worker per core).
+  static constexpr int kMaxShards = 16;
+  // Imbalance histogram buckets: (max-min)/max busy fraction, 10% wide.
+  static constexpr int kImbalanceBuckets = 10;
+
+  struct ShardSlot {
+    uint64_t wall_start_ns = 0;  // ProfileClockNs() when RunWindow began
+    uint64_t busy_ns = 0;        // wall time inside RunWindow
+    uint64_t events = 0;         // events executed in the window
+    bool recorded = false;
+  };
+
+  struct WindowRecord {
+    TimeNs t_start = 0;  // window [t_start, t_end) in sim time
+    TimeNs t_end = 0;
+    uint64_t coord_wall_start_ns = 0;
+    uint64_t drain_ns = 0;    // completion step: channel drain
+    uint64_t advance_ns = 0;  // completion step: min-scan + AdvanceTo
+    uint64_t control_ns = 0;  // completion step: control-plane Run(T)
+    uint64_t drained_items = 0;
+    uint64_t channel_high_water = 0;
+    std::array<ShardSlot, kMaxShards> shards{};
+  };
+
+  struct ShardSummary {
+    uint64_t busy_ns = 0;
+    uint64_t stall_ns = 0;  // parked while the window's slowest shard ran
+    uint64_t events = 0;
+  };
+
+  struct Summary {
+    int shards = 0;
+    uint64_t windows = 0;
+    std::vector<ShardSummary> per_shard;
+    std::array<uint64_t, kImbalanceBuckets> imbalance_hist{};
+    uint64_t drained_items = 0;
+    uint64_t channel_high_water = 0;
+    uint64_t coord_drain_ns = 0;
+    uint64_t coord_advance_ns = 0;
+    uint64_t coord_control_ns = 0;
+  };
+
+  static BarrierProfiler& Instance();
+
+  // Arms the profiler for one engine run with `shards` workers, clearing any
+  // previous run's data. Returns false (and records nothing) when another
+  // run already holds it — the holder calls End() when its Run() returns.
+  bool Begin(int shards);
+  void End();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  // Coordinator only (barrier completion step). Closes the previous window's
+  // aggregates — every worker's OnShardWindow for it happened-before this
+  // barrier — then opens [t_start, t_end).
+  void OnWindowOpen(TimeNs t_start, TimeNs t_end, uint64_t coord_wall_start_ns,
+                    uint64_t drain_ns, uint64_t advance_ns, uint64_t control_ns,
+                    uint64_t drained_items, uint64_t channel_high_water);
+
+  // Worker `shard` only, after its RunWindow returns and before it re-arrives
+  // at the barrier.
+  void OnShardWindow(int shard, uint64_t wall_start_ns, uint64_t busy_ns, uint64_t events);
+
+  // Whole-run aggregates (closes the final window). Valid after End().
+  Summary Summarize() const;
+
+  // Oldest-first window records for the trace export (<= ring capacity).
+  std::vector<WindowRecord> Windows() const;
+  uint64_t total_windows() const { return total_windows_; }
+
+  // Ring capacity in windows; takes effect at the next Begin().
+  void ConfigureRing(size_t windows);
+
+ private:
+  BarrierProfiler() = default;
+
+  void CloseWindowLocked(WindowRecord& w);
+
+  std::atomic<bool> active_{false};
+  mutable std::mutex mu_;  // guards Begin/End and reader access to the ring
+  int shards_ = 0;
+  size_t ring_capacity_ = 8192;
+  std::vector<WindowRecord> ring_;
+  size_t head_ = 0;  // next write position
+  size_t size_ = 0;
+  uint64_t total_windows_ = 0;
+  bool window_open_ = false;
+  size_t open_slot_ = 0;
+
+  // Whole-run aggregates, updated when a window closes.
+  std::array<ShardSummary, kMaxShards> agg_shards_{};
+  std::array<uint64_t, kImbalanceBuckets> imbalance_hist_{};
+  uint64_t agg_drained_ = 0;
+  uint64_t agg_high_water_ = 0;
+  uint64_t agg_drain_ns_ = 0;
+  uint64_t agg_advance_ns_ = 0;
+  uint64_t agg_control_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace lcmp

@@ -1,0 +1,113 @@
+#include "obs/timeseries.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace lcmp {
+namespace obs {
+
+void TimeSeriesHub::Series::Sample(TimeNs t, double v) {
+  if (!TimeSeriesHub::Instance().enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = Point{t, v};
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) {
+    ++size_;
+  }
+}
+
+bool TimeSeriesHub::Series::Last(TimeNs* t, double* v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ == 0) {
+    return false;
+  }
+  const size_t last = (head_ + ring_.size() - 1) % ring_.size();
+  *t = ring_[last].t;
+  *v = ring_[last].v;
+  return true;
+}
+
+std::vector<TimeSeriesHub::Point> TimeSeriesHub::Series::Points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Point> out;
+  out.reserve(size_);
+  const size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+TimeSeriesHub& TimeSeriesHub::Instance() {
+  static TimeSeriesHub* hub = new TimeSeriesHub();  // never destroyed
+  return *hub;
+}
+
+void TimeSeriesHub::Configure(size_t capacity_per_series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity_per_series > 0 ? capacity_per_series : 1;
+}
+
+TimeSeriesHub::Series* TimeSeriesHub::GetSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Series* s : series_) {
+    if (s->name() == name) {
+      return s;
+    }
+  }
+  series_.push_back(new Series(name, capacity_));
+  return series_.back();
+}
+
+std::string TimeSeriesHub::ToCsv() const {
+  std::vector<Series*> all = AllSeries();
+  std::string out = "time_ns,series,value\n";
+  char buf[64];
+  for (const Series* s : all) {
+    const std::string name = CsvEscapeField(s->name());
+    for (const Point& p : s->Points()) {
+      std::snprintf(buf, sizeof(buf), "%lld,", static_cast<long long>(p.t));
+      out += buf;
+      out += name;
+      std::snprintf(buf, sizeof(buf), ",%.6g\n", p.v);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+bool TimeSeriesHub::WriteCsv(const std::string& path) const {
+  const std::string body = ToCsv();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::vector<TimeSeriesHub::Series*> TimeSeriesHub::AllSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
+void TimeSeriesHub::ResetValues() {
+  std::vector<Series*> all = AllSeries();
+  for (Series* s : all) {
+    std::lock_guard<std::mutex> lock(s->mu_);
+    s->head_ = 0;
+    s->size_ = 0;
+  }
+}
+
+size_t TimeSeriesHub::num_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+}  // namespace obs
+}  // namespace lcmp

@@ -1,0 +1,96 @@
+// Time-series telemetry hub: named bounded-ring samplers riding the control
+// plane's telemetry sweep (DESIGN.md §7).
+//
+// MetricsRegistry snapshots answer "what are the totals now"; the hub
+// answers "how did it move" — link utilization, queue depth, per-CC rate,
+// path weights — sampled once per telemetry period and kept in per-series
+// rings so a multi-second run costs bounded memory. Series become Perfetto
+// counter tracks in the `--trace-out=*.json` export and rows in the
+// `--timeseries-out` CSV.
+//
+// Sampling runs on the control-plane simulator's thread (sequential runs) or
+// the barrier coordinator (sharded runs) — one thread either way — but
+// handles can be resolved from anywhere, so registration and sample appends
+// are mutex-guarded. Like the metrics registry, the hub never schedules
+// events or touches simulation state: enabling it changes what is recorded,
+// never what the simulation does.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lcmp {
+namespace obs {
+
+class TimeSeriesHub {
+ public:
+  struct Point {
+    TimeNs t = 0;
+    double v = 0;
+  };
+
+  // One named series: a FIFO ring of (sim-time, value) points. Handles are
+  // stable for the process lifetime (same never-freed scheme as metric
+  // cells); Sample() is a no-op while the hub is disabled.
+  class Series {
+   public:
+    void Sample(TimeNs t, double v);
+    // Most recent point, if any — samplers use it to turn monotonic byte
+    // counters into per-period rates.
+    bool Last(TimeNs* t, double* v) const;
+    std::vector<Point> Points() const;
+    const std::string& name() const { return name_; }
+
+   private:
+    friend class TimeSeriesHub;
+    explicit Series(std::string name, size_t capacity) : name_(std::move(name)) {
+      ring_.resize(capacity);
+    }
+
+    const std::string name_;
+    mutable std::mutex mu_;
+    std::vector<Point> ring_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+  };
+
+  static TimeSeriesHub& Instance();
+
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Ring depth for series created after the call (default 4096 points).
+  void Configure(size_t capacity_per_series);
+
+  // Resolve a series by name, creating it on first use.
+  Series* GetSeries(const std::string& name);
+
+  // `time_ns,series,value` rows, series names CSV-escaped, points in time
+  // order within each series, series in registration order.
+  std::string ToCsv() const;
+  bool WriteCsv(const std::string& path) const;
+
+  // All series with their points, registration order (trace export input).
+  std::vector<Series*> AllSeries() const;
+
+  // Drops every series' points; handles stay valid. Test isolation hook.
+  void ResetValues();
+
+  size_t num_series() const;
+
+ private:
+  TimeSeriesHub() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  size_t capacity_ = 4096;
+  std::vector<Series*> series_;  // never freed, like metric cells
+};
+
+}  // namespace obs
+}  // namespace lcmp

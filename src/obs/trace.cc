@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace lcmp {
@@ -44,29 +46,53 @@ const char* TraceEvName(TraceEv ev) {
       return "link_degraded";
     case TraceEv::kLinkRestored:
       return "link_restored";
+    case TraceEv::kFailover:
+      return "failover";
   }
   return "?";
 }
 
-FlightRecorder::FlightRecorder() { ring_.resize(kDefaultCapacity); }
+FlightRecorder::FlightRecorder() : capacity_(kDefaultCapacity) {}
 
 FlightRecorder& FlightRecorder::Instance() {
   static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
   return *recorder;
 }
 
+FlightRecorder::Lane& FlightRecorder::LaneAt(int i) {
+  Lane* lane = lanes_[i].load(std::memory_order_acquire);
+  if (__builtin_expect(lane != nullptr, 1)) {
+    return *lane;
+  }
+  std::lock_guard<std::mutex> lock(create_mu_);
+  lane = lanes_[i].load(std::memory_order_relaxed);
+  if (lane == nullptr) {
+    lane = new Lane();  // never destroyed (singleton-owned)
+    lane->ring.resize(capacity_.load(std::memory_order_relaxed));
+    lanes_[i].store(lane, std::memory_order_release);
+  }
+  return *lane;
+}
+
 void FlightRecorder::Configure(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ring_.assign(capacity > 0 ? capacity : 1, TraceRecord{});
-  head_ = 0;
-  size_ = 0;
-  total_ = 0;
+  std::lock_guard<std::mutex> lock(create_mu_);
+  capacity_.store(capacity > 0 ? capacity : 1, std::memory_order_relaxed);
+  for (auto& slot : lanes_) {
+    Lane* lane = slot.load(std::memory_order_relaxed);
+    if (lane == nullptr) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lane_lock(lane->mu);
+    lane->ring.assign(capacity_.load(std::memory_order_relaxed), TraceRecord{});
+    lane->head = 0;
+    lane->size = 0;
+    lane->total = 0;
+  }
 }
 
 void FlightRecorder::SetFilters(int64_t flow_filter, NodeId node_filter) {
-  std::lock_guard<std::mutex> lock(mu_);
-  flow_filter_ = flow_filter;
-  node_filter_ = node_filter;
+  flow_filter_.store(flow_filter, std::memory_order_relaxed);
+  node_filter_.store(node_filter, std::memory_order_relaxed);
 }
 
 void FlightRecorder::Enable(bool on) {
@@ -78,61 +104,102 @@ void FlightRecorder::Enable(bool on) {
 
 void FlightRecorder::Record(TraceEv ev, TimeNs ts, FlowId flow, NodeId node, PortIndex port,
                             int64_t aux) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (flow_filter_ >= 0 || node_filter_ != kInvalidNode) {
-    const bool flow_ok = flow_filter_ >= 0 && static_cast<int64_t>(flow) == flow_filter_;
-    const bool node_ok = node_filter_ != kInvalidNode && node == node_filter_;
+  const int64_t flow_filter = flow_filter_.load(std::memory_order_relaxed);
+  const NodeId node_filter = node_filter_.load(std::memory_order_relaxed);
+  if (flow_filter >= 0 || node_filter != kInvalidNode) {
+    const bool flow_ok = flow_filter >= 0 && static_cast<int64_t>(flow) == flow_filter;
+    const bool node_ok = node_filter != kInvalidNode && node == node_filter;
     if (!flow_ok && !node_ok) {
       return;
     }
   }
-  TraceRecord& r = ring_[head_];
+  const ShardContext& ctx = CurrentShardContext();
+  Lane& lane = LaneAt(ctx.lane);
+  std::lock_guard<std::mutex> lock(lane.mu);
+  TraceRecord& r = lane.ring[lane.head];
   r.ts = ts;
   r.flow = flow;
   r.aux = aux;
+  r.key = ContextKey();
   r.node = node;
   r.port = static_cast<int16_t>(port);
   r.ev = ev;
-  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
-  if (size_ < ring_.size()) {
-    ++size_;
+  r.shard = static_cast<int8_t>(ctx.shard);
+  lane.head = lane.head + 1 == lane.ring.size() ? 0 : lane.head + 1;
+  if (lane.size < lane.ring.size()) {
+    ++lane.size;
   }
-  ++total_;
+  ++lane.total;
 }
 
 size_t FlightRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return size_;
+  size_t n = 0;
+  for (int i = 0; i < kNumShardLanes; ++i) {
+    const Lane* lane = LanePtr(i);
+    if (lane == nullptr) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(lane->mu);
+    n += lane->size;
+  }
+  return n;
 }
 
-size_t FlightRecorder::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ring_.size();
-}
+size_t FlightRecorder::capacity() const { return capacity_.load(std::memory_order_relaxed); }
 
 uint64_t FlightRecorder::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_;
+  uint64_t n = 0;
+  for (int i = 0; i < kNumShardLanes; ++i) {
+    const Lane* lane = LanePtr(i);
+    if (lane == nullptr) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(lane->mu);
+    n += lane->total;
+  }
+  return n;
 }
 
-TraceRecord FlightRecorder::AtLocked(size_t i) const {
-  const size_t start = (head_ + ring_.size() - size_) % ring_.size();
-  return ring_[(start + i) % ring_.size()];
+std::vector<TraceRecord> FlightRecorder::MergedRecords() const {
+  std::vector<TraceRecord> merged;
+  // Concatenate lanes oldest-first in lane order, then stable-sort by
+  // (ts, key). Each event's records were emitted in sequence on one thread
+  // into one lane, so lane-local order is the per-event emission order and
+  // the stable sort preserves it; across events the (ts, key) stamp is the
+  // global execution order, identical in every shard layout. Records minted
+  // outside any event (key 0) tie-break by lane index — also deterministic,
+  // since lane assignment is a pure function of the shard plan.
+  for (int i = 0; i < kNumShardLanes; ++i) {
+    const Lane* lane = LanePtr(i);
+    if (lane == nullptr) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(lane->mu);
+    const size_t cap = lane->ring.size();
+    const size_t start = (lane->head + cap - lane->size) % cap;
+    for (size_t j = 0; j < lane->size; ++j) {
+      merged.push_back(lane->ring[(start + j) % cap]);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(), [](const TraceRecord& a, const TraceRecord& b) {
+    return a.ts < b.ts || (a.ts == b.ts && a.key < b.key);
+  });
+  return merged;
 }
 
 TraceRecord FlightRecorder::at(size_t i) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return AtLocked(i);
+  const std::vector<TraceRecord> merged = MergedRecords();
+  return i < merged.size() ? merged[i] : TraceRecord{};
 }
 
 void FlightRecorder::Dump(std::FILE* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::fprintf(out, "time_ns,event,flow,node,port,aux\n");
-  for (size_t i = 0; i < size_; ++i) {
-    const TraceRecord r = AtLocked(i);
-    std::fprintf(out, "%lld,%s,%llu,%d,%d,%lld\n", static_cast<long long>(r.ts),
+  const std::vector<TraceRecord> merged = MergedRecords();
+  std::fprintf(out, "time_ns,event,flow,node,port,aux,shard,key\n");
+  for (const TraceRecord& r : merged) {
+    std::fprintf(out, "%lld,%s,%llu,%d,%d,%lld,%d,%llu\n", static_cast<long long>(r.ts),
                  TraceEvName(r.ev), static_cast<unsigned long long>(r.flow), r.node, r.port,
-                 static_cast<long long>(r.aux));
+                 static_cast<long long>(r.aux), r.shard,
+                 static_cast<unsigned long long>(r.key));
   }
 }
 
@@ -147,10 +214,17 @@ bool FlightRecorder::DumpToFile(const std::string& path) const {
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  head_ = 0;
-  size_ = 0;
-  total_ = 0;
+  std::lock_guard<std::mutex> lock(create_mu_);
+  for (auto& slot : lanes_) {
+    Lane* lane = slot.load(std::memory_order_relaxed);
+    if (lane == nullptr) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lane_lock(lane->mu);
+    lane->head = 0;
+    lane->size = 0;
+    lane->total = 0;
+  }
 }
 
 }  // namespace obs

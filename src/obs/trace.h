@@ -1,18 +1,31 @@
-// Packet flight recorder: a fixed-size ring buffer of compact trace records.
+// Packet flight recorder: per-shard-lane ring buffers of compact trace
+// records, merged deterministically at dump time.
 //
 // Every interesting data-plane transition (enqueue/dequeue/drop/ECN-mark/
-// PFC-pause/route-decision/CC-rate-change/link up-down) can be recorded with
-// one LCMP_TRACE call. When tracing is off the call is a single predictable
-// branch on a global flag; builds that must strip even that from the
-// per-packet path can define LCMP_OBS_STRIP_TRACE.
+// PFC-pause/route-decision/CC-rate-change/link up-down/failover) can be
+// recorded with one LCMP_TRACE call. When tracing is off the call is a
+// single predictable branch on a global flag; builds that must strip even
+// that from the per-packet path can define LCMP_OBS_STRIP_TRACE.
 //
-// Records are 32 bytes and live in a preallocated ring, so recording never
-// allocates and old records are overwritten FIFO. Filters restrict recording
-// to one flow id and/or one node id so a 13-DC run can shadow a single flow.
-// The ring is dumped on demand (--trace-out) and automatically to stderr
-// when an LCMP_CHECK fails, so crashes ship their last N thousand events.
+// Sharded runs (`--shards>1`) record from one worker thread per shard. Each
+// worker writes into its own lane ring (see obs/shard_context.h), so there
+// is no cross-shard lock contention on the record path, and every record is
+// stamped with the emitting event's (sim-time, lineage-key) pair. Because
+// (ts, key) totally orders events identically in every shard layout, a
+// stable sort of the concatenated lanes reproduces the exact record order a
+// sequential run would have produced — dumps are bit-comparable across
+// shard counts, which is what lets the `--shards>1` fail-fast be lifted
+// without giving up the determinism guard.
+//
+// Records are 40 bytes and live in preallocated per-lane rings, so recording
+// never allocates after first use and old records are overwritten FIFO per
+// lane. Filters restrict recording to one flow id and/or one node id so a
+// 13-DC run can shadow a single flow. The merged ring is dumped on demand
+// (--trace-out) and automatically to stderr when an LCMP_CHECK fails, so
+// crashes ship their last N thousand events.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -21,6 +34,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/shard_context.h"
 
 namespace lcmp {
 namespace obs {
@@ -43,29 +57,33 @@ enum class TraceEv : uint8_t {
   kLinkUp,
   kLinkDegraded,   // fault injection: rate cut / added delay / loss applied
   kLinkRestored,   // fault injection: degradation removed
+  kFailover,       // router invalidated a cached port onto a dead path
 };
 const char* TraceEvName(TraceEv ev);
 
-// One ring entry. Packed to 32 bytes so the default 64Ki-deep ring costs
-// 2 MiB. `aux` is event-specific: queue bytes for enqueue/dequeue/drop/mark,
-// buffered bytes for PFC, the fallback flag for route decisions, the new
-// rate in bps for CC changes.
+// One ring entry. Packed to 40 bytes so the default 64Ki-deep lane ring
+// costs 2.5 MiB. `aux` is event-specific: queue bytes for enqueue/dequeue/
+// drop/mark, buffered bytes for PFC, the fallback flag for route decisions,
+// the new rate in bps for CC changes, the invalidated port for failovers.
+// `key` is the emitting event's lineage key and `shard` the emitting shard
+// (-1 for unsharded/control) — the merge stamp described above.
 struct TraceRecord {
   TimeNs ts = 0;
   uint64_t flow = 0;
   int64_t aux = 0;
+  uint64_t key = 0;
   NodeId node = kInvalidNode;
   int16_t port = -1;
   TraceEv ev = TraceEv::kEnqueue;
-  uint8_t pad = 0;
+  int8_t shard = -1;
 };
-static_assert(sizeof(TraceRecord) == 32, "trace records must stay compact");
+static_assert(sizeof(TraceRecord) == 40, "trace records must stay compact");
 
 class FlightRecorder {
  public:
   static FlightRecorder& Instance();
 
-  // Sizes the ring (records). Discards existing contents.
+  // Sizes each lane's ring (records). Discards existing contents.
   void Configure(size_t capacity);
   // Restricts recording: a record is kept when no filter is set, or when its
   // flow matches `flow_filter` (>= 0), or its node matches `node_filter`
@@ -73,41 +91,55 @@ class FlightRecorder {
   void SetFilters(int64_t flow_filter, NodeId node_filter);
 
   // Turns recording on/off; enabling installs the LCMP_CHECK failure hook
-  // that dumps the ring to stderr before the process traps.
+  // that dumps the merged ring to stderr before the process traps.
   void Enable(bool on);
 
   void Record(TraceEv ev, TimeNs ts, FlowId flow, NodeId node, PortIndex port, int64_t aux);
 
-  // Oldest-first dump, one CSV row per record.
+  // Oldest-first dump of the merged record stream, one CSV row per record.
   void Dump(std::FILE* out) const;
   bool DumpToFile(const std::string& path) const;
 
+  // Every held record, merged across lanes and stably sorted by (ts, key).
+  // This is the deterministic global order; trace_export consumes it too.
+  std::vector<TraceRecord> MergedRecords() const;
+
   void Clear();
 
-  // Records currently held (<= capacity).
+  // Records currently held across all lanes (<= lanes * capacity).
   size_t size() const;
+  // Per-lane ring capacity.
   size_t capacity() const;
-  // All records accepted, including ones the ring has since overwritten.
+  // All records accepted, including ones the rings have since overwritten.
   uint64_t total_recorded() const;
-  // i-th held record, oldest first (test introspection).
+  // i-th held record in merged order, oldest first (test introspection;
+  // rebuilds the merge per call — not for hot paths).
   TraceRecord at(size_t i) const;
 
  private:
+  // One ring per obs lane. Workers write only their own lane, so the mutex
+  // is effectively uncontended on the record path; it exists for the merge
+  // readers and for sweep-runner simulators sharing lane 0.
+  struct Lane {
+    mutable std::mutex mu;
+    std::vector<TraceRecord> ring;
+    size_t head = 0;  // next write position
+    size_t size = 0;
+    uint64_t total = 0;
+  };
+
   FlightRecorder();
 
-  TraceRecord AtLocked(size_t i) const;
+  // Returns lane `i`, creating it (sized to the configured capacity) on
+  // first use. Lazy so a sequential run pays for one ring, not 17.
+  Lane& LaneAt(int i);
+  const Lane* LanePtr(int i) const { return lanes_[i].load(std::memory_order_acquire); }
 
-  // The flight recorder is a process-wide singleton; under the parallel sweep
-  // runner several simulator threads may trace at once, so ring mutation is
-  // mutex-guarded. Tracing stays opt-in, so the lock is never taken on the
-  // dormant path (LCMP_TRACE checks g_trace_enabled first).
-  mutable std::mutex mu_;
-  std::vector<TraceRecord> ring_;
-  size_t head_ = 0;  // next write position
-  size_t size_ = 0;
-  uint64_t total_ = 0;
-  int64_t flow_filter_ = -1;
-  NodeId node_filter_ = kInvalidNode;
+  std::atomic<size_t> capacity_;
+  std::atomic<int64_t> flow_filter_{-1};
+  std::atomic<NodeId> node_filter_{kInvalidNode};
+  std::array<std::atomic<Lane*>, kNumShardLanes> lanes_{};
+  std::mutex create_mu_;  // guards lane creation and Configure/Clear sweeps
 };
 
 }  // namespace obs

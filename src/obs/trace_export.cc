@@ -1,0 +1,238 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/profile.h"
+#include "obs/shard_profile.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+namespace lcmp {
+namespace obs {
+namespace {
+
+constexpr int kSimPid = 1;     // sim-time domain
+constexpr int kEnginePid = 2;  // wall-time domain
+constexpr int kProfileTid = 99;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// trace_event timestamps are microseconds; keep sub-ns precision as decimals.
+std::string Us(double ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1000.0);
+  return buf;
+}
+
+class EventList {
+ public:
+  void Meta(int pid, int tid, const char* what, const std::string& name) {
+    std::string e = R"({"ph":"M","pid":)" + std::to_string(pid);
+    if (tid >= 0) {
+      e += ",\"tid\":" + std::to_string(tid);
+    }
+    e += std::string(",\"name\":\"") + what + R"(","args":{"name":")" + JsonEscape(name) +
+         "\"}}";
+    events_.push_back(std::move(e));
+  }
+
+  void Instant(int pid, int tid, double ts_ns, const char* name, const char* cat,
+               const std::string& args) {
+    events_.push_back(R"({"ph":"i","s":"t","pid":)" + std::to_string(pid) +
+                      ",\"tid\":" + std::to_string(tid) + ",\"ts\":" + Us(ts_ns) +
+                      ",\"name\":\"" + name + "\",\"cat\":\"" + cat + "\",\"args\":{" + args +
+                      "}}");
+  }
+
+  void Span(int pid, int tid, double ts_ns, double dur_ns, const std::string& name,
+            const char* cat, const std::string& args) {
+    events_.push_back(R"({"ph":"X","pid":)" + std::to_string(pid) +
+                      ",\"tid\":" + std::to_string(tid) + ",\"ts\":" + Us(ts_ns) +
+                      ",\"dur\":" + Us(dur_ns) + ",\"name\":\"" + JsonEscape(name) +
+                      "\",\"cat\":\"" + cat + "\",\"args\":{" + args + "}}");
+  }
+
+  void Counter(int pid, double ts_ns, const std::string& name, double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    events_.push_back(R"({"ph":"C","pid":)" + std::to_string(pid) +
+                      ",\"tid\":0,\"ts\":" + Us(ts_ns) + ",\"name\":\"" + JsonEscape(name) +
+                      "\",\"args\":{\"value\":" + buf + "}}");
+  }
+
+  std::string Render(TimeNs sim_end_ns) const {
+    std::string out = "{\"traceEvents\":[\n";
+    for (size_t i = 0; i < events_.size(); ++i) {
+      out += events_[i];
+      out += i + 1 < events_.size() ? ",\n" : "\n";
+    }
+    out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"sim_end_ns\":" +
+           std::to_string(sim_end_ns) + "}}\n";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> events_;
+};
+
+const char* InstantCat(TraceEv ev) {
+  switch (ev) {
+    case TraceEv::kDrop:
+    case TraceEv::kEcnMark:
+      return "queue";
+    case TraceEv::kPfcPause:
+    case TraceEv::kPfcResume:
+      return "pfc";
+    case TraceEv::kRouteDecision:
+    case TraceEv::kFailover:
+      return "route";
+    case TraceEv::kCcRateChange:
+      return "cc";
+    case TraceEv::kLinkDown:
+    case TraceEv::kLinkUp:
+    case TraceEv::kLinkDegraded:
+    case TraceEv::kLinkRestored:
+      return "fault";
+    default:
+      return "flight";
+  }
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const std::string& path, TimeNs sim_end_ns) {
+  EventList ev;
+  ev.Meta(kSimPid, -1, "process_name", "simulation (sim time)");
+  ev.Meta(kEnginePid, -1, "process_name", "pdes engine (wall time)");
+  ev.Meta(kSimPid, 0, "thread_name", "control");
+
+  // --- pid 1: flight-recorder instants in merged (ts, key) order ---
+  std::vector<int> sim_tids_named;
+  auto name_shard_tid = [&](int shard) {
+    const int tid = shard < 0 ? 0 : 1 + shard;
+    if (tid > 0 &&
+        std::find(sim_tids_named.begin(), sim_tids_named.end(), tid) == sim_tids_named.end()) {
+      sim_tids_named.push_back(tid);
+      ev.Meta(kSimPid, tid, "thread_name", "shard " + std::to_string(shard));
+    }
+    return tid;
+  };
+  for (const TraceRecord& r : FlightRecorder::Instance().MergedRecords()) {
+    if (r.ev == TraceEv::kEnqueue || r.ev == TraceEv::kDequeue) {
+      continue;  // too dense to render; the CSV dump keeps them
+    }
+    const int tid = name_shard_tid(r.shard);
+    std::string args = "\"flow\":" + std::to_string(r.flow) +
+                       ",\"node\":" + std::to_string(r.node) +
+                       ",\"port\":" + std::to_string(r.port) +
+                       ",\"aux\":" + std::to_string(r.aux);
+    ev.Instant(kSimPid, tid, static_cast<double>(r.ts), TraceEvName(r.ev), InstantCat(r.ev),
+               args);
+  }
+
+  // --- pid 1: time-series counter tracks ---
+  for (const TimeSeriesHub::Series* s : TimeSeriesHub::Instance().AllSeries()) {
+    for (const TimeSeriesHub::Point& p : s->Points()) {
+      ev.Counter(kSimPid, static_cast<double>(p.t), s->name(), p.v);
+    }
+  }
+
+  // --- barrier windows: sim-time spans (pid 1) + wall-time engine (pid 2) ---
+  const std::vector<BarrierProfiler::WindowRecord> windows = BarrierProfiler::Instance().Windows();
+  if (!windows.empty()) {
+    uint64_t wall_base = std::numeric_limits<uint64_t>::max();
+    for (const auto& w : windows) {
+      if (w.coord_wall_start_ns > 0) {
+        wall_base = std::min(wall_base, w.coord_wall_start_ns);
+      }
+      for (const auto& s : w.shards) {
+        if (s.recorded && s.wall_start_ns > 0) {
+          wall_base = std::min(wall_base, s.wall_start_ns);
+        }
+      }
+    }
+    if (wall_base == std::numeric_limits<uint64_t>::max()) {
+      wall_base = 0;
+    }
+    ev.Meta(kEnginePid, 0, "thread_name", "coordinator");
+    std::vector<int> engine_tids_named;
+    for (const auto& w : windows) {
+      const double coord_ts = static_cast<double>(w.coord_wall_start_ns - wall_base);
+      ev.Span(kEnginePid, 0, coord_ts, static_cast<double>(w.drain_ns), "drain", "coordinate",
+              "\"items\":" + std::to_string(w.drained_items));
+      ev.Span(kEnginePid, 0, coord_ts + static_cast<double>(w.drain_ns),
+              static_cast<double>(w.advance_ns), "advance", "coordinate", "");
+      ev.Span(kEnginePid, 0, coord_ts + static_cast<double>(w.drain_ns + w.advance_ns),
+              static_cast<double>(w.control_ns), "control", "coordinate", "");
+      ev.Counter(kEnginePid, coord_ts, "pdes.channel.drained",
+                 static_cast<double>(w.drained_items));
+      ev.Counter(kEnginePid, coord_ts, "pdes.channel.high_water",
+                 static_cast<double>(w.channel_high_water));
+      for (size_t i = 0; i < w.shards.size(); ++i) {
+        const BarrierProfiler::ShardSlot& s = w.shards[i];
+        if (!s.recorded) {
+          continue;
+        }
+        const int shard = static_cast<int>(i);
+        const int sim_tid = name_shard_tid(shard);
+        const int engine_tid = 1 + shard;
+        if (std::find(engine_tids_named.begin(), engine_tids_named.end(), engine_tid) ==
+            engine_tids_named.end()) {
+          engine_tids_named.push_back(engine_tid);
+          ev.Meta(kEnginePid, engine_tid, "thread_name", "shard " + std::to_string(shard));
+        }
+        ev.Span(kSimPid, sim_tid, static_cast<double>(w.t_start),
+                static_cast<double>(w.t_end - w.t_start), "window", "barrier",
+                "\"events\":" + std::to_string(s.events) +
+                    ",\"busy_ns\":" + std::to_string(s.busy_ns));
+        ev.Span(kEnginePid, engine_tid, static_cast<double>(s.wall_start_ns - wall_base),
+                static_cast<double>(s.busy_ns), "run", "window",
+                "\"events\":" + std::to_string(s.events));
+      }
+    }
+  }
+
+  // --- pid 2 tid 99: whole-run per-event-type totals, head to tail ---
+  const std::vector<ProfileSiteRow> sites = ProfileSiteRows();
+  if (!sites.empty()) {
+    ev.Meta(kEnginePid, kProfileTid, "thread_name", "profile totals");
+    double cursor = 0;
+    for (const ProfileSiteRow& row : sites) {
+      ev.Span(kEnginePid, kProfileTid, cursor, static_cast<double>(row.wall_ns), row.tag,
+              "profile", "\"calls\":" + std::to_string(row.calls));
+      cursor += static_cast<double>(row.wall_ns);
+    }
+  }
+
+  const std::string body = ev.Render(sim_end_ns);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace lcmp

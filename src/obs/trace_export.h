@@ -1,0 +1,44 @@
+// Chrome-trace / Perfetto (`trace_event` JSON) export of an LCMP run
+// (DESIGN.md §7).
+//
+// `--trace-out=<file>.json` turns one run into a timeline that opens
+// directly in ui.perfetto.dev / chrome://tracing, with two "process" rows:
+//
+//   pid 1 "simulation (sim time)" — timestamps are simulation nanoseconds
+//     (emitted as microseconds, the trace_event unit):
+//       tid 0        control/unsharded instants + every counter track
+//       tid 1+shard  that shard's instants and its barrier-window spans
+//     Instants come from the flight recorder's merged (ts, lineage-key)
+//     stream: drops, ECN marks, PFC pause/resume, route decisions, CC rate
+//     changes, link/fault transitions, failovers. Enqueue/dequeue records
+//     are deliberately skipped — they dominate the ring but say nothing at
+//     timeline zoom. Counter tracks are the TimeSeriesHub series
+//     (lcmp.link.<name>.util_pct, lcmp.queue.*, lcmp.cc.*, ...).
+//
+//   pid 2 "pdes engine (wall time)" — timestamps are host nanoseconds from
+//     the profiler clock, normalized to the first barrier window:
+//       tid 0        coordinator completion-step phases per window
+//                    (drain -> advance -> control, laid back to back)
+//       tid 1+shard  each worker's RunWindow execution span per window
+//       tid 99       whole-run per-event-type profile totals, head to tail
+//     plus channel-pressure counter tracks (items drained per window,
+//     occupancy high-water).
+//
+// The writer only reads obs singletons (FlightRecorder, TimeSeriesHub,
+// BarrierProfiler, profile sites); it is called once, after the run, from
+// FinalizeObs.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace lcmp {
+namespace obs {
+
+// Writes the full trace_event JSON document to `path`. `sim_end_ns` stamps
+// the metadata; returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path, TimeNs sim_end_ns);
+
+}  // namespace obs
+}  // namespace lcmp

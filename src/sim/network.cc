@@ -45,8 +45,12 @@ Network::Network(const Graph& graph, const NetworkConfig& config, PolicyFactory 
     // counter, so the cross-queue pre-run insertion order is exactly the
     // sequential core's (runtime events mint lineage keys instead, which
     // are core-layout-invariant by construction — see Simulator::MintKeyFor).
-    for (auto& s : sims_) {
-      s->UseSharedSeq(&setup_seq_);
+    for (int i = 0; i < plan_.num_shards; ++i) {
+      sims_[static_cast<size_t>(i)]->UseSharedSeq(&setup_seq_);
+      // Shard workers stamp trace records, metric lanes and log lines with
+      // their shard id (obs/shard_context.h); the control queue stays on
+      // lane 0 like a sequential run.
+      sims_[static_cast<size_t>(i)]->SetObsIdentity(obs::LaneForShard(i), i);
     }
     global_sim_->UseSharedSeq(&setup_seq_);
     channels_.resize(static_cast<size_t>(plan_.num_shards) * plan_.num_shards);
@@ -70,16 +74,19 @@ ShardChannel* Network::ChannelFor(int src_shard, int dst_shard) {
   return slot.get();
 }
 
-void Network::DrainCrossShardChannels() {
+Network::ChannelDrainStats Network::DrainCrossShardChannels() {
+  ChannelDrainStats stats;
   const int n = plan_.num_shards;
   for (int src = 0; src < n; ++src) {
     for (int dst = 0; dst < n; ++dst) {
       ShardChannel* ch = channels_[static_cast<size_t>(src) * n + static_cast<size_t>(dst)].get();
       if (ch != nullptr) {
-        ch->DrainInto(sims_[static_cast<size_t>(dst)].get());
+        stats.items += ch->DrainInto(sims_[static_cast<size_t>(dst)].get());
+        stats.high_water = std::max<uint64_t>(stats.high_water, ch->high_water());
       }
     }
   }
+  return stats;
 }
 
 void Network::BuildNodes(const NetworkConfig& config, const PolicyFactory& factory) {

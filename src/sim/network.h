@@ -71,8 +71,14 @@ class Network {
   // dedicated global queue (executed at barriers) on sharded runs.
   Simulator& control_sim() { return global_sim_ != nullptr ? *global_sim_ : *sims_[0]; }
   // Moves pending cross-shard handoffs into their destination queues. Called
-  // only by the barrier coordinator while every worker is parked.
-  void DrainCrossShardChannels();
+  // only by the barrier coordinator while every worker is parked. Returns
+  // this drain's item count and the deepest single-channel pre-drain
+  // occupancy (barrier/stall profiler input).
+  struct ChannelDrainStats {
+    uint64_t items = 0;
+    uint64_t high_water = 0;
+  };
+  ChannelDrainStats DrainCrossShardChannels();
 
   const Graph& graph() const { return graph_; }
   const InterDcRoutes& routes() const { return routes_; }

@@ -47,10 +47,13 @@ class ShardChannel {
   }
 
   // Consumer side (coordinator, workers parked): move every pending item into
-  // the destination shard's event queue.
-  void DrainInto(Simulator* sim) {
+  // the destination shard's event queue. Returns the number of items moved
+  // and records the pre-drain occupancy as the channel's high-water mark
+  // (barrier/stall profiler input).
+  size_t DrainInto(Simulator* sim) {
     const size_t tail = tail_.load(std::memory_order_acquire);
     size_t head = head_.load(std::memory_order_relaxed);
+    size_t drained = tail - head;
     while (head != tail) {
       Item& item = ring_[head & (kCapacity - 1)];
       sim->PushKeyed(item.time, item.key, std::move(item.fn));
@@ -59,11 +62,22 @@ class ShardChannel {
     }
     head_.store(head, std::memory_order_release);
     std::lock_guard<std::mutex> lock(overflow_mu_);
+    drained += overflow_.size();
     for (Item& item : overflow_) {
       sim->PushKeyed(item.time, item.key, std::move(item.fn));
     }
     overflow_.clear();
+    if (drained > high_water_) {
+      high_water_ = drained;
+    }
+    drained_total_ += drained;
+    return drained;
   }
+
+  // Deepest pre-drain occupancy seen at any barrier, and total items moved.
+  // Coordinator-only reads (same thread that drains), so plain members.
+  size_t high_water() const { return high_water_; }
+  uint64_t drained_total() const { return drained_total_; }
 
  private:
   static constexpr size_t kCapacity = 4096;  // power of two
@@ -79,6 +93,8 @@ class ShardChannel {
   std::atomic<size_t> tail_{0};
   std::mutex overflow_mu_;
   std::vector<Item> overflow_;
+  size_t high_water_ = 0;       // written at drain, coordinator thread only
+  uint64_t drained_total_ = 0;
 };
 
 }  // namespace lcmp

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/profile.h"
+#include "obs/shard_profile.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -77,12 +79,20 @@ class ShardEngine {
     workers.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
       workers.emplace_back([this, i, &barrier] {
+        obs::BarrierProfiler& prof = obs::BarrierProfiler::Instance();
         for (;;) {
           barrier.arrive_and_wait();
           if (done_) {
             break;
           }
-          net_->shard_sim(i).RunWindow(window_end_, &logs_[static_cast<size_t>(i)]);
+          if (prof.active()) {
+            const uint64_t wall_start = obs::ProfileClockNs();
+            net_->shard_sim(i).RunWindow(window_end_, &logs_[static_cast<size_t>(i)]);
+            prof.OnShardWindow(i, wall_start, obs::ProfileClockNs() - wall_start,
+                               logs_[static_cast<size_t>(i)].size());
+          } else {
+            net_->shard_sim(i).RunWindow(window_end_, &logs_[static_cast<size_t>(i)]);
+          }
         }
       });
     }
@@ -114,7 +124,14 @@ class ShardEngine {
 
   void Coordinate() noexcept {
     const int n = net_->num_shards();
-    net_->DrainCrossShardChannels();
+    // Completion-step phase timing for the barrier/stall profiler. All four
+    // stamps are taken on this (single) coordinator thread; when the
+    // profiler is dormant no clocks are read at all.
+    obs::BarrierProfiler& prof = obs::BarrierProfiler::Instance();
+    const bool profiling = prof.active();
+    const uint64_t wall0 = profiling ? obs::ProfileClockNs() : 0;
+    const Network::ChannelDrainStats drain_stats = net_->DrainCrossShardChannels();
+    const uint64_t wall_drained = profiling ? obs::ProfileClockNs() : 0;
     if (expected_ > 0) {
       int64_t total = 0;
       for (const std::vector<Completion>& v : completions_) {
@@ -151,10 +168,12 @@ class ShardEngine {
     for (int i = 0; i < n; ++i) {
       net_->shard_sim(i).AdvanceTo(t);
     }
+    const uint64_t wall_advanced = profiling ? obs::ProfileClockNs() : 0;
     // Control-plane events due at T (fault transitions, telemetry samples)
     // execute here, on the coordinator, against quiesced shard state; any
     // port events they spawn land in the owning shard's queue at >= T.
     global.Run(t);
+    const uint64_t wall_control = profiling ? obs::ProfileClockNs() : 0;
     TimeNs window_end = horizon_ + 1;
     const TimeNs lookahead = net_->shard_plan().lookahead_ns;
     if (lookahead < window_end - t) {
@@ -167,6 +186,12 @@ class ShardEngine {
     }
     LCMP_CHECK(window_end > t);
     window_end_ = window_end;
+    if (profiling) {
+      // Closes the previous window (every worker's slot write for it
+      // happened-before this barrier) and opens [t, window_end).
+      prof.OnWindowOpen(t, window_end, wall0, wall_drained - wall0, wall_advanced - wall_drained,
+                        wall_control - wall_advanced, drain_stats.items, drain_stats.high_water);
+    }
     for (int i = 0; i < n; ++i) {
       prev_events_[static_cast<size_t>(i)] = net_->shard_sim(i).events_processed();
       logs_[static_cast<size_t>(i)].clear();

@@ -3,23 +3,32 @@
 #include <utility>
 
 #include "obs/profile.h"
+#include "obs/shard_context.h"
 
 namespace lcmp {
 
 namespace {
-// While Run is on the stack, log lines (and crash dumps) carry `now_`.
+// While Run/RunWindow is on the stack, log lines (and crash dumps) carry
+// `now_` and the owning shard id.
 class ScopedLogSimTime {
  public:
-  explicit ScopedLogSimTime(const TimeNs* now) : prev_(SetLogSimTimeSource(now)) {}
-  ~ScopedLogSimTime() { SetLogSimTimeSource(prev_); }
+  ScopedLogSimTime(const TimeNs* now, int shard)
+      : prev_(SetLogSimTimeSource(now)), prev_shard_(SetLogShard(shard)) {}
+  ~ScopedLogSimTime() {
+    SetLogSimTimeSource(prev_);
+    SetLogShard(prev_shard_);
+  }
 
  private:
   const int64_t* prev_;
+  int prev_shard_;
 };
 }  // namespace
 
 TimeNs Simulator::Run(TimeNs until) {
-  ScopedLogSimTime log_time(&now_);
+  ScopedLogSimTime log_time(&now_, obs_shard_);
+  obs::ScopedShardContext obs_ctx(
+      obs::ShardContext{obs_lane_, obs_shard_, &now_, &current_key_});
   LCMP_PROFILE_SCOPE("sim.run");
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
@@ -41,7 +50,9 @@ TimeNs Simulator::Run(TimeNs until) {
 }
 
 uint64_t Simulator::RunWindow(TimeNs end_exclusive, std::vector<EventKey>* log) {
-  ScopedLogSimTime log_time(&now_);
+  ScopedLogSimTime log_time(&now_, obs_shard_);
+  obs::ScopedShardContext obs_ctx(
+      obs::ShardContext{obs_lane_, obs_shard_, &now_, &current_key_});
   uint64_t executed = 0;
   while (!queue_.empty() && queue_.PeekTime() < end_exclusive) {
     TimeNs t = 0;

@@ -122,6 +122,18 @@ class Simulator {
   // (the owning Network shares one counter across all partition queues).
   void UseSharedSeq(uint64_t* shared) { shared_setup_seq_ = shared; }
 
+  // Observability identity (set once by the owning Network). While Run or
+  // RunWindow is on the stack the simulator installs a thread-local
+  // obs::ShardContext with this lane/shard plus pointers at its clock and
+  // current event key, so LCMP_TRACE records and gauge writes made from its
+  // events are stamped with the emitting shard and (time, key), and log
+  // lines carry `s=<shard>`. Defaults: lane 0, shard -1 (sequential runs and
+  // the control-plane queue need no setup).
+  void SetObsIdentity(int lane, int shard) {
+    obs_lane_ = lane;
+    obs_shard_ = shard;
+  }
+
  private:
   struct RepeatingTimer {
     TimeNs interval = 0;
@@ -140,6 +152,8 @@ class Simulator {
   uint64_t child_idx_ = 0;  // pushes by the currently-executing event
   uint64_t setup_seq_ = 0;
   uint64_t* shared_setup_seq_ = nullptr;
+  int obs_lane_ = 0;    // obs::ShardContext lane installed while running
+  int obs_shard_ = -1;  // shard id for trace stamps and log prefixes
   std::vector<std::unique_ptr<RepeatingTimer>> timers_;
   std::vector<TimerId> free_timer_slots_;
 };

@@ -18,6 +18,10 @@ struct TransportMetrics {
   obs::Counter* nacks;
   obs::Counter* cnps;
   obs::Counter* flows_completed;
+  // Last CC rate set by any flow's rate change, (ts, key)-stamped; the
+  // control plane's telemetry sweep samples it into the lcmp.cc.rate_bps
+  // time series.
+  obs::Gauge* cc_rate;
   static TransportMetrics& Get() {
     static TransportMetrics m = [] {
       obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
@@ -28,6 +32,7 @@ struct TransportMetrics {
       t.nacks = reg.GetCounter("transport.nacks");
       t.cnps = reg.GetCounter("transport.cnps");
       t.flows_completed = reg.GetCounter("transport.flows_completed");
+      t.cc_rate = reg.GetGauge("transport.cc.last_rate_bps");
       return t;
     }();
     return m;
@@ -268,6 +273,7 @@ void RdmaTransport::OnRtoScan(FlowId flow) {
     s.cc->OnTimeout(sim.now());
     LCMP_TRACE(obs::TraceEv::kCcRateChange, sim.now(), flow, s.spec.src, kInvalidPort,
                s.cc->rate_bps() - rate_before);
+    TransportMetrics::Get().cc_rate->Set(s.cc->rate_bps());
     PaceNext(flow);
   }
   s.acked_at_last_rto = s.acked;
@@ -434,6 +440,7 @@ void RdmaTransport::HandleAck(Packet& pkt) {
     LCMP_TRACE(obs::TraceEv::kCcRateChange, sim.now(), pkt.flow_id, s.spec.src, kInvalidPort,
                s.cc->rate_bps() - rate_before);
   }
+  TransportMetrics::Get().cc_rate->Set(s.cc->rate_bps());
   net_->int_pool().ReleaseFrom(pkt);
   if (s.acked >= s.total_packets) {
     FinishSender(s);
@@ -483,6 +490,7 @@ void RdmaTransport::HandleCnp(const Packet& pkt) {
     LCMP_TRACE(obs::TraceEv::kCcRateChange, sim.now(), pkt.flow_id, s.spec.src, kInvalidPort,
                s.cc->rate_bps() - rate_before);
   }
+  TransportMetrics::Get().cc_rate->Set(s.cc->rate_bps());
 }
 
 void RdmaTransport::FinishSender(Sender& s) {

@@ -88,7 +88,7 @@ TEST_F(FlightRecorderTest, DumpWritesCsvRowsOldestFirst) {
     content += buf;
   }
   std::fclose(f);
-  EXPECT_EQ(content.rfind("time_ns,event,flow,node,port,aux\n", 0), 0u);
+  EXPECT_EQ(content.rfind("time_ns,event,flow,node,port,aux,shard,key\n", 0), 0u);
   EXPECT_NE(content.find("100,enqueue,7,2,1,4096"), std::string::npos);
   EXPECT_NE(content.find("200,drop,7,3,0,8192"), std::string::npos);
   EXPECT_LT(content.find("100,enqueue"), content.find("200,drop"));

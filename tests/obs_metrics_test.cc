@@ -143,6 +143,24 @@ TEST_F(ObsMetricsTest, CsvDumpEmitsSnapshotRowsAndFinals) {
   EXPECT_NE(csv.find("999,test.csv.counter,4"), std::string::npos);
 }
 
+TEST_F(ObsMetricsTest, CsvEscapesLabelsWithCommasAndQuotes) {
+  // RFC-4180: fields containing commas, quotes, or newlines are quoted and
+  // embedded quotes doubled; plain fields pass through unchanged.
+  EXPECT_EQ(CsvEscapeField("plain.name"), "plain.name");
+  EXPECT_EQ(CsvEscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscapeField("line\nbreak"), "\"line\nbreak\"");
+
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("test.csv.link{dc1,dc2}");
+  c->Add(7);
+  const std::string csv = reg.ToCsv(42);
+  // The comma-bearing label must appear quoted, so every row still parses to
+  // exactly three CSV fields.
+  EXPECT_NE(csv.find("42,\"test.csv.link{dc1,dc2}\",7"), std::string::npos);
+  EXPECT_EQ(csv.find("42,test.csv.link{dc1,dc2},7"), std::string::npos);
+}
+
 TEST_F(ObsMetricsTest, ProfilerAttributesCallsToTaggedSites) {
   ResetProfile();
   SetProfileEnabled(true);

@@ -15,6 +15,10 @@
 #include "harness/experiment.h"
 #include "harness/flags.h"
 #include "harness/runner.h"
+#include "obs/metrics.h"
+#include "obs/shard_context.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
@@ -32,7 +36,7 @@ struct ShardDigest {
   }
 };
 
-ShardDigest RunGrid(TopologyKind topo, int shards, bool chaos) {
+ShardDigest RunGrid(TopologyKind topo, int shards, bool chaos, TimeNs telemetry_period = 0) {
   ExperimentConfig config;
   config.topo = topo;
   config.policy = PolicyKind::kLcmp;
@@ -40,6 +44,7 @@ ShardDigest RunGrid(TopologyKind topo, int shards, bool chaos) {
   config.hosts_per_dc = 2;
   config.seed = 11;
   config.shards = shards;
+  config.telemetry_period = telemetry_period;
   if (chaos) {
     // The golden corpus's chaos density: seeded plan drawn by RunExperiment
     // against the built topology, dense enough to hit in-use routes.
@@ -78,6 +83,95 @@ TEST(ShardDeterminismTest, Bso13ShardedMatchesSequential) {
   const ShardDigest seq = RunGrid(TopologyKind::kBso13, 1, /*chaos=*/false);
   const ShardDigest par = RunGrid(TopologyKind::kBso13, 4, /*chaos=*/false);
   EXPECT_TRUE(seq == par) << "events " << seq.events << " vs " << par.events;
+}
+
+// --- observability-on determinism (the obs v2 digest guard) ---
+
+// Enabling metrics + tracing + time series must not change a single event:
+// obs reads sim state and writes side rings only. The telemetry loop *does*
+// add control events, so it is pinned identically (10 ms) on both sides of
+// every comparison. Grid: {1,2,4} shards x {unfiltered, filtered} tracing,
+// all bit-identical to the obs-off reference.
+TEST(ShardDeterminismTest, ObsOnIsBitIdenticalToObsOffAcrossShardCounts) {
+  const TimeNs period = Milliseconds(10);
+  const ShardDigest ref = RunGrid(TopologyKind::kTestbed8, 1, /*chaos=*/true, period);
+  EXPECT_GT(ref.completed, 0);
+
+  for (const int shards : {1, 2, 4}) {
+    for (const bool filtered : {false, true}) {
+      obs::SetMetricsEnabled(true);
+      obs::TimeSeriesHub::Instance().SetEnabled(true);
+      obs::FlightRecorder& rec = obs::FlightRecorder::Instance();
+      rec.Configure(4096);
+      rec.SetFilters(filtered ? 3 : -1, filtered ? 40 : kInvalidNode);
+      rec.Enable(true);
+
+      const ShardDigest on = RunGrid(TopologyKind::kTestbed8, shards, /*chaos=*/true, period);
+
+      rec.Enable(false);
+      rec.SetFilters(-1, kInvalidNode);
+      rec.Clear();
+      obs::TimeSeriesHub::Instance().SetEnabled(false);
+      obs::SetMetricsEnabled(false);
+
+      EXPECT_TRUE(ref == on) << "shards=" << shards << " filtered=" << filtered << ": digest "
+                             << std::hex << ref.digest << " vs " << on.digest << std::dec
+                             << ", events " << ref.events << " vs " << on.events << ", end "
+                             << ref.end << " vs " << on.end;
+    }
+  }
+}
+
+// --- flight-recorder merge order (obs/trace.cc) ---
+
+// Records written from different shard lanes at the same timestamp must merge
+// in lineage-key order, and (ts, key) ties must keep lane order (the stable
+// sort over the lane concatenation) — never wall-clock write order.
+TEST(FlightRecorderMergeOrder, EqualTimestampRecordsSortByLineageKeyThenLane) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Instance();
+  rec.Configure(64);
+  rec.SetFilters(-1, kInvalidNode);
+  rec.Enable(true);
+
+  TimeNs now = 500;
+  uint64_t key = 0;
+  {
+    // Shard 1's lane writes keys 5 then 1 at t=500 (out of key order).
+    obs::ScopedShardContext ctx(obs::ShardContext{obs::LaneForShard(1), 1, &now, &key});
+    key = 5;
+    rec.Record(obs::TraceEv::kEnqueue, now, /*flow=*/105, 1, 0, 0);
+    key = 1;
+    rec.Record(obs::TraceEv::kEnqueue, now, /*flow=*/101, 1, 0, 0);
+  }
+  {
+    // Shard 0's lane writes key 3 at the same timestamp.
+    obs::ScopedShardContext ctx(obs::ShardContext{obs::LaneForShard(0), 0, &now, &key});
+    key = 3;
+    rec.Record(obs::TraceEv::kEnqueue, now, /*flow=*/103, 1, 0, 0);
+  }
+  // (ts, key) tie across lanes: shard 1's lane writes first in wall time, but
+  // lane 0 (no context installed -> key 0) must still merge ahead of it.
+  {
+    obs::ScopedShardContext ctx(obs::ShardContext{obs::LaneForShard(1), 1, &now, &key});
+    key = 0;
+    rec.Record(obs::TraceEv::kDequeue, /*ts=*/400, /*flow=*/201, 1, 0, 0);
+  }
+  rec.Record(obs::TraceEv::kDequeue, /*ts=*/400, /*flow=*/200, 1, 0, 0);  // lane 0, key 0
+
+  const std::vector<obs::TraceRecord> merged = rec.MergedRecords();
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged[0].flow, 200u);  // t=400 key 0: lane 0 wins the tie
+  EXPECT_EQ(merged[0].shard, -1);
+  EXPECT_EQ(merged[1].flow, 201u);
+  EXPECT_EQ(merged[1].shard, 1);
+  EXPECT_EQ(merged[2].flow, 101u);  // t=500: key order 1 < 3 < 5, not lane
+  EXPECT_EQ(merged[3].flow, 103u);  // or write order
+  EXPECT_EQ(merged[4].flow, 105u);
+  EXPECT_EQ(merged[2].shard, 1);
+  EXPECT_EQ(merged[3].shard, 0);
+
+  rec.Enable(false);
+  rec.Clear();
 }
 
 // --- lineage-key ordering units (sim/event_queue.h, sim/simulator.h) ---
@@ -217,10 +311,10 @@ TEST(ShardFlagsTest, ValidatesBudgetAndUnsafeCombinations) {
   obs.trace = true;
   EXPECT_TRUE(ValidateShardOptions(shard, sweep, obs, true, 1, &error));
 
-  // Flight recorder and emulation are shard-unsafe.
+  // Tracing composes with sharding (per-lane rings merged by (time, key)
+  // at dump time); only emulation stays shard-unsafe.
   shard.shards = 2;
-  EXPECT_FALSE(ValidateShardOptions(shard, sweep, obs, false, 8, &error));
-  EXPECT_NE(error.find("flight"), std::string::npos);
+  EXPECT_TRUE(ValidateShardOptions(shard, sweep, obs, false, 8, &error));
   obs.trace = false;
   EXPECT_FALSE(ValidateShardOptions(shard, sweep, obs, true, 8, &error));
   EXPECT_NE(error.find("emulation"), std::string::npos);

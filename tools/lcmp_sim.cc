@@ -193,8 +193,12 @@ int main(int argc, char** argv) {
   const ObsOptions obs_opts = ApplyObsFlags(flags);
   if (obs_opts.telemetry_period_ms > 0) {
     config.telemetry_period = Milliseconds(obs_opts.telemetry_period_ms);
-  } else if (!obs_opts.metrics_out.empty()) {
-    // Metrics without an explicit cadence still deserve a time series.
+  } else if (!obs_opts.metrics_out.empty() || !obs_opts.timeseries_out.empty() ||
+             (obs_opts.trace && obs_opts.TraceOutIsJson())) {
+    // Metrics/time-series/Perfetto-counter outputs without an explicit
+    // cadence still deserve a time series. NOTE: the telemetry loop adds
+    // control events and so changes the digest — obs-on/obs-off digest
+    // comparisons must pin --telemetry-period-ms identically on both sides.
     config.telemetry_period = Milliseconds(10);
   }
 
@@ -248,6 +252,10 @@ int main(int argc, char** argv) {
               result.flows_completed, result.flows_requested,
               static_cast<double>(result.sim_end_time) / kNsPerSec,
               static_cast<unsigned long long>(result.events_processed));
+  // Machine-greppable determinism digest (same folding as sweep mode): CI's
+  // obs-trace-smoke job compares this line across obs-on/obs-off runs.
+  std::printf("digest %016llx\n",
+              static_cast<unsigned long long>(ExperimentDigest(result)));
 
   if (!config.fault_plan.empty()) {
     std::printf("faults: %zu planned events, %lld injections, monitor %s (%lld checks, %lld "

@@ -10,6 +10,8 @@
 #include <string>
 
 #include "harness/flags.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "validate/golden.h"
 #include "validate/oracles.h"
 
@@ -90,7 +92,11 @@ int Main(int argc, char** argv) {
       .Define("skip-oracles", "false", "golden corpus only, skip the analytic oracles")
       .Define("seed", "1", "seed for the seeded oracles")
       .Define("shards", "1", "run scenarios on this many PDES shards; the digests must still "
-                             "match the sequentially pinned corpus");
+                             "match the sequentially pinned corpus")
+      .Define("trace", "false", "enable the flight recorder across the scenario runs (the "
+                                "digest contract holds with observability on)")
+      .Define("trace-out", "", "dump the flight recorder here on exit (.json = Chrome trace); "
+                               "implies --trace");
   if (!flags.Parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(), flags.Usage("lcmp_validate").c_str());
     return 2;
@@ -119,10 +125,31 @@ int Main(int argc, char** argv) {
     }
     return UpdateGolden(dir);
   }
+  // Observability pass-through: tracing across the scenario runs exercises
+  // "obs on does not change results" on the exact digest corpus.
+  const std::string trace_out = flags.GetString("trace-out");
+  const bool trace = flags.GetBool("trace") || !trace_out.empty();
+  if (trace) {
+    obs::FlightRecorder::Instance().Enable(true);
+  }
   int rc = CheckGolden(dir, shards);
   if (!flags.GetBool("skip-oracles")) {
     const int oracle_rc = RunOracles(static_cast<uint64_t>(flags.GetInt("seed")));
     rc = rc != 0 ? rc : oracle_rc;
+  }
+  if (trace && !trace_out.empty()) {
+    const std::string suffix = ".json";
+    const bool is_json = trace_out.size() >= suffix.size() &&
+                         trace_out.compare(trace_out.size() - suffix.size(), suffix.size(),
+                                           suffix) == 0;
+    const bool ok = is_json ? obs::WriteChromeTrace(trace_out, /*sim_end_ns=*/0)
+                            : obs::FlightRecorder::Instance().DumpToFile(trace_out);
+    if (ok) {
+      std::printf("wrote trace to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      rc = rc != 0 ? rc : 1;
+    }
   }
   return rc;
 }

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file written by --trace-out=<file>.json.
+
+Checks the structural contract documented in DESIGN.md §7 (and
+src/obs/trace_export.h): a top-level object with a `traceEvents` array whose
+entries are well-formed Chrome-trace events (phase-dependent required fields,
+numeric timestamps, non-negative durations). Optional flags assert the
+LCMP-specific content CI cares about:
+
+  --require-barrier-spans   at least one complete "window" span on a shard row
+                            (only sharded runs emit these)
+  --require-instant=NAME    at least one instant event named NAME
+                            (e.g. failover, fault.link_down); repeatable
+  --min-counter-tracks=N    at least N distinct counter ("C") track names
+
+Stdlib only; exits 0 on success, 1 on a contract violation, 2 on usage/IO
+errors. Prints a one-line summary on success so CI logs show what was seen.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "B", "E", "i", "I", "C", "M", "b", "e", "n", "s", "t", "f"}
+
+
+def fail(msg):
+    print(f"trace_schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(i, ev):
+    if not isinstance(ev, dict):
+        fail(f"traceEvents[{i}] is not an object")
+    ph = ev.get("ph")
+    if not isinstance(ph, str) or ph not in VALID_PHASES:
+        fail(f"traceEvents[{i}] has invalid phase {ph!r}")
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        fail(f"traceEvents[{i}] ({ph!r}) has no name")
+    if "pid" not in ev:
+        fail(f"traceEvents[{i}] ({ev['name']!r}) has no pid")
+    # Metadata events carry no timestamp; everything else must.
+    if ph == "M":
+        return
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)):
+        fail(f"traceEvents[{i}] ({ev['name']!r}) has non-numeric ts {ts!r}")
+    if ts < 0:
+        fail(f"traceEvents[{i}] ({ev['name']!r}) has negative ts {ts}")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(f"traceEvents[{i}] ({ev['name']!r}) has invalid dur {dur!r}")
+    if ph == "C":
+        args = ev.get("args")
+        if not isinstance(args, dict) or not args:
+            fail(f"traceEvents[{i}] (counter {ev['name']!r}) has no args")
+        for k, v in args.items():
+            if not isinstance(v, (int, float)):
+                fail(f"traceEvents[{i}] (counter {ev['name']!r}) arg {k!r} "
+                     f"is non-numeric: {v!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the Chrome-trace JSON file")
+    parser.add_argument("--require-barrier-spans", action="store_true",
+                        help="require at least one per-shard 'window' span")
+    parser.add_argument("--require-instant", action="append", default=[],
+                        metavar="NAME",
+                        help="require at least one instant event named NAME")
+    parser.add_argument("--min-counter-tracks", type=int, default=0,
+                        metavar="N",
+                        help="require at least N distinct counter tracks")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"trace_schema: cannot read {args.trace}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        fail(f"{args.trace} is not valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents array")
+    if not events:
+        fail("traceEvents is empty")
+
+    counter_tracks = set()
+    instants = {}
+    barrier_spans = 0
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+        ph = ev.get("ph")
+        if ph == "C":
+            counter_tracks.add(ev["name"])
+        elif ph in ("i", "I"):
+            instants[ev["name"]] = instants.get(ev["name"], 0) + 1
+        elif ph == "X" and ev["name"] == "window" and ev.get("cat") == "barrier":
+            barrier_spans += 1
+
+    if args.require_barrier_spans and barrier_spans == 0:
+        fail("no per-shard barrier 'window' spans found")
+    for name in args.require_instant:
+        if instants.get(name, 0) == 0:
+            fail(f"no instant event named {name!r} found "
+                 f"(instants seen: {sorted(instants) or 'none'})")
+    if len(counter_tracks) < args.min_counter_tracks:
+        fail(f"only {len(counter_tracks)} counter tracks "
+             f"({sorted(counter_tracks)}), need {args.min_counter_tracks}")
+
+    print(f"trace_schema: OK: {len(events)} events, {barrier_spans} barrier "
+          f"spans, {len(counter_tracks)} counter tracks, "
+          f"{sum(instants.values())} instants across {len(instants)} names")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
