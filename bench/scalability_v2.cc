@@ -1,0 +1,234 @@
+// Scalability v2: extreme-scale sweep over generated dragonfly WANs with
+// leaf-spine DC fabrics and FatPaths-style layered path sets (DESIGN.md §13).
+//
+// Sweeps the DC count from the paper's 13-DC scale up to 200 DCs (~5000
+// switches with the 16-leaf/8-spine fabric) and emits, per point: simulated
+// events per second, the arena-backed per-switch path-table footprint, the
+// topology + static-table footprints, and the process peak RSS. Expected
+// shape: path-table bytes per DCI switch grow roughly linearly in the DC
+// count (slots are O(layers x DCs) per DCI) while interning keeps the arena
+// far below the naive per-switch copy; peak RSS stays bounded (hundreds of
+// MB, not tens of GB) at 200 DCs.
+//
+// A shard-equivalence check on the smallest point re-verifies that generated
+// topologies and layered paths are bit-identical across shards {1,2,4} — the
+// same contract shard_determinism_test pins, re-run here on every bench run.
+//
+// JSON goes to --json=PATH or $LCMP_BENCH_JSON. --quick trims the sweep to
+// {13,50,200} DCs with fewer flows for the CI topo-scale-smoke job; the RSS
+// gate lives in the workflow, this binary only reports. Exit code is 0 iff
+// every point completed all flows and the shard digests match.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "harness/runner.h"
+
+namespace {
+
+using namespace lcmp;
+
+struct ScaleRow {
+  int dcs = 0;
+  int switches = 0;
+  int dcis = 0;
+  int flows = 0;
+  uint64_t events = 0;
+  uint64_t digest = 0;
+  double wall_ms = 0;
+  double mev = 0;
+  double p50 = 0;
+  double p99 = 0;
+  size_t topo_bytes = 0;
+  size_t path_table_bytes = 0;
+  size_t static_table_bytes = 0;
+  size_t peak_rss_bytes = 0;
+  bool completed = false;
+};
+
+// Process peak RSS so far. ru_maxrss is KB on Linux; it is monotone, so
+// sampling after each point (run in increasing size order) attributes the
+// high-water mark to the largest topology built so far.
+size_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0;
+  }
+  return static_cast<size_t>(ru.ru_maxrss) * 1024;
+}
+
+// One sweep point: a dragonfly WAN of `dcs` DCs, each a 16-leaf/8-spine
+// fabric, all-to-all WebSearch under LCMP with 4 layered path sets.
+ExperimentConfig PointConfig(int dcs, int flows, int shards) {
+  ExperimentConfig config;
+  config.topo = TopologyKind::kDragonfly;
+  config.num_dcs = dcs;
+  config.topo_seed = 7;
+  config.fabric = FabricKind::kLeafSpine;
+  config.fabric_leaves = 16;
+  config.fabric_spines = 8;
+  config.hosts_per_dc = 16;
+  config.pairing = PairingKind::kAllToAll;
+  config.workload = WorkloadKind::kWebSearch;
+  config.policy = PolicyKind::kLcmp;
+  config.path_strategy = PathStrategyKind::kLayered;
+  config.path_layers = 4;
+  config.load = 0.25;
+  config.num_flows = flows;
+  config.seed = 7;
+  config.shards = shards;
+  // Size the flow cache to the offered flows instead of the paper's fixed
+  // 50k-entry table: at 5000 switches the fixed table alone would be ~6 GB.
+  config.lcmp.flow_cache_auto = true;
+  return config;
+}
+
+ScaleRow RunPoint(int dcs, int flows, int shards) {
+  const ExperimentConfig config = PointConfig(dcs, flows, shards);
+  const auto t0 = std::chrono::steady_clock::now();
+  const ExperimentResult result = RunExperiment(config);
+  const auto t1 = std::chrono::steady_clock::now();
+  ScaleRow row;
+  row.dcs = dcs;
+  row.switches = result.num_switches;
+  row.dcis = result.num_dcis;
+  row.flows = result.flows_completed;
+  row.events = result.events_processed;
+  row.digest = ExperimentDigest(result);
+  row.wall_ms = std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() / 1000.0;
+  row.mev = row.wall_ms > 0 ? static_cast<double>(row.events) / (row.wall_ms * 1000.0) : 0.0;
+  row.p50 = result.overall.p50;
+  row.p99 = result.overall.p99;
+  row.topo_bytes = result.topo_bytes;
+  row.path_table_bytes = result.path_table_bytes;
+  row.static_table_bytes = result.static_table_bytes;
+  row.peak_rss_bytes = PeakRssBytes();
+  row.completed = result.flows_completed == result.flows_requested;
+  return row;
+}
+
+double PerDci(size_t bytes, int dcis) {
+  return dcis > 0 ? static_cast<double>(bytes) / dcis : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lcmp;
+
+  std::string json_path;
+  if (const char* env = std::getenv("LCMP_BENCH_JSON")) {
+    json_path = env;
+  }
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+
+  const std::vector<int> points =
+      quick ? std::vector<int>{13, 50, 200} : std::vector<int>{13, 25, 50, 100, 200};
+  const int flows = quick ? 200 : 600;
+
+  Banner("Scalability v2 - dragonfly WANs of 13..200 DCs, leaf-spine fabrics, layered paths",
+         "bounded memory at ~5000 switches; path-table bytes linear in DCs per DCI switch");
+
+  bool ok = true;
+  std::vector<ScaleRow> rows;
+  TablePrinter table({"DCs", "switches", "DCIs", "flows", "p50", "p99", "sim events", "wall ms",
+                      "Mevents/s", "topo", "path tables", "B/DCI", "static fwd", "peak RSS"});
+  for (const int dcs : points) {
+    const ScaleRow row = RunPoint(dcs, flows, /*shards=*/1);
+    ok = ok && row.completed;
+    table.AddRow({std::to_string(row.dcs), std::to_string(row.switches), std::to_string(row.dcis),
+                  std::to_string(row.flows), Fmt(row.p50), Fmt(row.p99),
+                  std::to_string(row.events), Fmt(row.wall_ms, 1), Fmt(row.mev, 2),
+                  FmtBytes(row.topo_bytes), FmtBytes(row.path_table_bytes),
+                  Fmt(PerDci(row.path_table_bytes, row.dcis), 0),
+                  FmtBytes(row.static_table_bytes), FmtBytes(row.peak_rss_bytes)});
+    rows.push_back(row);
+  }
+  table.Print();
+  Note("path tables live on DCI switches only; B/DCI = interned arena + slot bytes "
+       "per DCI. Leaf/spine switches carry CSR static tables and a lazily "
+       "allocated (empty) flow cache.");
+
+  Banner("Shard equivalence on the smallest point",
+         "same generated topology, layered paths, and digest at shards {1,2,4}");
+
+  bool shard_match = true;
+  std::vector<std::pair<int, uint64_t>> shard_digests;
+  TablePrinter stable({"shards", "sim events", "wall ms", "digest", "match"});
+  uint64_t base_digest = 0;
+  for (const int shards : {1, 2, 4}) {
+    const ScaleRow row = RunPoint(points.front(), flows, shards);
+    if (shards == 1) {
+      base_digest = row.digest;
+    }
+    const bool match = row.digest == base_digest;
+    shard_match = shard_match && match;
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(row.digest));
+    stable.AddRow({std::to_string(shards), std::to_string(row.events), Fmt(row.wall_ms, 1), hex,
+                   match ? "yes" : "NO"});
+    shard_digests.emplace_back(shards, row.digest);
+  }
+  stable.Print();
+  ok = ok && shard_match;
+
+  std::string json = "{\n  \"bench\": \"scalability_v2\",\n  \"quick\": " +
+                     std::string(quick ? "true" : "false") + ",\n  \"flows_per_point\": " +
+                     std::to_string(flows) + ",\n  \"points\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"dcs\": %d, \"switches\": %d, \"dcis\": %d, \"flows\": %d, "
+                  "\"events\": %llu, \"wall_ms\": %.1f, \"events_per_sec\": %.0f,\n"
+                  "     \"p50_slowdown\": %.3f, \"p99_slowdown\": %.3f,\n"
+                  "     \"topo_bytes\": %zu, \"path_table_bytes\": %zu, "
+                  "\"path_table_bytes_per_dci\": %.0f,\n"
+                  "     \"static_table_bytes\": %zu, \"peak_rss_bytes\": %zu, "
+                  "\"completed\": %s}%s\n",
+                  r.dcs, r.switches, r.dcis, r.flows,
+                  static_cast<unsigned long long>(r.events), r.wall_ms, r.mev * 1e6, r.p50, r.p99,
+                  r.topo_bytes, r.path_table_bytes, PerDci(r.path_table_bytes, r.dcis),
+                  r.static_table_bytes, r.peak_rss_bytes, r.completed ? "true" : "false",
+                  i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n  \"shard_check\": {\"dcs\": " + std::to_string(points.front()) +
+          ", \"digests\": [\n";
+  for (size_t i = 0; i < shard_digests.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "    {\"shards\": %d, \"digest\": \"%016llx\"}%s\n",
+                  shard_digests[i].first,
+                  static_cast<unsigned long long>(shard_digests[i].second),
+                  i + 1 < shard_digests.size() ? "," : "");
+    json += buf;
+  }
+  json += std::string("  ], \"match\": ") + (shard_match ? "true" : "false") + "}\n}\n";
+
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  // Incomplete flows or a shard digest mismatch is a correctness bug.
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+graph [
+  label "MiniEurope"
+  Network "Sample WAN for the lcmp_topo importer (Topology Zoo GML subset)"
+  node [
+    id 0
+    label "Amsterdam"
+    Latitude 52.37
+    Longitude 4.90
+  ]
+  node [
+    id 1
+    label "Frankfurt"
+    Latitude 50.11
+    Longitude 8.68
+  ]
+  node [
+    id 2
+    label "Paris"
+    Latitude 48.86
+    Longitude 2.35
+  ]
+  node [
+    id 3
+    label "Zurich"
+    Latitude 47.38
+    Longitude 8.54
+  ]
+  node [
+    id 4
+    label "Milan"
+    Latitude 45.46
+    Longitude 9.19
+  ]
+  node [
+    id 5
+    label "Madrid"
+    Latitude 40.42
+    Longitude -3.70
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeedRaw 200000000000
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeedRaw 100000000000
+  ]
+  edge [
+    source 1
+    target 3
+    LinkSpeedRaw 200000000000
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeedRaw 100000000000
+  ]
+  edge [
+    source 2
+    target 5
+    LinkSpeedRaw 40000000000
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeedRaw 100000000000
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeedRaw 40000000000
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeedRaw 100000000000
+  ]
+]

@@ -91,6 +91,11 @@ struct LcmpConfig {
 
   // Flow cache (Sec. 3.1.2 step 4): bounded entries, idle-timeout GC.
   int flow_cache_capacity = 50'000;
+  // When set, the harness right-sizes flow_cache_capacity to the experiment's
+  // flow count (clamped to [1024, flow_cache_capacity]) before building
+  // policies — extreme-scale sweeps would otherwise pay the paper's 50k-entry
+  // worst case on every DCI switch.
+  bool flow_cache_auto = false;
   TimeNs flow_idle_timeout = Milliseconds(500);
   TimeNs gc_period = Milliseconds(100);
 

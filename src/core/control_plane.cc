@@ -18,17 +18,22 @@ void ControlPlane::Provision(Network& net) {
     if (router == nullptr) {
       continue;  // this switch runs a different policy (partial rollout)
     }
-    for (DcId dst = 0; dst < g.num_dcs(); ++dst) {
-      if (dst == g.vertex(dci).dc) {
-        continue;
+    for (int layer = 0; layer < sw.num_path_layers(); ++layer) {
+      for (DcId dst = 0; dst < g.num_dcs(); ++dst) {
+        if (dst == g.vertex(dci).dc) {
+          continue;
+        }
+        const auto candidates = sw.CandidatesTo(dst, layer);
+        if (candidates.empty() && layer > 0) {
+          continue;  // empty non-minimal layer: data plane falls back to 0
+        }
+        std::vector<uint8_t> scores(candidates.size());
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          scores[i] = CalcPathQuality(candidates[i].path_delay_ns, candidates[i].bottleneck_bps,
+                                      config_, tables_);
+        }
+        router->InstallPathTable(dst, layer, std::move(scores));
       }
-      const auto candidates = sw.CandidatesTo(dst);
-      std::vector<uint8_t> scores(candidates.size());
-      for (size_t i = 0; i < candidates.size(); ++i) {
-        scores[i] = CalcPathQuality(candidates[i].path_delay_ns, candidates[i].bottleneck_bps,
-                                    config_, tables_);
-      }
-      router->InstallPathTable(dst, std::move(scores));
     }
   }
 }

@@ -25,12 +25,11 @@ size_t NextPow2(size_t n) {
 }  // namespace
 
 FlowCache::FlowCache(int capacity, TimeNs idle_timeout)
-    : capacity_(capacity), idle_timeout_(idle_timeout) {
+    : capacity_(capacity), idle_timeout_(idle_timeout), mask_(0) {
   LCMP_CHECK(capacity > 0);
-  // 2x slots keeps probe chains short at full capacity.
-  const size_t n = NextPow2(static_cast<size_t>(capacity) * 2);
-  slots_.assign(n, Entry{});
-  mask_ = n - 1;
+  // Slot storage is allocated lazily on the first Insert (EnsureSlots): every
+  // switch owns a policy instance, but only DCI switches ever cache flows, so
+  // eager allocation would waste megabytes per interior switch at scale.
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
   m_hits_ = reg.GetCounter("lcmp.flow_cache.hits");
   m_misses_ = reg.GetCounter("lcmp.flow_cache.misses");
@@ -39,7 +38,20 @@ FlowCache::FlowCache(int capacity, TimeNs idle_timeout)
 
 size_t FlowCache::SlotFor(FlowId flow) const { return Mix64(flow) & mask_; }
 
+void FlowCache::EnsureSlots() {
+  if (!slots_.empty()) {
+    return;
+  }
+  // 2x slots keeps probe chains short at full capacity.
+  const size_t n = NextPow2(static_cast<size_t>(capacity_) * 2);
+  slots_.assign(n, Entry{});
+  mask_ = n - 1;
+}
+
 FlowCache::Entry* FlowCache::Find(FlowId flow) {
+  if (slots_.empty()) {
+    return nullptr;
+  }
   size_t i = SlotFor(flow);
   for (size_t probe = 0; probe < kProbeLimit; ++probe, i = (i + 1) & mask_) {
     Entry& e = slots_[i];
@@ -80,6 +92,7 @@ PortIndex FlowCache::Lookup(FlowId flow, TimeNs now) {
 
 void FlowCache::Insert(FlowId flow, PortIndex port, TimeNs now) {
   LCMP_CHECK(flow != 0 && flow != kTombstone);
+  EnsureSlots();
   size_t i = SlotFor(flow);
   Entry* free_slot = nullptr;
   Entry* victim = nullptr;

@@ -67,6 +67,10 @@ class FlowCache {
 
   // Paper-accounting memory footprint (entries * 20 B).
   size_t MemoryBytes() const { return static_cast<size_t>(capacity_) * kBytesPerEntry; }
+  // Actual heap bytes held right now. Zero until the first Insert: slot
+  // storage is lazy so the thousands of non-DCI switches that carry a policy
+  // but never cache a flow cost nothing (extreme-scale topologies).
+  size_t AllocatedBytes() const { return slots_.capacity() * sizeof(Entry); }
 
   // --- statistics ---
   int64_t hits() const { return hits_; }
@@ -77,6 +81,9 @@ class FlowCache {
   // Open-addressing with linear probing; power-of-two slot count.
   size_t SlotFor(FlowId flow) const;
   Entry* Find(FlowId flow);
+  // Allocates the slot array on first use (Insert only; Lookup on a
+  // never-written cache is a plain miss).
+  void EnsureSlots();
 
   int capacity_;
   TimeNs idle_timeout_;

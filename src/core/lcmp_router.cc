@@ -17,22 +17,42 @@ LcmpRouter::LcmpRouter(SwitchNode& sw, const LcmpConfig& config,
       estimator_(config, tables_.get(), sw.num_ports()),
       flow_cache_(config.flow_cache_capacity, config.flow_idle_timeout) {
   LCMP_CHECK(tables_ != nullptr);
-  cpath_tables_.resize(static_cast<size_t>(std::max(sw.NumDcs(), 1)));
+  layout_dcs_ = std::max(sw.NumDcs(), 1);
+  layout_layers_ = std::max(sw.num_path_layers(), 1);
+  cpath_tables_.resize(static_cast<size_t>(layout_dcs_) * static_cast<size_t>(layout_layers_));
+}
+
+size_t LcmpRouter::CpathSlot(DcId dst_dc, int layer) {
+  LCMP_CHECK(dst_dc >= 0 && layer >= 0);
+  if (dst_dc >= layout_dcs_) {
+    // Only safe while single-layer (row stride changes otherwise); multi-layer
+    // layouts are fixed at construction from the switch's path table.
+    LCMP_CHECK(layout_layers_ == 1);
+    layout_dcs_ = dst_dc + 1;
+  }
+  if (layer >= layout_layers_) {
+    layout_layers_ = layer + 1;  // appends rows; existing indices unchanged
+  }
+  const size_t slot = static_cast<size_t>(layer) * static_cast<size_t>(layout_dcs_) +
+                      static_cast<size_t>(dst_dc);
+  if (slot >= cpath_tables_.size()) {
+    cpath_tables_.resize(static_cast<size_t>(layout_dcs_) *
+                         static_cast<size_t>(layout_layers_));
+  }
+  return slot;
 }
 
 void LcmpRouter::InstallPathTable(DcId dst_dc, std::vector<uint8_t> cpath_scores) {
-  if (static_cast<size_t>(dst_dc) >= cpath_tables_.size()) {
-    cpath_tables_.resize(static_cast<size_t>(dst_dc) + 1);
-  }
-  cpath_tables_[static_cast<size_t>(dst_dc)] = std::move(cpath_scores);
+  InstallPathTable(dst_dc, /*layer=*/0, std::move(cpath_scores));
 }
 
-const std::vector<uint8_t>& LcmpRouter::PathTableFor(SwitchNode& sw, DcId dst_dc,
+void LcmpRouter::InstallPathTable(DcId dst_dc, int layer, std::vector<uint8_t> cpath_scores) {
+  cpath_tables_[CpathSlot(dst_dc, layer)] = std::move(cpath_scores);
+}
+
+const std::vector<uint8_t>& LcmpRouter::PathTableFor(SwitchNode& sw, DcId dst_dc, int layer,
                                                      std::span<const PathCandidate> candidates) {
-  if (static_cast<size_t>(dst_dc) >= cpath_tables_.size()) {
-    cpath_tables_.resize(static_cast<size_t>(dst_dc) + 1);
-  }
-  std::vector<uint8_t>& table = cpath_tables_[static_cast<size_t>(dst_dc)];
+  std::vector<uint8_t>& table = cpath_tables_[CpathSlot(dst_dc, layer)];
   if (table.size() != candidates.size()) {
     // On-demand table creation from the candidates' control-plane attributes
     // (normally ControlPlane::Provision pre-installs this).
@@ -62,7 +82,8 @@ PortIndex LcmpRouter::DecideNewFlow(SwitchNode& sw, const Packet& pkt,
   // (1) refresh congestion state of stale candidate ports.
   RefreshCongestion(sw, candidates);
   const DcId dst_dc = sw.DstDcOf(pkt);
-  const std::vector<uint8_t>& cpath = PathTableFor(sw, dst_dc, candidates);
+  const std::vector<uint8_t>& cpath =
+      PathTableFor(sw, dst_dc, sw.current_path_layer(), candidates);
 
   // (2)+(3) per-candidate scores and fused cost, live ports only.
   scored_.clear();
@@ -169,6 +190,14 @@ size_t LcmpRouter::MemoryBytes() const {
   }
   return estimator_.MemoryBytes() + flow_cache_.MemoryBytes() + tables_->MemoryBytes() +
          cpath_bytes;
+}
+
+size_t LcmpRouter::OwnMemoryBytes() const {
+  size_t cpath_bytes = cpath_tables_.capacity() * sizeof(std::vector<uint8_t>);
+  for (const auto& t : cpath_tables_) {
+    cpath_bytes += t.capacity();
+  }
+  return estimator_.MemoryBytes() + flow_cache_.AllocatedBytes() + cpath_bytes;
 }
 
 PolicyFactory MakeLcmpFactory(const LcmpConfig& config) {

@@ -55,8 +55,10 @@ class LcmpRouter : public MultipathPolicy {
   // Control-plane install hook: precomputed C_path scores for `dst_dc`,
   // aligned with the switch's candidate order. Called by ControlPlane; when
   // absent for a destination, the router builds the table on demand from the
-  // candidate attributes (Sec. 3.1.2: on-demand table creation).
+  // candidate attributes (Sec. 3.1.2: on-demand table creation). The 2-arg
+  // form targets path layer 0 (the only layer under plain downhill routing).
   void InstallPathTable(DcId dst_dc, std::vector<uint8_t> cpath_scores);
+  void InstallPathTable(DcId dst_dc, int layer, std::vector<uint8_t> cpath_scores);
 
   const LcmpRouterStats& stats() const { return stats_; }
   const FlowCache& flow_cache() const { return flow_cache_; }
@@ -65,10 +67,17 @@ class LcmpRouter : public MultipathPolicy {
 
   // Sec. 4 resource accounting: registers + flow cache + tables.
   size_t MemoryBytes() const;
+  // Bytes this router actually holds on the heap right now, excluding the
+  // BootstrapTables shared across the fleet. Unlike MemoryBytes() (the
+  // paper's worst-case accounting), this reflects lazy flow-cache allocation
+  // — the number bench/scalability_v2 sums per switch.
+  size_t OwnMemoryBytes() const;
 
  private:
-  const std::vector<uint8_t>& PathTableFor(SwitchNode& sw, DcId dst_dc,
+  const std::vector<uint8_t>& PathTableFor(SwitchNode& sw, DcId dst_dc, int layer,
                                            std::span<const PathCandidate> candidates);
+  // cpath_tables_ slot for (dst_dc, layer); grows the table as needed.
+  size_t CpathSlot(DcId dst_dc, int layer);
   void RefreshCongestion(SwitchNode& sw, std::span<const PathCandidate> candidates);
   PortIndex DecideNewFlow(SwitchNode& sw, const Packet& pkt,
                           std::span<const PathCandidate> candidates);
@@ -77,7 +86,11 @@ class LcmpRouter : public MultipathPolicy {
   std::shared_ptr<const BootstrapTables> tables_;
   CongestionEstimator estimator_;
   FlowCache flow_cache_;
-  // cpath_tables_[dst_dc][candidate_idx] = C_path score.
+  // cpath_tables_[layer * layout_dcs_ + dst_dc][candidate_idx] = C_path
+  // score. layout_dcs_/layout_layers_ mirror the switch's path-table shape
+  // (layout_layers_ == 1 under plain downhill routing).
+  int layout_dcs_ = 1;
+  int layout_layers_ = 1;
   std::vector<std::vector<uint8_t>> cpath_tables_;
   std::vector<ScoredCandidate> scored_;   // scratch, reused per decision
   std::vector<ScoredCandidate> scratch_;  // scratch for SelectDiverse

@@ -18,6 +18,8 @@
 #include "routing/ucmp.h"
 #include "routing/wcmp.h"
 #include "sim/shard_engine.h"
+#include "topo/gen/import.h"
+#include "topo/gen/wan_gen.h"
 
 namespace lcmp {
 
@@ -45,6 +47,16 @@ const char* TopologyKindName(TopologyKind kind) {
       return "bso-13dc";
     case TopologyKind::kTestbed8Sym:
       return "testbed-8dc-sym";
+    case TopologyKind::kRandomWan:
+      return "random-wan";
+    case TopologyKind::kDragonfly:
+      return "dragonfly-wan";
+    case TopologyKind::kSlimFly:
+      return "slimfly-wan";
+    case TopologyKind::kFatTree:
+      return "fattree-wan";
+    case TopologyKind::kImported:
+      return "imported-wan";
   }
   return "?";
 }
@@ -73,6 +85,36 @@ const char* TopologyKindToken(TopologyKind kind) {
       return "bso13";
     case TopologyKind::kTestbed8Sym:
       return "testbed8-sym";
+    case TopologyKind::kRandomWan:
+      return "random";
+    case TopologyKind::kDragonfly:
+      return "dragonfly";
+    case TopologyKind::kSlimFly:
+      return "slimfly";
+    case TopologyKind::kFatTree:
+      return "fattree";
+    case TopologyKind::kImported:
+      return "imported";
+  }
+  return "?";
+}
+
+const char* FabricKindToken(FabricKind kind) {
+  switch (kind) {
+    case FabricKind::kCollapsed:
+      return "collapsed";
+    case FabricKind::kLeafSpine:
+      return "leafspine";
+  }
+  return "?";
+}
+
+const char* PathStrategyKindToken(PathStrategyKind kind) {
+  switch (kind) {
+    case PathStrategyKind::kDownhill:
+      return "downhill";
+    case PathStrategyKind::kLayered:
+      return "layered";
   }
   return "?";
 }
@@ -148,8 +190,27 @@ bool ParseTopologyKind(const std::string& text, TopologyKind* out, std::string* 
   return ParseKindToken<TopologyKind>(text, "topology",
                                       {{"testbed8", TopologyKind::kTestbed8},
                                        {"bso13", TopologyKind::kBso13},
-                                       {"testbed8-sym", TopologyKind::kTestbed8Sym}},
+                                       {"testbed8-sym", TopologyKind::kTestbed8Sym},
+                                       {"random", TopologyKind::kRandomWan},
+                                       {"dragonfly", TopologyKind::kDragonfly},
+                                       {"slimfly", TopologyKind::kSlimFly},
+                                       {"fattree", TopologyKind::kFatTree},
+                                       {"imported", TopologyKind::kImported}},
                                       out, error);
+}
+
+bool ParseFabricKind(const std::string& text, FabricKind* out, std::string* error) {
+  return ParseKindToken<FabricKind>(text, "fabric",
+                                    {{"collapsed", FabricKind::kCollapsed},
+                                     {"leafspine", FabricKind::kLeafSpine}},
+                                    out, error);
+}
+
+bool ParsePathStrategyKind(const std::string& text, PathStrategyKind* out, std::string* error) {
+  return ParseKindToken<PathStrategyKind>(text, "path strategy",
+                                          {{"downhill", PathStrategyKind::kDownhill},
+                                           {"layered", PathStrategyKind::kLayered}},
+                                          out, error);
 }
 
 bool ParseCcKind(const std::string& text, CcKind* out, std::string* error) {
@@ -194,6 +255,26 @@ PolicyFactory MakePolicyFactory(PolicyKind kind, const LcmpConfig& lcmp_config) 
   return [](SwitchNode&) { return std::make_unique<EcmpPolicy>(); };
 }
 
+namespace {
+
+// Topology-generation seed: its own field when set, otherwise the run seed.
+// Kept separate so a sweep can vary traffic seeds over one fixed graph.
+uint64_t EffectiveTopoSeed(const ExperimentConfig& config) {
+  return config.topo_seed != 0 ? config.topo_seed : config.seed;
+}
+
+// Fabric shape for the generated/imported WAN kinds.
+FabricOptions GeneratedFabric(const ExperimentConfig& config) {
+  FabricOptions fabric;
+  fabric.kind = config.fabric;
+  fabric.hosts = config.hosts_per_dc;
+  fabric.leaves = config.fabric_leaves;
+  fabric.spines = config.fabric_spines;
+  return fabric;
+}
+
+}  // namespace
+
 Graph BuildTopology(const ExperimentConfig& config) {
   switch (config.topo) {
     case TopologyKind::kTestbed8: {
@@ -214,6 +295,46 @@ Graph BuildTopology(const ExperimentConfig& config) {
       }
       opts.fabric.hosts = config.hosts_per_dc;
       return BuildTestbed8(opts);
+    }
+    case TopologyKind::kRandomWan: {
+      RandomWanOptions opts;
+      opts.num_dcs = config.num_dcs;
+      opts.extra_chords = config.extra_chords;
+      opts.seed = EffectiveTopoSeed(config);
+      opts.fabric = GeneratedFabric(config);
+      return BuildRandomWan(opts);
+    }
+    case TopologyKind::kDragonfly: {
+      DragonflyWanOptions opts;
+      opts.num_dcs = config.num_dcs;
+      opts.group_size = config.df_group_size;
+      opts.global_links_per_dc = config.df_global_links;
+      opts.seed = EffectiveTopoSeed(config);
+      opts.fabric = GeneratedFabric(config);
+      return BuildDragonflyWan(opts);
+    }
+    case TopologyKind::kSlimFly: {
+      SlimFlyWanOptions opts;
+      opts.num_dcs = config.num_dcs;
+      opts.seed = EffectiveTopoSeed(config);
+      opts.fabric = GeneratedFabric(config);
+      return BuildSlimFlyWan(opts);
+    }
+    case TopologyKind::kFatTree: {
+      FatTreeWanOptions opts;
+      opts.num_dcs = config.num_dcs;
+      opts.seed = EffectiveTopoSeed(config);
+      opts.fabric = GeneratedFabric(config);
+      return BuildFatTreeWan(opts);
+    }
+    case TopologyKind::kImported: {
+      WanImportOptions opts;
+      opts.path = config.topo_file;
+      opts.fabric = GeneratedFabric(config);
+      Graph g;
+      std::string error;
+      LCMP_CHECK_MSG(ImportWan(opts, &g, &error), "topology import failed: %s", error.c_str());
+      return g;
     }
   }
   return BuildTestbed8({});
@@ -283,6 +404,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   LCMP_CHECK(ValidateConfig(config.lcmp));
   const Graph graph = BuildTopology(config);
 
+  // Right-size the flow cache to the run when requested. Applied to a copy:
+  // the config echoed in results/digests stays exactly what the user set.
+  LcmpConfig lcmp_eff = config.lcmp;
+  if (lcmp_eff.flow_cache_auto) {
+    lcmp_eff.flow_cache_capacity =
+        std::clamp(4 * config.num_flows, 1024, config.lcmp.flow_cache_capacity);
+  }
+
   NetworkConfig net_config;
   net_config.seed = config.seed;
   net_config.shards = config.shards;
@@ -290,15 +419,54 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   net_config.pfc.enabled = config.pfc_enabled;
   net_config.pfc.xoff_bytes = config.pfc_xoff_bytes;
   net_config.pfc.xon_bytes = config.pfc_xon_bytes;
-  Network net(graph, net_config, MakePolicyFactory(config.policy, config.lcmp));
+  net_config.paths.strategy = config.path_strategy;
+  net_config.paths.layers = config.path_layers;
+  net_config.paths.drop_permille = config.layer_drop_permille;
+  net_config.paths.seed = EffectiveTopoSeed(config);
+  Network net(graph, net_config, MakePolicyFactory(config.policy, lcmp_eff));
 
   // Control plane provisioning (no-op for non-LCMP policies).
-  ControlPlane control_plane(config.lcmp);
+  ControlPlane control_plane(lcmp_eff);
   control_plane.Provision(net);
 
   // Workload: open-loop Poisson arrivals by default, or a simultaneous burst
   // (herd-effect experiments) when burst_mode is set.
-  const auto pairs = BuildPairing(config, graph.num_dcs());
+  auto pairs = BuildPairing(config, graph.num_dcs());
+  // Transit-heavy WANs (fat-tree agg/core stages, imported backbones) have
+  // host-less DCs that cannot source or sink traffic: drop those pairs, and
+  // if the endpoint pairing itself landed on transit DCs, retarget it to the
+  // first/last host-bearing DC. No-op on the paper topologies (their endpoint
+  // DCs always carry hosts, and all-to-all over them never hits an empty DC).
+  {
+    std::vector<bool> has_hosts(static_cast<size_t>(graph.num_dcs()), false);
+    for (NodeId id = 0; id < graph.num_vertices(); ++id) {
+      const Vertex& v = graph.vertex(id);
+      if (v.kind == VertexKind::kHost && v.dc >= 0) {
+        has_hosts[static_cast<size_t>(v.dc)] = true;
+      }
+    }
+    auto hostless = [&](const std::pair<DcId, DcId>& p) {
+      return !has_hosts[static_cast<size_t>(p.first)] || !has_hosts[static_cast<size_t>(p.second)];
+    };
+    pairs.erase(std::remove_if(pairs.begin(), pairs.end(), hostless), pairs.end());
+    if (pairs.empty()) {
+      DcId first = kInvalidDc;
+      DcId last = kInvalidDc;
+      for (DcId dc = 0; dc < graph.num_dcs(); ++dc) {
+        if (has_hosts[static_cast<size_t>(dc)]) {
+          if (first == kInvalidDc) {
+            first = dc;
+          }
+          last = dc;
+        }
+      }
+      LCMP_CHECK_MSG(first != kInvalidDc && last != first,
+                     "topology has fewer than two host-bearing DCs");
+      pairs = config.pairing == PairingKind::kEndpointOneWay
+                  ? std::vector<std::pair<DcId, DcId>>{{first, last}}
+                  : std::vector<std::pair<DcId, DcId>>{{first, last}, {last, first}};
+    }
+  }
   std::vector<FlowSpec> flows;
   if (config.burst_mode) {
     BurstConfig burst;
@@ -415,6 +583,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.sim_end_time = engine != nullptr ? engine->end_time() : sim.now();
   result.multipath_pair_fraction = net.routes().MultipathPairFraction();
   result.faults_injected = injector.injections();
+  result.topo_bytes = net.TopoBytes();
+  result.path_table_bytes = net.PathTableBytes();
+  result.static_table_bytes = net.StaticTableBytes();
+  result.num_dcis = net.NumDciSwitches();
+  for (NodeId id = 0; id < graph.num_vertices(); ++id) {
+    if (graph.vertex(id).kind != VertexKind::kHost) {
+      ++result.num_switches;
+    }
+  }
   // Substrate accounting (cheap: one pass over switch ports).
   for (NodeId id = 0; id < graph.num_vertices(); ++id) {
     if (graph.vertex(id).kind == VertexKind::kHost) {

@@ -13,6 +13,7 @@
 #include "stats/fct_recorder.h"
 #include "stats/link_utilization.h"
 #include "topo/builders.h"
+#include "topo/candidate_paths.h"
 #include "transport/rdma_transport.h"
 #include "workload/traffic_gen.h"
 
@@ -31,6 +32,13 @@ enum class TopologyKind : uint8_t {
   // identical (100G, 2x10ms), so path quality cannot separate candidates and
   // only the selection mechanism differs (paper Sec. 2.3 challenge 3).
   kTestbed8Sym,
+  // Parameterized WANs (topo/gen/): sized by `num_dcs`, seeded through the
+  // dedicated TopoRng stream so the graph is identical across --shards/--jobs.
+  kRandomWan,   // ring + random chords (BuildRandomWan)
+  kDragonfly,   // dragonfly-of-DCs
+  kSlimFly,     // slim-fly-of-DCs (MMS), num_dcs rounds up to 2q²
+  kFatTree,     // fat-tree-of-DCs (k-ary Clos), num_dcs rounds up to (5/4)k²
+  kImported,    // Topology Zoo-style file import (`topo_file`)
 };
 const char* TopologyKindName(TopologyKind kind);
 
@@ -55,6 +63,8 @@ bool ParseTopologyKind(const std::string& text, TopologyKind* out, std::string* 
 bool ParseCcKind(const std::string& text, CcKind* out, std::string* error);
 bool ParseWorkloadKind(const std::string& text, WorkloadKind* out, std::string* error);
 bool ParsePairingKind(const std::string& text, PairingKind* out, std::string* error);
+bool ParseFabricKind(const std::string& text, FabricKind* out, std::string* error);
+bool ParsePathStrategyKind(const std::string& text, PathStrategyKind* out, std::string* error);
 
 // The CLI token each parser accepts for a kind (inverse of the Parse*
 // helpers; distinct from the display-oriented *KindName strings, except for
@@ -63,6 +73,8 @@ const char* PolicyKindToken(PolicyKind kind);
 const char* TopologyKindToken(TopologyKind kind);
 const char* PairingKindToken(PairingKind kind);
 const char* WorkloadKindToken(WorkloadKind kind);
+const char* FabricKindToken(FabricKind kind);
+const char* PathStrategyKindToken(PathStrategyKind kind);
 
 struct ExperimentConfig {
   TopologyKind topo = TopologyKind::kTestbed8;
@@ -80,6 +92,28 @@ struct ExperimentConfig {
   // Safety horizon; the run stops early once all flows complete.
   TimeNs horizon = Seconds(120);
   int hosts_per_dc = 8;
+  // ---- generated/imported topologies (topo/gen/) ----
+  // DC count for the parameterized WAN kinds (slimfly/fattree round up to
+  // their family's nearest valid size); ignored by the fixed paper topologies.
+  int num_dcs = 16;
+  // Seed for topology generation; 0 = derive from `seed`. Generated WANs only
+  // ever draw from TopoRng(EffectiveTopoSeed), so two experiments that share
+  // this value share the exact graph regardless of workload/shard settings.
+  uint64_t topo_seed = 0;
+  int extra_chords = 8;    // kRandomWan: chords on top of the ring
+  int df_group_size = 0;   // kDragonfly: DCs per group, 0 = auto
+  int df_global_links = 2; // kDragonfly: global-link budget per DC
+  std::string topo_file;   // kImported: edge-list or .gml path
+  // Intra-DC fabric shape for generated/imported WANs (the fixed paper
+  // topologies keep their collapsed testbed fabric).
+  FabricKind fabric = FabricKind::kCollapsed;
+  int fabric_leaves = 4;
+  int fabric_spines = 2;
+  // Candidate-path strategy: plain downhill (the paper) or FatPaths-style
+  // layered non-minimal sets.
+  PathStrategyKind path_strategy = PathStrategyKind::kDownhill;
+  int path_layers = 4;
+  int layer_drop_permille = 250;
   // Control-plane telemetry sweep cadence; each sweep also snapshots the
   // metrics registry when metrics are enabled. 0 keeps the loop off so the
   // event stream (and thus determinism digests) is identical to a run
@@ -154,6 +188,14 @@ struct ExperimentResult {
   // > 1 MB and the maximum egress queue depth observed.
   int endpoint_egress_used = 0;
   int64_t endpoint_max_queue_bytes = 0;
+  // Memory accounting (bench/scalability_v2): graph bytes, multipath table
+  // bytes (shared arena + per-switch slots), and the fleet shape they are
+  // amortized over.
+  size_t topo_bytes = 0;
+  size_t path_table_bytes = 0;
+  size_t static_table_bytes = 0;
+  int num_switches = 0;
+  int num_dcis = 0;
 
   // Slowdown summary filtered to one ordered DC pair.
   SlowdownStats ForDcPair(DcId src, DcId dst) const;

@@ -185,6 +185,34 @@ const std::vector<FieldEntry>& FieldTable() {
       LCMP_FIELD_INT("flows", num_flows),
       LCMP_FIELD_U64("seed", seed),
       LCMP_FIELD_INT("hosts_per_dc", hosts_per_dc),
+      // Generated/imported topologies (topo/gen/).
+      LCMP_FIELD_INT("dcs", num_dcs),
+      LCMP_FIELD_U64("topo_seed", topo_seed),
+      LCMP_FIELD_INT("chords", extra_chords),
+      LCMP_FIELD_INT("df_group_size", df_group_size),
+      LCMP_FIELD_INT("df_global_links", df_global_links),
+      {"topo_file",
+       [](ExperimentConfig* c, const std::string& v, std::string*) {
+         c->topo_file = v;
+         return true;
+       },
+       [](const ExperimentConfig& c) { return c.topo_file; }},
+      {"fabric",
+       [](ExperimentConfig* c, const std::string& v, std::string* e) {
+         return ParseFabricKind(v, &c->fabric, e);
+       },
+       [](const ExperimentConfig& c) { return std::string(FabricKindToken(c.fabric)); }},
+      LCMP_FIELD_INT("fabric_leaves", fabric_leaves),
+      LCMP_FIELD_INT("fabric_spines", fabric_spines),
+      {"paths",
+       [](ExperimentConfig* c, const std::string& v, std::string* e) {
+         return ParsePathStrategyKind(v, &c->path_strategy, e);
+       },
+       [](const ExperimentConfig& c) {
+         return std::string(PathStrategyKindToken(c.path_strategy));
+       }},
+      LCMP_FIELD_INT("path_layers", path_layers),
+      LCMP_FIELD_INT("layer_drop_permille", layer_drop_permille),
       LCMP_FIELD_BOOL("emulation", emulation_mode),
       LCMP_FIELD_TIME("horizon_ms", horizon, 1'000'000),
       LCMP_FIELD_TIME("telemetry_us", telemetry_period, 1'000),
@@ -216,6 +244,7 @@ const std::vector<FieldEntry>& FieldTable() {
       LCMP_FIELD_INT("lcmp.keep_den", lcmp.keep_den),
       LCMP_FIELD_INT("lcmp.all_congested_threshold", lcmp.all_congested_threshold),
       LCMP_FIELD_INT("lcmp.flow_cache_capacity", lcmp.flow_cache_capacity),
+      LCMP_FIELD_BOOL("lcmp.flow_cache_auto", lcmp.flow_cache_auto),
       LCMP_FIELD_TIME("lcmp.sample_interval_us", lcmp.sample_interval, 1'000),
       LCMP_FIELD_TIME("lcmp.flow_idle_timeout_us", lcmp.flow_idle_timeout, 1'000),
       LCMP_FIELD_TIME("lcmp.gc_period_ms", lcmp.gc_period, 1'000'000),

@@ -34,7 +34,11 @@ Network::Network(const Graph& graph, const NetworkConfig& config, PolicyFactory 
     : graph_(graph),
       config_(config),
       plan_(BuildShardPlan(graph_, config.shards)),
-      routes_(InterDcRoutes::Compute(graph_)) {
+      routes_(InterDcRoutes::Compute(graph_, config.paths)) {
+  // Freeze the CSR adjacency now, on this thread: shard workers and the
+  // transport's path oracle read incident_links concurrently later, and the
+  // lazy rebuild is not thread-safe.
+  graph_.EnsureCsr();
   sims_.reserve(static_cast<size_t>(plan_.num_shards));
   for (int i = 0; i < plan_.num_shards; ++i) {
     sims_.push_back(std::make_unique<Simulator>());
@@ -63,6 +67,12 @@ Network::Network(const Graph& graph, const NetworkConfig& config, PolicyFactory 
   BuildNodes(config, factory);
   BuildStaticForwarding();
   BuildInterDcCandidates();
+  topo_bytes_ = graph_.MemoryBytes();
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+    reg.GetGauge("lcmp.topo.bytes")->Set(static_cast<int64_t>(topo_bytes_));
+    reg.GetGauge("lcmp.paths.bytes")->Set(static_cast<int64_t>(path_table_bytes_));
+  }
 }
 
 ShardChannel* Network::ChannelFor(int src_shard, int dst_shard) {
@@ -148,15 +158,20 @@ void Network::BuildNodes(const NetworkConfig& config, const PolicyFactory& facto
 void Network::BuildStaticForwarding() {
   // Per destination node d: BFS over *intra-DC* links from d (switches in
   // d's DC only need to reach local hosts and the local DCI; inter-DC hops
-  // are the policy's job). We run the BFS over the whole graph but forbid
-  // crossing inter-DC (DCI<->DCI) links, so "toward local DCI" and "toward
-  // local host" tables stay within the fabric.
+  // are the policy's job). Static routes never leave a DC (every cross-DC
+  // link is DCI<->DCI and excluded below), so each switch stores one compact
+  // CSR row per node of its *own* DC instead of a per-graph-node table —
+  // O(sum of DC sizes squared) instead of O(V^2) across the fleet.
   const int n = graph_.num_vertices();
-  std::vector<std::vector<std::vector<PortIndex>>> tables(
-      static_cast<size_t>(n));  // [switch][dst] -> ports
+  const int ndc = graph_.num_dcs();
+  local_index_of_node_.assign(static_cast<size_t>(n), -1);
+  std::vector<std::vector<NodeId>> nodes_of_dc(static_cast<size_t>(ndc));
   for (NodeId id = 0; id < n; ++id) {
-    if (graph_.vertex(id).kind != VertexKind::kHost) {
-      tables[static_cast<size_t>(id)].resize(static_cast<size_t>(n));
+    const DcId dc = graph_.vertex(id).dc;
+    if (dc >= 0) {
+      local_index_of_node_[static_cast<size_t>(id)] =
+          static_cast<int32_t>(nodes_of_dc[static_cast<size_t>(dc)].size());
+      nodes_of_dc[static_cast<size_t>(dc)].push_back(id);
     }
   }
   auto is_inter_dc = [&](int li) {
@@ -165,83 +180,131 @@ void Network::BuildStaticForwarding() {
            graph_.vertex(l.b).kind == VertexKind::kDciSwitch &&
            graph_.vertex(l.a).dc != graph_.vertex(l.b).dc;
   };
-  for (NodeId dst = 0; dst < n; ++dst) {
-    // BFS hop distance from dst, intra-DC edges only.
-    std::vector<int> dist(static_cast<size_t>(n), -1);
-    std::queue<NodeId> q;
-    dist[static_cast<size_t>(dst)] = 0;
-    q.push(dst);
-    while (!q.empty()) {
-      const NodeId u = q.front();
-      q.pop();
-      for (const int li : graph_.incident_links(u)) {
-        if (is_inter_dc(li)) {
-          continue;
-        }
-        const NodeId v = graph_.Peer(li, u);
-        if (dist[static_cast<size_t>(v)] < 0) {
-          dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
-          q.push(v);
-        }
+  std::vector<int> dist(static_cast<size_t>(n), -1);
+  std::vector<NodeId> touched;
+  for (DcId dc = 0; dc < ndc; ++dc) {
+    const std::vector<NodeId>& members = nodes_of_dc[static_cast<size_t>(dc)];
+    const size_t m = members.size();
+    // rows[local(u)][local(dst)] = equal-cost ports; filled for switches.
+    std::vector<std::vector<std::vector<PortIndex>>> rows(m);
+    for (size_t lu = 0; lu < m; ++lu) {
+      if (graph_.vertex(members[lu]).kind != VertexKind::kHost) {
+        rows[lu].resize(m);
       }
     }
-    // Equal-cost next hops for every switch that can reach dst intra-DC.
-    for (NodeId u = 0; u < n; ++u) {
-      if (graph_.vertex(u).kind == VertexKind::kHost || dist[static_cast<size_t>(u)] < 0 ||
-          u == dst) {
+    for (size_t ld = 0; ld < m; ++ld) {
+      const NodeId dst = members[ld];
+      // BFS hop distance from dst, intra-DC edges only.
+      std::queue<NodeId> q;
+      dist[static_cast<size_t>(dst)] = 0;
+      touched.push_back(dst);
+      q.push(dst);
+      while (!q.empty()) {
+        const NodeId u = q.front();
+        q.pop();
+        for (const int li : graph_.incident_links(u)) {
+          if (is_inter_dc(li)) {
+            continue;
+          }
+          const NodeId v = graph_.Peer(li, u);
+          if (dist[static_cast<size_t>(v)] < 0) {
+            dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+            touched.push_back(v);
+            q.push(v);
+          }
+        }
+      }
+      // Equal-cost next hops for every switch that can reach dst intra-DC.
+      for (size_t lu = 0; lu < m; ++lu) {
+        const NodeId u = members[lu];
+        if (graph_.vertex(u).kind == VertexKind::kHost || dist[static_cast<size_t>(u)] < 0 ||
+            u == dst) {
+          continue;
+        }
+        std::vector<PortIndex>& ports = rows[lu][ld];
+        for (const int li : graph_.incident_links(u)) {
+          if (is_inter_dc(li)) {
+            continue;
+          }
+          const NodeId v = graph_.Peer(li, u);
+          if (dist[static_cast<size_t>(v)] == dist[static_cast<size_t>(u)] - 1) {
+            const LinkSpec& l = graph_.link(li);
+            ports.push_back(l.a == u ? port_of_link_[static_cast<size_t>(li)].first
+                                     : port_of_link_[static_cast<size_t>(li)].second);
+          }
+        }
+        std::sort(ports.begin(), ports.end());
+      }
+      for (const NodeId t : touched) {
+        dist[static_cast<size_t>(t)] = -1;
+      }
+      touched.clear();
+    }
+    // Pack each switch's rows into CSR and install.
+    for (size_t lu = 0; lu < m; ++lu) {
+      const NodeId u = members[lu];
+      if (graph_.vertex(u).kind == VertexKind::kHost) {
         continue;
       }
-      std::vector<PortIndex>& ports = tables[static_cast<size_t>(u)][static_cast<size_t>(dst)];
-      for (const int li : graph_.incident_links(u)) {
-        if (is_inter_dc(li)) {
-          continue;
-        }
-        const NodeId v = graph_.Peer(li, u);
-        if (dist[static_cast<size_t>(v)] == dist[static_cast<size_t>(u)] - 1) {
-          const LinkSpec& l = graph_.link(li);
-          ports.push_back(l.a == u ? port_of_link_[static_cast<size_t>(li)].first
-                                   : port_of_link_[static_cast<size_t>(li)].second);
-        }
+      std::vector<int32_t> offsets(m + 1, 0);
+      size_t total = 0;
+      for (size_t ld = 0; ld < m; ++ld) {
+        total += rows[lu][ld].size();
+        offsets[ld + 1] = static_cast<int32_t>(total);
       }
-      std::sort(ports.begin(), ports.end());
+      std::vector<PortIndex> ports;
+      ports.reserve(total);
+      for (size_t ld = 0; ld < m; ++ld) {
+        ports.insert(ports.end(), rows[lu][ld].begin(), rows[lu][ld].end());
+      }
+      static_table_bytes_ += offsets.capacity() * sizeof(int32_t) +
+                             ports.capacity() * sizeof(PortIndex);
+      static_cast<SwitchNode&>(*nodes_[static_cast<size_t>(u)])
+          .SetStaticTable(&local_index_of_node_, std::move(offsets), std::move(ports));
     }
   }
-  for (NodeId u = 0; u < n; ++u) {
-    if (graph_.vertex(u).kind == VertexKind::kHost) {
-      continue;
-    }
-    static_cast<SwitchNode&>(*nodes_[static_cast<size_t>(u)])
-        .SetStaticPorts(std::move(tables[static_cast<size_t>(u)]));
-  }
+  static_table_bytes_ += local_index_of_node_.capacity() * sizeof(int32_t);
 }
 
 void Network::BuildInterDcCandidates() {
   const int ndc = graph_.num_dcs();
+  const int layers = routes_.num_layers();
+  std::vector<PathCandidate> row;
+  size_t slot_bytes = 0;
   for (DcId dc = 0; dc < ndc; ++dc) {
     const NodeId dci = graph_.DciOfDc(dc);
     if (dci == kInvalidNode) {
       continue;
     }
-    std::vector<std::vector<PathCandidate>> table(static_cast<size_t>(ndc));
-    for (DcId dst = 0; dst < ndc; ++dst) {
-      if (dst == dc) {
-        continue;
-      }
-      for (const RouteCandidate& rc : routes_.Candidates(dci, dst)) {
-        PathCandidate c;
-        const LinkSpec& l = graph_.link(rc.link_idx);
-        c.port = l.a == dci ? port_of_link_[static_cast<size_t>(rc.link_idx)].first
-                            : port_of_link_[static_cast<size_t>(rc.link_idx)].second;
-        c.next_hop = rc.next_hop;
-        c.path_delay_ns = rc.path_delay_ns;
-        c.bottleneck_bps = rc.bottleneck_bps;
-        c.graph_link_idx = rc.link_idx;
-        table[static_cast<size_t>(dst)].push_back(c);
+    ++num_dcis_;
+    SwitchPathTable table;
+    table.Init(&path_arena_, ndc, layers);
+    for (int layer = 0; layer < layers; ++layer) {
+      for (DcId dst = 0; dst < ndc; ++dst) {
+        if (dst == dc) {
+          continue;
+        }
+        row.clear();
+        for (const RouteCandidate& rc : routes_.CandidatesInLayer(dci, dst, layer)) {
+          PathCandidate c;
+          const LinkSpec& l = graph_.link(rc.link_idx);
+          c.port = l.a == dci ? port_of_link_[static_cast<size_t>(rc.link_idx)].first
+                              : port_of_link_[static_cast<size_t>(rc.link_idx)].second;
+          c.next_hop = rc.next_hop;
+          c.path_delay_ns = rc.path_delay_ns;
+          c.bottleneck_bps = rc.bottleneck_bps;
+          c.graph_link_idx = rc.link_idx;
+          row.push_back(c);
+        }
+        if (!row.empty()) {
+          table.Set(dst, layer, path_arena_.Intern(row));
+        }
       }
     }
-    static_cast<SwitchNode&>(*nodes_[static_cast<size_t>(dci)])
-        .SetInterDcCandidates(std::move(table));
+    slot_bytes += table.MemoryBytes();
+    static_cast<SwitchNode&>(*nodes_[static_cast<size_t>(dci)]).SetPathTable(std::move(table));
   }
+  path_table_bytes_ = path_arena_.MemoryBytes() + slot_bytes;
 }
 
 HostNode& Network::host(NodeId id) {

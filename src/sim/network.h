@@ -33,6 +33,8 @@ struct NetworkConfig {
   // Partition the event core into this many DC-group shards (conservative
   // PDES, DESIGN.md §12); clamped to [1, num_dcs]. 1 = sequential core.
   int shards = 1;
+  // Candidate-path strategy (plain downhill vs FatPaths-style layers).
+  CandidatePathOptions paths;
 };
 
 // Identifies one direction of a graph link, for utilization reporting.
@@ -120,6 +122,17 @@ class Network {
   // a dead switch as the set of its dead links).
   void SetSwitchUp(NodeId node, bool up);
 
+  // --- memory accounting (lcmp.topo.bytes / lcmp.paths.bytes) ---
+  // Bytes owned by the topology description (Graph: vertices, links, CSR).
+  size_t TopoBytes() const { return topo_bytes_; }
+  // Bytes of multipath state: shared interned arena + per-switch slot
+  // arrays.
+  size_t PathTableBytes() const { return path_table_bytes_; }
+  // Bytes of compact intra-DC static forwarding across all switches.
+  size_t StaticTableBytes() const { return static_table_bytes_; }
+  int NumDciSwitches() const { return num_dcis_; }
+  const PathTableArena& path_arena() const { return path_arena_; }
+
  private:
   void BuildNodes(const NetworkConfig& config, const PolicyFactory& factory);
   void BuildStaticForwarding();
@@ -136,10 +149,20 @@ class Network {
   std::vector<std::unique_ptr<ShardChannel>> channels_;
   IntStackPool int_pool_;
   InterDcRoutes routes_;
+  // Declared before nodes_: switches hold spans into the arena slab, so the
+  // arena must outlive them (members destroy in reverse order).
+  PathTableArena path_arena_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<DcId> dc_of_node_;
+  // Dense index of each node within its own DC (static-forwarding rows are
+  // per-DC, not per-graph). Shared read-only by every switch.
+  std::vector<int32_t> local_index_of_node_;
   // port_of_link_[link_idx] = {port index at a, port index at b}.
   std::vector<std::pair<PortIndex, PortIndex>> port_of_link_;
+  size_t topo_bytes_ = 0;
+  size_t path_table_bytes_ = 0;
+  size_t static_table_bytes_ = 0;
+  int num_dcis_ = 0;
   bool ticks_started_ = false;
 };
 

@@ -64,16 +64,24 @@ void SwitchNode::EnablePfc(const PfcConfig& config) {
 }
 
 PortIndex SwitchNode::PickStatic(const Packet& pkt, NodeId toward) {
-  const auto& options = static_ports_[static_cast<size_t>(toward)];
-  if (options.empty()) {
+  // The compact table only covers this switch's own DC; any other target has
+  // no static route (the old full-size table kept empty rows for them).
+  if ((*dc_of_node_)[static_cast<size_t>(toward)] != dc_) {
     return kInvalidPort;
   }
-  if (options.size() == 1) {
-    return options[0];
+  const int32_t lo = (*static_local_index_)[static_cast<size_t>(toward)];
+  const int32_t begin = static_offsets_[static_cast<size_t>(lo)];
+  const int32_t count = static_offsets_[static_cast<size_t>(lo) + 1] - begin;
+  if (count == 0) {
+    return kInvalidPort;
+  }
+  if (count == 1) {
+    return static_ports_[static_cast<size_t>(begin)];
   }
   // Intra-fabric ECMP: deterministic per-flow hash salted by switch id.
   const uint64_t h = HashFlowKey(pkt.key, static_cast<uint64_t>(id_));
-  return options[h % options.size()];
+  return static_ports_[static_cast<size_t>(begin) +
+                       static_cast<size_t>(h % static_cast<uint64_t>(count))];
 }
 
 PortIndex SwitchNode::ResolveEgress(const Packet& pkt) {
@@ -87,8 +95,22 @@ PortIndex SwitchNode::ResolveEgress(const Packet& pkt) {
     LCMP_CHECK(local_dci_ != kInvalidNode);
     return PickStatic(pkt, local_dci_);
   }
-  // DCI switch: the multipath policy owns the inter-DC decision.
-  const auto candidates = CandidatesTo(dst_dc);
+  // DCI switch: pin the flow to a path layer, then let the multipath policy
+  // pick among that layer's candidates. The layer hash is unsalted by switch
+  // id, so every hop of a flow agrees on the layer; a layer with no
+  // candidates here falls back to the (total) minimal layer 0, which cannot
+  // recur because layer-0 forwarding is strictly downhill from then on.
+  int layer = 0;
+  if (path_table_.num_layers() > 1) {
+    layer = static_cast<int>(HashFlowKey(pkt.key, kPathLayerSalt) %
+                             static_cast<uint64_t>(path_table_.num_layers()));
+  }
+  std::span<const PathCandidate> candidates = path_table_.Get(dst_dc, layer);
+  if (candidates.empty() && layer != 0) {
+    layer = 0;
+    candidates = path_table_.Get(dst_dc, 0);
+  }
+  current_path_layer_ = layer;
   if (candidates.empty()) {
     return kInvalidPort;
   }

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/packet.h"
+#include "sim/path_table.h"
 #include "sim/pfc.h"
 #include "sim/port.h"
 #include "sim/simulator.h"
@@ -65,6 +66,11 @@ class Node {
   std::vector<std::unique_ptr<Port>> ports_;
 };
 
+// Salt for the per-flow path-layer hash (FatPaths-style layered routing).
+// Deliberately NOT combined with the switch id: every hop must agree on a
+// flow's layer or mixed-layer forwarding could loop.
+inline constexpr uint64_t kPathLayerSalt = 0xfa7b0a7b5ULL;
+
 // One candidate egress at a DCI switch toward a destination DC, annotated
 // with the control-plane path attributes LCMP's C_path consumes.
 struct PathCandidate {
@@ -112,13 +118,20 @@ class SwitchNode : public Node {
 
   // --- wiring performed by Network ---
   void SetDcOfNode(const std::vector<DcId>* dc_of_node) { dc_of_node_ = dc_of_node; }
-  void SetStaticPorts(std::vector<std::vector<PortIndex>> table) {
-    static_ports_ = std::move(table);
+  // Compact intra-DC forwarding table: `local_index` (Network-owned) maps a
+  // global node id to its dense index within this switch's DC; `offsets`
+  // (num-local-nodes + 1 entries) and `ports` form a CSR over the equal-cost
+  // egress port sets.
+  void SetStaticTable(const std::vector<int32_t>* local_index, std::vector<int32_t> offsets,
+                      std::vector<PortIndex> ports) {
+    static_local_index_ = local_index;
+    static_offsets_ = std::move(offsets);
+    static_ports_ = std::move(ports);
   }
   void SetLocalDci(NodeId dci) { local_dci_ = dci; }
-  void SetInterDcCandidates(std::vector<std::vector<PathCandidate>> cands) {
-    inter_dc_candidates_ = std::move(cands);
-  }
+  // Installs the (layer, dst DC) candidate table backed by the Network's
+  // shared PathTableArena.
+  void SetPathTable(SwitchPathTable table) { path_table_ = std::move(table); }
   void SetPolicy(std::unique_ptr<MultipathPolicy> policy) { policy_ = std::move(policy); }
 
   MultipathPolicy* policy() { return policy_.get(); }
@@ -133,10 +146,15 @@ class SwitchNode : public Node {
     return (*dc_of_node_)[static_cast<size_t>(pkt.dst)];
   }
   // Total number of DCs known to this switch's candidate table.
-  int NumDcs() const { return static_cast<int>(inter_dc_candidates_.size()); }
+  int NumDcs() const { return path_table_.num_dcs(); }
+  // Path layers in the candidate table (1 = plain downhill routing).
+  int num_path_layers() const { return path_table_.num_layers(); }
+  // Layer the most recent ResolveEgress pinned the current packet's flow to;
+  // layer-aware policies (LCMP's C_path tables) key their state on it.
+  int current_path_layer() const { return current_path_layer_; }
 
-  std::span<const PathCandidate> CandidatesTo(DcId dst_dc) const {
-    return inter_dc_candidates_[static_cast<size_t>(dst_dc)];
+  std::span<const PathCandidate> CandidatesTo(DcId dst_dc, int layer = 0) const {
+    return path_table_.Get(dst_dc, layer);
   }
 
   int64_t forwarded_packets() const { return forwarded_packets_; }
@@ -152,11 +170,16 @@ class SwitchNode : public Node {
 
   bool is_dci_;
   const std::vector<DcId>* dc_of_node_ = nullptr;
-  // static_ports_[dst_node] = equal-cost egress ports along shortest paths.
-  std::vector<std::vector<PortIndex>> static_ports_;
+  // Intra-DC forwarding in CSR form over the DC-local node index: the
+  // equal-cost egress ports toward local node `lo` are
+  // static_ports_[static_offsets_[lo] .. static_offsets_[lo + 1]).
+  const std::vector<int32_t>* static_local_index_ = nullptr;
+  std::vector<int32_t> static_offsets_;
+  std::vector<PortIndex> static_ports_;
   NodeId local_dci_ = kInvalidNode;
-  // inter_dc_candidates_[dst_dc] = DCI-level multipath candidates.
-  std::vector<std::vector<PathCandidate>> inter_dc_candidates_;
+  // (layer, dst DC) -> interned DCI-level multipath candidates.
+  SwitchPathTable path_table_;
+  int current_path_layer_ = 0;
   std::unique_ptr<MultipathPolicy> policy_;
   std::unique_ptr<PfcController> pfc_;
 

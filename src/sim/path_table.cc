@@ -1,0 +1,99 @@
+#include "sim/path_table.h"
+
+#include "common/hashing.h"
+#include "common/logging.h"
+#include "sim/node.h"
+
+namespace lcmp {
+namespace {
+
+uint64_t HashCandidates(std::span<const PathCandidate> list) {
+  uint64_t h = 0xa7e9a7b1e5ULL ^ list.size();
+  for (const PathCandidate& c : list) {
+    h = Mix64(h ^ static_cast<uint64_t>(static_cast<int64_t>(c.port)));
+    h = Mix64(h ^ static_cast<uint64_t>(static_cast<int64_t>(c.next_hop)));
+    h = Mix64(h ^ static_cast<uint64_t>(c.path_delay_ns));
+    h = Mix64(h ^ static_cast<uint64_t>(c.bottleneck_bps));
+    h = Mix64(h ^ static_cast<uint64_t>(static_cast<int64_t>(c.graph_link_idx)));
+  }
+  return h;
+}
+
+bool SameCandidates(std::span<const PathCandidate> a, std::span<const PathCandidate> b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].port != b[i].port || a[i].next_hop != b[i].next_hop ||
+        a[i].path_delay_ns != b[i].path_delay_ns || a[i].bottleneck_bps != b[i].bottleneck_bps ||
+        a[i].graph_link_idx != b[i].graph_link_idx) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PathSlotRef PathTableArena::Intern(std::span<const PathCandidate> list) {
+  ++total_lists_;
+  if (list.empty()) {
+    return PathSlotRef{0, 0};
+  }
+  const uint64_t h = HashCandidates(list);
+  std::vector<PathSlotRef>& bucket = index_[h];
+  for (const PathSlotRef& ref : bucket) {
+    if (SameCandidates(Resolve(ref), list)) {
+      return ref;
+    }
+  }
+  PathSlotRef ref;
+  ref.offset = static_cast<uint32_t>(slab_.size());
+  ref.count = static_cast<uint32_t>(list.size());
+  slab_.insert(slab_.end(), list.begin(), list.end());
+  bucket.push_back(ref);
+  ++unique_lists_;
+  return ref;
+}
+
+std::span<const PathCandidate> PathTableArena::Resolve(PathSlotRef ref) const {
+  if (ref.count == 0) {
+    return {};
+  }
+  return {slab_.data() + ref.offset, ref.count};
+}
+
+size_t PathTableArena::MemoryBytes() const {
+  size_t bytes = slab_.capacity() * sizeof(PathCandidate);
+  bytes += index_.size() * (sizeof(uint64_t) + sizeof(std::vector<PathSlotRef>) + 16);
+  for (const auto& [h, bucket] : index_) {
+    bytes += bucket.capacity() * sizeof(PathSlotRef);
+  }
+  return bytes;
+}
+
+void SwitchPathTable::Init(const PathTableArena* arena, int num_dcs, int num_layers) {
+  LCMP_CHECK(num_dcs >= 0 && num_layers >= 1);
+  arena_ = arena;
+  num_dcs_ = num_dcs;
+  num_layers_ = num_layers;
+  slots_.assign(static_cast<size_t>(num_dcs) * static_cast<size_t>(num_layers), PathSlotRef{});
+}
+
+void SwitchPathTable::Set(DcId dst, int layer, PathSlotRef ref) {
+  LCMP_CHECK(dst >= 0 && dst < num_dcs_);
+  LCMP_CHECK(layer >= 0 && layer < num_layers_);
+  slots_[static_cast<size_t>(layer) * static_cast<size_t>(num_dcs_) + static_cast<size_t>(dst)] =
+      ref;
+}
+
+std::span<const PathCandidate> SwitchPathTable::Get(DcId dst, int layer) const {
+  if (arena_ == nullptr || dst < 0 || dst >= num_dcs_ || layer < 0 || layer >= num_layers_) {
+    return {};
+  }
+  return arena_->Resolve(
+      slots_[static_cast<size_t>(layer) * static_cast<size_t>(num_dcs_) +
+             static_cast<size_t>(dst)]);
+}
+
+}  // namespace lcmp

@@ -1,0 +1,78 @@
+// Arena/slab-backed per-switch multipath tables.
+//
+// At extreme scale the per-switch candidate tables dominate control-plane
+// memory: a 200-DC WAN with 4 path layers stores 200 * 4 rows per DCI, and
+// many rows are identical across destinations and switches (e.g. single-hop
+// rows toward a hub). The Network therefore owns one PathTableArena holding
+// every distinct candidate list exactly once (content interning), and each
+// switch keeps only an 8-byte slot (offset, count) per (layer, dst) entry.
+//
+// The arena is append-only and frozen before the simulation starts, so
+// spans handed out by Resolve stay valid for the run and reads are safe
+// from every shard thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace lcmp {
+
+struct PathCandidate;
+
+// Reference to an interned candidate list in the arena.
+struct PathSlotRef {
+  uint32_t offset = 0;
+  uint32_t count = 0;
+};
+
+class PathTableArena {
+ public:
+  // Interns `list`, reusing an existing slab range when an identical list
+  // was interned before. Empty lists map to {0, 0} without touching the
+  // slab.
+  PathSlotRef Intern(std::span<const PathCandidate> list);
+
+  std::span<const PathCandidate> Resolve(PathSlotRef ref) const;
+
+  size_t total_lists() const { return total_lists_; }
+  size_t unique_lists() const { return unique_lists_; }
+
+  // Slab + intern-index heap bytes. Feeds lcmp.paths.bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<PathCandidate> slab_;
+  // Content hash -> candidate refs with that hash (verified element-wise).
+  std::unordered_map<uint64_t, std::vector<PathSlotRef>> index_;
+  size_t total_lists_ = 0;
+  size_t unique_lists_ = 0;
+};
+
+// Per-switch view: one PathSlotRef per (layer, dst DC), resolved through the
+// shared arena. Non-DCI switches keep the default empty table.
+class SwitchPathTable {
+ public:
+  void Init(const PathTableArena* arena, int num_dcs, int num_layers);
+  void Set(DcId dst, int layer, PathSlotRef ref);
+  std::span<const PathCandidate> Get(DcId dst, int layer) const;
+
+  int num_dcs() const { return num_dcs_; }
+  int num_layers() const { return num_layers_; }
+
+  // Slot-array bytes owned by this switch (the interned lists live in the
+  // shared arena and are accounted there).
+  size_t MemoryBytes() const { return slots_.capacity() * sizeof(PathSlotRef); }
+
+ private:
+  const PathTableArena* arena_ = nullptr;
+  std::vector<PathSlotRef> slots_;  // [layer * num_dcs + dst]
+  int num_dcs_ = 0;
+  int num_layers_ = 1;
+};
+
+}  // namespace lcmp

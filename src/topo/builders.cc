@@ -144,7 +144,7 @@ Graph BuildRandomWan(const RandomWanOptions& opts) {
   for (DcId dc = 0; dc < opts.num_dcs; ++dc) {
     dci[static_cast<size_t>(dc)] = BuildDcFabric(g, dc, opts.fabric);
   }
-  Rng rng(opts.seed ^ 0xbadc0ffeULL);
+  Rng rng = TopoRng(opts.seed);
   const int64_t rates[] = {Gbps(40), Gbps(100), Gbps(200)};
   const TimeNs delays[] = {Milliseconds(1), Milliseconds(5), Milliseconds(10)};
   auto random_rate = [&] { return rates[rng.NextBounded(3)]; };

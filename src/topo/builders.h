@@ -12,9 +12,18 @@
 
 #include <cstdint>
 
+#include "common/rng.h"
 #include "topo/graph.h"
 
 namespace lcmp {
+
+// Dedicated topology Rng stream. Every generated WAN draws exclusively from
+// TopoRng(seed), never from the workload/chaos streams, so a generated
+// topology is a pure function of its seed: bit-identical across --shards,
+// --jobs and traffic settings. (The salt matches the stream BuildRandomWan
+// has always used, keeping historical seeds stable.)
+inline constexpr uint64_t kTopoSeedSalt = 0xbadc0ffeULL;
+inline Rng TopoRng(uint64_t seed) { return Rng(seed ^ kTopoSeedSalt); }
 
 enum class FabricKind : uint8_t { kCollapsed, kLeafSpine };
 

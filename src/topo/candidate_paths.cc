@@ -4,7 +4,9 @@
 #include <limits>
 #include <queue>
 
+#include "common/hashing.h"
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace lcmp {
 namespace {
@@ -18,19 +20,95 @@ struct InterDcLink {
   TimeNs delay_ns;
 };
 
-}  // namespace
-
-InterDcRoutes InterDcRoutes::Compute(const Graph& g) {
-  InterDcRoutes r;
-  r.num_dcs_ = g.num_dcs();
-  r.dci_of_dc_.assign(static_cast<size_t>(r.num_dcs_), kInvalidNode);
-  for (DcId dc = 0; dc < r.num_dcs_; ++dc) {
-    r.dci_of_dc_[static_cast<size_t>(dc)] = g.DciOfDc(dc);
+// Downhill candidate computation for one destination over the given inter-DC
+// adjacency (possibly a layer subgraph). Fills candidates[src_dc] and, when
+// non-null, hop_dist[src_dc].
+void ComputeDownhillToDst(const Graph& g, const std::vector<std::vector<InterDcLink>>& adj,
+                          const std::vector<NodeId>& dci_of_dc, DcId dst_dc,
+                          std::vector<std::vector<RouteCandidate>>* candidates_by_src,
+                          std::vector<int>* hop_dist_by_src) {
+  const int num_dcs = static_cast<int>(dci_of_dc.size());
+  const NodeId dst_dci = dci_of_dc[static_cast<size_t>(dst_dc)];
+  if (dst_dci == kInvalidNode) {
+    return;
   }
+  // BFS hop distances toward dst over the inter-DC graph.
+  std::vector<int> dist(static_cast<size_t>(g.num_vertices()), -1);
+  std::queue<NodeId> bfs;
+  dist[static_cast<size_t>(dst_dci)] = 0;
+  bfs.push(dst_dci);
+  while (!bfs.empty()) {
+    const NodeId u = bfs.front();
+    bfs.pop();
+    for (const InterDcLink& l : adj[static_cast<size_t>(u)]) {
+      if (dist[static_cast<size_t>(l.b)] < 0) {
+        dist[static_cast<size_t>(l.b)] = dist[static_cast<size_t>(u)] + 1;
+        bfs.push(l.b);
+      }
+    }
+  }
+  // Downhill DP in increasing hop distance: best residual delay and the
+  // bottleneck along that best-delay downhill route.
+  std::vector<NodeId> order;
+  for (DcId dc = 0; dc < num_dcs; ++dc) {
+    const NodeId dci = dci_of_dc[static_cast<size_t>(dc)];
+    if (dci != kInvalidNode && dist[static_cast<size_t>(dci)] >= 0) {
+      order.push_back(dci);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId x, NodeId y) {
+    return dist[static_cast<size_t>(x)] < dist[static_cast<size_t>(y)];
+  });
+  std::vector<TimeNs> best_delay(static_cast<size_t>(g.num_vertices()), kInfDelay);
+  std::vector<int64_t> best_bneck(static_cast<size_t>(g.num_vertices()), 0);
+  best_delay[static_cast<size_t>(dst_dci)] = 0;
+  best_bneck[static_cast<size_t>(dst_dci)] = std::numeric_limits<int64_t>::max();
 
-  // Inter-DC adjacency: per DCI switch, the incident DCI<->DCI links.
+  for (const NodeId u : order) {
+    const DcId udc = g.vertex(u).dc;
+    if (hop_dist_by_src != nullptr) {
+      (*hop_dist_by_src)[static_cast<size_t>(udc)] = dist[static_cast<size_t>(u)];
+    }
+    if (u == dst_dci) {
+      continue;
+    }
+    std::vector<RouteCandidate>& cands = (*candidates_by_src)[static_cast<size_t>(udc)];
+    for (const InterDcLink& l : adj[static_cast<size_t>(u)]) {
+      const NodeId v = l.b;
+      if (dist[static_cast<size_t>(v)] < 0 ||
+          dist[static_cast<size_t>(v)] >= dist[static_cast<size_t>(u)]) {
+        continue;  // not downhill
+      }
+      RouteCandidate c;
+      c.next_hop = v;
+      c.link_idx = l.link_idx;
+      c.path_delay_ns = l.delay_ns + best_delay[static_cast<size_t>(v)];
+      c.bottleneck_bps = std::min(l.rate_bps, best_bneck[static_cast<size_t>(v)]);
+      cands.push_back(c);
+      // Update this node's own best residual metrics.
+      if (c.path_delay_ns < best_delay[static_cast<size_t>(u)] ||
+          (c.path_delay_ns == best_delay[static_cast<size_t>(u)] &&
+           c.bottleneck_bps > best_bneck[static_cast<size_t>(u)])) {
+        best_delay[static_cast<size_t>(u)] = c.path_delay_ns;
+        best_bneck[static_cast<size_t>(u)] = c.bottleneck_bps;
+      }
+    }
+    // Stable order (by first-hop link index) for reproducibility.
+    std::sort(cands.begin(), cands.end(), [](const RouteCandidate& x, const RouteCandidate& y) {
+      return x.link_idx < y.link_idx;
+    });
+  }
+}
+
+// Per-DCI inter-DC adjacency, restricted to links where keep[link_idx] is
+// true (keep empty == keep all).
+std::vector<std::vector<InterDcLink>> BuildInterDcAdjacency(const Graph& g,
+                                                            const std::vector<bool>& keep) {
   std::vector<std::vector<InterDcLink>> adj(static_cast<size_t>(g.num_vertices()));
   for (int li = 0; li < g.num_links(); ++li) {
+    if (!keep.empty() && !keep[static_cast<size_t>(li)]) {
+      continue;
+    }
     const LinkSpec& l = g.link(li);
     const Vertex& va = g.vertex(l.a);
     const Vertex& vb = g.vertex(l.b);
@@ -39,85 +117,83 @@ InterDcRoutes InterDcRoutes::Compute(const Graph& g) {
       adj[static_cast<size_t>(l.b)].push_back({l.b, l.a, li, l.rate_bps, l.delay_ns});
     }
   }
+  return adj;
+}
+
+}  // namespace
+
+InterDcRoutes InterDcRoutes::Compute(const Graph& g) { return Compute(g, CandidatePathOptions{}); }
+
+InterDcRoutes InterDcRoutes::Compute(const Graph& g, const CandidatePathOptions& opts) {
+  InterDcRoutes r;
+  r.num_dcs_ = g.num_dcs();
+  r.dci_of_dc_.assign(static_cast<size_t>(r.num_dcs_), kInvalidNode);
+  r.dc_of_node_.assign(static_cast<size_t>(g.num_vertices()), kInvalidDc);
+  for (DcId dc = 0; dc < r.num_dcs_; ++dc) {
+    const NodeId dci = g.DciOfDc(dc);
+    r.dci_of_dc_[static_cast<size_t>(dc)] = dci;
+    if (dci != kInvalidNode) {
+      r.dc_of_node_[static_cast<size_t>(dci)] = dc;
+    }
+  }
 
   const size_t ndc = static_cast<size_t>(r.num_dcs_);
   r.candidates_.assign(ndc, std::vector<std::vector<RouteCandidate>>(ndc));
   r.hop_dist_.assign(ndc, std::vector<int>(ndc, -1));
 
+  // Layer 0: the minimal downhill set over the full inter-DC graph.
+  const std::vector<std::vector<InterDcLink>> adj = BuildInterDcAdjacency(g, {});
   for (DcId dst_dc = 0; dst_dc < r.num_dcs_; ++dst_dc) {
-    const NodeId dst_dci = r.dci_of_dc_[static_cast<size_t>(dst_dc)];
-    if (dst_dci == kInvalidNode) {
-      continue;
-    }
-    // BFS hop distances toward dst over the inter-DC graph.
-    std::vector<int> dist(static_cast<size_t>(g.num_vertices()), -1);
-    std::queue<NodeId> bfs;
-    dist[static_cast<size_t>(dst_dci)] = 0;
-    bfs.push(dst_dci);
-    while (!bfs.empty()) {
-      const NodeId u = bfs.front();
-      bfs.pop();
-      for (const InterDcLink& l : adj[static_cast<size_t>(u)]) {
-        if (dist[static_cast<size_t>(l.b)] < 0) {
-          dist[static_cast<size_t>(l.b)] = dist[static_cast<size_t>(u)] + 1;
-          bfs.push(l.b);
-        }
-      }
-    }
-    // Downhill DP in increasing hop distance: best residual delay and the
-    // bottleneck along that best-delay downhill route.
-    std::vector<NodeId> order;
-    for (DcId dc = 0; dc < r.num_dcs_; ++dc) {
-      const NodeId dci = r.dci_of_dc_[static_cast<size_t>(dc)];
-      if (dci != kInvalidNode && dist[static_cast<size_t>(dci)] >= 0) {
-        order.push_back(dci);
-      }
-    }
-    std::sort(order.begin(), order.end(), [&](NodeId x, NodeId y) {
-      return dist[static_cast<size_t>(x)] < dist[static_cast<size_t>(y)];
-    });
-    std::vector<TimeNs> best_delay(static_cast<size_t>(g.num_vertices()), kInfDelay);
-    std::vector<int64_t> best_bneck(static_cast<size_t>(g.num_vertices()), 0);
-    best_delay[static_cast<size_t>(dst_dci)] = 0;
-    best_bneck[static_cast<size_t>(dst_dci)] = std::numeric_limits<int64_t>::max();
-
-    for (const NodeId u : order) {
-      const DcId udc = g.vertex(u).dc;
-      r.hop_dist_[static_cast<size_t>(udc)][static_cast<size_t>(dst_dc)] =
-          dist[static_cast<size_t>(u)];
-      if (u == dst_dci) {
-        continue;
-      }
-      std::vector<RouteCandidate>& cands =
-          r.candidates_[static_cast<size_t>(udc)][static_cast<size_t>(dst_dc)];
-      for (const InterDcLink& l : adj[static_cast<size_t>(u)]) {
-        const NodeId v = l.b;
-        if (dist[static_cast<size_t>(v)] < 0 ||
-            dist[static_cast<size_t>(v)] >= dist[static_cast<size_t>(u)]) {
-          continue;  // not downhill
-        }
-        RouteCandidate c;
-        c.next_hop = v;
-        c.link_idx = l.link_idx;
-        c.path_delay_ns = l.delay_ns + best_delay[static_cast<size_t>(v)];
-        c.bottleneck_bps = std::min(l.rate_bps, best_bneck[static_cast<size_t>(v)]);
-        cands.push_back(c);
-        // Update this node's own best residual metrics.
-        if (c.path_delay_ns < best_delay[static_cast<size_t>(u)] ||
-            (c.path_delay_ns == best_delay[static_cast<size_t>(u)] &&
-             c.bottleneck_bps > best_bneck[static_cast<size_t>(u)])) {
-          best_delay[static_cast<size_t>(u)] = c.path_delay_ns;
-          best_bneck[static_cast<size_t>(u)] = c.bottleneck_bps;
-        }
-      }
-      // Stable order (by first-hop link index) for reproducibility.
-      std::sort(cands.begin(), cands.end(),
-                [](const RouteCandidate& x, const RouteCandidate& y) {
-                  return x.link_idx < y.link_idx;
-                });
+    std::vector<std::vector<RouteCandidate>> by_src(ndc);
+    std::vector<int> hops(ndc, -1);
+    ComputeDownhillToDst(g, adj, r.dci_of_dc_, dst_dc, &by_src, &hops);
+    for (size_t src = 0; src < ndc; ++src) {
+      r.candidates_[src][static_cast<size_t>(dst_dc)] = std::move(by_src[src]);
+      r.hop_dist_[src][static_cast<size_t>(dst_dc)] = hops[src];
     }
   }
+
+  if (opts.strategy != PathStrategyKind::kLayered || opts.layers <= 1) {
+    return r;
+  }
+
+  // Layers >= 1: downhill routing on a seeded random subgraph. Each layer
+  // consumes one Rng draw per inter-DC link, in link-index order, from its
+  // own stream — independent of shard count, thread count, and traffic.
+  for (int layer = 1; layer < opts.layers; ++layer) {
+    Rng rng(Mix64(opts.seed ^ 0x5eedfa7caa7e5ULL) ^
+            (0x100000001b3ULL * static_cast<uint64_t>(layer)));
+    std::vector<bool> keep(static_cast<size_t>(g.num_links()), true);
+    for (int li = 0; li < g.num_links(); ++li) {
+      const LinkSpec& l = g.link(li);
+      if (g.vertex(l.a).kind != VertexKind::kDciSwitch ||
+          g.vertex(l.b).kind != VertexKind::kDciSwitch) {
+        continue;
+      }
+      if (static_cast<int>(rng.NextBounded(1000)) < opts.drop_permille) {
+        keep[static_cast<size_t>(li)] = false;
+      }
+    }
+    const std::vector<std::vector<InterDcLink>> sub = BuildInterDcAdjacency(g, keep);
+    std::vector<std::vector<std::vector<RouteCandidate>>> layer_cands(
+        ndc, std::vector<std::vector<RouteCandidate>>(ndc));
+    for (DcId dst_dc = 0; dst_dc < r.num_dcs_; ++dst_dc) {
+      std::vector<std::vector<RouteCandidate>> by_src(ndc);
+      ComputeDownhillToDst(g, sub, r.dci_of_dc_, dst_dc, &by_src, nullptr);
+      for (size_t src = 0; src < ndc; ++src) {
+        layer_cands[src][static_cast<size_t>(dst_dc)] = std::move(by_src[src]);
+      }
+    }
+    r.extra_layers_.push_back(std::move(layer_cands));
+  }
   return r;
+}
+
+DcId InterDcRoutes::DcOfDci(NodeId dci) const {
+  if (dci < 0 || static_cast<size_t>(dci) >= dc_of_node_.size()) {
+    return kInvalidDc;
+  }
+  return dc_of_node_[static_cast<size_t>(dci)];
 }
 
 const std::vector<RouteCandidate>& InterDcRoutes::Candidates(NodeId dci, DcId dst_dc) const {
@@ -125,25 +201,40 @@ const std::vector<RouteCandidate>& InterDcRoutes::Candidates(NodeId dci, DcId ds
   if (dst_dc < 0 || dst_dc >= num_dcs_) {
     return kEmpty;
   }
-  // Resolve the switch's DC via the stored DCI table.
-  for (DcId dc = 0; dc < num_dcs_; ++dc) {
-    if (dci_of_dc_[static_cast<size_t>(dc)] == dci) {
-      return candidates_[static_cast<size_t>(dc)][static_cast<size_t>(dst_dc)];
-    }
+  const DcId dc = DcOfDci(dci);
+  if (dc == kInvalidDc) {
+    return kEmpty;
   }
-  return kEmpty;
+  return candidates_[static_cast<size_t>(dc)][static_cast<size_t>(dst_dc)];
+}
+
+const std::vector<RouteCandidate>& InterDcRoutes::CandidatesInLayer(NodeId dci, DcId dst_dc,
+                                                                    int layer) const {
+  static const std::vector<RouteCandidate> kEmpty;
+  if (layer <= 0) {
+    return Candidates(dci, dst_dc);
+  }
+  if (dst_dc < 0 || dst_dc >= num_dcs_ ||
+      static_cast<size_t>(layer - 1) >= extra_layers_.size()) {
+    return kEmpty;
+  }
+  const DcId dc = DcOfDci(dci);
+  if (dc == kInvalidDc) {
+    return kEmpty;
+  }
+  return extra_layers_[static_cast<size_t>(layer - 1)][static_cast<size_t>(dc)]
+                      [static_cast<size_t>(dst_dc)];
 }
 
 int InterDcRoutes::HopDistance(NodeId dci, DcId dst_dc) const {
   if (dst_dc < 0 || dst_dc >= num_dcs_) {
     return -1;
   }
-  for (DcId dc = 0; dc < num_dcs_; ++dc) {
-    if (dci_of_dc_[static_cast<size_t>(dc)] == dci) {
-      return hop_dist_[static_cast<size_t>(dc)][static_cast<size_t>(dst_dc)];
-    }
+  const DcId dc = DcOfDci(dci);
+  if (dc == kInvalidDc) {
+    return -1;
   }
-  return -1;
+  return hop_dist_[static_cast<size_t>(dc)][static_cast<size_t>(dst_dc)];
 }
 
 double InterDcRoutes::MultipathPairFraction() const {

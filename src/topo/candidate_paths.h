@@ -8,8 +8,21 @@
 // Loop freedom comes from "downhill" routing: a neighbor is a candidate only
 // if it is strictly closer (in hops) to the destination DC. On the paper's
 // topologies this yields exactly the candidate routes discussed in Fig. 1.
+//
+// Two strategies are supported:
+//  - kDownhill: the single minimal candidate set above (the default).
+//  - kLayered: FatPaths-style layered non-minimal path sets. Layer 0 is the
+//    minimal downhill set; each additional layer recomputes downhill routing
+//    on a seeded random subgraph of the inter-DC links, so its "minimal"
+//    routes detour around the dropped links and expose non-minimal diversity.
+//    A flow is pinned to one layer end-to-end (the data plane hashes the flow
+//    key without any per-switch salt), and every hop within a layer is
+//    strictly downhill in that layer's own distance function, so mixed-layer
+//    forwarding stays loop-free: a flow whose layer has no candidates at some
+//    switch falls back to layer 0 there, and layer 0 is total.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +36,26 @@ struct RouteCandidate {
   int link_idx = -1;               // graph link used for the first hop
   TimeNs path_delay_ns = 0;        // first-hop delay + best residual delay
   int64_t bottleneck_bps = 0;      // bottleneck along that best-delay route
+};
+
+// Candidate-set strategy (see file comment).
+enum class PathStrategyKind : uint8_t {
+  kDownhill,  // minimal downhill candidates only (single layer)
+  kLayered,   // FatPaths-style layered non-minimal path sets
+};
+
+// Options for InterDcRoutes::Compute. The defaults reproduce the historical
+// single-layer behavior bit-for-bit.
+struct CandidatePathOptions {
+  PathStrategyKind strategy = PathStrategyKind::kDownhill;
+  // Total layers including the minimal layer 0 (kLayered only; >= 1).
+  int layers = 4;
+  // Probability (in 1/1000) that an inter-DC link is dropped from the
+  // subgraph of each non-minimal layer.
+  int drop_permille = 250;
+  // Seed for the per-layer subgraph sampling; independent of the workload
+  // seed so topology routing is stable across traffic variations.
+  uint64_t seed = 1;
 };
 
 // Delay/bottleneck of the minimum-propagation-delay path between two nodes
@@ -39,10 +72,19 @@ class InterDcRoutes {
   // Derives candidate sets from the inter-DC sub-graph of `g` (links whose
   // endpoints are both DCI switches).
   static InterDcRoutes Compute(const Graph& g);
+  static InterDcRoutes Compute(const Graph& g, const CandidatePathOptions& opts);
 
-  // Candidate next hops at `dci` toward `dst_dc` (empty when unreachable or
-  // when dci already sits in dst_dc).
+  // Candidate next hops at `dci` toward `dst_dc` in layer 0 (empty when
+  // unreachable or when dci already sits in dst_dc).
   const std::vector<RouteCandidate>& Candidates(NodeId dci, DcId dst_dc) const;
+
+  // Candidate next hops in `layer` (0 == Candidates()). Layers >= 1 may be
+  // empty even for reachable pairs when the layer's subgraph disconnects
+  // them; callers fall back to layer 0.
+  const std::vector<RouteCandidate>& CandidatesInLayer(NodeId dci, DcId dst_dc, int layer) const;
+
+  // Number of layers computed (1 for kDownhill).
+  int num_layers() const { return 1 + static_cast<int>(extra_layers_.size()); }
 
   // Hop distance from `dci` to `dst_dc` over the inter-DC graph; -1 if
   // unreachable.
@@ -55,11 +97,17 @@ class InterDcRoutes {
   int num_dcs() const { return num_dcs_; }
 
  private:
+  // DC of `dci` via the O(1) reverse index; kInvalidDc if not a known DCI.
+  DcId DcOfDci(NodeId dci) const;
+
   int num_dcs_ = 0;
   std::vector<NodeId> dci_of_dc_;
+  std::vector<DcId> dc_of_node_;  // [node] -> DC if a known DCI, else kInvalidDc
   // candidates_[dc_of(dci)][dst_dc]; DCIs are unique per DC so indexing by
-  // the switch's DC is unambiguous.
+  // the switch's DC is unambiguous. This is layer 0.
   std::vector<std::vector<std::vector<RouteCandidate>>> candidates_;
+  // extra_layers_[l - 1][src_dc][dst_dc] for layers l >= 1.
+  std::vector<std::vector<std::vector<std::vector<RouteCandidate>>>> extra_layers_;
   std::vector<std::vector<int>> hop_dist_;  // [src_dc][dst_dc]
 };
 

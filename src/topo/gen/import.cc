@@ -1,0 +1,289 @@
+#include "topo/gen/import.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace lcmp {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.14159265358979323846;
+
+double HaversineKm(double lat1, double lon1, double lat2, double lon2) {
+  const double p1 = lat1 * kPi / 180.0;
+  const double p2 = lat2 * kPi / 180.0;
+  const double dp = (lat2 - lat1) * kPi / 180.0;
+  const double dl = (lon2 - lon1) * kPi / 180.0;
+  const double a = std::sin(dp / 2) * std::sin(dp / 2) +
+                   std::cos(p1) * std::cos(p2) * std::sin(dl / 2) * std::sin(dl / 2);
+  return 2.0 * kEarthRadiusKm * std::atan2(std::sqrt(a), std::sqrt(1.0 - a));
+}
+
+struct ParsedDc {
+  std::string label;
+  bool has_coords = false;
+  double lat = 0;
+  double lon = 0;
+};
+
+struct ParsedEdge {
+  int a = -1;  // dense DC indices
+  int b = -1;
+  int64_t rate_bps = 0;  // 0: use default
+  TimeNs delay_ns = -1;  // < 0: use default (or coordinates)
+};
+
+struct ParsedWan {
+  std::vector<ParsedDc> dcs;
+  std::vector<ParsedEdge> edges;
+};
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) {
+    *error = msg;
+  }
+  return false;
+}
+
+bool ParseDouble(const std::string& tok, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(tok.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != tok.c_str();
+}
+
+// -------- Edge-list format --------
+
+bool ParseEdgeList(std::istream& in, ParsedWan* wan, std::string* error) {
+  std::unordered_map<std::string, int> dc_of_name;
+  auto intern = [&](const std::string& name) {
+    auto [it, inserted] = dc_of_name.emplace(name, static_cast<int>(wan->dcs.size()));
+    if (inserted) {
+      wan->dcs.push_back(ParsedDc{name, false, 0, 0});
+    }
+    return it->second;
+  };
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string a, b;
+    if (!(ls >> a)) {
+      continue;  // blank or comment-only line
+    }
+    if (!(ls >> b)) {
+      return Fail(error, "edge-list line " + std::to_string(lineno) + ": missing second node");
+    }
+    ParsedEdge e;
+    e.a = intern(a);
+    e.b = intern(b);
+    std::string tok;
+    if (ls >> tok) {
+      double gbps = 0;
+      if (!ParseDouble(tok, &gbps) || gbps <= 0) {
+        return Fail(error, "edge-list line " + std::to_string(lineno) + ": bad rate '" + tok + "'");
+      }
+      e.rate_bps = static_cast<int64_t>(gbps * 1e9);
+    }
+    if (ls >> tok) {
+      double ms = 0;
+      if (!ParseDouble(tok, &ms) || ms < 0) {
+        return Fail(error, "edge-list line " + std::to_string(lineno) + ": bad delay '" + tok + "'");
+      }
+      e.delay_ns = static_cast<TimeNs>(ms * 1e6);
+    }
+    wan->edges.push_back(e);
+  }
+  return true;
+}
+
+// -------- GML subset --------
+
+std::vector<std::string> TokenizeGml(std::istream& in) {
+  std::vector<std::string> toks;
+  char c;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      toks.push_back(cur);
+      cur.clear();
+    }
+  };
+  while (in.get(c)) {
+    if (c == '"') {
+      flush();
+      std::string s;
+      while (in.get(c) && c != '"') {
+        s.push_back(c);
+      }
+      toks.push_back(s);  // quoted strings kept verbatim (may be empty)
+    } else if (c == '[' || c == ']') {
+      flush();
+      toks.push_back(std::string(1, c));
+    } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      flush();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return toks;
+}
+
+// Skips a bracketed block starting at toks[i] == "["; returns the index one
+// past the matching "]".
+size_t SkipBlock(const std::vector<std::string>& toks, size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i] == "[") {
+      ++depth;
+    } else if (toks[i] == "]") {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return i;
+}
+
+bool ParseGml(std::istream& in, ParsedWan* wan, std::string* error) {
+  const std::vector<std::string> toks = TokenizeGml(in);
+  std::unordered_map<long long, int> dc_of_gml_id;
+  size_t i = 0;
+  while (i < toks.size()) {
+    if ((toks[i] == "node" || toks[i] == "edge") && i + 1 < toks.size() && toks[i + 1] == "[") {
+      const bool is_node = toks[i] == "node";
+      const size_t end = SkipBlock(toks, i + 1);
+      long long gml_id = 0;
+      bool has_id = false;
+      ParsedDc dc;
+      bool has_lat = false, has_lon = false;
+      long long source = 0, target = 0;
+      bool has_source = false, has_target = false;
+      double speed_raw = 0;
+      bool has_speed = false;
+      // Key/value pairs at this block's top level only.
+      for (size_t j = i + 2; j + 1 < end;) {
+        const std::string& key = toks[j];
+        if (toks[j + 1] == "[") {
+          j = SkipBlock(toks, j + 1);  // nested block (graphics, ...): skip
+          continue;
+        }
+        const std::string& val = toks[j + 1];
+        double num = 0;
+        if (is_node) {
+          if (key == "id" && ParseDouble(val, &num)) {
+            gml_id = static_cast<long long>(num);
+            has_id = true;
+          } else if (key == "label") {
+            dc.label = val;
+          } else if (key == "Latitude" && ParseDouble(val, &num)) {
+            dc.lat = num;
+            has_lat = true;
+          } else if (key == "Longitude" && ParseDouble(val, &num)) {
+            dc.lon = num;
+            has_lon = true;
+          }
+        } else {
+          if (key == "source" && ParseDouble(val, &num)) {
+            source = static_cast<long long>(num);
+            has_source = true;
+          } else if (key == "target" && ParseDouble(val, &num)) {
+            target = static_cast<long long>(num);
+            has_target = true;
+          } else if (key == "LinkSpeedRaw" && ParseDouble(val, &num)) {
+            speed_raw = num;
+            has_speed = true;
+          }
+        }
+        j += 2;
+      }
+      if (is_node) {
+        if (!has_id) {
+          return Fail(error, "gml: node block without id");
+        }
+        if (dc_of_gml_id.count(gml_id) != 0) {
+          return Fail(error, "gml: duplicate node id " + std::to_string(gml_id));
+        }
+        dc.has_coords = has_lat && has_lon;
+        dc_of_gml_id[gml_id] = static_cast<int>(wan->dcs.size());
+        wan->dcs.push_back(dc);
+      } else {
+        if (!has_source || !has_target) {
+          return Fail(error, "gml: edge block without source/target");
+        }
+        const auto sit = dc_of_gml_id.find(source);
+        const auto tit = dc_of_gml_id.find(target);
+        if (sit == dc_of_gml_id.end() || tit == dc_of_gml_id.end()) {
+          return Fail(error, "gml: edge references unknown node");
+        }
+        ParsedEdge e;
+        e.a = sit->second;
+        e.b = tit->second;
+        if (has_speed && speed_raw > 0) {
+          e.rate_bps = static_cast<int64_t>(speed_raw);
+        }
+        const ParsedDc& da = wan->dcs[static_cast<size_t>(e.a)];
+        const ParsedDc& db = wan->dcs[static_cast<size_t>(e.b)];
+        if (da.has_coords && db.has_coords) {
+          const double km = HaversineKm(da.lat, da.lon, db.lat, db.lon);
+          e.delay_ns = FiberDelayForKm(std::max<int64_t>(std::llround(km), 1));
+        }
+        wan->edges.push_back(e);
+      }
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ImportWan(const WanImportOptions& opts, Graph* out, std::string* error) {
+  std::ifstream in(opts.path);
+  if (!in.is_open()) {
+    return Fail(error, "cannot open topology file: " + opts.path);
+  }
+  ParsedWan wan;
+  const bool is_gml =
+      opts.path.size() >= 4 && opts.path.compare(opts.path.size() - 4, 4, ".gml") == 0;
+  if (is_gml ? !ParseGml(in, &wan, error) : !ParseEdgeList(in, &wan, error)) {
+    return false;
+  }
+  if (wan.dcs.size() < 2) {
+    return Fail(error, "imported topology needs at least 2 nodes, got " +
+                           std::to_string(wan.dcs.size()));
+  }
+  if (wan.edges.empty()) {
+    return Fail(error, "imported topology has no links");
+  }
+  Graph g;
+  std::vector<NodeId> dci(wan.dcs.size(), kInvalidNode);
+  for (size_t dc = 0; dc < wan.dcs.size(); ++dc) {
+    dci[dc] = BuildDcFabric(g, static_cast<DcId>(dc), opts.fabric);
+  }
+  for (const ParsedEdge& e : wan.edges) {
+    if (e.a == e.b) {
+      continue;  // self-loops carry no routing information
+    }
+    const int64_t rate = e.rate_bps > 0 ? e.rate_bps : opts.default_rate_bps;
+    const TimeNs delay = e.delay_ns >= 0 ? e.delay_ns : opts.default_delay_ns;
+    g.AddLink(dci[static_cast<size_t>(e.a)], dci[static_cast<size_t>(e.b)], rate, delay,
+              opts.inter_dc_buffer_bytes);
+  }
+  *out = std::move(g);
+  return true;
+}
+
+}  // namespace lcmp

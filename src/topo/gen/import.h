@@ -1,0 +1,41 @@
+// Real-world WAN importer (Topology Zoo style).
+//
+// Two input formats, selected by file extension:
+//
+//  - Edge list (anything but .gml): one link per line,
+//        <name_a> <name_b> [rate_gbps] [delay_ms]
+//    '#' starts a comment; node names map to dense DC ids in first-appearance
+//    order. Omitted rate/delay fall back to the option defaults.
+//
+//  - GML subset (.gml, as published by the Internet Topology Zoo): `node`
+//    blocks with `id`, `label`, and optional `Latitude`/`Longitude`;
+//    `edge` blocks with `source`, `target`, and optional `LinkSpeedRaw`
+//    (bits/s). When both endpoints carry coordinates the propagation delay
+//    is derived from the great-circle distance at 200 km/ms fiber speed;
+//    otherwise the default applies.
+//
+// Every imported node becomes one datacenter (fabric from the options);
+// parallel edges become parallel inter-DC links (extra path diversity) and
+// self-loops are dropped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topo/builders.h"
+
+namespace lcmp {
+
+struct WanImportOptions {
+  std::string path;
+  FabricOptions fabric;
+  int64_t default_rate_bps = Gbps(100);
+  TimeNs default_delay_ns = Milliseconds(5);
+  int64_t inter_dc_buffer_bytes = int64_t{2} * 1024 * 1024 * 1024;
+};
+
+// Parses `opts.path` into `*out` (overwritten). False with a human-readable
+// *error on malformed input, unknown nodes, or I/O failure.
+bool ImportWan(const WanImportOptions& opts, Graph* out, std::string* error);
+
+}  // namespace lcmp

@@ -1,0 +1,203 @@
+#include "topo/gen/topo_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/rng.h"
+
+namespace lcmp {
+namespace {
+
+bool IsInterDcLink(const Graph& g, const LinkSpec& l) {
+  return g.vertex(l.a).kind == VertexKind::kDciSwitch &&
+         g.vertex(l.b).kind == VertexKind::kDciSwitch && g.vertex(l.a).dc != g.vertex(l.b).dc;
+}
+
+uint64_t Fold(uint64_t h, uint64_t v) { return Mix64(h ^ (v + 0x9e3779b97f4a7c15ULL)); }
+
+}  // namespace
+
+TopoStats ComputeTopoStats(const Graph& g, uint64_t seed, int bisection_trials) {
+  TopoStats s;
+  s.vertices = g.num_vertices();
+  s.links = g.num_links();
+  s.dcs = g.num_dcs();
+  for (const Vertex& v : g.vertices()) {
+    if (v.kind == VertexKind::kHost) {
+      ++s.hosts;
+    } else {
+      ++s.switches;
+      if (v.kind == VertexKind::kDciSwitch) {
+        ++s.dci_switches;
+      }
+    }
+  }
+
+  // Inter-DC adjacency over the DCI graph, indexed by DC.
+  std::vector<std::vector<DcId>> adj(static_cast<size_t>(g.num_dcs()));
+  for (int li = 0; li < g.num_links(); ++li) {
+    const LinkSpec& l = g.link(li);
+    if (!IsInterDcLink(g, l)) {
+      continue;
+    }
+    ++s.inter_dc_links;
+    s.inter_dc_capacity_bps += l.rate_bps;
+    adj[static_cast<size_t>(g.vertex(l.a).dc)].push_back(g.vertex(l.b).dc);
+    adj[static_cast<size_t>(g.vertex(l.b).dc)].push_back(g.vertex(l.a).dc);
+  }
+  std::vector<DcId> dci_dcs;
+  for (DcId dc = 0; dc < g.num_dcs(); ++dc) {
+    if (g.DciOfDc(dc) != kInvalidNode) {
+      dci_dcs.push_back(dc);
+    }
+  }
+  s.avg_dci_degree = dci_dcs.empty()
+                         ? 0.0
+                         : 2.0 * s.inter_dc_links / static_cast<double>(dci_dcs.size());
+
+  // BFS from every DCI's DC: connectivity + eccentricity -> diameter.
+  s.connected = !dci_dcs.empty();
+  std::vector<int> dist(static_cast<size_t>(g.num_dcs()));
+  for (const DcId src : dci_dcs) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<DcId> q;
+    dist[static_cast<size_t>(src)] = 0;
+    q.push(src);
+    int ecc = 0;
+    while (!q.empty()) {
+      const DcId u = q.front();
+      q.pop();
+      for (const DcId v : adj[static_cast<size_t>(u)]) {
+        if (dist[static_cast<size_t>(v)] < 0) {
+          dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+          ecc = std::max(ecc, dist[static_cast<size_t>(v)]);
+          q.push(v);
+        }
+      }
+    }
+    for (const DcId other : dci_dcs) {
+      if (dist[static_cast<size_t>(other)] < 0) {
+        s.connected = false;
+      }
+    }
+    s.diameter = std::max(s.diameter, ecc);
+  }
+  if (!s.connected) {
+    s.diameter = -1;
+  }
+
+  // Bisection estimate: random balanced DC bipartitions (Fisher-Yates over
+  // the DCI-bearing DCs), minimum crossing capacity over the trials.
+  if (dci_dcs.size() >= 2 && bisection_trials > 0) {
+    Rng rng(Mix64(seed ^ 0xb15ec7ed0ULL));
+    std::vector<DcId> perm = dci_dcs;
+    int64_t best = std::numeric_limits<int64_t>::max();
+    std::vector<char> in_half(static_cast<size_t>(g.num_dcs()), 0);
+    for (int t = 0; t < bisection_trials; ++t) {
+      for (size_t i = perm.size() - 1; i > 0; --i) {
+        std::swap(perm[i], perm[rng.NextBounded(i + 1)]);
+      }
+      std::fill(in_half.begin(), in_half.end(), 0);
+      for (size_t i = 0; i < perm.size() / 2; ++i) {
+        in_half[static_cast<size_t>(perm[i])] = 1;
+      }
+      int64_t cross = 0;
+      for (int li = 0; li < g.num_links(); ++li) {
+        const LinkSpec& l = g.link(li);
+        if (IsInterDcLink(g, l) && in_half[static_cast<size_t>(g.vertex(l.a).dc)] !=
+                                       in_half[static_cast<size_t>(g.vertex(l.b).dc)]) {
+          cross += l.rate_bps;
+        }
+      }
+      best = std::min(best, cross);
+    }
+    s.bisection_bps = best;
+  }
+  return s;
+}
+
+uint64_t StructuralDigest(const Graph& g) {
+  uint64_t h = 0x10905ca1d16e57ULL;
+  h = Fold(h, static_cast<uint64_t>(g.num_vertices()));
+  h = Fold(h, static_cast<uint64_t>(g.num_links()));
+  h = Fold(h, static_cast<uint64_t>(g.num_dcs()));
+  for (const Vertex& v : g.vertices()) {
+    h = Fold(h, static_cast<uint64_t>(v.kind));
+    h = Fold(h, static_cast<uint64_t>(static_cast<int64_t>(v.dc)));
+  }
+  for (const LinkSpec& l : g.links()) {
+    h = Fold(h, static_cast<uint64_t>(static_cast<int64_t>(l.a)));
+    h = Fold(h, static_cast<uint64_t>(static_cast<int64_t>(l.b)));
+    h = Fold(h, static_cast<uint64_t>(l.rate_bps));
+    h = Fold(h, static_cast<uint64_t>(l.delay_ns));
+    h = Fold(h, static_cast<uint64_t>(l.buffer_bytes));
+  }
+  return h;
+}
+
+std::string TopoToDot(const Graph& g) {
+  std::ostringstream out;
+  out << "graph wan {\n  overlap=false;\n  node [shape=box];\n";
+  for (DcId dc = 0; dc < g.num_dcs(); ++dc) {
+    const NodeId dci = g.DciOfDc(dc);
+    if (dci == kInvalidNode) {
+      continue;
+    }
+    const int hosts = static_cast<int>(g.HostsInDc(dc).size());
+    out << "  dc" << dc << " [label=\"" << g.vertex(dci).name << "\\n" << hosts << " hosts\"];\n";
+  }
+  for (int li = 0; li < g.num_links(); ++li) {
+    const LinkSpec& l = g.link(li);
+    if (!IsInterDcLink(g, l)) {
+      continue;
+    }
+    out << "  dc" << g.vertex(l.a).dc << " -- dc" << g.vertex(l.b).dc << " [label=\""
+        << l.rate_bps / 1'000'000'000 << "G/" << l.delay_ns / kNsPerMs << "ms\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string TopoToJson(const Graph& g, const TopoStats& stats) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"vertices\": " << stats.vertices << ",\n";
+  out << "  \"links\": " << stats.links << ",\n";
+  out << "  \"dcs\": " << stats.dcs << ",\n";
+  out << "  \"hosts\": " << stats.hosts << ",\n";
+  out << "  \"switches\": " << stats.switches << ",\n";
+  out << "  \"dci_switches\": " << stats.dci_switches << ",\n";
+  out << "  \"inter_dc_links\": " << stats.inter_dc_links << ",\n";
+  out << "  \"connected\": " << (stats.connected ? "true" : "false") << ",\n";
+  out << "  \"diameter\": " << stats.diameter << ",\n";
+  out << "  \"avg_dci_degree\": " << stats.avg_dci_degree << ",\n";
+  out << "  \"bisection_bps\": " << stats.bisection_bps << ",\n";
+  out << "  \"inter_dc_capacity_bps\": " << stats.inter_dc_capacity_bps << ",\n";
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(StructuralDigest(g)));
+  out << "  \"structural_digest\": \"" << digest << "\",\n";
+  out << "  \"inter_dc\": [\n";
+  bool first = true;
+  for (int li = 0; li < g.num_links(); ++li) {
+    const LinkSpec& l = g.link(li);
+    if (!IsInterDcLink(g, l)) {
+      continue;
+    }
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << "    {\"a\": " << g.vertex(l.a).dc << ", \"b\": " << g.vertex(l.b).dc
+        << ", \"rate_bps\": " << l.rate_bps << ", \"delay_ns\": " << l.delay_ns << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace lcmp

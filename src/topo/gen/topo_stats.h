@@ -1,0 +1,46 @@
+// Structural analysis of a topology: summary statistics for the lcmp_topo
+// CLI, a structural digest for golden pinning, and DOT/JSON exports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topo/graph.h"
+
+namespace lcmp {
+
+struct TopoStats {
+  int vertices = 0;
+  int links = 0;
+  int dcs = 0;
+  int hosts = 0;
+  int switches = 0;       // non-host vertices
+  int dci_switches = 0;
+  int inter_dc_links = 0;  // DCI<->DCI links crossing a DC boundary
+  bool connected = false;  // all DCIs mutually reachable over inter-DC links
+  int diameter = -1;       // inter-DC hop diameter over the DCI graph
+  double avg_dci_degree = 0;   // mean inter-DC links per DCI
+  int64_t bisection_bps = 0;   // seeded random balanced-cut estimate (min of trials)
+  int64_t inter_dc_capacity_bps = 0;  // sum of inter-DC link rates (one direction)
+};
+
+// Computes the stats above. The bisection estimate takes the minimum
+// crossing capacity over `bisection_trials` seeded random balanced DC
+// bipartitions — an upper bound on the true bisection width, deterministic
+// per seed.
+TopoStats ComputeTopoStats(const Graph& g, uint64_t seed = 1, int bisection_trials = 16);
+
+// Order-sensitive structural digest over vertices (kind, dc) and links
+// (endpoints, rate, delay, buffer). Names are excluded: the digest pins the
+// simulated structure, not cosmetic labels. Identical graphs => identical
+// digests on every platform.
+uint64_t StructuralDigest(const Graph& g);
+
+// Graphviz DOT of the inter-DC (DCI-level) graph; link labels carry
+// rate/delay.
+std::string TopoToDot(const Graph& g);
+
+// JSON object with the stats plus the per-link inter-DC list.
+std::string TopoToJson(const Graph& g, const TopoStats& stats);
+
+}  // namespace lcmp

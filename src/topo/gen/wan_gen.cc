@@ -1,0 +1,257 @@
+#include "topo/gen/wan_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lcmp {
+namespace {
+
+// Link attribute classes shared by all generated WAN families (the same
+// classes BuildRandomWan and BuildBso13 use).
+struct LinkClassDraw {
+  Rng* rng;
+  int64_t Rate() {
+    static constexpr int64_t kRates[] = {Gbps(40), Gbps(100), Gbps(200)};
+    return kRates[rng->NextBounded(3)];
+  }
+  TimeNs RegionalDelay() { return Milliseconds(1); }
+  TimeNs LongHaulDelay() {
+    static constexpr TimeNs kDelays[] = {Milliseconds(5), Milliseconds(10)};
+    return kDelays[rng->NextBounded(2)];
+  }
+};
+
+bool IsPrime(int n) {
+  if (n < 2) {
+    return false;
+  }
+  for (int d = 2; d * d <= n; ++d) {
+    if (n % d == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Graph BuildDragonflyWan(const DragonflyWanOptions& opts) {
+  LCMP_CHECK(opts.num_dcs >= 2);
+  LCMP_CHECK(opts.global_links_per_dc >= 1);
+  const int n = opts.num_dcs;
+  int a = opts.group_size;
+  if (a <= 0) {
+    a = std::max(2, static_cast<int>(std::lround(std::sqrt(n / 2.0))));
+  }
+  a = std::min(a, n);
+  const int num_groups = (n + a - 1) / a;
+
+  Graph g;
+  std::vector<NodeId> dci(static_cast<size_t>(n), kInvalidNode);
+  std::vector<std::vector<DcId>> group_members(static_cast<size_t>(num_groups));
+  for (DcId dc = 0; dc < n; ++dc) {
+    dci[static_cast<size_t>(dc)] = BuildDcFabric(g, dc, opts.fabric);
+    group_members[static_cast<size_t>(dc / a)].push_back(dc);
+  }
+
+  Rng rng = TopoRng(opts.seed);
+  LinkClassDraw draw{&rng};
+
+  // Intra-group full mesh (regional distances).
+  for (const std::vector<DcId>& members : group_members) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        g.AddLink(dci[static_cast<size_t>(members[i])], dci[static_cast<size_t>(members[j])],
+                  draw.Rate(), draw.RegionalDelay(), opts.inter_dc_buffer_bytes);
+      }
+    }
+  }
+
+  if (num_groups == 1) {
+    return g;
+  }
+
+  // Global links. Each group owns a port budget of |members| * h; endpoints
+  // rotate over the group's members so global links spread across DCs.
+  std::vector<int> ports_left(static_cast<size_t>(num_groups));
+  std::vector<int> next_member(static_cast<size_t>(num_groups), 0);
+  for (int gi = 0; gi < num_groups; ++gi) {
+    ports_left[static_cast<size_t>(gi)] =
+        static_cast<int>(group_members[static_cast<size_t>(gi)].size()) * opts.global_links_per_dc;
+  }
+  auto take_endpoint = [&](int gi) {
+    const std::vector<DcId>& members = group_members[static_cast<size_t>(gi)];
+    const DcId dc = members[static_cast<size_t>(next_member[static_cast<size_t>(gi)]) %
+                            members.size()];
+    ++next_member[static_cast<size_t>(gi)];
+    --ports_left[static_cast<size_t>(gi)];
+    return dci[static_cast<size_t>(dc)];
+  };
+  auto add_global = [&](int gi, int gj) {
+    g.AddLink(take_endpoint(gi), take_endpoint(gj), draw.Rate(), draw.LongHaulDelay(),
+              opts.inter_dc_buffer_bytes);
+  };
+
+  // Connectivity ring over groups first (guarantees a connected WAN even
+  // when the port budget cannot cover every group pair).
+  for (int gi = 0; gi < num_groups; ++gi) {
+    const int gj = (gi + 1) % num_groups;
+    if (num_groups == 2 && gi == 1) {
+      break;  // the pair (0,1) is already linked
+    }
+    add_global(gi, gj);
+  }
+  // Remaining group pairs in canonical order (ring distance, then index),
+  // while both sides still have ports. With the auto group shape the budget
+  // covers all pairs, giving a group-graph diameter of 1 (DC diameter <= 3).
+  for (int d = 2; d <= num_groups / 2; ++d) {
+    for (int gi = 0; gi < num_groups; ++gi) {
+      // At ring distance d < g/2 each unordered pair {gi, gi+d} appears once
+      // in this scan (wraparound included); antipodal pairs (2d == g) appear
+      // twice, so keep only the first half.
+      if (d * 2 == num_groups && gi >= num_groups / 2) {
+        continue;
+      }
+      const int gj = (gi + d) % num_groups;
+      if (ports_left[static_cast<size_t>(gi)] > 0 && ports_left[static_cast<size_t>(gj)] > 0) {
+        add_global(gi, gj);
+      }
+    }
+  }
+  return g;
+}
+
+int SlimFlyQForDcCount(int min_dcs) {
+  LCMP_CHECK(min_dcs >= 2);
+  for (int q = 5;; q += 4) {
+    // q ≡ 1 (mod 4): -1 is a quadratic residue, so the residue/non-residue
+    // generator sets are symmetric and the MMS edges are well-defined
+    // undirected.
+    if (IsPrime(q) && 2 * q * q >= min_dcs) {
+      return q;
+    }
+  }
+}
+
+int SlimFlyDcCount(int min_dcs) {
+  const int q = SlimFlyQForDcCount(min_dcs);
+  return 2 * q * q;
+}
+
+Graph BuildSlimFlyWan(const SlimFlyWanOptions& opts) {
+  const int q = SlimFlyQForDcCount(opts.num_dcs);
+  const int n = 2 * q * q;
+
+  // Quadratic residues mod q (block-0 generator set X) and non-residues
+  // (block-1 set X').
+  std::vector<bool> is_residue(static_cast<size_t>(q), false);
+  for (int v = 1; v < q; ++v) {
+    is_residue[static_cast<size_t>((v * v) % q)] = true;
+  }
+
+  Graph g;
+  std::vector<NodeId> dci(static_cast<size_t>(n), kInvalidNode);
+  for (DcId dc = 0; dc < n; ++dc) {
+    dci[static_cast<size_t>(dc)] = BuildDcFabric(g, dc, opts.fabric);
+  }
+  Rng rng = TopoRng(opts.seed);
+  LinkClassDraw draw{&rng};
+  auto add = [&](int dc_a, int dc_b) {
+    g.AddLink(dci[static_cast<size_t>(dc_a)], dci[static_cast<size_t>(dc_b)], draw.Rate(),
+              draw.LongHaulDelay(), opts.inter_dc_buffer_bytes);
+  };
+  // DC index layout: block 0 vertex (x, y) -> x*q + y; block 1 vertex
+  // (m, c) -> q² + m*q + c.
+  // Block-0 rows: (x, y) ~ (x, y') iff y - y' is a residue.
+  for (int x = 0; x < q; ++x) {
+    for (int y = 0; y < q; ++y) {
+      for (int y2 = y + 1; y2 < q; ++y2) {
+        if (is_residue[static_cast<size_t>((y2 - y) % q)]) {
+          add(x * q + y, x * q + y2);
+        }
+      }
+    }
+  }
+  // Block-1 rows: (m, c) ~ (m, c') iff c - c' is a non-residue.
+  for (int m = 0; m < q; ++m) {
+    for (int c = 0; c < q; ++c) {
+      for (int c2 = c + 1; c2 < q; ++c2) {
+        if (!is_residue[static_cast<size_t>((c2 - c) % q)]) {
+          add(q * q + m * q + c, q * q + m * q + c2);
+        }
+      }
+    }
+  }
+  // Cross edges: (x, y) ~ (m, c) iff y = m*x + c (mod q).
+  for (int m = 0; m < q; ++m) {
+    for (int c = 0; c < q; ++c) {
+      for (int x = 0; x < q; ++x) {
+        const int y = (m * x + c) % q;
+        add(x * q + y, q * q + m * q + c);
+      }
+    }
+  }
+  return g;
+}
+
+int FatTreeKForDcCount(int min_dcs) {
+  LCMP_CHECK(min_dcs >= 2);
+  for (int k = 2;; k += 2) {
+    if (5 * k * k / 4 >= min_dcs) {
+      return k;
+    }
+  }
+}
+
+int FatTreeDcCount(int min_dcs) {
+  const int k = FatTreeKForDcCount(min_dcs);
+  return 5 * k * k / 4;
+}
+
+Graph BuildFatTreeWan(const FatTreeWanOptions& opts) {
+  const int k = FatTreeKForDcCount(opts.num_dcs);
+  const int half = k / 2;
+  const int num_edge = k * half;   // server DCs, ids [0, k²/2)
+  const int num_agg = k * half;    // transit, ids [k²/2, k²)
+  const int num_core = half * half;  // transit, ids [k², (5/4)k²)
+
+  Graph g;
+  FabricOptions transit = opts.fabric;
+  transit.hosts = 0;
+  transit.kind = FabricKind::kCollapsed;
+  std::vector<NodeId> dci(static_cast<size_t>(num_edge + num_agg + num_core), kInvalidNode);
+  for (DcId dc = 0; dc < num_edge + num_agg + num_core; ++dc) {
+    dci[static_cast<size_t>(dc)] = BuildDcFabric(g, dc, dc < num_edge ? opts.fabric : transit);
+  }
+
+  Rng rng = TopoRng(opts.seed);
+  LinkClassDraw draw{&rng};
+  const auto edge_dc = [&](int pod, int i) { return pod * half + i; };
+  const auto agg_dc = [&](int pod, int j) { return num_edge + pod * half + j; };
+  const auto core_dc = [&](int j, int c) { return num_edge + num_agg + j * half + c; };
+
+  for (int pod = 0; pod < k; ++pod) {
+    // Edge <-> aggregation: full bipartite mesh within the pod (regional).
+    for (int i = 0; i < half; ++i) {
+      for (int j = 0; j < half; ++j) {
+        g.AddLink(dci[static_cast<size_t>(edge_dc(pod, i))],
+                  dci[static_cast<size_t>(agg_dc(pod, j))], draw.Rate(), draw.RegionalDelay(),
+                  opts.inter_dc_buffer_bytes);
+      }
+    }
+    // Aggregation j of every pod reaches core group j (long haul).
+    for (int j = 0; j < half; ++j) {
+      for (int c = 0; c < half; ++c) {
+        g.AddLink(dci[static_cast<size_t>(agg_dc(pod, j))],
+                  dci[static_cast<size_t>(core_dc(j, c))], draw.Rate(), draw.LongHaulDelay(),
+                  opts.inter_dc_buffer_bytes);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,70 @@
+// Parameterized extreme-scale WAN generators (topo/gen/ subsystem).
+//
+// Each generator builds a WAN of datacenters: one fabric per DC (via
+// BuildDcFabric) plus an inter-DC graph drawn from a classic low-diameter
+// interconnect family, scaled from router radixes to DC counts:
+//
+//  - Dragonfly-of-DCs: DCs grouped into fully-meshed groups; groups joined
+//    by global links budgeted per DC. Exact DC count, diameter <= 3 when
+//    every group pair gets a direct global link.
+//  - Slim-fly-of-DCs: the McKay–Miller–Širáň construction over F_q for a
+//    prime q ≡ 1 (mod 4); 2q² DCs, uniform inter-DC degree (3q-1)/2,
+//    diameter 2. The requested DC count rounds UP to the next valid 2q².
+//  - Fat-tree-of-DCs: k-ary three-stage Clos; k²/2 server DCs (edge stage)
+//    plus k²/2 + k²/4 transit DCs (aggregation + core). Rounds up to the
+//    next even k.
+//
+// All randomness (link rate/delay classes) comes from the dedicated TopoRng
+// stream, so a generated topology is a pure function of its options —
+// bit-identical across runs, --shards and --jobs.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/builders.h"
+
+namespace lcmp {
+
+struct DragonflyWanOptions {
+  int num_dcs = 16;  // exact DC count (last group may be partial)
+  // DCs per group; 0 = auto (~sqrt(num_dcs / 2), so group count ~ 2x group
+  // size and the per-DC global budget covers all group pairs).
+  int group_size = 0;
+  int global_links_per_dc = 2;  // global-link budget per DC
+  uint64_t seed = 1;
+  FabricOptions fabric;
+  int64_t inter_dc_buffer_bytes = int64_t{2} * 1024 * 1024 * 1024;
+};
+
+Graph BuildDragonflyWan(const DragonflyWanOptions& opts);
+
+struct SlimFlyWanOptions {
+  int num_dcs = 50;  // rounded up to 2q² (q prime, q ≡ 1 mod 4)
+  uint64_t seed = 1;
+  FabricOptions fabric;
+  int64_t inter_dc_buffer_bytes = int64_t{2} * 1024 * 1024 * 1024;
+};
+
+// The MMS parameter q and actual DC count for a requested minimum size.
+int SlimFlyQForDcCount(int min_dcs);
+int SlimFlyDcCount(int min_dcs);  // == 2 * q * q
+
+Graph BuildSlimFlyWan(const SlimFlyWanOptions& opts);
+
+struct FatTreeWanOptions {
+  int num_dcs = 20;  // rounded up to (5/4)k² for the smallest even k
+  uint64_t seed = 1;
+  FabricOptions fabric;
+  int64_t inter_dc_buffer_bytes = int64_t{2} * 1024 * 1024 * 1024;
+};
+
+// The arity k and actual DC count for a requested minimum size.
+int FatTreeKForDcCount(int min_dcs);
+int FatTreeDcCount(int min_dcs);  // == (5/4) k²
+
+// DC layout: the k²/2 server (edge) DCs occupy ids [0, k²/2) so endpoint
+// pairings land on host-bearing DCs; aggregation and core DCs are
+// transit-only (no hosts).
+Graph BuildFatTreeWan(const FatTreeWanOptions& opts);
+
+}  // namespace lcmp

@@ -9,8 +9,15 @@ namespace lcmp {
 NodeId Graph::AddVertex(VertexKind kind, DcId dc, std::string name) {
   const NodeId id = static_cast<NodeId>(vertices_.size());
   vertices_.push_back(Vertex{kind, dc, std::move(name)});
-  incident_.emplace_back();
   num_dcs_ = std::max(num_dcs_, dc + 1);
+  if (static_cast<size_t>(num_dcs_) > dci_of_dc_.size()) {
+    dci_of_dc_.resize(static_cast<size_t>(num_dcs_), kInvalidNode);
+  }
+  if (kind == VertexKind::kDciSwitch && dc >= 0 &&
+      dci_of_dc_[static_cast<size_t>(dc)] == kInvalidNode) {
+    dci_of_dc_[static_cast<size_t>(dc)] = id;
+  }
+  csr_valid_ = false;
   return id;
 }
 
@@ -22,9 +29,33 @@ int Graph::AddLink(NodeId a, NodeId b, int64_t rate_bps, TimeNs delay_ns, int64_
   LCMP_CHECK(delay_ns >= 0);
   const int idx = static_cast<int>(links_.size());
   links_.push_back(LinkSpec{a, b, rate_bps, delay_ns, buffer_bytes});
-  incident_[static_cast<size_t>(a)].push_back(idx);
-  incident_[static_cast<size_t>(b)].push_back(idx);
+  csr_valid_ = false;
   return idx;
+}
+
+void Graph::EnsureCsr() const {
+  if (csr_valid_) {
+    return;
+  }
+  const size_t n = vertices_.size();
+  // Two-pass counting sort over links_ in index order: per-vertex incidence
+  // lists come out in AddLink order, exactly like the old push_back vectors.
+  csr_offsets_.assign(n + 1, 0);
+  for (const LinkSpec& l : links_) {
+    ++csr_offsets_[static_cast<size_t>(l.a) + 1];
+    ++csr_offsets_[static_cast<size_t>(l.b) + 1];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    csr_offsets_[v + 1] += csr_offsets_[v];
+  }
+  csr_links_.resize(links_.size() * 2);
+  std::vector<int32_t> cursor(csr_offsets_.begin(), csr_offsets_.end() - 1);
+  for (size_t li = 0; li < links_.size(); ++li) {
+    const LinkSpec& l = links_[li];
+    csr_links_[static_cast<size_t>(cursor[static_cast<size_t>(l.a)]++)] = static_cast<int32_t>(li);
+    csr_links_[static_cast<size_t>(cursor[static_cast<size_t>(l.b)]++)] = static_cast<int32_t>(li);
+  }
+  csr_valid_ = true;
 }
 
 NodeId Graph::Peer(int link_idx, NodeId id) const {
@@ -44,16 +75,6 @@ std::vector<NodeId> Graph::HostsInDc(DcId dc) const {
   return out;
 }
 
-NodeId Graph::DciOfDc(DcId dc) const {
-  for (NodeId id = 0; id < num_vertices(); ++id) {
-    const Vertex& v = vertex(id);
-    if (v.dc == dc && v.kind == VertexKind::kDciSwitch) {
-      return id;
-    }
-  }
-  return kInvalidNode;
-}
-
 std::vector<NodeId> Graph::DciSwitches() const {
   std::vector<NodeId> out;
   for (DcId dc = 0; dc < num_dcs_; ++dc) {
@@ -63,6 +84,21 @@ std::vector<NodeId> Graph::DciSwitches() const {
     }
   }
   return out;
+}
+
+size_t Graph::MemoryBytes() const {
+  EnsureCsr();
+  size_t bytes = vertices_.capacity() * sizeof(Vertex) + links_.capacity() * sizeof(LinkSpec) +
+                 dci_of_dc_.capacity() * sizeof(NodeId) +
+                 csr_offsets_.capacity() * sizeof(int32_t) +
+                 csr_links_.capacity() * sizeof(int32_t);
+  for (const Vertex& v : vertices_) {
+    // Count only heap-spilled names; SSO names live inside the Vertex.
+    if (v.name.capacity() > sizeof(std::string)) {
+      bytes += v.name.capacity();
+    }
+  }
+  return bytes;
 }
 
 }  // namespace lcmp

@@ -4,9 +4,17 @@
 // and full-duplex links with a rate and a one-way propagation delay. The
 // network builder (sim/network.h) instantiates simulation objects from it and
 // the control plane (topo/candidate_paths.h) derives multipath candidate sets.
+//
+// Adjacency is stored in CSR form (one offsets array plus one flat link-index
+// array) so that a 5000-switch WAN costs two contiguous allocations instead of
+// one heap vector per vertex. The CSR arrays are rebuilt lazily after
+// mutations; callers that read adjacency from multiple threads (the sharded
+// network build) must call EnsureCsr() once beforehand.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,10 +68,20 @@ class Graph {
   const std::vector<Vertex>& vertices() const { return vertices_; }
   const std::vector<LinkSpec>& links() const { return links_; }
 
-  // Link indices incident to `id` (each full-duplex link appears once).
-  const std::vector<int>& incident_links(NodeId id) const {
-    return incident_[static_cast<size_t>(id)];
+  // Link indices incident to `id` (each full-duplex link appears once), in
+  // AddLink order — the same order the old per-vertex vectors produced.
+  std::span<const int32_t> incident_links(NodeId id) const {
+    EnsureCsr();
+    const size_t v = static_cast<size_t>(id);
+    return {csr_links_.data() + csr_offsets_[v],
+            static_cast<size_t>(csr_offsets_[v + 1] - csr_offsets_[v])};
   }
+
+  // Rebuilds the CSR adjacency if links were added since the last build.
+  // Idempotent and cheap when clean; NOT thread-safe, so concurrent readers
+  // (shard workers) rely on the single-threaded network build calling this
+  // once up front.
+  void EnsureCsr() const;
 
   // The vertex on the other side of link `link_idx` from `id`.
   NodeId Peer(int link_idx, NodeId id) const;
@@ -72,16 +90,34 @@ class Graph {
   std::vector<NodeId> HostsInDc(DcId dc) const;
 
   // The unique DCI switch of datacenter `dc`; kInvalidNode if none.
-  NodeId DciOfDc(DcId dc) const;
+  // O(1): maintained incrementally by AddVertex (first DCI added wins, which
+  // is also the lowest-id DCI the old linear scan returned).
+  NodeId DciOfDc(DcId dc) const {
+    if (dc < 0 || static_cast<size_t>(dc) >= dci_of_dc_.size()) {
+      return kInvalidNode;
+    }
+    return dci_of_dc_[static_cast<size_t>(dc)];
+  }
 
   // All DCI switches, ordered by DC id.
   std::vector<NodeId> DciSwitches() const;
 
+  // Bytes of heap owned by the topology description itself (vertices, links,
+  // CSR adjacency, name storage). Feeds the lcmp.topo.bytes gauge.
+  size_t MemoryBytes() const;
+
  private:
   std::vector<Vertex> vertices_;
   std::vector<LinkSpec> links_;
-  std::vector<std::vector<int>> incident_;
+  std::vector<NodeId> dci_of_dc_;  // per-DC first DCI switch (kInvalidNode if none)
   int num_dcs_ = 0;
+
+  // Lazily (re)built adjacency: csr_offsets_ has num_vertices()+1 entries;
+  // csr_links_ lists link indices grouped by vertex. Mutable because the
+  // rebuild is a cache fill behind a const read API.
+  mutable std::vector<int32_t> csr_offsets_;
+  mutable std::vector<int32_t> csr_links_;
+  mutable bool csr_valid_ = false;
 };
 
 }  // namespace lcmp

@@ -7,6 +7,7 @@
 #include "harness/json_util.h"
 #include "harness/runner.h"
 #include "harness/sweep.h"
+#include "topo/gen/topo_stats.h"
 
 namespace lcmp {
 namespace validate {
@@ -216,6 +217,93 @@ GoldenDiff CompareGolden(const GoldenRecord& pinned, const GoldenRecord& current
   diff.match = detail.empty();
   diff.detail = std::move(detail);
   return diff;
+}
+
+const std::vector<TopoFamilyScenario>& TopoFamilyScenarios() {
+  // Sizes are small enough to build in milliseconds but large enough that a
+  // generator change cannot hide (partial dragonfly group, rounded-up MMS
+  // and Clos sizes, chorded random ring).
+  static const std::vector<TopoFamilyScenario>* scenarios =
+      new std::vector<TopoFamilyScenario>{
+          {"dragonfly", "topo=dragonfly dcs=32 topo_seed=7 hosts_per_dc=2"},
+          {"slimfly", "topo=slimfly dcs=50 topo_seed=7 hosts_per_dc=2"},
+          {"fattree", "topo=fattree dcs=20 topo_seed=7 hosts_per_dc=2"},
+          {"random", "topo=random dcs=16 chords=8 topo_seed=7 hosts_per_dc=2"},
+      };
+  return *scenarios;
+}
+
+bool ComputeTopoFamilyDigest(const TopoFamilyScenario& scenario, uint64_t* digest,
+                             std::string* error) {
+  ExperimentConfig config;
+  if (!ApplyConfigField(&config, "overrides", scenario.overrides, error)) {
+    return false;
+  }
+  *digest = StructuralDigest(BuildTopology(config));
+  return true;
+}
+
+std::string TopoFamilyGoldenPath(const std::string& dir) {
+  return dir + "/topo_families.json";
+}
+
+bool LoadTopoFamilyRecords(const std::string& path, std::vector<TopoFamilyRecord>* out,
+                           std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open topo-family corpus '" + path + "'";
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  json::JsonValue root;
+  if (!json::ParseJson(ss.str(), &root, error)) {
+    return false;
+  }
+  const json::JsonValue* families = root.Find("families");
+  if (families == nullptr || families->kind != json::JsonValue::Kind::kArray) {
+    *error = "topo-family corpus has no 'families' array";
+    return false;
+  }
+  out->clear();
+  for (const json::JsonValue& item : families->items) {
+    TopoFamilyRecord rec;
+    std::string digest_hex;
+    const json::JsonValue* name = item.Find("name");
+    const json::JsonValue* digest = item.Find("digest");
+    const json::JsonValue* config = item.Find("config");
+    if (name == nullptr || !name->AsString(&rec.name) || digest == nullptr ||
+        !digest->AsString(&digest_hex) || config == nullptr ||
+        !config->AsString(&rec.config_echo)) {
+      *error = "malformed topo-family record in '" + path + "'";
+      return false;
+    }
+    rec.digest = std::strtoull(digest_hex.c_str(), nullptr, 16);
+    out->push_back(std::move(rec));
+  }
+  return true;
+}
+
+bool SaveTopoFamilyRecords(const std::string& path,
+                           const std::vector<TopoFamilyRecord>& records, std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    *error = "cannot write topo-family corpus '" + path + "'";
+    return false;
+  }
+  out << "{\n  \"families\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    out << "    {\"name\": \"" << json::JsonEscape(records[i].name) << "\", \"digest\": \""
+        << HexDigest(records[i].digest) << "\", \"config\": \""
+        << json::JsonEscape(records[i].config_echo) << "\"}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out) {
+    *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
 }
 
 std::string GoldenDir() {

@@ -74,6 +74,40 @@ struct GoldenDiff {
 };
 GoldenDiff CompareGolden(const GoldenRecord& pinned, const GoldenRecord& current);
 
+// --- topology-family structural goldens (topo/gen, DESIGN.md §13) ---
+//
+// One pinned StructuralDigest per generated-WAN family (plus the historical
+// random WAN). The digest covers every vertex and link of the built graph,
+// so any change to a generator — ordering, link classes, fabric shape, the
+// TopoRng stream — shows up as a named family diff. Pinned together in
+// tests/golden/topo_families.json; re-pin with `lcmp_validate
+// --update-golden` after an intentional generator change.
+
+struct TopoFamilyScenario {
+  std::string name;       // record key in topo_families.json
+  std::string overrides;  // registry "field=value ..." list selecting the family
+};
+
+const std::vector<TopoFamilyScenario>& TopoFamilyScenarios();
+
+// Builds the scenario's topology and computes its structural digest. False
+// (with *error) on a malformed overrides string.
+bool ComputeTopoFamilyDigest(const TopoFamilyScenario& scenario, uint64_t* digest,
+                             std::string* error);
+
+struct TopoFamilyRecord {
+  std::string name;
+  std::string config_echo;  // non-default registry fields, as in GoldenRecord
+  uint64_t digest = 0;
+};
+
+// The single-file family corpus: dir + "/topo_families.json".
+std::string TopoFamilyGoldenPath(const std::string& dir);
+bool LoadTopoFamilyRecords(const std::string& path, std::vector<TopoFamilyRecord>* out,
+                           std::string* error);
+bool SaveTopoFamilyRecords(const std::string& path,
+                           const std::vector<TopoFamilyRecord>& records, std::string* error);
+
 // Golden corpus directory: $LCMP_GOLDEN_DIR if set, else the compiled-in
 // source-tree path (tests/golden).
 std::string GoldenDir();

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdio>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "validate/golden.h"
 
@@ -80,6 +82,58 @@ TEST(GoldenRecordTest, CompareNamesEveryDivergingField) {
   EXPECT_FALSE(diff.match);
   EXPECT_NE(diff.detail.find("digest"), std::string::npos);
   EXPECT_NE(diff.detail.find("events_processed"), std::string::npos);
+}
+
+// --- topology-family structural goldens (topo/gen) ---
+
+TEST(TopoFamilyGoldenTest, EveryFamilyMatchesPinnedStructuralDigest) {
+  std::vector<TopoFamilyRecord> pinned;
+  std::string error;
+  const std::string path = TopoFamilyGoldenPath(GoldenDir());
+  ASSERT_TRUE(LoadTopoFamilyRecords(path, &pinned, &error))
+      << error << "\nGenerate the family corpus with:\n  lcmp_validate --update-golden";
+  for (const TopoFamilyScenario& family : TopoFamilyScenarios()) {
+    const TopoFamilyRecord* rec = nullptr;
+    for (const TopoFamilyRecord& r : pinned) {
+      if (r.name == family.name) {
+        rec = &r;
+        break;
+      }
+    }
+    ASSERT_NE(rec, nullptr) << "family '" << family.name << "' missing from " << path;
+    uint64_t digest = 0;
+    ASSERT_TRUE(ComputeTopoFamilyDigest(family, &digest, &error)) << error;
+    EXPECT_EQ(digest, rec->digest)
+        << "generator drift in family '" << family.name << "' (" << family.overrides
+        << "): re-pin with lcmp_validate --update-golden and review the diff.";
+  }
+}
+
+TEST(TopoFamilyGoldenTest, CorpusCoversAllGeneratedFamiliesAndRoundTrips) {
+  std::set<std::string> names;
+  for (const TopoFamilyScenario& family : TopoFamilyScenarios()) {
+    EXPECT_TRUE(names.insert(family.name).second) << "duplicate family " << family.name;
+  }
+  for (const char* required : {"dragonfly", "slimfly", "fattree", "random"}) {
+    EXPECT_TRUE(names.count(required)) << required;
+  }
+
+  const std::vector<TopoFamilyRecord> records = {
+      {"dragonfly", "topo=dragonfly dcs=32", 0xdeadbeefcafef00dULL},
+      {"random", "topo=random", 0x1ULL},
+  };
+  const std::string path = testing::TempDir() + "lcmp_topo_families.json";
+  std::string error;
+  ASSERT_TRUE(SaveTopoFamilyRecords(path, records, &error)) << error;
+  std::vector<TopoFamilyRecord> back;
+  ASSERT_TRUE(LoadTopoFamilyRecords(path, &back, &error)) << error;
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].name, records[i].name);
+    EXPECT_EQ(back[i].config_echo, records[i].config_echo);
+    EXPECT_EQ(back[i].digest, records[i].digest);
+  }
 }
 
 std::string ParamName(const ::testing::TestParamInfo<GoldenScenario>& info) {

@@ -77,6 +77,42 @@ TEST(ShardDeterminismTest, GridShards124TimesChaosOnOffIsBitIdentical) {
   }
 }
 
+// Generated-WAN regression (topo/gen, DESIGN.md §13): a dragonfly built from
+// the dedicated TopoRng stream with layered path sets must stay bit-identical
+// across shard counts — the generators and the per-layer subgraph sampling
+// draw nothing from any per-shard or per-thread state.
+ShardDigest RunGeneratedWan(int shards) {
+  ExperimentConfig config;
+  config.topo = TopologyKind::kDragonfly;
+  config.num_dcs = 16;
+  config.topo_seed = 21;
+  config.hosts_per_dc = 2;
+  config.policy = PolicyKind::kLcmp;
+  config.path_strategy = PathStrategyKind::kLayered;
+  config.path_layers = 3;
+  config.num_flows = 120;
+  config.seed = 11;
+  config.shards = shards;
+  const ExperimentResult result = RunExperiment(config);
+  ShardDigest d;
+  d.digest = ExperimentDigest(result);
+  d.events = result.events_processed;
+  d.completed = result.flows_completed;
+  d.end = result.sim_end_time;
+  return d;
+}
+
+TEST(ShardDeterminismTest, GeneratedWanWithLayeredPathsIsBitIdentical) {
+  const ShardDigest seq = RunGeneratedWan(1);
+  EXPECT_GT(seq.completed, 0);
+  for (const int shards : {2, 4}) {
+    const ShardDigest par = RunGeneratedWan(shards);
+    EXPECT_TRUE(seq == par) << "shards=" << shards << ": digest " << std::hex << seq.digest
+                            << " vs " << par.digest << std::dec << ", events " << seq.events
+                            << " vs " << par.events << ", end " << seq.end << " vs " << par.end;
+  }
+}
+
 // Cross-check on the sparse 13-DC backbone, whose uneven DC-to-shard
 // assignment exercises partitions of very different sizes.
 TEST(ShardDeterminismTest, Bso13ShardedMatchesSequential) {

@@ -1,0 +1,384 @@
+// Tests for the topo/gen/ subsystem: per-family structural invariants of the
+// generated WANs, the Topology Zoo importer (both formats plus error paths),
+// the dedicated TopoRng stream, layered path sets end-to-end, and the
+// arena-interned path tables (DESIGN.md §13).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/runner.h"
+#include "sim/node.h"
+#include "sim/path_table.h"
+#include "topo/candidate_paths.h"
+#include "topo/gen/import.h"
+#include "topo/gen/topo_stats.h"
+#include "topo/gen/wan_gen.h"
+
+namespace lcmp {
+namespace {
+
+// --- dragonfly ---
+
+TEST(DragonflyWanTest, Exact200DcsConnectedLowDiameter) {
+  DragonflyWanOptions opts;
+  opts.num_dcs = 200;
+  opts.seed = 7;
+  opts.fabric.hosts = 2;
+  const Graph g = BuildDragonflyWan(opts);
+  EXPECT_EQ(g.num_dcs(), 200);
+
+  const TopoStats stats = ComputeTopoStats(g);
+  EXPECT_EQ(stats.dcs, 200);
+  EXPECT_EQ(stats.dci_switches, 200);
+  EXPECT_TRUE(stats.connected);
+  // Group mesh + all-group-pair global links: <= 3 inter-DC hops.
+  EXPECT_LE(stats.diameter, 3);
+  EXPECT_GE(stats.diameter, 2);
+  // Every DC has a host block and exactly one DCI.
+  for (DcId dc = 0; dc < g.num_dcs(); ++dc) {
+    EXPECT_NE(g.DciOfDc(dc), kInvalidNode) << "dc " << dc;
+    EXPECT_FALSE(g.HostsInDc(dc).empty()) << "dc " << dc;
+  }
+}
+
+TEST(DragonflyWanTest, RespectsExplicitGroupSize) {
+  DragonflyWanOptions opts;
+  opts.num_dcs = 24;
+  opts.group_size = 4;  // 6 full groups
+  opts.seed = 3;
+  opts.fabric.hosts = 2;
+  const Graph g = BuildDragonflyWan(opts);
+  EXPECT_EQ(g.num_dcs(), 24);
+  // Intra-group mesh alone contributes 6 * C(4,2) = 36 inter-DC links.
+  const TopoStats stats = ComputeTopoStats(g);
+  EXPECT_GE(stats.inter_dc_links, 36);
+  EXPECT_TRUE(stats.connected);
+}
+
+// --- slim fly ---
+
+TEST(SlimFlyWanTest, MmsInvariantsHoldAtQ5) {
+  EXPECT_EQ(SlimFlyQForDcCount(50), 5);
+  EXPECT_EQ(SlimFlyDcCount(50), 50);
+  // 40 rounds UP to the next valid 2q^2.
+  EXPECT_EQ(SlimFlyDcCount(40), 50);
+  // q must be prime and = 1 (mod 4): 51..338 rounds to q=13 -> 338.
+  EXPECT_EQ(SlimFlyQForDcCount(51), 13);
+  EXPECT_EQ(SlimFlyDcCount(51), 338);
+
+  SlimFlyWanOptions opts;
+  opts.num_dcs = 50;
+  opts.seed = 7;
+  opts.fabric.hosts = 2;
+  const Graph g = BuildSlimFlyWan(opts);
+  EXPECT_EQ(g.num_dcs(), 50);
+
+  const TopoStats stats = ComputeTopoStats(g);
+  EXPECT_TRUE(stats.connected);
+  // The MMS graph has diameter 2 and uniform degree (3q-1)/2 = 7.
+  EXPECT_EQ(stats.diameter, 2);
+  EXPECT_DOUBLE_EQ(stats.avg_dci_degree, 7.0);
+  EXPECT_EQ(stats.inter_dc_links, 50 * 7 / 2);
+}
+
+// --- fat tree ---
+
+TEST(FatTreeWanTest, ClosLayoutServerDcsFirst) {
+  EXPECT_EQ(FatTreeKForDcCount(20), 4);
+  EXPECT_EQ(FatTreeDcCount(20), 20);
+  EXPECT_EQ(FatTreeDcCount(21), 45);  // next even k = 6: (5/4) * 36
+
+  FatTreeWanOptions opts;
+  opts.num_dcs = 20;
+  opts.seed = 7;
+  opts.fabric.hosts = 2;
+  const Graph g = BuildFatTreeWan(opts);
+  EXPECT_EQ(g.num_dcs(), 20);
+
+  const TopoStats stats = ComputeTopoStats(g);
+  EXPECT_TRUE(stats.connected);
+  // Three-stage Clos: edge -> agg -> core -> agg -> edge.
+  EXPECT_EQ(stats.diameter, 4);
+  // k^2/2 = 8 server DCs occupy ids [0, 8); the 12 transit DCs host nothing.
+  for (DcId dc = 0; dc < g.num_dcs(); ++dc) {
+    EXPECT_EQ(g.HostsInDc(dc).empty(), dc >= 8) << "dc " << dc;
+  }
+  // k-ary Clos link count: k^2/2 edge-agg pairs * ... = k^3/2 + k^2*k/4
+  // edges overall; just pin the generated value structurally.
+  EXPECT_EQ(stats.inter_dc_links, 32);
+}
+
+// --- importer ---
+
+std::string WriteTempFile(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(WanImportTest, EdgeListMapsNamesAndDefaults) {
+  const std::string path = WriteTempFile(
+      "lcmp_import_edges.txt",
+      "# three-node triangle, one explicit rate/delay\n"
+      "ams fra 200 2\n"
+      "fra par\n"
+      "par ams 40 7.5\n");
+  WanImportOptions opts;
+  opts.path = path;
+  opts.fabric.hosts = 2;
+  Graph g;
+  std::string error;
+  ASSERT_TRUE(ImportWan(opts, &g, &error)) << error;
+  std::remove(path.c_str());
+
+  EXPECT_EQ(g.num_dcs(), 3);
+  const TopoStats stats = ComputeTopoStats(g);
+  EXPECT_EQ(stats.inter_dc_links, 3);
+  EXPECT_TRUE(stats.connected);
+  // First line: explicit 200 Gbps / 2 ms. Second: option defaults.
+  bool saw_explicit = false;
+  bool saw_default = false;
+  for (const LinkSpec& l : g.links()) {
+    if (l.rate_bps == Gbps(200)) {
+      EXPECT_EQ(l.delay_ns, Milliseconds(2));
+      saw_explicit = true;
+    }
+    if (l.rate_bps == opts.default_rate_bps && l.delay_ns == opts.default_delay_ns) {
+      saw_default = true;
+    }
+  }
+  EXPECT_TRUE(saw_explicit);
+  EXPECT_TRUE(saw_default);
+}
+
+TEST(WanImportTest, GmlParsesCoordinatesIntoDelays) {
+  const std::string path = WriteTempFile(
+      "lcmp_import_mini.gml",
+      "graph [\n"
+      "  node [ id 0 label \"A\" Latitude 52.37 Longitude 4.90 ]\n"
+      "  node [ id 1 label \"B\" Latitude 48.86 Longitude 2.35 ]\n"
+      "  node [ id 2 label \"C\" ]\n"
+      "  edge [ source 0 target 1 LinkSpeedRaw 40000000000 ]\n"
+      "  edge [ source 1 target 2 ]\n"
+      "]\n");
+  WanImportOptions opts;
+  opts.path = path;
+  opts.fabric.hosts = 2;
+  Graph g;
+  std::string error;
+  ASSERT_TRUE(ImportWan(opts, &g, &error)) << error;
+  std::remove(path.c_str());
+
+  EXPECT_EQ(g.num_dcs(), 3);
+  bool saw_geo = false;
+  bool saw_default_delay = false;
+  for (const LinkSpec& l : g.links()) {
+    if (l.rate_bps == Gbps(40)) {
+      // Amsterdam-Paris is ~430 km great circle -> ~2.15 ms at 200 km/ms.
+      EXPECT_GT(l.delay_ns, Milliseconds(1));
+      EXPECT_LT(l.delay_ns, Milliseconds(4));
+      saw_geo = true;
+    }
+    if (l.delay_ns == opts.default_delay_ns) {
+      saw_default_delay = true;  // C has no coordinates
+    }
+  }
+  EXPECT_TRUE(saw_geo);
+  EXPECT_TRUE(saw_default_delay);
+}
+
+TEST(WanImportTest, RejectsMissingAndMalformedInput) {
+  WanImportOptions opts;
+  Graph g;
+  std::string error;
+
+  opts.path = "/nonexistent/lcmp_topo.txt";
+  EXPECT_FALSE(ImportWan(opts, &g, &error));
+  EXPECT_FALSE(error.empty());
+
+  const std::string bad_edge =
+      WriteTempFile("lcmp_import_bad.txt", "ams fra not-a-rate\n");
+  opts.path = bad_edge;
+  error.clear();
+  EXPECT_FALSE(ImportWan(opts, &g, &error));
+  EXPECT_FALSE(error.empty());
+  std::remove(bad_edge.c_str());
+
+  const std::string bad_gml =
+      WriteTempFile("lcmp_import_bad.gml",
+                    "graph [\n  edge [ source 0 target 1 ]\n]\n");
+  opts.path = bad_gml;
+  error.clear();
+  EXPECT_FALSE(ImportWan(opts, &g, &error));  // edge references unknown nodes
+  EXPECT_FALSE(error.empty());
+  std::remove(bad_gml.c_str());
+}
+
+// --- dedicated topology Rng stream (satellite 1) ---
+
+TEST(TopoRngTest, TopologyIsAPureFunctionOfItsSeed) {
+  DragonflyWanOptions opts;
+  opts.num_dcs = 32;
+  opts.seed = 21;
+  opts.fabric.hosts = 2;
+  const uint64_t d1 = StructuralDigest(BuildDragonflyWan(opts));
+  const uint64_t d2 = StructuralDigest(BuildDragonflyWan(opts));
+  EXPECT_EQ(d1, d2);
+  opts.seed = 22;
+  EXPECT_NE(StructuralDigest(BuildDragonflyWan(opts)), d1);
+}
+
+TEST(TopoRngTest, TopoSeedIsDecoupledFromWorkloadSeed) {
+  // Same topo_seed + different workload seed => identical structure.
+  ExperimentConfig config;
+  config.topo = TopologyKind::kDragonfly;
+  config.num_dcs = 16;
+  config.topo_seed = 5;
+  config.hosts_per_dc = 2;
+  config.seed = 100;
+  const uint64_t base = StructuralDigest(BuildTopology(config));
+  config.seed = 200;
+  EXPECT_EQ(StructuralDigest(BuildTopology(config)), base);
+  // topo_seed = 0 falls back to the workload seed.
+  config.topo_seed = 0;
+  config.seed = 5;
+  EXPECT_EQ(StructuralDigest(BuildTopology(config)), base);
+}
+
+// --- layered path sets ---
+
+TEST(LayeredPathsTest, LayerZeroMatchesDownhillAndLayersStayDownhill) {
+  RandomWanOptions wopts;
+  wopts.num_dcs = 16;
+  wopts.extra_chords = 12;
+  wopts.seed = 9;
+  wopts.fabric.hosts = 2;
+  const Graph g = BuildRandomWan(wopts);
+
+  const InterDcRoutes downhill = InterDcRoutes::Compute(g);
+  CandidatePathOptions popts;
+  popts.strategy = PathStrategyKind::kLayered;
+  popts.layers = 4;
+  popts.seed = 9;
+  const InterDcRoutes layered = InterDcRoutes::Compute(g, popts);
+  ASSERT_EQ(layered.num_layers(), 4);
+
+  bool extra_diversity = false;
+  for (DcId src = 0; src < g.num_dcs(); ++src) {
+    const NodeId dci = g.DciOfDc(src);
+    for (DcId dst = 0; dst < g.num_dcs(); ++dst) {
+      if (src == dst) {
+        continue;
+      }
+      // Layer 0 reproduces the minimal downhill sets exactly.
+      const auto& base = downhill.Candidates(dci, dst);
+      const auto& l0 = layered.CandidatesInLayer(dci, dst, 0);
+      ASSERT_EQ(base.size(), l0.size());
+      for (size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(base[i].next_hop, l0[i].next_hop);
+        EXPECT_EQ(base[i].link_idx, l0[i].link_idx);
+      }
+      // Non-minimal layers may detour but never point at the source DC and
+      // never revisit: every candidate strictly decreases that layer's
+      // distance by construction, so here we check the weaker structural
+      // invariant that next hops are DCIs of other DCs.
+      for (int layer = 1; layer < layered.num_layers(); ++layer) {
+        for (const RouteCandidate& c : layered.CandidatesInLayer(dci, dst, layer)) {
+          EXPECT_NE(c.next_hop, dci);
+          if (layered.CandidatesInLayer(dci, dst, layer).size() > base.size()) {
+            extra_diversity = true;
+          }
+        }
+      }
+    }
+  }
+  // Across the whole WAN at 25% drop, at least one pair must gain diversity
+  // somewhere; otherwise the layers collapsed to the minimal sets.
+  EXPECT_TRUE(extra_diversity);
+}
+
+TEST(LayeredPathsTest, EndToEndRunCompletesLossFree) {
+  ExperimentConfig config;
+  config.topo = TopologyKind::kDragonfly;
+  config.num_dcs = 16;
+  config.topo_seed = 7;
+  config.hosts_per_dc = 2;
+  config.policy = PolicyKind::kLcmp;
+  config.path_strategy = PathStrategyKind::kLayered;
+  config.path_layers = 4;
+  config.num_flows = 150;
+  config.seed = 11;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_EQ(result.flows_completed, result.flows_requested);
+  EXPECT_EQ(result.switch_dropped_packets, 0);
+  EXPECT_EQ(result.retransmitted_packets, 0);
+
+  // The layered candidate sets must actually change routing relative to
+  // downhill on the same topology (non-minimal paths carry flows).
+  ExperimentConfig downhill = config;
+  downhill.path_strategy = PathStrategyKind::kDownhill;
+  const ExperimentResult base = RunExperiment(downhill);
+  EXPECT_EQ(base.flows_completed, base.flows_requested);
+  EXPECT_NE(ExperimentDigest(result), ExperimentDigest(base));
+}
+
+// --- arena-interned path tables ---
+
+TEST(PathTableArenaTest, InternsDuplicateRowsOnce) {
+  PathTableArena arena;
+  std::vector<PathCandidate> row(3);
+  for (int i = 0; i < 3; ++i) {
+    row[static_cast<size_t>(i)].port = static_cast<PortIndex>(i);
+    row[static_cast<size_t>(i)].next_hop = static_cast<NodeId>(10 + i);
+  }
+  const PathSlotRef a = arena.Intern(row);
+  const size_t bytes_after_first = arena.MemoryBytes();
+  const PathSlotRef b = arena.Intern(row);
+  EXPECT_EQ(a.offset, b.offset);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(arena.unique_lists(), 1u);
+  EXPECT_EQ(arena.total_lists(), 2u);
+  EXPECT_EQ(arena.MemoryBytes(), bytes_after_first);
+
+  // A different row gets its own range; empty rows never touch the slab.
+  row[0].port = 99;
+  const PathSlotRef c = arena.Intern(row);
+  EXPECT_NE(c.offset, a.offset);
+  EXPECT_EQ(arena.unique_lists(), 2u);
+  const PathSlotRef empty = arena.Intern({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(arena.Resolve(empty).size(), 0u);
+
+  const auto resolved = arena.Resolve(a);
+  ASSERT_EQ(resolved.size(), 3u);
+  EXPECT_EQ(resolved[0].next_hop, 10);
+}
+
+TEST(PathTableArenaTest, ExperimentReportsInternedFootprint) {
+  ExperimentConfig config;
+  config.topo = TopologyKind::kDragonfly;
+  config.num_dcs = 25;
+  config.topo_seed = 7;
+  config.hosts_per_dc = 2;
+  config.policy = PolicyKind::kLcmp;
+  config.num_flows = 40;
+  config.seed = 11;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_EQ(result.num_dcis, 25);
+  EXPECT_GT(result.num_switches, 0);
+  EXPECT_GT(result.topo_bytes, 0u);
+  EXPECT_GT(result.static_table_bytes, 0u);
+  EXPECT_GT(result.path_table_bytes, 0u);
+  // Slots alone are 25 DCIs * 25 dsts * 8 B = 5 KB; the interned arena keeps
+  // the whole thing far below the naive 25x per-switch copy of every row.
+  EXPECT_LT(result.path_table_bytes, 256u * 1024u);
+}
+
+}  // namespace
+}  // namespace lcmp

@@ -32,7 +32,9 @@ bool ParseEnums(const FlagSet& flags, ExperimentConfig& config, std::string& err
          ParsePolicyKind(flags.GetString("policy"), &config.policy, &error) &&
          ParseWorkloadKind(flags.GetString("workload"), &config.workload, &error) &&
          ParseCcKind(flags.GetString("cc"), &config.cc, &error) &&
-         ParsePairingKind(flags.GetString("pairing"), &config.pairing, &error);
+         ParsePairingKind(flags.GetString("pairing"), &config.pairing, &error) &&
+         ParseFabricKind(flags.GetString("fabric"), &config.fabric, &error) &&
+         ParsePathStrategyKind(flags.GetString("paths"), &config.path_strategy, &error);
 }
 
 int RunSweepMode(const ExperimentConfig& base, const SweepOptions& sweep_opts,
@@ -138,7 +140,22 @@ int RunSweepMode(const ExperimentConfig& base, const SweepOptions& sweep_opts,
 
 int main(int argc, char** argv) {
   FlagSet flags;
-  flags.Define("topo", "testbed8", "topology: testbed8 | bso13 | testbed8-sym")
+  flags.Define("topo", "testbed8",
+               "topology: testbed8 | bso13 | testbed8-sym | random | dragonfly | slimfly | "
+               "fattree | imported")
+      .Define("dcs", "16", "DC count for generated topologies (slimfly/fattree round up)")
+      .Define("topo-seed", "0", "topology-generation seed; 0 = derive from --seed")
+      .Define("chords", "8", "random topology: chords on top of the ring")
+      .Define("df-group-size", "0", "dragonfly: DCs per group (0 = auto)")
+      .Define("df-global-links", "2", "dragonfly: global-link budget per DC")
+      .Define("topo-file", "", "imported topology: edge-list or .gml path")
+      .Define("fabric", "collapsed", "generated-DC fabric: collapsed | leafspine")
+      .Define("fabric-leaves", "4", "leaf-spine fabric: leaf switches per DC")
+      .Define("fabric-spines", "2", "leaf-spine fabric: spine switches per DC")
+      .Define("paths", "downhill", "candidate-path strategy: downhill | layered")
+      .Define("path-layers", "4", "layered paths: total layers incl. minimal layer 0")
+      .Define("layer-drop-permille", "250", "layered paths: per-layer link drop rate (1/1000)")
+      .Define("flow-cache-auto", "false", "right-size LCMP flow caches to the flow count")
       .Define("policy", "lcmp", "routing policy: ecmp | wcmp | ucmp | redte | lcmp")
       .Define("workload", "websearch", "flow-size mix: websearch | fbhdp | alistorage")
       .Define("cc", "dcqcn", "congestion control: dcqcn | hpcc | timely | dctcp")
@@ -181,6 +198,17 @@ int main(int argc, char** argv) {
   config.num_flows = static_cast<int>(flags.GetInt("flows"));
   config.hosts_per_dc = static_cast<int>(flags.GetInt("hosts-per-dc"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.num_dcs = static_cast<int>(flags.GetInt("dcs"));
+  config.topo_seed = static_cast<uint64_t>(flags.GetInt("topo-seed"));
+  config.extra_chords = static_cast<int>(flags.GetInt("chords"));
+  config.df_group_size = static_cast<int>(flags.GetInt("df-group-size"));
+  config.df_global_links = static_cast<int>(flags.GetInt("df-global-links"));
+  config.topo_file = flags.GetString("topo-file");
+  config.fabric_leaves = static_cast<int>(flags.GetInt("fabric-leaves"));
+  config.fabric_spines = static_cast<int>(flags.GetInt("fabric-spines"));
+  config.path_layers = static_cast<int>(flags.GetInt("path-layers"));
+  config.layer_drop_permille = static_cast<int>(flags.GetInt("layer-drop-permille"));
+  config.lcmp.flow_cache_auto = flags.GetBool("flow-cache-auto");
   config.emulation_mode = flags.GetBool("emulation");
   config.lcmp.alpha = static_cast<int>(flags.GetInt("alpha"));
   config.lcmp.beta = static_cast<int>(flags.GetInt("beta"));

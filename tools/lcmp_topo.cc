@@ -1,0 +1,118 @@
+// lcmp_topo: topology inspection CLI for the topo/gen/ subsystem.
+//
+// Builds any topology the experiment harness understands (the paper's fixed
+// WANs, the generated dragonfly/slimfly/fattree/random families, or an
+// imported Topology Zoo file) and prints structural statistics, the golden
+// structural digest, and optional DOT/JSON exports:
+//
+//   lcmp_topo --topo=dragonfly --dcs=200 --seed=7
+//   lcmp_topo --topo=imported --topo-file=examples/topo_zoo_sample.gml --json=-
+//   lcmp_topo --topo=slimfly --dcs=50 --dot=slimfly.dot
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/flags.h"
+#include "topo/gen/topo_stats.h"
+
+namespace {
+
+using namespace lcmp;
+
+// Writes `text` to `path`, with "-" meaning stdout.
+bool WriteOut(const std::string& path, const std::string& text, const char* what) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s file '%s'\n", what, path.c_str());
+    return false;
+  }
+  out << text;
+  std::printf("wrote %s to %s\n", what, path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("topo", "testbed8",
+               "topology: testbed8 | bso13 | testbed8-sym | random | dragonfly | slimfly | "
+               "fattree | imported")
+      .Define("dcs", "16", "DC count for generated topologies (slimfly/fattree round up)")
+      .Define("seed", "1", "topology-generation seed")
+      .Define("chords", "8", "random topology: chords on top of the ring")
+      .Define("df-group-size", "0", "dragonfly: DCs per group (0 = auto)")
+      .Define("df-global-links", "2", "dragonfly: global-link budget per DC")
+      .Define("topo-file", "", "imported topology: edge-list or .gml path")
+      .Define("fabric", "collapsed", "DC fabric: collapsed | leafspine")
+      .Define("fabric-leaves", "4", "leaf-spine fabric: leaf switches per DC")
+      .Define("fabric-spines", "2", "leaf-spine fabric: spine switches per DC")
+      .Define("hosts-per-dc", "8", "hosts per datacenter")
+      .Define("dot", "", "write a Graphviz DOT of the inter-DC graph ('-' = stdout)")
+      .Define("json", "", "write stats + inter-DC links as JSON ('-' = stdout)")
+      .Define("bisection-trials", "16", "random balanced cuts for the bisection estimate");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(), flags.Usage(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  ExperimentConfig config;
+  std::string error;
+  if (!ParseTopologyKind(flags.GetString("topo"), &config.topo, &error) ||
+      !ParseFabricKind(flags.GetString("fabric"), &config.fabric, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  config.num_dcs = static_cast<int>(flags.GetInt("dcs"));
+  config.topo_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.seed = config.topo_seed;
+  config.extra_chords = static_cast<int>(flags.GetInt("chords"));
+  config.df_group_size = static_cast<int>(flags.GetInt("df-group-size"));
+  config.df_global_links = static_cast<int>(flags.GetInt("df-global-links"));
+  config.topo_file = flags.GetString("topo-file");
+  config.fabric_leaves = static_cast<int>(flags.GetInt("fabric-leaves"));
+  config.fabric_spines = static_cast<int>(flags.GetInt("fabric-spines"));
+  config.hosts_per_dc = static_cast<int>(flags.GetInt("hosts-per-dc"));
+  if (config.topo == TopologyKind::kImported && config.topo_file.empty()) {
+    std::fprintf(stderr, "--topo=imported requires --topo-file\n");
+    return 2;
+  }
+
+  const Graph g = BuildTopology(config);
+  const TopoStats stats =
+      ComputeTopoStats(g, config.topo_seed, static_cast<int>(flags.GetInt("bisection-trials")));
+
+  std::printf("topology %s (seed %llu)\n", TopologyKindName(config.topo),
+              static_cast<unsigned long long>(config.topo_seed));
+  std::printf("  dcs               %d\n", stats.dcs);
+  std::printf("  vertices          %d (%d hosts, %d switches, %d DCIs)\n", stats.vertices,
+              stats.hosts, stats.switches, stats.dci_switches);
+  std::printf("  links             %d (%d inter-DC)\n", stats.links, stats.inter_dc_links);
+  std::printf("  connected         %s\n", stats.connected ? "yes" : "NO");
+  std::printf("  inter-DC diameter %d hops\n", stats.diameter);
+  std::printf("  avg DCI degree    %.2f\n", stats.avg_dci_degree);
+  std::printf("  inter-DC capacity %.1f Tbps (one direction)\n",
+              static_cast<double>(stats.inter_dc_capacity_bps) / 1e12);
+  std::printf("  bisection (est.)  %.1f Tbps\n", static_cast<double>(stats.bisection_bps) / 1e12);
+  std::printf("  structural digest %016llx\n",
+              static_cast<unsigned long long>(StructuralDigest(g)));
+
+  const std::string dot_path = flags.GetString("dot");
+  if (!dot_path.empty() && !WriteOut(dot_path, TopoToDot(g), "DOT")) {
+    return 1;
+  }
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty() && !WriteOut(json_path, TopoToJson(g, stats), "JSON")) {
+    return 1;
+  }
+  return stats.connected ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "harness/flags.h"
+#include "harness/sweep.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "validate/golden.h"
@@ -22,7 +23,78 @@ int ListScenarios() {
   for (const validate::GoldenScenario& scenario : validate::GoldenScenarios()) {
     std::printf("%-28s %s\n", scenario.name.c_str(), scenario.overrides.c_str());
   }
+  for (const validate::TopoFamilyScenario& family : validate::TopoFamilyScenarios()) {
+    std::printf("%-28s %s\n", ("topo/" + family.name).c_str(), family.overrides.c_str());
+  }
   return 0;
+}
+
+// Re-pins the per-family structural digests (tests/golden/topo_families.json).
+int UpdateTopoFamilies(const std::string& dir) {
+  std::vector<validate::TopoFamilyRecord> records;
+  for (const validate::TopoFamilyScenario& family : validate::TopoFamilyScenarios()) {
+    validate::TopoFamilyRecord rec;
+    rec.name = family.name;
+    std::string error;
+    ExperimentConfig config;
+    if (!validate::ComputeTopoFamilyDigest(family, &rec.digest, &error) ||
+        !ApplyConfigField(&config, "overrides", family.overrides, &error)) {
+      std::fprintf(stderr, "topo/%s: %s\n", family.name.c_str(), error.c_str());
+      return 1;
+    }
+    rec.config_echo = validate::ConfigEcho(config);
+    records.push_back(std::move(rec));
+  }
+  const std::string path = validate::TopoFamilyGoldenPath(dir);
+  std::string error;
+  if (!validate::SaveTopoFamilyRecords(path, records, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  for (const validate::TopoFamilyRecord& rec : records) {
+    std::printf("pinned %-28s digest=%016llx -> %s\n", ("topo/" + rec.name).c_str(),
+                static_cast<unsigned long long>(rec.digest), path.c_str());
+  }
+  return 0;
+}
+
+// Structural digests are shard-independent by construction, so the family
+// check has no --shards dimension.
+int CheckTopoFamilies(const std::string& dir) {
+  std::vector<validate::TopoFamilyRecord> pinned;
+  std::string error;
+  if (!validate::LoadTopoFamilyRecords(validate::TopoFamilyGoldenPath(dir), &pinned, &error)) {
+    std::fprintf(stderr, "MISSING topo-family corpus: %s (run with --update-golden to pin)\n",
+                 error.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const validate::TopoFamilyScenario& family : validate::TopoFamilyScenarios()) {
+    const validate::TopoFamilyRecord* rec = nullptr;
+    for (const validate::TopoFamilyRecord& r : pinned) {
+      if (r.name == family.name) {
+        rec = &r;
+        break;
+      }
+    }
+    uint64_t digest = 0;
+    if (rec == nullptr) {
+      std::fprintf(stderr, "MISSING topo/%s (run with --update-golden to pin)\n",
+                   family.name.c_str());
+      ++failures;
+    } else if (!validate::ComputeTopoFamilyDigest(family, &digest, &error)) {
+      std::fprintf(stderr, "DRIFT   topo/%s: %s\n", family.name.c_str(), error.c_str());
+      ++failures;
+    } else if (digest != rec->digest) {
+      std::fprintf(stderr, "DRIFT   topo/%s: pinned %016llx, current %016llx\n",
+                   family.name.c_str(), static_cast<unsigned long long>(rec->digest),
+                   static_cast<unsigned long long>(digest));
+      ++failures;
+    } else {
+      std::printf("ok      topo/%s\n", family.name.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int UpdateGolden(const std::string& dir) {
@@ -123,7 +195,9 @@ int Main(int argc, char** argv) {
                            "pinned sequentially (drop --shards)\n");
       return 2;
     }
-    return UpdateGolden(dir);
+    const int rc = UpdateGolden(dir);
+    const int topo_rc = UpdateTopoFamilies(dir);
+    return rc != 0 ? rc : topo_rc;
   }
   // Observability pass-through: tracing across the scenario runs exercises
   // "obs on does not change results" on the exact digest corpus.
@@ -133,6 +207,8 @@ int Main(int argc, char** argv) {
     obs::FlightRecorder::Instance().Enable(true);
   }
   int rc = CheckGolden(dir, shards);
+  const int topo_rc = CheckTopoFamilies(dir);
+  rc = rc != 0 ? rc : topo_rc;
   if (!flags.GetBool("skip-oracles")) {
     const int oracle_rc = RunOracles(static_cast<uint64_t>(flags.GetInt("seed")));
     rc = rc != 0 ? rc : oracle_rc;
