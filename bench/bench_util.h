@@ -47,7 +47,6 @@ inline ExperimentConfig Testbed8Config() {
   c.topo = TopologyKind::kTestbed8;
   c.pairing = PairingKind::kEndpointPair;
   c.workload = WorkloadKind::kWebSearch;
-  c.cc = CcKind::kDcqcn;
   c.load = 0.30;
   c.num_flows = 600;
   c.hosts_per_dc = 8;
@@ -61,7 +60,6 @@ inline ExperimentConfig Bso13Config() {
   c.topo = TopologyKind::kBso13;
   c.pairing = PairingKind::kAllToAll;
   c.workload = WorkloadKind::kWebSearch;
-  c.cc = CcKind::kDcqcn;
   c.load = 0.30;
   c.num_flows = 1500;
   c.hosts_per_dc = 4;

@@ -26,7 +26,6 @@ int main() {
   base.topo = TopologyKind::kTestbed8Sym;
   base.pairing = PairingKind::kEndpointOneWay;
   base.policy = PolicyKind::kLcmp;
-  base.cc = CcKind::kDcqcn;
   base.burst_mode = true;
   base.burst_size_bytes = 2'000'000;  // identical elephants
   base.num_flows = 120;

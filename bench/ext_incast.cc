@@ -1,0 +1,141 @@
+// Incast / oversubscription extension (DESIGN.md §14): the scenario family
+// the segment-split transport was built for.
+//
+// A 64-to-1 incast bursts into the last DC on top of a mixed intra+inter
+// WebSearch background matrix, with the DCI border links optionally
+// oversubscribed (os_borders divides their rate). Axes:
+//   * os_borders {1, 4}            - healthy vs oversubscribed borders
+//   * policy {ECMP, RedTE, LCMP}   - routing is orthogonal to transport
+//   * cc {dcqcn, lcp/dcqcn}        - end-to-end DCQCN vs the split stack
+//     (delay-based LCP on the long haul, DCQCN inside the fabrics)
+//
+// Expected shape: under oversubscribed borders the incast tail is governed by
+// the long-haul segment; end-to-end DCQCN's CNP loop arrives BDPs late and
+// oscillates, while lcp/dcqcn holds the border queue inside its headroom
+// budget and cuts the incast p99 slowdown. LCMP routing helps the background
+// matrix but cannot fix the shared last-hop — that is the transport's job.
+//
+// JSON goes to --json=PATH or $LCMP_BENCH_JSON. --quick trims the grid for
+// the CI incast-smoke job; --shards=N reruns the same grid on the sharded
+// core — every run prints a "digest <label> <hex>" line, so two invocations
+// at different shard counts must grep-cmp identical digest sets.
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "harness/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace lcmp;
+
+  std::string json_path;
+  if (const char* env = std::getenv("LCMP_BENCH_JSON")) {
+    json_path = env;
+  }
+  bool quick = false;
+  int shards = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
+    }
+  }
+
+  Banner("Incast + oversubscribed borders - 64-to-1 into the last DC, mixed matrix",
+         "lcp/dcqcn (split stack) beats end-to-end DCQCN on incast p99 when the "
+         "DCI borders are oversubscribed; routing policy cannot fix the shared sink");
+
+  ExperimentConfig base = IncastScenarioConfig(quick ? 16 : 64);
+  if (quick) {
+    base.num_flows = 120;
+  }
+  base.shards = shards;
+
+  SweepSpec spec(base);
+  if (quick) {
+    spec.Axis("os_borders", {"4"});
+  } else {
+    spec.Axis("os_borders", {"1", "4"})
+        .Policies({PolicyKind::kEcmp, PolicyKind::kRedte, PolicyKind::kLcmp});
+  }
+  spec.Ccs({"dcqcn", "lcp/dcqcn"});
+
+  const std::vector<RunOutcome> outcomes = RunSpec(spec);
+
+  TablePrinter table({"OS", "policy", "cc", "incast flows", "incast p50", "incast p99",
+                      "background p99"});
+  bool ok = true;
+  // p99 per (os, cc) for the LCMP rows (quick mode runs only LCMP's policy
+  // default), to report the split-stack win.
+  std::map<std::pair<std::string, std::string>, double> lcmp_p99;
+  for (const RunOutcome& o : outcomes) {
+    ok = ok && o.result.flows_completed == o.result.flows_requested;
+    table.AddRow({CellLabel(o, "os_borders"), CellLabel(o, "policy"), CellLabel(o, "cc"),
+                  std::to_string(o.result.incast.count), Fmt(o.result.incast.p50),
+                  Fmt(o.result.incast.p99), Fmt(o.result.overall.p99)});
+    if (o.run.config.policy == PolicyKind::kLcmp) {
+      lcmp_p99[{CellLabel(o, "os_borders"), o.run.config.cc.Token()}] = o.result.incast.p99;
+    }
+  }
+  table.Print();
+
+  const std::string os_key = "4";
+  const double e2e = lcmp_p99.count({os_key, "dcqcn"}) ? lcmp_p99[{os_key, "dcqcn"}] : 0;
+  const double split =
+      lcmp_p99.count({os_key, "lcp/dcqcn"}) ? lcmp_p99[{os_key, "lcp/dcqcn"}] : 0;
+  const bool split_wins = e2e > 0 && split > 0 && split < e2e;
+  if (e2e > 0 && split > 0) {
+    std::printf("\nincast p99 at os_borders=4 under LCMP: dcqcn %.2f vs lcp/dcqcn %.2f "
+                "(%+.1f%%)\n",
+                e2e, split, (split - e2e) / e2e * 100.0);
+  }
+  Note("incast rows summarize only the fan-in flows; the background matrix "
+       "(25% intra-DC) stays in the last column.");
+
+  for (const RunOutcome& o : outcomes) {
+    std::printf("digest %s %016llx\n", o.run.label.c_str(),
+                static_cast<unsigned long long>(o.digest));
+  }
+
+  std::string json = "{\n  \"bench\": \"ext_incast\",\n  \"quick\": " +
+                     std::string(quick ? "true" : "false") +
+                     ",\n  \"incast_fanin\": " + std::to_string(base.incast_fanin) +
+                     ",\n  \"split_beats_e2e_at_os4\": " +
+                     std::string(split_wins ? "true" : "false") + ",\n  \"runs\": [\n";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const RunOutcome& o = outcomes[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"os_borders\": %d, \"policy\": \"%s\", \"cc\": \"%s\", "
+                  "\"digest\": \"%016llx\",\n"
+                  "     \"incast_flows\": %d, \"incast_p50\": %.3f, \"incast_p99\": %.3f,\n"
+                  "     \"background_p99\": %.3f, \"flows_completed\": %d}%s\n",
+                  o.run.config.os_borders, PolicyKindToken(o.run.config.policy),
+                  o.run.config.cc.Token().c_str(),
+                  static_cast<unsigned long long>(o.digest), o.result.incast.count,
+                  o.result.incast.p50, o.result.incast.p99, o.result.overall.p99,
+                  o.result.flows_completed, i + 1 < outcomes.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  // Incomplete flows are a bug; the p99 comparison is a result, not a gate.
+  return ok ? 0 : 1;
+}

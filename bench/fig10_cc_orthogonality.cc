@@ -14,7 +14,7 @@ int main() {
          "similar LCMP gains under DCQCN, HPCC, TIMELY and DCTCP");
 
   SweepSpec spec(Testbed8Config());
-  spec.Ccs({CcKind::kDcqcn, CcKind::kHpcc, CcKind::kTimely, CcKind::kDctcp})
+  spec.Ccs({"dcqcn", "hpcc", "timely", "dctcp"})
       .Policies({PolicyKind::kEcmp, PolicyKind::kUcmp, PolicyKind::kLcmp});
 
   TablePrinter table({"cc", "policy", "p50 slowdown", "p99 slowdown"});

@@ -135,7 +135,7 @@ int main(int argc, char** argv) {
     FctRecorder recorder(&net.graph());
     const int num_flows = 300;
     Simulator& sim = net.sim();
-    RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+    RdmaTransport transport(&net, TransportConfig{},
                             [&](const FlowRecord& rec) {
                               recorder.OnComplete(rec);
                               if (recorder.completed() >= num_flows) {

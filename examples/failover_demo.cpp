@@ -29,7 +29,7 @@ int main() {
   control_plane.Provision(net);
 
   FctRecorder recorder(&net.graph());
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+  RdmaTransport transport(&net, TransportConfig{},
                           [&](const FlowRecord& rec) { recorder.OnComplete(rec); });
 
   // 60 elephant flows of 8 MB each, arriving over the first few ms.

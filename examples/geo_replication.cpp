@@ -17,7 +17,6 @@ int main() {
   config.topo = TopologyKind::kBso13;
   config.pairing = PairingKind::kAllToAll;
   config.workload = WorkloadKind::kAliStorage;
-  config.cc = CcKind::kDcqcn;
   config.load = 0.4;
   config.num_flows = 400;
   config.hosts_per_dc = 2;

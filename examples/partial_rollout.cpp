@@ -31,7 +31,7 @@ std::pair<double, double> Run(const lcmp::PolicyFactory& factory) {
   control_plane.Provision(net);
 
   FctRecorder recorder(&net.graph());
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+  RdmaTransport transport(&net, TransportConfig{},
                           [&](const FlowRecord& rec) {
                             recorder.OnComplete(rec);
                             if (recorder.completed() >= 300) {

@@ -17,7 +17,6 @@ int main() {
   config.topo = TopologyKind::kTestbed8;      // Fig. 1a: six asymmetric routes
   config.pairing = PairingKind::kEndpointPair;  // DC1 <-> DC8 traffic
   config.workload = WorkloadKind::kWebSearch;
-  config.cc = CcKind::kDcqcn;
   config.load = 0.3;
   config.num_flows = 300;
   config.seed = 42;

@@ -155,6 +155,22 @@ std::vector<SwitchTelemetry> ControlPlane::CollectTelemetry(Network& net) const 
         obs::MetricsRegistry::Instance().GetGauge("transport.cc.last_rate_bps");
     hub.GetSeries("lcmp.cc.rate_bps")
         ->Sample(now, static_cast<double>(g_cc_rate->MergedValue()));
+    // Per-segment rates (lcmp.cc.* tracks); only exported once a SegmentedCc
+    // flow has published them, so uniform-CC runs keep their series set.
+    static obs::Gauge* g_cc_intra_src =
+        obs::MetricsRegistry::Instance().GetGauge("transport.cc.intra_src_rate_bps");
+    static obs::Gauge* g_cc_inter =
+        obs::MetricsRegistry::Instance().GetGauge("transport.cc.inter_rate_bps");
+    static obs::Gauge* g_cc_intra_dst =
+        obs::MetricsRegistry::Instance().GetGauge("transport.cc.intra_dst_rate_bps");
+    if (g_cc_inter->MergedValue() != 0) {
+      hub.GetSeries("lcmp.cc.intra_src_rate_bps")
+          ->Sample(now, static_cast<double>(g_cc_intra_src->MergedValue()));
+      hub.GetSeries("lcmp.cc.inter_rate_bps")
+          ->Sample(now, static_cast<double>(g_cc_inter->MergedValue()));
+      hub.GetSeries("lcmp.cc.intra_dst_rate_bps")
+          ->Sample(now, static_cast<double>(g_cc_intra_dst->MergedValue()));
+    }
     int64_t entries = 0;
     int64_t levels = 0;
     int64_t ports = 0;

@@ -213,15 +213,6 @@ bool ParsePathStrategyKind(const std::string& text, PathStrategyKind* out, std::
                                           out, error);
 }
 
-bool ParseCcKind(const std::string& text, CcKind* out, std::string* error) {
-  return ParseKindToken<CcKind>(text, "congestion control",
-                                {{"dcqcn", CcKind::kDcqcn},
-                                 {"hpcc", CcKind::kHpcc},
-                                 {"timely", CcKind::kTimely},
-                                 {"dctcp", CcKind::kDctcp}},
-                                out, error);
-}
-
 bool ParseWorkloadKind(const std::string& text, WorkloadKind* out, std::string* error) {
   return ParseKindToken<WorkloadKind>(text, "workload",
                                       {{"websearch", WorkloadKind::kWebSearch},
@@ -273,9 +264,8 @@ FabricOptions GeneratedFabric(const ExperimentConfig& config) {
   return fabric;
 }
 
-}  // namespace
-
-Graph BuildTopology(const ExperimentConfig& config) {
+// The base topology before experiment-axis post-processing.
+Graph BuildBaseTopology(const ExperimentConfig& config) {
   switch (config.topo) {
     case TopologyKind::kTestbed8: {
       Testbed8Options opts;
@@ -338,6 +328,25 @@ Graph BuildTopology(const ExperimentConfig& config) {
     }
   }
   return BuildTestbed8({});
+}
+
+}  // namespace
+
+Graph BuildTopology(const ExperimentConfig& config) {
+  Graph g = BuildBaseTopology(config);
+  // Oversubscribed DCI borders: divide every inter-DC link's rate by
+  // os_borders, leaving intra-DC fabric capacity untouched. os_borders == 1
+  // (the default) touches nothing, so pinned topologies stay bit-identical.
+  if (config.os_borders > 1) {
+    for (int li = 0; li < g.num_links(); ++li) {
+      const LinkSpec& l = g.link(li);
+      if (g.vertex(l.a).kind == VertexKind::kDciSwitch &&
+          g.vertex(l.b).kind == VertexKind::kDciSwitch && g.vertex(l.a).dc != g.vertex(l.b).dc) {
+        g.SetLinkRate(li, std::max<int64_t>(l.rate_bps / config.os_borders, 1));
+      }
+    }
+  }
+  return g;
 }
 
 std::vector<std::pair<DcId, DcId>> BuildPairing(const ExperimentConfig& config, int num_dcs) {
@@ -481,14 +490,33 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     traffic.offered_bps = OfferedLoadForUtilization(graph, net.routes(), pairs, config.load);
     traffic.num_flows = config.num_flows;
     traffic.seed = Mix64(config.seed ^ 0x7ea1);
+    traffic.mix_intra = config.mix_intra;
     flows = GenerateTraffic(graph, pairs, traffic);
+  }
+  // Synchronized N-to-1 incast rides on top of the background matrix; its
+  // flow ids start right after the background flows so the result can be
+  // split into background vs incast populations by id.
+  FlowId incast_first_id = 0;
+  if (config.incast_fanin > 0) {
+    IncastConfig inc;
+    inc.fanin = config.incast_fanin;
+    inc.bytes_per_sender = config.incast_bytes;
+    inc.start_time = 0;
+    inc.first_flow_id = static_cast<FlowId>(flows.size()) + 1;
+    incast_first_id = inc.first_flow_id;
+    const std::vector<FlowSpec> inc_flows = GenerateIncast(graph, inc);
+    flows.insert(flows.end(), inc_flows.begin(), inc_flows.end());
   }
 
   // Transport + stats.
   FctRecorder recorder(&net.graph());
   TransportConfig tconfig;
+  tconfig.cc = config.cc;
+  tconfig.cc_inter = config.cc_inter;
+  tconfig.cc_intra = config.cc_intra;
   tconfig.emulation_mode = config.emulation_mode;
   tconfig.ooo_tolerance = config.ooo_tolerance;
+  tconfig.max_inflight_bytes = config.max_inflight_bytes;
   Simulator& sim = net.sim();
   const int expected = static_cast<int>(flows.size());
   // Sharded runs buffer completions with their (time, key) stamps and replay
@@ -498,7 +526,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   if (net.num_shards() > 1) {
     engine = std::make_unique<ShardEngine<FlowRecord>>(&net, config.horizon, expected);
   }
-  RdmaTransport transport(&net, tconfig, config.cc, [&](const FlowRecord& rec) {
+  RdmaTransport transport(&net, tconfig, [&](const FlowRecord& rec) {
     if (engine != nullptr) {
       engine->OnComplete(rec, rec.spec.dst);
       return;
@@ -571,6 +599,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   ExperimentResult result;
   result.config = config;
   result.overall = recorder.Overall();
+  if (incast_first_id > 0) {
+    result.incast = recorder.Where(
+        [incast_first_id](const FctRecorder::Sample& s) { return s.flow >= incast_first_id; });
+    result.incast_flows_completed = result.incast.count;
+  }
   result.buckets = recorder.ByBuckets(SizeBucketEdges(config.workload));
   result.link_utils = util.End();
   result.samples = recorder.samples();

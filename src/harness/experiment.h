@@ -60,15 +60,15 @@ enum class PairingKind : uint8_t {
 // target is left untouched and `error` lists every accepted token.
 bool ParsePolicyKind(const std::string& text, PolicyKind* out, std::string* error);
 bool ParseTopologyKind(const std::string& text, TopologyKind* out, std::string* error);
-bool ParseCcKind(const std::string& text, CcKind* out, std::string* error);
 bool ParseWorkloadKind(const std::string& text, WorkloadKind* out, std::string* error);
 bool ParsePairingKind(const std::string& text, PairingKind* out, std::string* error);
 bool ParseFabricKind(const std::string& text, FabricKind* out, std::string* error);
 bool ParsePathStrategyKind(const std::string& text, PathStrategyKind* out, std::string* error);
 
 // The CLI token each parser accepts for a kind (inverse of the Parse*
-// helpers; distinct from the display-oriented *KindName strings, except for
-// CcKind whose KindName already is the lower-case token).
+// helpers; distinct from the display-oriented *KindName strings). CC
+// algorithms are not an enum: they parse through the CcRegistry
+// (transport/cc/cc_registry.h) into a SegmentCcSpec.
 const char* PolicyKindToken(PolicyKind kind);
 const char* TopologyKindToken(TopologyKind kind);
 const char* PairingKindToken(PairingKind kind);
@@ -80,7 +80,14 @@ struct ExperimentConfig {
   TopologyKind topo = TopologyKind::kTestbed8;
   PairingKind pairing = PairingKind::kEndpointPair;
   PolicyKind policy = PolicyKind::kLcmp;
-  CcKind cc = CcKind::kDcqcn;
+  // Segmented congestion control (DESIGN.md §14): registry tokens per
+  // segment. The uniform default reproduces the legacy single-instance
+  // transport; "lcp/dcqcn"-style splits run distinct inter/intra algorithms.
+  SegmentCcSpec cc;
+  // Per-segment algorithm tuning (sweepable via the cc.inter.* / cc.intra.*
+  // registry fields).
+  CcTuning cc_inter;
+  CcTuning cc_intra;
   WorkloadKind workload = WorkloadKind::kWebSearch;
   double load = 0.3;       // target average inter-DC link utilization
   int num_flows = 1000;
@@ -145,6 +152,28 @@ struct ExperimentConfig {
   // burst_size_bytes != 0 every flow gets that size instead of a CDF draw.
   bool burst_mode = false;
   uint64_t burst_size_bytes = 0;
+  // ---- incast / oversubscription scenario family (DESIGN.md §14) ----
+  // N-to-1 incast at the *destination* DC: `incast_fanin` senders spread
+  // round-robin over the other host-bearing DCs all target one receiver host
+  // in the last host-bearing DC, each shipping `incast_bytes`, starting
+  // together at t=0. 0 keeps the family off. Incast flows ride on top of the
+  // regular background matrix (num_flows) and are reported separately in
+  // ExperimentResult::incast.
+  int incast_fanin = 0;
+  uint64_t incast_bytes = 1 << 20;
+  // Oversubscribed DCI borders: divide every DCI<->DCI link's rate by this
+  // factor after topology build (the OS_BORDERS axis). 1 = no change.
+  int os_borders = 1;
+  // Mixed traffic matrix: fraction of generated background flows redirected
+  // to an intra-DC destination (same-DC host). 0 keeps the legacy pure
+  // inter-DC matrix — and, critically, the legacy RNG stream.
+  double mix_intra = 0.0;
+  // Bounded in-flight sender window (TransportConfig::max_inflight_bytes).
+  // 0 = the legacy open-loop sender. The incast family runs windowed: with
+  // unbounded in-flight, any sub-BDP flow is fully transmitted before the
+  // first inter-DC feedback returns and every CC algorithm degenerates to
+  // the same line-rate blast.
+  int64_t max_inflight_bytes = 0;
   // Conservative-PDES shard count (DESIGN.md §12): partitions the event core
   // by DC group and runs one worker thread per shard. Clamped to the DC
   // count; 1 keeps the sequential core. Deliberately NOT a registry-echoed
@@ -196,6 +225,10 @@ struct ExperimentResult {
   size_t static_table_bytes = 0;
   int num_switches = 0;
   int num_dcis = 0;
+  // Incast family only (incast_fanin > 0): slowdown summary over the incast
+  // flows alone (the background matrix stays in `overall`).
+  SlowdownStats incast;
+  int incast_flows_completed = 0;
 
   // Slowdown summary filtered to one ordered DC pair.
   SlowdownStats ForDcPair(DcId src, DcId dst) const;

@@ -154,8 +154,17 @@ std::string SweepResultsToJson(const std::vector<RunOutcome>& outcomes, int jobs
     const SlowdownStats& fct = outcome.result.overall;
     out += "      \"fct_slowdown\": {\"count\": " + std::to_string(fct.count) +
            ", \"mean\": " + FormatDouble(fct.mean) + ", \"p50\": " + FormatDouble(fct.p50) +
-           ", \"p95\": " + FormatDouble(fct.p95) + ", \"p99\": " + FormatDouble(fct.p99) + "}\n";
-    out += "    }";
+           ", \"p95\": " + FormatDouble(fct.p95) + ", \"p99\": " + FormatDouble(fct.p99) + "}";
+    // Incast family runs carry the incast-population breakdown so CC tuning
+    // sweeps can rank cells on the metric that matters (the overall quantiles
+    // are dominated by the background matrix).
+    if (outcome.run.config.incast_fanin > 0) {
+      const SlowdownStats& inc = outcome.result.incast;
+      out += ",\n      \"incast_slowdown\": {\"count\": " + std::to_string(inc.count) +
+             ", \"mean\": " + FormatDouble(inc.mean) + ", \"p50\": " + FormatDouble(inc.p50) +
+             ", \"p95\": " + FormatDouble(inc.p95) + ", \"p99\": " + FormatDouble(inc.p99) + "}";
+    }
+    out += "\n    }";
   }
   out += first ? "]\n" : "\n  ]\n";
   out += "}\n";

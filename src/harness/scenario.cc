@@ -137,4 +137,45 @@ void PrintLinkUtilizationTable(const std::string& title,
   table.Print();
 }
 
+ExperimentConfig IncastScenarioConfig(int fanin) {
+  ExperimentConfig c;
+  c.topo = TopologyKind::kTestbed8;
+  c.pairing = PairingKind::kEndpointPair;
+  c.workload = WorkloadKind::kWebSearch;
+  c.load = 0.20;
+  c.num_flows = 400;
+  c.hosts_per_dc = 8;
+  c.seed = 2026;
+  // One quarter of the background matrix stays inside the source DC so the
+  // intra segment sees realistic cross traffic, not just the incast itself.
+  c.mix_intra = 0.25;
+  c.incast_fanin = fanin;
+  // Each incast sender ships several windows' worth (16 MB against the 4 MB
+  // cap below): a flow that fits inside one window is transmitted open-loop
+  // before any long-haul feedback returns, and the CC comparison this family
+  // exists for would measure nothing.
+  c.incast_bytes = 16 << 20;
+  // The incast family runs with a bounded in-flight window: with the legacy
+  // open-loop sender every sub-BDP flow is fully transmitted before the first
+  // long-haul feedback returns (~1 RTT = 20 ms = 250 MB at 100G), so every CC
+  // algorithm degenerates to the same line-rate blast. 4 MB caps a single
+  // flow at roughly W/RTT = 1.6 Gbps over the long haul — about the fair
+  // share of a 64-to-1 incast on a 100G border — which makes the inter-DC CC
+  // choice observable.
+  c.max_inflight_bytes = 4 * 1024 * 1024;
+  return c;
+}
+
+void PrintIncastTable(const std::string& title, const std::vector<NamedResult>& results) {
+  std::cout << "\n== " << title << " ==\n";
+  TablePrinter table({"variant", "incast flows", "incast p50", "incast p99",
+                      "background p99"});
+  for (const NamedResult& nr : results) {
+    table.AddRow({nr.name, std::to_string(nr.result.incast.count),
+                  Fmt(nr.result.incast.p50), Fmt(nr.result.incast.p99),
+                  Fmt(nr.result.overall.p99)});
+  }
+  table.Print();
+}
+
 }  // namespace lcmp

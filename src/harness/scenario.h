@@ -48,4 +48,16 @@ void PrintBucketTable(const std::string& title, const std::vector<NamedResult>& 
 // Prints Fig. 1b-style per-link utilization for a set of named results.
 void PrintLinkUtilizationTable(const std::string& title, const std::vector<NamedResult>& results);
 
+// Base configuration for the incast/oversubscription scenario family
+// (ext_incast and the incast-smoke CI job): a mixed intra+inter WebSearch
+// background matrix on the 8-DC testbed plus a fanin-to-1 incast burst into
+// the last DC. Sweep `os_borders` and the `cc`/`cc.inter`/`cc.intra` split
+// on top of this base.
+ExperimentConfig IncastScenarioConfig(int fanin = 64);
+
+// Prints "variant | incast flows | incast p50/p99 | background p99" rows for
+// runs produced from IncastScenarioConfig (result.incast is only populated
+// when incast_fanin > 0).
+void PrintIncastTable(const std::string& title, const std::vector<NamedResult>& results);
+
 }  // namespace lcmp

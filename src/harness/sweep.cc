@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "harness/json_util.h"
-#include "transport/cc/congestion_control.h"
+#include "transport/cc/cc_registry.h"
 #include "workload/flow_cdf.h"
 
 namespace lcmp {
@@ -96,6 +96,9 @@ bool ParseBoolVal(const char* field, const std::string& text, bool* out, std::st
 struct FieldEntry {
   const char* name;
   bool (*apply)(ExperimentConfig*, const std::string&, std::string*);
+  // Null for write-only fields (the per-segment cc selectors): they never
+  // appear in config echoes or serialized specs — their state is already
+  // carried by the composite "cc" field.
   std::string (*get)(const ExperimentConfig&);
 };
 
@@ -171,11 +174,24 @@ const std::vector<FieldEntry>& FieldTable() {
          return ParsePolicyKind(v, &c->policy, e);
        },
        [](const ExperimentConfig& c) { return std::string(PolicyKindToken(c.policy)); }},
+      // "cc" carries the whole SegmentCcSpec: a bare token ("dcqcn") sets
+      // both segments — so uniform specs echo exactly what the legacy enum
+      // field echoed — while "lcp/dcqcn" splits inter/intra.
       {"cc",
        [](ExperimentConfig* c, const std::string& v, std::string* e) {
-         return ParseCcKind(v, &c->cc, e);
+         return SegmentCcSpec::Parse(v, &c->cc, e);
        },
-       [](const ExperimentConfig& c) { return std::string(CcKindName(c.cc)); }},
+       [](const ExperimentConfig& c) { return c.cc.Token(); }},
+      {"cc.inter",
+       [](ExperimentConfig* c, const std::string& v, std::string* e) {
+         return ParseCcToken(v, &c->cc.inter, e);
+       },
+       nullptr},
+      {"cc.intra",
+       [](ExperimentConfig* c, const std::string& v, std::string* e) {
+         return ParseCcToken(v, &c->cc.intra, e);
+       },
+       nullptr},
       {"workload",
        [](ExperimentConfig* c, const std::string& v, std::string* e) {
          return ParseWorkloadKind(v, &c->workload, e);
@@ -229,6 +245,30 @@ const std::vector<FieldEntry>& FieldTable() {
       LCMP_FIELD_I64("pfc_xon_bytes", pfc_xon_bytes),
       LCMP_FIELD_BOOL("burst", burst_mode),
       LCMP_FIELD_U64("burst_size_bytes", burst_size_bytes),
+      // Incast / oversubscription scenario family (DESIGN.md §14).
+      LCMP_FIELD_INT("incast_fanin", incast_fanin),
+      LCMP_FIELD_U64("incast_bytes", incast_bytes),
+      LCMP_FIELD_INT("os_borders", os_borders),
+      LCMP_FIELD_DOUBLE("mix_intra", mix_intra),
+      LCMP_FIELD_I64("max_inflight_bytes", max_inflight_bytes),
+      // Per-segment CC tuning (defaults match each algorithm's paper values,
+      // so an unset field changes nothing).
+      LCMP_FIELD_DOUBLE("cc.inter.lcp.gain", cc_inter.lcp.gain),
+      LCMP_FIELD_TIME("cc.inter.lcp.headroom_us", cc_inter.lcp.headroom, 1'000),
+      LCMP_FIELD_I64("cc.inter.lcp.ai_bps", cc_inter.lcp.ai_bps),
+      LCMP_FIELD_DOUBLE("cc.inter.dcqcn.g", cc_inter.dcqcn.g),
+      LCMP_FIELD_I64("cc.inter.dcqcn.rai_bps", cc_inter.dcqcn.rai_bps),
+      LCMP_FIELD_DOUBLE("cc.inter.dctcp.g", cc_inter.dctcp.g),
+      LCMP_FIELD_DOUBLE("cc.inter.timely.beta", cc_inter.timely.beta),
+      LCMP_FIELD_DOUBLE("cc.inter.hpcc.eta", cc_inter.hpcc.eta),
+      LCMP_FIELD_DOUBLE("cc.intra.lcp.gain", cc_intra.lcp.gain),
+      LCMP_FIELD_TIME("cc.intra.lcp.headroom_us", cc_intra.lcp.headroom, 1'000),
+      LCMP_FIELD_I64("cc.intra.lcp.ai_bps", cc_intra.lcp.ai_bps),
+      LCMP_FIELD_DOUBLE("cc.intra.dcqcn.g", cc_intra.dcqcn.g),
+      LCMP_FIELD_I64("cc.intra.dcqcn.rai_bps", cc_intra.dcqcn.rai_bps),
+      LCMP_FIELD_DOUBLE("cc.intra.dctcp.g", cc_intra.dctcp.g),
+      LCMP_FIELD_DOUBLE("cc.intra.timely.beta", cc_intra.timely.beta),
+      LCMP_FIELD_DOUBLE("cc.intra.hpcc.eta", cc_intra.hpcc.eta),
       // LCMP ablation knobs (paper Sec. 7.2-7.5).
       LCMP_FIELD_INT("lcmp.alpha", lcmp.alpha),
       LCMP_FIELD_INT("lcmp.beta", lcmp.beta),
@@ -324,6 +364,9 @@ bool ApplyConfigField(ExperimentConfig* config, const std::string& field,
 bool GetConfigField(const ExperimentConfig& config, const std::string& field, std::string* out) {
   for (const FieldEntry& entry : FieldTable()) {
     if (field == entry.name) {
+      if (entry.get == nullptr) {
+        return false;  // write-only field
+      }
       *out = entry.get(config);
       return true;
     }
@@ -392,11 +435,11 @@ SweepSpec& SweepSpec::Workloads(const std::vector<WorkloadKind>& kinds) {
   return *this;
 }
 
-SweepSpec& SweepSpec::Ccs(const std::vector<CcKind>& kinds) {
+SweepSpec& SweepSpec::Ccs(const std::vector<std::string>& tokens) {
   SweepAxis axis;
   axis.field = "cc";
-  for (const CcKind kind : kinds) {
-    axis.values.emplace_back(CcKindName(kind));
+  for (const std::string& token : tokens) {
+    axis.values.emplace_back(token);
   }
   axes.push_back(std::move(axis));
   return *this;
@@ -473,6 +516,9 @@ std::string SweepSpecToJson(const SweepSpec& spec) {
   std::string out = "{\n  \"base\": {";
   bool first = true;
   for (const FieldEntry& entry : FieldTable()) {
+    if (entry.get == nullptr) {
+      continue;  // write-only; the composite "cc" field carries the state
+    }
     const std::string cur = entry.get(spec.base);
     if (cur == entry.get(defaults)) {
       continue;

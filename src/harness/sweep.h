@@ -65,7 +65,9 @@ struct SweepSpec {
   SweepSpec& Loads(const std::vector<double>& loads);
   SweepSpec& Seeds(const std::vector<uint64_t>& seeds);
   SweepSpec& Workloads(const std::vector<WorkloadKind>& kinds);
-  SweepSpec& Ccs(const std::vector<CcKind>& kinds);
+  // CC axis values are registry tokens ("dcqcn", "lcp", ...) or split
+  // "inter/intra" specs ("lcp/dcqcn") — anything SegmentCcSpec::Parse takes.
+  SweepSpec& Ccs(const std::vector<std::string>& tokens);
   // Ablation variants: one "overrides" axis; each value is a space-separated
   // "field=value ..." list (empty = baseline) with a mandatory label.
   SweepSpec& Variants(std::vector<AxisValue> variants);

@@ -1,5 +1,6 @@
 #include "sim/node.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -42,6 +43,23 @@ void SwitchNode::Receive(Packet pkt, PortIndex in_port) {
     return;
   }
   ++forwarded_packets_;
+  // Gateway stamps for segmented CC: the first DCI a DATA packet crosses is
+  // the source-side gateway, the destination DC's DCI the dest-side one
+  // (first-stamp-wins keeps transit DCIs out of the picture). Pure field
+  // writes — no timing or RNG impact, so digests are unaffected.
+  if (is_dci_ && pkt.type == PacketType::kData) {
+    const int64_t delta = sim_->now() - pkt.sent_ts;
+    const uint32_t off =
+        delta <= 0 ? 1u
+                   : static_cast<uint32_t>(std::min<int64_t>(delta, UINT32_MAX));
+    if ((*dc_of_node_)[static_cast<size_t>(pkt.dst)] == dc_) {
+      if (pkt.gw_dst_off == 0) {
+        pkt.gw_dst_off = off;
+      }
+    } else if (pkt.gw_src_off == 0) {
+      pkt.gw_src_off = off;
+    }
+  }
   pkt.ingress_port = in_port;  // PFC accounting tag (harmless when PFC off)
   const int64_t charge_bytes = pkt.size_bytes;
   // Charge *before* Enqueue: an idle port starts transmitting synchronously

@@ -38,8 +38,23 @@ inline constexpr int kMaxIntHops = 12;
 using IntHandle = uint32_t;
 inline constexpr IntHandle kInvalidIntHandle = UINT32_MAX;
 
+// CC segment identifiers for the segmented transport (DESIGN.md §14). A
+// flow is split at the DC gateways into intra-source, inter-DC and
+// intra-destination segments; `Packet::ecn_mask` records, as a bitmask,
+// which segment(s) an ECN mark happened in.
+inline constexpr uint8_t kSegIntraSrc = 1;
+inline constexpr uint8_t kSegInterDc = 2;
+inline constexpr uint8_t kSegIntraDst = 4;
+
 struct Packet {
   PacketType type = PacketType::kData;
+  uint8_t hops = 0;           // switch traversals; routing-loop guard (TTL)
+  uint8_t ecn_mask = 0;       // CC segments that ECN-marked this packet
+  // Bit-fields: the three flags must share one byte so the packet (and the
+  // closures that capture it by value) stays inside InlineEvent's buffer.
+  bool ecn_ce : 1 = false;        // ECN congestion-experienced mark
+  bool ecn_echo : 1 = false;      // ACK: echo of CE seen by receiver
+  bool last_of_flow : 1 = false;  // DATA: final segment of the flow
   FlowKey key;          // five tuple of the *flow* (DATA direction)
   FlowId flow_id = 0;   // FlowIdOf(key), cached
   NodeId src = kInvalidNode;  // transmitting host of this packet
@@ -47,10 +62,14 @@ struct Packet {
   uint32_t seq = 0;           // DATA: segment index; ACK/NACK: cumulative seq
   uint32_t size_bytes = 0;    // wire size including headers
   uint32_t payload_bytes = 0; // DATA payload carried
-  bool ecn_ce = false;        // ECN congestion-experienced mark
-  bool ecn_echo = false;      // ACK: echo of CE seen by receiver
-  bool last_of_flow = false;  // DATA: final segment of the flow
-  uint8_t hops = 0;           // switch traversals; routing-loop guard (TTL)
+  // Gateway stamps for per-segment RTT demux (segmented CC): nanoseconds
+  // from `sent_ts` to the packet's arrival at the source-side / dest-side
+  // DCI gateway, 0 while unstamped. 32 bits bound one-way delays to ~4.2 s,
+  // far beyond any modeled path; offsets (not absolute times) keep the
+  // packet inside the inline-closure budget. ACKs copy the DATA packet's
+  // stamps back to the sender.
+  uint32_t gw_src_off = 0;
+  uint32_t gw_dst_off = 0;
   TimeNs sent_ts = 0;         // host transmit time (RTT measurement)
 
   // HPCC INT side-buffer handle. kInvalidIntHandle when telemetry is off for
@@ -66,6 +85,19 @@ struct Packet {
   // Used by PFC ingress-buffer accounting; rewritten at every hop.
   PortIndex ingress_port = kInvalidPort;
 };
+
+// Which CC segment a DATA packet is currently traveling in, derived from its
+// gateway stamps: unstamped -> still inside the source fabric, source stamp
+// only -> on the long haul, destination stamp -> inside the receiving fabric.
+inline uint8_t CcSegmentOf(const Packet& pkt) {
+  if (pkt.gw_dst_off != 0) {
+    return kSegIntraDst;
+  }
+  if (pkt.gw_src_off != 0) {
+    return kSegInterDc;
+  }
+  return kSegIntraSrc;
+}
 
 // Budget: a Packet plus a `this` pointer (and change) must fit in
 // InlineEvent's inline buffer, so the per-hop closures never heap-allocate.

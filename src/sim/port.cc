@@ -83,6 +83,7 @@ bool Port::Enqueue(Packet pkt) {
   // Mark based on occupancy *before* this packet joins, as switch ASICs do.
   if (pkt.type == PacketType::kData && ShouldMarkEcn()) {
     pkt.ecn_ce = true;
+    pkt.ecn_mask |= CcSegmentOf(pkt);  // segmented CC: where the mark happened
     ++ecn_marked_packets_;
     m_ecn_marks_->Inc();
     LCMP_TRACE(obs::TraceEv::kEcnMark, sim_->now(), pkt.flow_id, owner_->id(), index_,

@@ -16,6 +16,7 @@ TimeNs FctRecorder::IdealFct(NodeId src, NodeId dst, uint64_t bytes) {
 
 void FctRecorder::OnComplete(const FlowRecord& record) {
   Sample s;
+  s.flow = record.spec.id;
   s.bytes = record.spec.size_bytes;
   s.start = record.start_time;
   s.fct = record.complete_time - record.start_time;

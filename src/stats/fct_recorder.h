@@ -42,6 +42,7 @@ class FctRecorder {
 
   // One retained sample per completed flow.
   struct Sample {
+    FlowId flow = 0;
     uint64_t bytes = 0;
     TimeNs start = 0;  // transmission start (time-binned recovery analysis)
     TimeNs fct = 0;

@@ -33,6 +33,12 @@ int Graph::AddLink(NodeId a, NodeId b, int64_t rate_bps, TimeNs delay_ns, int64_
   return idx;
 }
 
+void Graph::SetLinkRate(int idx, int64_t rate_bps) {
+  LCMP_CHECK(idx >= 0 && idx < num_links());
+  LCMP_CHECK(rate_bps > 0);
+  links_[static_cast<size_t>(idx)].rate_bps = rate_bps;
+}
+
 void Graph::EnsureCsr() const {
   if (csr_valid_) {
     return;

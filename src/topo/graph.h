@@ -59,6 +59,11 @@ class Graph {
   // Adds a full-duplex link; both endpoints must exist. Returns link index.
   int AddLink(NodeId a, NodeId b, int64_t rate_bps, TimeNs delay_ns, int64_t buffer_bytes = 0);
 
+  // Rescales an existing link's rate in place (the oversubscribed-border
+  // `os_borders` experiment axis). Structure — endpoints, delay, adjacency —
+  // is untouched, so the CSR cache stays valid.
+  void SetLinkRate(int idx, int64_t rate_bps);
+
   int num_vertices() const { return static_cast<int>(vertices_.size()); }
   int num_links() const { return static_cast<int>(links_.size()); }
   int num_dcs() const { return num_dcs_; }

@@ -4,11 +4,13 @@
 // All controllers are rate-based: the transport paces DATA packets at
 // rate_bps() and feeds back ACK / CNP / timeout events. This is the standard
 // modeling used by the DCQCN/HPCC simulation studies.
+//
+// Controllers are constructed through the token-keyed CcRegistry
+// (cc_registry.h); a flow that crosses the DC border may run a *different*
+// algorithm per segment via the SegmentedCc composite (segmented_cc.h).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 
 #include "common/types.h"
 #include "sim/packet.h"
@@ -17,16 +19,13 @@ namespace lcmp {
 
 struct IntStack;
 
-enum class CcKind : uint8_t { kDcqcn, kHpcc, kTimely, kDctcp };
-
-const char* CcKindName(CcKind kind);
-
 class CongestionControl {
  public:
   virtual ~CongestionControl() = default;
 
   // Called once before the first packet. `line_rate_bps` is the NIC rate,
-  // `base_rtt` the unloaded round-trip of the flow's best path.
+  // `base_rtt` the unloaded round-trip of the controlled segment (the whole
+  // flow path for a plain controller, one segment under SegmentedCc).
   virtual void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) = 0;
 
   // Cumulative ACK arrived. `ack` carries the ECN echo (DCTCP) and
@@ -35,8 +34,11 @@ class CongestionControl {
   // transport, or nullptr when the ACK carries none.
   virtual void OnAck(const Packet& ack, const IntStack* telemetry, TimeNs rtt, TimeNs now) = 0;
 
-  // DCQCN congestion-notification packet arrived.
-  virtual void OnCnp(TimeNs /*now*/) {}
+  // DCQCN congestion-notification packet arrived. `ecn_mask` is the OR of
+  // kSeg* bits recording which CC segment(s) the underlying ECN marks
+  // happened in (0 when unknown); plain controllers ignore it, SegmentedCc
+  // routes the CNP to the marked segments.
+  virtual void OnCnp(TimeNs /*now*/, uint8_t /*ecn_mask*/ = 0) {}
 
   // Retransmission timeout fired (Go-Back-N recovery engaged).
   virtual void OnTimeout(TimeNs /*now*/) {}
@@ -46,14 +48,5 @@ class CongestionControl {
 
   virtual const char* name() const = 0;
 };
-
-using CcFactory = std::function<std::unique_ptr<CongestionControl>()>;
-
-// Factory for the built-in controllers with their default parameters.
-CcFactory MakeCcFactory(CcKind kind);
-
-// True when the controller consumes HPCC-style in-band telemetry; the
-// network then stamps INT records on DATA packets.
-bool CcNeedsInt(CcKind kind);
 
 }  // namespace lcmp

@@ -50,7 +50,7 @@ void Dcqcn::OnAck(const Packet& /*ack*/, const IntStack* /*telemetry*/, TimeNs /
   AdvanceTimers(now);
 }
 
-void Dcqcn::OnCnp(TimeNs now) {
+void Dcqcn::OnCnp(TimeNs now, uint8_t /*ecn_mask*/) {
   // CC objects are per-flow, so the counter handle is a function-local
   // static: one registry lookup per process, all flows share the cell.
   static obs::Counter* m_cnps = obs::MetricsRegistry::Instance().GetCounter("cc.dcqcn.cnps");

@@ -26,7 +26,7 @@ class Dcqcn : public CongestionControl {
 
   void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) override;
   void OnAck(const Packet& ack, const IntStack* telemetry, TimeNs rtt, TimeNs now) override;
-  void OnCnp(TimeNs now) override;
+  void OnCnp(TimeNs now, uint8_t ecn_mask = 0) override;
   void OnTimeout(TimeNs now) override;
   int64_t rate_bps() const override { return rate_current_; }
   const char* name() const override { return "dcqcn"; }

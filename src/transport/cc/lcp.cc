@@ -1,0 +1,106 @@
+#include "transport/cc/lcp.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace lcmp {
+
+void Lcp::Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) {
+  line_rate_ = line_rate_bps;
+  rate_ = line_rate_bps;
+  base_rtt_ = std::max<TimeNs>(base_rtt, Microseconds(10));
+  min_rtt_ = base_rtt_;
+  win_cur_min_ = base_rtt_;
+  win_prev_min_ = base_rtt_;
+  win_start_ = now;
+  ewma_rtt_ = 0.0;
+  prev_ewma_rtt_ = 0.0;
+  ecn_alpha_ = 0.0;
+  marked_since_update_ = false;
+  last_update_ = now;
+}
+
+void Lcp::OnAck(const Packet& ack, const IntStack* /*telemetry*/, TimeNs rtt, TimeNs now) {
+  if (rtt <= 0) {
+    return;
+  }
+  // Windowed min filter: unlike an all-time min, the learned floor may RISE
+  // once the samples say the flow's current path is longer than what it
+  // measured before (multipath re-steering, see LcpParams). The floor the
+  // controller acts on spans the current and previous buckets, so a rotation
+  // never briefly reads one queued sample as the new floor.
+  const TimeNs win =
+      static_cast<TimeNs>(params_.min_rtt_win_rounds) * base_rtt_;
+  if (now - win_start_ >= win) {
+    win_prev_min_ = win_cur_min_;
+    win_cur_min_ = rtt;
+    win_start_ = now;
+  } else {
+    win_cur_min_ = std::min(win_cur_min_, rtt);
+  }
+  min_rtt_ = std::min(win_cur_min_, win_prev_min_);
+  ewma_rtt_ = ewma_rtt_ <= 0.0
+                  ? static_cast<double>(rtt)
+                  : (1.0 - params_.ewma_g) * ewma_rtt_ + params_.ewma_g * rtt;
+  // Per-ACK EWMA of the mark stream: unlike DCTCP's per-window fraction this
+  // needs no RTT-aligned boundary, so it stays responsive when one RTT is
+  // tens of milliseconds.
+  ecn_alpha_ = (1.0 - params_.ecn_g) * ecn_alpha_ + params_.ecn_g * (ack.ecn_echo ? 1.0 : 0.0);
+  if (ack.ecn_echo) {
+    marked_since_update_ = true;
+  }
+  UpdateRate(now);
+}
+
+void Lcp::UpdateRate(TimeNs now) {
+  // Pace the control decisions: at most one rate move per (learned) RTT.
+  if (now - last_update_ < min_rtt_) {
+    return;
+  }
+  const double rounds = std::clamp(
+      static_cast<double>(now - last_update_) / static_cast<double>(min_rtt_), 1.0, 8.0);
+  const double target = static_cast<double>(min_rtt_ + params_.headroom);
+  const double gradient = ewma_rtt_ - prev_ewma_rtt_;
+  if (ewma_rtt_ > target) {
+    // Cut proportionally to the overshoot of the delay budget, bounded so a
+    // single decision never halves the rate more than once.
+    const double overshoot = (ewma_rtt_ - target) / ewma_rtt_;
+    const double factor = std::max(0.5, 1.0 - params_.gain * overshoot);
+    rate_ = std::max<int64_t>(params_.min_rate_bps, static_cast<int64_t>(rate_ * factor));
+    static obs::Counter* m_cuts =
+        obs::MetricsRegistry::Instance().GetCounter("cc.lcp.delay_cuts");
+    m_cuts->Inc();
+  } else if (marked_since_update_ && ecn_alpha_ > params_.ecn_cut_threshold) {
+    // Marking without delay overshoot: a shallow-buffered hop (e.g. the
+    // oversubscribed border) is marking before it queues. DCTCP-style cut.
+    rate_ = std::max<int64_t>(params_.min_rate_bps,
+                              static_cast<int64_t>(rate_ * (1.0 - ecn_alpha_ / 2.0)));
+    static obs::Counter* m_ecn_cuts =
+        obs::MetricsRegistry::Instance().GetCounter("cc.lcp.ecn_cuts");
+    m_ecn_cuts->Inc();
+  } else if (gradient <= 0.0) {
+    rate_ = std::min(line_rate_,
+                     rate_ + static_cast<int64_t>(rounds * static_cast<double>(params_.ai_bps)));
+  }
+  // Positive gradient inside the budget: hold and watch.
+  prev_ewma_rtt_ = ewma_rtt_;
+  marked_since_update_ = false;
+  last_update_ = now;
+}
+
+void Lcp::OnCnp(TimeNs now, uint8_t /*ecn_mask*/) {
+  // CNPs are a fabric-scale signal; fold them into the alpha stream so a
+  // receiver that only emits CNPs (no echo path) still moves the controller.
+  ecn_alpha_ = (1.0 - params_.ecn_g) * ecn_alpha_ + params_.ecn_g;
+  marked_since_update_ = true;
+  UpdateRate(now);
+}
+
+void Lcp::OnTimeout(TimeNs /*now*/) {
+  rate_ = std::max(params_.min_rate_bps, rate_ / 4);
+  ewma_rtt_ = 0.0;
+  prev_ewma_rtt_ = 0.0;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,73 @@
+// LCP: delay-based long-haul congestion control (after the LCP/BBR-style
+// inter-DC stacks surveyed in PAPERS.md, e.g. Uno's cross-DCI controller).
+//
+// DCQCN's CNP loop is sized for microsecond fabrics: over a multi-millisecond
+// InterDCDelay the notification arrives many BDPs late and the alpha timer
+// decays long before the next CNP, so the controller oscillates between line
+// rate and deep cuts. LCP instead watches the *delay* signal that every ACK
+// already carries: an EWMA of the RTT samples is compared against a learned
+// minimum plus a queueing-headroom budget, and the rate is cut
+// proportionally to the overshoot (at most once per RTT) or grown additively
+// when the smoothed delay sits inside the budget with a non-positive
+// gradient. ECN is folded in as a per-ACK EWMA mark fraction (alpha) — no
+// window boundary, so the estimate tracks marking at long-haul RTT scale —
+// and triggers a DCTCP-style alpha/2 cut when delay alone has not reacted.
+#pragma once
+
+#include "transport/cc/congestion_control.h"
+
+namespace lcmp {
+
+struct LcpParams {
+  double gain = 0.4;                    // MD gain on target overshoot
+  double ewma_g = 1.0 / 8.0;            // RTT EWMA gain
+  double ecn_g = 1.0 / 16.0;            // per-ACK ECN alpha EWMA gain
+  double ecn_cut_threshold = 0.125;     // alpha above this forces a cut
+  TimeNs headroom = Microseconds(150);  // queueing budget over the base RTT
+  int64_t ai_bps = Mbps(200);           // additive probe per RTT round
+  int64_t min_rate_bps = Mbps(100);
+  // Windowed min-RTT filter length, in base-RTT rounds. A multipath policy
+  // (LCMP's cost-aware spreading) can place or re-steer a flow onto a path
+  // whose propagation exceeds the minimal-path base RTT by milliseconds; an
+  // all-time min filter then reads that detour as a standing queue and pins
+  // the rate at the floor forever. Rotating the filter (BBR/Swift style)
+  // re-learns the floor within a couple of windows after a path change.
+  int min_rtt_win_rounds = 8;
+};
+
+class Lcp : public CongestionControl {
+ public:
+  explicit Lcp(const LcpParams& params = {}) : params_(params) {}
+
+  void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) override;
+  void OnAck(const Packet& ack, const IntStack* telemetry, TimeNs rtt, TimeNs now) override;
+  void OnCnp(TimeNs now, uint8_t ecn_mask = 0) override;
+  void OnTimeout(TimeNs now) override;
+  int64_t rate_bps() const override { return rate_; }
+  const char* name() const override { return "lcp"; }
+
+  double ecn_alpha() const { return ecn_alpha_; }
+  TimeNs smoothed_rtt() const { return static_cast<TimeNs>(ewma_rtt_); }
+  TimeNs min_rtt() const { return min_rtt_; }
+
+ private:
+  void UpdateRate(TimeNs now);
+
+  LcpParams params_;
+  int64_t line_rate_ = 0;
+  int64_t rate_ = 0;
+  TimeNs base_rtt_ = 0;
+  TimeNs min_rtt_ = 0;        // learned floor: min over the two-bucket window
+  // Two-bucket rotating min filter behind min_rtt_: the current and previous
+  // window minima, rotated every min_rtt_win_rounds * base_rtt.
+  TimeNs win_cur_min_ = 0;
+  TimeNs win_prev_min_ = 0;
+  TimeNs win_start_ = 0;
+  double ewma_rtt_ = 0.0;     // smoothed delay
+  double prev_ewma_rtt_ = 0.0;  // smoothed delay at the last rate update
+  double ecn_alpha_ = 0.0;    // per-ACK EWMA ECN mark fraction
+  bool marked_since_update_ = false;
+  TimeNs last_update_ = 0;
+};
+
+}  // namespace lcmp

@@ -1,0 +1,118 @@
+#include "transport/cc/segmented_cc.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lcmp {
+
+namespace {
+
+constexpr uint8_t kSegmentBits[SegmentedCc::kNumSegments] = {kSegIntraSrc, kSegInterDc,
+                                                             kSegIntraDst};
+
+}  // namespace
+
+SegmentedCc::SegmentedCc(std::unique_ptr<CongestionControl> intra_src,
+                         std::unique_ptr<CongestionControl> inter,
+                         std::unique_ptr<CongestionControl> intra_dst,
+                         const SegmentBaseRtts& base_rtts, std::string name)
+    : base_rtts_(base_rtts), name_(std::move(name)) {
+  segments_[kIntraSrc] = std::move(intra_src);
+  segments_[kInterDc] = std::move(inter);
+  segments_[kIntraDst] = std::move(intra_dst);
+  for (const auto& segment : segments_) {
+    LCMP_CHECK(segment != nullptr);
+  }
+}
+
+void SegmentedCc::Init(int64_t line_rate_bps, TimeNs /*base_rtt*/, TimeNs now) {
+  segments_[kIntraSrc]->Init(line_rate_bps, std::max<TimeNs>(base_rtts_.intra_src, 1), now);
+  segments_[kInterDc]->Init(line_rate_bps, std::max<TimeNs>(base_rtts_.inter, 1), now);
+  segments_[kIntraDst]->Init(line_rate_bps, std::max<TimeNs>(base_rtts_.intra_dst, 1), now);
+}
+
+SegmentRtts SegmentedCc::SplitRtt(const Packet& ack, TimeNs rtt) const {
+  SegmentRtts split;
+  if (ack.gw_src_off != 0 && ack.gw_dst_off != 0 && ack.gw_dst_off >= ack.gw_src_off) {
+    // Exact split: the forward one-way delay to each gateway is stamped on
+    // the packet; doubling models the (symmetric-path) segment round trip
+    // and the remainder absorbs any return-path asymmetry into the
+    // destination segment.
+    split.intra_src = 2 * static_cast<TimeNs>(ack.gw_src_off);
+    split.inter = 2 * static_cast<TimeNs>(ack.gw_dst_off - ack.gw_src_off);
+    split.intra_dst = rtt - split.intra_src - split.inter;
+  } else {
+    // Stamps missing (no DCI on the path): apportion by the unloaded
+    // segment round trips.
+    const double total = static_cast<double>(
+        std::max<TimeNs>(base_rtts_.intra_src + base_rtts_.inter + base_rtts_.intra_dst, 1));
+    split.intra_src = static_cast<TimeNs>(rtt * (base_rtts_.intra_src / total));
+    split.inter = static_cast<TimeNs>(rtt * (base_rtts_.inter / total));
+    split.intra_dst = rtt - split.intra_src - split.inter;
+  }
+  split.intra_src = std::max<TimeNs>(split.intra_src, 1);
+  split.inter = std::max<TimeNs>(split.inter, 1);
+  split.intra_dst = std::max<TimeNs>(split.intra_dst, 1);
+  return split;
+}
+
+void SegmentedCc::OnAck(const Packet& ack, const IntStack* telemetry, TimeNs rtt, TimeNs now) {
+  last_rtts_ = SplitRtt(ack, rtt);
+  const TimeNs seg_rtt[kNumSegments] = {last_rtts_.intra_src, last_rtts_.inter,
+                                        last_rtts_.intra_dst};
+
+  // Slice the echoed INT stack by hop timestamp: records stamped before the
+  // packet reached the source gateway belong to the source fabric, records
+  // before the destination gateway (including the source DCI's long-haul
+  // egress) to the inter segment, the rest to the receiving fabric.
+  IntStack seg_int[kNumSegments];
+  const bool have_int = telemetry != nullptr && telemetry->hops > 0;
+  if (have_int && ack.gw_src_off != 0 && ack.gw_dst_off != 0) {
+    const TimeNs gw_src_ts = ack.sent_ts + static_cast<TimeNs>(ack.gw_src_off);
+    const TimeNs gw_dst_ts = ack.sent_ts + static_cast<TimeNs>(ack.gw_dst_off);
+    for (uint8_t h = 0; h < telemetry->hops; ++h) {
+      const IntRecord& rec = telemetry->rec[h];
+      const int seg = rec.ts < gw_src_ts ? kIntraSrc : rec.ts < gw_dst_ts ? kInterDc : kIntraDst;
+      if (seg_int[seg].hops < kMaxIntHops) {
+        seg_int[seg].rec[seg_int[seg].hops++] = rec;
+      }
+    }
+  } else if (have_int) {
+    seg_int[kInterDc] = *telemetry;  // unstamped: attribute everything long-haul
+  }
+
+  for (int seg = 0; seg < kNumSegments; ++seg) {
+    Packet seg_ack = ack;
+    seg_ack.ecn_echo = (ack.ecn_mask & kSegmentBits[seg]) != 0;
+    const IntStack* seg_telemetry = seg_int[seg].hops > 0 ? &seg_int[seg] : nullptr;
+    segments_[seg]->OnAck(seg_ack, seg_telemetry, seg_rtt[seg], now);
+  }
+}
+
+void SegmentedCc::OnCnp(TimeNs now, uint8_t ecn_mask) {
+  // Route to the marked segment(s); an unattributed CNP hits all of them.
+  const uint8_t mask = ecn_mask != 0 ? ecn_mask : (kSegIntraSrc | kSegInterDc | kSegIntraDst);
+  for (int seg = 0; seg < kNumSegments; ++seg) {
+    if ((mask & kSegmentBits[seg]) != 0) {
+      segments_[seg]->OnCnp(now, ecn_mask);
+    }
+  }
+}
+
+void SegmentedCc::OnTimeout(TimeNs now) {
+  for (const auto& segment : segments_) {
+    segment->OnTimeout(now);
+  }
+}
+
+int64_t SegmentedCc::rate_bps() const {
+  int64_t rate = segments_[0]->rate_bps();
+  for (int seg = 1; seg < kNumSegments; ++seg) {
+    rate = std::min(rate, segments_[seg]->rate_bps());
+  }
+  return rate;
+}
+
+}  // namespace lcmp

@@ -1,0 +1,74 @@
+// SegmentedCc: a composite CongestionControl that splits a cross-DC flow at
+// the gateways into intra-source, inter-DC and intra-destination segments,
+// each driven by its own controller (DESIGN.md §14).
+//
+// The effective send rate is the min of the segment rates — the flow is a
+// chain, so the tightest segment governs. Feedback is demultiplexed by where
+// it happened: ACKs carry the gateway stamps (Packet::gw_src_off/gw_dst_off)
+// that split the measured whole-path RTT into exact per-segment round trips,
+// the ECN echo is routed by Packet::ecn_mask (which segment(s) marked), and
+// the echoed HPCC INT stack is sliced into per-segment sub-stacks by hop
+// timestamp. CNPs route by the same mask; timeouts (Go-Back-N engaged, the
+// segment at fault unknown) fan out to all three.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/int_pool.h"
+#include "transport/cc/congestion_control.h"
+
+namespace lcmp {
+
+// Unloaded per-segment round trips, computed by the transport from the path
+// oracle (host -> source DCI, source DCI -> dest DCI, dest DCI -> host).
+struct SegmentBaseRtts {
+  TimeNs intra_src = 0;
+  TimeNs inter = 0;
+  TimeNs intra_dst = 0;
+};
+
+// One flow's measured per-segment RTT split (for tests / metrics).
+struct SegmentRtts {
+  TimeNs intra_src = 0;
+  TimeNs inter = 0;
+  TimeNs intra_dst = 0;
+};
+
+class SegmentedCc : public CongestionControl {
+ public:
+  // Segment index order everywhere: 0 = intra-source, 1 = inter-DC,
+  // 2 = intra-destination.
+  static constexpr int kIntraSrc = 0;
+  static constexpr int kInterDc = 1;
+  static constexpr int kIntraDst = 2;
+  static constexpr int kNumSegments = 3;
+
+  SegmentedCc(std::unique_ptr<CongestionControl> intra_src,
+              std::unique_ptr<CongestionControl> inter,
+              std::unique_ptr<CongestionControl> intra_dst, const SegmentBaseRtts& base_rtts,
+              std::string name);
+
+  void Init(int64_t line_rate_bps, TimeNs base_rtt, TimeNs now) override;
+  void OnAck(const Packet& ack, const IntStack* telemetry, TimeNs rtt, TimeNs now) override;
+  void OnCnp(TimeNs now, uint8_t ecn_mask = 0) override;
+  void OnTimeout(TimeNs now) override;
+  int64_t rate_bps() const override;
+  const char* name() const override { return name_.c_str(); }
+
+  const CongestionControl* segment(int idx) const { return segments_[idx].get(); }
+  // The per-segment split of the most recent ACK's RTT (test hook).
+  const SegmentRtts& last_rtts() const { return last_rtts_; }
+
+ private:
+  // Splits a measured whole-path RTT by the ACK's gateway stamps; falls back
+  // to a base-RTT-proportional split when the stamps are missing.
+  SegmentRtts SplitRtt(const Packet& ack, TimeNs rtt) const;
+
+  std::unique_ptr<CongestionControl> segments_[kNumSegments];
+  SegmentBaseRtts base_rtts_;
+  std::string name_;
+  SegmentRtts last_rtts_;
+};
+
+}  // namespace lcmp

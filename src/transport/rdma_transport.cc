@@ -22,6 +22,11 @@ struct TransportMetrics {
   // control plane's telemetry sweep samples it into the lcmp.cc.rate_bps
   // time series.
   obs::Gauge* cc_rate;
+  // Per-segment last rates (split cross-DC flows only), sampled into the
+  // lcmp.cc.{intra_src,inter,intra_dst}_rate_bps time series.
+  obs::Gauge* cc_rate_intra_src;
+  obs::Gauge* cc_rate_inter;
+  obs::Gauge* cc_rate_intra_dst;
   static TransportMetrics& Get() {
     static TransportMetrics m = [] {
       obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
@@ -33,22 +38,33 @@ struct TransportMetrics {
       t.cnps = reg.GetCounter("transport.cnps");
       t.flows_completed = reg.GetCounter("transport.flows_completed");
       t.cc_rate = reg.GetGauge("transport.cc.last_rate_bps");
+      t.cc_rate_intra_src = reg.GetGauge("transport.cc.intra_src_rate_bps");
+      t.cc_rate_inter = reg.GetGauge("transport.cc.inter_rate_bps");
+      t.cc_rate_intra_dst = reg.GetGauge("transport.cc.intra_dst_rate_bps");
       return t;
     }();
     return m;
   }
 };
 
+// Exports the flow's current per-segment rates (TransportMetrics gauges).
+void SetSegmentGauges(const SegmentedCc& cc) {
+  TransportMetrics& m = TransportMetrics::Get();
+  m.cc_rate_intra_src->Set(cc.segment(SegmentedCc::kIntraSrc)->rate_bps());
+  m.cc_rate_inter->Set(cc.segment(SegmentedCc::kInterDc)->rate_bps());
+  m.cc_rate_intra_dst->Set(cc.segment(SegmentedCc::kIntraDst)->rate_bps());
+}
+
 }  // namespace
 
-RdmaTransport::RdmaTransport(Network* net, const TransportConfig& config, CcKind cc_kind,
+RdmaTransport::RdmaTransport(Network* net, const TransportConfig& config,
                              CompletionFn on_complete)
     : net_(net),
       config_(config),
-      cc_kind_(cc_kind),
-      cc_factory_(MakeCcFactory(cc_kind)),
       on_complete_(std::move(on_complete)),
       oracle_(&net->graph()) {
+  LCMP_CHECK(CcRegistry::Instance().Known(config_.cc.inter));
+  LCMP_CHECK(CcRegistry::Instance().Known(config_.cc.intra));
   // Emulation mode mutates per-host pipeline cursors at runtime; it is a
   // single-shard feature (the harness rejects the combination up front).
   LCMP_CHECK(net_->num_shards() == 1 || !config_.emulation_mode);
@@ -98,6 +114,62 @@ void RdmaTransport::RegisterFlow(const FlowSpec& spec) {
   s.spec = spec;
   receivers_[spec.id];
   oracle_.Metric(spec.src, spec.dst);
+  // Split cross-DC flows also consult the per-segment metrics at StartFlow
+  // (which runs on the flow's home shard): warm those cache rows here too.
+  const Graph& g = net_->graph();
+  const DcId src_dc = g.vertex(spec.src).dc;
+  const DcId dst_dc = g.vertex(spec.dst).dc;
+  if (!config_.cc.uniform() && src_dc != dst_dc) {
+    const NodeId src_dci = g.DciOfDc(src_dc);
+    const NodeId dst_dci = g.DciOfDc(dst_dc);
+    if (src_dci != kInvalidNode && dst_dci != kInvalidNode) {
+      oracle_.Metric(spec.src, src_dci);
+      oracle_.Metric(src_dci, dst_dci);
+      oracle_.Metric(dst_dci, spec.dst);
+    }
+  }
+}
+
+std::unique_ptr<CongestionControl> RdmaTransport::BuildCc(const FlowSpec& spec,
+                                                          TimeNs whole_path_base_rtt) {
+  const CcRegistry& registry = CcRegistry::Instance();
+  const Graph& g = net_->graph();
+  const DcId src_dc = g.vertex(spec.src).dc;
+  const DcId dst_dc = g.vertex(spec.dst).dc;
+  if (src_dc == dst_dc) {
+    // The flow never crosses the border: the intra algorithm runs end to end.
+    return registry.Create(config_.cc.intra, config_.cc_intra);
+  }
+  if (config_.cc.uniform()) {
+    // Legacy single-instance path: one controller over the whole route.
+    return registry.Create(config_.cc.inter, config_.cc_inter);
+  }
+  const NodeId src_dci = g.DciOfDc(src_dc);
+  const NodeId dst_dci = g.DciOfDc(dst_dc);
+  if (src_dci == kInvalidNode || dst_dci == kInvalidNode) {
+    // No gateway to split at (degenerate topology): long-haul rules apply.
+    return registry.Create(config_.cc.inter, config_.cc_inter);
+  }
+  // Per-segment unloaded round trips from the path oracle; each includes one
+  // MTU of serialization at its own bottleneck, mirroring the whole-path
+  // base-RTT recipe in StartFlow.
+  const auto seg_rtt = [&](NodeId from, NodeId to) -> TimeNs {
+    const PathMetric& m = oracle_.Metric(from, to);
+    const TimeNs ser = SerializationDelay(config_.mtu_payload + kHeaderBytes,
+                                          std::max<int64_t>(m.bottleneck_bps, 1));
+    return 2 * m.delay_ns + ser;
+  };
+  SegmentBaseRtts base;
+  base.intra_src = seg_rtt(spec.src, src_dci);
+  base.inter = seg_rtt(src_dci, dst_dci);
+  base.intra_dst = seg_rtt(dst_dci, spec.dst);
+  if (base.inter <= 0) {
+    base.inter = whole_path_base_rtt;  // oracle blind spot; never split-worse
+  }
+  return std::make_unique<SegmentedCc>(registry.Create(config_.cc.intra, config_.cc_intra),
+                                       registry.Create(config_.cc.inter, config_.cc_inter),
+                                       registry.Create(config_.cc.intra, config_.cc_intra),
+                                       base, config_.cc.Token());
 }
 
 void RdmaTransport::ScheduleFlow(const FlowSpec& spec) {
@@ -134,7 +206,8 @@ void RdmaTransport::StartFlow(const FlowSpec& spec) {
   // be placed on a path much slower than the minimum-delay one.
   s.rto = std::max<TimeNs>({config_.rto_min, config_.rto_rtt_multiplier * s.base_rtt,
                             config_.rto_initial});
-  s.cc = cc_factory_();
+  s.cc = BuildCc(spec, s.base_rtt);
+  s.segmented = dynamic_cast<SegmentedCc*>(s.cc.get());
   s.cc->Init(LineRate(spec.src), s.base_rtt, sim.now());
 
   const FlowId id = spec.id;
@@ -177,6 +250,14 @@ void RdmaTransport::PaceNext(FlowId flow) {
   const Port& nic = host.port(0);
   if (nic.queue_bytes() > config_.host_backlog_bytes) {
     SchedulePacing(s, SerializationDelay(nic.queue_bytes() / 2, nic.rate_bps()));
+    return;
+  }
+  // Bounded in-flight window: stall without rescheduling — the ACK / NACK /
+  // RTO handlers all re-enter PaceNext, so sending resumes ACK-clocked the
+  // moment the window reopens.
+  if (config_.max_inflight_bytes > 0 &&
+      static_cast<int64_t>(s.next_seq - s.acked) * config_.mtu_payload >=
+          config_.max_inflight_bytes) {
     return;
   }
 
@@ -336,6 +417,11 @@ void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
     out.sent_ts = pkt.sent_ts;  // echoed for sender RTT measurement
     if (type == PacketType::kAck) {
       out.ecn_echo = pkt.ecn_ce;
+      // Segmented-CC demux: echo the gateway stamps and the per-segment ECN
+      // mask so the sender can split the RTT and route the marks.
+      out.gw_src_off = pkt.gw_src_off;
+      out.gw_dst_off = pkt.gw_dst_off;
+      out.ecn_mask = pkt.ecn_mask;
       // Echo the INT stack back to the sender (HPCC): the ACK inherits the
       // DATA packet's pooled side-buffer instead of copying it.
       out.int_stack = pkt.int_stack;
@@ -354,6 +440,7 @@ void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
     cnp.src = pkt.dst;
     cnp.dst = pkt.src;
     cnp.size_bytes = kControlPacketBytes;
+    cnp.ecn_mask = pkt.ecn_mask;  // which segment(s) marked, for SegmentedCc
     h.Send(std::move(cnp));
   }
 
@@ -441,6 +528,9 @@ void RdmaTransport::HandleAck(Packet& pkt) {
                s.cc->rate_bps() - rate_before);
   }
   TransportMetrics::Get().cc_rate->Set(s.cc->rate_bps());
+  if (s.segmented != nullptr) {
+    SetSegmentGauges(*s.segmented);
+  }
   net_->int_pool().ReleaseFrom(pkt);
   if (s.acked >= s.total_packets) {
     FinishSender(s);
@@ -485,12 +575,15 @@ void RdmaTransport::HandleCnp(const Packet& pkt) {
   Sender& s = it->second;
   Simulator& sim = net_->sim_of(s.spec.src);
   const int64_t rate_before = obs::TraceEnabled() ? s.cc->rate_bps() : 0;
-  s.cc->OnCnp(sim.now());
+  s.cc->OnCnp(sim.now(), pkt.ecn_mask);
   if (obs::TraceEnabled() && s.cc->rate_bps() != rate_before) {
     LCMP_TRACE(obs::TraceEv::kCcRateChange, sim.now(), pkt.flow_id, s.spec.src, kInvalidPort,
                s.cc->rate_bps() - rate_before);
   }
   TransportMetrics::Get().cc_rate->Set(s.cc->rate_bps());
+  if (s.segmented != nullptr) {
+    SetSegmentGauges(*s.segmented);
+  }
 }
 
 void RdmaTransport::FinishSender(Sender& s) {

@@ -28,13 +28,23 @@
 
 #include "sim/network.h"
 #include "topo/candidate_paths.h"
-#include "transport/cc/congestion_control.h"
+#include "transport/cc/cc_registry.h"
+#include "transport/cc/segmented_cc.h"
 #include "transport/flow.h"
 
 namespace lcmp {
 
 struct TransportConfig {
   uint32_t mtu_payload = kDefaultMtuPayload;
+
+  // Segment-split congestion control (DESIGN.md §14): which registry token
+  // runs on the long-haul and end-fabric segments, plus per-segment tuning
+  // bundles. A uniform spec (inter == intra, the default) instantiates one
+  // controller end to end — the legacy behavior, bit for bit; a split spec
+  // builds the SegmentedCc composite for cross-DC flows.
+  SegmentCcSpec cc;
+  CcTuning cc_inter;
+  CcTuning cc_intra;
   // Receiver-side DCQCN CNP pacing.
   TimeNs cnp_interval = Microseconds(50);
   // Minimum spacing of duplicate NACKs per flow.
@@ -49,6 +59,14 @@ struct TransportConfig {
   // NIC backpressure: pacing stalls while the host egress backlog exceeds
   // this (RNICs arbitrate QPs instead of dropping their own traffic).
   int64_t host_backlog_bytes = 256 * 1024;
+  // Bounded in-flight window: pacing stalls once the unacked byte count
+  // reaches this cap and resumes ACK-clocked (real RNICs bound outstanding
+  // WQEs). 0 = unbounded — the legacy open-loop sender, which transmits any
+  // sub-BDP flow in full before the first feedback arrives and therefore
+  // never lets the congestion controller shape it. The incast /
+  // oversubscription scenario family runs windowed so the inter-DC CC choice
+  // is observable (DESIGN.md §14).
+  int64_t max_inflight_bytes = 0;
 
   // Out-of-order tolerance (the paper's Sec. 7.5 future direction, IRN-style
   // "lightweight OoO tracking"): the receiver buffers out-of-order segments
@@ -75,8 +93,7 @@ class RdmaTransport {
  public:
   using CompletionFn = std::function<void(const FlowRecord&)>;
 
-  RdmaTransport(Network* net, const TransportConfig& config, CcKind cc_kind,
-                CompletionFn on_complete);
+  RdmaTransport(Network* net, const TransportConfig& config, CompletionFn on_complete);
 
   RdmaTransport(const RdmaTransport&) = delete;
   RdmaTransport& operator=(const RdmaTransport&) = delete;
@@ -106,12 +123,22 @@ class RdmaTransport {
   int64_t nacks_received() const { return nacks_.load(std::memory_order_relaxed); }
   int64_t cnps_received() const { return cnps_.load(std::memory_order_relaxed); }
   int64_t timeouts() const { return timeouts_.load(std::memory_order_relaxed); }
-  CcKind cc_kind() const { return cc_kind_; }
+  const SegmentCcSpec& cc_spec() const { return config_.cc; }
+
+  // Test hook: the controller driving `flow`, nullptr for unknown flows.
+  // For split cross-DC flows this is the SegmentedCc composite.
+  const CongestionControl* flow_cc(FlowId flow) const {
+    const auto it = senders_.find(flow);
+    return it != senders_.end() ? it->second.cc.get() : nullptr;
+  }
 
  private:
   struct Sender {
     FlowSpec spec;
     std::unique_ptr<CongestionControl> cc;
+    // Non-null iff `cc` is the SegmentedCc composite (avoids a per-ACK
+    // dynamic_cast when exporting the per-segment rate gauges).
+    SegmentedCc* segmented = nullptr;
     uint32_t total_packets = 0;
     uint32_t next_seq = 0;   // next segment to transmit
     uint32_t acked = 0;      // cumulative segments acknowledged
@@ -152,6 +179,10 @@ class RdmaTransport {
   void HandleCnp(const Packet& pkt);
 
   void RegisterFlow(const FlowSpec& spec);
+  // Instantiates the flow's controller from config_.cc: one plain algorithm
+  // for uniform specs and intra-DC flows, the SegmentedCc composite (with
+  // per-segment base RTTs from the path oracle) for split cross-DC flows.
+  std::unique_ptr<CongestionControl> BuildCc(const FlowSpec& spec, TimeNs whole_path_base_rtt);
   void PaceNext(FlowId flow);
   Packet MakeDataPacket(const Sender& s, uint32_t seq) const;
   void SendSelectiveRetransmit(FlowId flow, uint32_t seq);
@@ -169,8 +200,6 @@ class RdmaTransport {
 
   Network* net_;
   TransportConfig config_;
-  CcKind cc_kind_;
-  CcFactory cc_factory_;
   CompletionFn on_complete_;
   PathOracle oracle_;
 

@@ -55,6 +55,16 @@ const std::vector<GoldenScenario>& GoldenScenarios() {
        std::string(kBaseline) + " policy=lcmp ooo_tolerance=true cc=hpcc load=0.8"},
       {"testbed8-lcmp-timely-ali",
        std::string(kBaseline) + " policy=lcmp cc=timely workload=alistorage load=0.5"},
+      // Segment-split CC + windowed sender (DESIGN.md §14): the incast /
+      // oversubscription family with the LCP long-haul stack, and a plain
+      // split run without incast. Both pin the gateway-stamp RTT demux, the
+      // SegmentedCc min-rate composition and the in-flight window.
+      {"testbed8-incast-split",
+       std::string(kBaseline) +
+           " policy=lcmp cc=lcp/dcqcn incast_fanin=8 incast_bytes=8388608"
+           " os_borders=4 mix_intra=0.25 max_inflight_bytes=4194304"},
+      {"testbed8-lcmp-split-windowed",
+       std::string(kBaseline) + " policy=lcmp cc=lcp/dcqcn max_inflight_bytes=2097152 load=0.5"},
   };
   return *scenarios;
 }

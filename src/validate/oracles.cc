@@ -45,7 +45,7 @@ std::vector<FlowRecord> RunDumbbellFlows(const Graph& graph, PolicyKind policy, 
   Network net(graph, NetworkConfig{}, MakePolicyFactory(policy, LcmpConfig{}));
   net.StartPolicyTicks();
   std::vector<FlowRecord> records;
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+  RdmaTransport transport(&net, TransportConfig{},
                           [&](const FlowRecord& r) { records.push_back(r); });
   const auto src_hosts = graph.HostsInDc(0);
   const auto dst_hosts = graph.HostsInDc(1);
@@ -69,7 +69,7 @@ OracleResult CheckByteConservation(uint64_t seed) {
                                     Milliseconds(1));
   Network net(graph, NetworkConfig{}, MakePolicyFactory(PolicyKind::kEcmp, LcmpConfig{}));
   std::vector<FlowRecord> records;
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+  RdmaTransport transport(&net, TransportConfig{},
                           [&](const FlowRecord& r) { records.push_back(r); });
   const auto src_hosts = graph.HostsInDc(0);
   const auto dst_hosts = graph.HostsInDc(1);
@@ -120,7 +120,7 @@ OracleResult CheckSingleFlowCeiling(uint64_t seed) {
   const Graph graph = BuildDumbbell(1, 1, bottleneck, inter_delay);
   Network net(graph, NetworkConfig{}, MakePolicyFactory(PolicyKind::kEcmp, LcmpConfig{}));
   std::vector<FlowRecord> records;
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+  RdmaTransport transport(&net, TransportConfig{},
                           [&](const FlowRecord& r) { records.push_back(r); });
   const uint64_t bytes = 1'000'000 + (seed % 7) * 100'000;
   transport.StartFlow(

@@ -53,11 +53,24 @@ std::vector<FlowSpec> GenerateTraffic(const Graph& g,
     t += rng.NextExponential(mean_gap_ns);
     const auto& [src_dc, dst_dc] = dc_pairs[rng.NextBounded(dc_pairs.size())];
     const auto& shosts = hosts[static_cast<size_t>(src_dc)];
-    const auto& dhosts = hosts[static_cast<size_t>(dst_dc)];
+    // mix_intra == 0 must draw nothing extra: the legacy inter-only stream
+    // (and every pinned golden digest downstream of it) stays bit-exact.
+    const bool intra = config.mix_intra > 0.0 && rng.NextDouble() < config.mix_intra;
+    const auto& dhosts = intra ? shosts : hosts[static_cast<size_t>(dst_dc)];
     FlowSpec f;
     f.id = static_cast<FlowId>(i + 1);
-    f.src = shosts[rng.NextBounded(shosts.size())];
-    f.dst = dhosts[rng.NextBounded(dhosts.size())];
+    const size_t si = rng.NextBounded(shosts.size());
+    f.src = shosts[si];
+    if (intra && dhosts.size() > 1) {
+      // Distinct destination host in the same DC.
+      f.dst = dhosts[(si + 1 + rng.NextBounded(dhosts.size() - 1)) % dhosts.size()];
+    } else if (intra) {
+      // Single-host DC cannot host an intra flow; fall back to the inter pair.
+      f.dst = hosts[static_cast<size_t>(dst_dc)][rng.NextBounded(
+          hosts[static_cast<size_t>(dst_dc)].size())];
+    } else {
+      f.dst = dhosts[rng.NextBounded(dhosts.size())];
+    }
     f.key.src = f.src;
     f.key.dst = f.dst;
     f.key.src_port = static_cast<uint32_t>(i + 1);  // per-flow nonce (QPN)
@@ -101,6 +114,45 @@ std::vector<FlowSpec> GenerateBurst(const Graph& g,
     f.key.dst_port = 4791;
     f.size_bytes = config.fixed_size_bytes > 0 ? config.fixed_size_bytes : cdf.Sample(rng);
     f.start_time = config.burst_time;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> GenerateIncast(const Graph& g, const IncastConfig& config) {
+  LCMP_CHECK(config.fanin > 0);
+  LCMP_CHECK(config.bytes_per_sender > 0);
+  // Host-bearing DCs in id order; the last one hosts the receiver.
+  std::vector<DcId> dcs;
+  std::vector<std::vector<NodeId>> hosts;
+  for (DcId dc = 0; dc < g.num_dcs(); ++dc) {
+    std::vector<NodeId> h = g.HostsInDc(dc);
+    if (!h.empty()) {
+      dcs.push_back(dc);
+      hosts.push_back(std::move(h));
+    }
+  }
+  LCMP_CHECK_MSG(dcs.size() >= 2, "incast needs >= 2 host-bearing DCs, have %zu", dcs.size());
+  const NodeId receiver = hosts.back().front();
+  const size_t num_src_dcs = dcs.size() - 1;
+
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<size_t>(config.fanin));
+  std::vector<size_t> cursor(num_src_dcs, 0);  // per-DC host rotation
+  for (int i = 0; i < config.fanin; ++i) {
+    const size_t di = static_cast<size_t>(i) % num_src_dcs;
+    const auto& shosts = hosts[di];
+    FlowSpec f;
+    f.id = config.first_flow_id + i;
+    f.src = shosts[cursor[di]];
+    cursor[di] = (cursor[di] + 1) % shosts.size();
+    f.dst = receiver;
+    f.key.src = f.src;
+    f.key.dst = f.dst;
+    f.key.src_port = static_cast<uint32_t>(f.id);
+    f.key.dst_port = 4791;
+    f.size_bytes = config.bytes_per_sender;
+    f.start_time = config.start_time;
     flows.push_back(f);
   }
   return flows;

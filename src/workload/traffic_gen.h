@@ -22,6 +22,10 @@ struct TrafficGenConfig {
   int num_flows = 1000;
   TimeNs start_time = 0;
   uint64_t seed = 1;
+  // Fraction of flows redirected to stay inside their source DC (both
+  // endpoints in the same DC), modeling mixed intra+inter traffic matrices.
+  // 0 draws no extra randomness, keeping the legacy RNG stream bit-exact.
+  double mix_intra = 0.0;
 };
 
 // All ordered (src_dc, dst_dc) pairs with src != dst.
@@ -59,5 +63,23 @@ struct BurstConfig {
 std::vector<FlowSpec> GenerateBurst(const Graph& g,
                                     const std::vector<std::pair<DcId, DcId>>& dc_pairs,
                                     const BurstConfig& config);
+
+struct IncastConfig {
+  // Number of simultaneous senders converging on the single receiver.
+  int fanin = 64;
+  // Bytes each sender transfers.
+  uint64_t bytes_per_sender = 1 << 20;
+  TimeNs start_time = 0;
+  // Id of the first incast flow; callers stacking incast on top of a
+  // background matrix pass background_flows.size() + 1 so ids stay dense.
+  FlowId first_flow_id = 1;
+};
+
+// Generates an N-to-1 incast: one receiver host in the last host-bearing DC,
+// `fanin` senders drawn round-robin from the hosts of every *other*
+// host-bearing DC. All flows start at the same instant with the same size —
+// the synchronized fan-in that stresses the destination DC's border and
+// fabric. Fully deterministic (no RNG). Requires >= 2 host-bearing DCs.
+std::vector<FlowSpec> GenerateIncast(const Graph& g, const IncastConfig& config);
 
 }  // namespace lcmp

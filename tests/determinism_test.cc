@@ -45,7 +45,7 @@ uint64_t HashMix(uint64_t h, uint64_t v) {
 // `with_obs` turns on every observability subsystem (metrics + untargeted
 // flight recorder + profiling) for the run; observability must only *read*
 // simulation state, so the digest has to match an obs-off run bit for bit.
-RunDigest RunScenario(CcKind cc, uint64_t seed, bool with_obs = false) {
+RunDigest RunScenario(const std::string& cc, uint64_t seed, bool with_obs = false) {
   obs::SetMetricsEnabled(with_obs);
   obs::SetProfileEnabled(with_obs);
   obs::MetricsRegistry::Instance().ResetValues();
@@ -59,7 +59,7 @@ RunDigest RunScenario(CcKind cc, uint64_t seed, bool with_obs = false) {
 
   NetworkConfig ncfg;
   ncfg.seed = seed;
-  ncfg.enable_int = CcNeedsInt(cc);
+  ncfg.enable_int = CcRegistry::Instance().NeedsInt(cc);
   Network net(graph, ncfg, MakeLcmpFactory(LcmpConfig{}));
   ControlPlane cp{LcmpConfig{}};
   cp.Provision(net);
@@ -70,7 +70,10 @@ RunDigest RunScenario(CcKind cc, uint64_t seed, bool with_obs = false) {
   FctRecorder recorder(&net.graph());
   const int num_flows = 80;
   Simulator& sim = net.sim();
-  RdmaTransport transport(&net, TransportConfig{}, cc, [&](const FlowRecord& rec) {
+  TransportConfig tcfg;
+  tcfg.cc.inter = cc;
+  tcfg.cc.intra = cc;
+  RdmaTransport transport(&net, tcfg, [&](const FlowRecord& rec) {
     recorder.OnComplete(rec);
     if (recorder.completed() >= num_flows) {
       sim.Stop();
@@ -116,8 +119,8 @@ RunDigest RunScenario(CcKind cc, uint64_t seed, bool with_obs = false) {
 }
 
 TEST(DeterminismTest, SameSeedSameRunIsBitIdentical) {
-  const RunDigest a = RunScenario(CcKind::kDcqcn, 7);
-  const RunDigest b = RunScenario(CcKind::kDcqcn, 7);
+  const RunDigest a = RunScenario("dcqcn", 7);
+  const RunDigest b = RunScenario("dcqcn", 7);
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.fct_hash, b.fct_hash);
@@ -128,8 +131,8 @@ TEST(DeterminismTest, SameSeedSameRunIsBitIdentical) {
 }
 
 TEST(DeterminismTest, HpccIntPathIsDeterministicAndLeakFree) {
-  const RunDigest a = RunScenario(CcKind::kHpcc, 11);
-  const RunDigest b = RunScenario(CcKind::kHpcc, 11);
+  const RunDigest a = RunScenario("hpcc", 11);
+  const RunDigest b = RunScenario("hpcc", 11);
   EXPECT_TRUE(a == b);
   EXPECT_EQ(a.completed, 80);
   // Every acquired INT stack must have been released by a packet death site
@@ -138,8 +141,8 @@ TEST(DeterminismTest, HpccIntPathIsDeterministicAndLeakFree) {
 }
 
 TEST(DeterminismTest, DifferentSeedsDiverge) {
-  const RunDigest a = RunScenario(CcKind::kDcqcn, 7);
-  const RunDigest b = RunScenario(CcKind::kDcqcn, 8);
+  const RunDigest a = RunScenario("dcqcn", 7);
+  const RunDigest b = RunScenario("dcqcn", 8);
   EXPECT_NE(a.fct_hash, b.fct_hash);
 }
 
@@ -220,8 +223,8 @@ TEST(DeterminismTest, ObservabilityDoesNotPerturbTheRun) {
   // observability (metrics + flight recorder + profiling) only reads sim
   // state and writes obs state, so event counts, forwarded-packet counts and
   // the FCT sequence must be identical to a run with everything off.
-  const RunDigest off = RunScenario(CcKind::kDcqcn, 7, /*with_obs=*/false);
-  const RunDigest on = RunScenario(CcKind::kDcqcn, 7, /*with_obs=*/true);
+  const RunDigest off = RunScenario("dcqcn", 7, /*with_obs=*/false);
+  const RunDigest on = RunScenario("dcqcn", 7, /*with_obs=*/true);
   EXPECT_EQ(off.events, on.events);
   EXPECT_EQ(off.fct_hash, on.fct_hash);
   EXPECT_EQ(off.forwarded, on.forwarded);

@@ -61,7 +61,7 @@ FailoverRun RunDumbbellCut(const FaultPlan& plan, bool stop_on_complete = true,
   FctRecorder recorder(&net.graph());
   const int num_flows = 60;
   Simulator& sim = net.sim();
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn, [&](const FlowRecord& rec) {
+  RdmaTransport transport(&net, TransportConfig{}, [&](const FlowRecord& rec) {
     recorder.OnComplete(rec);
     if (stop_on_complete && recorder.completed() >= num_flows) {
       sim.Stop();

@@ -104,7 +104,7 @@ TEST(HarnessTest, LinkFlapDuringExperimentStillCompletes) {
   ControlPlane cp{LcmpConfig{}};
   cp.Provision(net);
   FctRecorder recorder(&net.graph());
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+  RdmaTransport transport(&net, TransportConfig{},
                           [&](const FlowRecord& r) { recorder.OnComplete(r); });
   TrafficGenConfig traffic;
   traffic.offered_bps = Gbps(60);

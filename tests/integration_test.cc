@@ -15,7 +15,6 @@ ExperimentConfig SmallConfig() {
   c.topo = TopologyKind::kTestbed8;
   c.pairing = PairingKind::kEndpointPair;
   c.workload = WorkloadKind::kWebSearch;
-  c.cc = CcKind::kDcqcn;
   c.load = 0.3;
   c.num_flows = 120;
   c.seed = 11;

@@ -1,0 +1,167 @@
+// LCP (delay-based long-haul CC): delay-overshoot cuts, additive growth on a
+// clean gradient, the ECN-alpha cut path, rate-move pacing, and timeout reset.
+#include <gtest/gtest.h>
+
+#include "transport/cc/cc_registry.h"
+#include "transport/cc/lcp.h"
+
+namespace lcmp {
+namespace {
+
+constexpr TimeNs kBaseRtt = Milliseconds(20);
+constexpr int64_t kLine = Gbps(100);
+
+Packet Ack(bool ecn_echo = false) {
+  Packet p;
+  p.type = PacketType::kAck;
+  p.ecn_echo = ecn_echo;
+  return p;
+}
+
+// Feeds `n` ACK samples with the given RTT, one per base-RTT round.
+TimeNs FeedAcks(Lcp& cc, TimeNs now, int n, TimeNs rtt, bool ecn = false) {
+  for (int i = 0; i < n; ++i) {
+    now += kBaseRtt;
+    cc.OnAck(Ack(ecn), nullptr, rtt, now);
+  }
+  return now;
+}
+
+TEST(LcpTest, StartsAtLineRateWithSeededMinRtt) {
+  Lcp cc;
+  cc.Init(kLine, kBaseRtt, 0);
+  EXPECT_EQ(cc.rate_bps(), kLine);
+  EXPECT_EQ(cc.min_rtt(), kBaseRtt);
+  EXPECT_EQ(cc.smoothed_rtt(), 0);
+}
+
+TEST(LcpTest, SustainedDelayOvershootCutsRate) {
+  Lcp cc;
+  cc.Init(kLine, kBaseRtt, 0);
+  // RTT sits 5ms over the base: far beyond the 150us headroom budget.
+  FeedAcks(cc, 0, 20, kBaseRtt + Milliseconds(5));
+  EXPECT_LT(cc.rate_bps(), kLine / 2);
+  EXPECT_GT(cc.rate_bps(), 0);
+  EXPECT_GT(cc.smoothed_rtt(), kBaseRtt);
+}
+
+TEST(LcpTest, CutIsBoundedToHalfPerDecision) {
+  Lcp cc;
+  cc.Init(kLine, kBaseRtt, 0);
+  // One decision against a catastrophic RTT may cut at most 2x.
+  cc.OnAck(Ack(), nullptr, 100 * kBaseRtt, kBaseRtt);
+  EXPECT_GE(cc.rate_bps(), kLine / 2);
+}
+
+TEST(LcpTest, RecoversAdditivelyOnCleanGradient) {
+  LcpParams params;
+  params.ai_bps = Gbps(1);  // make the probe visible in a few rounds
+  Lcp cc(params);
+  cc.Init(kLine, kBaseRtt, 0);
+  TimeNs now = FeedAcks(cc, 0, 20, kBaseRtt + Milliseconds(5));
+  const int64_t congested = cc.rate_bps();
+  // Queue drains: RTT back at base, non-positive gradient -> additive growth.
+  FeedAcks(cc, now, 40, kBaseRtt);
+  EXPECT_GT(cc.rate_bps(), congested);
+}
+
+TEST(LcpTest, GrowthIsCappedAtLineRate) {
+  LcpParams params;
+  params.ai_bps = Gbps(50);
+  Lcp cc(params);
+  cc.Init(kLine, kBaseRtt, 0);
+  FeedAcks(cc, 0, 10, kBaseRtt);
+  EXPECT_EQ(cc.rate_bps(), kLine);
+}
+
+TEST(LcpTest, EcnAlphaTracksMarkFractionAndForcesCut) {
+  Lcp cc;
+  cc.Init(kLine, kBaseRtt, 0);
+  // Marked ACKs whose delay stays inside the budget: the alpha stream alone
+  // must react (the shallow-buffered-border case).
+  FeedAcks(cc, 0, 40, kBaseRtt, /*ecn=*/true);
+  EXPECT_GT(cc.ecn_alpha(), 0.5);
+  EXPECT_LT(cc.rate_bps(), kLine);
+}
+
+TEST(LcpTest, CleanAcksDecayEcnAlpha) {
+  Lcp cc;
+  cc.Init(kLine, kBaseRtt, 0);
+  TimeNs now = FeedAcks(cc, 0, 40, kBaseRtt, /*ecn=*/true);
+  const double marked_alpha = cc.ecn_alpha();
+  FeedAcks(cc, now, 40, kBaseRtt, /*ecn=*/false);
+  EXPECT_LT(cc.ecn_alpha(), marked_alpha / 4);
+}
+
+TEST(LcpTest, CnpFoldsIntoAlphaStream) {
+  Lcp cc;
+  cc.Init(kLine, kBaseRtt, 0);
+  TimeNs now = 0;
+  for (int i = 0; i < 40; ++i) {
+    now += kBaseRtt;
+    cc.OnCnp(now);
+  }
+  EXPECT_GT(cc.ecn_alpha(), 0.5);
+  EXPECT_LT(cc.rate_bps(), kLine);
+}
+
+TEST(LcpTest, RateMovesAtMostOncePerRtt) {
+  Lcp cc;
+  cc.Init(kLine, kBaseRtt, 0);
+  // A burst of congested ACKs inside one RTT window: only samples at least
+  // one min-RTT apart may move the rate, so the burst costs one decision.
+  cc.OnAck(Ack(), nullptr, kBaseRtt + Milliseconds(5), kBaseRtt);
+  const int64_t after_first = cc.rate_bps();
+  for (int i = 0; i < 50; ++i) {
+    cc.OnAck(Ack(), nullptr, kBaseRtt + Milliseconds(5), kBaseRtt + i);
+  }
+  EXPECT_EQ(cc.rate_bps(), after_first);
+}
+
+TEST(LcpTest, MinRttIsMinFiltered) {
+  Lcp cc;
+  cc.Init(kLine, kBaseRtt, 0);
+  cc.OnAck(Ack(), nullptr, kBaseRtt - Microseconds(500), kBaseRtt);
+  EXPECT_EQ(cc.min_rtt(), kBaseRtt - Microseconds(500));
+  cc.OnAck(Ack(), nullptr, kBaseRtt + Milliseconds(1), 2 * kBaseRtt);
+  EXPECT_EQ(cc.min_rtt(), kBaseRtt - Microseconds(500));
+}
+
+TEST(LcpTest, TimeoutQuartersRateAndResetsDelayState) {
+  Lcp cc;
+  cc.Init(kLine, kBaseRtt, 0);
+  FeedAcks(cc, 0, 5, kBaseRtt + Milliseconds(1));
+  cc.OnTimeout(Milliseconds(200));
+  EXPECT_LE(cc.rate_bps(), kLine / 4);
+  EXPECT_EQ(cc.smoothed_rtt(), 0);
+}
+
+TEST(LcpTest, RateNeverDropsBelowFloor) {
+  LcpParams params;
+  Lcp cc(params);
+  cc.Init(kLine, kBaseRtt, 0);
+  TimeNs now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += kBaseRtt;
+    cc.OnAck(Ack(/*ecn_echo=*/true), nullptr, 10 * kBaseRtt, now);
+    cc.OnTimeout(now);
+  }
+  EXPECT_GE(cc.rate_bps(), params.min_rate_bps);
+}
+
+TEST(LcpTest, RegistryBuildsLcpWithTuning) {
+  CcTuning tuning;
+  tuning.lcp.min_rate_bps = Mbps(500);
+  auto cc = CcRegistry::Instance().Create("lcp", tuning);
+  ASSERT_NE(cc, nullptr);
+  EXPECT_STREQ(cc->name(), "lcp");
+  EXPECT_FALSE(CcRegistry::Instance().NeedsInt("lcp"));
+  cc->Init(kLine, kBaseRtt, 0);
+  for (int i = 0; i < 200; ++i) {
+    cc->OnTimeout(i);
+  }
+  EXPECT_EQ(cc->rate_bps(), Mbps(500));  // the tuned floor held
+}
+
+}  // namespace
+}  // namespace lcmp

@@ -100,7 +100,7 @@ TEST(PfcTest, IncastDropsWithoutPfc) {
   TransportConfig tcfg;
   tcfg.host_backlog_bytes = 100 * 1024;
   int completed = 0;
-  RdmaTransport transport(&net, tcfg, CcKind::kDcqcn,
+  RdmaTransport transport(&net, tcfg,
                           [&](const FlowRecord&) { ++completed; });
   const auto hosts = g.HostsInDc(0);
   for (FlowId i = 1; i <= 4; ++i) {
@@ -133,7 +133,7 @@ TEST(PfcTest, IncastLosslessWithPfc) {
   TransportConfig tcfg;
   tcfg.host_backlog_bytes = 100 * 1024;
   int completed = 0;
-  RdmaTransport transport(&net, tcfg, CcKind::kDcqcn,
+  RdmaTransport transport(&net, tcfg,
                           [&](const FlowRecord&) { ++completed; });
   const auto hosts = g.HostsInDc(0);
   for (FlowId i = 1; i <= 4; ++i) {
@@ -164,7 +164,7 @@ TEST(PfcTest, PauseCountersBalance) {
   Network net(g, ncfg, EcmpFactory());
   TransportConfig tcfg;
   tcfg.host_backlog_bytes = 100 * 1024;
-  RdmaTransport transport(&net, tcfg, CcKind::kDcqcn, nullptr);
+  RdmaTransport transport(&net, tcfg, nullptr);
   const auto hosts = g.HostsInDc(0);
   for (FlowId i = 1; i <= 3; ++i) {
     FlowSpec f;

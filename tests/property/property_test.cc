@@ -316,6 +316,11 @@ TEST(PropertyTest, ConfigRegistryGetApplyIsAFixedPoint) {
     for (const std::string& field : KnownConfigFields()) {
       std::string encoded;
       if (!GetConfigField(config, field, &encoded)) {
+        // The per-segment cc selectors are write-only by design: their state
+        // echoes through the composite "cc" field instead.
+        if (field == "cc.inter" || field == "cc.intra") {
+          continue;
+        }
         return std::optional<std::string>("GetConfigField failed for " + field);
       }
       ExperimentConfig fresh;

@@ -55,7 +55,7 @@ TEST_P(RandomWanSweep, LcmpDeliversAllFlows) {
   ControlPlane cp{LcmpConfig{}};
   cp.Provision(net);
   int completed = 0;
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+  RdmaTransport transport(&net, TransportConfig{},
                           [&](const FlowRecord&) { ++completed; });
   TrafficGenConfig traffic;
   traffic.offered_bps = Gbps(50);
@@ -82,7 +82,7 @@ TEST_P(RandomWanSweep, SurvivesRandomChordFlap) {
   ControlPlane cp{LcmpConfig{}};
   cp.Provision(net);
   int completed = 0;
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+  RdmaTransport transport(&net, TransportConfig{},
                           [&](const FlowRecord&) { ++completed; });
   TrafficGenConfig traffic;
   traffic.offered_bps = Gbps(40);

@@ -30,7 +30,7 @@ RunArtifacts RunScenario(PolicyKind policy, uint64_t seed) {
   ControlPlane cp{LcmpConfig{}};
   cp.Provision(net);
   int completed = 0;
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+  RdmaTransport transport(&net, TransportConfig{},
                           [&](const FlowRecord&) { ++completed; });
   TrafficGenConfig traffic;
   traffic.offered_bps = Gbps(150);
@@ -110,7 +110,7 @@ TEST(InvariantTest, SlowdownNeverBelowOneOnSymmetricSinglePath) {
   const LinearTopo t = BuildLinear();
   FctRecorder recorder(&t.graph);
   Network net(t.graph, NetworkConfig{}, nullptr);
-  RdmaTransport transport(&net, TransportConfig{}, CcKind::kDcqcn,
+  RdmaTransport transport(&net, TransportConfig{},
                           [&](const FlowRecord& r) { recorder.OnComplete(r); });
   for (FlowId i = 1; i <= 20; ++i) {
     FlowSpec f;

@@ -326,11 +326,39 @@ TEST(ParseKindTest, AcceptsEveryTokenAndListsThemOnFailure) {
   WorkloadKind workload;
   ASSERT_TRUE(ParseWorkloadKind("fbhdp", &workload, &error)) << error;
   EXPECT_EQ(workload, WorkloadKind::kFbHdp);
-  CcKind cc;
-  ASSERT_TRUE(ParseCcKind("timely", &cc, &error)) << error;
-  EXPECT_EQ(cc, CcKind::kTimely);
-  EXPECT_FALSE(ParseCcKind("cubic", &cc, &error));
+  SegmentCcSpec cc;
+  ASSERT_TRUE(SegmentCcSpec::Parse("timely", &cc, &error)) << error;
+  EXPECT_EQ(cc.inter, "timely");
+  EXPECT_EQ(cc.intra, "timely");
+  EXPECT_TRUE(cc.uniform());
+  ASSERT_TRUE(SegmentCcSpec::Parse("lcp/dcqcn", &cc, &error)) << error;
+  EXPECT_EQ(cc.inter, "lcp");
+  EXPECT_EQ(cc.intra, "dcqcn");
+  EXPECT_FALSE(cc.uniform());
+  EXPECT_EQ(cc.Token(), "lcp/dcqcn");
+  EXPECT_FALSE(SegmentCcSpec::Parse("cubic", &cc, &error));
   EXPECT_NE(error.find("dcqcn"), std::string::npos) << error;
+}
+
+TEST(ConfigFieldTest, SegmentCcFieldsApplyAndEcho) {
+  ExperimentConfig config;
+  std::string error;
+  ASSERT_TRUE(ApplyConfigField(&config, "cc", "lcp/dcqcn", &error)) << error;
+  EXPECT_EQ(config.cc.inter, "lcp");
+  EXPECT_EQ(config.cc.intra, "dcqcn");
+  std::string echoed;
+  ASSERT_TRUE(GetConfigField(config, "cc", &echoed));
+  EXPECT_EQ(echoed, "lcp/dcqcn");
+  // Per-segment selectors are write-only: they apply but never echo (the
+  // composite "cc" field already carries the state).
+  ASSERT_TRUE(ApplyConfigField(&config, "cc.intra", "timely", &error)) << error;
+  EXPECT_EQ(config.cc.intra, "timely");
+  EXPECT_FALSE(GetConfigField(config, "cc.intra", &echoed));
+  // Per-segment tuning fields round-trip through the registry.
+  ASSERT_TRUE(ApplyConfigField(&config, "cc.inter.lcp.gain", "0.5", &error)) << error;
+  EXPECT_DOUBLE_EQ(config.cc_inter.lcp.gain, 0.5);
+  ASSERT_TRUE(GetConfigField(config, "cc.inter.lcp.gain", &echoed));
+  EXPECT_EQ(echoed, "0.5");
 }
 
 }  // namespace

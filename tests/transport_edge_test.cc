@@ -30,7 +30,7 @@ struct Harness {
   explicit Harness(Graph g, TransportConfig tcfg = {})
       : graph(std::move(g)),
         net(graph, NetworkConfig{}, EcmpFactory()),
-        transport(&net, tcfg, CcKind::kDcqcn,
+        transport(&net, tcfg,
                   [this](const FlowRecord& r) { records.push_back(r); }) {}
   Graph graph;
   Network net;

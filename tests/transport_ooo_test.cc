@@ -54,7 +54,7 @@ struct Harness {
       : graph(std::move(g)),
         net(graph, NetworkConfig{}, std::move(factory)),
         recorder(&net.graph()),
-        transport(&net, tcfg, CcKind::kDcqcn,
+        transport(&net, tcfg,
                   [this](const FlowRecord& r) { records.push_back(r); }) {}
   Graph graph;
   Network net;

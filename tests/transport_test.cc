@@ -1,9 +1,10 @@
 // Tests for the RDMA transport: completion, pacing, ACK semantics,
 // Go-Back-N on loss/reorder, RTO recovery after link failure, CNP/ECN
-// plumbing, and all four congestion controllers.
+// plumbing, and every registered congestion controller.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "routing/ecmp.h"
 #include "sim/network.h"
@@ -33,11 +34,10 @@ FlowSpec MakeFlow(FlowId id, NodeId src, NodeId dst, uint64_t bytes, TimeNs star
 }
 
 struct Harness {
-  explicit Harness(Graph g, CcKind cc = CcKind::kDcqcn, TransportConfig tcfg = {},
-                   NetworkConfig ncfg = {})
+  explicit Harness(Graph g, TransportConfig tcfg = {}, NetworkConfig ncfg = {})
       : graph(std::move(g)),
         net(graph, ncfg, EcmpFactory()),
-        transport(&net, tcfg, cc, [this](const FlowRecord& r) { records.push_back(r); }) {}
+        transport(&net, tcfg, [this](const FlowRecord& r) { records.push_back(r); }) {}
   Graph graph;
   Network net;
   RdmaTransport transport;
@@ -165,8 +165,8 @@ TEST(TransportTest, EmulationModeAddsLatency) {
   TransportConfig plain;
   TransportConfig emu;
   emu.emulation_mode = true;
-  Harness fast(t.graph, CcKind::kDcqcn, plain);
-  Harness slow(t.graph, CcKind::kDcqcn, emu);
+  Harness fast(t.graph, plain);
+  Harness slow(t.graph, emu);
   fast.transport.StartFlow(MakeFlow(1, t.src_host, t.dst_host, 100'000));
   slow.transport.StartFlow(MakeFlow(1, t.src_host, t.dst_host, 100'000));
   fast.net.sim().Run();
@@ -178,13 +178,16 @@ TEST(TransportTest, EmulationModeAddsLatency) {
   EXPECT_GT(fct_slow, fct_fast);
 }
 
-class AllCcTest : public ::testing::TestWithParam<CcKind> {};
+class AllCcTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(AllCcTest, CompletesUnderEveryCc) {
   const Graph g = BuildDumbbell(2, 2, Gbps(10), Milliseconds(1));
   NetworkConfig ncfg;
-  ncfg.enable_int = CcNeedsInt(GetParam());
-  Harness h(g, GetParam(), TransportConfig{}, ncfg);
+  ncfg.enable_int = CcRegistry::Instance().NeedsInt(GetParam());
+  TransportConfig tcfg;
+  tcfg.cc.inter = GetParam();
+  tcfg.cc.intra = GetParam();
+  Harness h(g, tcfg, ncfg);
   const auto src_hosts = g.HostsInDc(0);
   const auto dst_hosts = g.HostsInDc(1);
   for (FlowId i = 1; i <= 8; ++i) {
@@ -192,14 +195,13 @@ TEST_P(AllCcTest, CompletesUnderEveryCc) {
                                       500'000, static_cast<TimeNs>(i) * Microseconds(50)));
   }
   h.net.sim().Run(Seconds(20));
-  EXPECT_EQ(h.records.size(), 8u) << "cc=" << CcKindName(GetParam());
+  EXPECT_EQ(h.records.size(), 8u) << "cc=" << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCcs, AllCcTest,
-                         ::testing::Values(CcKind::kDcqcn, CcKind::kHpcc, CcKind::kTimely,
-                                           CcKind::kDctcp),
-                         [](const ::testing::TestParamInfo<CcKind>& info) {
-                           return CcKindName(info.param);
+                         ::testing::Values("dcqcn", "hpcc", "timely", "dctcp", "lcp"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
                          });
 
 // --- Unit tests of the CC modules themselves ---
@@ -324,12 +326,25 @@ TEST(HpccUnitTest, LowUtilizationProbesUp) {
   EXPECT_GT(cc.rate_bps(), low);
 }
 
-TEST(CcFactoryTest, NamesAndIntFlag) {
-  EXPECT_STREQ(CcKindName(CcKind::kDcqcn), "dcqcn");
-  EXPECT_STREQ(CcKindName(CcKind::kHpcc), "hpcc");
-  EXPECT_TRUE(CcNeedsInt(CcKind::kHpcc));
-  EXPECT_FALSE(CcNeedsInt(CcKind::kDcqcn));
-  EXPECT_STREQ(MakeCcFactory(CcKind::kTimely)()->name(), "timely");
+TEST(CcRegistryTest, TokensFactoriesAndIntFlag) {
+  CcRegistry& reg = CcRegistry::Instance();
+  for (const char* token : {"dcqcn", "hpcc", "timely", "dctcp", "lcp"}) {
+    ASSERT_TRUE(reg.Known(token)) << token;
+    EXPECT_STREQ(reg.Create(token)->name(), token);
+  }
+  EXPECT_FALSE(reg.Known("cubic"));
+  EXPECT_TRUE(reg.NeedsInt("hpcc"));
+  EXPECT_FALSE(reg.NeedsInt("dcqcn"));
+  EXPECT_FALSE(reg.NeedsInt("lcp"));
+  EXPECT_FALSE(CcNeedsInt(SegmentCcSpec{"lcp", "dcqcn"}));
+  EXPECT_TRUE(CcNeedsInt(SegmentCcSpec{"hpcc", "dcqcn"}));
+  EXPECT_TRUE(CcNeedsInt(SegmentCcSpec{"dcqcn", "hpcc"}));
+  std::string token;
+  std::string error;
+  EXPECT_TRUE(ParseCcToken("lcp", &token, &error));
+  EXPECT_EQ(token, "lcp");
+  EXPECT_FALSE(ParseCcToken("reno", &token, &error));
+  EXPECT_NE(error.find("lcp"), std::string::npos) << error;
 }
 
 }  // namespace

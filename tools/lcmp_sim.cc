@@ -31,10 +31,28 @@ bool ParseEnums(const FlagSet& flags, ExperimentConfig& config, std::string& err
   return ParseTopologyKind(flags.GetString("topo"), &config.topo, &error) &&
          ParsePolicyKind(flags.GetString("policy"), &config.policy, &error) &&
          ParseWorkloadKind(flags.GetString("workload"), &config.workload, &error) &&
-         ParseCcKind(flags.GetString("cc"), &config.cc, &error) &&
          ParsePairingKind(flags.GetString("pairing"), &config.pairing, &error) &&
          ParseFabricKind(flags.GetString("fabric"), &config.fabric, &error) &&
          ParsePathStrategyKind(flags.GetString("paths"), &config.path_strategy, &error);
+}
+
+// Segment-split CC selection. All three flags default to "" so "not given"
+// is distinguishable: the deprecated --cc shim applies first (setting both
+// segments), then --cc-inter/--cc-intra override their segment.
+bool ApplyCcFlags(const FlagSet& flags, ExperimentConfig& config, std::string& error) {
+  const std::string legacy = flags.GetString("cc");
+  if (!legacy.empty() && !ApplyLegacyCcFlag(legacy, &config.cc, &error)) {
+    return false;
+  }
+  const std::string inter = flags.GetString("cc-inter");
+  if (!inter.empty() && !ParseCcToken(inter, &config.cc.inter, &error)) {
+    return false;
+  }
+  const std::string intra = flags.GetString("cc-intra");
+  if (!intra.empty() && !ParseCcToken(intra, &config.cc.intra, &error)) {
+    return false;
+  }
+  return true;
 }
 
 int RunSweepMode(const ExperimentConfig& base, const SweepOptions& sweep_opts,
@@ -158,7 +176,15 @@ int main(int argc, char** argv) {
       .Define("flow-cache-auto", "false", "right-size LCMP flow caches to the flow count")
       .Define("policy", "lcmp", "routing policy: ecmp | wcmp | ucmp | redte | lcmp")
       .Define("workload", "websearch", "flow-size mix: websearch | fbhdp | alistorage")
-      .Define("cc", "dcqcn", "congestion control: dcqcn | hpcc | timely | dctcp")
+      .Define("cc", "", "DEPRECATED: sets both --cc-inter and --cc-intra")
+      .Define("cc-inter", "", "long-haul segment CC: dcqcn | hpcc | timely | dctcp | lcp")
+      .Define("cc-intra", "", "intra-DC segment CC: dcqcn | hpcc | timely | dctcp | lcp")
+      .Define("incast-fanin", "0", "N-to-1 incast senders at the last DC (0 = off)")
+      .Define("incast-bytes", "1048576", "bytes each incast sender ships")
+      .Define("os-borders", "1", "divide every DCI<->DCI link rate by this factor")
+      .Define("mix-intra", "0", "fraction of background flows kept intra-DC [0,1)")
+      .Define("max-inflight-bytes", "0",
+              "bounded in-flight sender window in bytes (0 = legacy unbounded)")
       .Define("pairing", "endpoints",
               "traffic pairing: endpoints | all | all-focus | endpoints-oneway")
       .Define("load", "0.3", "target average inter-DC link utilization (0, 1]")
@@ -190,11 +216,16 @@ int main(int argc, char** argv) {
 
   ExperimentConfig config;
   std::string error;
-  if (!ParseEnums(flags, config, error)) {
+  if (!ParseEnums(flags, config, error) || !ApplyCcFlags(flags, config, error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 2;
   }
   config.load = flags.GetDouble("load");
+  config.incast_fanin = static_cast<int>(flags.GetInt("incast-fanin"));
+  config.incast_bytes = static_cast<uint64_t>(flags.GetInt("incast-bytes"));
+  config.os_borders = static_cast<int>(flags.GetInt("os-borders"));
+  config.mix_intra = flags.GetDouble("mix-intra");
+  config.max_inflight_bytes = flags.GetInt("max-inflight-bytes");
   config.num_flows = static_cast<int>(flags.GetInt("flows"));
   config.hosts_per_dc = static_cast<int>(flags.GetInt("hosts-per-dc"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
@@ -274,7 +305,7 @@ int main(int argc, char** argv) {
 
   std::printf("topology=%s policy=%s workload=%s cc=%s load=%.2f seed=%llu\n",
               TopologyKindName(config.topo), PolicyKindName(config.policy),
-              WorkloadKindName(config.workload), CcKindName(config.cc), config.load,
+              WorkloadKindName(config.workload), config.cc.Token().c_str(), config.load,
               static_cast<unsigned long long>(config.seed));
   std::printf("flows completed: %d/%d  (sim time %.3f s, %llu events)\n",
               result.flows_completed, result.flows_requested,
@@ -300,6 +331,11 @@ int main(int argc, char** argv) {
   summary.AddRow({"p99 slowdown", Fmt(result.overall.p99)});
   summary.AddRow({"mean slowdown", Fmt(result.overall.mean)});
   summary.AddRow({"retransmitted packets", std::to_string(result.retransmitted_packets)});
+  if (config.incast_fanin > 0) {
+    summary.AddRow({"incast flows completed", std::to_string(result.incast_flows_completed)});
+    summary.AddRow({"incast p50 slowdown", Fmt(result.incast.p50)});
+    summary.AddRow({"incast p99 slowdown", Fmt(result.incast.p99)});
+  }
   summary.Print();
 
   const std::string prefix = flags.GetString("csv-prefix");
