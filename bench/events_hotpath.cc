@@ -22,6 +22,7 @@
 #include <cstring>
 #include <functional>
 #include <new>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -33,6 +34,7 @@
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
+#include "transport/seq_window.h"
 
 // --- allocation counter -----------------------------------------------------
 // Counts every global operator new; the benchmark reads deltas around each
@@ -299,6 +301,80 @@ RunResult RunShardedPass(int shards, int population, uint64_t total_events) {
   return r;
 }
 
+// --- IRN OoO-tracker comparison ---------------------------------------------
+// The transport's receiver used to track buffered out-of-order segments in a
+// std::set<uint32_t> (one red-black node allocation per buffered segment);
+// SeqWindow replaces it with a fixed ring bitmap whose only allocation is the
+// Reset() outside the packet path. Both loops run the identical arrival
+// pattern: per round, segments [base+1, base+window) land in a permuted
+// order (worst case: everything buffers behind one hole), then the hole
+// fills and the run drains in sequence.
+struct OooResult {
+  double ops_per_sec = 0;
+  uint64_t allocs = 0;
+  uint64_t drained = 0;  // checksum: both trackers must drain the same count
+};
+
+// 1217 is coprime to window-1 = 2047 (= 23 * 89), so the stride walk visits
+// every buffered slot exactly once per round.
+inline uint32_t OooPermuted(uint32_t base, uint32_t k, uint32_t window) {
+  return base + 1 + (k * 1217) % (window - 1);
+}
+
+OooResult RunOooSetLoop(uint32_t window, int rounds) {
+  std::set<uint32_t> ooo;
+  uint32_t expected = 0;
+  OooResult r;
+  const uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    const uint32_t base = expected;
+    for (uint32_t k = 1; k < window; ++k) {
+      ooo.insert(OooPermuted(base, k, window));
+    }
+    ++expected;  // the hole fills
+    auto it = ooo.begin();
+    while (it != ooo.end() && *it == expected) {
+      ++expected;
+      it = ooo.erase(it);
+      ++r.drained;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double ops = static_cast<double>(rounds) * window;
+  r.ops_per_sec = secs > 0 ? ops / secs : 0;
+  return r;
+}
+
+OooResult RunOooBitmapLoop(uint32_t window, int rounds) {
+  SeqWindow ooo;
+  ooo.Reset(0, window);  // the tracker's one allocation, outside the timed loop
+  uint32_t expected = 0;
+  OooResult r;
+  const uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    const uint32_t base = expected;
+    for (uint32_t k = 1; k < window; ++k) {
+      ooo.Insert(OooPermuted(base, k, window));
+    }
+    ++expected;
+    while (ooo.TakeIfSet(expected)) {
+      ++expected;
+      ++r.drained;
+    }
+    ooo.AdvanceBaseTo(expected);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double ops = static_cast<double>(rounds) * window;
+  r.ops_per_sec = secs > 0 ? ops / secs : 0;
+  return r;
+}
+
 }  // namespace
 }  // namespace lcmp
 
@@ -413,6 +489,31 @@ int main(int argc, char** argv) {
   const double speedup =
       fn_r.events_per_sec > 0 ? inline_r.events_per_sec / fn_r.events_per_sec : 0;
 
+  // IRN OoO-tracker section: identical synthetic arrival pattern through the
+  // old std::set tracker and the SeqWindow ring bitmap. The bitmap's timed
+  // loop must be allocation-free — that is the point of the replacement.
+  constexpr uint32_t kOooWindow = 2048;  // TransportConfig::ooo_window_segments
+  constexpr int kOooRounds = 2000;
+  RunOooSetLoop(kOooWindow, kOooRounds / 8);     // warm-up
+  RunOooBitmapLoop(kOooWindow, kOooRounds / 8);  // sizes the bitmap once
+  const OooResult ooo_set = RunOooSetLoop(kOooWindow, kOooRounds);
+  const OooResult ooo_bitmap = RunOooBitmapLoop(kOooWindow, kOooRounds);
+  if (ooo_set.drained != ooo_bitmap.drained) {
+    std::fprintf(stderr, "ooo checksum mismatch: set drained %llu, bitmap drained %llu\n",
+                 static_cast<unsigned long long>(ooo_set.drained),
+                 static_cast<unsigned long long>(ooo_bitmap.drained));
+    return 1;
+  }
+  // Reset() ran before the timed section, so any allocation here means the
+  // packet-path operations (Insert/TakeIfSet/AdvanceBaseTo) regressed.
+  if (ooo_bitmap.allocs != 0) {
+    std::fprintf(stderr, "SeqWindow hot path allocated %llu times (must be 0)\n",
+                 static_cast<unsigned long long>(ooo_bitmap.allocs));
+    return 1;
+  }
+  const double ooo_speedup =
+      ooo_set.ops_per_sec > 0 ? ooo_bitmap.ops_per_sec / ooo_set.ops_per_sec : 0;
+
   std::printf("events_hotpath: %llu events, population %d\n",
               static_cast<unsigned long long>(kEvents), kPopulation);
   std::printf("  std::function queue : %12.0f events/s  %.3f allocs/event\n",
@@ -432,6 +533,11 @@ int main(int argc, char** argv) {
     std::printf("  sharded x%d obs=%s  : %12.0f events/s  (%.2f%% vs sharded plain)\n", shards,
                 obs_mode.c_str(), sharded_obs.events_per_sec, sharded_overhead_pct);
   }
+  std::printf("  ooo set tracker     : %12.0f ops/s  %llu allocs\n", ooo_set.ops_per_sec,
+              static_cast<unsigned long long>(ooo_set.allocs));
+  std::printf("  ooo bitmap tracker  : %12.0f ops/s  %llu allocs  (%.2fx)\n",
+              ooo_bitmap.ops_per_sec, static_cast<unsigned long long>(ooo_bitmap.allocs),
+              ooo_speedup);
 
   char sharded_json[320] = "";
   if (shards > 1) {
@@ -457,13 +563,18 @@ int main(int argc, char** argv) {
       "  \"obs_mode\": \"%s\",\n"
       "  \"obs_queue\": {\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f},\n"
       "%s"
+      "  \"ooo_set\": {\"ops_per_sec\": %.0f, \"allocs\": %llu},\n"
+      "  \"ooo_bitmap\": {\"ops_per_sec\": %.0f, \"allocs\": %llu},\n"
+      "  \"ooo_speedup\": %.3f,\n"
       "  \"obs_overhead_pct\": %.3f\n"
       "}\n",
       static_cast<unsigned long long>(kEvents), kPopulation, shards, fn_r.events_per_sec,
       fn_r.allocs_per_event, inline_r.events_per_sec, inline_r.allocs_per_event,
       static_cast<unsigned long long>(counters.inline_events),
       static_cast<unsigned long long>(counters.heap_events), speedup, obs_mode.c_str(),
-      obs_r.events_per_sec, obs_r.allocs_per_event, sharded_json, obs_overhead_pct);
+      obs_r.events_per_sec, obs_r.allocs_per_event, sharded_json, ooo_set.ops_per_sec,
+      static_cast<unsigned long long>(ooo_set.allocs), ooo_bitmap.ops_per_sec,
+      static_cast<unsigned long long>(ooo_bitmap.allocs), ooo_speedup, obs_overhead_pct);
 
   if (!json_path.empty()) {
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {

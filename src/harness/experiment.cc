@@ -432,6 +432,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   net_config.paths.layers = config.path_layers;
   net_config.paths.drop_permille = config.layer_drop_permille;
   net_config.paths.seed = EffectiveTopoSeed(config);
+  LCMP_CHECK(config.fec_k == 0 || config.fec_m > 0);
+  net_config.dci_loss_rate = config.dci_loss_rate;
+  net_config.dci_burst_len = config.dci_burst_len;
+  net_config.fec_k = config.fec_k;
+  net_config.fec_m = config.fec_m;
   Network net(graph, net_config, MakePolicyFactory(config.policy, lcmp_eff));
 
   // Control plane provisioning (no-op for non-LCMP policies).
@@ -515,6 +520,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   tconfig.cc_inter = config.cc_inter;
   tconfig.cc_intra = config.cc_intra;
   tconfig.emulation_mode = config.emulation_mode;
+  // Either the first-class mode switch or the deprecated ooo_tolerance
+  // alias selects IRN (the transport ctor honors the alias too).
+  tconfig.reliability = config.reliability;
   tconfig.ooo_tolerance = config.ooo_tolerance;
   tconfig.max_inflight_bytes = config.max_inflight_bytes;
   Simulator& sim = net.sim();
@@ -612,6 +620,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.flows_requested = expected;
   result.retransmitted_packets = transport.retransmitted_packets();
   result.timeouts = transport.timeouts();
+  const DciTierStats dci_stats = net.CollectDciStats();
+  result.dci_lost_packets = dci_stats.lost_packets;
+  result.fec_repair_packets = dci_stats.repair_packets;
+  result.fec_recovered_packets = dci_stats.recovered_packets;
+  result.fec_unrecovered_packets = dci_stats.unrecovered_packets;
   result.events_processed = engine != nullptr ? engine->events_processed() : sim.events_processed();
   result.sim_end_time = engine != nullptr ? engine->end_time() : sim.now();
   result.multipath_pair_fraction = net.routes().MultipathPairFraction();

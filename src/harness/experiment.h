@@ -140,9 +140,19 @@ struct ExperimentConfig {
   uint64_t chaos_seed = 0;
   double chaos_rate = 20.0;        // fault episodes per simulated second
   int64_t chaos_window_ms = 300;   // injection window length
-  // Transport: IRN-style selective retransmission instead of Go-Back-N
-  // (the Sec. 7.5 flowlet extension's receiver).
+  // Transport loss recovery (DESIGN.md §15): Go-Back-N (RoCE default) or
+  // IRN selective retransmission with SACK-range NACKs.
+  ReliabilityMode reliability = ReliabilityMode::kGoBackN;
+  // Deprecated alias for reliability = irn; kept so existing sweep files
+  // and goldens keep parsing. Either switch selects IRN.
   bool ooo_tolerance = false;
+  // Lossy long-haul tier on every inter-DC link (DESIGN.md §15): standing
+  // Gilbert–Elliott corruption plus an optional k:m FEC shim at the DCI
+  // gateways. All-defaults keeps the tier off and digests unchanged.
+  double dci_loss_rate = 0.0;
+  double dci_burst_len = 1.0;
+  int fec_k = 0;
+  int fec_m = 0;
   // Lossless operation: hop-by-hop PFC on every switch (the ext_pfc
   // substrate experiment). Thresholds follow its long-haul operating point.
   bool pfc_enabled = false;
@@ -199,6 +209,11 @@ struct ExperimentResult {
   int flows_requested = 0;
   int64_t retransmitted_packets = 0;
   int64_t timeouts = 0;
+  // Lossy-DCI tier accounting (all zero when the tier is off).
+  int64_t dci_lost_packets = 0;
+  int64_t fec_repair_packets = 0;
+  int64_t fec_recovered_packets = 0;
+  int64_t fec_unrecovered_packets = 0;
   uint64_t events_processed = 0;
   TimeNs sim_end_time = 0;
   double multipath_pair_fraction = 0;  // topology statistic (Sec. 6.2.1)

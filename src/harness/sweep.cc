@@ -239,7 +239,44 @@ const std::vector<FieldEntry>& FieldTable() {
       LCMP_FIELD_DOUBLE("chaos_rate", chaos_rate),
       LCMP_FIELD_I64("chaos_window_ms", chaos_window_ms),
       // Transport / substrate.
+      {"reliability",
+       [](ExperimentConfig* c, const std::string& v, std::string* e) {
+         return ParseReliabilityMode(v, &c->reliability, e);
+       },
+       [](const ExperimentConfig& c) { return std::string(ReliabilityModeToken(c.reliability)); }},
       LCMP_FIELD_BOOL("ooo_tolerance", ooo_tolerance),
+      // Lossy long-haul tier (DESIGN.md §15).
+      LCMP_FIELD_DOUBLE("dci_loss_rate", dci_loss_rate),
+      LCMP_FIELD_DOUBLE("dci_burst_len", dci_burst_len),
+      LCMP_FIELD_INT("fec_k", fec_k),
+      LCMP_FIELD_INT("fec_m", fec_m),
+      // Composite FEC spec "k:m" (or "off"); echoes alongside fec_k/fec_m
+      // (re-applying both is idempotent).
+      {"fec",
+       [](ExperimentConfig* c, const std::string& v, std::string* e) {
+         if (v == "off" || v == "0") {
+           c->fec_k = 0;
+           c->fec_m = 0;
+           return true;
+         }
+         const size_t colon = v.find(':');
+         int k = 0;
+         int m = 0;
+         if (colon == std::string::npos || !ParseIntVal("fec", v.substr(0, colon), &k, e) ||
+             !ParseIntVal("fec", v.substr(colon + 1), &m, e) || k <= 0 || m <= 0) {
+           if (e != nullptr && e->empty()) {
+             *e = "fec expects k:m (positive integers) or off";
+           }
+           return false;
+         }
+         c->fec_k = k;
+         c->fec_m = m;
+         return true;
+       },
+       [](const ExperimentConfig& c) {
+         return c.fec_k > 0 ? std::to_string(c.fec_k) + ":" + std::to_string(c.fec_m)
+                            : std::string("off");
+       }},
       LCMP_FIELD_BOOL("pfc", pfc_enabled),
       LCMP_FIELD_I64("pfc_xoff_bytes", pfc_xoff_bytes),
       LCMP_FIELD_I64("pfc_xon_bytes", pfc_xon_bytes),

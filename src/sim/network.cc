@@ -136,6 +136,26 @@ void Network::BuildNodes(const NetworkConfig& config, const PolicyFactory& facto
       nodes_[static_cast<size_t>(l.a)]->port(pa).SetCrossShardChannel(ChannelFor(sa, sb));
       nodes_[static_cast<size_t>(l.b)]->port(pb).SetCrossShardChannel(ChannelFor(sb, sa));
     }
+    // Lossy long-haul tier: armed on both directions of every inter-DC
+    // link. The per-direction RNG seed depends only on the global seed and
+    // the link's graph identity — never on the shard layout — so which
+    // packets die is identical across --shards values.
+    const bool inter_dc = graph_.vertex(l.a).kind == VertexKind::kDciSwitch &&
+                          graph_.vertex(l.b).kind == VertexKind::kDciSwitch &&
+                          graph_.vertex(l.a).dc != graph_.vertex(l.b).dc;
+    if (inter_dc) {
+      DciLinkConfig dcfg;
+      dcfg.loss_rate = config.dci_loss_rate;
+      dcfg.burst_len = config.dci_burst_len;
+      dcfg.fec_k = config.fec_k;
+      dcfg.fec_m = config.fec_m;
+      if (dcfg.enabled()) {
+        dcfg.seed = Mix64(config.seed ^ (0xD0C1C0DEULL + 2 * static_cast<uint64_t>(li)));
+        nodes_[static_cast<size_t>(l.a)]->port(pa).EnableDciLink(dcfg);
+        dcfg.seed = Mix64(config.seed ^ (0xD0C1C0DEULL + 2 * static_cast<uint64_t>(li) + 1));
+        nodes_[static_cast<size_t>(l.b)]->port(pb).EnableDciLink(dcfg);
+      }
+    }
   }
   // Switch wiring and policies.
   for (NodeId id = 0; id < graph_.num_vertices(); ++id) {
@@ -347,6 +367,18 @@ std::vector<DirectedLinkRef> Network::InterDcDirectedLinks() const {
                        port_of_link_[static_cast<size_t>(li)].second)});
   }
   return out;
+}
+
+DciTierStats Network::CollectDciStats() const {
+  DciTierStats stats;
+  for (const DirectedLinkRef& ref : InterDcDirectedLinks()) {
+    stats.lost_packets += ref.port->dci_lost_packets();
+    stats.repair_packets += ref.port->fec_repair_packets();
+    stats.recovered_packets += ref.port->fec_recovered_packets();
+    stats.unrecovered_packets += ref.port->fec_unrecovered_packets();
+    stats.fec_groups += ref.port->fec_groups();
+  }
+  return stats;
 }
 
 std::string Network::DirectedLinkName(const DirectedLinkRef& ref) const {

@@ -35,6 +35,22 @@ struct NetworkConfig {
   int shards = 1;
   // Candidate-path strategy (plain downhill vs FatPaths-style layers).
   CandidatePathOptions paths;
+  // Lossy long-haul tier (DESIGN.md §15): applied to both directions of
+  // every inter-DC link. loss_rate == 0 && fec_k == 0 leaves the ports
+  // untouched (bit-identical to builds without the tier).
+  double dci_loss_rate = 0.0;
+  double dci_burst_len = 1.0;
+  int fec_k = 0;
+  int fec_m = 0;
+};
+
+// Fleet-wide lossy-DCI tier counters, summed over all inter-DC ports.
+struct DciTierStats {
+  int64_t lost_packets = 0;       // wire corruptions (DATA + control + repairs)
+  int64_t repair_packets = 0;     // FEC repair symbols transmitted
+  int64_t recovered_packets = 0;  // corrupted DATA reconstructed by FEC
+  int64_t unrecovered_packets = 0;
+  int64_t fec_groups = 0;
 };
 
 // Identifies one direction of a graph link, for utilization reporting.
@@ -99,6 +115,10 @@ class Network {
 
   // All directed inter-DC links (DCI<->DCI), for utilization reports.
   std::vector<DirectedLinkRef> InterDcDirectedLinks() const;
+
+  // Sums the lossy-DCI tier counters over every inter-DC port (all zeros
+  // when the tier is off). Call after the run has quiesced.
+  DciTierStats CollectDciStats() const;
 
   // Human-readable "dc1.dci->dc2.dci" label for a directed link.
   std::string DirectedLinkName(const DirectedLinkRef& ref) const;

@@ -17,10 +17,14 @@
 namespace lcmp {
 
 enum class PacketType : uint8_t {
-  kData,  // RDMA payload segment
-  kAck,   // cumulative acknowledgment
-  kNack,  // out-of-order notification, triggers Go-Back-N
-  kCnp,   // DCQCN congestion notification packet
+  kData,       // RDMA payload segment
+  kAck,        // cumulative acknowledgment
+  kNack,       // out-of-order notification; seq = hole start, and in IRN
+               // mode payload_bytes = SACK-style hole end (exclusive)
+  kCnp,        // DCQCN congestion notification packet
+  kFecRepair,  // erasure-coding repair symbol on a DCI link (sim/port.cc):
+               // consumes link bandwidth/buffer, absorbed at the far
+               // gateway, never routed or delivered to a transport
 };
 
 // Per-hop telemetry record for HPCC (queue length, link rate, cumulative

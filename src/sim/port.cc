@@ -48,10 +48,177 @@ bool Port::ShouldMarkEcn() {
   return rng_->NextDouble() < frac * config_.ecn_pmax;
 }
 
+namespace {
+// How long a partially filled FEC group may hold a corrupted packet before
+// the encoder pads it out and closes it anyway (traffic-tail flush; on a
+// loaded DCI groups close by count long before this fires).
+constexpr TimeNs kFecGroupFlushNs = Microseconds(500);
+}  // namespace
+
 void Port::ReleaseIntStack(Packet& pkt) {
   if (pkt.int_stack != kInvalidIntHandle && owner_->int_pool() != nullptr) {
     owner_->int_pool()->ReleaseFrom(pkt);
   }
+}
+
+void Port::EnableDciLink(const DciLinkConfig& config) {
+  LCMP_CHECK(config.loss_rate >= 0.0 && config.loss_rate < 1.0);
+  LCMP_CHECK(config.burst_len >= 1.0);
+  LCMP_CHECK(config.fec_k >= 0 && config.fec_m >= 0);
+  LCMP_CHECK(config.fec_k == 0 || config.fec_m > 0);
+  if (!config.enabled()) {
+    return;
+  }
+  dci_ = std::make_unique<DciState>(config.seed);
+  if (config.loss_rate > 0.0) {
+    // Gilbert–Elliott: every packet in the bad state is corrupted. Mean
+    // burst length = 1 / p_exit; solving the stationary bad-state fraction
+    // for the requested long-run loss rate gives p_enter.
+    dci_->p_exit = 1.0 / config.burst_len;
+    dci_->p_enter = dci_->p_exit * config.loss_rate / (1.0 - config.loss_rate);
+  }
+  dci_->fec_k = config.fec_k;
+  dci_->fec_m = config.fec_m;
+  if (config.fec_k > 0) {
+    dci_->held.reserve(static_cast<size_t>(config.fec_k));
+  }
+}
+
+bool Port::RollDciLoss() {
+  DciState& d = *dci_;
+  if (!d.bad) {
+    if (d.rng.NextDouble() >= d.p_enter) {
+      return false;
+    }
+    d.bad = true;  // the burst's first corrupted packet is this one
+  }
+  if (d.rng.NextDouble() < d.p_exit) {
+    d.bad = false;
+  }
+  return true;
+}
+
+void Port::DropCorrupted(Packet& pkt) {
+  ++dropped_packets_;
+  m_drops_->Inc();
+  LCMP_TRACE(obs::TraceEv::kDrop, sim_->now(), pkt.flow_id, owner_->id(), index_, queue_bytes_);
+  ReleaseIntStack(pkt);
+}
+
+void Port::CloseFecGroup() {
+  DciState& d = *dci_;
+  ++d.groups;
+  ++d.group_epoch;  // invalidates the pending flush timer
+  // Repair symbols ride the same wire: they consume serialization time and
+  // buffer space, and the loss process corrupts them like anything else.
+  int surviving_repairs = 0;
+  const uint32_t repair_size = d.group_max_size > 0 ? d.group_max_size : kControlPacketBytes;
+  for (int i = 0; i < d.fec_m; ++i) {
+    bool corrupted = degrade_.loss_rate > 0 && rng_->NextDouble() < degrade_.loss_rate;
+    if (d.p_enter > 0 && RollDciLoss()) {
+      corrupted = true;
+    }
+    if (corrupted) {
+      ++d.lost_packets;
+      continue;
+    }
+    Packet repair;
+    repair.type = PacketType::kFecRepair;
+    repair.size_bytes = repair_size;
+    repair.src = owner_->id();
+    repair.ingress_port = kInvalidPort;
+    if (EnqueueCommitted(std::move(repair))) {
+      ++surviving_repairs;
+      ++d.repair_packets;
+    }
+  }
+  if (!d.held.empty()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+    // Any k of the group's k+m symbols reconstruct it: the corrupted DATA
+    // packets are recoverable iff the surviving repairs cover them.
+    if (static_cast<int>(d.held.size()) <= surviving_repairs) {
+      static obs::Counter* m_recovered = reg.GetCounter("lcmp.fec.recovered_packets");
+      for (Packet& pkt : d.held) {
+        ++d.recovered;
+        m_recovered->Inc();
+        // Reconstructed at the decoder once the last repair symbol lands:
+        // the packet re-enters the queue behind the repairs and reaches the
+        // peer through the normal delivery path (late == reordered, which
+        // is exactly what the IRN tier absorbs).
+        EnqueueCommitted(std::move(pkt));
+      }
+    } else {
+      static obs::Counter* m_unrecovered = reg.GetCounter("lcmp.fec.unrecovered_packets");
+      for (Packet& pkt : d.held) {
+        ++d.unrecovered;
+        m_unrecovered->Inc();
+        DropCorrupted(pkt);
+      }
+    }
+    d.held.clear();
+  }
+  d.group_data = 0;
+  d.group_max_size = 0;
+}
+
+bool Port::DciAdmit(Packet& pkt) {
+  DciState& d = *dci_;
+  // Both corruption processes roll independently of each other and of the
+  // packet's fate, so arming FEC never perturbs which packets the fault
+  // injector corrupts (and loss_rate == 0 draws nothing).
+  bool corrupted = degrade_.loss_rate > 0 && rng_->NextDouble() < degrade_.loss_rate;
+  if (d.p_enter > 0 && RollDciLoss()) {
+    corrupted = true;
+  }
+  if (d.fec_k > 0 && pkt.type == PacketType::kData) {
+    ++d.group_data;
+    d.group_max_size = std::max(d.group_max_size, pkt.size_bytes);
+    if (d.group_data == 1) {
+      // Traffic can stop mid-group; a one-shot flush bounds how long a
+      // corrupted packet waits for reconstruction.
+      const uint64_t epoch = d.group_epoch;
+      auto flush = [this, epoch] {
+        if (dci_ != nullptr && dci_->group_epoch == epoch && dci_->group_data > 0) {
+          CloseFecGroup();
+        }
+      };
+      static_assert(InlineEvent::kFitsInline<decltype(flush)>,
+                    "FEC flush closure must stay allocation-free");
+      sim_->Schedule(kFecGroupFlushNs, std::move(flush));
+    }
+    if (corrupted) {
+      ++d.lost_packets;
+      static obs::Counter* m_lost =
+          obs::MetricsRegistry::Instance().GetCounter("lcmp.dci.lost_packets");
+      m_lost->Inc();
+      // Held for reconstruction. The PFC ingress charge is refunded by the
+      // caller (we report "not accepted"); clearing the tag keeps the
+      // dequeue hook from crediting it a second time after re-injection.
+      pkt.ingress_port = kInvalidPort;
+      d.held.push_back(std::move(pkt));
+      if (d.group_data >= d.fec_k) {
+        CloseFecGroup();
+      }
+      return false;
+    }
+    if (d.group_data >= d.fec_k) {
+      // Close after committing this packet so the repairs serialize behind
+      // the group they protect.
+      const bool accepted = EnqueueCommitted(std::move(pkt));
+      CloseFecGroup();
+      return accepted;
+    }
+    return EnqueueCommitted(std::move(pkt));
+  }
+  if (corrupted) {
+    ++d.lost_packets;
+    static obs::Counter* m_lost =
+        obs::MetricsRegistry::Instance().GetCounter("lcmp.dci.lost_packets");
+    m_lost->Inc();
+    DropCorrupted(pkt);
+    return false;
+  }
+  return EnqueueCommitted(std::move(pkt));
 }
 
 bool Port::Enqueue(Packet pkt) {
@@ -62,6 +229,9 @@ bool Port::Enqueue(Packet pkt) {
     ReleaseIntStack(pkt);
     return false;
   }
+  if (dci_ != nullptr) {
+    return DciAdmit(pkt);
+  }
   // Degraded-link random loss (fault injection): the packet is corrupted on
   // the wire, modeled as a drop before it ever occupies buffer space. The
   // RNG is only consulted while a degradation is active, so fault-free runs
@@ -71,6 +241,14 @@ bool Port::Enqueue(Packet pkt) {
     m_drops_->Inc();
     LCMP_TRACE(obs::TraceEv::kDrop, sim_->now(), pkt.flow_id, owner_->id(), index_, queue_bytes_);
     ReleaseIntStack(pkt);
+    return false;
+  }
+  return EnqueueCommitted(std::move(pkt));
+}
+
+bool Port::EnqueueCommitted(Packet pkt) {
+  if (!up_) {  // internal re-injections can race a link cut
+    DropCorrupted(pkt);
     return false;
   }
   if (queue_bytes_ + pkt.size_bytes > config_.buffer_bytes) {
@@ -138,6 +316,13 @@ void Port::StartTransmissionIfIdle() {
 
 void Port::OnTransmissionDone(Packet pkt) {
   transmitting_ = false;
+  if (pkt.type == PacketType::kFecRepair) {
+    // Repair symbols are absorbed by the far gateway's decoder: they have
+    // paid their serialization time (the whole point — FEC trades DCI
+    // bandwidth for loss ride-through) but are never routed or delivered.
+    StartTransmissionIfIdle();
+    return;
+  }
   // Packet is now on the wire; it arrives after the propagation delay even if
   // the port goes down in the meantime (light already in the fiber).
   LCMP_CHECK(peer_ != nullptr);

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -39,6 +41,23 @@ struct LinkDegrade {
   TimeNs extra_delay_ns = 0;  // added one-way propagation delay
   double loss_rate = 0.0;     // iid per-packet corruption/drop probability
   bool active() const { return rate_factor != 1.0 || extra_delay_ns != 0 || loss_rate != 0.0; }
+};
+
+// First-class lossy long-haul tier on DCI links (DESIGN.md §15), distinct
+// from the fault-injection LinkDegrade above: a standing stochastic
+// loss/corruption process (Gilbert–Elliott bursts) plus an optional
+// Reed–Solomon-style FEC shim that encodes groups of k DATA packets into m
+// repair symbols at the source gateway and reconstructs corrupted packets at
+// the far gateway. The per-port RNG is seeded from the topology-independent
+// stream (global seed + link index + direction), so shard layout never
+// changes which packets die.
+struct DciLinkConfig {
+  double loss_rate = 0.0;  // long-run packet corruption probability
+  double burst_len = 1.0;  // mean corruption-burst length in packets (>= 1)
+  int fec_k = 0;           // DATA packets per FEC group (0 = FEC off)
+  int fec_m = 0;           // repair symbols per group
+  uint64_t seed = 0;
+  bool enabled() const { return loss_rate > 0.0 || fec_k > 0; }
 };
 
 class Port {
@@ -79,6 +98,19 @@ class Port {
   void SetDegrade(const LinkDegrade& degrade);
   const LinkDegrade& degrade() const { return degrade_; }
 
+  // Arms the lossy-DCI tier on this port (Network wires it onto both
+  // directions of every inter-DC link when configured). Must be called
+  // before the first Enqueue; allocates the decoder state up front so the
+  // packet path stays allocation-free.
+  void EnableDciLink(const DciLinkConfig& config);
+
+  // --- lossy-DCI statistics (0 when the tier is off) ---
+  int64_t dci_lost_packets() const { return dci_ != nullptr ? dci_->lost_packets : 0; }
+  int64_t fec_repair_packets() const { return dci_ != nullptr ? dci_->repair_packets : 0; }
+  int64_t fec_recovered_packets() const { return dci_ != nullptr ? dci_->recovered : 0; }
+  int64_t fec_unrecovered_packets() const { return dci_ != nullptr ? dci_->unrecovered : 0; }
+  int64_t fec_groups() const { return dci_ != nullptr ? dci_->groups : 0; }
+
   // PFC pause/resume: a paused port finishes the in-flight packet but does
   // not start new transmissions until resumed.
   void SetPaused(bool paused);
@@ -118,11 +150,44 @@ class Port {
   int64_t flushed_bytes() const { return flushed_bytes_; }
 
  private:
+  // Lossy-DCI tier state: Gilbert–Elliott channel + one open FEC group.
+  // Heap-held so the common (non-DCI) port stays slim.
+  struct DciState {
+    Rng rng;
+    double p_enter = 0.0;  // good -> bad transition probability per packet
+    double p_exit = 1.0;   // bad -> good transition probability per packet
+    bool bad = false;
+    int fec_k = 0;
+    int fec_m = 0;
+    int group_data = 0;           // DATA packets counted into the open group
+    uint32_t group_max_size = 0;  // largest DATA wire size in the group
+    uint64_t group_epoch = 0;     // invalidates stale flush timers
+    std::vector<Packet> held;     // corrupted DATA awaiting reconstruction
+    int64_t lost_packets = 0;     // wire corruptions (pre-FEC outcome)
+    int64_t repair_packets = 0;   // repair symbols that made it onto the wire
+    int64_t recovered = 0;        // corrupted DATA reconstructed by FEC
+    int64_t unrecovered = 0;      // corrupted DATA beyond the code's budget
+    int64_t groups = 0;
+    explicit DciState(uint64_t seed) : rng(seed) {}
+  };
+
   void StartTransmissionIfIdle();
   void OnTransmissionDone(Packet pkt);
   bool ShouldMarkEcn();
   // Returns a dropped/flushed packet's INT side-buffer (if any) to the pool.
   void ReleaseIntStack(Packet& pkt);
+  // Tail of Enqueue after all loss decisions: buffer check, ECN, ledger,
+  // queue. Internal re-injections (repairs, reconstructed packets) enter
+  // here so they never re-roll the loss process.
+  bool EnqueueCommitted(Packet pkt);
+  // One Gilbert–Elliott step; true when the current packet is corrupted.
+  bool RollDciLoss();
+  // Admission through the lossy tier. Returns false when the packet was
+  // consumed (held for FEC reconstruction or dropped as corrupted).
+  bool DciAdmit(Packet& pkt);
+  // Emits the group's repair symbols, reconstructs or drops held packets.
+  void CloseFecGroup();
+  void DropCorrupted(Packet& pkt);
 
   Simulator* sim_;
   Rng* rng_;
@@ -145,6 +210,7 @@ class Port {
   TimeNs pause_started_ = 0;
   TimeNs paused_ns_ = 0;
   DequeueHook dequeue_hook_;
+  std::unique_ptr<DciState> dci_;  // null unless the lossy-DCI tier is armed
 
   int64_t tx_bytes_ = 0;
   int64_t tx_packets_ = 0;

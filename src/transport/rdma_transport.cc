@@ -63,6 +63,11 @@ RdmaTransport::RdmaTransport(Network* net, const TransportConfig& config,
       config_(config),
       on_complete_(std::move(on_complete)),
       oracle_(&net->graph()) {
+  // Deprecated alias: ooo_tolerance was the bench hack that grew into the
+  // IRN mode; configs that still set it get the first-class implementation.
+  if (config_.ooo_tolerance) {
+    config_.reliability = ReliabilityMode::kIrn;
+  }
   LCMP_CHECK(CcRegistry::Instance().Known(config_.cc.inter));
   LCMP_CHECK(CcRegistry::Instance().Known(config_.cc.intra));
   // Emulation mode mutates per-host pipeline cursors at runtime; it is a
@@ -112,7 +117,19 @@ void RdmaTransport::RegisterFlow(const FlowSpec& spec) {
   // runtime lookups are read-only.
   Sender& s = senders_[spec.id];
   s.spec = spec;
-  receivers_[spec.id];
+  Receiver& r = receivers_[spec.id];
+  if (Irn()) {
+    // Bitmap windows are the only transport state that allocates; doing it
+    // here keeps the packet hot path allocation-free and shard-safe (setup
+    // is single-threaded, events only flip bits).
+    const uint32_t window = static_cast<uint32_t>(std::max(config_.ooo_window_segments, 1));
+    if (!s.rtx.allocated()) {
+      s.rtx.Reset(0, window);
+    }
+    if (!r.ooo.allocated()) {
+      r.ooo.Reset(0, window);
+    }
+  }
   oracle_.Metric(spec.src, spec.dst);
   // Split cross-DC flows also consult the per-segment metrics at StartFlow
   // (which runs on the flow's home shard): warm those cache rows here too.
@@ -240,7 +257,8 @@ void RdmaTransport::PaceNext(FlowId flow) {
   if (!s.started || s.done || s.pacing_active) {
     return;
   }
-  if (s.next_seq >= s.total_packets) {
+  const bool has_rtx = s.rtx.count() > 0;
+  if (!has_rtx && s.next_seq >= s.total_packets) {
     return;  // everything sent; waiting for ACKs (RTO guards losses)
   }
   LCMP_PROFILE_SCOPE("transport.pace");
@@ -254,15 +272,29 @@ void RdmaTransport::PaceNext(FlowId flow) {
   }
   // Bounded in-flight window: stall without rescheduling — the ACK / NACK /
   // RTO handlers all re-enter PaceNext, so sending resumes ACK-clocked the
-  // moment the window reopens.
-  if (config_.max_inflight_bytes > 0 &&
-      static_cast<int64_t>(s.next_seq - s.acked) * config_.mtu_payload >=
-          config_.max_inflight_bytes) {
+  // moment the window reopens. Retransmissions are exempt: they lie inside
+  // [acked, next_seq), whose bytes are already charged to the window, so
+  // re-sending them must not shrink the effective window (double-counting
+  // retransmitted bytes would stall the flow permanently at small windows).
+  if (!has_rtx && config_.max_inflight_bytes > 0 &&
+      InflightBytes(s) >= config_.max_inflight_bytes) {
     return;
   }
 
-  Packet pkt = MakeDataPacket(s, s.next_seq);
-  ++s.next_seq;
+  uint32_t seq;
+  if (has_rtx) {
+    // Selective retransmissions drain ahead of new data, at the same paced
+    // rate (IRN recovers through the normal send path, not an unpaced
+    // side-channel blast).
+    seq = s.rtx.PopFirst();
+    s.retransmits.fetch_add(1, std::memory_order_relaxed);
+    retransmitted_packets_.fetch_add(1, std::memory_order_relaxed);
+    TransportMetrics::Get().retransmits->Inc();
+  } else {
+    seq = s.next_seq;
+    ++s.next_seq;
+  }
+  Packet pkt = MakeDataPacket(s, seq);
   data_packets_sent_.fetch_add(1, std::memory_order_relaxed);
   TransportMetrics::Get().data_sent->Inc();
 
@@ -305,29 +337,14 @@ Packet RdmaTransport::MakeDataPacket(const Sender& s, uint32_t seq) const {
   return pkt;
 }
 
-void RdmaTransport::SendSelectiveRetransmit(FlowId flow, uint32_t seq) {
-  auto it = senders_.find(flow);
-  if (it == senders_.end() || it->second.done) {
-    return;
-  }
-  Sender& s = it->second;
-  if (seq >= s.total_packets || seq < s.acked) {
-    return;  // stale request
-  }
-  s.retransmits.fetch_add(1, std::memory_order_relaxed);
-  retransmitted_packets_.fetch_add(1, std::memory_order_relaxed);
-  data_packets_sent_.fetch_add(1, std::memory_order_relaxed);
-  TransportMetrics::Get().retransmits->Inc();
-  TransportMetrics::Get().data_sent->Inc();
-  Packet pkt = MakeDataPacket(s, seq);
-  HostNode& host = net_->host(s.spec.src);
-  if (config_.emulation_mode) {
-    HostNode* hp = &host;
-    const TimeNs slot = EmuPipelineSlot(emu_tx_ready_, s.spec.src);
-    net_->sim().Schedule(slot - net_->sim().now(),
-                         [hp, pkt]() mutable { hp->Send(std::move(pkt)); });
-  } else {
-    host.Send(std::move(pkt));
+void RdmaTransport::QueueRetransmitRange(Sender& s, uint32_t lo, uint32_t hi) {
+  // Clamp to the live in-flight span: nothing below the cumulative ACK is
+  // missing, nothing at/after next_seq has been transmitted yet.
+  lo = std::max(lo, s.acked);
+  hi = std::min(hi, s.next_seq);
+  s.rtx.AdvanceBaseTo(s.acked);
+  for (uint32_t seq = lo; seq < hi; ++seq) {
+    s.rtx.Insert(seq);  // bitmap dedup: already-pending segments are no-ops
   }
 }
 
@@ -343,13 +360,32 @@ void RdmaTransport::OnRtoScan(FlowId flow) {
   Simulator& sim = net_->sim_of(s.spec.src);
   if (s.acked == s.acked_at_last_rto && s.next_seq > s.acked) {
     LCMP_PROFILE_SCOPE("transport.rto_recovery");
-    // No progress across one full RTO with data outstanding: Go-Back-N.
+    // No progress across one full RTO with data outstanding.
     timeouts_.fetch_add(1, std::memory_order_relaxed);
-    s.retransmits.fetch_add(s.next_seq - s.acked, std::memory_order_relaxed);
-    retransmitted_packets_.fetch_add(s.next_seq - s.acked, std::memory_order_relaxed);
     TransportMetrics::Get().timeouts->Inc();
-    TransportMetrics::Get().retransmits->Add(s.next_seq - s.acked);
-    s.next_seq = s.acked;
+    if (Irn()) {
+      // Selective repeat: probe the first unacked segment instead of
+      // re-blasting the window. Its delivery either fills the hole (the
+      // cumulative ACK then advances past everything the receiver buffered)
+      // or arrives as a duplicate whose ACK reports the next hole — and the
+      // receiver NACKs remaining holes on every arrival, re-arming the
+      // selective path. Pending rtx entries are stale by one RTO; rebuild
+      // from the probe.
+      s.rtx.ClearAll();
+      s.rtx.AdvanceBaseTo(s.acked);
+      QueueRetransmitRange(s, s.acked, s.acked + 1);
+      // The epoch guard must not swallow the next NACK for this hole: the
+      // timeout proves the previous request (or its repair) was lost.
+      s.rtx_epoch_lo = UINT32_MAX;
+      s.rtx_epoch_hi = 0;
+    } else {
+      // Go-Back-N: rewind to the cumulative ACK and resend everything.
+      s.retransmits.fetch_add(s.next_seq - s.acked, std::memory_order_relaxed);
+      retransmitted_packets_.fetch_add(s.next_seq - s.acked, std::memory_order_relaxed);
+      TransportMetrics::Get().retransmits->Add(s.next_seq - s.acked);
+      s.next_seq = s.acked;
+      s.rtx_epoch_lo = UINT32_MAX;
+    }
     const int64_t rate_before = obs::TraceEnabled() ? s.cc->rate_bps() : 0;
     s.cc->OnTimeout(sim.now());
     LCMP_TRACE(obs::TraceEv::kCcRateChange, sim.now(), flow, s.spec.src, kInvalidPort,
@@ -390,6 +426,11 @@ void RdmaTransport::ProcessPacket(NodeId host, Packet pkt) {
     case PacketType::kCnp:
       HandleCnp(pkt);
       break;
+    case PacketType::kFecRepair:
+      // Repair symbols are absorbed at the receiving DCI gateway and never
+      // reach a host; tolerate one anyway (degenerate single-switch topos).
+      net_->int_pool().ReleaseFrom(pkt);
+      break;
   }
 }
 
@@ -405,7 +446,10 @@ void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
   Simulator& sim = net_->sim_of(host);
   HostNode& h = net_->host(host);
 
-  auto reply = [&](PacketType type, uint32_t seq) {
+  // NACKs reuse payload_bytes (unused on control packets) as the SACK-style
+  // hole end: the sender retransmits exactly [seq, hole_end). hole_end == 0
+  // (Go-Back-N NACKs) means "no range information".
+  auto reply = [&](PacketType type, uint32_t seq, uint32_t hole_end = 0) {
     Packet out;
     out.type = type;
     out.key = ReverseKey(pkt.key);
@@ -413,6 +457,7 @@ void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
     out.src = pkt.dst;
     out.dst = pkt.src;
     out.seq = seq;
+    out.payload_bytes = hole_end;
     out.size_bytes = kControlPacketBytes;
     out.sent_ts = pkt.sent_ts;  // echoed for sender RTT measurement
     if (type == PacketType::kAck) {
@@ -447,12 +492,31 @@ void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
   if (pkt.seq == r.expected_seq) {
     ++r.expected_seq;
     r.received_bytes += pkt.payload_bytes;
-    // OoO mode: drain buffered segments that are now in sequence.
-    while (!r.ooo.empty() && *r.ooo.begin() == r.expected_seq) {
-      r.ooo.erase(r.ooo.begin());
-      ++r.expected_seq;
+    // IRN: drain buffered segments that are now in sequence (bit test +
+    // clear per segment, no tree walk, no frees).
+    if (Irn()) {
+      while (r.ooo.TakeIfSet(r.expected_seq)) {
+        ++r.expected_seq;
+      }
+      r.ooo.AdvanceBaseTo(r.expected_seq);
     }
     reply(PacketType::kAck, r.expected_seq);
+    // Holes left behind the drained run keep the selective path armed: the
+    // sender learns the next missing range without waiting for another
+    // out-of-order arrival (lost *retransmissions* would otherwise only be
+    // recovered by RTO probes, one hole per timeout).
+    if (Irn() && sim.now() - r.last_nack >= config_.nack_min_interval) {
+      if (r.ooo.count() > 0) {
+        r.last_nack = sim.now();
+        reply(PacketType::kNack, r.expected_seq, r.ooo.FirstSet());
+      } else if (r.expected_seq < r.ooo_overflow_hi) {
+        // The window overflowed earlier and has now drained: everything up
+        // to the overflow mark was discarded unbuffered, so keep requesting
+        // that tail instead of degrading to one RTO probe per segment.
+        r.last_nack = sim.now();
+        reply(PacketType::kNack, r.expected_seq, r.ooo_overflow_hi);
+      }
+    }
     auto sit = senders_.find(id);
     if (sit != senders_.end() && r.received_bytes >= sit->second.spec.size_bytes) {
       // Full payload delivered in order: the flow is complete.
@@ -471,16 +535,24 @@ void RdmaTransport::HandleData(NodeId host, Packet& pkt) {
       }
     }
   } else if (pkt.seq > r.expected_seq) {
-    if (config_.ooo_tolerance) {
-      // IRN-style lightweight OoO tracking: buffer the segment (bounded
-      // window) and ask for a *selective* retransmission of the hole.
-      if (r.ooo.size() < static_cast<size_t>(config_.ooo_window_segments) &&
-          r.ooo.insert(pkt.seq).second) {
+    if (Irn()) {
+      // IRN lightweight OoO tracking: buffer the segment in the bitmap
+      // window (out-of-window segments are dropped and re-sent later) and
+      // request a *selective* retransmission of the first hole,
+      // [expected_seq, first buffered segment).
+      if (r.ooo.Insert(pkt.seq)) {
         r.received_bytes += pkt.payload_bytes;
+      } else {
+        // Out of window: discarded, but remember how far the sender got so
+        // the in-order path can re-request the tail once the window drains.
+        r.ooo_overflow_hi = std::max(r.ooo_overflow_hi, pkt.seq + 1);
       }
       if (sim.now() - r.last_nack >= config_.nack_min_interval) {
         r.last_nack = sim.now();
-        reply(PacketType::kNack, r.expected_seq);
+        // If the window overflowed and nothing is buffered, everything up to
+        // this arrival is missing.
+        const uint32_t hole_end = r.ooo.count() > 0 ? r.ooo.FirstSet() : pkt.seq;
+        reply(PacketType::kNack, r.expected_seq, hole_end);
       }
       // A fully buffered tail can complete the flow once the hole fills; the
       // in-order branch above performs the drain and the completion check.
@@ -512,6 +584,9 @@ void RdmaTransport::HandleAck(Packet& pkt) {
     if (s.next_seq < s.acked) {
       s.next_seq = s.acked;  // cumulative ACK outran a Go-Back-N rewind
     }
+    // Pending selective retransmits the cumulative ACK has passed are no
+    // longer missing.
+    s.rtx.AdvanceBaseTo(s.acked);
   }
   const TimeNs rtt = sim.now() - pkt.sent_ts;
   if (rtt > 0) {
@@ -548,15 +623,44 @@ void RdmaTransport::HandleNack(const Packet& pkt) {
   nacks_.fetch_add(1, std::memory_order_relaxed);
   TransportMetrics::Get().nacks->Inc();
   Sender& s = it->second;
+  const TimeNs now = net_->sim_of(s.spec.src).now();
   if (pkt.seq > s.acked) {
     s.acked = pkt.seq;
-    s.last_progress = net_->sim_of(s.spec.src).now();
+    s.last_progress = now;
+    s.rtx.AdvanceBaseTo(s.acked);
   }
-  if (config_.ooo_tolerance) {
-    // Selective retransmission: resend only the hole the receiver reported.
-    SendSelectiveRetransmit(pkt.flow_id, pkt.seq);
-  } else if (pkt.seq < s.next_seq) {
+  // Retransmit-epoch guard: NACKs for one gap arrive once per received
+  // packet (paced only by nack_min_interval, typically far below the
+  // long-haul RTT), but a retransmission needs a full RTT to take effect.
+  // Honoring every duplicate meant Go-Back-N re-blasted the same window
+  // several times per loss; one epoch per hole per RTT.
+  const TimeNs epoch = s.srtt > 0 ? s.srtt : s.base_rtt;
+  const bool same_gap = pkt.seq == s.rtx_epoch_lo && now - s.rtx_epoch_time < epoch;
+  if (Irn()) {
+    // SACK range [seq, payload_bytes); legacy range-free NACKs ask for
+    // just the hole-start segment.
+    const uint32_t hole_end = std::max(pkt.payload_bytes, pkt.seq + 1);
+    uint32_t lo = pkt.seq;
+    const bool in_epoch = s.rtx_epoch_lo != UINT32_MAX && now - s.rtx_epoch_time < epoch;
+    if (in_epoch) {
+      // Within one RTT of the last request, everything below the epoch's
+      // high-water mark is already queued or in flight; re-requesting it
+      // would duplicate a full pipe of retransmissions per NACK. Only the
+      // part of the range above the mark is new.
+      lo = std::max(lo, s.rtx_epoch_hi);
+    } else {
+      s.rtx_epoch_lo = pkt.seq;
+      s.rtx_epoch_time = now;
+      s.rtx_epoch_hi = pkt.seq;  // expired: a still-open hole is fair game
+    }
+    if (lo < hole_end) {
+      s.rtx_epoch_hi = std::max(s.rtx_epoch_hi, hole_end);
+      QueueRetransmitRange(s, lo, hole_end);
+    }
+  } else if (pkt.seq < s.next_seq && !same_gap) {
     // Go-Back-N: rewind to the receiver's hole and resend everything after.
+    s.rtx_epoch_lo = pkt.seq;
+    s.rtx_epoch_time = now;
     s.retransmits.fetch_add(s.next_seq - pkt.seq, std::memory_order_relaxed);
     retransmitted_packets_.fetch_add(s.next_seq - pkt.seq, std::memory_order_relaxed);
     s.next_seq = pkt.seq;

@@ -23,7 +23,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <set>
 #include <unordered_map>
 
 #include "sim/network.h"
@@ -31,6 +30,8 @@
 #include "transport/cc/cc_registry.h"
 #include "transport/cc/segmented_cc.h"
 #include "transport/flow.h"
+#include "transport/reliability.h"
+#include "transport/seq_window.h"
 
 namespace lcmp {
 
@@ -68,14 +69,21 @@ struct TransportConfig {
   // is observable (DESIGN.md §14).
   int64_t max_inflight_bytes = 0;
 
-  // Out-of-order tolerance (the paper's Sec. 7.5 future direction, IRN-style
-  // "lightweight OoO tracking"): the receiver buffers out-of-order segments
-  // in a bounded window and NACKs request *selective* retransmission of the
-  // hole instead of triggering Go-Back-N. Enables flowlet-level steering
-  // without the throughput collapse commodity RNICs suffer on reordering.
+  // Loss/reorder recovery scheme (transport/reliability.h, DESIGN.md §15).
+  // kGoBackN reproduces commodity RNICs (OOO arrival == loss, rewind to the
+  // hole); kIrn is selective repeat: the receiver tracks out-of-order
+  // segments in a fixed bitmap window, NACKs carry SACK-style
+  // [hole_start, hole_end) ranges, and the sender retransmits exactly the
+  // missing segments through a paced retransmit queue. IRN enables
+  // flowlet/per-packet steering and lossy long-haul links without the
+  // throughput collapse Go-Back-N suffers on reordering.
+  ReliabilityMode reliability = ReliabilityMode::kGoBackN;
+  // Deprecated alias for reliability == kIrn (the original bench hack's
+  // flag); honored so existing configs and sweep axes keep working.
   bool ooo_tolerance = false;
-  // Maximum number of buffered out-of-order segments per flow; overflow
-  // falls back to dropping the segment (it is re-sent on a later NACK).
+  // Receiver OOO window / sender retransmit window, in segments (rounded up
+  // to a power of two). Segments beyond the window are dropped and re-sent
+  // on a later NACK or RTO.
   int ooo_window_segments = 2048;
 
   // "Emulation mode" reproduces the paper's SoftRoCE/Mininet testbed: extra
@@ -157,6 +165,17 @@ class RdmaTransport {
     // period follows the adaptive `rto` via Simulator::SetTimerInterval.
     Simulator::TimerId rto_timer = Simulator::kInvalidTimer;
     uint32_t acked_at_last_rto = 0;  // progress snapshot at the last scan
+    // IRN only: pending selective retransmits (base tracks `acked`). Sized
+    // at registration; retransmissions drain through PaceNext at the CC
+    // rate, ahead of new data.
+    SeqWindow rtx;
+    // Retransmit-epoch guard: the last NACK hole start honored and when.
+    // Duplicate requests for the same hole within one RTT are suppressed —
+    // in both modes (a Go-Back-N rewind re-sends a full window; repeating it
+    // per duplicate NACK multiplies the blast).
+    uint32_t rtx_epoch_lo = UINT32_MAX;
+    uint32_t rtx_epoch_hi = 0;  // IRN: high-water of ranges requested this epoch
+    TimeNs rtx_epoch_time = -Seconds(1);
   };
   struct Receiver {
     uint32_t expected_seq = 0;
@@ -164,8 +183,16 @@ class RdmaTransport {
     TimeNs last_cnp = -Seconds(1);
     TimeNs last_nack = -Seconds(1);
     bool finished = false;  // completed; absorbs stragglers/duplicates
-    // OoO-tolerance mode only: buffered segment numbers beyond expected_seq.
-    std::set<uint32_t> ooo;
+    // IRN only: buffered out-of-order segments beyond expected_seq, as a
+    // fixed ring bitmap (base tracks expected_seq). Replaces the former
+    // std::set tracker that heap-allocated per buffered segment.
+    SeqWindow ooo;
+    // IRN only: one past the highest segment discarded on window overflow
+    // (open-loop senders can outrun the bitmap). While expected_seq is below
+    // this mark the discarded tail is known-missing, and the in-order path
+    // keeps NACKing it; without the mark an overflowed-then-drained window
+    // degrades to one RTO probe per missing segment.
+    uint32_t ooo_overflow_hi = 0;
   };
 
   // HandleData/HandleAck take the packet by mutable reference: they assume
@@ -185,8 +212,17 @@ class RdmaTransport {
   std::unique_ptr<CongestionControl> BuildCc(const FlowSpec& spec, TimeNs whole_path_base_rtt);
   void PaceNext(FlowId flow);
   Packet MakeDataPacket(const Sender& s, uint32_t seq) const;
-  void SendSelectiveRetransmit(FlowId flow, uint32_t seq);
+  // IRN: queues [lo, hi) for paced selective retransmission, clamped to the
+  // sender's in-flight span and deduplicated by the rtx bitmap.
+  void QueueRetransmitRange(Sender& s, uint32_t lo, uint32_t hi);
   void SchedulePacing(Sender& s, TimeNs delay);
+  bool Irn() const { return config_.reliability == ReliabilityMode::kIrn; }
+  // Bytes charged against the bounded in-flight window. Retransmissions lie
+  // inside [acked, next_seq) and so are never double-counted — a lost
+  // packet's bytes stay charged until the cumulative ACK passes it.
+  int64_t InflightBytes(const Sender& s) const {
+    return static_cast<int64_t>(s.next_seq - s.acked) * config_.mtu_payload;
+  }
   void OnRtoScan(FlowId flow);
   void FinishSender(Sender& s);
 

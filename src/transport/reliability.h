@@ -1,0 +1,42 @@
+// Reliability modes of the RDMA transport (DESIGN.md §15).
+//
+// kGoBackN models commodity RNICs: any out-of-order arrival is treated as a
+// loss and the sender rewinds to the receiver's cumulative hole. kIrn models
+// IRN-style selective repeat ("lightweight OoO tracking", the paper's
+// Sec. 7.5 future direction): the receiver buffers out-of-order segments in a
+// fixed bitmap window and NACKs carry a SACK-style [hole_start, hole_end)
+// range, so the sender retransmits exactly the missing segments through a
+// paced retransmit queue.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lcmp {
+
+enum class ReliabilityMode : uint8_t {
+  kGoBackN,  // commodity RNIC semantics: OOO arrival == loss, rewind
+  kIrn,      // selective repeat with bitmap OOO tracking + SACK-range NACKs
+};
+
+inline const char* ReliabilityModeToken(ReliabilityMode mode) {
+  return mode == ReliabilityMode::kIrn ? "irn" : "gbn";
+}
+
+inline bool ParseReliabilityMode(const std::string& text, ReliabilityMode* out,
+                                 std::string* error) {
+  if (text == "gbn" || text == "go_back_n" || text == "go-back-n") {
+    *out = ReliabilityMode::kGoBackN;
+    return true;
+  }
+  if (text == "irn" || text == "selective") {
+    *out = ReliabilityMode::kIrn;
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unknown reliability mode '" + text + "' (expected gbn|irn)";
+  }
+  return false;
+}
+
+}  // namespace lcmp

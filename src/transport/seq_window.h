@@ -1,0 +1,150 @@
+// Fixed-size sequence-number window backed by a ring bitmap.
+//
+// Replaces the per-flow std::set<uint32_t> out-of-order tracker: the set
+// heap-allocates a red-black node per buffered segment and costs O(log n)
+// per arrival on the packet hot path, while this structure is one vector
+// sized once at flow registration (single-threaded setup) and every runtime
+// operation is allocation-free — bench/events_hotpath pins that with a
+// before/after allocation assertion.
+//
+// The window covers [base, base + capacity). Bits are ring-indexed by
+// seq & (capacity - 1) (capacity is rounded up to a power of two), which is
+// collision-free because every tracked seq lies within one capacity of base.
+// Used by the receiver (base == next expected segment, bits == buffered
+// out-of-order segments) and by the IRN sender (base == cumulative ack,
+// bits == pending selective retransmits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lcmp {
+
+class SeqWindow {
+ public:
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  // Allocates the bitmap (the only allocation this class ever performs) and
+  // empties the window. Call during flow registration, never from events.
+  void Reset(uint32_t base, uint32_t capacity_segments) {
+    capacity_ = 64;
+    while (capacity_ < capacity_segments) {
+      capacity_ <<= 1;
+    }
+    bits_.assign(capacity_ / 64, 0);
+    base_ = base;
+    count_ = 0;
+  }
+
+  bool allocated() const { return !bits_.empty(); }
+  uint32_t base() const { return base_; }
+  uint32_t capacity() const { return capacity_; }
+  int count() const { return count_; }
+
+  bool InWindow(uint32_t seq) const { return seq >= base_ && seq - base_ < capacity_; }
+
+  bool Test(uint32_t seq) const {
+    if (!InWindow(seq)) {
+      return false;
+    }
+    const uint32_t slot = seq & (capacity_ - 1);
+    return (bits_[slot >> 6] >> (slot & 63)) & 1;
+  }
+
+  // Sets the bit for `seq`. Returns true when the bit was newly set, false
+  // when out of window or already present.
+  bool Insert(uint32_t seq) {
+    if (!InWindow(seq) || Test(seq)) {
+      return false;
+    }
+    const uint32_t slot = seq & (capacity_ - 1);
+    bits_[slot >> 6] |= uint64_t{1} << (slot & 63);
+    ++count_;
+    return true;
+  }
+
+  // Clears the bit for `seq` if set; returns whether it was set.
+  bool TakeIfSet(uint32_t seq) {
+    if (!Test(seq)) {
+      return false;
+    }
+    const uint32_t slot = seq & (capacity_ - 1);
+    bits_[slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+    --count_;
+    return true;
+  }
+
+  // Moves the window start forward to `new_base`, discarding any bits below
+  // it. No-op when new_base <= base.
+  void AdvanceBaseTo(uint32_t new_base) {
+    if (new_base <= base_) {
+      return;
+    }
+    if (count_ > 0) {
+      const uint32_t span = new_base - base_ < capacity_ ? new_base - base_ : capacity_;
+      for (uint32_t s = base_; s != base_ + span; ++s) {
+        TakeIfSet(s);
+      }
+    }
+    base_ = new_base;
+  }
+
+  // Lowest tracked seq >= base, or kNone when the window is empty. Word-wise
+  // scan in ring order starting at base's slot: O(capacity / 64).
+  uint32_t FirstSet() const {
+    if (count_ == 0) {
+      return kNone;
+    }
+    const uint32_t start = base_ & (capacity_ - 1);
+    const uint32_t words = capacity_ / 64;
+    for (uint32_t w = 0; w < words; ++w) {
+      const uint32_t wi = ((start >> 6) + w) % words;
+      uint64_t bits = bits_[wi];
+      if (w == 0) {
+        bits &= ~uint64_t{0} << (start & 63);  // slots before base wrap around
+      }
+      if (bits != 0) {
+        const uint32_t slot = (wi << 6) + static_cast<uint32_t>(__builtin_ctzll(bits));
+        // Ring slot -> absolute seq: slots at/after base's slot are in the
+        // first lap, slots before it belong to the wrapped tail.
+        return slot >= start ? base_ + (slot - start) : base_ + (capacity_ - start) + slot;
+      }
+    }
+    // Only the wrapped tail of base's own word remains (slots below start).
+    const uint64_t tail = bits_[start >> 6] & ((start & 63) != 0
+                                                  ? (uint64_t{1} << (start & 63)) - 1
+                                                  : 0);
+    if (tail != 0) {
+      const uint32_t slot = ((start >> 6) << 6) + static_cast<uint32_t>(__builtin_ctzll(tail));
+      return base_ + (capacity_ - start) + slot;
+    }
+    return kNone;
+  }
+
+  // FirstSet() + clear, for the sender's retransmit queue.
+  uint32_t PopFirst() {
+    const uint32_t seq = FirstSet();
+    if (seq != kNone) {
+      TakeIfSet(seq);
+    }
+    return seq;
+  }
+
+  // Drops every tracked bit without touching base (IRN RTO recovery).
+  void ClearAll() {
+    if (count_ > 0) {
+      for (uint64_t& w : bits_) {
+        w = 0;
+      }
+      count_ = 0;
+    }
+  }
+
+ private:
+  std::vector<uint64_t> bits_;
+  uint32_t base_ = 0;
+  uint32_t capacity_ = 0;
+  int count_ = 0;
+};
+
+}  // namespace lcmp

@@ -65,6 +65,20 @@ const std::vector<GoldenScenario>& GoldenScenarios() {
            " os_borders=4 mix_intra=0.25 max_inflight_bytes=4194304"},
       {"testbed8-lcmp-split-windowed",
        std::string(kBaseline) + " policy=lcmp cc=lcp/dcqcn max_inflight_bytes=2097152 load=0.5"},
+      // Lossy DCI tier (DESIGN.md §15): IRN selective retransmit on a clean
+      // wire (digest must match gbn when nothing is lost or reordered), the
+      // Gilbert-Elliott loss model under both reliability modes, and the
+      // gateway FEC shim reconstructing across the loss.
+      {"testbed8-lcmp-irn", std::string(kBaseline) + " policy=lcmp reliability=irn"},
+      {"testbed8-lossy-gbn",
+       std::string(kBaseline) +
+           " policy=lcmp dci_loss_rate=0.001 dci_burst_len=4 max_inflight_bytes=4194304"},
+      {"testbed8-lossy-irn",
+       std::string(kBaseline) + " policy=lcmp reliability=irn dci_loss_rate=0.001"
+                                " dci_burst_len=4 max_inflight_bytes=4194304"},
+      {"testbed8-lossy-fec",
+       std::string(kBaseline) + " policy=lcmp reliability=irn dci_loss_rate=0.001 fec=8:2"
+                                " max_inflight_bytes=4194304"},
   };
   return *scenarios;
 }

@@ -33,7 +33,9 @@ bool ParseEnums(const FlagSet& flags, ExperimentConfig& config, std::string& err
          ParseWorkloadKind(flags.GetString("workload"), &config.workload, &error) &&
          ParsePairingKind(flags.GetString("pairing"), &config.pairing, &error) &&
          ParseFabricKind(flags.GetString("fabric"), &config.fabric, &error) &&
-         ParsePathStrategyKind(flags.GetString("paths"), &config.path_strategy, &error);
+         ParsePathStrategyKind(flags.GetString("paths"), &config.path_strategy, &error) &&
+         ParseReliabilityMode(flags.GetString("reliability"), &config.reliability, &error) &&
+         ApplyConfigField(&config, "fec", flags.GetString("fec"), &error);
 }
 
 // Segment-split CC selection. All three flags default to "" so "not given"
@@ -183,6 +185,10 @@ int main(int argc, char** argv) {
       .Define("incast-bytes", "1048576", "bytes each incast sender ships")
       .Define("os-borders", "1", "divide every DCI<->DCI link rate by this factor")
       .Define("mix-intra", "0", "fraction of background flows kept intra-DC [0,1)")
+      .Define("reliability", "gbn", "transport loss recovery: gbn (Go-Back-N) | irn")
+      .Define("dci-loss-rate", "0", "standing DCI packet corruption rate [0,1)")
+      .Define("dci-burst-len", "1", "mean DCI corruption-burst length in packets")
+      .Define("fec", "off", "DCI gateway FEC shim: k:m (e.g. 8:2) | off")
       .Define("max-inflight-bytes", "0",
               "bounded in-flight sender window in bytes (0 = legacy unbounded)")
       .Define("pairing", "endpoints",
@@ -226,6 +232,8 @@ int main(int argc, char** argv) {
   config.os_borders = static_cast<int>(flags.GetInt("os-borders"));
   config.mix_intra = flags.GetDouble("mix-intra");
   config.max_inflight_bytes = flags.GetInt("max-inflight-bytes");
+  config.dci_loss_rate = flags.GetDouble("dci-loss-rate");
+  config.dci_burst_len = flags.GetDouble("dci-burst-len");
   config.num_flows = static_cast<int>(flags.GetInt("flows"));
   config.hosts_per_dc = static_cast<int>(flags.GetInt("hosts-per-dc"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
@@ -331,6 +339,12 @@ int main(int argc, char** argv) {
   summary.AddRow({"p99 slowdown", Fmt(result.overall.p99)});
   summary.AddRow({"mean slowdown", Fmt(result.overall.mean)});
   summary.AddRow({"retransmitted packets", std::to_string(result.retransmitted_packets)});
+  if (config.dci_loss_rate > 0 || config.fec_k > 0) {
+    summary.AddRow({"dci lost packets", std::to_string(result.dci_lost_packets)});
+    summary.AddRow({"fec repair packets", std::to_string(result.fec_repair_packets)});
+    summary.AddRow({"fec recovered", std::to_string(result.fec_recovered_packets)});
+    summary.AddRow({"fec unrecovered", std::to_string(result.fec_unrecovered_packets)});
+  }
   if (config.incast_fanin > 0) {
     summary.AddRow({"incast flows completed", std::to_string(result.incast_flows_completed)});
     summary.AddRow({"incast p50 slowdown", Fmt(result.incast.p50)});
